@@ -1,0 +1,118 @@
+//! Property-based completeness/soundness of the backtrack search against
+//! brute-force enumeration.
+
+use mcp_atpg::{search, SearchConfig, SearchOutcome};
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_implication::ImpEngine;
+use mcp_logic::V3;
+use mcp_netlist::{Expanded, XId};
+use proptest::prelude::*;
+
+fn small_cfg() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (0u64..50_000, 1usize..4, 0usize..3, 2usize..25).prop_map(|(seed, ffs, pis, gates)| {
+        (
+            seed,
+            RandomCircuitConfig {
+                ffs,
+                pis,
+                gates,
+                max_arity: 3,
+            },
+        )
+    })
+}
+
+fn brute_force_sat(x: &Expanded, constraints: &[(XId, bool)]) -> bool {
+    let vars = x.vars();
+    for bits in 0..(1u32 << vars.len()) {
+        let assign: Vec<(XId, V3)> = vars
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, V3::from(bits >> k & 1 == 1)))
+            .collect();
+        let vals = x.eval_v3(&assign);
+        if constraints
+            .iter()
+            .all(|&(n, b)| vals[n.index()] == V3::from(b))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn search_matches_brute_force(
+        (seed, cfg) in small_cfg(),
+        frames in 1u32..3,
+        pick in any::<u64>(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, frames);
+        prop_assume!(x.vars().len() <= 14);
+
+        let n = x.num_nodes() as u64;
+        let constraints: Vec<(XId, bool)> = (0..3)
+            .map(|k| {
+                let h = pick.wrapping_mul(0xD1B54A32D192ED03).rotate_left(11 * (k + 1));
+                let id = x.nodes().nth((h % n) as usize).expect("in range").0;
+                (id, h >> 63 == 1)
+            })
+            .collect();
+
+        let mut eng = ImpEngine::new(&x);
+        let asserted = constraints
+            .iter()
+            .try_for_each(|&(id, v)| eng.assign(id, v))
+            .and_then(|()| eng.propagate())
+            .is_ok();
+
+        let expect = brute_force_sat(&x, &constraints);
+        if !asserted {
+            // Implication conflicts are only allowed on unsatisfiable
+            // constraint sets.
+            prop_assert!(!expect, "conflict on satisfiable constraints");
+            return Ok(());
+        }
+
+        let (outcome, _) = search(&mut eng, &SearchConfig { backtrack_limit: 1_000_000 });
+        match outcome {
+            SearchOutcome::Sat(witness) => {
+                prop_assert!(expect, "search found a witness where none exists");
+                // Verify the witness end-to-end.
+                let assign: Vec<(XId, V3)> =
+                    witness.iter().map(|&(v, b)| (v, V3::from(b))).collect();
+                let vals = x.eval_v3(&assign);
+                for &(n, b) in &constraints {
+                    prop_assert_eq!(vals[n.index()], V3::from(b), "witness violates {}", n);
+                }
+            }
+            SearchOutcome::Unsat => prop_assert!(!expect, "search missed a witness"),
+            SearchOutcome::Aborted => {
+                prop_assert!(false, "unbounded search must not abort");
+            }
+        }
+    }
+
+    #[test]
+    fn search_is_idempotent_on_the_engine(
+        (seed, cfg) in small_cfg(),
+    ) {
+        // Running the search twice from the same state gives the same
+        // verdict and leaves the trail unchanged.
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, 1);
+        let mut eng = ImpEngine::new(&x);
+        let goal = x.ff_at(0, 1);
+        prop_assume!(eng.assign(goal, true).and_then(|()| eng.propagate()).is_ok());
+        let trail = eng.trail_len();
+        let (a, _) = search(&mut eng, &SearchConfig::default());
+        prop_assert_eq!(eng.trail_len(), trail);
+        let (b, _) = search(&mut eng, &SearchConfig::default());
+        prop_assert_eq!(eng.trail_len(), trail);
+        prop_assert_eq!(a.is_sat(), b.is_sat());
+    }
+}

@@ -1,0 +1,44 @@
+//! Binary decision diagrams and symbolic FSM analysis.
+//!
+//! This crate implements the **symbolic-traversal baseline** the paper
+//! cites as \[8\] (Nakamura et al., ICCAD'98): multi-cycle FF-pair
+//! detection by BDD-based state-space traversal. Unlike the implication
+//! and SAT engines, the symbolic analyzer can restrict the check to the
+//! **reachable** states of the machine, which is why it may detect *more*
+//! multi-cycle pairs — and also why it does not scale to the large
+//! circuits, a behaviour reproduced here with an explicit node budget.
+//!
+//! * [`Bdd`] — a reduced ordered BDD manager: hash-consed nodes, memoized
+//!   `ite`, quantification, variable renaming, model counting. No
+//!   complement edges (simplicity over constant factors), explicit
+//!   [`node limit`](Bdd::new) surfaced as [`OverflowError`].
+//! * [`SymbolicFsm`] — next-state functions and the monolithic transition
+//!   relation of a [`Netlist`](mcp_netlist::Netlist), reachability
+//!   fixpoint, and the 2-frame multi-cycle pair check.
+//!
+//! # Example
+//!
+//! ```
+//! use mcp_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new(4, 1 << 20);
+//! let a = bdd.var(0)?;
+//! let b = bdd.var(1)?;
+//! let f = bdd.and(a, b)?;
+//! let g = bdd.not(f)?;
+//! // de Morgan
+//! let na = bdd.not(a)?;
+//! let nb = bdd.not(b)?;
+//! let h = bdd.or(na, nb)?;
+//! assert_eq!(g, h);
+//! # Ok::<(), mcp_bdd::OverflowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod symbolic;
+
+pub use manager::{Bdd, OverflowError, Ref};
+pub use symbolic::{InitStates, SymbolicFsm};

@@ -1,0 +1,597 @@
+//! The BDD manager: hash-consed nodes and memoized operations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reference to a BDD node within its [`Bdd`] manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant FALSE function.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant TRUE function.
+    pub const TRUE: Ref = Ref(1);
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the two terminal nodes.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Ref::FALSE => write!(f, "⊥"),
+            Ref::TRUE => write!(f, "⊤"),
+            other => write!(f, "b{}", other.0),
+        }
+    }
+}
+
+/// Error returned when an operation would exceed the manager's node limit.
+///
+/// The paper's point about the symbolic baseline is precisely that it blows
+/// up on large circuits; this error is how the analyzer reports "did not
+/// complete" instead of consuming the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowError {
+    /// The configured node limit that was hit.
+    pub node_limit: usize,
+}
+
+impl fmt::Display for OverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BDD node limit of {} exceeded", self.node_limit)
+    }
+}
+
+impl std::error::Error for OverflowError {}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A reduced ordered BDD manager with a fixed variable order `0 < 1 < …`.
+///
+/// All operations are memoized; all functions live in one shared DAG, so
+/// equality of [`Ref`]s is semantic equality of functions (canonicity).
+#[derive(Debug)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    exists_cache: HashMap<(Ref, Ref), Ref>,
+    rename_cache: HashMap<Ref, Ref>,
+    num_vars: u32,
+    node_limit: usize,
+}
+
+impl Bdd {
+    /// Creates a manager for `num_vars` variables with the given node
+    /// budget.
+    pub fn new(num_vars: u32, node_limit: usize) -> Self {
+        let nodes = vec![
+            Node {
+                var: TERMINAL_VAR,
+                lo: Ref::FALSE,
+                hi: Ref::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Ref::TRUE,
+                hi: Ref::TRUE,
+            },
+        ];
+        Bdd {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            exists_cache: HashMap::new(),
+            rename_cache: HashMap::new(),
+            num_vars,
+            node_limit,
+        }
+    }
+
+    /// Number of live nodes (including the two terminals).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The number of variables this manager was created with.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    #[inline]
+    fn var_of(&self, f: Ref) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    #[inline]
+    fn lo(&self, f: Ref) -> Ref {
+        self.nodes[f.index()].lo
+    }
+
+    #[inline]
+    fn hi(&self, f: Ref) -> Ref {
+        self.nodes[f.index()].hi
+    }
+
+    /// Hash-consing constructor.
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Result<Ref, OverflowError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(OverflowError {
+                node_limit: self.node_limit,
+            });
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        Ok(r)
+    }
+
+    /// The projection function of variable `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&mut self, v: u32) -> Result<Ref, OverflowError> {
+        assert!(v < self.num_vars, "variable out of range");
+        self.mk(v, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// A constant function.
+    #[inline]
+    pub fn constant(&self, b: bool) -> Ref {
+        if b {
+            Ref::TRUE
+        } else {
+            Ref::FALSE
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + f̄·h` — the universal ternary
+    /// connective all binary operations are built from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, OverflowError> {
+        // Terminal cases.
+        if f == Ref::TRUE {
+            return Ok(g);
+        }
+        if f == Ref::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == Ref::TRUE && h == Ref::FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let top = [f, g, h]
+            .iter()
+            .map(|&x| self.var_of(x))
+            .min()
+            .expect("non-empty");
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(top, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    #[inline]
+    fn cofactors(&self, f: Ref, var: u32) -> (Ref, Ref) {
+        if self.var_of(f) == var {
+            (self.lo(f), self.hi(f))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn not(&mut self, f: Ref) -> Result<Ref, OverflowError> {
+        self.ite(f, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Result<Ref, OverflowError> {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Result<Ref, OverflowError> {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Result<Ref, OverflowError> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence (`XNOR`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn iff(&mut self, f: Ref, g: Ref) -> Result<Ref, OverflowError> {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    /// Conjunction over an iterator (TRUE for an empty one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Result<Ref, OverflowError> {
+        let mut acc = Ref::TRUE;
+        for f in fs {
+            acc = self.and(acc, f)?;
+        }
+        Ok(acc)
+    }
+
+    /// A positive cube (conjunction) over the given variables, used as the
+    /// quantification set of [`exists`](Self::exists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn cube<I: IntoIterator<Item = u32>>(&mut self, vars: I) -> Result<Ref, OverflowError> {
+        let mut sorted: Vec<u32> = vars.into_iter().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a)); // build bottom-up
+        let mut acc = Ref::TRUE;
+        for v in sorted {
+            acc = self.mk(v, Ref::FALSE, acc)?;
+        }
+        Ok(acc)
+    }
+
+    /// Existential quantification of every variable in `cube` from `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn exists(&mut self, f: Ref, cube: Ref) -> Result<Ref, OverflowError> {
+        if f.is_terminal() || cube == Ref::TRUE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.exists_cache.get(&(f, cube)) {
+            return Ok(r);
+        }
+        // Skip cube variables above f's top variable: f does not depend on
+        // them.
+        let mut c = cube;
+        while !c.is_terminal() && self.var_of(c) < self.var_of(f) {
+            c = self.hi(c);
+        }
+        if c == Ref::TRUE {
+            return Ok(f);
+        }
+        let fv = self.var_of(f);
+        let r = if self.var_of(c) == fv {
+            let lo = self.exists(self.lo(f), self.hi(c))?;
+            let hi = self.exists(self.hi(f), self.hi(c))?;
+            self.or(lo, hi)?
+        } else {
+            let lo = self.exists(self.lo(f), c)?;
+            let hi = self.exists(self.hi(f), c)?;
+            self.mk(fv, lo, hi)?
+        };
+        self.exists_cache.insert((f, cube), r);
+        Ok(r)
+    }
+
+    /// Renames variables by an order-preserving map: every variable `v`
+    /// becomes `map(v)`. The map **must** be strictly monotone on the
+    /// support of `f` (this is guaranteed by the interleaved current/next
+    /// orders the symbolic analyzer uses); monotonicity is what lets the
+    /// rename be a single linear rebuild.
+    ///
+    /// The rename cache is scoped to one call (different maps must not
+    /// share memo entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the node budget is exhausted.
+    pub fn rename<F: Fn(u32) -> u32 + Copy>(
+        &mut self,
+        f: Ref,
+        map: F,
+    ) -> Result<Ref, OverflowError> {
+        self.rename_cache.clear();
+        self.rename_rec(f, map)
+    }
+
+    fn rename_rec<F: Fn(u32) -> u32 + Copy>(
+        &mut self,
+        f: Ref,
+        map: F,
+    ) -> Result<Ref, OverflowError> {
+        if f.is_terminal() {
+            return Ok(f);
+        }
+        if let Some(&r) = self.rename_cache.get(&f) {
+            return Ok(r);
+        }
+        let lo = self.rename_rec(self.lo(f), map)?;
+        let hi = self.rename_rec(self.hi(f), map)?;
+        let r = self.mk(map(self.var_of(f)), lo, hi)?;
+        self.rename_cache.insert(f, r);
+        Ok(r)
+    }
+
+    /// Evaluates `f` under a total assignment (indexed by variable).
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let v = self.var_of(cur) as usize;
+            cur = if assignment[v] {
+                self.hi(cur)
+            } else {
+                self.lo(cur)
+            };
+        }
+        cur == Ref::TRUE
+    }
+
+    /// Number of satisfying assignments of `f` over all `num_vars`
+    /// variables (as `f64`; exact for counts below 2^53).
+    pub fn sat_count(&self, f: Ref) -> f64 {
+        fn rec(bdd: &Bdd, f: Ref, memo: &mut HashMap<Ref, f64>) -> f64 {
+            if f == Ref::FALSE {
+                return 0.0;
+            }
+            if f == Ref::TRUE {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let vf = bdd.var_of(f);
+            let scale = |child: Ref| {
+                let vc = if child.is_terminal() {
+                    bdd.num_vars
+                } else {
+                    bdd.var_of(child)
+                };
+                f64::powi(2.0, (vc - vf - 1) as i32)
+            };
+            let c = scale(bdd.lo(f)) * rec(bdd, bdd.lo(f), memo)
+                + scale(bdd.hi(f)) * rec(bdd, bdd.hi(f), memo);
+            memo.insert(f, c);
+            c
+        }
+        let mut memo = HashMap::new();
+        let top_scale = if f.is_terminal() {
+            f64::powi(2.0, self.num_vars as i32)
+        } else {
+            f64::powi(2.0, self.var_of(f) as i32)
+        };
+        top_scale * rec(self, f, &mut memo)
+    }
+
+    /// One satisfying assignment of `f`, or `None` when `f` is FALSE.
+    /// Unconstrained variables default to `false`.
+    pub fn any_sat(&self, f: Ref) -> Option<Vec<bool>> {
+        if f == Ref::FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars as usize];
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let v = self.var_of(cur) as usize;
+            if self.lo(cur) != Ref::FALSE {
+                cur = self.lo(cur);
+            } else {
+                assignment[v] = true;
+                cur = self.hi(cur);
+            }
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> Bdd {
+        Bdd::new(8, 1 << 20)
+    }
+
+    #[test]
+    fn canonical_constants_and_vars() {
+        let mut b = mgr();
+        assert_eq!(b.constant(true), Ref::TRUE);
+        let x = b.var(0).unwrap();
+        let x2 = b.var(0).unwrap();
+        assert_eq!(x, x2, "hash consing");
+    }
+
+    #[test]
+    fn boolean_algebra_identities() {
+        let mut b = mgr();
+        let x = b.var(0).unwrap();
+        let y = b.var(1).unwrap();
+        let nx = b.not(x).unwrap();
+
+        let xy = b.and(x, y).unwrap();
+        let yx = b.and(y, x).unwrap();
+        assert_eq!(xy, yx, "commutativity");
+
+        let t = b.or(x, nx).unwrap();
+        assert_eq!(t, Ref::TRUE, "excluded middle");
+        let f = b.and(x, nx).unwrap();
+        assert_eq!(f, Ref::FALSE, "contradiction");
+
+        // de Morgan
+        let a = b.not(xy).unwrap();
+        let ny = b.not(y).unwrap();
+        let c = b.or(nx, ny).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn semantics_match_truth_tables_exhaustively() {
+        let mut b = mgr();
+        let x = b.var(0).unwrap();
+        let y = b.var(1).unwrap();
+        let z = b.var(2).unwrap();
+        let xy = b.and(x, y).unwrap();
+        let f = b.xor(xy, z).unwrap(); // (x & y) ^ z
+        for bits in 0..8u32 {
+            let assignment: Vec<bool> = (0..8).map(|k| bits >> k & 1 == 1).collect();
+            let expect = (assignment[0] && assignment[1]) ^ assignment[2];
+            assert_eq!(b.eval(f, &assignment), expect, "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn exists_quantifies() {
+        let mut b = mgr();
+        let x = b.var(0).unwrap();
+        let y = b.var(1).unwrap();
+        let f = b.and(x, y).unwrap();
+        let cx = b.cube([0u32]).unwrap();
+        let g = b.exists(f, cx).unwrap();
+        assert_eq!(g, y, "∃x. x∧y = y");
+        let cxy = b.cube([0u32, 1]).unwrap();
+        let h = b.exists(f, cxy).unwrap();
+        assert_eq!(h, Ref::TRUE);
+        let ff = b.and(x, y).unwrap();
+        let nf = b.not(ff).unwrap();
+        let k = b.exists(nf, cxy).unwrap();
+        assert_eq!(k, Ref::TRUE);
+    }
+
+    #[test]
+    fn exists_on_false_is_false() {
+        let mut b = mgr();
+        let c = b.cube([0u32, 1, 2]).unwrap();
+        assert_eq!(b.exists(Ref::FALSE, c).unwrap(), Ref::FALSE);
+    }
+
+    #[test]
+    fn rename_shifts_variables() {
+        let mut b = mgr();
+        let x1 = b.var(1).unwrap();
+        let x3 = b.var(3).unwrap();
+        let f = b.and(x1, x3).unwrap();
+        // monotone map 1->0, 3->2
+        let g = b.rename(f, |v| v - 1).unwrap();
+        let x0 = b.var(0).unwrap();
+        let x2 = b.var(2).unwrap();
+        let expect = b.and(x0, x2).unwrap();
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn sat_count_is_exact() {
+        let mut b = Bdd::new(3, 1 << 20);
+        let x = b.var(0).unwrap();
+        let y = b.var(1).unwrap();
+        let f = b.or(x, y).unwrap(); // 6 of 8 assignments
+        assert_eq!(b.sat_count(f), 6.0);
+        assert_eq!(b.sat_count(Ref::TRUE), 8.0);
+        assert_eq!(b.sat_count(Ref::FALSE), 0.0);
+    }
+
+    #[test]
+    fn any_sat_produces_a_model() {
+        let mut b = mgr();
+        let x = b.var(0).unwrap();
+        let ny = {
+            let y = b.var(1).unwrap();
+            b.not(y).unwrap()
+        };
+        let f = b.and(x, ny).unwrap();
+        let m = b.any_sat(f).expect("satisfiable");
+        assert!(b.eval(f, &m));
+        assert!(m[0] && !m[1]);
+        assert_eq!(b.any_sat(Ref::FALSE), None);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut b = Bdd::new(8, 8); // absurdly small budget
+        let mut acc = b.constant(true);
+        let mut failed = false;
+        for v in 0..8 {
+            match b.var(v).and_then(|x| b.xor(acc, x)) {
+                Ok(r) => acc = r,
+                Err(OverflowError { node_limit }) => {
+                    assert_eq!(node_limit, 8);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "a parity chain must overflow 8 nodes");
+    }
+
+    #[test]
+    fn ite_is_shannon_expansion() {
+        let mut b = mgr();
+        let f = b.var(0).unwrap();
+        let g = b.var(1).unwrap();
+        let h = b.var(2).unwrap();
+        let r = b.ite(f, g, h).unwrap();
+        for bits in 0..8u32 {
+            let assignment: Vec<bool> = (0..8).map(|k| bits >> k & 1 == 1).collect();
+            let expect = if assignment[0] { assignment[1] } else { assignment[2] };
+            assert_eq!(b.eval(r, &assignment), expect);
+        }
+    }
+}

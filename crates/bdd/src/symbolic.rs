@@ -1,0 +1,363 @@
+//! Symbolic FSM analysis: reachability and the multi-cycle pair check.
+
+use crate::manager::{Bdd, OverflowError, Ref};
+use mcp_netlist::{Netlist, NodeKind};
+
+/// Initial-state set for the reachability fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitStates {
+    /// Every state is initial — reachability degenerates to TRUE, making
+    /// the symbolic check answer exactly the same question as the
+    /// implication/SAT engines (useful for cross-validation).
+    #[default]
+    All,
+    /// The all-zero state (the ISCAS89 convention for a global reset).
+    Zero,
+}
+
+/// A symbolic model of a sequential netlist.
+///
+/// Variable order (interleaved, the standard choice for transition
+/// relations): `s_0 < s'_0 < s_1 < s'_1 < … < x0_0 < … < x1_0 < …`, where
+/// `s`/`s'` are current/next state, `x0` the first-cycle inputs and `x1`
+/// the second-cycle inputs.
+///
+/// # Example
+///
+/// ```
+/// use mcp_bdd::{InitStates, SymbolicFsm};
+/// use mcp_netlist::bench;
+///
+/// // A toggle flip-flop reaches both of its states from 0.
+/// let nl = bench::parse("t", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)")?;
+/// let mut fsm = SymbolicFsm::build(&nl, 1 << 20).expect("fits budget");
+/// let reached = fsm.reachable(InitStates::Zero).expect("fits budget");
+/// assert_eq!(fsm.bdd().sat_count(reached), fsm.count_scale() * 2.0);
+/// # Ok::<(), mcp_netlist::bench::ParseBenchError>(())
+/// ```
+#[derive(Debug)]
+pub struct SymbolicFsm {
+    bdd: Bdd,
+    n_ffs: usize,
+    n_pis: usize,
+    /// `f_k(s, x0)` — next-state function of FF `k` over current-state and
+    /// first-cycle input variables.
+    next_fn: Vec<Ref>,
+    /// `g_k(s', x1)` — the same function over next-state and second-cycle
+    /// input variables (for the second frame of the pair check).
+    next_fn_primed: Vec<Ref>,
+    /// Monolithic transition relation `∧_k (s'_k ↔ f_k)`, built lazily.
+    trans: Option<Ref>,
+}
+
+impl SymbolicFsm {
+    /// Variable index of current-state bit `k`.
+    #[inline]
+    fn s(&self, k: usize) -> u32 {
+        2 * k as u32
+    }
+
+    /// Variable index of next-state bit `k`.
+    #[inline]
+    fn sp(&self, k: usize) -> u32 {
+        2 * k as u32 + 1
+    }
+
+    /// Variable index of first-cycle input `i`.
+    #[inline]
+    fn x0(&self, i: usize) -> u32 {
+        2 * self.n_ffs as u32 + i as u32
+    }
+
+    /// Variable index of second-cycle input `i`.
+    #[inline]
+    fn x1(&self, i: usize) -> u32 {
+        2 * self.n_ffs as u32 + self.n_pis as u32 + i as u32
+    }
+
+    /// Builds the next-state functions of `netlist` under the given node
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] when the budget is exceeded — the
+    /// "symbolic methods do not scale" outcome, which callers should
+    /// report rather than treat as a bug.
+    pub fn build(netlist: &Netlist, node_limit: usize) -> Result<Self, OverflowError> {
+        let n_ffs = netlist.num_ffs();
+        let n_pis = netlist.num_inputs();
+        let num_vars = (2 * n_ffs + 2 * n_pis) as u32;
+        let bdd = Bdd::new(num_vars, node_limit);
+        let mut fsm = SymbolicFsm {
+            bdd,
+            n_ffs,
+            n_pis,
+            next_fn: Vec::new(),
+            next_fn_primed: Vec::new(),
+            trans: None,
+        };
+        fsm.next_fn = fsm.eval_netlist(netlist, false)?;
+        fsm.next_fn_primed = fsm.eval_netlist(netlist, true)?;
+        Ok(fsm)
+    }
+
+    /// Evaluates every FF's D-input cone over BDDs; `primed` selects the
+    /// (s', x1) variable copy.
+    fn eval_netlist(&mut self, netlist: &Netlist, primed: bool) -> Result<Vec<Ref>, OverflowError> {
+        let mut val = vec![Ref::FALSE; netlist.num_nodes()];
+        for (idx, &pi) in netlist.inputs().iter().enumerate() {
+            let v = if primed { self.x1(idx) } else { self.x0(idx) };
+            val[pi.index()] = self.bdd.var(v)?;
+        }
+        for (idx, &ff) in netlist.dffs().iter().enumerate() {
+            let v = if primed { self.sp(idx) } else { self.s(idx) };
+            val[ff.index()] = self.bdd.var(v)?;
+        }
+        for (id, node) in netlist.nodes() {
+            if let NodeKind::Const(b) = node.kind() {
+                val[id.index()] = self.bdd.constant(b);
+            }
+        }
+        for &g in netlist.topo_gates() {
+            let node = netlist.node(g);
+            let kind = node.kind().gate_kind().expect("gate");
+            let ins: Vec<Ref> = node.fanins().iter().map(|f| val[f.index()]).collect();
+            let mut acc = ins[0];
+            for &i in &ins[1..] {
+                acc = match kind {
+                    mcp_logic::GateKind::And | mcp_logic::GateKind::Nand => {
+                        self.bdd.and(acc, i)?
+                    }
+                    mcp_logic::GateKind::Or | mcp_logic::GateKind::Nor => self.bdd.or(acc, i)?,
+                    mcp_logic::GateKind::Xor | mcp_logic::GateKind::Xnor => {
+                        self.bdd.xor(acc, i)?
+                    }
+                    mcp_logic::GateKind::Not | mcp_logic::GateKind::Buf => unreachable!(),
+                };
+            }
+            if kind.output_inversion() {
+                acc = self.bdd.not(acc)?;
+            }
+            val[g.index()] = acc;
+        }
+        Ok((0..netlist.num_ffs())
+            .map(|k| val[netlist.ff_d_input(k).index()])
+            .collect())
+    }
+
+    /// The underlying manager (for inspection).
+    #[inline]
+    pub fn bdd(&self) -> &Bdd {
+        &self.bdd
+    }
+
+    /// Scale factor relating `sat_count` of a state predicate (over all
+    /// manager variables) to the number of states it contains:
+    /// `count = states * count_scale()`.
+    pub fn count_scale(&self) -> f64 {
+        // Free variables: s' copies, x0, x1.
+        f64::powi(2.0, (self.n_ffs + 2 * self.n_pis) as i32)
+    }
+
+    /// The monolithic transition relation `T(s, x0, s') = ∧_k (s'_k ↔
+    /// f_k(s, x0))`, cached after the first call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] when the budget is exceeded.
+    pub fn transition_relation(&mut self) -> Result<Ref, OverflowError> {
+        if let Some(t) = self.trans {
+            return Ok(t);
+        }
+        let mut t = Ref::TRUE;
+        for k in 0..self.n_ffs {
+            let spv = self.bdd.var(self.sp(k))?;
+            let eq = self.bdd.iff(spv, self.next_fn[k])?;
+            t = self.bdd.and(t, eq)?;
+        }
+        self.trans = Some(t);
+        Ok(t)
+    }
+
+    /// Least fixpoint of the image operator from `init`: the reachable
+    /// state set, as a predicate over the current-state variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] when the budget is exceeded.
+    pub fn reachable(&mut self, init: InitStates) -> Result<Ref, OverflowError> {
+        let mut reached = match init {
+            InitStates::All => return Ok(Ref::TRUE),
+            InitStates::Zero => {
+                let mut r = Ref::TRUE;
+                for k in 0..self.n_ffs {
+                    let sv = self.bdd.var(self.s(k))?;
+                    let nsv = self.bdd.not(sv)?;
+                    r = self.bdd.and(r, nsv)?;
+                }
+                r
+            }
+        };
+        let t = self.transition_relation()?;
+        // Quantify current state and first-cycle inputs.
+        let cube = {
+            let vars: Vec<u32> = (0..self.n_ffs)
+                .map(|k| self.s(k))
+                .chain((0..self.n_pis).map(|i| self.x0(i)))
+                .collect();
+            self.bdd.cube(vars)?
+        };
+        loop {
+            let conj = self.bdd.and(reached, t)?;
+            let img_primed = self.bdd.exists(conj, cube)?;
+            // Rename s' -> s (odd -> even: strictly monotone on support).
+            let img = self.bdd.rename(img_primed, |v| v - 1)?;
+            let next = self.bdd.or(reached, img)?;
+            if next == reached {
+                return Ok(reached);
+            }
+            reached = next;
+        }
+    }
+
+    /// Decides whether `(i, j)` is a multi-cycle FF pair under the MC
+    /// condition, restricted to `reached` (pass `Ref::TRUE` for the
+    /// all-states assumption).
+    ///
+    /// The check is `UNSAT(R(s) ∧ T(s,x0,s') ∧ (s_i ⊕ s'_i) ∧ (s'_j ⊕
+    /// g_j(s',x1)))`: a reachable state from which FF `i` transitions while
+    /// FF `j` changes one cycle later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] when the budget is exceeded.
+    pub fn is_multicycle_pair(
+        &mut self,
+        i: usize,
+        j: usize,
+        reached: Ref,
+    ) -> Result<bool, OverflowError> {
+        let t = self.transition_relation()?;
+        let si = self.bdd.var(self.s(i))?;
+        let spi = self.bdd.var(self.sp(i))?;
+        let src_toggles = self.bdd.xor(si, spi)?;
+        let spj = self.bdd.var(self.sp(j))?;
+        let sink_changes = self.bdd.xor(spj, self.next_fn_primed[j])?;
+
+        let mut bad = self.bdd.and(reached, t)?;
+        bad = self.bdd.and(bad, src_toggles)?;
+        bad = self.bdd.and(bad, sink_changes)?;
+        Ok(bad == Ref::FALSE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_netlist::bench;
+
+    fn toggle() -> Netlist {
+        bench::parse("t", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)").expect("parse")
+    }
+
+    /// 2-bit gray counter + enable-gated register (miniature Fig.1 motif):
+    /// F captures IN only when (C1,C0) = (0,0), otherwise holds.
+    fn gated() -> Netlist {
+        bench::parse(
+            "g",
+            "INPUT(IN)\nOUTPUT(F)\n\
+             C1 = DFF(C0)\n\
+             C0 = DFF(NC1)\n\
+             NC1 = NOT(C1)\n\
+             F = DFF(FD)\n\
+             EN = NOR(C1, C0)\n\
+             NEN = NOT(EN)\n\
+             A0 = AND(NEN, F)\n\
+             A1 = AND(EN, IN)\n\
+             FD = OR(A0, A1)",
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn toggle_reachability_covers_both_states() {
+        let nl = toggle();
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 20).unwrap();
+        let r = fsm.reachable(InitStates::Zero).unwrap();
+        assert_eq!(fsm.bdd().sat_count(r) / fsm.count_scale(), 2.0);
+    }
+
+    #[test]
+    fn toggle_self_pair_is_single_cycle() {
+        // Q toggles every cycle: (Q,Q) violates the MC condition.
+        let nl = toggle();
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 20).unwrap();
+        assert!(!fsm.is_multicycle_pair(0, 0, Ref::TRUE).unwrap());
+    }
+
+    #[test]
+    fn hold_register_self_pair_is_multi_cycle() {
+        let nl = bench::parse("h", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUFF(q)").unwrap();
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 20).unwrap();
+        assert!(fsm.is_multicycle_pair(0, 0, Ref::TRUE).unwrap());
+    }
+
+    #[test]
+    fn gated_register_pairs() {
+        let nl = gated();
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 20).unwrap();
+        // FF order: C1=0, C0=1, F=2.
+        // (F, F): F captures only when counter = 00; one cycle later the
+        // counter is 01, so F holds: multi-cycle self pair.
+        assert!(fsm.is_multicycle_pair(2, 2, Ref::TRUE).unwrap());
+        // Counter transitions: (C1', C0') = (C0, !C1); EN(t+1)=1 requires
+        // (C1(t+1), C0(t+1)) = (0,0), i.e. C0(t)=0 and C1(t)=1.
+        // (C0, F): a C0 toggle forces C0(t) = !C0(t+1) = C1(t) = 1,
+        // contradicting C0(t)=0 — F can never change right after: MC pair.
+        assert!(fsm.is_multicycle_pair(1, 2, Ref::TRUE).unwrap());
+        // (C1, F): C1 toggles from 1 to C0(t)=0 exactly when the capture
+        // window opens, so F(t+2) = IN(t+1) may differ: single-cycle.
+        assert!(!fsm.is_multicycle_pair(0, 2, Ref::TRUE).unwrap());
+    }
+
+    #[test]
+    fn reachability_can_promote_pairs() {
+        // A 1-hot ring counter of 3 FFs starting from 000 stays at 000
+        // forever (no enable ever fires), so with Zero init every pair is
+        // multi-cycle; with all-states assumed, the self pairs are not.
+        let nl = bench::parse(
+            "ring",
+            "OUTPUT(R0)\nR0 = DFF(R2)\nR1 = DFF(R0)\nR2 = DFF(R1)",
+        )
+        .unwrap();
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 20).unwrap();
+        let r_zero = fsm.reachable(InitStates::Zero).unwrap();
+        // From 000 the ring stays 000: one reachable state.
+        assert_eq!(fsm.bdd().sat_count(r_zero) / fsm.count_scale(), 1.0);
+        // (R0, R1): under all-states, R0 can toggle and R1 follows it.
+        assert!(!fsm.is_multicycle_pair(0, 1, Ref::TRUE).unwrap());
+        // Restricted to the reachable set, nothing ever toggles.
+        assert!(fsm.is_multicycle_pair(0, 1, r_zero).unwrap());
+    }
+
+    #[test]
+    fn overflow_is_reported_not_hung() {
+        let nl = gated();
+        match SymbolicFsm::build(&nl, 16) {
+            Err(OverflowError { node_limit: 16 }) => {}
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transition_relation_counts_transitions() {
+        // The toggle FF has exactly 2 (state, next) transition pairs, and
+        // the input is a free variable.
+        let nl = toggle();
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 20).unwrap();
+        let t = fsm.transition_relation().unwrap();
+        // Variables: s, s', x0, x1 → sat_count counts over 4 vars; T fixes
+        // s' = !s (2 of 4 combos) with x0, x1 free: 2 * 4 = 8.
+        assert_eq!(fsm.bdd().sat_count(t), 8.0);
+    }
+}

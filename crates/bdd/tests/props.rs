@@ -1,0 +1,192 @@
+//! Property-based validation of the BDD manager and symbolic FSM against
+//! direct evaluation.
+
+use mcp_bdd::{Bdd, InitStates, Ref, SymbolicFsm};
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_netlist::Netlist;
+use mcp_sim::ParallelSim;
+use proptest::prelude::*;
+
+/// A random Boolean expression over `n` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy(n_vars: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..n_vars).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> Ref {
+    match e {
+        Expr::Var(v) => bdd.var(*v).expect("budget"),
+        Expr::Not(a) => {
+            let a = build(bdd, a);
+            bdd.not(a).expect("budget")
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.and(a, b).expect("budget")
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.or(a, b).expect("budget")
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.xor(a, b).expect("budget")
+        }
+    }
+}
+
+fn eval(e: &Expr, a: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => a[*v as usize],
+        Expr::Not(x) => !eval(x, a),
+        Expr::And(x, y) => eval(x, a) & eval(y, a),
+        Expr::Or(x, y) => eval(x, a) | eval(y, a),
+        Expr::Xor(x, y) => eval(x, a) ^ eval(y, a),
+    }
+}
+
+const N_VARS: u32 = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bdd_semantics_match_direct_evaluation(e in expr_strategy(N_VARS)) {
+        let mut bdd = Bdd::new(N_VARS, 1 << 20);
+        let f = build(&mut bdd, &e);
+        let mut count = 0u32;
+        for bits in 0..(1u32 << N_VARS) {
+            let assignment: Vec<bool> = (0..N_VARS).map(|k| bits >> k & 1 == 1).collect();
+            let expect = eval(&e, &assignment);
+            prop_assert_eq!(bdd.eval(f, &assignment), expect);
+            count += u32::from(expect);
+        }
+        // sat_count agrees with the truth table.
+        prop_assert_eq!(bdd.sat_count(f), f64::from(count));
+        // any_sat agrees with satisfiability.
+        match bdd.any_sat(f) {
+            Some(model) => prop_assert!(bdd.eval(f, &model)),
+            None => prop_assert_eq!(count, 0),
+        }
+    }
+
+    #[test]
+    fn canonicity_detects_equivalence(e in expr_strategy(N_VARS)) {
+        // f and its double negation are the same node; f XOR f is FALSE.
+        let mut bdd = Bdd::new(N_VARS, 1 << 20);
+        let f = build(&mut bdd, &e);
+        let nf = bdd.not(f).expect("budget");
+        let nnf = bdd.not(nf).expect("budget");
+        prop_assert_eq!(f, nnf);
+        let z = bdd.xor(f, f).expect("budget");
+        prop_assert_eq!(z, Ref::FALSE);
+    }
+
+    #[test]
+    fn exists_is_disjunction_of_cofactors(e in expr_strategy(N_VARS), v in 0..N_VARS) {
+        let mut bdd = Bdd::new(N_VARS, 1 << 20);
+        let f = build(&mut bdd, &e);
+        let cube = bdd.cube([v]).expect("budget");
+        let q = bdd.exists(f, cube).expect("budget");
+        for bits in 0..(1u32 << N_VARS) {
+            let mut a: Vec<bool> = (0..N_VARS).map(|k| bits >> k & 1 == 1).collect();
+            a[v as usize] = false;
+            let f0 = bdd.eval(f, &a);
+            a[v as usize] = true;
+            let f1 = bdd.eval(f, &a);
+            prop_assert_eq!(bdd.eval(q, &a), f0 | f1);
+        }
+    }
+}
+
+/// Reachability cross-check: the symbolic fixpoint must equal explicit
+/// state-graph search for small random machines.
+#[test]
+fn symbolic_reachability_matches_explicit_search() {
+    for seed in 0..25u64 {
+        let nl = random_netlist(
+            seed,
+            &RandomCircuitConfig {
+                ffs: 4,
+                pis: 2,
+                gates: 18,
+                max_arity: 3,
+            },
+        );
+        let explicit = explicit_reachable(&nl);
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 22).expect("budget");
+        let r = fsm.reachable(InitStates::Zero).expect("budget");
+        let symbolic = fsm.bdd().sat_count(r) / fsm.count_scale();
+        assert_eq!(symbolic, explicit.len() as f64, "seed {seed}");
+        // And membership agrees state by state.
+        for state in 0..(1u32 << nl.num_ffs()) {
+            let mut assignment = vec![false; fsm.bdd().num_vars() as usize];
+            for k in 0..nl.num_ffs() {
+                assignment[2 * k] = state >> k & 1 == 1;
+            }
+            assert_eq!(
+                fsm.bdd().eval(r, &assignment),
+                explicit.contains(&state),
+                "seed {seed} state {state:b}"
+            );
+        }
+    }
+}
+
+fn explicit_reachable(nl: &Netlist) -> std::collections::HashSet<u32> {
+    let mut sim = ParallelSim::new(nl);
+    let mut reached = std::collections::HashSet::from([0u32]);
+    let mut frontier = vec![0u32];
+    while let Some(state) = frontier.pop() {
+        // All input combinations, 64 at a time via lanes.
+        let n_pis = nl.num_inputs();
+        let combos = 1u32 << n_pis;
+        let mut base = 0u32;
+        while base < combos {
+            for ff in 0..nl.num_ffs() {
+                sim.set_state(ff, if state >> ff & 1 == 1 { u64::MAX } else { 0 });
+            }
+            for pi in 0..n_pis {
+                let mut w = 0u64;
+                for l in 0..64u32.min(combos - base) {
+                    if (base + l) >> pi & 1 == 1 {
+                        w |= 1 << l;
+                    }
+                }
+                sim.set_input(pi, w);
+            }
+            sim.eval();
+            for l in 0..64u32.min(combos - base) {
+                let mut next = 0u32;
+                for ff in 0..nl.num_ffs() {
+                    if sim.next_state(ff) >> l & 1 == 1 {
+                        next |= 1 << ff;
+                    }
+                }
+                if reached.insert(next) {
+                    frontier.push(next);
+                }
+            }
+            base += 64;
+        }
+    }
+    reached
+}

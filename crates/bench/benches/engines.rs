@@ -1,0 +1,144 @@
+//! Criterion benches for the three decision engines — the measured side of
+//! Table 1 (who wins, by what factor) on fixed mid-size suite circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcp_core::{analyze, Engine, McConfig};
+use mcp_gen::suite;
+use std::hint::black_box;
+
+/// Full-pipeline analysis per engine on graded circuits (Table 1's CPU
+/// columns).
+fn bench_engines(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let mut group = c.benchmark_group("table1_engines");
+    group.sample_size(10);
+
+    for name in ["m526", "m1238", "m5378"] {
+        let nl = suite
+            .iter()
+            .find(|n| n.name() == name)
+            .expect("suite circuit");
+        group.bench_with_input(BenchmarkId::new("implication", name), nl, |b, nl| {
+            b.iter(|| black_box(analyze(nl, &McConfig::default()).expect("analyze")));
+        });
+        group.bench_with_input(BenchmarkId::new("sat", name), nl, |b, nl| {
+            let cfg = McConfig {
+                engine: Engine::Sat,
+                ..McConfig::default()
+            };
+            b.iter(|| black_box(analyze(nl, &cfg).expect("analyze")));
+        });
+        if nl.stats().ffs <= 40 {
+            group.bench_with_input(BenchmarkId::new("bdd", name), nl, |b, nl| {
+                let cfg = McConfig {
+                    engine: Engine::Bdd {
+                        node_limit: 1 << 22,
+                        reachability: false,
+                    },
+                    ..McConfig::default()
+                };
+                b.iter(|| black_box(analyze(nl, &cfg).expect("analyze")));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The prefilter in isolation: how cheap is the simulation step that kills
+/// most single-cycle pairs (Table 2's Sim column).
+fn bench_sim_filter(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m9234")
+        .expect("suite circuit");
+    let pairs = nl.connected_ff_pairs();
+    c.bench_function("table2_sim_filter_m9234", |b| {
+        b.iter(|| {
+            black_box(mcp_sim::mc_filter(
+                nl,
+                &pairs,
+                &mcp_sim::FilterConfig::default(),
+            ))
+        });
+    });
+}
+
+/// Ablation: the engine without the simulation prefilter (everything falls
+/// to implication/ATPG) — quantifies the paper's step-2 design choice.
+fn bench_no_prefilter_ablation(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m1238")
+        .expect("suite circuit");
+    let mut group = c.benchmark_group("ablation_prefilter");
+    group.sample_size(10);
+    group.bench_function("with_sim_filter", |b| {
+        b.iter(|| black_box(analyze(nl, &McConfig::default()).expect("analyze")));
+    });
+    group.bench_function("without_sim_filter", |b| {
+        let cfg = McConfig {
+            use_sim_filter: false,
+            ..McConfig::default()
+        };
+        b.iter(|| black_box(analyze(nl, &cfg).expect("analyze")));
+    });
+    group.finish();
+}
+
+/// Ablation: static learning on vs off (the paper enables it only for its
+/// hardest circuits — it costs preparation time and pays off in fewer
+/// aborted searches).
+fn bench_learning_ablation(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m820")
+        .expect("suite circuit");
+    let mut group = c.benchmark_group("ablation_learning");
+    group.sample_size(10);
+    group.bench_function("plain", |b| {
+        b.iter(|| black_box(analyze(nl, &McConfig::default()).expect("analyze")));
+    });
+    group.bench_function("static_learning", |b| {
+        let cfg = McConfig {
+            static_learning: true,
+            ..McConfig::default()
+        };
+        b.iter(|| black_box(analyze(nl, &cfg).expect("analyze")));
+    });
+    group.finish();
+}
+
+/// Parallel pair-loop scaling: the pairs are independent, so the loop
+/// parallelizes; this measures the payoff on a mid-size circuit.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m13207")
+        .expect("suite circuit");
+    let mut group = c.benchmark_group("thread_scaling_m13207");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let cfg = McConfig {
+                threads: t,
+                ..McConfig::default()
+            };
+            b.iter(|| black_box(analyze(nl, &cfg).expect("analyze")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_sim_filter,
+    bench_no_prefilter_ablation,
+    bench_learning_ablation,
+    bench_thread_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion microbenches for the substrates: expansion, implication,
+//! search, SAT encoding, hazard checking — the building blocks whose costs
+//! explain the table-level numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcp_atpg::{search, SearchConfig};
+use mcp_core::{analyze, check_hazards, HazardCheck, McConfig};
+use mcp_gen::suite;
+use mcp_implication::ImpEngine;
+use mcp_netlist::Expanded;
+use mcp_sat::CircuitCnf;
+use std::hint::black_box;
+
+fn bench_expansion(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m13207")
+        .expect("suite circuit");
+    c.bench_function("expand_2frames_m13207", |b| {
+        b.iter(|| black_box(Expanded::build(nl, 2)));
+    });
+}
+
+fn bench_implication_procedure(c: &mut Criterion) {
+    // One full per-pair classification worth of implication work: the
+    // inner loop of Table 1's "ours" column.
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m5378")
+        .expect("suite circuit");
+    let x = Expanded::build(nl, 2);
+    let pairs = nl.connected_ff_pairs();
+    let probe: Vec<_> = pairs.iter().step_by(pairs.len() / 16 + 1).collect();
+    c.bench_function("implication_16pairs_m5378", |b| {
+        b.iter(|| {
+            let mut eng = ImpEngine::new(&x);
+            for &&(i, _j) in &probe {
+                for (a, v) in [(false, true), (true, false)] {
+                    let cp = eng.checkpoint();
+                    let _ = eng
+                        .assign(x.ff_at(i, 0), a)
+                        .and_then(|()| eng.assign(x.ff_at(i, 1), v))
+                        .and_then(|()| eng.propagate());
+                    eng.backtrack(cp);
+                }
+            }
+            black_box(eng.examinations())
+        });
+    });
+}
+
+fn bench_atpg_search(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m1238")
+        .expect("suite circuit");
+    let x = Expanded::build(nl, 2);
+    c.bench_function("atpg_justify_m1238", |b| {
+        b.iter(|| {
+            let mut eng = ImpEngine::new(&x);
+            // Justify a source transition — a representative search load.
+            let _ = eng
+                .assign(x.ff_at(0, 0), false)
+                .and_then(|()| eng.assign(x.ff_at(0, 1), true))
+                .and_then(|()| eng.propagate());
+            let (out, stats) = search(&mut eng, &SearchConfig::default());
+            black_box((out.is_sat(), stats.decisions))
+        });
+    });
+}
+
+fn bench_cnf_encoding(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m13207")
+        .expect("suite circuit");
+    let x = Expanded::build(nl, 2);
+    c.bench_function("tseitin_encode_m13207", |b| {
+        b.iter(|| black_box(CircuitCnf::new(&x)));
+    });
+}
+
+fn bench_hazard_checks(c: &mut Criterion) {
+    let suite = suite::standard_suite();
+    let nl = suite
+        .iter()
+        .find(|n| n.name() == "m1423")
+        .expect("suite circuit");
+    let report = analyze(nl, &McConfig::default()).expect("analyze");
+    let mut group = c.benchmark_group("table3_hazard_m1423");
+    group.sample_size(10);
+    group.bench_function("sensitization", |b| {
+        b.iter(|| black_box(check_hazards(nl, &report, HazardCheck::Sensitization)));
+    });
+    group.bench_function("co_sensitization", |b| {
+        b.iter(|| black_box(check_hazards(nl, &report, HazardCheck::CoSensitization)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_expansion,
+    bench_implication_procedure,
+    bench_atpg_search,
+    bench_cnf_encoding,
+    bench_hazard_checks
+);
+criterion_main!(benches);

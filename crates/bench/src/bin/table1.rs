@@ -1,0 +1,154 @@
+//! Regenerates the paper's **Table 1**: per-circuit detection of
+//! multi-cycle FF pairs without hazard checking — the implication-based
+//! method ("ours") versus the conventional SAT-based method \[9\], plus an
+//! optional BDD column (the method of \[8\]) on the circuits where it
+//! completes within its node budget.
+//!
+//! Columns mirror the paper: `In`, `FF`, `FF-pair` (topologically
+//! connected pairs), `MC-pair` and `CPU(sec)` per engine. Unlike the
+//! paper, both engines run on the *same* machine and the same prefilters,
+//! so the speed ratio is apples-to-apples.
+
+use mcp_bench::{secs, HarnessArgs};
+use mcp_core::{analyze, Engine, McConfig};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    circuit: String,
+    inputs: usize,
+    ffs: usize,
+    ff_pairs: usize,
+    mc_pairs_ours: usize,
+    cpu_ours: f64,
+    mc_pairs_sat: usize,
+    cpu_sat: f64,
+    mc_pairs_bdd: Option<usize>,
+    cpu_bdd: Option<f64>,
+    unknown_ours: usize,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let suite = args.suite();
+
+    println!("Table 1: multi-cycle FF pair detection (no hazard checking)");
+    println!("{:-<100}", "");
+    println!(
+        "{:>8} {:>5} {:>5} {:>8} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
+        "circuit", "In", "FF", "FF-pair", "ours MC", "CPU(s)", "SAT MC", "CPU(s)", "BDD MC", "CPU(s)"
+    );
+    println!("{:-<100}", "");
+
+    let mut rows = Vec::new();
+    let mut total_pairs = 0usize;
+    let mut total_mc = 0usize;
+    let mut total_ours = Duration::ZERO;
+    let mut total_sat = Duration::ZERO;
+
+    for nl in &suite {
+        let s = nl.stats();
+
+        let t = Instant::now();
+        let ours = analyze(nl, &McConfig::default()).expect("analysis succeeds");
+        let cpu_ours = t.elapsed();
+
+        let t = Instant::now();
+        let sat = analyze(
+            nl,
+            &McConfig {
+                engine: Engine::Sat,
+                ..McConfig::default()
+            },
+        )
+        .expect("analysis succeeds");
+        let cpu_sat = t.elapsed();
+
+        // BDD baseline: only attempted on the smaller circuits; a modest
+        // node budget reproduces the paper's observation that symbolic
+        // traversal does not scale.
+        let bdd = if s.ffs <= 80 {
+            let t = Instant::now();
+            let r = analyze(
+                nl,
+                &McConfig {
+                    engine: Engine::Bdd {
+                        node_limit: 1 << 22,
+                        reachability: false,
+                    },
+                    ..McConfig::default()
+                },
+            )
+            .expect("analysis succeeds");
+            let dt = t.elapsed();
+            if r.stats.unknown == 0 {
+                Some((r.stats.multi_total(), dt))
+            } else {
+                None // budget exceeded: "did not complete"
+            }
+        } else {
+            None
+        };
+
+        assert_eq!(
+            ours.multi_cycle_pairs(),
+            sat.multi_cycle_pairs(),
+            "{}: engines disagree",
+            nl.name()
+        );
+
+        total_pairs += s.ff_pairs;
+        total_mc += ours.stats.multi_total();
+        total_ours += cpu_ours;
+        total_sat += cpu_sat;
+
+        println!(
+            "{:>8} {:>5} {:>5} {:>8} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
+            nl.name(),
+            s.inputs,
+            s.ffs,
+            s.ff_pairs,
+            ours.stats.multi_total(),
+            secs(cpu_ours),
+            sat.stats.multi_total(),
+            secs(cpu_sat),
+            bdd.map_or("-".to_owned(), |(mc, _)| mc.to_string()),
+            bdd.map_or("-".to_owned(), |(_, dt)| secs(dt)),
+        );
+
+        rows.push(Row {
+            circuit: nl.name().to_owned(),
+            inputs: s.inputs,
+            ffs: s.ffs,
+            ff_pairs: s.ff_pairs,
+            mc_pairs_ours: ours.stats.multi_total(),
+            cpu_ours: cpu_ours.as_secs_f64(),
+            mc_pairs_sat: sat.stats.multi_total(),
+            cpu_sat: cpu_sat.as_secs_f64(),
+            mc_pairs_bdd: bdd.map(|(mc, _)| mc),
+            cpu_bdd: bdd.map(|(_, dt)| dt.as_secs_f64()),
+            unknown_ours: ours.stats.unknown,
+        });
+    }
+
+    println!("{:-<100}", "");
+    println!(
+        "{:>8} {:>5} {:>5} {:>8} | {:>8} {:>9} | {:>8} {:>9} |",
+        "Total",
+        "",
+        "",
+        total_pairs,
+        total_mc,
+        secs(total_ours),
+        "",
+        secs(total_sat),
+    );
+    println!(
+        "\nMC-pair fraction: {:.1}% of connected pairs; SAT/ours CPU ratio: {:.1}x",
+        100.0 * total_mc as f64 / total_pairs.max(1) as f64,
+        total_sat.as_secs_f64() / total_ours.as_secs_f64().max(1e-9),
+    );
+
+    args.dump_json(&rows);
+}

@@ -1,0 +1,97 @@
+//! Shared harness utilities for the table-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation section on the deterministic synthetic suite:
+//!
+//! | binary         | paper artifact |
+//! |----------------|----------------|
+//! | `table1`       | Table 1 — per-circuit MC pairs & CPU, ours vs SAT \[9\] (and optional BDD \[8\]) |
+//! | `table2`       | Table 2 — pairs resolved and CPU per analysis step |
+//! | `table3`       | Table 3 — MC pairs before/after static-hazard checking |
+//! | `table_kcycle` | Section 4.1 extension — k-cycle detection vs counter period |
+//!
+//! Run with `--release`; pass `--quick` to restrict to the smaller half of
+//! the suite, `--json <path>` to also dump machine-readable rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mcp_netlist::Netlist;
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Use the abbreviated suite.
+    pub quick: bool,
+    /// Optional JSON dump path.
+    pub json: Option<String>,
+}
+
+impl HarnessArgs {
+    /// Parses `--quick` and `--json <path>` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--json" => out.json = args.next(),
+                other => {
+                    eprintln!("ignoring unknown argument `{other}`");
+                }
+            }
+        }
+        out
+    }
+
+    /// The suite selected by the flags.
+    pub fn suite(&self) -> Vec<Netlist> {
+        if self.quick {
+            mcp_gen::suite::quick_suite()
+        } else {
+            mcp_gen::suite::standard_suite()
+        }
+    }
+
+    /// Writes `rows` as pretty JSON when `--json` was given.
+    pub fn dump_json<T: serde::Serialize>(&self, rows: &T) {
+        if let Some(path) = &self.json {
+            match serde_json::to_string_pretty(rows) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s) {
+                        eprintln!("cannot write {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("cannot serialize results: {e}"),
+            }
+        }
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution, the way the
+/// paper's CPU columns read.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formats_milliseconds() {
+        assert_eq!(secs(std::time::Duration::from_millis(1234)), "1.234");
+        assert_eq!(secs(std::time::Duration::ZERO), "0.000");
+    }
+
+    #[test]
+    fn default_args_select_full_suite() {
+        let args = HarnessArgs::default();
+        assert_eq!(args.suite().len(), 12);
+        let quick = HarnessArgs {
+            quick: true,
+            ..HarnessArgs::default()
+        };
+        assert_eq!(quick.suite().len(), 6);
+    }
+}

@@ -1,0 +1,205 @@
+//! Condition-2 candidates: timing-budget borrowing (paper Section 3.1).
+//!
+//! The paper's full multi-cycle-pair definition has a second disjunct the
+//! implemented analysis deliberately omits: a pair `(FFi, FFj)` also
+//! qualifies when the transition *does* reach the sink but
+//!
+//! > (a) the transition at the sink is never observed at any primary
+//! > output, and (b) for any FF `FFk`, `(FFj, FFk)` is a multi-cycle FF
+//! > pair under the assumption that a transition is propagated from `FFi`
+//! > to `FFj` in the previous clock cycle.
+//!
+//! The paper: *"Condition 2 is difficult to check because the analysis may
+//! require traversal of many states. In addition ... can be viewed as some
+//! kind of timing budget borrowing from the subsequent FF pair. Thus we
+//! consider only Condition 1 in this paper."*
+//!
+//! This module implements the *candidate screen* for Condition 2: the
+//! single-cycle pairs whose sink satisfies a **structural** version of (a)
+//! and whose outgoing pairs all satisfy Condition 1 — i.e. exactly the
+//! pairs on which the expensive nested analysis could still win. The
+//! screen is sound as a screen (a pair failing it cannot satisfy
+//! Condition 2 for structural reasons) but candidates are **not** proven
+//! multi-cycle: they are reported for targeted follow-up, not folded into
+//! [`McReport`] verdicts.
+
+use crate::report::{McReport, PairClass};
+use mcp_netlist::Netlist;
+use std::collections::VecDeque;
+
+/// Finds the Condition-2 candidates of a report (see [module docs](self)).
+///
+/// A single-cycle pair `(i, j)` qualifies when:
+///
+/// 1. `FFj`'s output has no combinational path to any primary output
+///    (structural under-approximation of "the transition at the sink is
+///    never observed at any primary output"), and
+/// 2. every connected outgoing pair `(j, k)` is classified multi-cycle —
+///    the subsequent stage has budget to lend.
+///
+/// Returns the candidates sorted by `(i, j)`.
+pub fn condition2_candidates(netlist: &Netlist, report: &McReport) -> Vec<(usize, usize)> {
+    let sink_ok: Vec<bool> = (0..netlist.num_ffs())
+        .map(|j| !reaches_primary_output(netlist, j) && outgoing_all_multi(netlist, report, j))
+        .collect();
+
+    let mut out: Vec<(usize, usize)> = report
+        .pairs
+        .iter()
+        .filter(|p| matches!(p.class, PairClass::SingleCycle { .. }))
+        .filter(|p| sink_ok[p.dst])
+        .map(|p| (p.src, p.dst))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Whether FF `j`'s output combinationally reaches a primary output.
+fn reaches_primary_output(netlist: &Netlist, j: usize) -> bool {
+    let src = netlist.dffs()[j];
+    let mut seen = vec![false; netlist.num_nodes()];
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back(src);
+    while let Some(n) = queue.pop_front() {
+        if netlist.outputs().contains(&n) {
+            return true;
+        }
+        for &o in netlist.fanouts(n) {
+            if netlist.node(o).kind().is_gate() && !seen[o.index()] {
+                seen[o.index()] = true;
+                queue.push_back(o);
+            }
+        }
+    }
+    false
+}
+
+/// Whether every structurally connected outgoing pair `(j, k)` is
+/// classified multi-cycle. Pairs missing from the report (e.g. self pairs
+/// excluded under \[9\]'s convention) count as unknown and disqualify —
+/// the conservative direction. A sink with no outgoing pairs at all
+/// trivially satisfies (b): nothing downstream consumes it, the strongest
+/// borrowing case.
+fn outgoing_all_multi(netlist: &Netlist, report: &McReport, j: usize) -> bool {
+    netlist
+        .connected_ff_pairs()
+        .into_iter()
+        .filter(|&(s, _)| s == j)
+        .all(|(s, k)| {
+            report
+                .class_of(s, k)
+                .map(|c| c.is_multi())
+                .unwrap_or(false)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, McConfig};
+    use mcp_logic::GateKind;
+    use mcp_netlist::NetlistBuilder;
+
+    /// A three-stage chain S → J → K where only K is observable:
+    /// S is free-running (S.D = IN); J loads S in counter phase 0 and
+    /// holds otherwise, so (S, J) is single-cycle by Condition 1 (S can
+    /// toggle right at J's capture window) while J's own toggles are
+    /// counter-synchronized; K captures J in phase 2 — one phase after
+    /// J can have toggled the counter sits at 1, so (J, K) is multi-cycle.
+    /// (S, J) is then exactly a Condition-2 candidate: J is invisible to
+    /// the primary output and its only consumer has budget to lend.
+    fn borrowing_circuit() -> mcp_netlist::Netlist {
+        let mut b = NetlistBuilder::new("borrow");
+        let input = b.input("IN");
+        let s = b.dff("S");
+        b.set_dff_input(s, input).unwrap();
+
+        // 2-bit counter; LD decodes phase 0, CP decodes phase 2.
+        let c0 = b.dff("C0");
+        let c1 = b.dff("C1");
+        let t0 = b.gate("T0", GateKind::Not, [c0]).unwrap();
+        let t1 = b.gate("T1", GateKind::Xor, [c1, c0]).unwrap();
+        b.set_dff_input(c0, t0).unwrap();
+        b.set_dff_input(c1, t1).unwrap();
+        let n0 = b.gate("N0", GateKind::Not, [c0]).unwrap();
+        let n1 = b.gate("N1", GateKind::Not, [c1]).unwrap();
+        let ld = b.gate("LD", GateKind::And, [n0, n1]).unwrap();
+        let cp = b.gate("CP", GateKind::And, [n0, c1]).unwrap();
+
+        let j = b.dff("J");
+        let mj = b.mux("MJ", ld, j, s).unwrap();
+        b.set_dff_input(j, mj).unwrap();
+
+        let k = b.dff("K");
+        let mk = b.mux("MK", cp, k, j).unwrap();
+        b.set_dff_input(k, mk).unwrap();
+        b.mark_output(k);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn gated_unobservable_sink_is_a_candidate() {
+        let nl = borrowing_circuit();
+        let report = analyze(&nl, &McConfig::default()).expect("analyze");
+        let ff = |n: &str| nl.ff_index(nl.find_node(n).unwrap()).unwrap();
+        let (s, j, k) = (ff("S"), ff("J"), ff("K"));
+
+        // Ground truth by condition 1: (S, J) is single-cycle (J follows S
+        // every cycle); (J, K) is multi-cycle (K captures once per 4).
+        assert!(!report.class_of(s, j).unwrap().is_multi());
+        assert!(report.class_of(j, k).unwrap().is_multi());
+
+        let cands = condition2_candidates(&nl, &report);
+        // J is invisible to the PO and its only consumer K borrows budget:
+        // (S, J) is exactly the pair Condition 2 could additionally relax.
+        assert!(cands.contains(&(s, j)), "candidates: {cands:?}");
+        // K drives the primary output: no pair into K may qualify.
+        assert!(cands.iter().all(|&(_, dst)| dst != k));
+    }
+
+    #[test]
+    fn observable_sinks_never_qualify() {
+        // Make J itself a primary output: the same pair must disappear.
+        let mut b = NetlistBuilder::new("obs");
+        let input = b.input("IN");
+        let s = b.dff("S");
+        b.set_dff_input(s, input).unwrap();
+        let j = b.dff("J");
+        b.set_dff_input(j, s).unwrap();
+        b.mark_output(j);
+        let nl = b.finish().unwrap();
+        let report = analyze(&nl, &McConfig::default()).expect("analyze");
+        assert!(condition2_candidates(&nl, &report).is_empty());
+    }
+
+    #[test]
+    fn single_cycle_consumers_disqualify_the_sink() {
+        // J feeds K directly (single-cycle): no borrowing available.
+        let mut b = NetlistBuilder::new("nb");
+        let input = b.input("IN");
+        let s = b.dff("S");
+        b.set_dff_input(s, input).unwrap();
+        let j = b.dff("J");
+        b.set_dff_input(j, s).unwrap();
+        let k = b.dff("K");
+        b.set_dff_input(k, j).unwrap();
+        b.mark_output(k);
+        let nl = b.finish().unwrap();
+        let report = analyze(&nl, &McConfig::default()).expect("analyze");
+        let cands = condition2_candidates(&nl, &report);
+        let ff = |n: &str| nl.ff_index(nl.find_node(n).unwrap()).unwrap();
+        assert!(!cands.contains(&(ff("S"), ff("J"))), "candidates: {cands:?}");
+    }
+
+    #[test]
+    fn candidates_are_a_subset_of_single_cycle_pairs() {
+        for nl in mcp_gen::suite::quick_suite() {
+            let report = analyze(&nl, &McConfig::default()).expect("analyze");
+            let singles = report.single_cycle_pairs();
+            for pair in condition2_candidates(&nl, &report) {
+                assert!(singles.contains(&pair), "{}: {pair:?}", nl.name());
+            }
+        }
+    }
+}

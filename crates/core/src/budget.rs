@@ -1,0 +1,212 @@
+//! Per-pair maximal cycle-budget computation.
+//!
+//! The k-cycle extension (paper Section 4.1) asks a per-`k` question; a
+//! timing flow usually wants the answer the other way around: *how many
+//! cycles can this pair be given?* [`max_cycle_budget`] answers it with
+//! one expansion at the limit and one scenario sweep, finding for each
+//! `(FFi(t), FFj(t+1))` assignment the earliest sink time that can differ
+//! and taking the minimum — instead of re-running the whole analysis per
+//! `k` as a naive sweep would.
+
+use crate::config::McConfig;
+use crate::pipeline::AnalyzeError;
+use mcp_atpg::{search, SearchConfig, SearchOutcome};
+use mcp_implication::ImpEngine;
+use mcp_netlist::{Expanded, Netlist};
+
+/// The verified cycle budget of one FF pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleBudget {
+    /// The pair is single-cycle: some pattern needs the hop in one cycle.
+    SingleCycle,
+    /// The sink provably holds for `verified` cycles after a source
+    /// transition, and a violating pattern exists at `verified + 1`.
+    Exact {
+        /// The maximal verified budget (≥ 2).
+        verified: u32,
+    },
+    /// The sink provably holds through the search limit; the true budget
+    /// is `at_least` or more (possibly unbounded, e.g. hold registers).
+    AtLeast {
+        /// The limit up to which the budget was verified.
+        at_least: u32,
+    },
+    /// The search aborted within its backtrack limit before the budget
+    /// could be bracketed.
+    Unknown,
+}
+
+/// Computes the maximal verified cycle budget of pair `(i, j)`, searching
+/// sink times up to `limit` (the expansion uses `limit` frames).
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::InvalidCycles`] when `limit < 2`.
+///
+/// # Panics
+///
+/// Panics if `i` or `j` is out of range for `netlist`.
+pub fn max_cycle_budget(
+    netlist: &Netlist,
+    i: usize,
+    j: usize,
+    limit: u32,
+    cfg: &McConfig,
+) -> Result<CycleBudget, AnalyzeError> {
+    if limit < 2 {
+        return Err(AnalyzeError::InvalidCycles { got: limit });
+    }
+    let x = Expanded::build(netlist, limit);
+    let mut eng = ImpEngine::new(&x);
+    let search_cfg = SearchConfig {
+        backtrack_limit: cfg.backtrack_limit,
+    };
+
+    // For each scenario, the earliest m in 2..=limit where the sink can
+    // differ from FFj(t+1); the pair's budget is (min over scenarios) - 1.
+    let mut earliest_violation: Option<u32> = None;
+    let mut any_unknown = false;
+
+    for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+        let cp = eng.checkpoint();
+        let premise_ok = eng
+            .assign(x.ff_at(i, 0), a)
+            .and_then(|()| eng.assign(x.ff_at(i, 1), !a))
+            .and_then(|()| eng.assign(x.ff_at(j, 1), b))
+            .and_then(|()| eng.propagate())
+            .is_ok();
+        if !premise_ok {
+            eng.backtrack(cp);
+            continue;
+        }
+        let scan_to = earliest_violation.unwrap_or(limit + 1).min(limit);
+        for m in 2..=scan_to {
+            let cp2 = eng.checkpoint();
+            let ok = eng
+                .assign(x.ff_at(j, m), !b)
+                .and_then(|()| eng.propagate())
+                .is_ok();
+            if !ok {
+                eng.backtrack(cp2);
+                continue;
+            }
+            let (outcome, _) = search(&mut eng, &search_cfg);
+            eng.backtrack(cp2);
+            match outcome {
+                SearchOutcome::Sat(_) => {
+                    earliest_violation = Some(m);
+                    break; // later m in this scenario cannot improve the min
+                }
+                SearchOutcome::Unsat => {}
+                SearchOutcome::Aborted => any_unknown = true,
+            }
+        }
+        eng.backtrack(cp);
+        if earliest_violation == Some(2) {
+            break; // cannot get worse
+        }
+    }
+
+    Ok(match earliest_violation {
+        Some(2) => CycleBudget::SingleCycle,
+        Some(m) => CycleBudget::Exact { verified: m - 1 },
+        None if any_unknown => CycleBudget::Unknown,
+        None => CycleBudget::AtLeast { at_least: limit },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_gen::generators::{gated_datapath, DatapathConfig};
+
+    fn cfg() -> McConfig {
+        McConfig {
+            backtrack_limit: 100_000,
+            ..McConfig::default()
+        }
+    }
+
+    #[test]
+    fn datapath_budgets_equal_their_latency() {
+        for latency in [2u64, 3, 5, 6] {
+            let nl = gated_datapath(&DatapathConfig {
+                width: 1,
+                counter_bits: 3,
+                load_phase: 0,
+                capture_phase: latency,
+            });
+            let a = nl.ff_index(nl.find_node("D0_A0").unwrap()).unwrap();
+            let b = nl.ff_index(nl.find_node("D0_B0").unwrap()).unwrap();
+            let budget = max_cycle_budget(&nl, a, b, 8, &cfg()).expect("valid limit");
+            assert_eq!(
+                budget,
+                CycleBudget::Exact {
+                    verified: latency as u32
+                },
+                "latency {latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn hold_register_budget_is_unbounded() {
+        let nl = mcp_netlist::bench::parse(
+            "hold",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUFF(q)",
+        )
+        .expect("parse");
+        let budget = max_cycle_budget(&nl, 0, 0, 6, &cfg()).expect("valid limit");
+        assert_eq!(budget, CycleBudget::AtLeast { at_least: 6 });
+    }
+
+    #[test]
+    fn toggle_register_is_single_cycle() {
+        let nl = mcp_netlist::bench::parse(
+            "toggle",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)",
+        )
+        .expect("parse");
+        let budget = max_cycle_budget(&nl, 0, 0, 4, &cfg()).expect("valid limit");
+        assert_eq!(budget, CycleBudget::SingleCycle);
+    }
+
+    #[test]
+    fn budget_agrees_with_per_k_analysis() {
+        use crate::{analyze, McConfig};
+        let nl = gated_datapath(&DatapathConfig {
+            width: 2,
+            counter_bits: 2,
+            load_phase: 1,
+            capture_phase: 0,
+        });
+        let a = nl.ff_index(nl.find_node("D0_A0").unwrap()).unwrap();
+        let b = nl.ff_index(nl.find_node("D0_B0").unwrap()).unwrap();
+        let budget = max_cycle_budget(&nl, a, b, 6, &cfg()).expect("valid limit");
+        let CycleBudget::Exact { verified } = budget else {
+            panic!("expected exact budget, got {budget:?}");
+        };
+        for k in 2..=verified + 1 {
+            let r = analyze(
+                &nl,
+                &McConfig {
+                    cycles: k,
+                    backtrack_limit: 100_000,
+                    ..McConfig::default()
+                },
+            )
+            .expect("analyze");
+            assert_eq!(
+                r.class_of(a, b).map(|c| c.is_multi()),
+                Some(k <= verified),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_limit_is_rejected() {
+        let nl = mcp_gen::circuits::fig1();
+        assert!(max_cycle_budget(&nl, 0, 1, 1, &cfg()).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Analysis configuration.
+
+use mcp_sim::FilterConfig;
+
+/// Which decision engine classifies the pairs that survive the prefilters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The paper's engine: implication procedure + bounded D-algorithm
+    /// search on the time-frame expansion.
+    Implication,
+    /// The conventional SAT-based method \[9\]: one incremental CDCL query
+    /// per pair over the Tseitin encoding of the same expansion.
+    Sat,
+    /// The symbolic method in the spirit of \[8\]: BDD transition relation,
+    /// optionally restricted to the reachable states.
+    Bdd {
+        /// Node budget; exceeding it classifies remaining pairs
+        /// [`Unknown`](crate::PairClass::Unknown) (the "does not scale"
+        /// outcome).
+        node_limit: usize,
+        /// Restrict the check to states reachable from the all-zero reset
+        /// state. `false` assumes all states reachable, like the other
+        /// engines — useful for cross-validation.
+        reachability: bool,
+    },
+}
+
+/// Configuration of [`analyze`](crate::analyze).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McConfig {
+    /// Decision engine (default: the paper's implication engine).
+    pub engine: Engine,
+    /// Cycle budget `k` to verify: a pair is reported multi-cycle when the
+    /// sink provably holds its value through `t+1 .. t+k` whenever the
+    /// source transitions at `t+1`. The paper's default is `k = 2`
+    /// (detecting "not single-cycle"); larger `k` uses `k` time frames.
+    pub cycles: u32,
+    /// Run the random-pattern prefilter (paper step 2). Disable to measure
+    /// engine performance in isolation.
+    pub use_sim_filter: bool,
+    /// Random-pattern filter settings.
+    pub sim: FilterConfig,
+    /// ATPG backtrack limit (paper: 50, raised for hard circuits).
+    pub backtrack_limit: u64,
+    /// Enable SOCRATES-style static learning before the pair loop (the
+    /// paper enables it for its hardest circuits).
+    pub static_learning: bool,
+    /// Cap on stored learned implications.
+    pub learn_budget: usize,
+    /// Analyze self pairs `(i, i)` (the paper reports them; the SAT
+    /// baseline \[9\] excluded them).
+    pub include_self_pairs: bool,
+    /// Worker threads for the pair loop (pairs are independent). `1` =
+    /// sequential. The BDD engine is inherently sequential and ignores
+    /// this.
+    pub threads: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            engine: Engine::Implication,
+            cycles: 2,
+            use_sim_filter: true,
+            sim: FilterConfig::default(),
+            backtrack_limit: 50,
+            static_learning: false,
+            learn_budget: 8_000_000,
+            include_self_pairs: true,
+            threads: 1,
+        }
+    }
+}
+
+impl McConfig {
+    /// Number of expansion frames the configuration needs (`cycles`).
+    pub fn frames(&self) -> u32 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper() {
+        let cfg = McConfig::default();
+        assert_eq!(cfg.engine, Engine::Implication);
+        assert_eq!(cfg.cycles, 2);
+        assert_eq!(cfg.backtrack_limit, 50);
+        assert_eq!(cfg.sim.idle_words, 32);
+        assert!(cfg.include_self_pairs);
+    }
+}

@@ -1,0 +1,325 @@
+//! Per-pair decision engines: implication+ATPG, SAT, and BDD.
+//!
+//! Every engine answers the same question over the same
+//! [`Expanded`] semantics: *does an assignment of
+//! initial state and per-frame inputs exist under which the source FF
+//! transitions at `t+1` while the sink FF changes at some time in
+//! `t+2 ..= t+k`?* No such assignment ⇒ the pair is a (k-)multi-cycle
+//! pair.
+
+use crate::report::Step;
+use mcp_atpg::{search, SearchConfig, SearchOutcome};
+use mcp_bdd::{OverflowError, Ref, SymbolicFsm};
+use mcp_implication::ImpEngine;
+use mcp_netlist::Expanded;
+use mcp_sat::{CircuitCnf, SolveResult};
+
+/// Engine-internal verdict for one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Proven multi-cycle.
+    Multi {
+        /// Attribution for Table 2.
+        by: Step,
+    },
+    /// A violating assignment exists.
+    Single {
+        /// Attribution for Table 2.
+        by: Step,
+    },
+    /// Resource limit hit.
+    Unknown,
+}
+
+/// The four `(FFi(t), FFj(t+1))` assignments of the paper's step 4.1.
+const ASSIGNMENTS: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
+
+/// Classifies one pair with the paper's engine: per-assignment implication
+/// followed, only where needed, by the bounded backtrack search.
+///
+/// `eng` must be an engine over the `k`-frame expansion with an empty
+/// trail; it is returned in that state.
+pub fn classify_pair_implication(
+    eng: &mut ImpEngine<'_>,
+    i: usize,
+    j: usize,
+    k: u32,
+    search_cfg: &SearchConfig,
+) -> Verdict {
+    let x = eng.expanded();
+    let ffi0 = x.ff_at(i, 0);
+    let ffi1 = x.ff_at(i, 1);
+    let ffj1 = x.ff_at(j, 1);
+
+    let mut any_unknown = false;
+    let mut used_search = false;
+
+    for (a, b) in ASSIGNMENTS {
+        let cp = eng.checkpoint();
+        // Step 4.1.1-4.1.2: premise (source transition + sink "before"
+        // value) and implication to fixpoint.
+        let premise_ok = eng
+            .assign(ffi0, a)
+            .and_then(|()| eng.assign(ffi1, !a))
+            .and_then(|()| eng.assign(ffj1, b))
+            .and_then(|()| eng.propagate())
+            .is_ok();
+        if !premise_ok {
+            // Contradiction: the MC condition holds vacuously here.
+            eng.backtrack(cp);
+            continue;
+        }
+
+        // Step 4.1.3: what do the implications say about the sink at
+        // t+2 ..= t+k?
+        let mut implied_violation = false;
+        let mut open: Vec<u32> = Vec::new();
+        for m in 2..=k {
+            match eng.value(x.ff_at(j, m)).to_bool() {
+                Some(v) if v == b => {}
+                Some(_) => implied_violation = true,
+                None => open.push(m),
+            }
+        }
+
+        if implied_violation {
+            // The implication procedure itself exhibits the violation —
+            // provided the premise is justifiable at all (the paper's
+            // "the step should also justify the premise" remark).
+            let (outcome, _) = search(eng, search_cfg);
+            eng.backtrack(cp);
+            match outcome {
+                SearchOutcome::Sat(_) => {
+                    return Verdict::Single {
+                        by: Step::Implication,
+                    }
+                }
+                SearchOutcome::Unsat => continue, // vacuous scenario
+                SearchOutcome::Aborted => {
+                    any_unknown = true;
+                    continue;
+                }
+            }
+        }
+
+        if open.is_empty() {
+            // Every sink time implied equal: MC condition proven for this
+            // assignment by implication alone.
+            eng.backtrack(cp);
+            continue;
+        }
+
+        // Step 4.1.4: search for a violating pattern, one sink time at a
+        // time (their disjunction is covered by trying each).
+        used_search = true;
+        let mut violated = false;
+        for m in open {
+            let cp2 = eng.checkpoint();
+            let ok = eng
+                .assign(x.ff_at(j, m), !b)
+                .and_then(|()| eng.propagate())
+                .is_ok();
+            if !ok {
+                eng.backtrack(cp2);
+                continue; // this sink time cannot differ
+            }
+            let (outcome, _) = search(eng, search_cfg);
+            eng.backtrack(cp2);
+            match outcome {
+                SearchOutcome::Sat(_) => {
+                    violated = true;
+                    break;
+                }
+                SearchOutcome::Unsat => {}
+                SearchOutcome::Aborted => any_unknown = true,
+            }
+        }
+        eng.backtrack(cp);
+        if violated {
+            return Verdict::Single { by: Step::Atpg };
+        }
+    }
+
+    if any_unknown {
+        Verdict::Unknown
+    } else {
+        Verdict::Multi {
+            by: if used_search {
+                Step::Atpg
+            } else {
+                Step::Implication
+            },
+        }
+    }
+}
+
+/// Classifies one pair with the SAT baseline \[9\]: for each boundary
+/// `m ∈ 1..k`, one incremental query `FFi(t)⊕FFi(t+1) ∧
+/// FFj(t+m)⊕FFj(t+m+1)` over the shared CNF.
+pub fn classify_pair_sat(cnf: &mut CircuitCnf, x: &Expanded, i: usize, j: usize, k: u32) -> Verdict {
+    let src_diff = cnf.diff_lit(x.ff_at(i, 0), x.ff_at(i, 1));
+    for m in 1..k {
+        let sink_diff = cnf.diff_lit(x.ff_at(j, m), x.ff_at(j, m + 1));
+        if cnf.solver_mut().solve(&[src_diff, sink_diff]) == SolveResult::Sat {
+            return Verdict::Single { by: Step::Atpg };
+        }
+    }
+    Verdict::Multi { by: Step::Atpg }
+}
+
+/// Classifies one pair with the symbolic baseline \[8\] (2-frame only).
+///
+/// `reached` restricts the check (pass [`Ref::TRUE`] for the all-states
+/// assumption). A BDD overflow yields [`Verdict::Unknown`].
+pub fn classify_pair_bdd(fsm: &mut SymbolicFsm, i: usize, j: usize, reached: Ref) -> Verdict {
+    match fsm.is_multicycle_pair(i, j, reached) {
+        Ok(true) => Verdict::Multi { by: Step::Atpg },
+        Ok(false) => Verdict::Single { by: Step::Atpg },
+        Err(OverflowError { .. }) => Verdict::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_atpg::SearchConfig;
+    use mcp_gen::{circuits, oracle};
+    use mcp_netlist::bench;
+
+    #[test]
+    fn implication_engine_matches_oracle_on_fig1() {
+        let nl = circuits::fig1();
+        let x = Expanded::build(&nl, 2);
+        let mut eng = ImpEngine::new(&x);
+        let (multi, single) = oracle::exhaustive_mc_pairs(&nl);
+        for &(i, j) in &multi {
+            let v = classify_pair_implication(&mut eng, i, j, 2, &SearchConfig::default());
+            assert!(matches!(v, Verdict::Multi { .. }), "({i},{j}) should be multi");
+        }
+        for &(i, j) in &single {
+            let v = classify_pair_implication(&mut eng, i, j, 2, &SearchConfig::default());
+            assert!(matches!(v, Verdict::Single { .. }), "({i},{j}) should be single");
+        }
+    }
+
+    #[test]
+    fn fig1_pairs_resolve_by_implication_alone() {
+        // The paper's walkthrough: the surviving Fig.1 pairs fall to the
+        // implication procedure (Fig.2), not to the search.
+        let nl = circuits::fig1();
+        let x = Expanded::build(&nl, 2);
+        let mut eng = ImpEngine::new(&x);
+        let v = classify_pair_implication(&mut eng, 0, 1, 2, &SearchConfig::default());
+        assert_eq!(
+            v,
+            Verdict::Multi {
+                by: Step::Implication
+            }
+        );
+    }
+
+    #[test]
+    fn sat_engine_matches_oracle_on_fig1() {
+        let nl = circuits::fig1();
+        let x = Expanded::build(&nl, 2);
+        let mut cnf = CircuitCnf::new(&x);
+        let (multi, single) = oracle::exhaustive_mc_pairs(&nl);
+        for &(i, j) in &multi {
+            assert!(matches!(
+                classify_pair_sat(&mut cnf, &x, i, j, 2),
+                Verdict::Multi { .. }
+            ));
+        }
+        for &(i, j) in &single {
+            assert!(matches!(
+                classify_pair_sat(&mut cnf, &x, i, j, 2),
+                Verdict::Single { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn bdd_engine_matches_oracle_on_fig1() {
+        let nl = circuits::fig1();
+        let mut fsm = SymbolicFsm::build(&nl, 1 << 22).expect("budget");
+        let (multi, single) = oracle::exhaustive_mc_pairs(&nl);
+        for &(i, j) in &multi {
+            assert!(matches!(
+                classify_pair_bdd(&mut fsm, i, j, Ref::TRUE),
+                Verdict::Multi { .. }
+            ));
+        }
+        for &(i, j) in &single {
+            assert!(matches!(
+                classify_pair_bdd(&mut fsm, i, j, Ref::TRUE),
+                Verdict::Single { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn k_cycle_classification_tracks_counter_period() {
+        // Load at phase 0, capture at phase 3 of a 4-phase counter: the
+        // transfer needs 3 cycles. It must pass k=2 and k=3 but fail k=4.
+        let nl = mcp_gen::generators::gated_datapath(&mcp_gen::generators::DatapathConfig {
+            width: 1,
+            counter_bits: 2,
+            load_phase: 0,
+            capture_phase: 3,
+        });
+        let a0 = nl.ff_index(nl.find_node("D0_A0").unwrap()).unwrap();
+        let b0 = nl.ff_index(nl.find_node("D0_B0").unwrap()).unwrap();
+        for (k, expect_multi) in [(2, true), (3, true), (4, false)] {
+            let x = Expanded::build(&nl, k);
+            let mut eng = ImpEngine::new(&x);
+            let v = classify_pair_implication(
+                &mut eng,
+                a0,
+                b0,
+                k,
+                &SearchConfig {
+                    backtrack_limit: 10_000,
+                },
+            );
+            assert_eq!(
+                matches!(v, Verdict::Multi { .. }),
+                expect_multi,
+                "k={k}: got {v:?}"
+            );
+            // Cross-check with SAT.
+            let mut cnf = CircuitCnf::new(&x);
+            let vs = classify_pair_sat(&mut cnf, &x, a0, b0, k);
+            assert_eq!(
+                matches!(vs, Verdict::Multi { .. }),
+                expect_multi,
+                "SAT k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn backtrack_limit_zero_gives_unknown_on_hard_pairs() {
+        // An XOR-heavy structure the implication procedure cannot settle.
+        let nl = bench::parse(
+            "hard",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(Q)\n\
+             S = DFF(SD)\nQ = DFF(QD)\n\
+             x1 = XOR(a, b)\nx2 = XOR(b, c)\nx3 = XOR(x1, x2)\n\
+             SD = XOR(S, x3)\nQD = XOR(Q, SD)",
+        )
+        .expect("parse");
+        let x = Expanded::build(&nl, 2);
+        let mut eng = ImpEngine::new(&x);
+        let v = classify_pair_implication(&mut eng, 0, 1, 2, &SearchConfig { backtrack_limit: 0 });
+        // With no search budget the XOR cones cannot be justified either
+        // way: the honest answer is Unknown or a genuine early verdict —
+        // never a wrong one. Check against the oracle.
+        let (multi, _) = oracle::exhaustive_mc_pairs(&nl);
+        let truly_multi = multi.contains(&(0, 1));
+        match v {
+            Verdict::Unknown => {}
+            Verdict::Multi { .. } => assert!(truly_multi),
+            Verdict::Single { .. } => assert!(!truly_multi),
+        }
+    }
+}

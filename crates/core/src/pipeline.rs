@@ -1,0 +1,479 @@
+//! The end-to-end analysis pipeline (paper Section 4.1).
+
+use crate::config::{Engine, McConfig};
+use crate::engines::{
+    classify_pair_bdd, classify_pair_implication, classify_pair_sat, Verdict,
+};
+use crate::report::{McReport, PairClass, PairResult, Step, StepStats};
+use mcp_atpg::SearchConfig;
+use mcp_bdd::{InitStates, Ref, SymbolicFsm};
+use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
+use mcp_netlist::{Expanded, Netlist};
+use mcp_sat::CircuitCnf;
+use mcp_sim::mc_filter;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error produced by [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// `cycles` must be at least 2 (a "1-cycle pair" is vacuous).
+    InvalidCycles {
+        /// The rejected value.
+        got: u32,
+    },
+    /// The BDD engine only supports the classic 2-cycle check.
+    BddNeedsTwoCycles {
+        /// The rejected value.
+        got: u32,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::InvalidCycles { got } => {
+                write!(f, "cycle budget must be ≥ 2, got {got}")
+            }
+            AnalyzeError::BddNeedsTwoCycles { got } => {
+                write!(f, "the BDD engine supports cycles = 2 only, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Runs the full multi-cycle FF-pair analysis on a circuit.
+///
+/// The flow is the paper's: structural filter → random-pattern simulation →
+/// time-frame expansion (+ optional static learning) → per-pair
+/// classification with the configured [`Engine`]. Every topologically
+/// connected FF pair receives a [`PairClass`] verdict; the report also
+/// carries the per-step counters of the paper's Table 2.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] for invalid cycle budgets (see [`McConfig`]).
+/// Engine resource exhaustion is **not** an error: affected pairs are
+/// reported [`PairClass::Unknown`].
+pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeError> {
+    if cfg.cycles < 2 {
+        return Err(AnalyzeError::InvalidCycles { got: cfg.cycles });
+    }
+    if matches!(cfg.engine, Engine::Bdd { .. }) && cfg.cycles != 2 {
+        return Err(AnalyzeError::BddNeedsTwoCycles { got: cfg.cycles });
+    }
+
+    let t_total = Instant::now();
+    let mut stats = StepStats::default();
+    let mut results: Vec<PairResult> = Vec::new();
+
+    // Step 1: structural candidates.
+    let mut candidates = netlist.connected_ff_pairs();
+    if !cfg.include_self_pairs {
+        candidates.retain(|&(i, j)| i != j);
+    }
+    stats.candidates = candidates.len();
+
+    // Step 2: random-pattern simulation. For k-cycle budgets above 2 the
+    // 2-cycle witness is still a valid violation witness (a pair violating
+    // the 2-cycle condition also violates any k ≥ 2 condition? No — the
+    // k-cycle condition constrains MORE sink times, so a 2-frame witness
+    // is indeed a k-frame witness), so the filter applies unchanged.
+    let survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
+        let t = Instant::now();
+        let out = mc_filter(netlist, &candidates, &cfg.sim);
+        stats.time_sim = t.elapsed();
+        stats.sim_words = out.words_simulated;
+        let survivor_set: std::collections::HashSet<(usize, usize)> =
+            out.survivors.iter().copied().collect();
+        for &(i, j) in &candidates {
+            if !survivor_set.contains(&(i, j)) {
+                results.push(PairResult {
+                    src: i,
+                    dst: j,
+                    class: PairClass::SingleCycle { by: Step::RandomSim },
+                });
+                stats.single_by_sim += 1;
+            }
+        }
+        out.survivors
+    } else {
+        candidates.clone()
+    };
+
+    // Steps 3-4: engine-specific classification of the survivors.
+    let t_prepare = Instant::now();
+    let verdicts: Vec<((usize, usize), Verdict)> = match cfg.engine {
+        Engine::Implication => {
+            let x = Expanded::build(netlist, cfg.frames());
+            let learned = if cfg.static_learning {
+                Some(learn(
+                    &x,
+                    &LearnConfig {
+                        max_implications: cfg.learn_budget,
+                    },
+                ))
+            } else {
+                None
+            };
+            stats.time_prepare = t_prepare.elapsed();
+            let search_cfg = SearchConfig {
+                backtrack_limit: cfg.backtrack_limit,
+            };
+            run_pair_loop(&survivors, cfg.threads, &mut stats, |pairs, out| {
+                let mut eng = match &learned {
+                    Some(l) => new_engine_with_learned(&x, l),
+                    None => ImpEngine::new(&x),
+                };
+                for &(i, j) in pairs {
+                    let v = classify_pair_implication(&mut eng, i, j, cfg.cycles, &search_cfg);
+                    out.push(((i, j), v));
+                }
+            })
+        }
+        Engine::Sat => {
+            let x = Expanded::build(netlist, cfg.frames());
+            stats.time_prepare = t_prepare.elapsed();
+            run_pair_loop(&survivors, cfg.threads, &mut stats, |pairs, out| {
+                let mut cnf = CircuitCnf::new(&x);
+                for &(i, j) in pairs {
+                    let v = classify_pair_sat(&mut cnf, &x, i, j, cfg.cycles);
+                    out.push(((i, j), v));
+                }
+            })
+        }
+        Engine::Bdd {
+            node_limit,
+            reachability,
+        } => {
+            let t_pairs = Instant::now();
+            let mut verdicts = Vec::with_capacity(survivors.len());
+            match SymbolicFsm::build(netlist, node_limit) {
+                Err(_) => {
+                    // The model itself blew the budget: everything unknown.
+                    for &(i, j) in &survivors {
+                        verdicts.push(((i, j), Verdict::Unknown));
+                    }
+                }
+                Ok(mut fsm) => {
+                    let reached = if reachability {
+                        fsm.reachable(InitStates::Zero).ok()
+                    } else {
+                        Some(Ref::TRUE)
+                    };
+                    stats.time_prepare = t_prepare.elapsed();
+                    match reached {
+                        None => {
+                            for &(i, j) in &survivors {
+                                verdicts.push(((i, j), Verdict::Unknown));
+                            }
+                        }
+                        Some(r) => {
+                            for &(i, j) in &survivors {
+                                verdicts.push(((i, j), classify_pair_bdd(&mut fsm, i, j, r)));
+                            }
+                        }
+                    }
+                }
+            }
+            stats.time_pairs = t_pairs.elapsed();
+            verdicts
+        }
+    };
+
+    for ((i, j), v) in verdicts {
+        let class = match v {
+            Verdict::Multi { by } => {
+                match by {
+                    Step::Implication => stats.multi_by_implication += 1,
+                    _ => stats.multi_by_atpg += 1,
+                }
+                PairClass::MultiCycle { by }
+            }
+            Verdict::Single { by } => {
+                match by {
+                    Step::Implication => stats.single_by_implication += 1,
+                    _ => stats.single_by_atpg += 1,
+                }
+                PairClass::SingleCycle { by }
+            }
+            Verdict::Unknown => {
+                stats.unknown += 1;
+                PairClass::Unknown
+            }
+        };
+        results.push(PairResult {
+            src: i,
+            dst: j,
+            class,
+        });
+    }
+
+    results.sort_unstable_by_key(|p| (p.src, p.dst));
+    stats.time_total = t_total.elapsed();
+    Ok(McReport::new(netlist.name().to_owned(), results, stats))
+}
+
+fn new_engine_with_learned<'a>(
+    x: &'a Expanded,
+    learned: &'a LearnedImplications,
+) -> ImpEngine<'a> {
+    let mut eng = ImpEngine::new(x).with_learned(learned);
+    // Assert globally forced literals up front; a conflict here would mean
+    // the circuit has no consistent assignment at all, which cannot happen
+    // for well-formed netlists.
+    for &(id, v) in learned.forced() {
+        let _ = eng.assign(id, v);
+    }
+    let _ = eng.propagate();
+    eng
+}
+
+/// Splits `pairs` across `threads` workers, each running `work(chunk,
+/// &mut out)`; collects all verdicts and accumulates wall-clock into
+/// `stats.time_pairs` (summed across workers).
+fn run_pair_loop<F>(
+    pairs: &[(usize, usize)],
+    threads: usize,
+    stats: &mut StepStats,
+    work: F,
+) -> Vec<((usize, usize), Verdict)>
+where
+    F: Fn(&[(usize, usize)], &mut Vec<((usize, usize), Verdict)>) + Sync,
+{
+    let threads = threads.max(1).min(pairs.len().max(1));
+    if threads == 1 {
+        let t = Instant::now();
+        let mut out = Vec::with_capacity(pairs.len());
+        work(pairs, &mut out);
+        stats.time_pairs += t.elapsed();
+        return out;
+    }
+    let chunk = pairs.len().div_ceil(threads);
+    let mut all = Vec::with_capacity(pairs.len());
+    let mut times: Vec<Duration> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|slice| {
+                s.spawn(|_| {
+                    let t = Instant::now();
+                    let mut out = Vec::with_capacity(slice.len());
+                    work(slice, &mut out);
+                    (out, t.elapsed())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, dt) = h.join().expect("worker panicked");
+            all.extend(out);
+            times.push(dt);
+        }
+    })
+    .expect("scope");
+    stats.time_pairs += times.into_iter().sum::<Duration>();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_gen::{circuits, generators, oracle, suite};
+
+    #[test]
+    fn fig1_reproduces_the_papers_walkthrough() {
+        let nl = circuits::fig1();
+        let report = analyze(&nl, &McConfig::default()).expect("analyze");
+        // 9 candidates, 4 dropped by simulation, 5 multi-cycle — the
+        // paper's Section 4.2 numbers.
+        assert_eq!(report.stats.candidates, 9);
+        assert_eq!(
+            report.multi_cycle_pairs(),
+            vec![(0, 0), (0, 1), (1, 1), (2, 1), (3, 0)]
+        );
+        assert_eq!(report.stats.single_total(), 4);
+        assert!(report.unknown_pairs().is_empty());
+    }
+
+    #[test]
+    fn all_three_engines_agree_with_the_oracle() {
+        let circuits: Vec<Netlist> = vec![
+            circuits::fig1(),
+            circuits::fig4_fragment(),
+            generators::gated_datapath(&generators::DatapathConfig::default()),
+            generators::lfsr(4, 1),
+        ];
+        for nl in &circuits {
+            let (multi, _single) = oracle::exhaustive_mc_pairs(nl);
+            for engine in [
+                Engine::Implication,
+                Engine::Sat,
+                Engine::Bdd {
+                    node_limit: 1 << 22,
+                    reachability: false,
+                },
+            ] {
+                let cfg = McConfig {
+                    engine,
+                    backtrack_limit: 100_000,
+                    ..McConfig::default()
+                };
+                let report = analyze(nl, &cfg).expect("analyze");
+                assert_eq!(
+                    report.multi_cycle_pairs(),
+                    multi,
+                    "engine {engine:?} on {}",
+                    nl.name()
+                );
+                assert!(report.unknown_pairs().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sim_filter_off_gives_same_verdicts() {
+        let nl = circuits::fig1();
+        let with = analyze(&nl, &McConfig::default()).expect("analyze");
+        let without = analyze(
+            &nl,
+            &McConfig {
+                use_sim_filter: false,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert_eq!(with.multi_cycle_pairs(), without.multi_cycle_pairs());
+        assert_eq!(
+            with.single_cycle_pairs().len(),
+            without.single_cycle_pairs().len()
+        );
+        // Without the filter everything is attributed to step 4.
+        assert_eq!(without.stats.single_by_sim, 0);
+    }
+
+    #[test]
+    fn static_learning_does_not_change_verdicts() {
+        let nl = suite::quick_suite().remove(1); // m298
+        let base = analyze(&nl, &McConfig::default()).expect("analyze");
+        let learned = analyze(
+            &nl,
+            &McConfig {
+                static_learning: true,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert_eq!(base.multi_cycle_pairs(), learned.multi_cycle_pairs());
+        assert_eq!(
+            base.single_cycle_pairs().len(),
+            learned.single_cycle_pairs().len()
+        );
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let nl = suite::quick_suite().remove(2); // m526
+        let seq = analyze(&nl, &McConfig::default()).expect("analyze");
+        let par = analyze(
+            &nl,
+            &McConfig {
+                threads: 4,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert_eq!(seq.multi_cycle_pairs(), par.multi_cycle_pairs());
+        assert_eq!(seq.single_cycle_pairs(), par.single_cycle_pairs());
+        assert_eq!(seq.unknown_pairs(), par.unknown_pairs());
+    }
+
+    #[test]
+    fn excluding_self_pairs_matches_the_sat_baseline_convention() {
+        let nl = circuits::fig1();
+        let report = analyze(
+            &nl,
+            &McConfig {
+                include_self_pairs: false,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert!(report.pairs.iter().all(|p| p.src != p.dst));
+        assert_eq!(report.stats.candidates, 7); // 9 minus (FF1,FF1),(FF2,FF2)
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let nl = circuits::fig1();
+        assert!(matches!(
+            analyze(
+                &nl,
+                &McConfig {
+                    cycles: 1,
+                    ..McConfig::default()
+                }
+            ),
+            Err(AnalyzeError::InvalidCycles { got: 1 })
+        ));
+        assert!(matches!(
+            analyze(
+                &nl,
+                &McConfig {
+                    cycles: 3,
+                    engine: Engine::Bdd {
+                        node_limit: 1000,
+                        reachability: false
+                    },
+                    ..McConfig::default()
+                }
+            ),
+            Err(AnalyzeError::BddNeedsTwoCycles { got: 3 })
+        ));
+    }
+
+    #[test]
+    fn bdd_overflow_reports_unknown_not_panic() {
+        let nl = generators::gated_datapath(&generators::DatapathConfig::default());
+        let report = analyze(
+            &nl,
+            &McConfig {
+                engine: Engine::Bdd {
+                    node_limit: 8,
+                    reachability: false,
+                },
+                use_sim_filter: false,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert_eq!(report.unknown_pairs().len(), report.pairs.len());
+    }
+
+    #[test]
+    fn table2_shape_holds_on_the_quick_suite() {
+        // The paper's Table 2 headline: most single-cycle pairs die in
+        // simulation; most multi-cycle pairs are proven by implication.
+        let mut single_sim = 0usize;
+        let mut single_other = 0usize;
+        let mut multi_imp = 0usize;
+        let mut multi_atpg = 0usize;
+        for nl in suite::quick_suite() {
+            let r = analyze(&nl, &McConfig::default()).expect("analyze");
+            single_sim += r.stats.single_by_sim;
+            single_other += r.stats.single_by_implication + r.stats.single_by_atpg;
+            multi_imp += r.stats.multi_by_implication;
+            multi_atpg += r.stats.multi_by_atpg;
+            assert_eq!(r.stats.unknown, 0, "{} has unknowns", nl.name());
+        }
+        assert!(
+            single_sim > 5 * single_other.max(1),
+            "simulation should dominate single-cycle detection: {single_sim} vs {single_other}"
+        );
+        assert!(
+            multi_imp > multi_atpg,
+            "implication should dominate multi-cycle proofs: {multi_imp} vs {multi_atpg}"
+        );
+    }
+}

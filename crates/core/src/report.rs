@@ -1,0 +1,235 @@
+//! Analysis results and per-step statistics.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The analysis step that settled a pair's classification — the paper's
+/// Table 2 attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Step {
+    /// Step 1: no combinational path exists (only possible for pairs never
+    /// in the candidate set; present for completeness of reports).
+    Structural,
+    /// Step 2: random-pattern simulation found a concrete violation.
+    RandomSim,
+    /// Step 4 (implication): the implication procedure alone decided every
+    /// assignment.
+    Implication,
+    /// Step 4 (search): at least one assignment needed the backtrack
+    /// search (or, for the baseline engines, the SAT/BDD query).
+    Atpg,
+}
+
+/// Classification of one FF pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairClass {
+    /// A violating pattern exists (or was simulated): some path must make
+    /// the hop in a single cycle.
+    SingleCycle {
+        /// The step that found the violation.
+        by: Step,
+    },
+    /// Proven: whenever the source transitions, the sink provably holds
+    /// through the configured cycle budget.
+    MultiCycle {
+        /// The step that completed the proof.
+        by: Step,
+    },
+    /// The engine gave up within its resource limits (backtrack limit, BDD
+    /// node budget). Treat as single-cycle for timing safety.
+    Unknown,
+}
+
+impl PairClass {
+    /// Whether this pair is proven multi-cycle.
+    pub fn is_multi(&self) -> bool {
+        matches!(self, PairClass::MultiCycle { .. })
+    }
+}
+
+/// One classified pair: FF indices plus verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairResult {
+    /// Source FF index.
+    pub src: usize,
+    /// Sink FF index.
+    pub dst: usize,
+    /// Verdict.
+    pub class: PairClass,
+}
+
+/// Counters for the paper's Table 2: pairs resolved and time spent per
+/// step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Topologically connected pairs (Table 1 `FF-pair`).
+    pub candidates: usize,
+    /// Single-cycle pairs disproven by random simulation.
+    pub single_by_sim: usize,
+    /// Single-cycle pairs found by the implication procedure (an implied
+    /// violation, confirmed justifiable).
+    pub single_by_implication: usize,
+    /// Single-cycle pairs found by the backtrack search / baseline query.
+    pub single_by_atpg: usize,
+    /// Multi-cycle pairs proven by implication alone.
+    pub multi_by_implication: usize,
+    /// Multi-cycle pairs needing the search / baseline query.
+    pub multi_by_atpg: usize,
+    /// Pairs the engine could not settle.
+    pub unknown: usize,
+    /// 64-pattern words simulated by the prefilter.
+    pub sim_words: u64,
+    /// Wall-clock spent in the simulation prefilter.
+    pub time_sim: Duration,
+    /// Wall-clock spent in expansion + static learning.
+    pub time_prepare: Duration,
+    /// Wall-clock spent in the pair loop (implication + search), summed
+    /// across worker threads.
+    pub time_pairs: Duration,
+    /// End-to-end wall-clock.
+    pub time_total: Duration,
+}
+
+impl StepStats {
+    /// Total multi-cycle pairs.
+    pub fn multi_total(&self) -> usize {
+        self.multi_by_implication + self.multi_by_atpg
+    }
+
+    /// Total single-cycle pairs.
+    pub fn single_total(&self) -> usize {
+        self.single_by_sim + self.single_by_implication + self.single_by_atpg
+    }
+}
+
+/// The result of [`analyze`](crate::analyze): per-pair verdicts plus
+/// aggregated statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McReport {
+    /// Circuit name the report describes.
+    pub circuit: String,
+    /// Per-pair verdicts for every topologically connected pair analyzed.
+    pub pairs: Vec<PairResult>,
+    /// Aggregated per-step statistics.
+    pub stats: StepStats,
+}
+
+impl McReport {
+    pub(crate) fn new(circuit: String, pairs: Vec<PairResult>, stats: StepStats) -> Self {
+        McReport {
+            circuit,
+            pairs,
+            stats,
+        }
+    }
+
+    /// The verdict for `(src, dst)`, or `None` when the pair is not
+    /// topologically connected (hence trivially multi-cycle / vacuous).
+    pub fn class_of(&self, src: usize, dst: usize) -> Option<PairClass> {
+        self.pairs
+            .iter()
+            .find(|p| p.src == src && p.dst == dst)
+            .map(|p| p.class)
+    }
+
+    /// All proven multi-cycle pairs, sorted.
+    pub fn multi_cycle_pairs(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self
+            .pairs
+            .iter()
+            .filter(|p| p.class.is_multi())
+            .map(|p| (p.src, p.dst))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All single-cycle pairs, sorted.
+    pub fn single_cycle_pairs(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self
+            .pairs
+            .iter()
+            .filter(|p| matches!(p.class, PairClass::SingleCycle { .. }))
+            .map(|p| (p.src, p.dst))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All unknown pairs, sorted.
+    pub fn unknown_pairs(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self
+            .pairs
+            .iter()
+            .filter(|p| matches!(p.class, PairClass::Unknown))
+            .map(|p| (p.src, p.dst))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> McReport {
+        McReport::new(
+            "c".to_owned(),
+            vec![
+                PairResult {
+                    src: 0,
+                    dst: 1,
+                    class: PairClass::MultiCycle {
+                        by: Step::Implication,
+                    },
+                },
+                PairResult {
+                    src: 1,
+                    dst: 0,
+                    class: PairClass::SingleCycle { by: Step::RandomSim },
+                },
+                PairResult {
+                    src: 2,
+                    dst: 2,
+                    class: PairClass::Unknown,
+                },
+            ],
+            StepStats::default(),
+        )
+    }
+
+    #[test]
+    fn lookup_and_partitions() {
+        let r = sample();
+        assert!(r.class_of(0, 1).unwrap().is_multi());
+        assert_eq!(r.class_of(9, 9), None);
+        assert_eq!(r.multi_cycle_pairs(), vec![(0, 1)]);
+        assert_eq!(r.single_cycle_pairs(), vec![(1, 0)]);
+        assert_eq!(r.unknown_pairs(), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let r = sample();
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: McReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.pairs.len(), 3);
+        assert_eq!(back.multi_cycle_pairs(), r.multi_cycle_pairs());
+        assert_eq!(back.class_of(1, 0), r.class_of(1, 0));
+    }
+
+    #[test]
+    fn step_totals() {
+        let s = StepStats {
+            single_by_sim: 10,
+            single_by_implication: 2,
+            single_by_atpg: 1,
+            multi_by_implication: 4,
+            multi_by_atpg: 1,
+            ..StepStats::default()
+        };
+        assert_eq!(s.single_total(), 13);
+        assert_eq!(s.multi_total(), 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based invariants of the pipeline and the hazard checks on
+//! random circuits.
+
+use mcp_core::{analyze, check_hazards, HazardCheck, McConfig};
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (0u64..100_000, 1usize..6, 0usize..4, 2usize..35).prop_map(|(seed, ffs, pis, gates)| {
+        (
+            seed,
+            RandomCircuitConfig {
+                ffs,
+                pis,
+                gates,
+                max_arity: 3,
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hazard_checks_partition_and_nest(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let report = analyze(
+            &nl,
+            &McConfig {
+                backtrack_limit: 100_000,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        let mc = report.multi_cycle_pairs();
+        let sens = check_hazards(&nl, &report, HazardCheck::Sensitization);
+        let cosens = check_hazards(&nl, &report, HazardCheck::CoSensitization);
+
+        for hz in [&sens, &cosens] {
+            let mut union: Vec<_> = hz.robust.iter().chain(hz.demoted.iter()).copied().collect();
+            union.sort_unstable();
+            prop_assert_eq!(&union, &mc, "partition");
+        }
+        // Sensitization demotions nest inside co-sensitization demotions
+        // (statically sensitizable ⇒ statically co-sensitizable).
+        for pair in &sens.demoted {
+            prop_assert!(
+                cosens.demoted.contains(pair),
+                "{:?} demoted by sens only",
+                pair
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let a = analyze(&nl, &McConfig::default()).expect("analyze");
+        let b = analyze(&nl, &McConfig::default()).expect("analyze");
+        prop_assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn report_partitions_the_candidates(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let report = analyze(&nl, &McConfig::default()).expect("analyze");
+        let mut all: Vec<(usize, usize)> = report
+            .multi_cycle_pairs()
+            .into_iter()
+            .chain(report.single_cycle_pairs())
+            .chain(report.unknown_pairs())
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, nl.connected_ff_pairs());
+        prop_assert_eq!(report.stats.candidates, report.pairs.len());
+        prop_assert_eq!(
+            report.stats.multi_total()
+                + report.stats.single_total()
+                + report.stats.unknown,
+            report.pairs.len()
+        );
+    }
+
+    #[test]
+    fn unknowns_never_contradict_the_sat_engine(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        // With a starved backtrack budget the implication engine may give
+        // up — but wherever it *does* answer, the complete SAT engine must
+        // agree.
+        let nl = random_netlist(seed, &cfg);
+        let starved = analyze(
+            &nl,
+            &McConfig {
+                backtrack_limit: 0,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        let sat = analyze(
+            &nl,
+            &McConfig {
+                engine: mcp_core::Engine::Sat,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        for p in &starved.pairs {
+            let sat_class = sat.class_of(p.src, p.dst).expect("same candidates");
+            match p.class {
+                mcp_core::PairClass::Unknown => {}
+                mcp_core::PairClass::MultiCycle { .. } => {
+                    prop_assert!(sat_class.is_multi(), "({}, {})", p.src, p.dst);
+                }
+                mcp_core::PairClass::SingleCycle { .. } => {
+                    prop_assert!(!sat_class.is_multi(), "({}, {})", p.src, p.dst);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn circuits_without_ffs_produce_empty_reports() {
+    let nl = mcp_netlist::bench::parse("comb", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)")
+        .expect("parse");
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    assert!(report.pairs.is_empty());
+    assert_eq!(report.stats.candidates, 0);
+    for check in [HazardCheck::Sensitization, HazardCheck::CoSensitization] {
+        let hz = check_hazards(&nl, &report, check);
+        assert!(hz.robust.is_empty() && hz.demoted.is_empty());
+    }
+}
+
+#[test]
+fn constant_driven_ffs_are_handled() {
+    // An FF fed by a constant never changes: its self pair (if any) and
+    // incoming pairs are trivially multi-cycle; an FF watching it can
+    // never see a transition.
+    let nl = mcp_netlist::bench::parse(
+        "const",
+        "OUTPUT(q2)\nc1 = CONST(1)\nq1 = DFF(c1)\nn = NOT(q1)\nq2 = DFF(n)",
+    )
+    .expect("parse");
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    // (q1, q2) is connected; q1 only transitions on the (unmodelled) first
+    // cycle out of an arbitrary initial state — under the all-states
+    // assumption q1 CAN hold 0 at t and 1 at t+1, after which q2 captures
+    // the inverted value one cycle later: single-cycle.
+    assert_eq!(report.class_of(0, 1).map(|c| c.is_multi()), Some(false));
+}
+
+#[test]
+fn single_ff_self_loop_through_xor_constant() {
+    // q = DFF(XOR(q, CONST(0))) is a hold register in disguise.
+    let nl = mcp_netlist::bench::parse(
+        "xor-hold",
+        "OUTPUT(q)\nz = CONST(0)\nd = XOR(q, z)\nq = DFF(d)",
+    )
+    .expect("parse");
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    assert!(report.class_of(0, 0).expect("self pair").is_multi());
+}

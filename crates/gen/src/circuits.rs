@@ -1,0 +1,186 @@
+//! Exact reconstructions of the paper's illustrative circuits.
+
+use mcp_logic::GateKind;
+use mcp_netlist::{Netlist, NetlistBuilder};
+
+/// The paper's Fig.1 circuit.
+///
+/// A 4-state gray-code controller `(FF3, FF4)` cycling
+/// `(0,0) → (0,1) → (1,1) → (1,0) → (0,0)` gates two registers:
+///
+/// * `FF1` loads primary input `IN` when the counter is `(0,0)` (select
+///   `EN1 = NOR(FF3, FF4)`), otherwise holds;
+/// * `FF2` captures `FF1` when the counter is `(1,0)` (select
+///   `EN2 = AND(FF3, NOT FF4)`), otherwise holds.
+///
+/// The counter needs 3 cycles to travel from the load state to the capture
+/// state, so every `FF1 → FF2` path is a 3-cycle path. `OUT = FF2`.
+///
+/// Our netlist model is gate-level, so the multiplexers are decomposed into
+/// AND/OR/NOT exactly as in the paper's Fig.3 technology mapping; Fig.1 and
+/// [`fig3`] therefore share structure and differ only in name (the paper's
+/// hazard discussion applies to the mapped form, which is the form we
+/// always analyze).
+///
+/// FF indices: `FF1 = 0`, `FF2 = 1`, `FF3 = 2`, `FF4 = 3`.
+pub fn fig1() -> Netlist {
+    build_fig("fig1")
+}
+
+/// The paper's Fig.3: the technology-mapped form of [`fig1`] — each
+/// multiplexer decomposed into 2 AND, 1 OR and 1 NOT gate.
+///
+/// This is the circuit on which the paper demonstrates that the MC
+/// condition alone is optimistic: pair `(FF3, FF2)` satisfies it, yet a
+/// static hazard through `EN2`'s reconvergent fanout (`MUX2_A0` vs
+/// `MUX2_A1`) can propagate a glitch to `FF2`'s D input.
+pub fn fig3() -> Netlist {
+    build_fig("fig3")
+}
+
+fn build_fig(name: &str) -> Netlist {
+    let mut b = NetlistBuilder::new(name);
+    let input = b.input("IN");
+    let ff1 = b.dff("FF1");
+    let ff2 = b.dff("FF2");
+    let ff3 = b.dff("FF3");
+    let ff4 = b.dff("FF4");
+
+    // Gray-code controller: FF3' = FF4, FF4' = NOT FF3.
+    let nf3 = b.gate("NF3", GateKind::Not, [ff3]).expect("arity");
+    b.set_dff_input(ff3, ff4).expect("dff");
+    b.set_dff_input(ff4, nf3).expect("dff");
+
+    // EN1 = NOR(FF3, FF4): counter state (0,0).
+    let en1 = b.gate("EN1", GateKind::Nor, [ff3, ff4]).expect("arity");
+    // FF1 loads IN when EN1, else holds.
+    let mux1 = b.mux("MUX1", en1, ff1, input).expect("arity");
+    b.set_dff_input(ff1, mux1).expect("dff");
+
+    // EN2 = AND(FF3, NOT FF4): counter state (1,0).
+    let nf4 = b.gate("NF4", GateKind::Not, [ff4]).expect("arity");
+    let en2 = b.gate("EN2", GateKind::And, [ff3, nf4]).expect("arity");
+    // FF2 captures FF1 when EN2, else holds.
+    let mux2 = b.mux("MUX2", en2, ff2, ff1).expect("arity");
+    b.set_dff_input(ff2, mux2).expect("dff");
+
+    b.mark_output(ff2);
+    b.finish().expect("fig circuit is well-formed")
+}
+
+/// The paper's Fig.4 fragment, used to contrast static sensitization with
+/// static co-sensitization.
+///
+/// `C = AND(A', B)` where `A' = NOT(A)`... the figure shows a path from `A`
+/// to `C` through two gates with side input `B` carrying a controlling
+/// value in the second time frame: the path is **not** statically
+/// sensitizable (B blocks the AND), but it **is** statically
+/// co-sensitizable (the AND output has its controlled value and the
+/// on-path edge also presents a controlling value is not required when the
+/// side provides it — co-sensitization only constrains gates whose output
+/// is controlled to receive the controlling value on the on-path edge).
+///
+/// Concretely: `N = NOT(A)`, `C = AND(N, B)`, registered into `QC`; `B`
+/// also drives a register `QB` so the `(B, C)` interaction is observable.
+/// FF indices: `QA = 0` (drives A into the fragment), `QB = 1`, `QC = 2`.
+pub fn fig4_fragment() -> Netlist {
+    let mut b = NetlistBuilder::new("fig4");
+    let in_a = b.input("INA");
+    let in_b = b.input("INB");
+    let qa = b.dff("QA");
+    let qb = b.dff("QB");
+    let qc = b.dff("QC");
+    b.set_dff_input(qa, in_a).expect("dff");
+    b.set_dff_input(qb, in_b).expect("dff");
+    let n = b.gate("N", GateKind::Not, [qa]).expect("arity");
+    let c = b.gate("C", GateKind::And, [n, qb]).expect("arity");
+    b.set_dff_input(qc, c).expect("dff");
+    b.mark_output(qc);
+    b.finish().expect("fig4 fragment is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_the_papers_nine_pairs() {
+        let nl = fig1();
+        assert_eq!(nl.num_ffs(), 4);
+        assert_eq!(nl.num_inputs(), 1);
+        // The paper's Section 4.2: after step 1 the 9 pairs are
+        // (FF1,FF1),(FF1,FF2),(FF2,FF2),(FF3,FF1),(FF3,FF2),(FF3,FF4),
+        // (FF4,FF1),(FF4,FF2),(FF4,FF3). FF indices are 0-based here.
+        let pairs = nl.connected_ff_pairs();
+        let expect = vec![
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (2, 0),
+            (2, 1),
+            (2, 3),
+            (3, 0),
+            (3, 1),
+            (3, 2),
+        ];
+        assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn fig1_counter_is_gray_code() {
+        use mcp_sim::ParallelSim;
+        let nl = fig1();
+        let mut sim = ParallelSim::new(&nl);
+        for ff in 0..4 {
+            sim.set_state(ff, 0);
+        }
+        let mut states = Vec::new();
+        for _ in 0..5 {
+            states.push((sim.state(2) & 1, sim.state(3) & 1));
+            sim.eval();
+            sim.clock();
+        }
+        assert_eq!(states, vec![(0, 0), (0, 1), (1, 1), (1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn fig1_datapath_takes_three_cycles() {
+        use mcp_sim::ParallelSim;
+        let nl = fig1();
+        let mut sim = ParallelSim::new(&nl);
+        for ff in 0..4 {
+            sim.set_state(ff, 0);
+        }
+        // Counter starts at (0,0): FF1 loads IN=1 at the first edge; FF2
+        // captures FF1 three edges later (counter back at... capture state
+        // (1,0) is reached after 3 edges).
+        sim.set_input(0, 1); // IN = 1 in lane 0
+        let mut ff2_history = Vec::new();
+        for _ in 0..5 {
+            sim.eval();
+            sim.clock();
+            ff2_history.push(sim.state(1) & 1);
+        }
+        // FF1 loaded at edge 1; counter reaches (1,0) after edge 3, so FF2
+        // captures FF1 at edge 4.
+        assert_eq!(ff2_history, vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn fig3_shares_structure_with_fig1() {
+        let a = fig1();
+        let c = fig3();
+        assert_eq!(a.stats(), c.stats());
+        assert_eq!(a.connected_ff_pairs(), c.connected_ff_pairs());
+    }
+
+    #[test]
+    fn fig4_fragment_shape() {
+        let nl = fig4_fragment();
+        assert_eq!(nl.num_ffs(), 3);
+        // QA and QB both reach QC.
+        let pairs = nl.connected_ff_pairs();
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(1, 2)));
+    }
+}

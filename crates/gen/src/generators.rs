@@ -1,0 +1,552 @@
+//! Parametric circuit generators.
+//!
+//! Each generator produces a structure that occurs in real designs and has
+//! a known multi-cycle (or single-cycle) characterization, so generated
+//! circuits exercise every branch of the analysis with predictable ground
+//! truth. [`composite`] mixes them into ISCAS89-scale benchmarks.
+
+use mcp_logic::GateKind;
+use mcp_netlist::{Netlist, NetlistBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Appends an `n`-bit binary up-counter to `b`; returns its state bits
+/// (LSB first). The counter is free-running with period `2^n`.
+fn push_counter(b: &mut NetlistBuilder, prefix: &str, n: usize) -> Vec<NodeId> {
+    let bits: Vec<NodeId> = (0..n).map(|k| b.dff(format!("{prefix}_C{k}"))).collect();
+    // carry chain: bit k toggles when all lower bits are 1.
+    let mut carry: Option<NodeId> = None;
+    for (k, &bit) in bits.iter().enumerate() {
+        let d = match carry {
+            None => b
+                .gate(format!("{prefix}_T{k}"), GateKind::Not, [bit])
+                .expect("arity"),
+            Some(c) => b
+                .gate(format!("{prefix}_T{k}"), GateKind::Xor, [bit, c])
+                .expect("arity"),
+        };
+        b.set_dff_input(bit, d).expect("dff");
+        carry = Some(match carry {
+            None => bit,
+            Some(c) => b
+                .gate(format!("{prefix}_CY{k}"), GateKind::And, [c, bit])
+                .expect("arity"),
+        });
+    }
+    bits
+}
+
+/// Appends a decoder for counter value `phase` over `bits`; returns the
+/// 1-when-matching node.
+fn push_decode(b: &mut NetlistBuilder, prefix: &str, bits: &[NodeId], phase: u64) -> NodeId {
+    let mut terms = Vec::with_capacity(bits.len());
+    for (k, &bit) in bits.iter().enumerate() {
+        if phase >> k & 1 == 1 {
+            terms.push(bit);
+        } else {
+            terms.push(
+                b.gate(format!("{prefix}_NB{k}"), GateKind::Not, [bit])
+                    .expect("arity"),
+            );
+        }
+    }
+    b.gate(format!("{prefix}_EN"), GateKind::And, terms)
+        .expect("arity")
+}
+
+/// Configuration of a [`gated_datapath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatapathConfig {
+    /// Width of the source and sink registers.
+    pub width: usize,
+    /// Counter bits (period `2^counter_bits`).
+    pub counter_bits: usize,
+    /// Counter value at which the source register loads new data.
+    pub load_phase: u64,
+    /// Counter value at which the sink register captures `f(source)`.
+    pub capture_phase: u64,
+}
+
+impl Default for DatapathConfig {
+    fn default() -> Self {
+        DatapathConfig {
+            width: 4,
+            counter_bits: 2,
+            load_phase: 0,
+            capture_phase: 3,
+        }
+    }
+}
+
+/// Generates the paper's Fig.1 motif at scale: a counter-gated datapath.
+///
+/// A `counter_bits`-bit controller decodes a *load* window (source register
+/// `A` takes primary inputs) and a *capture* window (sink register `B`
+/// takes a mixing function of `A`); outside their window both registers
+/// hold. Every `(A_w, B_v)` pair is a `k`-cycle pair with
+/// `k = (capture_phase - load_phase) mod 2^counter_bits`, matching the
+/// gray-counter argument of the paper's Section 2.2 example.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `counter_bits == 0`, or a phase is out of range.
+pub fn gated_datapath(cfg: &DatapathConfig) -> Netlist {
+    let mut b = NetlistBuilder::new(format!(
+        "gated_w{}_c{}_l{}_p{}",
+        cfg.width, cfg.counter_bits, cfg.load_phase, cfg.capture_phase
+    ));
+    push_gated_datapath(&mut b, "D0", cfg);
+    b.finish().expect("generated datapath is well-formed")
+}
+
+/// Appends a gated datapath block; returns `(a_regs, b_regs)`.
+pub(crate) fn push_gated_datapath(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    cfg: &DatapathConfig,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    push_windowed_datapath(b, prefix, &[cfg.load_phase], cfg.capture_phase, cfg.width, cfg.counter_bits)
+}
+
+/// Appends a datapath whose source register loads in any of several
+/// counter windows (`load_phases`): the load enable becomes an OR of
+/// decodes, which direct implication cannot justify uniquely — proving the
+/// source→sink pairs multi-cycle then requires the backtrack search, the
+/// paper's "ATPG" column.
+pub(crate) fn push_windowed_datapath(
+    b: &mut NetlistBuilder,
+    prefix: &str,
+    load_phases: &[u64],
+    capture_phase: u64,
+    width: usize,
+    counter_bits: usize,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let cfg = DatapathConfig {
+        width,
+        counter_bits,
+        load_phase: load_phases[0],
+        capture_phase,
+    };
+    assert!(cfg.width > 0 && cfg.counter_bits > 0, "degenerate datapath");
+    let period = 1u64 << cfg.counter_bits;
+    assert!(
+        load_phases.iter().all(|&p| p < period) && cfg.capture_phase < period,
+        "phase out of range"
+    );
+    let counter = push_counter(b, &format!("{prefix}_CTR"), cfg.counter_bits);
+    let load = if load_phases.len() == 1 {
+        push_decode(b, &format!("{prefix}_LD"), &counter, load_phases[0])
+    } else {
+        let decodes: Vec<NodeId> = load_phases
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| push_decode(b, &format!("{prefix}_LD{k}"), &counter, p))
+            .collect();
+        b.gate(format!("{prefix}_LD"), GateKind::Or, decodes)
+            .expect("arity")
+    };
+    let capture = push_decode(b, &format!("{prefix}_CP"), &counter, cfg.capture_phase);
+
+    let mut a_regs = Vec::with_capacity(cfg.width);
+    let mut b_regs = Vec::with_capacity(cfg.width);
+    for w in 0..cfg.width {
+        let input = b.input(format!("{prefix}_IN{w}"));
+        let a = b.dff(format!("{prefix}_A{w}"));
+        let mux = b
+            .mux(&format!("{prefix}_MA{w}"), load, a, input)
+            .expect("arity");
+        b.set_dff_input(a, mux).expect("dff");
+        a_regs.push(a);
+    }
+    for w in 0..cfg.width {
+        // Mixing function: B_w captures A_w ^ A_{w+1} (wrapping) so sink
+        // bits depend on two source bits.
+        let src = if cfg.width == 1 {
+            a_regs[0]
+        } else {
+            b.gate(
+                format!("{prefix}_MIX{w}"),
+                GateKind::Xor,
+                [a_regs[w], a_regs[(w + 1) % cfg.width]],
+            )
+            .expect("arity")
+        };
+        let breg = b.dff(format!("{prefix}_B{w}"));
+        let mux = b
+            .mux(&format!("{prefix}_MB{w}"), capture, breg, src)
+            .expect("arity");
+        b.set_dff_input(breg, mux).expect("dff");
+        b.mark_output(breg);
+        b_regs.push(breg);
+    }
+    (a_regs, b_regs)
+}
+
+/// Generates a plain `depth`-stage, `width`-bit pipeline: every
+/// stage-to-stage pair is single-cycle (the anti-case for the analysis).
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `width == 0`.
+pub fn pipeline(depth: usize, width: usize) -> Netlist {
+    assert!(depth > 0 && width > 0, "degenerate pipeline");
+    let mut b = NetlistBuilder::new(format!("pipe_d{depth}_w{width}"));
+    let mut prev: Vec<NodeId> = (0..width).map(|w| b.input(format!("IN{w}"))).collect();
+    for s in 0..depth {
+        let mut stage = Vec::with_capacity(width);
+        for w in 0..width {
+            // A touch of logic between stages so paths are non-trivial.
+            let d = if width > 1 {
+                b.gate(
+                    format!("S{s}_G{w}"),
+                    if (s + w) % 2 == 0 {
+                        GateKind::Xor
+                    } else {
+                        GateKind::Nand
+                    },
+                    [prev[w], prev[(w + 1) % width]],
+                )
+                .expect("arity")
+            } else {
+                prev[0]
+            };
+            let q = b.dff(format!("S{s}_R{w}"));
+            b.set_dff_input(q, d).expect("dff");
+            stage.push(q);
+        }
+        prev = stage;
+    }
+    for &q in &prev {
+        b.mark_output(q);
+    }
+    b.finish().expect("generated pipeline is well-formed")
+}
+
+/// Generates an `n`-bit Fibonacci LFSR (taps at `n-1` and `tap`); all
+/// shift pairs are single-cycle.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `tap >= n`.
+pub fn lfsr(n: usize, tap: usize) -> Netlist {
+    assert!(n >= 2 && tap < n, "degenerate LFSR");
+    let mut b = NetlistBuilder::new(format!("lfsr_{n}_{tap}"));
+    let regs: Vec<NodeId> = (0..n).map(|k| b.dff(format!("L{k}"))).collect();
+    let fb = b
+        .gate("FB", GateKind::Xor, [regs[n - 1], regs[tap]])
+        .expect("arity");
+    b.set_dff_input(regs[0], fb).expect("dff");
+    for k in 1..n {
+        b.set_dff_input(regs[k], regs[k - 1]).expect("dff");
+    }
+    b.mark_output(regs[n - 1]);
+    b.finish().expect("generated LFSR is well-formed")
+}
+
+/// Options for [`composite`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompositeConfig {
+    /// PRNG seed (construction is fully deterministic per seed).
+    pub seed: u64,
+    /// Gated-datapath blocks `(width, counter_bits, load, capture)`.
+    pub datapaths: Vec<(usize, usize, u64, u64)>,
+    /// Dual-load-window datapath blocks `(width, counter_bits, load1,
+    /// load2, capture)`: their multi-cycle proofs need the backtrack
+    /// search (OR-of-decodes load enable).
+    pub dual_datapaths: Vec<(usize, usize, u64, u64, u64)>,
+    /// Plain pipeline blocks `(depth, width)`.
+    pub pipelines: Vec<(usize, usize)>,
+    /// Number of rarely-enabled transfer chains. Each loads a source
+    /// register behind a wide AND over random registers (so random
+    /// simulation rarely witnesses a toggle) and drives a sink through
+    /// NOT (even chains — implied violations, the paper's
+    /// single-by-implication residue) or XOR with another register (odd
+    /// chains — violations only the search finds).
+    pub rare_chains: usize,
+    /// Number of pinned-enable transfer chains: source→sink paths whose
+    /// on-path values the implications pin, so the pairs survive even the
+    /// co-sensitization hazard check (Table 3's robust population).
+    pub pinned_chains: usize,
+    /// Number of random glue gates woven between the blocks' registers
+    /// and inputs, feeding extra observation registers.
+    pub glue_gates: usize,
+    /// Number of observation registers fed by glue logic.
+    pub glue_regs: usize,
+}
+
+/// Composes datapath and pipeline blocks plus random glue logic into one
+/// benchmark circuit — the recipe behind the synthetic
+/// [`suite`](crate::suite).
+///
+/// Glue logic reads random block registers and inputs, feeding dedicated
+/// observation registers; it creates a realistic population of
+/// mostly-single-cycle pairs around the multi-cycle datapath cores.
+pub fn composite(name: &str, cfg: &CompositeConfig) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = NetlistBuilder::new(name);
+    let mut all_regs: Vec<NodeId> = Vec::new();
+
+    for (i, &(width, cbits, load, cap)) in cfg.datapaths.iter().enumerate() {
+        let (a, bb) = push_gated_datapath(
+            &mut b,
+            &format!("DP{i}"),
+            &DatapathConfig {
+                width,
+                counter_bits: cbits,
+                load_phase: load,
+                capture_phase: cap,
+            },
+        );
+        all_regs.extend(a);
+        all_regs.extend(bb);
+    }
+    for (i, &(depth, width)) in cfg.pipelines.iter().enumerate() {
+        let mut prev: Vec<NodeId> = (0..width)
+            .map(|w| b.input(format!("P{i}_IN{w}")))
+            .collect();
+        for s in 0..depth {
+            let mut stage = Vec::with_capacity(width);
+            for w in 0..width {
+                let d = if width > 2 {
+                    // 3-wide mixing: realistic next-state fan-in, so pair
+                    // counts scale like the ISCAS89 circuits'.
+                    b.gate(
+                        format!("P{i}_S{s}_G{w}"),
+                        GateKind::Xor,
+                        [prev[w], prev[(w + 1) % width], prev[(w + 2) % width]],
+                    )
+                    .expect("arity")
+                } else if width > 1 {
+                    b.gate(
+                        format!("P{i}_S{s}_G{w}"),
+                        GateKind::Xor,
+                        [prev[w], prev[(w + 1) % width]],
+                    )
+                    .expect("arity")
+                } else {
+                    prev[0]
+                };
+                let q = b.dff(format!("P{i}_S{s}_R{w}"));
+                b.set_dff_input(q, d).expect("dff");
+                stage.push(q);
+            }
+            all_regs.extend(stage.iter().copied());
+            prev = stage;
+        }
+        for &q in &prev {
+            b.mark_output(q);
+        }
+    }
+
+    for (i, &(width, cbits, p1, p2, cap)) in cfg.dual_datapaths.iter().enumerate() {
+        let (a, bb) =
+            push_windowed_datapath(&mut b, &format!("DW{i}"), &[p1, p2], cap, width, cbits);
+        all_regs.extend(a);
+        all_regs.extend(bb);
+    }
+
+    // Rarely-enabled transfer chains (see `CompositeConfig::rare_chains`).
+    if cfg.rare_chains > 0 && !all_regs.is_empty() {
+        for r in 0..cfg.rare_chains {
+            let fanin = 12.min(all_regs.len());
+            let mut picks: Vec<NodeId> = Vec::with_capacity(fanin);
+            while picks.len() < fanin {
+                let cand = all_regs[rng.random_range(0..all_regs.len())];
+                if !picks.contains(&cand) {
+                    picks.push(cand);
+                }
+            }
+            let en = b
+                .gate(format!("RC{r}_EN"), GateKind::And, picks)
+                .expect("arity");
+            let input = b.input(format!("RC{r}_IN"));
+            let src = b.dff(format!("RC{r}_S"));
+            let mux = b.mux(&format!("RC{r}_M"), en, src, input).expect("arity");
+            b.set_dff_input(src, mux).expect("dff");
+            let sink = b.dff(format!("RC{r}_T"));
+            let d = if r % 2 == 0 {
+                b.gate(format!("RC{r}_N"), GateKind::Not, [src])
+                    .expect("arity")
+            } else {
+                let other = all_regs[rng.random_range(0..all_regs.len())];
+                b.gate(format!("RC{r}_X"), GateKind::Xor, [src, other])
+                    .expect("arity")
+            };
+            b.set_dff_input(sink, d).expect("dff");
+            b.mark_output(sink);
+            all_regs.push(src);
+            all_regs.push(sink);
+        }
+    }
+
+    // Pinned-enable transfer chains (see `CompositeConfig::pinned_chains`).
+    // One shared 3-bit counter; each chain: S loads at phase 0, the sink
+    // T.D = AND(OR(S, dec_phase1), dec_q) with q = 5. Whenever S toggles
+    // the implications pin dec_phase1 = 1 and dec_q = 0 in both frames, so
+    // (S, T) is multi-cycle AND every glitch path is provably blocked.
+    if cfg.pinned_chains > 0 {
+        let counter = push_counter(&mut b, "PN_CTR", 3);
+        let load = push_decode(&mut b, "PN_LD", &counter, 0);
+        let after = push_decode(&mut b, "PN_AF", &counter, 1);
+        let capt = push_decode(&mut b, "PN_CP", &counter, 5);
+        all_regs.extend(counter.iter().copied());
+        for r in 0..cfg.pinned_chains {
+            let input = b.input(format!("PN{r}_IN"));
+            let src = b.dff(format!("PN{r}_S"));
+            let mux = b.mux(&format!("PN{r}_M"), load, src, input).expect("arity");
+            b.set_dff_input(src, mux).expect("dff");
+            let h = b
+                .gate(format!("PN{r}_H"), GateKind::Or, [src, after])
+                .expect("arity");
+            let d = b
+                .gate(format!("PN{r}_D"), GateKind::And, [h, capt])
+                .expect("arity");
+            let sink = b.dff(format!("PN{r}_T"));
+            b.set_dff_input(sink, d).expect("dff");
+            b.mark_output(sink);
+            all_regs.push(src);
+            all_regs.push(sink);
+        }
+    }
+
+    // Random glue: a DAG of gates over the block registers.
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Not,
+    ];
+    let mut pool: Vec<NodeId> = all_regs.clone();
+    for g in 0..cfg.glue_gates {
+        if pool.is_empty() {
+            break;
+        }
+        let kind = kinds[rng.random_range(0..kinds.len())];
+        let arity = kind.fixed_arity().unwrap_or(2);
+        let ins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[rng.random_range(0..pool.len())])
+            .collect();
+        let node = b
+            .gate(format!("GL{g}"), kind, ins)
+            .expect("glue gate arity");
+        pool.push(node);
+    }
+    for r in 0..cfg.glue_regs {
+        if pool.is_empty() {
+            break;
+        }
+        let d = pool[rng.random_range(0..pool.len())];
+        let q = b.dff(format!("GR{r}"));
+        b.set_dff_input(q, d).expect("dff");
+        b.mark_output(q);
+    }
+
+    b.finish().expect("generated composite is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_sim::ParallelSim;
+
+    #[test]
+    fn counter_has_full_period() {
+        let mut b = NetlistBuilder::new("c");
+        let bits = push_counter(&mut b, "C", 3);
+        for &bit in &bits {
+            b.mark_output(bit);
+        }
+        let nl = b.finish().unwrap();
+        let mut sim = ParallelSim::new(&nl);
+        for k in 0..3 {
+            sim.set_state(k, 0);
+        }
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            let v = (0..3).fold(0u64, |acc, k| acc | (sim.state(k) & 1) << k);
+            seen.push(v);
+            sim.eval();
+            sim.clock();
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let v = (0..3).fold(0u64, |acc, k| acc | (sim.state(k) & 1) << k);
+        assert_eq!(v, 0, "wraps around");
+    }
+
+    #[test]
+    fn gated_datapath_moves_data_in_k_cycles() {
+        // load at phase 0, capture at phase 3 => 3-cycle transfer.
+        let cfg = DatapathConfig::default();
+        let nl = gated_datapath(&cfg);
+        let mut sim = ParallelSim::new(&nl);
+        for ff in 0..nl.num_ffs() {
+            sim.set_state(ff, 0);
+        }
+        // Feed a distinctive pattern on the inputs of bit 0 and 1.
+        sim.set_input(0, u64::MAX);
+        let b0 = nl.ff_index(nl.find_node("D0_B0").unwrap()).unwrap();
+        let mut captured = Vec::new();
+        for _ in 0..6 {
+            sim.eval();
+            sim.clock();
+            captured.push(sim.state(b0) & 1);
+        }
+        // A loads at edge 1 (counter 0), counter hits capture phase 3 at
+        // edge 4: B captures MIX(A0=1, A1=0) = 1 at edge 4.
+        assert_eq!(captured, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn pipeline_is_dense_in_pairs() {
+        let nl = pipeline(3, 2);
+        assert_eq!(nl.num_ffs(), 6);
+        // stage s bit w feeds both bits of stage s+1.
+        let pairs = nl.connected_ff_pairs();
+        assert_eq!(pairs.len(), 2 * 2 * 2); // 2 stage boundaries × 2×2
+    }
+
+    #[test]
+    fn lfsr_shifts() {
+        let nl = lfsr(4, 1);
+        let mut sim = ParallelSim::new(&nl);
+        sim.set_state(0, 1);
+        for k in 1..4 {
+            sim.set_state(k, 0);
+        }
+        sim.eval();
+        sim.clock();
+        assert_eq!(sim.state(1) & 1, 1, "bit shifted");
+    }
+
+    #[test]
+    fn composite_is_deterministic_per_seed() {
+        let cfg = CompositeConfig {
+            seed: 42,
+            datapaths: vec![(2, 2, 0, 3)],
+            pipelines: vec![(2, 2)],
+            glue_gates: 10,
+            glue_regs: 2,
+            ..CompositeConfig::default()
+        };
+        let a = composite("x", &cfg);
+        let c = composite("x", &cfg);
+        assert_eq!(a.stats(), c.stats());
+        assert_eq!(a.connected_ff_pairs(), c.connected_ff_pairs());
+        let different = composite("x", &CompositeConfig { seed: 43, ..cfg });
+        // Glue differs with the seed (stats may coincide, pairs rarely do).
+        assert!(
+            different.connected_ff_pairs() != a.connected_ff_pairs()
+                || different.stats() != a.stats()
+        );
+    }
+
+    #[test]
+    fn generators_validate_inputs() {
+        let r = std::panic::catch_unwind(|| pipeline(0, 4));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| lfsr(1, 0));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload substrate: paper circuits, parametric generators, the
+//! synthetic benchmark suite, and a brute-force oracle.
+//!
+//! The paper evaluates on the ISCAS89 suite. Those netlists are not
+//! redistributable inside this repository, so this crate provides (a) exact
+//! reconstructions of the paper's illustrative circuits (Fig.1/Fig.3/Fig.4)
+//! as golden references, (b) parametric **generators** for the structures
+//! that make paths multi-cycle in real designs — counters decoding enable
+//! windows, hold multiplexers, gated datapaths — and (c) a deterministic
+//! [`suite`] of ISCAS89-*scale* circuits composed from those generators
+//! plus random glue logic, on which the paper's tables are regenerated.
+//! Real `.bench` files can be analyzed directly through
+//! [`mcp_netlist::bench::parse`].
+//!
+//! The [`oracle`] module provides exhaustive-simulation ground truth for
+//! small circuits, used to validate every analysis engine.
+//!
+//! # Example
+//!
+//! ```
+//! use mcp_gen::circuits;
+//!
+//! // The paper's Fig.1: 9 structurally connected FF pairs.
+//! let fig1 = circuits::fig1();
+//! assert_eq!(fig1.connected_ff_pairs().len(), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuits;
+pub mod generators;
+pub mod oracle;
+pub mod random;
+pub mod suite;

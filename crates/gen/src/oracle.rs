@@ -1,0 +1,159 @@
+//! Exhaustive-simulation ground truth for small circuits.
+
+use mcp_netlist::Netlist;
+use mcp_sim::ParallelSim;
+
+/// `(multi_cycle_pairs, single_cycle_pairs)`, both sorted by `(src, dst)`.
+pub type PairPartition = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+/// Classifies every structurally connected FF pair of a *small* circuit by
+/// brute force: enumerate every `(state, inputs(t), inputs(t+1))`
+/// combination, simulate two cycles, and check the MC condition
+/// `FFi(t) != FFi(t+1) ⇒ FFj(t+1) == FFj(t+2)` against all of them.
+///
+/// Returns `(multi_cycle_pairs, single_cycle_pairs)`, both sorted. This is
+/// the reference every analysis engine is validated against (they all
+/// assume every state reachable, exactly like this enumeration).
+///
+/// Enumeration is 64-way bit-parallel, so the practical limit of
+/// `num_ffs + 2 * num_inputs ≤ ~26` is comfortable for unit tests.
+///
+/// # Panics
+///
+/// Panics if `num_ffs + 2 * num_inputs > 30` (the enumeration would not
+/// terminate in reasonable time).
+pub fn exhaustive_mc_pairs(netlist: &Netlist) -> PairPartition {
+    let nffs = netlist.num_ffs();
+    let npis = netlist.num_inputs();
+    let total_bits = nffs + 2 * npis;
+    assert!(
+        total_bits <= 30,
+        "exhaustive oracle limited to 30 free bits, got {total_bits}"
+    );
+
+    let pairs = netlist.connected_ff_pairs();
+    let mut violated = vec![false; pairs.len()];
+
+    let mut sim = ParallelSim::new(netlist);
+    let lanes: u64 = 64;
+    let combos: u64 = 1 << total_bits;
+    let mut s0 = vec![0u64; nffs];
+    let mut s1 = vec![0u64; nffs];
+    let mut s2 = vec![0u64; nffs];
+
+    let mut base = 0u64;
+    while base < combos {
+        // Lane l encodes combination (base + l); bit k of the combination:
+        // word w_k has bit l set iff (base + l) >> k & 1.
+        let word_for_bit = |k: usize| -> u64 {
+            let mut w = 0u64;
+            for l in 0..lanes.min(combos - base) {
+                if (base + l) >> k & 1 == 1 {
+                    w |= 1 << l;
+                }
+            }
+            w
+        };
+        for ff in 0..nffs {
+            sim.set_state(ff, word_for_bit(ff));
+        }
+        for pi in 0..npis {
+            sim.set_input(pi, word_for_bit(nffs + pi));
+        }
+        for (k, s) in s0.iter_mut().enumerate() {
+            *s = sim.state(k);
+        }
+        sim.eval();
+        for (k, s) in s1.iter_mut().enumerate() {
+            *s = sim.next_state(k);
+        }
+        sim.clock();
+        for pi in 0..npis {
+            sim.set_input(pi, word_for_bit(nffs + npis + pi));
+        }
+        sim.eval();
+        for (k, s) in s2.iter_mut().enumerate() {
+            *s = sim.next_state(k);
+        }
+
+        // Mask out lanes beyond the combination count.
+        let valid: u64 = if combos - base >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (combos - base)) - 1
+        };
+        for (p, &(i, j)) in pairs.iter().enumerate() {
+            if (s0[i] ^ s1[i]) & (s1[j] ^ s2[j]) & valid != 0 {
+                violated[p] = true;
+            }
+        }
+        base += lanes;
+    }
+
+    let mut multi = Vec::new();
+    let mut single = Vec::new();
+    for (p, &pair) in pairs.iter().enumerate() {
+        if violated[p] {
+            single.push(pair);
+        } else {
+            multi.push(pair);
+        }
+    }
+    (multi, single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits;
+
+    #[test]
+    fn fig1_ground_truth_matches_the_paper() {
+        // Section 4.2: of the 9 structural pairs, exactly 5 are multi-cycle:
+        // (FF1,FF1),(FF1,FF2),(FF2,FF2),(FF3,FF2),(FF4,FF1).
+        let nl = circuits::fig1();
+        let (multi, single) = exhaustive_mc_pairs(&nl);
+        assert_eq!(multi, vec![(0, 0), (0, 1), (1, 1), (2, 1), (3, 0)]);
+        assert_eq!(single.len(), 4);
+    }
+
+    #[test]
+    fn toggle_ff_is_single_cycle_to_itself() {
+        let nl = mcp_netlist::bench::parse("t", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)")
+            .expect("parse");
+        let (multi, single) = exhaustive_mc_pairs(&nl);
+        assert!(multi.is_empty());
+        assert_eq!(single, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn hold_ff_is_multi_cycle_to_itself() {
+        let nl = mcp_netlist::bench::parse("h", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUFF(q)")
+            .expect("parse");
+        let (multi, single) = exhaustive_mc_pairs(&nl);
+        assert_eq!(multi, vec![(0, 0)]);
+        assert!(single.is_empty());
+    }
+
+    #[test]
+    fn gated_datapath_source_to_sink_is_multi_cycle() {
+        let nl = crate::generators::gated_datapath(&crate::generators::DatapathConfig {
+            width: 1,
+            counter_bits: 2,
+            load_phase: 0,
+            capture_phase: 3,
+        });
+        let (multi, _) = exhaustive_mc_pairs(&nl);
+        let a0 = nl.ff_index(nl.find_node("D0_A0").unwrap()).unwrap();
+        let b0 = nl.ff_index(nl.find_node("D0_B0").unwrap()).unwrap();
+        assert!(multi.contains(&(a0, b0)), "A->B transfer is gated 3 cycles");
+    }
+
+    #[test]
+    #[should_panic(expected = "30 free bits")]
+    fn oracle_rejects_large_circuits() {
+        let nl = crate::generators::pipeline(8, 4);
+        // 32 FFs + inputs exceeds the bit budget.
+        exhaustive_mc_pairs(&nl);
+    }
+}

@@ -1,0 +1,49 @@
+//! The implication engine — the paper's core machinery.
+//!
+//! The multi-cycle condition is "nothing but an implication relation"
+//! (paper, Section 4): assert the source transition on the time-frame
+//! expanded model, propagate *mandatory* value assignments in both
+//! directions through the gates, and read off whether the sink flip-flop is
+//! forced to hold its value.
+//!
+//! * [`ImpEngine`] — a ternary assignment store over an
+//!   [`Expanded`](mcp_netlist::Expanded) model with a trail and
+//!   checkpoints, performing exhaustive **direct implications** (forward
+//!   evaluation + backward justification at every gate) until fixpoint, and
+//!   detecting contradictions. Backtracking undoes assignments in O(#undone),
+//!   which is what makes the ATPG search on top of it cheap.
+//! * [`learn()`] / [`LearnedImplications`] — SOCRATES-style **static
+//!   learning**: trial-assign each node to each phase, propagate, and
+//!   record the contrapositives of everything implied. The learned binary
+//!   implications are then replayed during normal propagation, catching
+//!   non-local implications that direct rules miss. The paper enables this
+//!   for the hardest ISCAS89 circuits (s9234, s13207, prolog, ...).
+//!
+//! # Example
+//!
+//! ```
+//! use mcp_implication::ImpEngine;
+//! use mcp_logic::V3;
+//! use mcp_netlist::{bench, Expanded};
+//!
+//! // y = AND(a, b): asserting y=1 implies both inputs.
+//! let nl = bench::parse("t", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, b)")?;
+//! let x = Expanded::build(&nl, 1);
+//! let y = x.value_of(0, nl.find_node("y").unwrap());
+//! let a = x.pi_at(0, 0);
+//!
+//! let mut eng = ImpEngine::new(&x);
+//! eng.assign(y, true).expect("consistent");
+//! eng.propagate().expect("no conflict");
+//! assert_eq!(eng.value(a), V3::One);
+//! # Ok::<(), mcp_netlist::bench::ParseBenchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod learn;
+
+pub use engine::{Checkpoint, Conflict, ImpEngine};
+pub use learn::{learn, LearnConfig, LearnedImplications};

@@ -1,0 +1,166 @@
+//! Property-based soundness of the implication engine.
+//!
+//! Whatever the engine *implies* must hold in every total assignment of
+//! the free variables consistent with the asserted constraints — checked
+//! against exhaustive enumeration on small random circuits.
+
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_implication::{learn, ImpEngine, LearnConfig};
+use mcp_logic::V3;
+use mcp_netlist::{Expanded, XId};
+use proptest::prelude::*;
+
+fn small_cfg() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (0u64..50_000, 1usize..4, 0usize..3, 1usize..20).prop_map(|(seed, ffs, pis, gates)| {
+        (
+            seed,
+            RandomCircuitConfig {
+                ffs,
+                pis,
+                gates,
+                max_arity: 3,
+            },
+        )
+    })
+}
+
+/// Enumerates all assignments to the free variables, keeping those where
+/// every `(node, value)` constraint holds; returns the surviving
+/// evaluations.
+fn consistent_evals(x: &Expanded, constraints: &[(XId, bool)]) -> Vec<Vec<V3>> {
+    let vars = x.vars();
+    assert!(vars.len() <= 16, "enumeration budget");
+    let mut res = Vec::new();
+    for bits in 0..(1u32 << vars.len()) {
+        let assign: Vec<(XId, V3)> = vars
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, V3::from(bits >> k & 1 == 1)))
+            .collect();
+        let vals = x.eval_v3(&assign);
+        if constraints
+            .iter()
+            .all(|&(n, b)| vals[n.index()] == V3::from(b))
+        {
+            res.push(vals);
+        }
+    }
+    res
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn implications_are_sound(
+        (seed, cfg) in small_cfg(),
+        frames in 1u32..3,
+        pick in any::<u64>(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, frames);
+        prop_assume!(x.vars().len() <= 14);
+
+        // Pick up to three constraint nodes pseudo-randomly.
+        let n = x.num_nodes() as u64;
+        let constraints: Vec<(XId, bool)> = (0..3)
+            .map(|k| {
+                let h = pick.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17 * (k + 1));
+                let (idx, val) = ((h % n) as usize, h >> 63 == 1);
+                let id = x.nodes().nth(idx).expect("in range").0;
+                (id, val)
+            })
+            .collect();
+
+        let mut eng = ImpEngine::new(&x);
+        let mut ok = true;
+        for &(id, v) in &constraints {
+            if eng.assign(id, v).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        let ok = ok && eng.propagate().is_ok();
+        let witnesses = consistent_evals(&x, &constraints);
+
+        if ok {
+            // Soundness: every implied definite value holds in every
+            // consistent total assignment.
+            for vals in &witnesses {
+                for (id, _) in x.nodes() {
+                    if let Some(b) = eng.value(id).to_bool() {
+                        prop_assert_eq!(
+                            vals[id.index()],
+                            V3::from(b),
+                            "implied {}={} refuted",
+                            id,
+                            b
+                        );
+                    }
+                }
+            }
+        } else {
+            // A conflict must mean the constraints are unsatisfiable.
+            prop_assert!(
+                witnesses.is_empty(),
+                "engine reported conflict but {} witnesses exist",
+                witnesses.len()
+            );
+        }
+    }
+
+    #[test]
+    fn backtracking_restores_exactly(
+        (seed, cfg) in small_cfg(),
+        pick in any::<u64>(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, 2);
+        let mut eng = ImpEngine::new(&x);
+
+        // Snapshot, perturb, backtrack, compare.
+        let before: Vec<V3> = x.nodes().map(|(id, _)| eng.value(id)).collect();
+        let cp = eng.checkpoint();
+        let n = x.num_nodes() as u64;
+        let id = x.nodes().nth((pick % n) as usize).expect("in range").0;
+        let _ = eng.assign(id, pick >> 63 == 1).and_then(|()| eng.propagate());
+        eng.backtrack(cp);
+        for (k, (id, _)) in x.nodes().enumerate() {
+            prop_assert_eq!(eng.value(id), before[k], "{} not restored", id);
+        }
+    }
+
+    #[test]
+    fn learned_implications_are_sound(
+        (seed, cfg) in small_cfg(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, 1);
+        prop_assume!(x.vars().len() <= 12);
+        let store = learn(&x, &LearnConfig::default());
+
+        // Check every learned edge and forced literal against enumeration.
+        let all = consistent_evals(&x, &[]);
+        for (id, _) in x.nodes() {
+            for phase in [false, true] {
+                for &(m, w) in store.implied_by(id, phase) {
+                    for vals in &all {
+                        if vals[id.index()] == V3::from(phase) {
+                            prop_assert_eq!(
+                                vals[m.index()],
+                                V3::from(w),
+                                "learned ({}={}) -> ({}={}) unsound",
+                                id, phase, m, w
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for &(m, w) in store.forced() {
+            for vals in &all {
+                prop_assert_eq!(vals[m.index()], V3::from(w), "forced {}={} unsound", m, w);
+            }
+        }
+    }
+}

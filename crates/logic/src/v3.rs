@@ -1,0 +1,216 @@
+//! The ternary logic domain `{0, 1, X}`.
+
+use std::fmt;
+
+/// A ternary logic value: definite `0`, definite `1`, or unknown `X`.
+///
+/// `X` represents "unassigned / unknown". All operations are the strongest
+/// monotone (Kleene) extensions of the Boolean functions: the result is
+/// definite whenever the definite inputs alone determine it.
+///
+/// # Example
+///
+/// ```
+/// use mcp_logic::V3;
+///
+/// assert_eq!(V3::Zero.and(V3::X), V3::Zero); // controlling 0 decides
+/// assert_eq!(V3::One.and(V3::X), V3::X);     // non-controlling 1 does not
+/// assert_eq!(!V3::X, V3::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum V3 {
+    /// Definite logic 0.
+    Zero,
+    /// Definite logic 1.
+    One,
+    /// Unknown / unassigned.
+    #[default]
+    X,
+}
+
+impl V3 {
+    /// Returns `true` if the value is definite (`0` or `1`).
+    ///
+    /// ```
+    /// use mcp_logic::V3;
+    /// assert!(V3::Zero.is_definite());
+    /// assert!(!V3::X.is_definite());
+    /// ```
+    #[inline]
+    pub fn is_definite(self) -> bool {
+        self != V3::X
+    }
+
+    /// Converts to `Option<bool>`: `Some` for definite values, `None` for `X`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    /// Ternary conjunction (Kleene AND).
+    #[inline]
+    pub fn and(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+
+    /// Ternary disjunction (Kleene OR).
+    #[inline]
+    pub fn or(self, rhs: V3) -> V3 {
+        match (self, rhs) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+
+    /// Ternary exclusive-or. `X` on either side yields `X`.
+    #[inline]
+    pub fn xor(self, rhs: V3) -> V3 {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => V3::from(a ^ b),
+            _ => V3::X,
+        }
+    }
+
+    /// Applies an output inversion when `invert` is true; `X` stays `X`.
+    ///
+    /// This is how NAND/NOR/XNOR are derived from AND/OR/XOR.
+    #[inline]
+    pub fn invert_if(self, invert: bool) -> V3 {
+        if invert {
+            !self
+        } else {
+            self
+        }
+    }
+}
+
+impl From<bool> for V3 {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+}
+
+impl std::ops::Not for V3 {
+    type Output = V3;
+
+    #[inline]
+    fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+}
+
+impl fmt::Display for V3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            V3::Zero => write!(f, "0"),
+            V3::One => write!(f, "1"),
+            V3::X => write!(f, "X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [V3; 3] = [V3::Zero, V3::One, V3::X];
+
+    #[test]
+    fn not_is_involutive_on_definite() {
+        assert_eq!(!!V3::Zero, V3::Zero);
+        assert_eq!(!!V3::One, V3::One);
+        assert_eq!(!V3::X, V3::X);
+    }
+
+    #[test]
+    fn and_matches_kleene_table() {
+        assert_eq!(V3::Zero.and(V3::X), V3::Zero);
+        assert_eq!(V3::X.and(V3::Zero), V3::Zero);
+        assert_eq!(V3::One.and(V3::One), V3::One);
+        assert_eq!(V3::One.and(V3::X), V3::X);
+        assert_eq!(V3::X.and(V3::X), V3::X);
+    }
+
+    #[test]
+    fn or_matches_kleene_table() {
+        assert_eq!(V3::One.or(V3::X), V3::One);
+        assert_eq!(V3::X.or(V3::One), V3::One);
+        assert_eq!(V3::Zero.or(V3::Zero), V3::Zero);
+        assert_eq!(V3::Zero.or(V3::X), V3::X);
+        assert_eq!(V3::X.or(V3::X), V3::X);
+    }
+
+    #[test]
+    fn xor_is_strict_in_x() {
+        for v in ALL {
+            assert_eq!(v.xor(V3::X), V3::X);
+            assert_eq!(V3::X.xor(v), V3::X);
+        }
+        assert_eq!(V3::One.xor(V3::Zero), V3::One);
+        assert_eq!(V3::One.xor(V3::One), V3::Zero);
+    }
+
+    #[test]
+    fn ops_are_monotone_refinements_of_bool() {
+        // Whenever both operands are definite, the ternary ops agree with
+        // the Boolean ops.
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(V3::from(a).and(V3::from(b)), V3::from(a & b));
+                assert_eq!(V3::from(a).or(V3::from(b)), V3::from(a | b));
+                assert_eq!(V3::from(a).xor(V3::from(b)), V3::from(a ^ b));
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_commute() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a.and(b)), (!a).or(!b));
+                assert_eq!(!(a.or(b)), (!a).and(!b));
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_meaning() {
+        assert_eq!(V3::Zero.to_string(), "0");
+        assert_eq!(V3::One.to_string(), "1");
+        assert_eq!(V3::X.to_string(), "X");
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(V3::default(), V3::X);
+    }
+}

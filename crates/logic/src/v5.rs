@@ -1,0 +1,246 @@
+//! Roth's five-valued D-calculus `{0, 1, X, D, D̄}`.
+
+use crate::V3;
+use std::fmt;
+
+/// A five-valued D-calculus value.
+///
+/// The D-calculus tracks a *pair* of Boolean values simultaneously: the
+/// value in a "before" copy of the circuit and the value in an "after" copy.
+/// `D` means `before = 1, after = 0`... historically `D` is
+/// "good = 1 / faulty = 0"; here we adopt the transition reading used by the
+/// hazard checker: `D` is a signal that is `1` before a clock edge and `0`
+/// after it (a falling transition), `D̄` the rising transition. `0`/`1` are
+/// stable values and `X` is unknown in at least one copy.
+///
+/// Composition is component-wise Boolean algebra on the pair, with `X`
+/// absorbing as in [`V3`].
+///
+/// # Example
+///
+/// ```
+/// use mcp_logic::V5;
+///
+/// // A falling transition through an inverter becomes a rising one.
+/// assert_eq!(!V5::D, V5::Dbar);
+/// // A stable controlling 0 blocks a transition at an AND gate.
+/// assert_eq!(V5::D.and(V5::Zero), V5::Zero);
+/// // A stable non-controlling 1 lets it through.
+/// assert_eq!(V5::D.and(V5::One), V5::D);
+/// // Two opposite transitions reconverging at an AND may glitch, but their
+/// // settled composition is a stable 0.
+/// assert_eq!(V5::D.and(V5::Dbar), V5::Zero);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum V5 {
+    /// Stable 0 in both copies.
+    Zero,
+    /// Stable 1 in both copies.
+    One,
+    /// Unknown in at least one copy.
+    #[default]
+    X,
+    /// `1` before / `0` after (falling transition).
+    D,
+    /// `0` before / `1` after (rising transition).
+    Dbar,
+}
+
+impl V5 {
+    /// Decomposes into the (before, after) component pair.
+    #[inline]
+    pub fn components(self) -> (V3, V3) {
+        match self {
+            V5::Zero => (V3::Zero, V3::Zero),
+            V5::One => (V3::One, V3::One),
+            V5::X => (V3::X, V3::X),
+            V5::D => (V3::One, V3::Zero),
+            V5::Dbar => (V3::Zero, V3::One),
+        }
+    }
+
+    /// Recomposes a value from (before, after) components.
+    ///
+    /// Any `X` component makes the result `X` — the calculus does not track
+    /// half-known pairs.
+    #[inline]
+    pub fn from_components(before: V3, after: V3) -> V5 {
+        match (before, after) {
+            (V3::Zero, V3::Zero) => V5::Zero,
+            (V3::One, V3::One) => V5::One,
+            (V3::One, V3::Zero) => V5::D,
+            (V3::Zero, V3::One) => V5::Dbar,
+            _ => V5::X,
+        }
+    }
+
+    /// Returns `true` for the transition values `D` and `D̄`.
+    #[inline]
+    pub fn is_transition(self) -> bool {
+        matches!(self, V5::D | V5::Dbar)
+    }
+
+    /// Returns `true` for the stable definite values `0` and `1`.
+    #[inline]
+    pub fn is_stable(self) -> bool {
+        matches!(self, V5::Zero | V5::One)
+    }
+
+    /// Five-valued conjunction (component-wise AND).
+    #[inline]
+    pub fn and(self, rhs: V5) -> V5 {
+        let (a0, a1) = self.components();
+        let (b0, b1) = rhs.components();
+        V5::from_components(a0.and(b0), a1.and(b1))
+    }
+
+    /// Five-valued disjunction (component-wise OR).
+    #[inline]
+    pub fn or(self, rhs: V5) -> V5 {
+        let (a0, a1) = self.components();
+        let (b0, b1) = rhs.components();
+        V5::from_components(a0.or(b0), a1.or(b1))
+    }
+
+    /// Five-valued exclusive-or (component-wise XOR).
+    #[inline]
+    pub fn xor(self, rhs: V5) -> V5 {
+        let (a0, a1) = self.components();
+        let (b0, b1) = rhs.components();
+        V5::from_components(a0.xor(b0), a1.xor(b1))
+    }
+
+    /// Applies an output inversion when `invert` is true.
+    #[inline]
+    pub fn invert_if(self, invert: bool) -> V5 {
+        if invert {
+            !self
+        } else {
+            self
+        }
+    }
+}
+
+impl From<bool> for V5 {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            V5::One
+        } else {
+            V5::Zero
+        }
+    }
+}
+
+impl std::ops::Not for V5 {
+    type Output = V5;
+
+    #[inline]
+    fn not(self) -> V5 {
+        match self {
+            V5::Zero => V5::One,
+            V5::One => V5::Zero,
+            V5::X => V5::X,
+            V5::D => V5::Dbar,
+            V5::Dbar => V5::D,
+        }
+    }
+}
+
+impl fmt::Display for V5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            V5::Zero => write!(f, "0"),
+            V5::One => write!(f, "1"),
+            V5::X => write!(f, "X"),
+            V5::D => write!(f, "D"),
+            V5::Dbar => write!(f, "D'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [V5; 5] = [V5::Zero, V5::One, V5::X, V5::D, V5::Dbar];
+
+    #[test]
+    fn components_round_trip() {
+        for v in ALL {
+            let (b, a) = v.components();
+            assert_eq!(V5::from_components(b, a), v);
+        }
+    }
+
+    #[test]
+    fn classic_roth_and_table_spot_checks() {
+        assert_eq!(V5::D.and(V5::D), V5::D);
+        assert_eq!(V5::D.and(V5::Dbar), V5::Zero);
+        assert_eq!(V5::Dbar.and(V5::Dbar), V5::Dbar);
+        assert_eq!(V5::D.and(V5::Zero), V5::Zero);
+        assert_eq!(V5::D.and(V5::One), V5::D);
+        // X with a transition: the settled value is unknown unless the
+        // definite component is controlling in both copies — for AND with
+        // X that never happens, so the result is X.
+        assert_eq!(V5::D.and(V5::X), V5::X);
+    }
+
+    #[test]
+    fn classic_roth_or_table_spot_checks() {
+        assert_eq!(V5::D.or(V5::Dbar), V5::One);
+        assert_eq!(V5::D.or(V5::Zero), V5::D);
+        assert_eq!(V5::D.or(V5::One), V5::One);
+        assert_eq!(V5::Dbar.or(V5::Dbar), V5::Dbar);
+    }
+
+    #[test]
+    fn xor_of_equal_transitions_is_stable_zero() {
+        assert_eq!(V5::D.xor(V5::D), V5::Zero);
+        assert_eq!(V5::D.xor(V5::Dbar), V5::One);
+        assert_eq!(V5::D.xor(V5::Zero), V5::D);
+        assert_eq!(V5::D.xor(V5::One), V5::Dbar);
+    }
+
+    #[test]
+    fn not_swaps_transitions() {
+        assert_eq!(!V5::D, V5::Dbar);
+        assert_eq!(!V5::Dbar, V5::D);
+        assert_eq!(!V5::X, V5::X);
+    }
+
+    #[test]
+    fn ops_agree_with_componentwise_v3() {
+        // Exhaustive consistency check against the defining decomposition.
+        for a in ALL {
+            for b in ALL {
+                let (a0, a1) = a.components();
+                let (b0, b1) = b.components();
+                assert_eq!(
+                    a.and(b),
+                    V5::from_components(a0.and(b0), a1.and(b1)),
+                    "and({a}, {b})"
+                );
+                assert_eq!(
+                    a.or(b),
+                    V5::from_components(a0.or(b0), a1.or(b1)),
+                    "or({a}, {b})"
+                );
+                assert_eq!(
+                    a.xor(b),
+                    V5::from_components(a0.xor(b0), a1.xor(b1)),
+                    "xor({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transition_predicates() {
+        assert!(V5::D.is_transition());
+        assert!(V5::Dbar.is_transition());
+        assert!(!V5::X.is_transition());
+        assert!(V5::Zero.is_stable());
+        assert!(!V5::D.is_stable());
+    }
+}

@@ -1,0 +1,409 @@
+//! ISCAS89 `.bench` format parser and writer.
+//!
+//! The `.bench` format is the distribution format of the ISCAS89 benchmark
+//! suite the paper evaluates on:
+//!
+//! ```text
+//! # s-era comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G14)
+//! G11 = NOT(G5)
+//! G14 = AND(G0, G11)
+//! ```
+//!
+//! [`parse`] accepts the full suite syntax (case-insensitive keywords,
+//! forward references, `BUF`/`BUFF` spellings) plus a `CONST(0|1)`
+//! extension so every [`Netlist`] round-trips through [`to_bench`].
+//!
+//! # Example
+//!
+//! ```
+//! use mcp_netlist::bench;
+//!
+//! let src = "
+//!     INPUT(A)
+//!     OUTPUT(Q)
+//!     Q = DFF(D)
+//!     D = XOR(Q, A)
+//! ";
+//! let netlist = bench::parse("toggle", src)?;
+//! assert_eq!(netlist.num_ffs(), 1);
+//! let round = bench::parse("again", &bench::to_bench(&netlist))?;
+//! assert_eq!(round.stats(), netlist.stats());
+//! # Ok::<(), bench::ParseBenchError>(())
+//! ```
+
+use crate::builder::{BuildError, NetlistBuilder};
+use crate::model::{Netlist, NodeId, NodeKind};
+use mcp_logic::GateKind;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced while parsing a `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    /// 1-based line number of the offending line (0 when the error is
+    /// global, e.g. an undefined signal discovered at link time).
+    pub line: usize,
+    /// Explanation of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "bench parse error: {}", self.message)
+        } else {
+            write!(f, "bench parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+impl From<BuildError> for ParseBenchError {
+    fn from(e: BuildError) -> Self {
+        ParseBenchError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Stmt {
+    Input(String),
+    Output(String),
+    Def {
+        name: String,
+        func: String,
+        args: Vec<String>,
+    },
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Stmt)>, ParseBenchError> {
+    let mut stmts = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseBenchError {
+            line: lineno,
+            message,
+        };
+        if let Some(rest) = strip_call(line, "INPUT") {
+            stmts.push((lineno, Stmt::Input(rest.trim().to_owned())));
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            stmts.push((lineno, Stmt::Output(rest.trim().to_owned())));
+        } else if let Some(eq) = line.find('=') {
+            let name = line[..eq].trim().to_owned();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(format!("expected `FUNC(args)` after `=`, got `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(err(format!("missing `)` in `{rhs}`")));
+            }
+            let func = rhs[..open].trim().to_owned();
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if name.is_empty() {
+                return Err(err("empty signal name on left of `=`".to_owned()));
+            }
+            stmts.push((lineno, Stmt::Def { name, func, args }));
+        } else {
+            return Err(err(format!("unrecognized statement `{line}`")));
+        }
+    }
+    Ok(stmts)
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if upper.starts_with(keyword) {
+        let rest = line[keyword.len()..].trim();
+        rest.strip_prefix('(')?.strip_suffix(')')
+    } else {
+        None
+    }
+}
+
+/// Parses a `.bench` source into a [`Netlist`].
+///
+/// Signals referenced before (or without) a definition are resolved in a
+/// second pass; a referenced but never-defined, never-declared signal is an
+/// error. Keywords are case-insensitive. The non-standard `CONST(0)` /
+/// `CONST(1)` definition is accepted for round-tripping constant drivers.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on syntax errors, unknown gate keywords,
+/// undefined signals, duplicate definitions, or any structural
+/// [`BuildError`] (bad arity, combinational cycle, ...).
+pub fn parse(name: &str, src: &str) -> Result<Netlist, ParseBenchError> {
+    let stmts = lex(src)?;
+    let mut b = NetlistBuilder::new(name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut dff_inputs: Vec<(usize, NodeId, String)> = Vec::new();
+    let mut gate_defs: Vec<(usize, String, GateKind, Vec<String>)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+
+    // Pass 1: create all named nodes (inputs, FFs, constants); record gate
+    // definitions for pass 2 so forward references work.
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Input(sig) => {
+                if ids.contains_key(sig) {
+                    return Err(ParseBenchError {
+                        line: *line,
+                        message: format!("signal `{sig}` defined twice"),
+                    });
+                }
+                ids.insert(sig.clone(), b.input(sig.clone()));
+            }
+            Stmt::Output(sig) => outputs.push((*line, sig.clone())),
+            Stmt::Def { name, func, args } => {
+                if ids.contains_key(name) {
+                    return Err(ParseBenchError {
+                        line: *line,
+                        message: format!("signal `{name}` defined twice"),
+                    });
+                }
+                let fu = func.to_ascii_uppercase();
+                if fu == "DFF" {
+                    if args.len() != 1 {
+                        return Err(ParseBenchError {
+                            line: *line,
+                            message: format!("DFF takes one input, got {}", args.len()),
+                        });
+                    }
+                    let id = b.dff(name.clone());
+                    ids.insert(name.clone(), id);
+                    dff_inputs.push((*line, id, args[0].clone()));
+                } else if fu == "CONST" {
+                    let v = match args.as_slice() {
+                        [a] if a == "0" => false,
+                        [a] if a == "1" => true,
+                        _ => {
+                            return Err(ParseBenchError {
+                                line: *line,
+                                message: "CONST takes a single 0 or 1".to_owned(),
+                            })
+                        }
+                    };
+                    ids.insert(name.clone(), b.constant(name.clone(), v));
+                } else {
+                    let kind: GateKind = fu.parse().map_err(|e| ParseBenchError {
+                        line: *line,
+                        message: format!("{e}"),
+                    })?;
+                    gate_defs.push((*line, name.clone(), kind, args.clone()));
+                }
+            }
+        }
+    }
+
+    // Pass 2: create gates in dependency order (iterate until fixpoint;
+    // gates whose fanins are all known can be created). `.bench` files may
+    // list definitions in any order.
+    let mut remaining = gate_defs;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut next = Vec::new();
+        for (line, gname, kind, args) in remaining {
+            if args.iter().all(|a| ids.contains_key(a)) {
+                let fanins: Vec<NodeId> = args.iter().map(|a| ids[a]).collect();
+                let id = b.gate(gname.clone(), kind, fanins).map_err(|e| {
+                    ParseBenchError {
+                        line,
+                        message: e.to_string(),
+                    }
+                })?;
+                ids.insert(gname, id);
+            } else {
+                next.push((line, gname, kind, args));
+            }
+        }
+        remaining = next;
+        if remaining.len() == before {
+            // No progress: an undefined signal or a combinational cycle.
+            let (line, gname, _, args) = &remaining[0];
+            let missing: Vec<&str> = args
+                .iter()
+                .filter(|a| !ids.contains_key(a.as_str()))
+                .map(String::as_str)
+                .collect();
+            return Err(ParseBenchError {
+                line: *line,
+                message: format!(
+                    "cannot resolve inputs of `{gname}`: undefined or cyclic signal(s) {}",
+                    missing.join(", ")
+                ),
+            });
+        }
+    }
+
+    for (line, id, d) in dff_inputs {
+        let d_id = *ids.get(&d).ok_or_else(|| ParseBenchError {
+            line,
+            message: format!("DFF input `{d}` is undefined"),
+        })?;
+        b.set_dff_input(id, d_id)?;
+    }
+    for (line, sig) in outputs {
+        let id = *ids.get(&sig).ok_or_else(|| ParseBenchError {
+            line,
+            message: format!("OUTPUT signal `{sig}` is undefined"),
+        })?;
+        b.mark_output(id);
+    }
+    Ok(b.finish()?)
+}
+
+/// Serializes a netlist to `.bench` source.
+///
+/// The output parses back (see [`parse`]) to a netlist with identical
+/// structure. Constant drivers use the `CONST(0|1)` extension.
+pub fn to_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &pi in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.node(pi).name());
+    }
+    for &po in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.node(po).name());
+    }
+    for (_, node) in netlist.nodes() {
+        match node.kind() {
+            NodeKind::Input => {}
+            NodeKind::Const(v) => {
+                let _ = writeln!(out, "{} = CONST({})", node.name(), u8::from(v));
+            }
+            NodeKind::Dff => {
+                let d = netlist.node(node.fanins()[0]).name();
+                let _ = writeln!(out, "{} = DFF({})", node.name(), d);
+            }
+            NodeKind::Gate(kind) => {
+                let args: Vec<&str> = node
+                    .fanins()
+                    .iter()
+                    .map(|&f| netlist.node(f).name())
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    node.name(),
+                    kind.bench_keyword(),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27ISH: &str = "
+        # a small s27-flavoured circuit
+        INPUT(G0)
+        INPUT(G1)
+        INPUT(G2)
+        INPUT(G3)
+        OUTPUT(G17)
+        G5 = DFF(G10)
+        G6 = DFF(G11)
+        G7 = DFF(G13)
+        G14 = NOT(G0)
+        G8 = AND(G14, G6)
+        G15 = OR(G12, G8)
+        G16 = OR(G3, G8)
+        G9 = NAND(G16, G15)
+        G10 = NOR(G14, G11)
+        G11 = OR(G5, G9)
+        G12 = NOR(G1, G7)
+        G13 = NAND(G2, G12)
+        G17 = NOT(G11)
+    ";
+
+    #[test]
+    fn parses_forward_references() {
+        let nl = parse("s27ish", S27ISH).expect("parse");
+        assert_eq!(nl.num_inputs(), 4);
+        assert_eq!(nl.num_ffs(), 3);
+        assert_eq!(nl.outputs().len(), 1);
+        assert_eq!(nl.num_gates(), 10);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let nl = parse("s27ish", S27ISH).expect("parse");
+        let text = to_bench(&nl);
+        let again = parse("s27ish", &text).expect("reparse");
+        assert_eq!(again.stats(), nl.stats());
+        assert_eq!(again.connected_ff_pairs(), nl.connected_ff_pairs());
+        // names survive
+        for (_, node) in nl.nodes() {
+            assert!(again.find_node(node.name()).is_some(), "{}", node.name());
+        }
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_buf_spellings() {
+        let nl = parse(
+            "c",
+            "input(a)\noutput(y)\ny = buff(b)\nb = nand(a, a)\n",
+        )
+        .expect("parse");
+        assert_eq!(nl.num_gates(), 2);
+    }
+
+    #[test]
+    fn const_extension_round_trips() {
+        let nl = parse("c", "OUTPUT(y)\none = CONST(1)\ny = BUFF(one)\n").expect("parse");
+        let again = parse("c", &to_bench(&nl)).expect("reparse");
+        assert_eq!(again.stats(), nl.stats());
+    }
+
+    #[test]
+    fn undefined_signal_is_an_error() {
+        let err = parse("bad", "OUTPUT(y)\ny = AND(a, b)\n").unwrap_err();
+        assert!(err.message.contains("cannot resolve"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_definition_is_an_error() {
+        let err = parse("bad", "INPUT(a)\na = NOT(a)\n").unwrap_err();
+        assert!(err.message.contains("defined twice"), "{err}");
+    }
+
+    #[test]
+    fn combinational_cycle_is_an_error() {
+        let err = parse("bad", "OUTPUT(a)\na = NOT(b)\nb = NOT(a)\n").unwrap_err();
+        assert!(
+            err.message.contains("cyclic") || err.message.contains("cycle"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dff_arity_is_checked() {
+        let err = parse("bad", "INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n").unwrap_err();
+        assert!(err.message.contains("DFF takes one input"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse("bad", "INPUT(a)\nwhat is this\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

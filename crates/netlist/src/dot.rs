@@ -1,0 +1,121 @@
+//! Graphviz DOT export of netlists.
+//!
+//! For inspecting small circuits and illustrating analysis results:
+//! inputs are diamonds, flip-flops are boxes, gates are ellipses labelled
+//! with their function, and the sequential D edges are dashed (they cross
+//! the clock boundary).
+
+use crate::model::{Netlist, NodeId, NodeKind};
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Node ids (FF indices into [`Netlist::dffs`]) to highlight as a
+    /// source/sink pair, drawn filled.
+    pub highlight_pair: Option<(usize, usize)>,
+    /// Extra nodes to shade (e.g. a hazard path).
+    pub shaded: Vec<NodeId>,
+}
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// The output is deterministic (nodes in id order) so it can be used in
+/// golden tests.
+pub fn to_dot(netlist: &Netlist, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    let highlighted: Vec<NodeId> = opts
+        .highlight_pair
+        .map(|(i, j)| vec![netlist.dffs()[i], netlist.dffs()[j]])
+        .unwrap_or_default();
+
+    for (id, node) in netlist.nodes() {
+        let (shape, label) = match node.kind() {
+            NodeKind::Input => ("diamond", node.name().to_owned()),
+            NodeKind::Const(v) => ("plaintext", format!("{}", u8::from(v))),
+            NodeKind::Dff => ("box", format!("{}\\nDFF", node.name())),
+            NodeKind::Gate(kind) => ("ellipse", format!("{}\\n{}", node.name(), kind)),
+        };
+        let mut attrs = format!("shape={shape}, label=\"{label}\"");
+        if highlighted.contains(&id) {
+            attrs.push_str(", style=filled, fillcolor=gold");
+        } else if opts.shaded.contains(&id) {
+            attrs.push_str(", style=filled, fillcolor=lightblue");
+        }
+        let _ = writeln!(out, "  n{} [{attrs}];", id.index());
+    }
+
+    for (id, node) in netlist.nodes() {
+        let dashed = node.kind().is_dff();
+        for &f in node.fanins() {
+            let style = if dashed { " [style=dashed]" } else { "" };
+            let _ = writeln!(out, "  n{} -> n{}{style};", f.index(), id.index());
+        }
+    }
+    for &po in netlist.outputs() {
+        let _ = writeln!(
+            out,
+            "  out_{0} [shape=plaintext, label=\"OUT\"]; n{0} -> out_{0};",
+            po.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+    use mcp_logic::GateKind;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("A");
+        let q = b.dff("Q");
+        let g = b.gate("G", GateKind::Nand, [a, q]).unwrap();
+        b.set_dff_input(q, g).unwrap();
+        b.mark_output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let nl = tiny();
+        let dot = to_dot(&nl, &DotOptions::default());
+        assert!(dot.starts_with("digraph \"tiny\""));
+        assert!(dot.contains("shape=diamond, label=\"A\""));
+        assert!(dot.contains("Q\\nDFF"));
+        assert!(dot.contains("G\\nNAND"));
+        // D edge is dashed; combinational edges are not.
+        assert!(dot.contains("[style=dashed];"));
+        assert!(dot.contains("-> out_"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlighting_marks_the_pair() {
+        let nl = tiny();
+        let dot = to_dot(
+            &nl,
+            &DotOptions {
+                highlight_pair: Some((0, 0)),
+                shaded: vec![nl.find_node("G").unwrap()],
+            },
+        );
+        assert!(dot.contains("fillcolor=gold"));
+        assert!(dot.contains("fillcolor=lightblue"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let nl = tiny();
+        let a = to_dot(&nl, &DotOptions::default());
+        let b = to_dot(&nl, &DotOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,513 @@
+//! Time-frame expansion of a sequential circuit.
+//!
+//! The multi-cycle condition `FFi(t) != FFi(t+1)  ⇒  FFj(t+1) == FFj(t+2)`
+//! talks about flip-flop values at three consecutive clock ticks. To reason
+//! about it combinationally, the logic part is *expanded* into `F` copies
+//! ("frames"): frame `f` computes the circuit's combinational functions of
+//! the FF state at time `t+f` and the primary inputs at time `t+f`. The FF
+//! state at time `t+f+1` is, by the D-FF semantics, the D-input value
+//! computed inside frame `f`.
+//!
+//! The resulting [`Expanded`] model is a plain combinational DAG over free
+//! variables — initial FF state plus per-frame primary inputs — shared by
+//! the implication engine, the ATPG search and the SAT encoder, which
+//! guarantees all three answer exactly the same question.
+
+use crate::model::{Netlist, NodeId, NodeKind};
+use mcp_logic::{GateKind, V3};
+use std::fmt;
+
+/// Identifier of a node in an [`Expanded`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XId(u32);
+
+impl XId {
+    /// Dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for XId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Where a free variable of the expanded model comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarOrigin {
+    /// Primary input `pi` (by input index) during frame `frame`.
+    Pi {
+        /// Frame index in `0..frames`.
+        frame: u32,
+        /// Primary-input index.
+        pi: u32,
+    },
+    /// The state of flip-flop `ff` (by FF index) at time `t` (frame 0).
+    ///
+    /// Following the paper (and the SAT baseline \[9\]), the initial state is
+    /// unconstrained: every state is assumed reachable.
+    InitialState {
+        /// Flip-flop index.
+        ff: u32,
+    },
+}
+
+/// A node of the expanded combinational model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XKind {
+    /// A free variable (pseudo primary input).
+    Var(VarOrigin),
+    /// A constant.
+    Const(bool),
+    /// A combinational gate.
+    Gate(GateKind),
+}
+
+/// One node of the expanded model: kind plus fanins.
+#[derive(Debug, Clone)]
+pub struct XNode {
+    kind: XKind,
+    fanins: Vec<XId>,
+    /// The original netlist node this expansion copy computes, with its
+    /// frame — `None` for free variables that stand for FF initial state.
+    origin: Option<(u32, NodeId)>,
+}
+
+impl XNode {
+    /// The node kind.
+    #[inline]
+    pub fn kind(&self) -> XKind {
+        self.kind
+    }
+
+    /// Fanins in input order (empty for variables and constants).
+    #[inline]
+    pub fn fanins(&self) -> &[XId] {
+        &self.fanins
+    }
+
+    /// The `(frame, original node)` this copy computes, when applicable.
+    #[inline]
+    pub fn origin(&self) -> Option<(u32, NodeId)> {
+        self.origin
+    }
+}
+
+/// A sequential circuit expanded into `F` combinational time frames.
+///
+/// # Example
+///
+/// ```
+/// use mcp_netlist::{Expanded, NetlistBuilder};
+/// use mcp_logic::GateKind;
+///
+/// let mut b = NetlistBuilder::new("toggle");
+/// let q = b.dff("Q");
+/// let d = b.gate("D", GateKind::Not, [q])?;
+/// b.set_dff_input(q, d)?;
+/// let netlist = b.finish()?;
+///
+/// let x = Expanded::build(&netlist, 2);
+/// // Q at time t is a free variable; Q at t+1 and t+2 are gate outputs.
+/// assert_ne!(x.ff_at(0, 0), x.ff_at(0, 1));
+/// assert_ne!(x.ff_at(0, 1), x.ff_at(0, 2));
+/// # Ok::<(), mcp_netlist::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Expanded {
+    nodes: Vec<XNode>,
+    frames: u32,
+    num_pis: usize,
+    num_ffs: usize,
+    /// `value_in_frame[f][orig.index()]`: the expanded node computing the
+    /// original node's value during frame `f`.
+    value_in_frame: Vec<Vec<XId>>,
+    /// D-input node id per FF in the original netlist (cached).
+    d_inputs: Vec<NodeId>,
+    fanouts: Vec<Vec<XId>>,
+    /// All gate nodes in topological order.
+    topo: Vec<XId>,
+    /// All free variables.
+    vars: Vec<XId>,
+    /// `pi_vars[f * num_pis + pi]`: the variable for PI `pi` in frame `f`.
+    pi_vars: Vec<XId>,
+    /// `state_vars[ff]`: the initial-state variable of FF `ff`.
+    state_vars: Vec<XId>,
+    level: Vec<u32>,
+}
+
+impl Expanded {
+    /// Expands `netlist` into `frames` combinational frames (`frames ≥ 1`).
+    ///
+    /// With `F` frames, FF values at times `t ..= t+F` are available via
+    /// [`ff_at`](Self::ff_at) — the paper's 2-frame expansion (`F = 2`)
+    /// exposes `FF(t)`, `FF(t+1)`, `FF(t+2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`.
+    pub fn build(netlist: &Netlist, frames: u32) -> Expanded {
+        assert!(frames >= 1, "expansion needs at least one frame");
+        let n = netlist.num_nodes();
+        let mut nodes: Vec<XNode> = Vec::with_capacity(n * frames as usize);
+        let mut vars = Vec::new();
+        let mut pi_vars = Vec::new();
+        let mut state_vars = Vec::new();
+        let mut value_in_frame: Vec<Vec<XId>> = Vec::with_capacity(frames as usize);
+
+        let push = |nodes: &mut Vec<XNode>, node: XNode| -> XId {
+            let id = XId(nodes.len() as u32);
+            nodes.push(node);
+            id
+        };
+
+        let d_inputs: Vec<NodeId> = (0..netlist.num_ffs())
+            .map(|k| netlist.ff_d_input(k))
+            .collect();
+
+        const UNSET: XId = XId(u32::MAX);
+        for f in 0..frames {
+            let mut map = vec![UNSET; n];
+            // Sources first: PIs are fresh variables each frame; FF outputs
+            // are fresh variables in frame 0 and aliases of the previous
+            // frame's D-input values afterwards; constants are shared per
+            // frame (cheap enough).
+            for (pi_idx, &pi) in netlist.inputs().iter().enumerate() {
+                let id = push(
+                    &mut nodes,
+                    XNode {
+                        kind: XKind::Var(VarOrigin::Pi {
+                            frame: f,
+                            pi: pi_idx as u32,
+                        }),
+                        fanins: Vec::new(),
+                        origin: Some((f, pi)),
+                    },
+                );
+                vars.push(id);
+                pi_vars.push(id);
+                map[pi.index()] = id;
+            }
+            for (ff_idx, &ff) in netlist.dffs().iter().enumerate() {
+                if f == 0 {
+                    let id = push(
+                        &mut nodes,
+                        XNode {
+                            kind: XKind::Var(VarOrigin::InitialState { ff: ff_idx as u32 }),
+                            fanins: Vec::new(),
+                            origin: Some((0, ff)),
+                        },
+                    );
+                    vars.push(id);
+                    state_vars.push(id);
+                    map[ff.index()] = id;
+                } else {
+                    // Alias: FF output in frame f = D input value in f-1.
+                    map[ff.index()] = value_in_frame[f as usize - 1][d_inputs
+                        [ff_idx]
+                        .index()];
+                }
+            }
+            for (id, node) in netlist.nodes() {
+                if let NodeKind::Const(v) = node.kind() {
+                    let x = push(
+                        &mut nodes,
+                        XNode {
+                            kind: XKind::Const(v),
+                            fanins: Vec::new(),
+                            origin: Some((f, id)),
+                        },
+                    );
+                    map[id.index()] = x;
+                }
+            }
+            for &g in netlist.topo_gates() {
+                let node = netlist.node(g);
+                let kind = node.kind().gate_kind().expect("topo contains gates");
+                let fanins: Vec<XId> = node.fanins().iter().map(|x| map[x.index()]).collect();
+                debug_assert!(fanins.iter().all(|&x| x != UNSET));
+                let x = push(
+                    &mut nodes,
+                    XNode {
+                        kind: XKind::Gate(kind),
+                        fanins,
+                        origin: Some((f, g)),
+                    },
+                );
+                map[g.index()] = x;
+            }
+            value_in_frame.push(map);
+        }
+
+        let mut fanouts: Vec<Vec<XId>> = vec![Vec::new(); nodes.len()];
+        let mut topo = Vec::new();
+        let mut level = vec![0u32; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            let id = XId(i as u32);
+            if matches!(node.kind, XKind::Gate(_)) {
+                topo.push(id); // creation order is topological
+                level[i] = 1 + node
+                    .fanins
+                    .iter()
+                    .map(|f| level[f.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+            for &f in &node.fanins {
+                fanouts[f.index()].push(id);
+            }
+        }
+
+        Expanded {
+            nodes,
+            frames,
+            num_pis: netlist.num_inputs(),
+            num_ffs: netlist.num_ffs(),
+            value_in_frame,
+            d_inputs,
+            fanouts,
+            topo,
+            vars,
+            pi_vars,
+            state_vars,
+            level,
+        }
+    }
+
+    /// Number of frames `F` in the expansion.
+    #[inline]
+    pub fn frames(&self) -> u32 {
+        self.frames
+    }
+
+    /// Number of nodes in the expanded model.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of flip-flops in the underlying netlist.
+    #[inline]
+    pub fn num_ffs(&self) -> usize {
+        self.num_ffs
+    }
+
+    /// Number of primary inputs in the underlying netlist.
+    #[inline]
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: XId) -> &XNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in id order (which is topological).
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = (XId, &XNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (XId(i as u32), n))
+    }
+
+    /// The expanded node giving the value of flip-flop `ff` at time `t +
+    /// time` (`time ≤ frames`).
+    ///
+    /// `time == 0` is the free initial-state variable; `time == k ≥ 1` is
+    /// the FF's D-input value computed in frame `k-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` or `time` is out of range.
+    pub fn ff_at(&self, ff: usize, time: u32) -> XId {
+        assert!(time <= self.frames, "time {time} exceeds frames {}", self.frames);
+        if time == 0 {
+            self.state_vars[ff]
+        } else {
+            self.value_in_frame[time as usize - 1][self.d_inputs[ff].index()]
+        }
+    }
+
+    /// The expanded node giving the value of primary input `pi` during
+    /// frame `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` or `frame` is out of range.
+    pub fn pi_at(&self, pi: usize, frame: u32) -> XId {
+        assert!(frame < self.frames && pi < self.num_pis);
+        self.pi_vars[frame as usize * self.num_pis + pi]
+    }
+
+    /// The expanded node computing original node `orig` during frame
+    /// `frame`.
+    ///
+    /// For a DFF node this is its *output* value during that frame (the
+    /// state at time `t+frame`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range.
+    #[inline]
+    pub fn value_of(&self, frame: u32, orig: NodeId) -> XId {
+        self.value_in_frame[frame as usize][orig.index()]
+    }
+
+    /// Readers of a node.
+    #[inline]
+    pub fn fanouts(&self, id: XId) -> &[XId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Gate nodes in topological order.
+    #[inline]
+    pub fn topo_gates(&self) -> &[XId] {
+        &self.topo
+    }
+
+    /// All free variables (per-frame PIs then initial FF state for frame 0,
+    /// then later frames' PIs).
+    #[inline]
+    pub fn vars(&self) -> &[XId] {
+        &self.vars
+    }
+
+    /// Structural level (0 for variables/constants).
+    #[inline]
+    pub fn level(&self, id: XId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Evaluates the whole model over the ternary domain given an
+    /// assignment to (some of) the free variables.
+    ///
+    /// Mostly a reference implementation for tests and for witness
+    /// verification: returns the value of every node, computed in
+    /// topological order with [`GateKind::eval_v3`].
+    pub fn eval_v3(&self, var_values: &[(XId, V3)]) -> Vec<V3> {
+        let mut val = vec![V3::X; self.nodes.len()];
+        for &(id, v) in var_values {
+            val[id.index()] = v;
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.kind {
+                XKind::Const(b) => val[i] = V3::from(b),
+                XKind::Gate(kind) => {
+                    val[i] = kind.eval_v3(node.fanins.iter().map(|f| val[f.index()]));
+                }
+                XKind::Var(_) => {}
+            }
+        }
+        val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    /// q1 toggles; q2.D = AND(q1, in).
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        let input = b.input("IN");
+        let q1 = b.dff("Q1");
+        let q2 = b.dff("Q2");
+        let n = b.gate("N", GateKind::Not, [q1]).unwrap();
+        let a = b.gate("A", GateKind::And, [q1, input]).unwrap();
+        b.set_dff_input(q1, n).unwrap();
+        b.set_dff_input(q2, a).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn sizes_scale_with_frames() {
+        let nl = sample();
+        let x1 = Expanded::build(&nl, 1);
+        let x3 = Expanded::build(&nl, 3);
+        // per frame: 1 PI var + 2 gates; frame 0 additionally 2 state vars
+        assert_eq!(x1.num_nodes(), 1 + 2 + 2);
+        assert_eq!(x3.num_nodes(), 2 + 3 * (1 + 2));
+        assert_eq!(x3.vars().len(), 2 + 3);
+        assert_eq!(x3.topo_gates().len(), 6);
+    }
+
+    #[test]
+    fn ff_at_aliases_previous_frame_d_input() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 2);
+        let q1 = nl.find_node("Q1").unwrap();
+        let n = nl.find_node("N").unwrap();
+        // Q1 at time 1 is N evaluated in frame 0, which is also Q1's value
+        // during frame 1.
+        assert_eq!(x.ff_at(0, 1), x.value_of(0, n));
+        assert_eq!(x.ff_at(0, 1), x.value_of(1, q1));
+        // Q1 at time 2 is N in frame 1.
+        assert_eq!(x.ff_at(0, 2), x.value_of(1, n));
+    }
+
+    #[test]
+    fn eval_v3_computes_sequential_semantics() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 2);
+        // Q1(t)=1, Q2(t)=0, IN(t)=1, IN(t+1)=1.
+        let assign = vec![
+            (x.ff_at(0, 0), V3::One),
+            (x.ff_at(1, 0), V3::Zero),
+            (x.pi_at(0, 0), V3::One),
+            (x.pi_at(0, 1), V3::One),
+        ];
+        let val = x.eval_v3(&assign);
+        // Q1 toggles: 1 -> 0 -> 1. Q2(t+1) = AND(Q1(t), IN(t)) = 1;
+        // Q2(t+2) = AND(Q1(t+1), IN(t+1)) = 0.
+        assert_eq!(val[x.ff_at(0, 1).index()], V3::Zero);
+        assert_eq!(val[x.ff_at(0, 2).index()], V3::One);
+        assert_eq!(val[x.ff_at(1, 1).index()], V3::One);
+        assert_eq!(val[x.ff_at(1, 2).index()], V3::Zero);
+    }
+
+    #[test]
+    fn pi_at_finds_each_frame_variable() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 3);
+        for f in 0..3 {
+            let id = x.pi_at(0, f);
+            match x.node(id).kind() {
+                XKind::Var(VarOrigin::Pi { frame, pi }) => {
+                    assert_eq!(frame, f);
+                    assert_eq!(pi, 0);
+                }
+                other => panic!("expected PI var, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn origins_point_back_to_netlist() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 2);
+        let a = nl.find_node("A").unwrap();
+        for f in 0..2 {
+            let xa = x.value_of(f, a);
+            assert_eq!(x.node(xa).origin(), Some((f, a)));
+        }
+    }
+
+    #[test]
+    fn fanouts_are_consistent() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 2);
+        for (id, node) in x.nodes() {
+            for &f in node.fanins() {
+                assert!(x.fanouts(f).contains(&id));
+            }
+        }
+    }
+
+    use mcp_logic::GateKind;
+}

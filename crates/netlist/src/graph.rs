@@ -1,0 +1,254 @@
+//! Structural graph analyses over a [`Netlist`].
+//!
+//! These implement step 1 of the paper's flow — dropping FF pairs with no
+//! combinational path between them — plus the cone computations the hazard
+//! checker and the expansion need.
+
+use crate::model::{Netlist, NodeId};
+use std::collections::VecDeque;
+
+impl Netlist {
+    /// All ordered FF pairs `(i, j)` (by FF index) such that at least one
+    /// combinational path leads from `FFi`'s output to `FFj`'s D input.
+    ///
+    /// This is the candidate set of the multi-cycle analysis: the paper's
+    /// Table 1 `FF-pair` column. Self pairs `(i, i)` are included whenever
+    /// the FF structurally feeds itself (e.g. hold multiplexers).
+    ///
+    /// Pairs are returned sorted by `(i, j)`.
+    pub fn connected_ff_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for j in 0..self.num_ffs() {
+            let (ff_sources, _) = self.ff_d_cone_sources(j);
+            for i in ff_sources {
+                pairs.push((i, j));
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// The source FFs and PIs in the combinational fan-in cone of the D
+    /// input of FF `j`: `(ff_indices, pi_indices)`, each sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn ff_d_cone_sources(&self, j: usize) -> (Vec<usize>, Vec<usize>) {
+        self.cone_sources(self.ff_d_input(j))
+    }
+
+    /// The source FFs and PIs in the combinational fan-in cone of an
+    /// arbitrary node: `(ff_indices, pi_indices)`, each sorted. The cone
+    /// stops at the FF boundary (FF outputs are sources). If `d` itself is
+    /// an FF or PI, the result is just that source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` does not belong to this netlist.
+    pub fn cone_sources(&self, d: NodeId) -> (Vec<usize>, Vec<usize>) {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut ffs = Vec::new();
+        let mut pis = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(d);
+        seen[d.index()] = true;
+        while let Some(id) = queue.pop_front() {
+            let node = self.node(id);
+            match node.kind() {
+                crate::NodeKind::Dff => {
+                    ffs.push(self.ff_index(id).expect("dff has ff index"));
+                    // stop: the FF boundary is not crossed
+                }
+                crate::NodeKind::Input => {
+                    let pi = self
+                        .inputs()
+                        .iter()
+                        .position(|&p| p == id)
+                        .expect("input registered");
+                    pis.push(pi);
+                }
+                crate::NodeKind::Const(_) => {}
+                crate::NodeKind::Gate(_) => {
+                    for &f in node.fanins() {
+                        if !seen[f.index()] {
+                            seen[f.index()] = true;
+                            queue.push_back(f);
+                        }
+                    }
+                }
+            }
+        }
+        ffs.sort_unstable();
+        pis.sort_unstable();
+        (ffs, pis)
+    }
+
+    /// The set of nodes lying on at least one combinational path from the
+    /// output of FF `i` to the D input of FF `j` — i.e. the intersection of
+    /// the forward-reachable set of `FFi` and the backward-reachable set of
+    /// `FFj`'s D input, both restricted to combinational gates (plus the
+    /// two endpoints).
+    ///
+    /// Returns an empty vector when no path exists. The result contains the
+    /// source FF node and, when it lies on a path, the D-input driver node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn path_cone(&self, i: usize, j: usize) -> Vec<NodeId> {
+        let src = self.dffs()[i];
+        let dst = self.ff_d_input(j);
+
+        // Forward reachability from src through gates.
+        let mut fwd = vec![false; self.num_nodes()];
+        let mut queue = VecDeque::new();
+        fwd[src.index()] = true;
+        queue.push_back(src);
+        while let Some(id) = queue.pop_front() {
+            for &out in self.fanouts(id) {
+                if self.node(out).kind().is_gate() && !fwd[out.index()] {
+                    fwd[out.index()] = true;
+                    queue.push_back(out);
+                }
+            }
+        }
+        if !fwd[dst.index()] {
+            return Vec::new();
+        }
+
+        // Backward reachability from dst through gates (and the source FF).
+        let mut bwd = vec![false; self.num_nodes()];
+        bwd[dst.index()] = true;
+        queue.push_back(dst);
+        while let Some(id) = queue.pop_front() {
+            if !self.node(id).kind().is_gate() {
+                // FF outputs, PIs and constants end the combinational cone.
+                continue;
+            }
+            for &f in self.node(id).fanins() {
+                let k = self.node(f).kind();
+                if (k.is_gate() || f == src) && !bwd[f.index()] {
+                    bwd[f.index()] = true;
+                    queue.push_back(f);
+                }
+            }
+        }
+
+        (0..self.num_nodes())
+            .filter(|&n| fwd[n] && bwd[n])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Whether any combinational path connects FF `i`'s output to FF `j`'s
+    /// D input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn ffs_connected(&self, i: usize, j: usize) -> bool {
+        let src = self.dffs()[i];
+        let dst = self.ff_d_input(j);
+        if src == dst {
+            return true;
+        }
+        // BFS from the source FF output, moving only through combinational
+        // gates; the pair is connected iff the D driver is reached.
+        let mut seen = vec![false; self.num_nodes()];
+        let mut queue = VecDeque::new();
+        seen[src.index()] = true;
+        queue.push_back(src);
+        while let Some(id) = queue.pop_front() {
+            for &out in self.fanouts(id) {
+                if self.node(out).kind().is_gate() && !seen[out.index()] {
+                    if out == dst {
+                        return true;
+                    }
+                    seen[out.index()] = true;
+                    queue.push_back(out);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+    use mcp_logic::GateKind;
+
+    /// Two FFs in a pipeline with an enable, one isolated FF.
+    fn pipeline() -> crate::Netlist {
+        let mut b = NetlistBuilder::new("pipe");
+        let en = b.input("EN");
+        let a = b.dff("A");
+        let q = b.dff("B");
+        let iso = b.dff("ISO");
+        let g = b.gate("G", GateKind::And, [a, en]).unwrap();
+        b.set_dff_input(q, g).unwrap();
+        let na = b.gate("NA", GateKind::Not, [a]).unwrap();
+        b.set_dff_input(a, na).unwrap();
+        let niso = b.gate("NISO", GateKind::Not, [iso]).unwrap();
+        b.set_dff_input(iso, niso).unwrap();
+        b.mark_output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn connected_pairs_enumerates_structural_paths() {
+        let nl = pipeline();
+        // A feeds itself (NOT loop) and B (AND); ISO feeds only itself.
+        assert_eq!(nl.connected_ff_pairs(), vec![(0, 0), (0, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn cone_sources_include_pis() {
+        let nl = pipeline();
+        let (ffs, pis) = nl.ff_d_cone_sources(1);
+        assert_eq!(ffs, vec![0]);
+        assert_eq!(pis, vec![0]);
+        let (ffs, pis) = nl.ff_d_cone_sources(0);
+        assert_eq!(ffs, vec![0]);
+        assert!(pis.is_empty());
+    }
+
+    #[test]
+    fn path_cone_is_empty_for_unconnected_pairs() {
+        let nl = pipeline();
+        assert!(nl.path_cone(2, 1).is_empty());
+        assert!(nl.path_cone(0, 2).is_empty());
+        let cone = nl.path_cone(0, 1);
+        let names: Vec<&str> = cone.iter().map(|&n| nl.node(n).name()).collect();
+        assert!(names.contains(&"A"));
+        assert!(names.contains(&"G"));
+        assert!(!names.contains(&"EN"));
+    }
+
+    #[test]
+    fn ffs_connected_matches_pairs() {
+        let nl = pipeline();
+        assert!(nl.ffs_connected(0, 0));
+        assert!(nl.ffs_connected(0, 1));
+        assert!(!nl.ffs_connected(1, 0));
+        assert!(!nl.ffs_connected(1, 1));
+        assert!(nl.ffs_connected(2, 2));
+    }
+
+    #[test]
+    fn direct_ff_to_ff_connection_is_detected() {
+        // B.D = A directly (no gate in between).
+        let mut b = NetlistBuilder::new("direct");
+        let a = b.dff("A");
+        let q = b.dff("B");
+        b.set_dff_input(q, a).unwrap();
+        let na = b.gate("NA", GateKind::Not, [a]).unwrap();
+        b.set_dff_input(a, na).unwrap();
+        let nl = b.finish().unwrap();
+        assert!(nl.ffs_connected(0, 1));
+        assert_eq!(nl.connected_ff_pairs(), vec![(0, 0), (0, 1)]);
+        let cone = nl.path_cone(0, 1);
+        assert_eq!(cone.len(), 1); // just the source FF node
+    }
+}

@@ -1,0 +1,55 @@
+//! Gate-level synchronous sequential netlists.
+//!
+//! This crate provides the circuit substrate the whole workspace is built
+//! on: an arena-based netlist model for synchronous sequential circuits
+//! (combinational gates + single-clock positive-edge D flip-flops, no
+//! direct FF-to-FF feedback through latches), exactly the circuit class of
+//! the reproduced paper.
+//!
+//! Main entry points:
+//!
+//! * [`NetlistBuilder`] — programmatic construction with full validation
+//!   (arity checks, combinational-cycle detection, dangling D inputs).
+//! * [`mod bench`](mod@bench) — ISCAS89 `.bench` format parser and writer, so the real
+//!   benchmark suite can be analyzed when the files are available.
+//! * [`Netlist`] — the immutable circuit with precomputed topological
+//!   order, levels and fanouts, plus the structural analyses the paper's
+//!   step 1 needs ([`Netlist::connected_ff_pairs`]).
+//! * [`expand::Expanded`] — the time-frame expansion used by the
+//!   implication engine, the ATPG search and the SAT encoding: `F`
+//!   combinational copies of the logic connected through the FF boundary,
+//!   exposing the value of any flip-flop at times `t .. t+F`.
+//!
+//! # Example
+//!
+//! ```
+//! use mcp_logic::GateKind;
+//! use mcp_netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new("toggle");
+//! let ff = b.dff("Q");
+//! let nq = b.gate("NQ", GateKind::Not, [ff])?;
+//! b.set_dff_input(ff, nq)?;
+//! b.mark_output(ff);
+//! let netlist = b.finish()?;
+//!
+//! assert_eq!(netlist.num_ffs(), 1);
+//! assert_eq!(netlist.connected_ff_pairs(), vec![(0, 0)]);
+//! # Ok::<(), mcp_netlist::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod builder;
+pub mod dot;
+pub mod expand;
+pub mod graph;
+pub mod model;
+pub mod sweep;
+
+pub use builder::{BuildError, NetlistBuilder};
+pub use expand::{Expanded, VarOrigin, XId, XKind};
+pub use model::{Netlist, Node, NodeId, NodeKind, Stats};
+pub use sweep::{sweep, SweepStats};

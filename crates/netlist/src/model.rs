@@ -1,0 +1,343 @@
+//! The immutable netlist model.
+
+use mcp_logic::GateKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node in a [`Netlist`] arena.
+///
+/// `NodeId`s are dense indices assigned in creation order; they are only
+/// meaningful together with the netlist that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a dense index.
+    ///
+    /// Intended for serialization layers; an id built from a foreign index
+    /// is only valid with a netlist that actually contains it.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a netlist node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A primary input (no fanins).
+    Input,
+    /// A constant driver (no fanins).
+    Const(bool),
+    /// A combinational gate; fanins are its inputs in order.
+    Gate(GateKind),
+    /// A positive-edge D flip-flop; the single fanin is its D input.
+    ///
+    /// The node's *output* value is the FF state; at every clock edge the
+    /// state is replaced by the value of the fanin.
+    Dff,
+}
+
+impl NodeKind {
+    /// Returns the gate function if this node is a combinational gate.
+    #[inline]
+    pub fn gate_kind(self) -> Option<GateKind> {
+        match self {
+            NodeKind::Gate(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for combinational gates.
+    #[inline]
+    pub fn is_gate(self) -> bool {
+        matches!(self, NodeKind::Gate(_))
+    }
+
+    /// Returns `true` for flip-flops.
+    #[inline]
+    pub fn is_dff(self) -> bool {
+        matches!(self, NodeKind::Dff)
+    }
+}
+
+/// A single node of the netlist: its name, kind and fanin list.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) fanins: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's user-visible name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kind.
+    #[inline]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The node's fanins, in input order (for a DFF: `[d_input]`).
+    #[inline]
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+}
+
+/// Size summary of a netlist, as reported in the paper's Table 1 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Number of primary inputs (`In` column).
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops (`FF` column).
+    pub ffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of topologically connected FF pairs (`FF-pair` column).
+    pub ff_pairs: usize,
+}
+
+/// An immutable synchronous sequential circuit.
+///
+/// Built by [`NetlistBuilder`](crate::NetlistBuilder) or parsed from a
+/// `.bench` file by [`bench::parse`](crate::bench::parse). Construction
+/// precomputes fanouts, a topological order of the combinational gates and
+/// per-node levels, so the analyses in the rest of the workspace never need
+/// to re-derive them.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) dffs: Vec<NodeId>,
+    pub(crate) name_index: HashMap<String, NodeId>,
+    pub(crate) fanouts: Vec<Vec<NodeId>>,
+    /// Topological order over **combinational gates only** (inputs, consts
+    /// and DFF outputs act as sources and are not listed).
+    pub(crate) topo: Vec<NodeId>,
+    /// Combinational level: 0 for sources, `1 + max(fanin levels)` for
+    /// gates.
+    pub(crate) level: Vec<u32>,
+    /// Reverse map: node id of a DFF → its dense FF index.
+    pub(crate) ff_index_of: HashMap<NodeId, usize>,
+}
+
+impl Netlist {
+    /// The circuit name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (inputs + constants + gates + FFs).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of flip-flops.
+    #[inline]
+    pub fn num_ffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn num_gates(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Primary input nodes, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output nodes (the driver nodes marked as outputs).
+    #[inline]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flop nodes, in declaration order. The position of a node in
+    /// this slice is its *FF index*, used throughout the workspace to
+    /// identify FF pairs.
+    #[inline]
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// The FF index of a DFF node, if `id` is one.
+    #[inline]
+    pub fn ff_index(&self, id: NodeId) -> Option<usize> {
+        self.ff_index_of.get(&id).copied()
+    }
+
+    /// The D-input driver of the FF with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn ff_d_input(&self, ff: usize) -> NodeId {
+        self.nodes[self.dffs[ff].index()].fanins[0]
+    }
+
+    /// Looks a node up by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The nodes reading this node's output.
+    #[inline]
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Topological order over the combinational gates (sources excluded).
+    /// Evaluating gates in this order visits every fanin before its reader.
+    #[inline]
+    pub fn topo_gates(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Combinational level of a node: 0 for inputs/constants/FF outputs,
+    /// `1 + max(fanin level)` for gates.
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Maximum combinational level (logic depth) of the circuit.
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Size summary, including the topological FF-pair count.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            ffs: self.dffs.len(),
+            gates: self.topo.len(),
+            ff_pairs: self.connected_ff_pairs().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        // ff2.D = AND(ff1, in); ff1.D = NOT(ff1)
+        let mut b = NetlistBuilder::new("tiny");
+        let input = b.input("IN");
+        let ff1 = b.dff("FF1");
+        let ff2 = b.dff("FF2");
+        let n = b.gate("N", GateKind::Not, [ff1]).unwrap();
+        let a = b.gate("A", GateKind::And, [ff1, input]).unwrap();
+        b.set_dff_input(ff1, n).unwrap();
+        b.set_dff_input(ff2, a).unwrap();
+        b.mark_output(ff2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let nl = tiny();
+        assert_eq!(nl.name(), "tiny");
+        assert_eq!(nl.num_inputs(), 1);
+        assert_eq!(nl.num_ffs(), 2);
+        assert_eq!(nl.num_gates(), 2);
+        let ff1 = nl.find_node("FF1").unwrap();
+        assert_eq!(nl.ff_index(ff1), Some(0));
+        assert_eq!(nl.node(nl.ff_d_input(0)).name(), "N");
+        assert_eq!(nl.node(nl.ff_d_input(1)).name(), "A");
+    }
+
+    #[test]
+    fn levels_and_topo() {
+        let nl = tiny();
+        let ff1 = nl.find_node("FF1").unwrap();
+        let a = nl.find_node("A").unwrap();
+        assert_eq!(nl.level(ff1), 0);
+        assert_eq!(nl.level(a), 1);
+        assert_eq!(nl.depth(), 1);
+        // topo contains exactly the gates
+        assert_eq!(nl.topo_gates().len(), 2);
+        for &g in nl.topo_gates() {
+            assert!(nl.node(g).kind().is_gate());
+        }
+    }
+
+    #[test]
+    fn fanouts_are_reverse_of_fanins() {
+        let nl = tiny();
+        let ff1 = nl.find_node("FF1").unwrap();
+        let mut readers: Vec<&str> = nl
+            .fanouts(ff1)
+            .iter()
+            .map(|&id| nl.node(id).name())
+            .collect();
+        readers.sort_unstable();
+        assert_eq!(readers, vec!["A", "N"]);
+    }
+
+    #[test]
+    fn stats_count_pairs() {
+        let nl = tiny();
+        let s = nl.stats();
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.ffs, 2);
+        assert_eq!(s.gates, 2);
+        // FF1 feeds both its own D (via NOT) and FF2's D (via AND).
+        assert_eq!(s.ff_pairs, 2);
+    }
+
+    use mcp_logic::GateKind;
+}

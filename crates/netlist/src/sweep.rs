@@ -1,0 +1,425 @@
+//! Netlist cleanup: constant propagation, buffer elision, structural
+//! hashing and dead-logic removal.
+//!
+//! Real netlists (and synthesized `.bench` files) carry tied-off inputs,
+//! redundant buffers and duplicated gates. [`sweep`] rewrites a circuit
+//! into an equivalent, smaller one while **preserving the interface
+//! exactly**: primary inputs, primary outputs and flip-flops keep their
+//! names, order and indices, so analysis results (FF pairs!) remain
+//! directly comparable before and after. The multi-cycle analysis is
+//! function-driven, so sweeping first is pure speedup.
+
+use crate::builder::NetlistBuilder;
+use crate::model::{Netlist, NodeId, NodeKind};
+use mcp_logic::GateKind;
+use std::collections::HashMap;
+
+/// Size accounting of a [`sweep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Combinational gates before.
+    pub gates_before: usize,
+    /// Combinational gates after.
+    pub gates_after: usize,
+    /// Gates that folded to a constant.
+    pub folded_constant: usize,
+    /// Gates elided as (possibly inverted) wires.
+    pub elided_wire: usize,
+    /// Gates merged into a structurally identical earlier gate.
+    pub merged_duplicate: usize,
+    /// Live gates dropped because nothing observable reads them.
+    pub dropped_dead: usize,
+}
+
+/// What an original node becomes in the swept netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Mapped {
+    Const(bool),
+    Node(NodeId),
+}
+
+/// Sweeps a netlist (see [module docs](self)).
+///
+/// Returns the simplified netlist and the accounting. The result is
+/// behaviourally equivalent: for every input/state sequence, all FF
+/// next-states and primary-output values coincide with the original's
+/// (property-tested). The pass iterates internally until a fixpoint —
+/// folding a gate can strand its fanins, which the next round removes.
+pub fn sweep(netlist: &Netlist) -> (Netlist, SweepStats) {
+    let (mut current, mut total) = sweep_once(netlist);
+    loop {
+        let (next, stats) = sweep_once(&current);
+        if stats.gates_after == total.gates_after
+            && stats.folded_constant == 0
+            && stats.elided_wire == 0
+            && stats.merged_duplicate == 0
+            && stats.dropped_dead == 0
+        {
+            total.gates_after = next.num_gates();
+            return (next, total);
+        }
+        total.folded_constant += stats.folded_constant;
+        total.elided_wire += stats.elided_wire;
+        total.merged_duplicate += stats.merged_duplicate;
+        total.dropped_dead += stats.dropped_dead;
+        total.gates_after = stats.gates_after;
+        current = next;
+    }
+}
+
+fn sweep_once(netlist: &Netlist) -> (Netlist, SweepStats) {
+    let mut stats = SweepStats {
+        gates_before: netlist.num_gates(),
+        ..SweepStats::default()
+    };
+
+    // Liveness on the original: backward from POs and FF D inputs.
+    let mut live = vec![false; netlist.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &po in netlist.outputs() {
+        if !live[po.index()] {
+            live[po.index()] = true;
+            stack.push(po);
+        }
+    }
+    for k in 0..netlist.num_ffs() {
+        let d = netlist.ff_d_input(k);
+        if !live[d.index()] {
+            live[d.index()] = true;
+            stack.push(d);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        if netlist.node(n).kind().is_gate() {
+            for &f in netlist.node(n).fanins() {
+                if !live[f.index()] {
+                    live[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+    }
+
+    let mut b = NetlistBuilder::new(netlist.name().to_owned());
+    let mut map: Vec<Option<Mapped>> = vec![None; netlist.num_nodes()];
+    let mut const_nodes: [Option<NodeId>; 2] = [None, None];
+    let mut hash: HashMap<(GateKind, Vec<NodeId>), NodeId> = HashMap::new();
+
+    // Interface first, preserving order and names.
+    for &pi in netlist.inputs() {
+        let id = b.input(netlist.node(pi).name().to_owned());
+        map[pi.index()] = Some(Mapped::Node(id));
+    }
+    for &ff in netlist.dffs() {
+        let id = b.dff(netlist.node(ff).name().to_owned());
+        map[ff.index()] = Some(Mapped::Node(id));
+    }
+    for (id, node) in netlist.nodes() {
+        if let NodeKind::Const(v) = node.kind() {
+            map[id.index()] = Some(Mapped::Const(v));
+        }
+    }
+
+    let mut materialize_const = |b: &mut NetlistBuilder, v: bool| -> NodeId {
+        *const_nodes[usize::from(v)].get_or_insert_with(|| {
+            let name = b.fresh_name(if v { "const1_" } else { "const0_" });
+            b.constant(name, v)
+        })
+    };
+
+    for &g in netlist.topo_gates() {
+        if !live[g.index()] {
+            stats.dropped_dead += 1;
+            continue;
+        }
+        let node = netlist.node(g);
+        let kind = node.kind().gate_kind().expect("topo holds gates");
+        let ins: Vec<Mapped> = node
+            .fanins()
+            .iter()
+            .map(|f| map[f.index()].expect("topo order resolves fanins"))
+            .collect();
+        let simplified = simplify_gate(kind, &ins);
+        let mapped = match simplified {
+            Simplified::Const(v) => {
+                stats.folded_constant += 1;
+                Mapped::Const(v)
+            }
+            Simplified::Wire(inner) => {
+                stats.elided_wire += 1;
+                inner
+            }
+            Simplified::Gate(kind, fanins) => {
+                let real: Vec<NodeId> = fanins
+                    .iter()
+                    .map(|m| match *m {
+                        Mapped::Node(n) => n,
+                        Mapped::Const(v) => materialize_const(&mut b, v),
+                    })
+                    .collect();
+                let key = (kind, real.clone());
+                match hash.get(&key) {
+                    Some(&existing) => {
+                        stats.merged_duplicate += 1;
+                        Mapped::Node(existing)
+                    }
+                    None => {
+                        let id = b
+                            .gate(node.name().to_owned(), kind, real)
+                            .expect("arity preserved");
+                        hash.insert(key, id);
+                        Mapped::Node(id)
+                    }
+                }
+            }
+            Simplified::Inverter(inner) => {
+                let real = match inner {
+                    Mapped::Node(n) => n,
+                    Mapped::Const(v) => materialize_const(&mut b, v),
+                };
+                let key = (GateKind::Not, vec![real]);
+                match hash.get(&key) {
+                    Some(&existing) => {
+                        stats.merged_duplicate += 1;
+                        Mapped::Node(existing)
+                    }
+                    None => {
+                        let id = b
+                            .gate(node.name().to_owned(), GateKind::Not, [real])
+                            .expect("arity");
+                        hash.insert(key, id);
+                        Mapped::Node(id)
+                    }
+                }
+            }
+        };
+        map[g.index()] = Some(mapped);
+    }
+
+    // Rewire FFs and POs.
+    let mut to_node = |b: &mut NetlistBuilder, m: Mapped| -> NodeId {
+        match m {
+            Mapped::Node(n) => n,
+            Mapped::Const(v) => materialize_const(b, v),
+        }
+    };
+    for k in 0..netlist.num_ffs() {
+        let ff_new = match map[netlist.dffs()[k].index()].expect("mapped") {
+            Mapped::Node(n) => n,
+            Mapped::Const(_) => unreachable!("FFs map to FFs"),
+        };
+        let d = map[netlist.ff_d_input(k).index()].expect("live by construction");
+        let d = to_node(&mut b, d);
+        b.set_dff_input(ff_new, d).expect("valid dff");
+    }
+    for &po in netlist.outputs() {
+        let m = map[po.index()].expect("outputs are live");
+        let n = to_node(&mut b, m);
+        b.mark_output(n);
+    }
+
+    let swept = b.finish().expect("sweep preserves well-formedness");
+    stats.gates_after = swept.num_gates();
+    (swept, stats)
+}
+
+enum Simplified {
+    Const(bool),
+    /// Exactly some existing signal.
+    Wire(Mapped),
+    /// The complement of an existing signal.
+    Inverter(Mapped),
+    Gate(GateKind, Vec<Mapped>),
+}
+
+fn simplify_gate(kind: GateKind, ins: &[Mapped]) -> Simplified {
+    match kind {
+        GateKind::Buf => match ins[0] {
+            Mapped::Const(v) => Simplified::Const(v),
+            m => Simplified::Wire(m),
+        },
+        GateKind::Not => match ins[0] {
+            Mapped::Const(v) => Simplified::Const(!v),
+            m => Simplified::Inverter(m),
+        },
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let c = kind.controlling_value().expect("and/or family");
+            let inv = kind.output_inversion();
+            let mut kept: Vec<Mapped> = Vec::with_capacity(ins.len());
+            for &m in ins {
+                match m {
+                    Mapped::Const(v) if v == c => return Simplified::Const(c ^ inv),
+                    Mapped::Const(_) => {} // non-controlling constant: drop
+                    node => {
+                        if !kept.contains(&node) {
+                            kept.push(node); // idempotence: x AND x = x
+                        }
+                    }
+                }
+            }
+            match kept.len() {
+                0 => Simplified::Const(!c ^ inv), // all inputs non-controlling
+                1 if !inv => Simplified::Wire(kept[0]),
+                1 => Simplified::Inverter(kept[0]),
+                _ => Simplified::Gate(base_of(kind), kept_with_inversion(kind, kept)),
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut parity = kind.output_inversion();
+            let mut kept: Vec<Mapped> = Vec::with_capacity(ins.len());
+            for &m in ins {
+                match m {
+                    Mapped::Const(v) => parity ^= v,
+                    node => {
+                        // x XOR x = 0: cancel duplicate pairs.
+                        if let Some(pos) = kept.iter().position(|&k| k == node) {
+                            kept.swap_remove(pos);
+                        } else {
+                            kept.push(node);
+                        }
+                    }
+                }
+            }
+            match kept.len() {
+                0 => Simplified::Const(parity),
+                1 if !parity => Simplified::Wire(kept[0]),
+                1 => Simplified::Inverter(kept[0]),
+                _ => {
+                    if parity {
+                        Simplified::Gate(GateKind::Xnor, kept)
+                    } else {
+                        Simplified::Gate(GateKind::Xor, kept)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// For the AND/OR family the inversion is kept on the gate itself.
+fn base_of(kind: GateKind) -> GateKind {
+    kind
+}
+
+fn kept_with_inversion(_kind: GateKind, kept: Vec<Mapped>) -> Vec<Mapped> {
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn constants_fold_through_gates() {
+        let nl = bench::parse(
+            "c",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\n\
+             one = CONST(1)\nzero = CONST(0)\n\
+             g1 = AND(a, one)\n\
+             g2 = OR(g1, zero)\n\
+             g3 = XOR(g2, zero)\n\
+             y = BUFF(g3)",
+        )
+        .expect("parse");
+        let (swept, stats) = sweep(&nl);
+        // Everything collapses to y = a: zero gates survive.
+        assert_eq!(swept.num_gates(), 0);
+        assert_eq!(stats.gates_before, 4);
+        assert_eq!(swept.ff_d_input(0), swept.inputs()[0]);
+    }
+
+    #[test]
+    fn controlling_constants_kill_cones() {
+        let nl = bench::parse(
+            "k",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(y)\n\
+             zero = CONST(0)\n\
+             big = AND(a, b, zero)\n\
+             y = OR(big, a)",
+        )
+        .expect("parse");
+        let (swept, stats) = sweep(&nl);
+        assert!(stats.folded_constant >= 1);
+        // y = OR(0, a) = a.
+        assert_eq!(swept.ff_d_input(0), swept.inputs()[0]);
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        let nl = bench::parse(
+            "d",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(y)\n\
+             g1 = AND(a, b)\n\
+             g2 = AND(a, b)\n\
+             y = XOR(g1, g2)",
+        )
+        .expect("parse");
+        let (swept, stats) = sweep(&nl);
+        assert_eq!(stats.merged_duplicate, 1);
+        // XOR(g, g) = 0: the FF is fed a constant.
+        assert_eq!(swept.num_gates(), 0, "{swept:?}");
+    }
+
+    #[test]
+    fn dead_gates_drop_but_interface_survives() {
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input("a");
+        let q = b.dff("q");
+        let keep = b.gate("keep", GateKind::Not, [a]).unwrap();
+        let _dead = b.gate("dead", GateKind::Nand, [a, q]).unwrap();
+        b.set_dff_input(q, keep).unwrap();
+        b.mark_output(q);
+        let nl = b.finish().unwrap();
+        let (swept, stats) = sweep(&nl);
+        assert_eq!(stats.dropped_dead, 1);
+        assert_eq!(swept.num_gates(), 1);
+        assert_eq!(swept.num_inputs(), 1);
+        assert_eq!(swept.num_ffs(), 1);
+        assert_eq!(swept.node(swept.inputs()[0]).name(), "a");
+        assert_eq!(swept.node(swept.dffs()[0]).name(), "q");
+    }
+
+    #[test]
+    fn idempotent_inputs_collapse() {
+        let nl = bench::parse(
+            "i",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, a, a)",
+        )
+        .expect("parse");
+        let (swept, _) = sweep(&nl);
+        // AND(a,a,a) = a.
+        assert_eq!(swept.num_gates(), 0);
+        assert_eq!(swept.ff_d_input(0), swept.inputs()[0]);
+    }
+
+    #[test]
+    fn nand_of_single_survivor_becomes_inverter() {
+        let nl = bench::parse(
+            "n",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\none = CONST(1)\ny = NAND(a, one)",
+        )
+        .expect("parse");
+        let (swept, stats) = sweep(&nl);
+        assert_eq!(stats.gates_after, 1);
+        let d = swept.ff_d_input(0);
+        assert_eq!(swept.node(d).kind().gate_kind(), Some(GateKind::Not));
+    }
+
+    #[test]
+    fn sweep_is_idempotent() {
+        let nl = crate::bench::parse(
+            "x",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(y)\n\
+             one = CONST(1)\n\
+             g1 = NAND(a, one)\ng2 = NOR(b, b)\ny = XNOR(g1, g2)",
+        )
+        .expect("parse");
+        let (once, _) = sweep(&nl);
+        let (twice, stats) = sweep(&once);
+        assert_eq!(once.stats(), twice.stats());
+        assert_eq!(stats.folded_constant, 0);
+        assert_eq!(stats.elided_wire, 0);
+        assert_eq!(stats.merged_duplicate, 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Property-based tests over random netlists.
+//!
+//! The central property is the **expansion/simulation equivalence**: the
+//! time-frame expansion evaluated combinationally must agree, at every
+//! node and every frame, with the sequential simulator stepped over the
+//! same cycles. This is what licenses using one `Expanded` model for all
+//! three decision engines.
+
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_logic::V3;
+use mcp_netlist::{bench, Expanded, XId};
+use mcp_sim::ParallelSim;
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (
+        0u64..100_000,
+        1usize..6,
+        0usize..4,
+        1usize..40,
+        1usize..5,
+    )
+        .prop_map(|(seed, ffs, pis, gates, max_arity)| {
+            (
+                seed,
+                RandomCircuitConfig {
+                    ffs,
+                    pis,
+                    gates,
+                    max_arity,
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expansion_agrees_with_sequential_simulation(
+        (seed, cfg) in cfg_strategy(),
+        frames in 1u32..4,
+        stimulus in any::<u64>(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, frames);
+
+        // Drive both models with the same pseudo-random bits derived from
+        // `stimulus`.
+        let mut bits = stimulus;
+        let mut next_bit = || {
+            bits = bits.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            bits >> 63 == 1
+        };
+
+        let mut sim = ParallelSim::new(&nl);
+        let mut assigns: Vec<(XId, V3)> = Vec::new();
+        let mut state = Vec::new();
+        for ff in 0..nl.num_ffs() {
+            let v = next_bit();
+            state.push(v);
+            sim.set_state(ff, if v { u64::MAX } else { 0 });
+            assigns.push((x.ff_at(ff, 0), V3::from(v)));
+        }
+        let mut pi_frames: Vec<Vec<bool>> = Vec::new();
+        for f in 0..frames {
+            let mut row = Vec::new();
+            for pi in 0..nl.num_inputs() {
+                let v = next_bit();
+                row.push(v);
+                assigns.push((x.pi_at(pi, f), V3::from(v)));
+            }
+            pi_frames.push(row);
+        }
+
+        let vals = x.eval_v3(&assigns);
+
+        for f in 0..frames {
+            for (pi, &v) in pi_frames[f as usize].iter().enumerate() {
+                sim.set_input(pi, if v { u64::MAX } else { 0 });
+            }
+            sim.eval();
+            // Every node's frame-f value matches lane 0 of the simulator.
+            for (id, _) in nl.nodes() {
+                let xid = x.value_of(f, id);
+                let expect = sim.value(id) & 1 == 1;
+                prop_assert_eq!(
+                    vals[xid.index()],
+                    V3::from(expect),
+                    "node {} frame {}",
+                    nl.node(id).name(),
+                    f
+                );
+            }
+            // FF values at time f+1 match the post-clock state.
+            for ff in 0..nl.num_ffs() {
+                let expect = sim.next_state(ff) & 1 == 1;
+                prop_assert_eq!(
+                    vals[x.ff_at(ff, f + 1).index()],
+                    V3::from(expect),
+                    "ff {} time {}",
+                    ff,
+                    f + 1
+                );
+            }
+            sim.clock();
+        }
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_everything(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let text = bench::to_bench(&nl);
+        let back = bench::parse(nl.name(), &text).expect("round trip parses");
+        prop_assert_eq!(back.stats(), nl.stats());
+        prop_assert_eq!(back.connected_ff_pairs(), nl.connected_ff_pairs());
+        prop_assert_eq!(back.depth(), nl.depth());
+    }
+
+    #[test]
+    fn levels_exceed_fanin_levels(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        for &g in nl.topo_gates() {
+            for &f in nl.node(g).fanins() {
+                prop_assert!(nl.level(g) > nl.level(f));
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_invert_fanins(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        for (id, node) in nl.nodes() {
+            for &f in node.fanins() {
+                prop_assert!(nl.fanouts(f).contains(&id));
+            }
+            for &o in nl.fanouts(id) {
+                prop_assert!(nl.node(o).fanins().contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn path_cone_consistent_with_connectivity(
+        (seed, cfg) in cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let pairs = nl.connected_ff_pairs();
+        for i in 0..nl.num_ffs() {
+            for j in 0..nl.num_ffs() {
+                let connected = pairs.contains(&(i, j));
+                prop_assert_eq!(nl.ffs_connected(i, j), connected, "({}, {})", i, j);
+                prop_assert_eq!(!nl.path_cone(i, j).is_empty(), connected);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever bytes it is fed — errors only.
+    #[test]
+    fn bench_parser_never_panics(src in "\\PC{0,200}") {
+        let _ = bench::parse("fuzz", &src);
+    }
+
+    /// Structured-ish garbage: random statement soups built from plausible
+    /// tokens exercise the statement machinery deeper than raw bytes.
+    #[test]
+    fn bench_parser_handles_statement_soup(
+        stmts in proptest::collection::vec(
+            prop_oneof![
+                "[A-Za-z][A-Za-z0-9]{0,4}",
+                "INPUT\\([A-Za-z][A-Za-z0-9]{0,3}\\)",
+                "OUTPUT\\([A-Za-z][A-Za-z0-9]{0,3}\\)",
+                "[A-Za-z][0-9]? = (AND|OR|NAND|NOR|XOR|NOT|BUFF|DFF|CONST)\\([A-Za-z0-9, ]{0,12}\\)",
+                "# [ -~]{0,20}",
+            ],
+            0..12,
+        )
+    ) {
+        let src = stmts.join("\n");
+        match bench::parse("soup", &src) {
+            Ok(nl) => {
+                // Anything that parses must round-trip.
+                let back = bench::parse("again", &bench::to_bench(&nl)).expect("round trip");
+                prop_assert_eq!(back.stats(), nl.stats());
+            }
+            Err(e) => {
+                // Errors carry a message and a plausible line number.
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+}
+
+mod sweep_props {
+    use super::*;
+    use mcp_logic::GateKind;
+    use mcp_netlist::{sweep, NetlistBuilder, Netlist, NodeId};
+
+    /// A random circuit whose gate pool also contains constants and
+    /// deliberate duplicates — the food the sweeper eats.
+    fn random_with_consts(seed: u64, gates: usize) -> Netlist {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetlistBuilder::new(format!("sweepable{seed}"));
+        let mut pool: Vec<NodeId> = (0..3).map(|i| b.input(format!("I{i}"))).collect();
+        let ffs: Vec<NodeId> = (0..3).map(|i| b.dff(format!("F{i}"))).collect();
+        pool.extend(&ffs);
+        pool.push(b.constant("ONE", true));
+        pool.push(b.constant("ZERO", false));
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ];
+        for _ in 0..gates {
+            let kind = kinds[rng.random_range(0..kinds.len())];
+            let arity = kind.fixed_arity().unwrap_or(rng.random_range(1..=3));
+            let ins: Vec<NodeId> = (0..arity)
+                .map(|_| pool[rng.random_range(0..pool.len())])
+                .collect();
+            let g = b.gate_auto(kind, ins).expect("arity");
+            pool.push(g);
+        }
+        for &ff in &ffs {
+            let d = pool[rng.random_range(0..pool.len())];
+            b.set_dff_input(ff, d).expect("dff");
+        }
+        b.mark_output(*pool.last().unwrap());
+        b.finish().expect("well-formed")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The swept circuit is sequentially equivalent: same FF
+        /// trajectories and same primary-output values over several random
+        /// cycles, in all 64 lanes.
+        #[test]
+        fn sweep_preserves_sequential_behaviour(
+            seed in 0u64..50_000,
+            gates in 1usize..35,
+            stim in any::<u64>(),
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let original = random_with_consts(seed, gates);
+            let (swept, stats) = sweep(&original);
+            prop_assert!(stats.gates_after <= stats.gates_before);
+            prop_assert_eq!(swept.num_ffs(), original.num_ffs());
+            prop_assert_eq!(swept.num_inputs(), original.num_inputs());
+            prop_assert_eq!(swept.outputs().len(), original.outputs().len());
+
+            let mut rng = StdRng::seed_from_u64(stim);
+            let mut sim_a = ParallelSim::new(&original);
+            let mut sim_b = ParallelSim::new(&swept);
+            for ff in 0..original.num_ffs() {
+                let w: u64 = rng.random();
+                sim_a.set_state(ff, w);
+                sim_b.set_state(ff, w);
+            }
+            for _cycle in 0..4 {
+                for pi in 0..original.num_inputs() {
+                    let w: u64 = rng.random();
+                    sim_a.set_input(pi, w);
+                    sim_b.set_input(pi, w);
+                }
+                sim_a.eval();
+                sim_b.eval();
+                for (k, (&pa, &pb)) in original
+                    .outputs()
+                    .iter()
+                    .zip(swept.outputs().iter())
+                    .enumerate()
+                {
+                    prop_assert_eq!(sim_a.value(pa), sim_b.value(pb), "PO {}", k);
+                }
+                for ff in 0..original.num_ffs() {
+                    prop_assert_eq!(
+                        sim_a.next_state(ff),
+                        sim_b.next_state(ff),
+                        "FF {} next state",
+                        ff
+                    );
+                }
+                sim_a.clock();
+                sim_b.clock();
+            }
+        }
+
+        /// Sweeping a swept circuit changes nothing.
+        #[test]
+        fn sweep_is_a_fixpoint(seed in 0u64..50_000, gates in 1usize..35) {
+            let original = random_with_consts(seed, gates);
+            let (once, _) = sweep(&original);
+            let (twice, stats) = sweep(&once);
+            prop_assert_eq!(once.stats(), twice.stats());
+            prop_assert_eq!(stats.folded_constant, 0);
+            prop_assert_eq!(stats.merged_duplicate, 0);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Tseitin encoding of an expanded circuit model.
+
+use crate::solver::{Lit, SolveResult, Solver, Var};
+use mcp_logic::GateKind;
+use mcp_netlist::{Expanded, XId, XKind};
+use std::collections::HashMap;
+
+/// A CNF encoding of an [`Expanded`] circuit inside a [`Solver`], with one
+/// variable per circuit node and cached XOR "difference" literals.
+///
+/// This is the substrate of the SAT-based baseline \[9\]: build the
+/// encoding once per circuit, then answer each FF-pair query with one
+/// incremental [`solve`](Solver::solve) under two assumption literals
+/// (`FFi(t) ⊕ FFi(t+1)` and `FFj(t+1) ⊕ FFj(t+2)`). Learnt clauses carry
+/// over between queries.
+///
+/// # Example
+///
+/// ```
+/// use mcp_netlist::{bench, Expanded};
+/// use mcp_sat::{CircuitCnf, SolveResult};
+///
+/// let nl = bench::parse("t", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)")?;
+/// let x = Expanded::build(&nl, 2);
+/// let mut cnf = CircuitCnf::new(&x);
+///
+/// // A toggle FF changes every cycle: "Q(t) != Q(t+1)" is satisfiable,
+/// // "Q(t) == Q(t+1)" is not.
+/// let diff = cnf.diff_lit(x.ff_at(0, 0), x.ff_at(0, 1));
+/// assert_eq!(cnf.solver_mut().solve(&[diff]), SolveResult::Sat);
+/// assert_eq!(cnf.solver_mut().solve(&[!diff]), SolveResult::Unsat);
+/// # Ok::<(), mcp_netlist::bench::ParseBenchError>(())
+/// ```
+#[derive(Debug)]
+pub struct CircuitCnf {
+    solver: Solver,
+    var_of: Vec<Var>,
+    diff_cache: HashMap<(XId, XId), Lit>,
+}
+
+impl CircuitCnf {
+    /// Encodes `x` into a fresh solver.
+    pub fn new(x: &Expanded) -> Self {
+        let mut solver = Solver::new();
+        let var_of: Vec<Var> = (0..x.num_nodes()).map(|_| solver.new_var()).collect();
+        for (id, node) in x.nodes() {
+            let out = var_of[id.index()];
+            match node.kind() {
+                XKind::Var(_) => {}
+                XKind::Const(b) => {
+                    solver.add_clause(&[out.lit(b)]);
+                }
+                XKind::Gate(kind) => {
+                    let ins: Vec<Var> =
+                        node.fanins().iter().map(|f| var_of[f.index()]).collect();
+                    encode_gate(&mut solver, kind, out, &ins);
+                }
+            }
+        }
+        CircuitCnf {
+            solver,
+            var_of,
+            diff_cache: HashMap::new(),
+        }
+    }
+
+    /// The positive literal of the variable encoding node `id`.
+    #[inline]
+    pub fn lit(&self, id: XId) -> Lit {
+        self.var_of[id.index()].positive()
+    }
+
+    /// A literal that is true iff nodes `a` and `b` differ (`a ⊕ b`),
+    /// creating and caching the XOR definition on first use.
+    pub fn diff_lit(&mut self, a: XId, b: XId) -> Lit {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&l) = self.diff_cache.get(&key) {
+            return l;
+        }
+        let d = self.solver.new_var();
+        let (va, vb) = (self.var_of[key.0.index()], self.var_of[key.1.index()]);
+        encode_xor2(&mut self.solver, d, va, vb);
+        let l = d.positive();
+        self.diff_cache.insert(key, l);
+        l
+    }
+
+    /// Mutable access to the underlying solver (for `solve` calls).
+    #[inline]
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Shared access to the underlying solver (for statistics).
+    #[inline]
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Convenience: solve under assumptions phrased as node/value pairs.
+    pub fn solve_with(&mut self, assumptions: &[(XId, bool)]) -> SolveResult {
+        let lits: Vec<Lit> = assumptions
+            .iter()
+            .map(|&(id, v)| self.var_of[id.index()].lit(v))
+            .collect();
+        self.solver.solve(&lits)
+    }
+
+    /// Model value of a node after a `Sat` result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last solve was not `Sat`.
+    #[inline]
+    pub fn model_value(&self, id: XId) -> bool {
+        self.solver.model_value(self.var_of[id.index()])
+    }
+}
+
+/// Encodes `out ↔ kind(ins)`.
+fn encode_gate(solver: &mut Solver, kind: GateKind, out: Var, ins: &[Var]) {
+    // The inverting gates are their base function with a negated output
+    // literal.
+    let out_lit = |phase: bool| out.lit(phase ^ kind.output_inversion());
+    match kind {
+        GateKind::Buf | GateKind::Not => {
+            let a = ins[0];
+            solver.add_clause(&[!out_lit(true), a.positive()]);
+            solver.add_clause(&[out_lit(true), a.negative()]);
+        }
+        GateKind::And | GateKind::Nand => {
+            // out=1 → every in=1; (∧ins) → out.
+            let mut big: Vec<Lit> = vec![out_lit(true)];
+            for &a in ins {
+                solver.add_clause(&[!out_lit(true), a.positive()]);
+                big.push(a.negative());
+            }
+            solver.add_clause(&big);
+        }
+        GateKind::Or | GateKind::Nor => {
+            // out=0 → every in=0; in=1 → out=1.
+            let mut big: Vec<Lit> = vec![!out_lit(true)];
+            for &a in ins {
+                solver.add_clause(&[out_lit(true), a.negative()]);
+                big.push(a.positive());
+            }
+            solver.add_clause(&big);
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Chain pairwise with auxiliary variables; final equivalence to
+            // the (possibly inverted) output.
+            let mut acc = ins[0];
+            for &a in &ins[1..] {
+                let t = solver.new_var();
+                encode_xor2(solver, t, acc, a);
+                acc = t;
+            }
+            // out_lit(true) ↔ acc
+            solver.add_clause(&[!out_lit(true), acc.positive()]);
+            solver.add_clause(&[out_lit(true), acc.negative()]);
+        }
+    }
+}
+
+/// Encodes `d ↔ a ⊕ b`.
+fn encode_xor2(solver: &mut Solver, d: Var, a: Var, b: Var) {
+    solver.add_clause(&[d.negative(), a.positive(), b.positive()]);
+    solver.add_clause(&[d.negative(), a.negative(), b.negative()]);
+    solver.add_clause(&[d.positive(), a.negative(), b.positive()]);
+    solver.add_clause(&[d.positive(), a.positive(), b.negative()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_logic::V3;
+    use mcp_netlist::bench;
+
+    fn setup(src: &str, frames: u32) -> (mcp_netlist::Netlist, Expanded) {
+        let nl = bench::parse("t", src).expect("parse");
+        let x = Expanded::build(&nl, frames);
+        (nl, x)
+    }
+
+    #[test]
+    fn models_agree_with_circuit_evaluation() {
+        // For every gate kind, random constraints must produce models that
+        // re-evaluate consistently.
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nq = DFF(z)\n\
+                   g1 = NAND(a, b)\ng2 = NOR(b, c)\ng3 = XOR(g1, g2, a)\n\
+                   g4 = XNOR(g3, c)\ng5 = BUFF(g4)\nz = NOT(g5)";
+        let (nl, x) = setup(src, 1);
+        let z = x.value_of(0, nl.find_node("z").unwrap());
+        let mut cnf = CircuitCnf::new(&x);
+        for v in [false, true] {
+            let res = cnf.solve_with(&[(z, v)]);
+            assert_eq!(res, SolveResult::Sat);
+            // Extract the model on the free variables and re-evaluate.
+            let assign: Vec<(XId, V3)> = x
+                .vars()
+                .iter()
+                .map(|&var| (var, V3::from(cnf.model_value(var))))
+                .collect();
+            let vals = x.eval_v3(&assign);
+            assert_eq!(vals[z.index()], V3::from(v));
+        }
+    }
+
+    #[test]
+    fn unsat_for_structural_tautologies() {
+        let (nl, x) = setup("INPUT(a)\nOUTPUT(y)\nq = DFF(y)\nna = NOT(a)\ny = AND(a, na)", 1);
+        let y = x.value_of(0, nl.find_node("y").unwrap());
+        let mut cnf = CircuitCnf::new(&x);
+        assert_eq!(cnf.solve_with(&[(y, true)]), SolveResult::Unsat);
+        assert_eq!(cnf.solve_with(&[(y, false)]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn diff_lit_is_cached_and_symmetric() {
+        let (_, x) = setup("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)", 2);
+        let mut cnf = CircuitCnf::new(&x);
+        let n_before = cnf.solver().num_vars();
+        let l1 = cnf.diff_lit(x.ff_at(0, 0), x.ff_at(0, 1));
+        let l2 = cnf.diff_lit(x.ff_at(0, 1), x.ff_at(0, 0));
+        assert_eq!(l1, l2);
+        assert_eq!(cnf.solver().num_vars(), n_before + 1);
+    }
+
+    #[test]
+    fn two_frame_toggle_semantics() {
+        // Toggle FF: Q(t+1) = !Q(t) always; Q(t+2) = Q(t) always.
+        let (_, x) = setup("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)", 2);
+        let mut cnf = CircuitCnf::new(&x);
+        let same02 = cnf.diff_lit(x.ff_at(0, 0), x.ff_at(0, 2));
+        assert_eq!(cnf.solver_mut().solve(&[same02]), SolveResult::Unsat);
+        assert_eq!(cnf.solver_mut().solve(&[!same02]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn constants_are_fixed() {
+        let (nl, x) = setup("OUTPUT(y)\nc = CONST(1)\nq = DFF(y)\ny = NOT(c)", 1);
+        let y = x.value_of(0, nl.find_node("y").unwrap());
+        let mut cnf = CircuitCnf::new(&x);
+        assert_eq!(cnf.solve_with(&[(y, true)]), SolveResult::Unsat);
+    }
+}

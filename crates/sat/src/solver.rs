@@ -1,0 +1,818 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! Architecture follows MiniSat: two-watched-literal propagation, first-UIP
+//! learning with backjumping, exponential VSIDS activities with an indexed
+//! max-heap, phase saving and Luby restarts. Clause deletion is not
+//! implemented — the circuit instances this workspace produces are small
+//! enough that the learnt database stays manageable, and determinism is
+//! more valuable here than peak throughput.
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Dense index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given sign (`true` →
+    /// positive).
+    #[inline]
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a positive literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    #[inline]
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// Verdict of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable; read the model with [`Solver::model_value`].
+    Sat,
+    /// Unsatisfiable under the given assumptions.
+    Unsat,
+}
+
+/// Ternary assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    #[inline]
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+type ClauseRef = u32;
+const REASON_NONE: ClauseRef = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// Indexed max-heap over variable activities (the VSIDS order).
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<i32>, // -1 when absent
+}
+
+impl VarHeap {
+    fn ensure(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(-1);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] >= 0
+    }
+
+    fn push(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        if let Ok(i) = usize::try_from(self.pos[v.index()]) {
+            self.sift_up(i, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i as i32;
+        self.pos[self.heap[j].index()] = j as i32;
+    }
+}
+
+/// Solver statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literal propagations performed.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses added.
+    pub learnt: u64,
+}
+
+/// A CDCL SAT solver (see [module docs](self)).
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by literal code
+    assign: Vec<LBool>,
+    phase: Vec<bool>,
+    reason: Vec<ClauseRef>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    ok: bool,
+    stats: SolverStats,
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::default(),
+            ok: true,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.reason.push(REASON_NONE);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.ensure(self.assign.len());
+        self.order.push(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Solver statistics so far.
+    #[inline]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assign[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.is_positive()),
+            LBool::False => LBool::from_bool(!l.is_positive()),
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause, or conflicting units at level 0).
+    ///
+    /// Adding a clause cancels any in-progress assignment back to decision
+    /// level 0, invalidating the model of a previous `solve`.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        // Simplify: dedupe, drop false lits, detect tautology/satisfied.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(l.var().index() < self.num_vars(), "unknown variable");
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => continue,
+                LBool::Undef => {
+                    if c.contains(&!l) {
+                        return true; // tautology
+                    }
+                    if !c.contains(&l) {
+                        c.push(l);
+                    }
+                }
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(c[0], REASON_NONE);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(c);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[(!w0).code()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).code()].push(Watcher { cref, blocker: w0 });
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var();
+        self.assign[v.index()] = LBool::from_bool(l.is_positive());
+        self.phase[v.index()] = l.is_positive();
+        self.reason[v.index()] = reason;
+        self.level[v.index()] = self.trail_lim.len() as u32;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < ws.len() {
+                let Watcher { cref, blocker } = ws[i];
+                if self.value_lit(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Normalize: make lits[1] the false literal (!p).
+                {
+                    let lits = &mut self.clauses[cref as usize].lits;
+                    if lits[0] == !p {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], !p);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if self.value_lit(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut new_watch_idx = None;
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        new_watch_idx = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = new_watch_idx {
+                    self.clauses[cref as usize].lits.swap(1, k);
+                    let nw = self.clauses[cref as usize].lits[1];
+                    self.watches[(!nw).code()].push(Watcher {
+                        cref,
+                        blocker: first,
+                    });
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.value_lit(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, cref);
+                i += 1;
+            }
+            self.watches[p.code()].append(&mut ws);
+            // Note: watchers moved to other lists were swap-removed above.
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis; returns the learnt clause (UIP first)
+    /// and the backjump level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = confl;
+        let mut idx = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            let lits_len = self.clauses[cref as usize].lits.len();
+            let start = usize::from(p.is_some());
+            for k in start..lits_len {
+                let q = self.clauses[cref as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                idx -= 1;
+                let l = self.trail[idx];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("found");
+                break;
+            }
+            cref = self.reason[pv.index()];
+            debug_assert_ne!(cref, REASON_NONE, "UIP literal must have a reason");
+        }
+
+        // Clear seen flags for the learnt clause.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backjump level: highest level among learnt[1..].
+        let bt = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Move a literal of level bt to position 1 (watch invariant).
+        if learnt.len() > 1 {
+            let pos = learnt[1..]
+                .iter()
+                .position(|l| self.level[l.var().index()] == bt)
+                .expect("max exists")
+                + 1;
+            learnt.swap(1, pos);
+        }
+        (learnt, bt)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.trail_lim.len() as u32 > lvl {
+            let lim = self.trail_lim.pop().expect("non-empty");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("non-empty");
+                let v = l.var();
+                self.assign[v.index()] = LBool::Undef;
+                self.reason[v.index()] = REASON_NONE;
+                self.order.push(v, &self.activity);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(v.lit(self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Solves under the given assumptions.
+    ///
+    /// Returns [`SolveResult::Sat`] with a complete model (readable via
+    /// [`model_value`](Self::model_value) until the next mutating call) or
+    /// [`SolveResult::Unsat`]. The solver is reusable afterwards; learnt
+    /// clauses persist across calls, which makes per-FF-pair queries over a
+    /// shared circuit encoding progressively cheaper.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+
+        let mut conflicts_budget = luby(1) * 100;
+        let mut restart_idx = 1u64;
+
+        loop {
+            let confl = self.propagate();
+            match confl {
+                Some(cref) => {
+                    self.stats.conflicts += 1;
+                    if self.trail_lim.is_empty() {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    // Conflicts inside the assumption prefix mean UNSAT
+                    // under assumptions (not globally): handled below by
+                    // re-checking assumptions after backjump.
+                    let (learnt, bt) = self.analyze(cref);
+                    self.cancel_until(bt);
+                    if learnt.len() == 1 {
+                        self.unchecked_enqueue(learnt[0], REASON_NONE);
+                    } else {
+                        let cref = self.attach_clause(learnt);
+                        let first = self.clauses[cref as usize].lits[0];
+                        self.unchecked_enqueue(first, cref);
+                        self.stats.learnt += 1;
+                    }
+                    self.decay_activities();
+                    conflicts_budget = conflicts_budget.saturating_sub(1);
+                }
+                None => {
+                    if conflicts_budget == 0 && self.trail_lim.len() > assumptions.len() {
+                        // Restart (keep the assumption prefix intact by
+                        // cancelling to level 0; assumptions re-apply below).
+                        self.stats.restarts += 1;
+                        restart_idx += 1;
+                        conflicts_budget = luby(restart_idx) * 100;
+                        self.cancel_until(0);
+                        continue;
+                    }
+                    // Re-establish assumptions, one decision level each.
+                    let mut next_decision = None;
+                    for (k, &a) in assumptions.iter().enumerate() {
+                        if self.trail_lim.len() > k {
+                            continue;
+                        }
+                        match self.value_lit(a) {
+                            LBool::True => {
+                                // Already implied: open an empty level to
+                                // keep the prefix aligned.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::False => return SolveResult::Unsat,
+                            LBool::Undef => {
+                                next_decision = Some(a);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(a) = next_decision {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(a, REASON_NONE);
+                        continue;
+                    }
+                    match self.pick_branch() {
+                        None => return SolveResult::Sat,
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(l, REASON_NONE);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of `v` in the most recent satisfying model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last [`solve`](Self::solve) did not return `Sat` (the
+    /// variable would be unassigned).
+    pub fn model_value(&self, v: Var) -> bool {
+        match self.assign[v.index()] {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => panic!("model_value called without a model"),
+        }
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...).
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // find k with 2^(k-1) <= i < 2^k
+        let k = 64 - i.leading_zeros() as u64;
+        if i == (1 << k) - 1 {
+            return 1 << (k - 1);
+        }
+        i -= (1 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the CNF math
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[a.positive()]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.model_value(a));
+        assert!(!s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn three_coloring_of_a_triangle_is_sat() {
+        // Vars x[v][c] for v in 0..3, c in 0..3.
+        let mut s = Solver::new();
+        let x: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..3).map(|_| s.new_var()).collect())
+            .collect();
+        for v in 0..3 {
+            let clause: Vec<Lit> = (0..3).map(|c| x[v][c].positive()).collect();
+            s.add_clause(&clause);
+            for c1 in 0..3 {
+                for c2 in c1 + 1..3 {
+                    s.add_clause(&[x[v][c1].negative(), x[v][c2].negative()]);
+                }
+            }
+        }
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            for c in 0..3 {
+                s.add_clause(&[x[u][c].negative(), x[v][c].negative()]);
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for i in 0..3 {
+            s.add_clause(&[p[i][0].positive(), p[i][1].positive()]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_incremental() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[a.negative(), b.positive()]);
+        s.add_clause(&[b.negative(), c.positive()]);
+        // a=1 forces c=1.
+        assert_eq!(s.solve(&[a.positive(), c.negative()]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[a.positive()]), SolveResult::Sat);
+        assert!(s.model_value(c));
+        // The instance is still usable with other assumptions.
+        assert_eq!(s.solve(&[c.negative()]), SolveResult::Sat);
+        assert!(!s.model_value(a));
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Random 3-SAT near the easy region; verify models, and verify
+        // UNSAT answers by brute force.
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 8;
+            let m = rng.random_range(10..40);
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..m {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[rng.random_range(0..n)];
+                    cl.push(v.lit(rng.random()));
+                }
+                clauses.push(cl.clone());
+                s.add_clause(&cl);
+            }
+            let res = s.solve(&[]);
+            // Brute force ground truth.
+            let mut any = false;
+            'outer: for bits in 0..(1u32 << n) {
+                for cl in &clauses {
+                    let sat = cl.iter().any(|l| {
+                        let val = bits >> l.var().index() & 1 == 1;
+                        val == l.is_positive()
+                    });
+                    if !sat {
+                        continue 'outer;
+                    }
+                }
+                any = true;
+                break;
+            }
+            assert_eq!(res == SolveResult::Sat, any, "seed {seed}");
+            if res == SolveResult::Sat {
+                for cl in &clauses {
+                    assert!(
+                        cl.iter().any(|l| s.model_value(l.var()) == l.is_positive()),
+                        "model violates a clause (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_handled() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[a.positive(), a.positive(), b.positive()]));
+        assert!(s.add_clause(&[a.positive(), a.negative()])); // tautology
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+}

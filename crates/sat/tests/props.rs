@@ -1,0 +1,114 @@
+//! Property-based validation of the CNF encoding and solver against
+//! circuit evaluation.
+
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_logic::V3;
+use mcp_netlist::{Expanded, XId};
+use mcp_sat::{CircuitCnf, SolveResult};
+use proptest::prelude::*;
+
+fn small_cfg() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (0u64..50_000, 1usize..4, 0usize..3, 1usize..25).prop_map(|(seed, ffs, pis, gates)| {
+        (
+            seed,
+            RandomCircuitConfig {
+                ffs,
+                pis,
+                gates,
+                max_arity: 4,
+            },
+        )
+    })
+}
+
+fn brute_force_sat(x: &Expanded, constraints: &[(XId, bool)]) -> bool {
+    let vars = x.vars();
+    for bits in 0..(1u32 << vars.len()) {
+        let assign: Vec<(XId, V3)> = vars
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, V3::from(bits >> k & 1 == 1)))
+            .collect();
+        let vals = x.eval_v3(&assign);
+        if constraints
+            .iter()
+            .all(|&(n, b)| vals[n.index()] == V3::from(b))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encoding_matches_brute_force(
+        (seed, cfg) in small_cfg(),
+        frames in 1u32..3,
+        pick in any::<u64>(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, frames);
+        prop_assume!(x.vars().len() <= 14);
+
+        let n = x.num_nodes() as u64;
+        let constraints: Vec<(XId, bool)> = (0..3)
+            .map(|k| {
+                let h = pick.wrapping_mul(0xA0761D6478BD642F).rotate_left(13 * (k + 1));
+                let id = x.nodes().nth((h % n) as usize).expect("in range").0;
+                (id, h >> 63 == 1)
+            })
+            .collect();
+
+        let mut cnf = CircuitCnf::new(&x);
+        let res = cnf.solve_with(&constraints);
+        let expect = brute_force_sat(&x, &constraints);
+        prop_assert_eq!(res == SolveResult::Sat, expect);
+
+        if res == SolveResult::Sat {
+            // The model must re-evaluate consistently through the circuit
+            // semantics.
+            let assign: Vec<(XId, V3)> = x
+                .vars()
+                .iter()
+                .map(|&v| (v, V3::from(cnf.model_value(v))))
+                .collect();
+            let vals = x.eval_v3(&assign);
+            for &(node, b) in &constraints {
+                prop_assert_eq!(vals[node.index()], V3::from(b));
+            }
+            // Every circuit node's model value matches its evaluation.
+            for (id, _) in x.nodes() {
+                prop_assert_eq!(
+                    vals[id.index()],
+                    V3::from(cnf.model_value(id)),
+                    "node {}",
+                    id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_queries_are_independent(
+        (seed, cfg) in small_cfg(),
+    ) {
+        // Repeated solves under different assumptions on one instance must
+        // match fresh-instance answers (learnt clauses must not leak
+        // unsoundness).
+        let nl = random_netlist(seed, &cfg);
+        let x = Expanded::build(&nl, 2);
+        prop_assume!(!x.topo_gates().is_empty());
+        let probe = x.topo_gates()[x.topo_gates().len() / 2];
+
+        let mut shared = CircuitCnf::new(&x);
+        for v in [true, false, true, false] {
+            let a = shared.solve_with(&[(probe, v)]);
+            let mut fresh = CircuitCnf::new(&x);
+            let b = fresh.solve_with(&[(probe, v)]);
+            prop_assert_eq!(a, b, "probe={} v={}", probe, v);
+        }
+    }
+}

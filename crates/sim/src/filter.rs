@@ -1,0 +1,186 @@
+//! Random-pattern filtering of single-cycle FF pairs (paper step 2).
+
+use crate::ParallelSim;
+use mcp_netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the random-pattern multi-cycle filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// PRNG seed; fixed seeds make runs reproducible.
+    pub seed: u64,
+    /// Stop after this many consecutive 64-pattern words dropped no pair
+    /// (the paper uses 32).
+    pub idle_words: u32,
+    /// Hard cap on simulated words, a safety net for degenerate circuits.
+    pub max_words: u64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            seed: 0x5eed_cafe,
+            idle_words: 32,
+            max_words: 1 << 16,
+        }
+    }
+}
+
+/// Result of the random-pattern filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterOutcome {
+    /// Pairs that survived (not yet disproven), in the input order.
+    pub survivors: Vec<(usize, usize)>,
+    /// Number of pairs dropped as proven single-cycle.
+    pub dropped: usize,
+    /// Number of 64-pattern words simulated (each word costs two clock
+    /// cycles of evaluation).
+    pub words_simulated: u64,
+}
+
+/// Runs the paper's step 2: 2-clock random parallel-pattern simulation.
+///
+/// Each 64-lane word draws a random initial state and random inputs for two
+/// cycles, producing `FF(t)`, `FF(t+1)`, `FF(t+2)` per lane. A pair
+/// `(i, j)` with a lane where
+///
+/// ```text
+/// FFi(t) != FFi(t+1)  &&  FFj(t+1) != FFj(t+2)
+/// ```
+///
+/// violates the multi-cycle condition and is dropped: it is a **proven**
+/// single-cycle pair (the lane is a concrete witness — no delay model
+/// involved). Simulation continues until `idle_words` consecutive words
+/// drop nothing or `max_words` is reached.
+///
+/// The surviving pairs are only *candidates*: the implication/ATPG (or
+/// SAT/BDD) engines must still prove them.
+pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig) -> FilterOutcome {
+    let nffs = netlist.num_ffs();
+    let mut alive: Vec<(usize, usize)> = pairs.to_vec();
+    for &(i, j) in pairs {
+        assert!(i < nffs && j < nffs, "FF index out of range in pair list");
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sim = ParallelSim::new(netlist);
+
+    let mut s0 = vec![0u64; nffs];
+    let mut s1 = vec![0u64; nffs];
+    let mut s2 = vec![0u64; nffs];
+
+    let mut words = 0u64;
+    let mut idle = 0u32;
+    let mut dropped = 0usize;
+
+    while !alive.is_empty() && idle < cfg.idle_words && words < cfg.max_words {
+        sim.randomize_state(&mut rng);
+        sim.randomize_inputs(&mut rng);
+        for (k, s) in s0.iter_mut().enumerate() {
+            *s = sim.state(k);
+        }
+        sim.eval();
+        for (k, s) in s1.iter_mut().enumerate() {
+            *s = sim.next_state(k);
+        }
+        sim.clock();
+        sim.randomize_inputs(&mut rng);
+        sim.eval();
+        for (k, s) in s2.iter_mut().enumerate() {
+            *s = sim.next_state(k);
+        }
+        words += 1;
+
+        let before = alive.len();
+        alive.retain(|&(i, j)| (s0[i] ^ s1[i]) & (s1[j] ^ s2[j]) == 0);
+        let now_dropped = before - alive.len();
+        dropped += now_dropped;
+        if now_dropped == 0 {
+            idle += 1;
+        } else {
+            idle = 0;
+        }
+    }
+
+    FilterOutcome {
+        survivors: alive,
+        dropped,
+        words_simulated: words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_logic::GateKind;
+    use mcp_netlist::NetlistBuilder;
+
+    /// B.D = A: a plain pipeline stage — obviously single-cycle.
+    /// C.D = C (hold): a degenerate always-multi-cycle self pair.
+    fn mixed() -> Netlist {
+        let mut b = NetlistBuilder::new("mixed");
+        let input = b.input("IN");
+        let a = b.dff("A");
+        let q = b.dff("B");
+        let c = b.dff("C");
+        b.set_dff_input(a, input).unwrap();
+        let buf = b.gate("BUFA", GateKind::Buf, [a]).unwrap();
+        b.set_dff_input(q, buf).unwrap();
+        let hold = b.gate("HOLD", GateKind::Buf, [c]).unwrap();
+        b.set_dff_input(c, hold).unwrap();
+        b.mark_output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn drops_obvious_single_cycle_pairs() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        assert!(pairs.contains(&(0, 1)));
+        let out = mc_filter(&nl, &pairs, &FilterConfig::default());
+        // (A,B) must be disproven: A toggles freely from IN and B follows.
+        assert!(!out.survivors.contains(&(0, 1)));
+        assert!(out.dropped >= 1);
+        // (C,C) can never be dropped: C never changes, so the premise of
+        // the violation (a transition at the source) never occurs.
+        assert!(out.survivors.contains(&(2, 2)));
+    }
+
+    #[test]
+    fn stops_after_idle_words() {
+        let nl = mixed();
+        // Only the undroppable pair: the run should end at idle_words.
+        let cfg = FilterConfig {
+            idle_words: 5,
+            ..FilterConfig::default()
+        };
+        let out = mc_filter(&nl, &[(2, 2)], &cfg);
+        assert_eq!(out.words_simulated, 5);
+        assert_eq!(out.survivors, vec![(2, 2)]);
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    fn empty_pair_list_short_circuits() {
+        let nl = mixed();
+        let out = mc_filter(&nl, &[], &FilterConfig::default());
+        assert_eq!(out.words_simulated, 0);
+        assert!(out.survivors.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        let a = mc_filter(&nl, &pairs, &FilterConfig::default());
+        let b = mc_filter(&nl, &pairs, &FilterConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_foreign_pairs() {
+        let nl = mixed();
+        mc_filter(&nl, &[(0, 99)], &FilterConfig::default());
+    }
+}

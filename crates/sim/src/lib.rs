@@ -1,0 +1,47 @@
+//! Simulation engines for sequential netlists.
+//!
+//! Three simulators, each matched to a phase of the paper's flow:
+//!
+//! * [`ParallelSim`] — 64-lane bit-parallel two-valued simulation. One
+//!   `u64` word per node carries 64 independent Boolean patterns, so a
+//!   single pass over the levelized gates simulates 64 input vectors.
+//!   This is the paper's "parallel pattern simulation".
+//! * [`filter::mc_filter`] — the paper's step 2: repeated 2-clock random
+//!   simulation that *disproves* the multi-cycle condition for most
+//!   single-cycle FF pairs cheaply, stopping once no pair has been dropped
+//!   for a configurable number of consecutive words (32 in the paper).
+//! * [`EventSim`] — an event-driven three-valued simulator over the
+//!   original netlist, used by tests and the examples for cycle-accurate
+//!   inspection of small circuits.
+//! * [`DelaySim`] — a two-valued transport-delay simulator that makes
+//!   **dynamic glitches** observable, the delay-dependent ground truth the
+//!   static hazard checks are validated against.
+//!
+//! # Example
+//!
+//! ```
+//! use mcp_netlist::bench;
+//! use mcp_sim::ParallelSim;
+//!
+//! let nl = bench::parse("t", "INPUT(A)\nOUTPUT(Q)\nQ = DFF(D)\nD = XOR(Q, A)")?;
+//! let mut sim = ParallelSim::new(&nl);
+//! sim.set_state(0, 0);              // Q = 0 in every lane
+//! sim.set_input(0, u64::MAX);       // A = 1 in every lane
+//! sim.eval();
+//! assert_eq!(sim.next_state(0), u64::MAX); // Q toggles to 1 everywhere
+//! # Ok::<(), mcp_netlist::bench::ParseBenchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod event;
+pub mod filter;
+pub mod parallel;
+pub mod vcd;
+
+pub use delay::{DelaySim, EdgeReport};
+pub use event::EventSim;
+pub use filter::{mc_filter, FilterConfig, FilterOutcome};
+pub use parallel::ParallelSim;

@@ -1,0 +1,236 @@
+//! 64-lane bit-parallel two-valued simulation.
+
+use mcp_netlist::{Netlist, NodeId, NodeKind};
+use rand::Rng;
+
+/// A bit-parallel two-valued simulator: bit `l` of every node word is one
+/// independent simulation lane, so each [`eval`](Self::eval) pass simulates
+/// 64 Boolean input vectors at once.
+///
+/// The simulator separates *state* (one word per flip-flop, persisting
+/// across clock cycles) from *combinational values* (one word per node,
+/// recomputed by `eval`). [`clock`](Self::clock) latches the D-input values
+/// of the most recent `eval` into the state, implementing positive-edge
+/// D-FF semantics.
+#[derive(Debug, Clone)]
+pub struct ParallelSim<'a> {
+    netlist: &'a Netlist,
+    values: Vec<u64>,
+    inputs: Vec<u64>,
+    state: Vec<u64>,
+}
+
+impl<'a> ParallelSim<'a> {
+    /// Creates a simulator with all inputs and state zero.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        ParallelSim {
+            netlist,
+            values: vec![0; netlist.num_nodes()],
+            inputs: vec![0; netlist.num_inputs()],
+            state: vec![0; netlist.num_ffs()],
+        }
+    }
+
+    /// The netlist being simulated.
+    #[inline]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Sets the 64 lanes of primary input `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is out of range.
+    #[inline]
+    pub fn set_input(&mut self, pi: usize, word: u64) {
+        self.inputs[pi] = word;
+    }
+
+    /// Sets the 64 lanes of flip-flop `ff`'s state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn set_state(&mut self, ff: usize, word: u64) {
+        self.state[ff] = word;
+    }
+
+    /// Current state word of flip-flop `ff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn state(&self, ff: usize) -> u64 {
+        self.state[ff]
+    }
+
+    /// Randomizes every input lane from `rng`.
+    pub fn randomize_inputs<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for w in &mut self.inputs {
+            *w = rng.random();
+        }
+    }
+
+    /// Randomizes every state lane from `rng` (the "all states reachable"
+    /// assumption of the paper).
+    pub fn randomize_state<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for w in &mut self.state {
+            *w = rng.random();
+        }
+    }
+
+    /// Evaluates the combinational logic for the current inputs and state.
+    ///
+    /// After `eval`, [`value`](Self::value) is valid for every node and
+    /// [`next_state`](Self::next_state) gives each FF's D-input word.
+    pub fn eval(&mut self) {
+        for (i, &pi) in self.netlist.inputs().iter().enumerate() {
+            self.values[pi.index()] = self.inputs[i];
+        }
+        for (i, &ff) in self.netlist.dffs().iter().enumerate() {
+            self.values[ff.index()] = self.state[i];
+        }
+        for (id, node) in self.netlist.nodes() {
+            if let NodeKind::Const(v) = node.kind() {
+                self.values[id.index()] = if v { u64::MAX } else { 0 };
+            }
+        }
+        // Reuse a small scratch buffer for fanin words to avoid per-gate
+        // allocation.
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
+        for &g in self.netlist.topo_gates() {
+            let node = self.netlist.node(g);
+            let kind = node.kind().gate_kind().expect("topo holds gates");
+            scratch.clear();
+            scratch.extend(node.fanins().iter().map(|f| self.values[f.index()]));
+            self.values[g.index()] = kind.eval_word(&scratch);
+        }
+    }
+
+    /// The 64-lane value of `node` from the most recent [`eval`](Self::eval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the netlist.
+    #[inline]
+    pub fn value(&self, node: NodeId) -> u64 {
+        self.values[node.index()]
+    }
+
+    /// The D-input word of flip-flop `ff` from the most recent `eval` —
+    /// i.e. the state it will hold after the next [`clock`](Self::clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn next_state(&self, ff: usize) -> u64 {
+        self.values[self.netlist.ff_d_input(ff).index()]
+    }
+
+    /// Latches every FF's D-input value (positive clock edge).
+    ///
+    /// Call after [`eval`](Self::eval); the state then reflects time `t+1`.
+    pub fn clock(&mut self) {
+        for ff in 0..self.netlist.num_ffs() {
+            self.state[ff] = self.next_state(ff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcp_logic::GateKind;
+    use mcp_netlist::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gray2() -> Netlist {
+        // 2-bit gray counter: F3' = F4, F4' = NOT F3 (the Fig.1 controller)
+        let mut b = NetlistBuilder::new("gray2");
+        let f3 = b.dff("F3");
+        let f4 = b.dff("F4");
+        let nf3 = b.gate("NF3", GateKind::Not, [f3]).unwrap();
+        b.set_dff_input(f3, f4).unwrap();
+        b.set_dff_input(f4, nf3).unwrap();
+        b.mark_output(f3);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn gray_counter_cycles_through_four_states() {
+        let nl = gray2();
+        let mut sim = ParallelSim::new(&nl);
+        sim.set_state(0, 0);
+        sim.set_state(1, 0);
+        let mut states = Vec::new();
+        for _ in 0..5 {
+            states.push((sim.state(0) & 1, sim.state(1) & 1));
+            sim.eval();
+            sim.clock();
+        }
+        assert_eq!(states, vec![(0, 0), (0, 1), (1, 1), (1, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let nl = gray2();
+        let mut sim = ParallelSim::new(&nl);
+        // lane 0: state (0,0); lane 1: state (1,1)
+        sim.set_state(0, 0b10);
+        sim.set_state(1, 0b10);
+        sim.eval();
+        sim.clock();
+        // lane 0 -> (0,1); lane 1 -> (1,0)
+        assert_eq!(sim.state(0) & 0b11, 0b10);
+        assert_eq!(sim.state(1) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn constants_drive_all_lanes() {
+        let mut b = NetlistBuilder::new("c");
+        let one = b.constant("ONE", true);
+        let zero = b.constant("ZERO", false);
+        let a = b.gate("A", GateKind::And, [one, zero]).unwrap();
+        let o = b.gate("O", GateKind::Or, [one, zero]).unwrap();
+        b.mark_output(a);
+        b.mark_output(o);
+        let nl = b.finish().unwrap();
+        let mut sim = ParallelSim::new(&nl);
+        sim.eval();
+        assert_eq!(sim.value(nl.find_node("A").unwrap()), 0);
+        assert_eq!(sim.value(nl.find_node("O").unwrap()), u64::MAX);
+    }
+
+    #[test]
+    fn random_state_and_inputs_cover_lanes() {
+        let nl = gray2();
+        let mut sim = ParallelSim::new(&nl);
+        let mut rng = StdRng::seed_from_u64(7);
+        sim.randomize_state(&mut rng);
+        let before = (sim.state(0), sim.state(1));
+        sim.eval();
+        sim.clock();
+        // next state is a permutation of bits of the old state, lanewise:
+        // F3' = F4, F4' = !F3
+        assert_eq!(sim.state(0), before.1);
+        assert_eq!(sim.state(1), !before.0);
+    }
+
+    #[test]
+    fn next_state_matches_d_input_value() {
+        let nl = gray2();
+        let mut sim = ParallelSim::new(&nl);
+        sim.set_state(0, 0xDEAD);
+        sim.set_state(1, 0xBEEF);
+        sim.eval();
+        let d0 = nl.ff_d_input(0);
+        assert_eq!(sim.next_state(0), sim.value(d0));
+        assert_eq!(sim.next_state(0), 0xBEEF);
+        assert_eq!(sim.next_state(1), !0xDEAD);
+    }
+}

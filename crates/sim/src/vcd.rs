@@ -1,0 +1,165 @@
+//! Minimal VCD (Value Change Dump) export of delay-simulation waveforms.
+//!
+//! Glitches found by [`DelaySim`](crate::DelaySim) become visible in any
+//! standard wave viewer (GTKWave, Surfer, ...): record an edge with
+//! [`DelaySim::record_waveforms`](crate::DelaySim::record_waveforms) and
+//! dump it with [`write_vcd`].
+
+use mcp_netlist::{Netlist, NodeId};
+use std::io::{self, Write};
+
+/// Writes a waveform as an IEEE-1364 VCD document.
+///
+/// `initial` gives every node's value at time 0 (before the first event);
+/// `events` is the `(time, node, value)` trace from
+/// [`EdgeReport::events`](crate::EdgeReport::events). Node names are used
+/// as signal names; every node of the netlist is declared, scoped under
+/// the circuit name.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w` (pass `&mut Vec<u8>` for in-memory use).
+///
+/// # Panics
+///
+/// Panics if `initial.len() != netlist.num_nodes()`.
+pub fn write_vcd<W: Write>(
+    netlist: &Netlist,
+    initial: &[bool],
+    events: &[(u64, NodeId, bool)],
+    w: &mut W,
+) -> io::Result<()> {
+    assert_eq!(
+        initial.len(),
+        netlist.num_nodes(),
+        "one initial value per node"
+    );
+
+    writeln!(w, "$comment mcpath transport-delay waveform $end")?;
+    writeln!(w, "$timescale 1ns $end")?;
+    writeln!(w, "$scope module {} $end", sanitize(netlist.name()))?;
+    for (id, node) in netlist.nodes() {
+        writeln!(
+            w,
+            "$var wire 1 {} {} $end",
+            ident(id),
+            sanitize(node.name())
+        )?;
+    }
+    writeln!(w, "$upscope $end")?;
+    writeln!(w, "$enddefinitions $end")?;
+
+    writeln!(w, "#0")?;
+    writeln!(w, "$dumpvars")?;
+    for (id, _) in netlist.nodes() {
+        writeln!(w, "{}{}", u8::from(initial[id.index()]), ident(id))?;
+    }
+    writeln!(w, "$end")?;
+
+    let mut current = u64::MAX;
+    for &(t, node, v) in events {
+        if t != current {
+            writeln!(w, "#{t}")?;
+            current = t;
+        }
+        writeln!(w, "{}{}", u8::from(v), ident(node))?;
+    }
+    // Closing timestamp so viewers show the settled tail.
+    let end = events.last().map_or(1, |&(t, _, _)| t + 1);
+    writeln!(w, "#{end}")?;
+    Ok(())
+}
+
+/// VCD identifier for a node: printable-ASCII base-94 of its index.
+fn ident(id: NodeId) -> String {
+    let mut n = id.index();
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// VCD signal names may not contain whitespace; replace offenders.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelaySim;
+    use mcp_netlist::bench;
+
+    fn hazard_circuit() -> Netlist {
+        bench::parse(
+            "hz",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\nna = NOT(a)\ny = OR(a, na)",
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn dumps_a_recorded_glitch() {
+        let nl = hazard_circuit();
+        let na = nl.find_node("na").unwrap();
+        let y = nl.find_node("y").unwrap();
+        let mut sim = DelaySim::new(&nl);
+        sim.set_delay(na, 3);
+        sim.record_waveforms(true);
+        sim.init(&[true], &[false]);
+        let initial: Vec<bool> = nl.nodes().map(|(id, _)| sim.value(id)).collect();
+        let report = sim.edge(&[false], &[false]);
+        assert!(report.glitched(y));
+        assert!(!report.events().is_empty());
+
+        let mut buf = Vec::new();
+        write_vcd(&nl, &initial, report.events(), &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+
+        assert!(text.contains("$timescale 1ns $end"));
+        assert!(text.contains("$scope module hz $end"));
+        assert!(text.contains(" y $end"));
+        // The glitch shows as y changing twice at distinct timestamps.
+        let y_id = ident(y);
+        let changes = text
+            .lines()
+            .filter(|l| l.ends_with(y_id.as_str()) && (l.starts_with('0') || l.starts_with('1')))
+            .count();
+        // initial dump + two glitch transitions
+        assert_eq!(changes, 3, "{text}");
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..500 {
+            let s = ident(NodeId::from_index(k));
+            assert!(s.chars().all(|c| ('!'..='~').contains(&c)), "{s:?}");
+            assert!(seen.insert(s));
+        }
+    }
+
+    #[test]
+    fn sanitize_replaces_whitespace() {
+        assert_eq!(sanitize("a b\tc"), "a_b_c");
+        assert_eq!(sanitize("plain"), "plain");
+    }
+
+    #[test]
+    fn empty_event_list_still_produces_valid_header() {
+        let nl = hazard_circuit();
+        let initial = vec![false; nl.num_nodes()];
+        let mut buf = Vec::new();
+        write_vcd(&nl, &initial, &[], &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains("$enddefinitions"));
+        assert!(text.ends_with("#1\n"));
+    }
+}

@@ -1,0 +1,68 @@
+//! k-cycle detection: the Section 4.1 extension, on gated datapaths with
+//! known transfer latencies.
+//!
+//! "Though this algorithm is to detect multi-cycle FF pairs, it can be
+//! easily extended to detect k-cycle FF pairs (k = 3, 4, ...) by
+//! increasing the number of time frames." This example sweeps the cycle
+//! budget `k` over counter-gated datapaths whose source→sink latency is
+//! known by construction, and shows the verdict flip exactly at `k =
+//! latency + 1`.
+//!
+//! Run with: `cargo run --release --example kcycle`
+
+use mcpath::core::{analyze, McConfig};
+use mcpath::gen::generators::{gated_datapath, DatapathConfig};
+
+fn main() {
+    println!("cycle-budget sweep over gated datapaths (8-phase controller):\n");
+    println!("{:>10} {:>4}  verdict for (A0, B0)", "latency", "k");
+
+    for latency in [3u64, 5] {
+        let netlist = gated_datapath(&DatapathConfig {
+            width: 2,
+            counter_bits: 3,
+            load_phase: 0,
+            capture_phase: latency,
+        });
+        let a0 = netlist
+            .ff_index(netlist.find_node("D0_A0").expect("node"))
+            .expect("ff");
+        let b0 = netlist
+            .ff_index(netlist.find_node("D0_B0").expect("node"))
+            .expect("ff");
+
+        for k in 2..=(latency as u32 + 1) {
+            let report = analyze(
+                &netlist,
+                &McConfig {
+                    cycles: k,
+                    backtrack_limit: 100_000,
+                    ..McConfig::default()
+                },
+            )
+            .expect("datapath analysis succeeds");
+            let is_multi = report
+                .class_of(a0, b0)
+                .map(|c| c.is_multi())
+                .unwrap_or(false);
+            println!(
+                "{:>10} {:>4}  {}",
+                latency,
+                k,
+                if is_multi {
+                    "k-cycle pair: the sink provably holds k cycles"
+                } else {
+                    "NOT a k-cycle pair: violating pattern exists"
+                }
+            );
+            assert_eq!(is_multi, u64::from(k) <= latency, "staircase must be exact");
+        }
+        println!();
+    }
+
+    println!(
+        "each pair is a k-cycle pair exactly for k <= latency: a signal \
+         launched at the\nload window has `latency` full cycles before the \
+         capture window opens, and\nnot one more. ✓"
+    );
+}

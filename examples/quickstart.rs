@@ -1,0 +1,85 @@
+//! Quickstart: the paper's Fig.1 walkthrough, end to end.
+//!
+//! Builds the example circuit of the paper's Section 2.2 — a 4-state
+//! gray-code controller gating a load register `FF1` and a capture
+//! register `FF2` — and runs the full analysis, printing what each step
+//! resolves. The output mirrors the narrative of the paper's Section 4.2:
+//! 9 structurally connected pairs, 4 disproven by random simulation, and
+//! the remaining 5 proven multi-cycle by the implication procedure.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mcpath::core::{analyze, McConfig, PairClass, Step};
+use mcpath::gen::circuits;
+
+fn main() {
+    let netlist = circuits::fig1();
+    let stats = netlist.stats();
+    println!("circuit `{}`:", netlist.name());
+    println!(
+        "  {} primary input(s), {} FFs, {} gates",
+        stats.inputs, stats.ffs, stats.gates
+    );
+
+    // Step 1: structural candidates.
+    let name_of = |ff: usize| netlist.node(netlist.dffs()[ff]).name().to_owned();
+    let candidates = netlist.connected_ff_pairs();
+    println!("\nstep 1 — topologically connected FF pairs: {}", candidates.len());
+    for &(i, j) in &candidates {
+        println!("  ({}, {})", name_of(i), name_of(j));
+    }
+
+    // Steps 2-4 inside the pipeline.
+    let report = analyze(&netlist, &McConfig::default()).expect("fig1 analysis succeeds");
+
+    println!(
+        "\nstep 2 — random 2-clock simulation dropped {} pairs as single-cycle \
+         ({} words of 64 patterns):",
+        report.stats.single_by_sim, report.stats.sim_words
+    );
+    for p in &report.pairs {
+        if let PairClass::SingleCycle { by: Step::RandomSim } = p.class {
+            println!("  ({}, {})", name_of(p.src), name_of(p.dst));
+        }
+    }
+
+    println!("\nsteps 3-4 — implication on the 2-frame expansion:");
+    for p in &report.pairs {
+        match p.class {
+            PairClass::MultiCycle { by } => {
+                println!(
+                    "  ({}, {}) is a MULTI-CYCLE pair  [{}]",
+                    name_of(p.src),
+                    name_of(p.dst),
+                    match by {
+                        Step::Implication => "proven by implication alone",
+                        Step::Atpg => "proven with backtrack search",
+                        _ => "prefilter",
+                    }
+                );
+            }
+            PairClass::SingleCycle { by } if by != Step::RandomSim => {
+                println!(
+                    "  ({}, {}) is single-cycle  [violating pattern found]",
+                    name_of(p.src),
+                    name_of(p.dst)
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let mc = report.multi_cycle_pairs();
+    println!(
+        "\nresult: {}/{} pairs are multi-cycle — their FF-to-FF timing \
+         constraints can be relaxed.",
+        mc.len(),
+        candidates.len()
+    );
+    assert_eq!(
+        mc,
+        vec![(0, 0), (0, 1), (1, 1), (2, 1), (3, 0)],
+        "the paper's Section 4.2 pair set"
+    );
+    println!("matches the paper's walkthrough (5 multi-cycle pairs). ✓");
+}

@@ -1,0 +1,741 @@
+//! Command-line front end logic (shared by the `mcpath` binary and its
+//! tests).
+//!
+//! Subcommands:
+//!
+//! * `analyze <file.bench>` — run the multi-cycle FF-pair analysis and
+//!   print the verdict list plus per-step statistics;
+//! * `hazard <file.bench>` — analyze, then validate the multi-cycle pairs
+//!   against static hazards with both criteria;
+//! * `kcycle <file.bench> --max-k <K>` — sweep the cycle budget and report
+//!   each pair's maximal verified budget;
+//! * `stats <file.bench>` — parse and print structural statistics only;
+//! * `gen <suite-name>` — emit a synthetic suite circuit as `.bench` text
+//!   (so external tools can consume the benchmark suite).
+//!
+//! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
+//! `--learn`, `--threads N`, `--no-sim`, `--no-self-pairs`,
+//! `--json <path>`, `--quiet`.
+
+use mcp_core::{
+    analyze, check_hazards, max_cycle_budget, sensitization_dependencies, to_sdc, CycleBudget,
+    Engine, HazardCheck, McConfig, PairClass, SdcOptions, Step,
+};
+use mcp_netlist::{bench, Netlist};
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    /// The subcommand and its positional payload.
+    pub action: Action,
+    /// Engine selection.
+    pub engine: Engine,
+    /// Cycle budget.
+    pub cycles: u32,
+    /// ATPG backtrack limit.
+    pub backtracks: u64,
+    /// Enable static learning.
+    pub learn: bool,
+    /// Worker threads.
+    pub threads: usize,
+    /// Disable the random-simulation prefilter.
+    pub no_sim: bool,
+    /// Exclude self pairs.
+    pub no_self_pairs: bool,
+    /// Optional JSON report path.
+    pub json: Option<String>,
+    /// Suppress the pair listing.
+    pub quiet: bool,
+}
+
+/// What to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Analyze a `.bench` file.
+    Analyze(String),
+    /// Analyze + hazard-check a `.bench` file.
+    Hazard(String),
+    /// Analyze + report the cross-pair dependencies of the
+    /// sensitization-validated multi-cycle pairs.
+    Deps(String),
+    /// Cycle-budget sweep on a `.bench` file up to the given `k`.
+    Kcycle(String, u32),
+    /// Print structural statistics of a `.bench` file.
+    Stats(String),
+    /// Emit a synthetic suite circuit as `.bench`.
+    Gen(String),
+    /// Simplify a `.bench` file (constant sweep, CSE, dead logic) and
+    /// emit the result.
+    Sweep(String),
+    /// Render a `.bench` file as Graphviz DOT.
+    Dot(String),
+    /// Analyze and emit SDC `set_multicycle_path` constraints.
+    Sdc {
+        /// The `.bench` file.
+        path: String,
+        /// Constrain only hazard-robust pairs (using this criterion).
+        robust: Option<HazardCheck>,
+    },
+    /// Hunt for a dynamic glitch on a specific pair and dump a VCD.
+    Glitch {
+        /// The `.bench` file.
+        path: String,
+        /// Source and sink FF names.
+        src: String,
+        /// Sink FF name.
+        dst: String,
+        /// VCD output path.
+        out: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Error from command-line parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCliError(pub String);
+
+impl std::fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mcpath — implication-based multi-cycle FF-pair detection (DAC 2002)
+
+USAGE:
+  mcpath analyze <file.bench> [options]
+  mcpath hazard  <file.bench> [options]
+  mcpath deps    <file.bench> [options]
+  mcpath kcycle  <file.bench> --max-k <K> [options]
+  mcpath stats   <file.bench>
+  mcpath gen     <m27|m298|...|m38584>
+  mcpath dot     <file.bench>
+  mcpath sweep   <file.bench>
+  mcpath sdc     <file.bench> [--robust sens|cosens] [options]
+  mcpath glitch  <file.bench> <srcFF> <dstFF> <out.vcd>
+
+OPTIONS:
+  --engine implication|sat|bdd   decision engine (default: implication)
+  --cycles <K>                   cycle budget (default: 2)
+  --backtracks <N>               ATPG backtrack limit (default: 50)
+  --learn                        enable SOCRATES-style static learning
+  --threads <N>                  parallel pair workers (default: 1)
+  --no-sim                       skip the random-simulation prefilter
+  --no-self-pairs                exclude (FFi, FFi) pairs ([9]'s convention)
+  --json <path>                  dump the report as JSON
+  --quiet                        omit the per-pair listing
+";
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseCliError`] with a human-readable message on malformed
+/// input.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseCliError> {
+    let mut args = args.into_iter().peekable();
+    let sub = args
+        .next()
+        .ok_or_else(|| ParseCliError("missing subcommand (try `mcpath help`)".into()))?;
+
+    let mut positional: Vec<String> = Vec::new();
+    let mut engine = Engine::Implication;
+    let mut cycles = 2u32;
+    let mut backtracks = 50u64;
+    let mut learn = false;
+    let mut threads = 1usize;
+    let mut no_sim = false;
+    let mut no_self_pairs = false;
+    let mut json = None;
+    let mut quiet = false;
+    let mut max_k: Option<u32> = None;
+    let mut robust_check: Option<HazardCheck> = None;
+
+    let take_value = |args: &mut std::iter::Peekable<I::IntoIter>,
+                          flag: &str|
+     -> Result<String, ParseCliError> {
+        args.next()
+            .ok_or_else(|| ParseCliError(format!("`{flag}` needs a value")))
+    };
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => {
+                engine = match take_value(&mut args, "--engine")?.as_str() {
+                    "implication" => Engine::Implication,
+                    "sat" => Engine::Sat,
+                    "bdd" => Engine::Bdd {
+                        node_limit: 1 << 22,
+                        reachability: false,
+                    },
+                    other => {
+                        return Err(ParseCliError(format!("unknown engine `{other}`")));
+                    }
+                }
+            }
+            "--cycles" => {
+                cycles = take_value(&mut args, "--cycles")?
+                    .parse()
+                    .map_err(|e| ParseCliError(format!("bad --cycles: {e}")))?;
+            }
+            "--backtracks" => {
+                backtracks = take_value(&mut args, "--backtracks")?
+                    .parse()
+                    .map_err(|e| ParseCliError(format!("bad --backtracks: {e}")))?;
+            }
+            "--max-k" => {
+                max_k = Some(
+                    take_value(&mut args, "--max-k")?
+                        .parse()
+                        .map_err(|e| ParseCliError(format!("bad --max-k: {e}")))?,
+                );
+            }
+            "--threads" => {
+                threads = take_value(&mut args, "--threads")?
+                    .parse()
+                    .map_err(|e| ParseCliError(format!("bad --threads: {e}")))?;
+            }
+            "--json" => json = Some(take_value(&mut args, "--json")?),
+            "--robust" => {
+                robust_check = Some(match take_value(&mut args, "--robust")?.as_str() {
+                    "sensitization" | "sens" => HazardCheck::Sensitization,
+                    "co-sensitization" | "cosens" => HazardCheck::CoSensitization,
+                    other => {
+                        return Err(ParseCliError(format!("unknown criterion `{other}`")));
+                    }
+                })
+            }
+            "--learn" => learn = true,
+            "--no-sim" => no_sim = true,
+            "--no-self-pairs" => no_self_pairs = true,
+            "--quiet" => quiet = true,
+            other if other.starts_with("--") => {
+                return Err(ParseCliError(format!("unknown option `{other}`")));
+            }
+            _ => positional.push(a),
+        }
+    }
+
+    let one_positional = |what: &str| -> Result<String, ParseCliError> {
+        match positional.as_slice() {
+            [p] => Ok(p.clone()),
+            [] => Err(ParseCliError(format!("`{sub}` needs {what}"))),
+            _ => Err(ParseCliError(format!("`{sub}` takes exactly one {what}"))),
+        }
+    };
+
+    let action = match sub.as_str() {
+        "analyze" => Action::Analyze(one_positional("a .bench file")?),
+        "hazard" => Action::Hazard(one_positional("a .bench file")?),
+        "deps" => Action::Deps(one_positional("a .bench file")?),
+        "kcycle" => Action::Kcycle(
+            one_positional("a .bench file")?,
+            max_k.ok_or_else(|| ParseCliError("`kcycle` needs --max-k <K>".into()))?,
+        ),
+        "stats" => Action::Stats(one_positional("a .bench file")?),
+        "gen" => Action::Gen(one_positional("a suite circuit name")?),
+        "sweep" => Action::Sweep(one_positional("a .bench file")?),
+        "dot" => Action::Dot(one_positional("a .bench file")?),
+        "sdc" => Action::Sdc {
+            path: one_positional("a .bench file")?,
+            robust: robust_check,
+        },
+        "glitch" => match positional.as_slice() {
+            [path, src, dst, out] => Action::Glitch {
+                path: path.clone(),
+                src: src.clone(),
+                dst: dst.clone(),
+                out: out.clone(),
+            },
+            _ => {
+                return Err(ParseCliError(
+                    "`glitch` needs: <file.bench> <srcFF> <dstFF> <out.vcd>".into(),
+                ))
+            }
+        },
+        "help" | "--help" | "-h" => Action::Help,
+        other => return Err(ParseCliError(format!("unknown subcommand `{other}`"))),
+    };
+
+    Ok(Command {
+        action,
+        engine,
+        cycles,
+        backtracks,
+        learn,
+        threads,
+        no_sim,
+        no_self_pairs,
+        json,
+        quiet,
+    })
+}
+
+impl Command {
+    fn config(&self) -> McConfig {
+        McConfig {
+            engine: self.engine,
+            cycles: self.cycles,
+            backtrack_limit: self.backtracks,
+            static_learning: self.learn,
+            threads: self.threads,
+            use_sim_filter: !self.no_sim,
+            include_self_pairs: !self.no_self_pairs,
+            ..McConfig::default()
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    bench::parse(path, &text).map_err(|e| e.to_string())
+}
+
+fn pair_name(nl: &Netlist, i: usize, j: usize) -> String {
+    format!(
+        "({}, {})",
+        nl.node(nl.dffs()[i]).name(),
+        nl.node(nl.dffs()[j]).name()
+    )
+}
+
+/// Executes a parsed command, writing human-readable output into a string
+/// (returned on success; errors are returned as strings for the binary to
+/// print to stderr).
+///
+/// # Errors
+///
+/// Returns a message when the input file cannot be read or parsed, or the
+/// configuration is invalid.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match &cmd.action {
+        Action::Help => out.push_str(USAGE),
+        Action::Stats(path) => {
+            let nl = load(path)?;
+            let s = nl.stats();
+            let _ = writeln!(
+                out,
+                "{}: inputs={} outputs={} ffs={} gates={} depth={} ff_pairs={}",
+                nl.name(),
+                s.inputs,
+                s.outputs,
+                s.ffs,
+                s.gates,
+                nl.depth(),
+                s.ff_pairs
+            );
+        }
+        Action::Gen(name) => {
+            let nl = mcp_gen::suite::standard_suite()
+                .into_iter()
+                .find(|n| n.name() == name)
+                .ok_or_else(|| format!("unknown suite circuit `{name}` (try m27..m38584)"))?;
+            out.push_str(&bench::to_bench(&nl));
+        }
+        Action::Analyze(path) => {
+            let nl = load(path)?;
+            let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
+            if let Some(p) = &cmd.json {
+                let text = serde_json::to_string_pretty(&report)
+                    .map_err(|e| format!("serialize: {e}"))?;
+                std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
+            }
+            let _ = writeln!(
+                out,
+                "{}: {} candidate pairs; {} multi-cycle, {} single-cycle, {} unknown",
+                nl.name(),
+                report.stats.candidates,
+                report.stats.multi_total(),
+                report.stats.single_total(),
+                report.stats.unknown
+            );
+            let _ = writeln!(
+                out,
+                "steps: sim dropped {} ({} words) | implication proved {} | search: {} single / {} multi",
+                report.stats.single_by_sim,
+                report.stats.sim_words,
+                report.stats.multi_by_implication,
+                report.stats.single_by_atpg,
+                report.stats.multi_by_atpg
+            );
+            if !cmd.quiet {
+                for p in &report.pairs {
+                    let verdict = match p.class {
+                        PairClass::MultiCycle { .. } => "multi-cycle ",
+                        PairClass::SingleCycle { .. } => "single-cycle",
+                        PairClass::Unknown => "UNKNOWN     ",
+                    };
+                    let step = match p.class {
+                        PairClass::MultiCycle { by } | PairClass::SingleCycle { by } => match by {
+                            Step::RandomSim => "sim",
+                            Step::Implication => "implication",
+                            Step::Atpg => "search",
+                            Step::Structural => "structural",
+                        },
+                        PairClass::Unknown => "aborted",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {verdict} {:<24} [{step}]",
+                        pair_name(&nl, p.src, p.dst)
+                    );
+                }
+            }
+        }
+        Action::Hazard(path) => {
+            let nl = load(path)?;
+            let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "{}: {} multi-cycle pairs by the MC condition",
+                nl.name(),
+                report.stats.multi_total()
+            );
+            for check in [HazardCheck::Sensitization, HazardCheck::CoSensitization] {
+                let hz = check_hazards(&nl, &report, check);
+                let _ = writeln!(
+                    out,
+                    "{check:?}: {} robust, {} potentially hazardous",
+                    hz.robust.len(),
+                    hz.demoted.len()
+                );
+                if !cmd.quiet {
+                    for &(i, j) in &hz.demoted {
+                        let _ = writeln!(out, "  demoted {}", pair_name(&nl, i, j));
+                    }
+                }
+            }
+        }
+        Action::Sweep(path) => {
+            let nl = load(path)?;
+            let (swept, stats) = mcp_netlist::sweep(&nl);
+            eprintln!(
+                "# sweep: {} -> {} gates ({} const-folded, {} wires elided, \
+                 {} duplicates merged, {} dead dropped)",
+                stats.gates_before,
+                stats.gates_after,
+                stats.folded_constant,
+                stats.elided_wire,
+                stats.merged_duplicate,
+                stats.dropped_dead
+            );
+            out.push_str(&bench::to_bench(&swept));
+        }
+        Action::Dot(path) => {
+            let nl = load(path)?;
+            out.push_str(&mcp_netlist::dot::to_dot(
+                &nl,
+                &mcp_netlist::dot::DotOptions::default(),
+            ));
+        }
+        Action::Glitch {
+            path,
+            src,
+            dst,
+            out: vcd_path,
+        } => {
+            let nl = load(path)?;
+            let find_ff = |name: &str| -> Result<usize, String> {
+                nl.find_node(name)
+                    .and_then(|id| nl.ff_index(id))
+                    .ok_or_else(|| format!("`{name}` is not a flip-flop of the circuit"))
+            };
+            let (i, j) = (find_ff(src)?, find_ff(dst)?);
+            match hunt_glitch(&nl, i, j) {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "no dynamic glitch found at {dst}'s D input in {} sampled \
+                         edges where {src} toggles",
+                        GLITCH_TRIALS
+                    );
+                }
+                Some((initial, events, transitions)) => {
+                    let mut file = std::fs::File::create(vcd_path)
+                        .map_err(|e| format!("create `{vcd_path}`: {e}"))?;
+                    mcp_sim::vcd::write_vcd(&nl, &initial, &events, &mut file)
+                        .map_err(|e| format!("write `{vcd_path}`: {e}"))?;
+                    let _ = writeln!(
+                        out,
+                        "glitch found: {dst}'s D input transitioned {transitions} times; \
+                         waveform written to {vcd_path}"
+                    );
+                }
+            }
+        }
+        Action::Sdc { path, robust } => {
+            let nl = load(path)?;
+            let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
+            let robust_only = robust.map(|check| check_hazards(&nl, &report, check));
+            out.push_str(&to_sdc(
+                &nl,
+                &report,
+                &SdcOptions {
+                    robust_only,
+                    cycles: cmd.cycles,
+                },
+            ));
+        }
+        Action::Deps(path) => {
+            let nl = load(path)?;
+            let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
+            let deps = sensitization_dependencies(&nl, &report);
+            if let Some(p) = &cmd.json {
+                let text = serde_json::to_string_pretty(&deps)
+                    .map_err(|e| format!("serialize: {e}"))?;
+                std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
+            }
+            let conditional = deps.deps.iter().filter(|(_, d)| !d.is_empty()).count();
+            let _ = writeln!(
+                out,
+                "{}: {} sensitization-robust pairs, {} with cross-pair dependencies",
+                nl.name(),
+                deps.deps.len(),
+                conditional
+            );
+            if !cmd.quiet {
+                for ((i, j), d) in &deps.deps {
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let list: Vec<String> =
+                        d.iter().map(|&(k, l)| pair_name(&nl, k, l)).collect();
+                    let _ = writeln!(
+                        out,
+                        "  {} depends on {}",
+                        pair_name(&nl, *i, *j),
+                        list.join(", ")
+                    );
+                }
+            }
+        }
+        Action::Kcycle(path, max_k) => {
+            let nl = load(path)?;
+            if *max_k < 2 {
+                return Err("--max-k must be at least 2".into());
+            }
+            // Classic 2-cycle analysis selects the multi-cycle pairs; the
+            // budget computation then brackets each pair's maximum.
+            let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "{}: cycle budgets of the {} multi-cycle pairs (limit {max_k}):",
+                nl.name(),
+                report.stats.multi_total()
+            );
+            for (i, j) in report.multi_cycle_pairs() {
+                let budget = max_cycle_budget(&nl, i, j, *max_k, &cmd.config())
+                    .map_err(|e| e.to_string())?;
+                let desc = match budget {
+                    CycleBudget::SingleCycle => "single-cycle (!)".to_owned(),
+                    CycleBudget::Exact { verified } => format!("exactly {verified} cycles"),
+                    CycleBudget::AtLeast { at_least } => format!("{at_least}+ cycles"),
+                    CycleBudget::Unknown => "unknown (search aborted)".to_owned(),
+                };
+                let _ = writeln!(out, "  {:<24} {desc}", pair_name(&nl, i, j));
+            }
+        }
+    }
+    Ok(out)
+}
+
+const GLITCH_TRIALS: usize = 512;
+
+/// Samples random pre/post-edge value pairs where FF `i` toggles, under
+/// random transport delays, until FF `j`'s D input glitches; returns the
+/// initial values, the event trace and the transition count.
+#[allow(clippy::type_complexity)]
+fn hunt_glitch(
+    nl: &Netlist,
+    i: usize,
+    j: usize,
+) -> Option<(Vec<bool>, Vec<(u64, mcp_netlist::NodeId, bool)>, u32)> {
+    use mcp_sim::{DelaySim, ParallelSim};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x1905_0607);
+    let mut psim = ParallelSim::new(nl);
+    let dst = nl.ff_d_input(j);
+    let mut trials = 0usize;
+    while trials < GLITCH_TRIALS {
+        psim.randomize_state(&mut rng);
+        psim.randomize_inputs(&mut rng);
+        let s0: Vec<u64> = (0..nl.num_ffs()).map(|k| psim.state(k)).collect();
+        psim.eval();
+        let in0: Vec<u64> = nl.inputs().iter().map(|&pi| psim.value(pi)).collect();
+        let s1: Vec<u64> = (0..nl.num_ffs()).map(|k| psim.next_state(k)).collect();
+        let toggles = s0[i] ^ s1[i];
+        for lane in 0..64 {
+            if toggles >> lane & 1 == 0 || trials >= GLITCH_TRIALS {
+                continue;
+            }
+            trials += 1;
+            let bit = |w: u64| w >> lane & 1 == 1;
+            let pis0: Vec<bool> = in0.iter().map(|&w| bit(w)).collect();
+            let ffs0: Vec<bool> = s0.iter().map(|&w| bit(w)).collect();
+            let ffs1: Vec<bool> = s1.iter().map(|&w| bit(w)).collect();
+            let pis1: Vec<bool> = (0..nl.num_inputs()).map(|_| rng.random()).collect();
+            let mut dsim = DelaySim::new(nl);
+            for &g in nl.topo_gates() {
+                dsim.set_delay(g, rng.random_range(1..16));
+            }
+            dsim.record_waveforms(true);
+            dsim.init(&pis0, &ffs0);
+            let initial: Vec<bool> = nl.nodes().map(|(id, _)| dsim.value(id)).collect();
+            let report = dsim.edge(&pis1, &ffs1);
+            if report.glitched(dst) {
+                return Some((
+                    initial,
+                    report.events().to_vec(),
+                    report.transitions(dst),
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_analyze_with_options() {
+        let cmd = parse_args(argv(
+            "analyze foo.bench --engine sat --cycles 3 --backtracks 99 --threads 4 --quiet",
+        ))
+        .expect("parse");
+        assert_eq!(cmd.action, Action::Analyze("foo.bench".into()));
+        assert_eq!(cmd.engine, Engine::Sat);
+        assert_eq!(cmd.cycles, 3);
+        assert_eq!(cmd.backtracks, 99);
+        assert_eq!(cmd.threads, 4);
+        assert!(cmd.quiet);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_engines() {
+        assert!(parse_args(argv("analyze f.bench --frobnicate")).is_err());
+        assert!(parse_args(argv("analyze f.bench --engine quantum")).is_err());
+        assert!(parse_args(argv("kcycle f.bench")).is_err(), "needs --max-k");
+        assert!(parse_args(argv("teleport f.bench")).is_err());
+        assert!(parse_args(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn gen_emits_parseable_bench() {
+        let cmd = parse_args(argv("gen m27")).expect("parse");
+        let text = run(&cmd).expect("run");
+        let nl = bench::parse("m27", &text).expect("generated bench parses");
+        assert!(nl.num_ffs() >= 3);
+    }
+
+    #[test]
+    fn gen_rejects_unknown_circuit() {
+        let cmd = parse_args(argv("gen s99999")).expect("parse");
+        assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn analyze_runs_on_a_generated_file() {
+        let dir = std::env::temp_dir().join("mcpath-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("m27.bench");
+        let text = run(&parse_args(argv("gen m27")).expect("parse")).expect("gen");
+        std::fs::write(&path, text).expect("write");
+
+        let cmd = parse_args(argv(&format!("analyze {}", path.display()))).expect("parse");
+        let out = run(&cmd).expect("analyze");
+        assert!(out.contains("multi-cycle"), "{out}");
+
+        let cmd = parse_args(argv(&format!("hazard {} --quiet", path.display()))).expect("parse");
+        let out = run(&cmd).expect("hazard");
+        assert!(out.contains("Sensitization"), "{out}");
+
+        let cmd =
+            parse_args(argv(&format!("kcycle {} --max-k 4", path.display()))).expect("parse");
+        let out = run(&cmd).expect("kcycle");
+        assert!(out.contains("cycles"), "{out}");
+
+        let cmd = parse_args(argv(&format!("sdc {}", path.display()))).expect("parse");
+        let out = run(&cmd).expect("sdc");
+        assert!(out.contains("set_multicycle_path"), "{out}");
+        let cmd =
+            parse_args(argv(&format!("sdc {} --robust cosens", path.display()))).expect("parse");
+        let out = run(&cmd).expect("sdc robust");
+        assert!(out.contains("hazard-robust"), "{out}");
+
+        let cmd = parse_args(argv(&format!("deps {}", path.display()))).expect("parse");
+        let out = run(&cmd).expect("deps");
+        assert!(out.contains("sensitization-robust"), "{out}");
+
+        let cmd = parse_args(argv(&format!("stats {}", path.display()))).expect("parse");
+        let out = run(&cmd).expect("stats");
+        assert!(out.contains("ff_pairs"), "{out}");
+    }
+
+    #[test]
+    fn dot_and_glitch_subcommands_work() {
+        let dir = std::env::temp_dir().join("mcpath-cli-test2");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("fig3.bench");
+        let nl = mcp_gen::circuits::fig3();
+        std::fs::write(&path, bench::to_bench(&nl)).expect("write");
+
+        let cmd = parse_args(argv(&format!("sweep {}", path.display()))).expect("parse");
+        let out = run(&cmd).expect("sweep");
+        let swept = bench::parse("swept", &out).expect("swept output parses");
+        assert_eq!(swept.num_ffs(), nl.num_ffs());
+
+        let cmd = parse_args(argv(&format!("dot {}", path.display()))).expect("parse");
+        let out = run(&cmd).expect("dot");
+        assert!(out.starts_with("digraph"), "{out}");
+
+        let vcd = dir.join("glitch.vcd");
+        let cmd = parse_args(argv(&format!(
+            "glitch {} FF3 FF2 {}",
+            path.display(),
+            vcd.display()
+        )))
+        .expect("parse");
+        let out = run(&cmd).expect("glitch");
+        assert!(out.contains("glitch found"), "{out}");
+        let text = std::fs::read_to_string(&vcd).expect("vcd written");
+        assert!(text.contains("$enddefinitions"));
+
+        // A non-FF name is a clean error.
+        let cmd = parse_args(argv(&format!(
+            "glitch {} EN2 FF2 {}",
+            path.display(),
+            vcd.display()
+        )))
+        .expect("parse");
+        assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let cmd = parse_args(argv("analyze /no/such/file.bench")).expect("parse");
+        let err = run(&cmd).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&parse_args(argv("help")).expect("parse")).expect("run");
+        assert!(out.contains("USAGE"));
+    }
+}

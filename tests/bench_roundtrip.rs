@@ -1,0 +1,69 @@
+//! `.bench` serialization round-trips preserve analysis results.
+
+use mcpath::core::{analyze, McConfig};
+use mcpath::gen::{circuits, generators, suite};
+use mcpath::netlist::bench;
+
+#[test]
+fn fig1_round_trips_with_identical_analysis() {
+    let original = circuits::fig1();
+    let text = bench::to_bench(&original);
+    let parsed = bench::parse("fig1", &text).expect("reparse");
+    assert_eq!(parsed.stats(), original.stats());
+
+    let r1 = analyze(&original, &McConfig::default()).expect("analyze");
+    let r2 = analyze(&parsed, &McConfig::default()).expect("analyze");
+    // FF order is preserved by the writer (declaration order), so pair
+    // indices are directly comparable.
+    assert_eq!(r1.multi_cycle_pairs(), r2.multi_cycle_pairs());
+    assert_eq!(r1.single_cycle_pairs(), r2.single_cycle_pairs());
+}
+
+#[test]
+fn generated_circuits_round_trip() {
+    let cases = vec![
+        generators::gated_datapath(&generators::DatapathConfig::default()),
+        generators::pipeline(3, 4),
+        generators::lfsr(6, 2),
+        circuits::fig4_fragment(),
+    ];
+    for nl in &cases {
+        let text = bench::to_bench(nl);
+        let parsed = bench::parse(nl.name(), &text).expect("reparse");
+        assert_eq!(parsed.stats(), nl.stats(), "{}", nl.name());
+        assert_eq!(
+            parsed.connected_ff_pairs(),
+            nl.connected_ff_pairs(),
+            "{}",
+            nl.name()
+        );
+        // Every node name survives.
+        for (_, node) in nl.nodes() {
+            assert!(
+                parsed.find_node(node.name()).is_some(),
+                "{}: lost node {}",
+                nl.name(),
+                node.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_circuits_round_trip_structurally() {
+    for nl in suite::quick_suite() {
+        let text = bench::to_bench(&nl);
+        let parsed = bench::parse(nl.name(), &text).expect("reparse");
+        assert_eq!(parsed.stats(), nl.stats(), "{}", nl.name());
+    }
+}
+
+#[test]
+fn analysis_verdicts_survive_round_trip_on_quick_suite_head() {
+    let nl = suite::quick_suite().remove(1); // m298
+    let text = bench::to_bench(&nl);
+    let parsed = bench::parse(nl.name(), &text).expect("reparse");
+    let r1 = analyze(&nl, &McConfig::default()).expect("analyze");
+    let r2 = analyze(&parsed, &McConfig::default()).expect("analyze");
+    assert_eq!(r1.multi_cycle_pairs(), r2.multi_cycle_pairs());
+}

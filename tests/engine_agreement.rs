@@ -1,0 +1,183 @@
+//! Cross-engine and oracle agreement on randomized sequential circuits.
+//!
+//! The strongest correctness evidence in the workspace: for random small
+//! circuits, the implication+ATPG engine, the SAT engine, the BDD engine
+//! and brute-force enumeration must produce identical multi-cycle pair
+//! sets.
+
+use mcpath::core::{analyze, Engine, McConfig};
+use mcpath::gen::oracle::exhaustive_mc_pairs;
+use mcpath::gen::random::{random_netlist, RandomCircuitConfig};
+use mcpath::netlist::Netlist;
+use proptest::prelude::*;
+
+/// Builds a random synchronous circuit via the shared generator.
+fn random_circuit(seed: u64, n_ffs: usize, n_pis: usize, n_gates: usize) -> Netlist {
+    random_netlist(
+        seed,
+        &RandomCircuitConfig {
+            ffs: n_ffs,
+            pis: n_pis,
+            gates: n_gates,
+            max_arity: 3,
+        },
+    )
+}
+
+fn check_all_engines(nl: &Netlist) {
+    let (oracle_multi, oracle_single) = exhaustive_mc_pairs(nl);
+    for engine in [
+        Engine::Implication,
+        Engine::Sat,
+        Engine::Bdd {
+            node_limit: 1 << 22,
+            reachability: false,
+        },
+    ] {
+        let report = analyze(
+            nl,
+            &McConfig {
+                engine,
+                backtrack_limit: 1_000_000,
+                ..McConfig::default()
+            },
+        )
+        .expect("analysis succeeds");
+        assert_eq!(
+            report.multi_cycle_pairs(),
+            oracle_multi,
+            "{engine:?} multi set on {}",
+            nl.name()
+        );
+        assert_eq!(
+            report.single_cycle_pairs(),
+            oracle_single,
+            "{engine:?} single set on {}",
+            nl.name()
+        );
+        assert!(report.unknown_pairs().is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random circuits with enumerable state/input space.
+    #[test]
+    fn engines_match_oracle_on_random_circuits(
+        seed in 0u64..10_000,
+        n_ffs in 2usize..6,
+        n_pis in 1usize..4,
+        n_gates in 5usize..40,
+    ) {
+        // Oracle budget: n_ffs + 2*n_pis <= 13 bits here.
+        let nl = random_circuit(seed, n_ffs, n_pis, n_gates);
+        check_all_engines(&nl);
+    }
+}
+
+#[test]
+fn engines_match_oracle_on_structured_circuits() {
+    use mcpath::gen::generators::*;
+    let circuits = vec![
+        gated_datapath(&DatapathConfig {
+            width: 2,
+            counter_bits: 2,
+            load_phase: 1,
+            capture_phase: 0,
+        }),
+        lfsr(5, 2),
+        pipeline(2, 3),
+    ];
+    for nl in &circuits {
+        check_all_engines(nl);
+    }
+}
+
+#[test]
+fn sim_filter_never_disagrees_with_the_oracle() {
+    // Everything the random filter drops must truly be single-cycle: the
+    // filter produces witnesses, so a disagreement would be a simulator
+    // bug.
+    for seed in 0..40 {
+        let nl = random_circuit(seed, 4, 2, 25);
+        let (_, oracle_single) = exhaustive_mc_pairs(&nl);
+        let report = analyze(&nl, &McConfig::default()).expect("analysis succeeds");
+        for p in &report.pairs {
+            if matches!(
+                p.class,
+                mcpath::core::PairClass::SingleCycle {
+                    by: mcpath::core::Step::RandomSim
+                }
+            ) {
+                assert!(
+                    oracle_single.contains(&(p.src, p.dst)),
+                    "seed {seed}: filter dropped a multi-cycle pair ({}, {})",
+                    p.src,
+                    p.dst
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_learning_preserves_verdicts_on_random_circuits() {
+    for seed in 100..115 {
+        let nl = random_circuit(seed, 4, 2, 30);
+        let plain = analyze(&nl, &McConfig::default()).expect("analyze");
+        let learned = analyze(
+            &nl,
+            &McConfig {
+                static_learning: true,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert_eq!(
+            plain.multi_cycle_pairs(),
+            learned.multi_cycle_pairs(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn sweeping_preserves_analysis_verdicts() {
+    // The sweeper rewrites the logic but not the function: multi-cycle
+    // classifications must be identical before and after (FF indices are
+    // preserved by construction).
+    use mcpath::netlist::sweep;
+    for seed in 200..220 {
+        let nl = random_circuit(seed, 4, 2, 30);
+        let (swept, _) = sweep(&nl);
+        let before = analyze(&nl, &McConfig::default()).expect("analyze");
+        let after = analyze(&swept, &McConfig::default()).expect("analyze");
+        // Structural candidates can only shrink: simplification removes
+        // *fake* paths (e.g. through XOR(g, g) = 0), turning some pairs
+        // unconnected — those drop from the report. Every pair that
+        // survives must keep its verdict.
+        for p in &after.pairs {
+            let b = before.class_of(p.src, p.dst).expect("pair existed before");
+            assert_eq!(
+                b.is_multi(),
+                p.class.is_multi(),
+                "seed {seed} ({}, {})",
+                p.src,
+                p.dst
+            );
+        }
+        // And a dropped pair is functionally independent of its source, so
+        // the original verdict for it depends only on whether the sink can
+        // change at all — both classes occur; what must NOT happen is the
+        // swept report inventing pairs.
+        for p in &after.pairs {
+            assert!(
+                before.class_of(p.src, p.dst).is_some(),
+                "seed {seed}: invented pair ({}, {})",
+                p.src,
+                p.dst
+            );
+        }
+    }
+}

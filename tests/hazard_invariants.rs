@@ -1,0 +1,113 @@
+//! Cross-circuit invariants of the static-hazard checks (Section 5).
+
+use mcpath::core::{analyze, check_hazards, HazardCheck, McConfig};
+use mcpath::gen::{circuits, generators, suite};
+
+#[test]
+fn checks_partition_the_multicycle_set() {
+    for nl in suite::quick_suite() {
+        let report = analyze(&nl, &McConfig::default()).expect("analyze");
+        let mc = report.multi_cycle_pairs();
+        for check in [HazardCheck::Sensitization, HazardCheck::CoSensitization] {
+            let hz = check_hazards(&nl, &report, check);
+            let mut union: Vec<_> = hz.robust.iter().chain(hz.demoted.iter()).copied().collect();
+            union.sort_unstable();
+            assert_eq!(union, mc, "{}: {check:?}", nl.name());
+        }
+    }
+}
+
+#[test]
+fn cosensitization_demotes_a_superset_of_sensitization() {
+    // Every statically sensitizable path is statically co-sensitizable, so
+    // the co-sensitization check must flag every pair the sensitization
+    // check flags (the paper's Table 3 ordering).
+    let mut circuits: Vec<mcpath::netlist::Netlist> =
+        vec![circuits::fig1(), circuits::fig3()];
+    circuits.extend(suite::quick_suite());
+    for nl in &circuits {
+        let report = analyze(nl, &McConfig::default()).expect("analyze");
+        let sens = check_hazards(nl, &report, HazardCheck::Sensitization);
+        let cosens = check_hazards(nl, &report, HazardCheck::CoSensitization);
+        for pair in &sens.demoted {
+            assert!(
+                cosens.demoted.contains(pair),
+                "{}: {pair:?} demoted by sensitization only",
+                nl.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_transfer_chains_survive_both_checks() {
+    // The pinned-enable structure is engineered so the implications pin
+    // every on-path value: (S, T) must be robust even under the
+    // conservative co-sensitization criterion.
+    let nl = generators::composite(
+        "pinned",
+        &generators::CompositeConfig {
+            seed: 7,
+            pinned_chains: 3,
+            ..generators::CompositeConfig::default()
+        },
+    );
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    for r in 0..3 {
+        let s = nl
+            .ff_index(nl.find_node(&format!("PN{r}_S")).expect("node"))
+            .expect("ff");
+        let t = nl
+            .ff_index(nl.find_node(&format!("PN{r}_T")).expect("node"))
+            .expect("ff");
+        assert!(
+            report.class_of(s, t).expect("pair").is_multi(),
+            "chain {r} must be multi-cycle"
+        );
+        for check in [HazardCheck::Sensitization, HazardCheck::CoSensitization] {
+            let hz = check_hazards(&nl, &report, check);
+            assert!(
+                hz.robust.contains(&(s, t)),
+                "chain {r} must be {check:?}-robust: demoted={:?}",
+                hz.demoted
+            );
+        }
+    }
+}
+
+#[test]
+fn hazard_checking_is_deterministic() {
+    let nl = circuits::fig3();
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    let a = check_hazards(&nl, &report, HazardCheck::Sensitization);
+    let b = check_hazards(&nl, &report, HazardCheck::Sensitization);
+    assert_eq!(a.robust, b.robust);
+    assert_eq!(a.demoted, b.demoted);
+}
+
+#[test]
+fn demotion_rates_are_ordered_on_the_suite() {
+    // before >= kept(sensitization) >= kept(co-sensitization), with the
+    // sensitization check keeping a solid majority (the paper's Table 3:
+    // 9065 -> 8063 -> 5712).
+    let mut before = 0usize;
+    let mut sens_kept = 0usize;
+    let mut cosens_kept = 0usize;
+    for nl in suite::quick_suite() {
+        let report = analyze(&nl, &McConfig::default()).expect("analyze");
+        before += report.multi_cycle_pairs().len();
+        sens_kept += check_hazards(&nl, &report, HazardCheck::Sensitization)
+            .robust
+            .len();
+        cosens_kept += check_hazards(&nl, &report, HazardCheck::CoSensitization)
+            .robust
+            .len();
+    }
+    assert!(sens_kept <= before);
+    assert!(cosens_kept <= sens_kept);
+    assert!(
+        sens_kept * 2 > before,
+        "sensitization should keep a majority: {sens_kept}/{before}"
+    );
+    assert!(cosens_kept > 0, "pinned chains must survive co-sensitization");
+}

@@ -1,0 +1,75 @@
+//! End-to-end analysis of the real s27 — the smallest circuit of the
+//! ISCAS89 suite the paper evaluates on (bundled, as its 1989 release is
+//! freely redistributable).
+
+use mcpath::core::{analyze, check_hazards, Engine, HazardCheck, McConfig};
+use mcpath::gen::oracle::exhaustive_mc_pairs;
+use mcpath::netlist::bench;
+
+fn s27() -> mcpath::netlist::Netlist {
+    let src = include_str!("../data/s27.bench");
+    bench::parse("s27", src).expect("bundled s27 parses")
+}
+
+#[test]
+fn s27_structure() {
+    let nl = s27();
+    let s = nl.stats();
+    assert_eq!(s.inputs, 4);
+    assert_eq!(s.outputs, 1);
+    assert_eq!(s.ffs, 3);
+    assert_eq!(s.gates, 10);
+}
+
+#[test]
+fn s27_all_engines_agree_with_brute_force() {
+    let nl = s27();
+    let (oracle_multi, _) = exhaustive_mc_pairs(&nl);
+    for engine in [
+        Engine::Implication,
+        Engine::Sat,
+        Engine::Bdd {
+            node_limit: 1 << 20,
+            reachability: false,
+        },
+    ] {
+        let report = analyze(
+            &nl,
+            &McConfig {
+                engine,
+                backtrack_limit: 100_000,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert_eq!(report.multi_cycle_pairs(), oracle_multi, "{engine:?}");
+        assert_eq!(report.stats.unknown, 0);
+    }
+}
+
+#[test]
+fn s27_classification_is_complete_with_paper_settings() {
+    // Paper settings: backtrack limit 50, no learning — every pair must
+    // still be classified (the paper's Table 1 resolves s27 instantly).
+    let nl = s27();
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    assert_eq!(report.stats.unknown, 0);
+    assert_eq!(
+        report.pairs.len(),
+        nl.connected_ff_pairs().len(),
+        "all candidates classified"
+    );
+}
+
+#[test]
+fn s27_hazard_checks_run_clean() {
+    let nl = s27();
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    for check in [HazardCheck::Sensitization, HazardCheck::CoSensitization] {
+        let hz = check_hazards(&nl, &report, check);
+        assert_eq!(
+            hz.robust.len() + hz.demoted.len(),
+            report.multi_cycle_pairs().len()
+        );
+    }
+}
