@@ -134,7 +134,10 @@ pub fn search(eng: &mut ImpEngine<'_>, cfg: &SearchConfig) -> (SearchOutcome, Se
                 let (pin, value) = pick_objective(eng, g);
                 stats.decisions += 1;
                 let cp = eng.checkpoint();
-                let ok = eng.assign(pin, value).and_then(|()| eng.propagate()).is_ok();
+                let ok = eng
+                    .assign(pin, value)
+                    .and_then(|()| eng.propagate())
+                    .is_ok();
                 if ok {
                     stack.push(Decision {
                         cp,
@@ -273,8 +276,7 @@ mod tests {
         let (outcome, _) = search(&mut eng, cfg);
         if let SearchOutcome::Sat(witness) = &outcome {
             // Verify the witness end-to-end.
-            let assign: Vec<(XId, V3)> =
-                witness.iter().map(|&(v, b)| (v, V3::from(b))).collect();
+            let assign: Vec<(XId, V3)> = witness.iter().map(|&(v, b)| (v, V3::from(b))).collect();
             let vals = x.eval_v3(&assign);
             for &(name, v) in constraints {
                 let id = x.value_of(0, nl.find_node(name).expect("node"));
@@ -286,8 +288,14 @@ mod tests {
 
     #[test]
     fn finds_witness_for_satisfiable_objective() {
-        let (nl, x) = setup("INPUT(a)\nINPUT(b)\nINPUT(c)\nq = DFF(z)\ny = AND(a, b)\nz = OR(y, c)");
-        let out = run(&nl, &x, &[("z", true), ("c", false)], &SearchConfig::default());
+        let (nl, x) =
+            setup("INPUT(a)\nINPUT(b)\nINPUT(c)\nq = DFF(z)\ny = AND(a, b)\nz = OR(y, c)");
+        let out = run(
+            &nl,
+            &x,
+            &[("z", true), ("c", false)],
+            &SearchConfig::default(),
+        );
         assert!(out.is_sat());
     }
 
@@ -295,9 +303,8 @@ mod tests {
     fn proves_redundant_objective_unsat() {
         // z = AND(y, ny) with ny = NOT(y): z=1 impossible, and the conflict
         // needs one decision level to expose (y's value is free).
-        let (nl, x) = setup(
-            "INPUT(a)\nINPUT(b)\nq = DFF(z)\ny = AND(a, b)\nny = NAND(a, b)\nz = AND(y, ny)",
-        );
+        let (nl, x) =
+            setup("INPUT(a)\nINPUT(b)\nq = DFF(z)\ny = AND(a, b)\nny = NAND(a, b)\nz = AND(y, ny)");
         let out = run(&nl, &x, &[("z", true)], &SearchConfig::default());
         assert_eq!(out, SearchOutcome::Unsat);
     }
@@ -315,9 +322,21 @@ mod tests {
         );
         // x1 ^ x2 ^ x3 over pairs: x1&x2&x3 = 1 requires a!=b, b!=c, a!=c —
         // impossible for Booleans.
-        let out = run(&nl, &x, &[("z", true)], &SearchConfig { backtrack_limit: 1000 });
+        let out = run(
+            &nl,
+            &x,
+            &[("z", true)],
+            &SearchConfig {
+                backtrack_limit: 1000,
+            },
+        );
         assert_eq!(out, SearchOutcome::Unsat);
-        let out = run(&nl, &x, &[("z", true)], &SearchConfig { backtrack_limit: 0 });
+        let out = run(
+            &nl,
+            &x,
+            &[("z", true)],
+            &SearchConfig { backtrack_limit: 0 },
+        );
         assert!(matches!(out, SearchOutcome::Aborted | SearchOutcome::Unsat));
     }
 

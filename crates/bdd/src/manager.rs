@@ -76,6 +76,11 @@ pub struct Bdd {
     rename_cache: HashMap<Ref, Ref>,
     num_vars: u32,
     node_limit: usize,
+    /// Memo-cache probes on the non-terminal paths of `ite`/`exists`
+    /// (instrumentation).
+    cache_lookups: u64,
+    /// Probes answered from a memo cache (instrumentation).
+    cache_hits: u64,
 }
 
 impl Bdd {
@@ -102,6 +107,8 @@ impl Bdd {
             rename_cache: HashMap::new(),
             num_vars,
             node_limit,
+            cache_lookups: 0,
+            cache_hits: 0,
         }
     }
 
@@ -115,6 +122,20 @@ impl Bdd {
     #[inline]
     pub fn num_vars(&self) -> u32 {
         self.num_vars
+    }
+
+    /// Memo-cache probes performed by `ite`/`exists` so far
+    /// (instrumentation).
+    #[inline]
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_lookups
+    }
+
+    /// Memo-cache probes answered without recursion so far
+    /// (instrumentation).
+    #[inline]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     #[inline]
@@ -195,7 +216,9 @@ impl Bdd {
         if g == Ref::TRUE && h == Ref::FALSE {
             return Ok(f);
         }
+        self.cache_lookups += 1;
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.cache_hits += 1;
             return Ok(r);
         }
         let top = [f, g, h]
@@ -307,7 +330,9 @@ impl Bdd {
         if f.is_terminal() || cube == Ref::TRUE {
             return Ok(f);
         }
+        self.cache_lookups += 1;
         if let Some(&r) = self.exists_cache.get(&(f, cube)) {
+            self.cache_hits += 1;
             return Ok(r);
         }
         // Skip cube variables above f's top variable: f does not depend on
@@ -590,7 +615,11 @@ mod tests {
         let r = b.ite(f, g, h).unwrap();
         for bits in 0..8u32 {
             let assignment: Vec<bool> = (0..8).map(|k| bits >> k & 1 == 1).collect();
-            let expect = if assignment[0] { assignment[1] } else { assignment[2] };
+            let expect = if assignment[0] {
+                assignment[1]
+            } else {
+                assignment[2]
+            };
             assert_eq!(b.eval(r, &assignment), expect);
         }
     }

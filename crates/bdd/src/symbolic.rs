@@ -125,13 +125,9 @@ impl SymbolicFsm {
             let mut acc = ins[0];
             for &i in &ins[1..] {
                 acc = match kind {
-                    mcp_logic::GateKind::And | mcp_logic::GateKind::Nand => {
-                        self.bdd.and(acc, i)?
-                    }
+                    mcp_logic::GateKind::And | mcp_logic::GateKind::Nand => self.bdd.and(acc, i)?,
                     mcp_logic::GateKind::Or | mcp_logic::GateKind::Nor => self.bdd.or(acc, i)?,
-                    mcp_logic::GateKind::Xor | mcp_logic::GateKind::Xnor => {
-                        self.bdd.xor(acc, i)?
-                    }
+                    mcp_logic::GateKind::Xor | mcp_logic::GateKind::Xnor => self.bdd.xor(acc, i)?,
                     mcp_logic::GateKind::Not | mcp_logic::GateKind::Buf => unreachable!(),
                 };
             }

@@ -9,10 +9,10 @@
 //! paper, both engines run on the *same* machine and the same prefilters,
 //! so the speed ratio is apples-to-apples.
 
-use mcp_bench::{secs, HarnessArgs};
+use mcp_bench::{bench_artifact, secs, HarnessArgs};
 use mcp_core::{analyze, Engine, McConfig};
+use mcp_obs::Timers;
 use serde::Serialize;
-use std::time::{Duration, Instant};
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -37,24 +37,34 @@ fn main() {
     println!("{:-<100}", "");
     println!(
         "{:>8} {:>5} {:>5} {:>8} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
-        "circuit", "In", "FF", "FF-pair", "ours MC", "CPU(s)", "SAT MC", "CPU(s)", "BDD MC", "CPU(s)"
+        "circuit",
+        "In",
+        "FF",
+        "FF-pair",
+        "ours MC",
+        "CPU(s)",
+        "SAT MC",
+        "CPU(s)",
+        "BDD MC",
+        "CPU(s)"
     );
     println!("{:-<100}", "");
 
     let mut rows = Vec::new();
     let mut total_pairs = 0usize;
     let mut total_mc = 0usize;
-    let mut total_ours = Duration::ZERO;
-    let mut total_sat = Duration::ZERO;
+    // Per-engine wall-clock accumulates in span timers; `stop()` returns
+    // each circuit's slice for the table row.
+    let timers = Timers::new();
 
     for nl in &suite {
         let s = nl.stats();
 
-        let t = Instant::now();
+        let t = timers.span("ours");
         let ours = analyze(nl, &McConfig::default()).expect("analysis succeeds");
-        let cpu_ours = t.elapsed();
+        let cpu_ours = t.stop();
 
-        let t = Instant::now();
+        let t = timers.span("sat");
         let sat = analyze(
             nl,
             &McConfig {
@@ -63,13 +73,13 @@ fn main() {
             },
         )
         .expect("analysis succeeds");
-        let cpu_sat = t.elapsed();
+        let cpu_sat = t.stop();
 
         // BDD baseline: only attempted on the smaller circuits; a modest
         // node budget reproduces the paper's observation that symbolic
         // traversal does not scale.
         let bdd = if s.ffs <= 80 {
-            let t = Instant::now();
+            let t = timers.span("bdd");
             let r = analyze(
                 nl,
                 &McConfig {
@@ -81,7 +91,7 @@ fn main() {
                 },
             )
             .expect("analysis succeeds");
-            let dt = t.elapsed();
+            let dt = t.stop();
             if r.stats.unknown == 0 {
                 Some((r.stats.multi_total(), dt))
             } else {
@@ -100,8 +110,6 @@ fn main() {
 
         total_pairs += s.ff_pairs;
         total_mc += ours.stats.multi_total();
-        total_ours += cpu_ours;
-        total_sat += cpu_sat;
 
         println!(
             "{:>8} {:>5} {:>5} {:>8} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
@@ -132,6 +140,8 @@ fn main() {
         });
     }
 
+    let total_ours = timers.total("ours");
+    let total_sat = timers.total("sat");
     println!("{:-<100}", "");
     println!(
         "{:>8} {:>5} {:>5} {:>8} | {:>8} {:>9} | {:>8} {:>9} |",
@@ -150,5 +160,6 @@ fn main() {
         total_sat.as_secs_f64() / total_ours.as_secs_f64().max(1e-9),
     );
 
+    bench_artifact("table1", &rows);
     args.dump_json(&rows);
 }

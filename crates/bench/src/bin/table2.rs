@@ -8,8 +8,9 @@
 //! SAT baseline; this harness reports the same percentages on the
 //! synthetic suite.
 
-use mcp_bench::{secs, HarnessArgs};
-use mcp_core::{analyze, McConfig};
+use mcp_bench::{bench_artifact, secs, HarnessArgs};
+use mcp_core::{analyze_with, McConfig};
+use mcp_obs::{Counters, ObsCtx};
 use serde::Serialize;
 use std::time::Duration;
 
@@ -24,6 +25,7 @@ struct Table2 {
     cpu_sim: f64,
     cpu_prepare: f64,
     cpu_pairs: f64,
+    counters: Counters,
 }
 
 fn main() {
@@ -40,13 +42,17 @@ fn main() {
         cpu_sim: 0.0,
         cpu_prepare: 0.0,
         cpu_pairs: 0.0,
+        counters: Counters::default(),
     };
     let mut t_sim = Duration::ZERO;
     let mut t_prepare = Duration::ZERO;
     let mut t_pairs = Duration::ZERO;
+    // One observability context across the suite: the engine counters
+    // accumulate into suite-wide totals.
+    let obs = ObsCtx::new();
 
     for nl in &suite {
-        let r = analyze(nl, &McConfig::default()).expect("analysis succeeds");
+        let r = analyze_with(nl, &McConfig::default(), &obs).expect("analysis succeeds");
         agg.single_by_sim += r.stats.single_by_sim;
         agg.single_by_implication += r.stats.single_by_implication;
         agg.single_by_atpg += r.stats.single_by_atpg;
@@ -60,9 +66,9 @@ fn main() {
     agg.cpu_sim = t_sim.as_secs_f64();
     agg.cpu_prepare = t_prepare.as_secs_f64();
     agg.cpu_pairs = t_pairs.as_secs_f64();
+    agg.counters = obs.metrics.counters();
 
-    let single_total =
-        (agg.single_by_sim + agg.single_by_implication + agg.single_by_atpg).max(1);
+    let single_total = (agg.single_by_sim + agg.single_by_implication + agg.single_by_atpg).max(1);
     let multi_total = (agg.multi_by_implication + agg.multi_by_atpg).max(1);
     let pct = |n: usize, d: usize| 100.0 * n as f64 / d as f64;
 
@@ -112,6 +118,17 @@ fn main() {
         "implication resolves {:.0}% of multi-cycle pairs (paper: >80%).",
         pct(agg.multi_by_implication, multi_total)
     );
+    println!(
+        "\nengine counters: {} implications, {} contradictions, {} decisions, \
+         {} backtracks, {} aborts, {} sim words",
+        agg.counters.implications,
+        agg.counters.contradictions,
+        agg.counters.atpg_decisions,
+        agg.counters.atpg_backtracks,
+        agg.counters.atpg_aborts,
+        agg.counters.sim_words,
+    );
 
+    bench_artifact("table2", &agg);
     args.dump_json(&agg);
 }

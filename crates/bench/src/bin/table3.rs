@@ -8,7 +8,7 @@
 //! the safe upper-bound criterion; sensitization keeps more but its
 //! survivors may depend on one another).
 
-use mcp_bench::{secs, HarnessArgs};
+use mcp_bench::{bench_artifact, secs, HarnessArgs};
 use mcp_core::{analyze, check_hazards, HazardCheck, McConfig};
 use serde::Serialize;
 use std::time::Duration;
@@ -78,11 +78,13 @@ fn main() {
     );
     println!("(paper, ISCAS89 totals: 9,065 -> 8,063 -> 5,712)");
 
-    args.dump_json(&Table3 {
+    let rows = Table3 {
         mc_before: before,
         mc_after_sensitize: after_sens,
         cpu_sensitize: t_sens.as_secs_f64(),
         mc_after_cosensitize: after_cosens,
         cpu_cosensitize: t_cosens.as_secs_f64(),
-    });
+    };
+    bench_artifact("table3", &rows);
+    args.dump_json(&rows);
 }

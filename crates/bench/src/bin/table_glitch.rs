@@ -146,10 +146,7 @@ fn main() {
         TRIALS_PER_PAIR
     );
     println!("{:-<64}", "");
-    println!(
-        "{:>34} {:>8} {:>12}",
-        "group", "pairs", "glitched"
-    );
+    println!("{:>34} {:>8} {:>12}", "group", "pairs", "glitched");
     println!("{:-<64}", "");
     let rows = [
         ("demoted by sensitization", demoted_sens),

@@ -43,10 +43,7 @@ fn main() {
 
     // Small suite circuits plus controller-style machines where
     // reachability famously matters (one-hot rings, gated counters).
-    let mut circuits: Vec<Netlist> = mcp_gen::suite::quick_suite()
-        .into_iter()
-        .take(4)
-        .collect();
+    let mut circuits: Vec<Netlist> = mcp_gen::suite::quick_suite().into_iter().take(4).collect();
     circuits.push(
         mcp_netlist::bench::parse(
             "ring4",

@@ -28,20 +28,38 @@ pub struct HarnessArgs {
 }
 
 impl HarnessArgs {
-    /// Parses `--quick` and `--json <path>` from `std::env::args`.
+    /// Parses `--quick` and `--json <path>` from `std::env::args`,
+    /// exiting with status 2 on unknown arguments (a typo must not
+    /// silently produce wrong-config numbers).
     pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("error: {e}\nusage: [--quick] [--json <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on an unknown argument or a `--json` without a
+    /// path.
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
-                "--json" => out.json = args.next(),
-                other => {
-                    eprintln!("ignoring unknown argument `{other}`");
+                "--json" => {
+                    out.json = Some(args.next().ok_or("`--json` needs a path")?);
                 }
+                other => return Err(format!("unknown argument `{other}`")),
             }
         }
-        out
+        Ok(out)
     }
 
     /// The suite selected by the flags.
@@ -74,6 +92,23 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// Writes `rows` to `BENCH_<name>.json` in the current directory — the
+/// machine-readable perf artifact each table binary leaves behind so
+/// successive runs accumulate a benchmark trajectory.
+pub fn bench_artifact<T: serde::Serialize>(name: &str, rows: &T) {
+    let path = format!("BENCH_{name}.json");
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("cannot write {path}: {e}");
+            } else {
+                eprintln!("# wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("cannot serialize {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +117,16 @@ mod tests {
     fn secs_formats_milliseconds() {
         assert_eq!(secs(std::time::Duration::from_millis(1234)), "1.234");
         assert_eq!(secs(std::time::Duration::ZERO), "0.000");
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        let argv = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        let args = HarnessArgs::try_parse(argv("--quick --json out.json")).expect("parse");
+        assert!(args.quick);
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+        assert!(HarnessArgs::try_parse(argv("--qiuck")).is_err());
+        assert!(HarnessArgs::try_parse(argv("--json")).is_err());
     }
 
     #[test]

@@ -86,12 +86,7 @@ fn outgoing_all_multi(netlist: &Netlist, report: &McReport, j: usize) -> bool {
         .connected_ff_pairs()
         .into_iter()
         .filter(|&(s, _)| s == j)
-        .all(|(s, k)| {
-            report
-                .class_of(s, k)
-                .map(|c| c.is_multi())
-                .unwrap_or(false)
-        })
+        .all(|(s, k)| report.class_of(s, k).map(|c| c.is_multi()).unwrap_or(false))
 }
 
 #[cfg(test)]
@@ -189,7 +184,10 @@ mod tests {
         let report = analyze(&nl, &McConfig::default()).expect("analyze");
         let cands = condition2_candidates(&nl, &report);
         let ff = |n: &str| nl.ff_index(nl.find_node(n).unwrap()).unwrap();
-        assert!(!cands.contains(&(ff("S"), ff("J"))), "candidates: {cands:?}");
+        assert!(
+            !cands.contains(&(ff("S"), ff("J"))),
+            "candidates: {cands:?}"
+        );
     }
 
     #[test]

@@ -151,22 +151,16 @@ mod tests {
 
     #[test]
     fn hold_register_budget_is_unbounded() {
-        let nl = mcp_netlist::bench::parse(
-            "hold",
-            "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUFF(q)",
-        )
-        .expect("parse");
+        let nl = mcp_netlist::bench::parse("hold", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUFF(q)")
+            .expect("parse");
         let budget = max_cycle_budget(&nl, 0, 0, 6, &cfg()).expect("valid limit");
         assert_eq!(budget, CycleBudget::AtLeast { at_least: 6 });
     }
 
     #[test]
     fn toggle_register_is_single_cycle() {
-        let nl = mcp_netlist::bench::parse(
-            "toggle",
-            "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)",
-        )
-        .expect("parse");
+        let nl = mcp_netlist::bench::parse("toggle", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(q)")
+            .expect("parse");
         let budget = max_cycle_budget(&nl, 0, 0, 4, &cfg()).expect("valid limit");
         assert_eq!(budget, CycleBudget::SingleCycle);
     }

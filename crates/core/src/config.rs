@@ -89,7 +89,7 @@ mod tests {
         assert_eq!(cfg.engine, Engine::Implication);
         assert_eq!(cfg.cycles, 2);
         assert_eq!(cfg.backtrack_limit, 50);
-        assert_eq!(cfg.sim.idle_words, 32);
+        assert_eq!(cfg.sim.idle_words, 128);
         assert!(cfg.include_self_pairs);
     }
 }

@@ -8,10 +8,11 @@
 //! pair.
 
 use crate::report::Step;
-use mcp_atpg::{search, SearchConfig, SearchOutcome};
+use mcp_atpg::{search, SearchConfig, SearchOutcome, SearchStats};
 use mcp_bdd::{OverflowError, Ref, SymbolicFsm};
 use mcp_implication::ImpEngine;
 use mcp_netlist::Expanded;
+use mcp_obs::AssignmentEvent;
 use mcp_sat::{CircuitCnf, SolveResult};
 
 /// Engine-internal verdict for one pair.
@@ -34,6 +35,49 @@ pub enum Verdict {
 /// The four `(FFi(t), FFj(t+1))` assignments of the paper's step 4.1.
 const ASSIGNMENTS: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
 
+/// Per-pair instrumentation filled by
+/// [`classify_pair_implication_probed`]: aggregate search effort, plus —
+/// when tracing is on — the per-assignment outcome journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairProbe {
+    /// ATPG decisions across every search run for the pair.
+    pub decisions: u64,
+    /// ATPG backtracks across every search run for the pair.
+    pub backtracks: u64,
+    /// Searches that hit the backtrack limit.
+    pub aborts: u64,
+    /// Whether per-assignment events are collected (off by default: the
+    /// hot path then skips event construction entirely).
+    pub trace: bool,
+    /// Per-assignment outcomes, in trial order (empty unless `trace`).
+    pub assignments: Vec<AssignmentEvent>,
+}
+
+impl PairProbe {
+    /// A probe that also collects per-assignment events.
+    pub fn traced() -> Self {
+        PairProbe {
+            trace: true,
+            ..PairProbe::default()
+        }
+    }
+
+    fn absorb(&mut self, stats: &SearchStats) {
+        self.decisions += stats.decisions;
+        self.backtracks += stats.backtracks;
+    }
+
+    fn note(&mut self, a: bool, b: bool, outcome: &str) {
+        if self.trace {
+            self.assignments.push(AssignmentEvent {
+                src_value: a,
+                dst_value: b,
+                outcome: outcome.to_owned(),
+            });
+        }
+    }
+}
+
 /// Classifies one pair with the paper's engine: per-assignment implication
 /// followed, only where needed, by the bounded backtrack search.
 ///
@@ -45,6 +89,21 @@ pub fn classify_pair_implication(
     j: usize,
     k: u32,
     search_cfg: &SearchConfig,
+) -> Verdict {
+    let mut probe = PairProbe::default();
+    classify_pair_implication_probed(eng, i, j, k, search_cfg, &mut probe)
+}
+
+/// [`classify_pair_implication`] with instrumentation: search effort and
+/// (when `probe.trace`) per-assignment outcomes are accumulated into
+/// `probe`.
+pub fn classify_pair_implication_probed(
+    eng: &mut ImpEngine<'_>,
+    i: usize,
+    j: usize,
+    k: u32,
+    search_cfg: &SearchConfig,
+    probe: &mut PairProbe,
 ) -> Verdict {
     let x = eng.expanded();
     let ffi0 = x.ff_at(i, 0);
@@ -66,6 +125,7 @@ pub fn classify_pair_implication(
             .is_ok();
         if !premise_ok {
             // Contradiction: the MC condition holds vacuously here.
+            probe.note(a, b, "contradiction");
             eng.backtrack(cp);
             continue;
         }
@@ -86,16 +146,24 @@ pub fn classify_pair_implication(
             // The implication procedure itself exhibits the violation —
             // provided the premise is justifiable at all (the paper's
             // "the step should also justify the premise" remark).
-            let (outcome, _) = search(eng, search_cfg);
+            let (outcome, st) = search(eng, search_cfg);
+            probe.absorb(&st);
             eng.backtrack(cp);
             match outcome {
                 SearchOutcome::Sat(_) => {
+                    probe.note(a, b, "implied_violation");
                     return Verdict::Single {
                         by: Step::Implication,
-                    }
+                    };
                 }
-                SearchOutcome::Unsat => continue, // vacuous scenario
+                SearchOutcome::Unsat => {
+                    // Vacuous scenario.
+                    probe.note(a, b, "unsat");
+                    continue;
+                }
                 SearchOutcome::Aborted => {
+                    probe.aborts += 1;
+                    probe.note(a, b, "aborted");
                     any_unknown = true;
                     continue;
                 }
@@ -105,6 +173,7 @@ pub fn classify_pair_implication(
         if open.is_empty() {
             // Every sink time implied equal: MC condition proven for this
             // assignment by implication alone.
+            probe.note(a, b, "unsat");
             eng.backtrack(cp);
             continue;
         }
@@ -113,6 +182,7 @@ pub fn classify_pair_implication(
         // time (their disjunction is covered by trying each).
         used_search = true;
         let mut violated = false;
+        let mut scenario_aborted = false;
         for m in open {
             let cp2 = eng.checkpoint();
             let ok = eng
@@ -123,7 +193,8 @@ pub fn classify_pair_implication(
                 eng.backtrack(cp2);
                 continue; // this sink time cannot differ
             }
-            let (outcome, _) = search(eng, search_cfg);
+            let (outcome, st) = search(eng, search_cfg);
+            probe.absorb(&st);
             eng.backtrack(cp2);
             match outcome {
                 SearchOutcome::Sat(_) => {
@@ -131,13 +202,19 @@ pub fn classify_pair_implication(
                     break;
                 }
                 SearchOutcome::Unsat => {}
-                SearchOutcome::Aborted => any_unknown = true,
+                SearchOutcome::Aborted => {
+                    probe.aborts += 1;
+                    scenario_aborted = true;
+                    any_unknown = true;
+                }
             }
         }
         eng.backtrack(cp);
         if violated {
+            probe.note(a, b, "witness");
             return Verdict::Single { by: Step::Atpg };
         }
+        probe.note(a, b, if scenario_aborted { "aborted" } else { "unsat" });
     }
 
     if any_unknown {
@@ -156,7 +233,13 @@ pub fn classify_pair_implication(
 /// Classifies one pair with the SAT baseline \[9\]: for each boundary
 /// `m ∈ 1..k`, one incremental query `FFi(t)⊕FFi(t+1) ∧
 /// FFj(t+m)⊕FFj(t+m+1)` over the shared CNF.
-pub fn classify_pair_sat(cnf: &mut CircuitCnf, x: &Expanded, i: usize, j: usize, k: u32) -> Verdict {
+pub fn classify_pair_sat(
+    cnf: &mut CircuitCnf,
+    x: &Expanded,
+    i: usize,
+    j: usize,
+    k: u32,
+) -> Verdict {
     let src_diff = cnf.diff_lit(x.ff_at(i, 0), x.ff_at(i, 1));
     for m in 1..k {
         let sink_diff = cnf.diff_lit(x.ff_at(j, m), x.ff_at(j, m + 1));
@@ -194,11 +277,17 @@ mod tests {
         let (multi, single) = oracle::exhaustive_mc_pairs(&nl);
         for &(i, j) in &multi {
             let v = classify_pair_implication(&mut eng, i, j, 2, &SearchConfig::default());
-            assert!(matches!(v, Verdict::Multi { .. }), "({i},{j}) should be multi");
+            assert!(
+                matches!(v, Verdict::Multi { .. }),
+                "({i},{j}) should be multi"
+            );
         }
         for &(i, j) in &single {
             let v = classify_pair_implication(&mut eng, i, j, 2, &SearchConfig::default());
-            assert!(matches!(v, Verdict::Single { .. }), "({i},{j}) should be single");
+            assert!(
+                matches!(v, Verdict::Single { .. }),
+                "({i},{j}) should be single"
+            );
         }
     }
 

@@ -34,9 +34,10 @@ use crate::report::McReport;
 use mcp_implication::ImpEngine;
 use mcp_logic::V3;
 use mcp_netlist::{Expanded, Netlist, NodeId};
+use mcp_obs::ObsCtx;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which delay-independent hazard criterion to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,7 +74,19 @@ pub struct HazardReport {
 /// glitch-path search from the source FF to the sink's D input. Any
 /// reachable scenario demotes the pair.
 pub fn check_hazards(netlist: &Netlist, report: &McReport, check: HazardCheck) -> HazardReport {
-    let t0 = Instant::now();
+    check_hazards_with(netlist, report, check, &ObsCtx::new())
+}
+
+/// [`check_hazards`] with an explicit observability context: the check's
+/// wall-clock lands in the `hazard/check` span and the implication work
+/// it performs is flushed into the shared counters.
+pub fn check_hazards_with(
+    netlist: &Netlist,
+    report: &McReport,
+    check: HazardCheck,
+    obs: &ObsCtx,
+) -> HazardReport {
+    let span = obs.timers.span("hazard/check");
     let x = Expanded::build(netlist, 2);
     let mut eng = ImpEngine::new(&x);
 
@@ -115,11 +128,13 @@ pub fn check_hazards(netlist: &Netlist, report: &McReport, check: HazardCheck) -
         }
     }
 
+    obs.metrics.implications.add(eng.implications());
+    obs.metrics.contradictions.add(eng.contradictions());
     HazardReport {
         check,
         robust,
         demoted,
-        elapsed: t0.elapsed(),
+        elapsed: span.stop(),
     }
 }
 
@@ -312,13 +327,7 @@ pub fn sensitization_dependencies(
 /// examined, whether or not the glitch provably reaches it — the report is
 /// a superset of the load-bearing blockades, which is the safe direction
 /// for a "these constraints interact" warning.
-fn collect_blocking_sides(
-    netlist: &Netlist,
-    i: usize,
-    j: usize,
-    v1: &[V3],
-    out: &mut Vec<usize>,
-) {
+fn collect_blocking_sides(netlist: &Netlist, i: usize, j: usize, v1: &[V3], out: &mut Vec<usize>) {
     let cone = netlist.path_cone(i, j);
     let mut in_cone = vec![false; netlist.num_nodes()];
     for &n in &cone {
@@ -361,9 +370,10 @@ mod tests {
         // decomposed MUX2 into FF2.
         let nl = circuits::fig3();
         let report = analyze(&nl, &McConfig::default()).expect("analyze");
-        assert!(report
-            .multi_cycle_pairs()
-            .contains(&(2, 1)), "(FF3,FF2) must be MC before hazard checking");
+        assert!(
+            report.multi_cycle_pairs().contains(&(2, 1)),
+            "(FF3,FF2) must be MC before hazard checking"
+        );
 
         for check in [HazardCheck::Sensitization, HazardCheck::CoSensitization] {
             let hz = check_hazards(&nl, &report, check);
@@ -431,8 +441,22 @@ mod tests {
 
         let i = nl.ff_index(qa).unwrap();
         let j = nl.ff_index(nl.find_node("QC").unwrap()).unwrap();
-        assert!(!glitch_path_exists(&nl, i, j, &v0, &v1, HazardCheck::Sensitization));
-        assert!(glitch_path_exists(&nl, i, j, &v0, &v1, HazardCheck::CoSensitization));
+        assert!(!glitch_path_exists(
+            &nl,
+            i,
+            j,
+            &v0,
+            &v1,
+            HazardCheck::Sensitization
+        ));
+        assert!(glitch_path_exists(
+            &nl,
+            i,
+            j,
+            &v0,
+            &v1,
+            HazardCheck::CoSensitization
+        ));
     }
 
     #[test]
@@ -449,8 +473,22 @@ mod tests {
         v1[qb.index()] = V3::One;
         let i = nl.ff_index(nl.find_node("QA").unwrap()).unwrap();
         let j = nl.ff_index(nl.find_node("QC").unwrap()).unwrap();
-        assert!(glitch_path_exists(&nl, i, j, &v0, &v1, HazardCheck::Sensitization));
-        assert!(glitch_path_exists(&nl, i, j, &v0, &v1, HazardCheck::CoSensitization));
+        assert!(glitch_path_exists(
+            &nl,
+            i,
+            j,
+            &v0,
+            &v1,
+            HazardCheck::Sensitization
+        ));
+        assert!(glitch_path_exists(
+            &nl,
+            i,
+            j,
+            &v0,
+            &v1,
+            HazardCheck::CoSensitization
+        ));
     }
 
     /// A Fig.4-style circuit where a robust pair's blockade depends on
@@ -540,8 +578,12 @@ mod tests {
         let report = analyze(&nl, &McConfig::default()).expect("analyze");
         let deps = sensitization_dependencies(&nl, &report);
         for r in 0..2 {
-            let s = nl.ff_index(nl.find_node(&format!("PN{r}_S")).unwrap()).unwrap();
-            let t = nl.ff_index(nl.find_node(&format!("PN{r}_T")).unwrap()).unwrap();
+            let s = nl
+                .ff_index(nl.find_node(&format!("PN{r}_S")).unwrap())
+                .unwrap();
+            let t = nl
+                .ff_index(nl.find_node(&format!("PN{r}_T")).unwrap())
+                .unwrap();
             let entry = deps.deps.iter().find(|(p, _)| *p == (s, t));
             let entry = entry.expect("pinned pair is robust").1.clone();
             for &(k, sink) in &entry {
@@ -566,7 +608,21 @@ mod tests {
         let v1 = vec![V3::X; nl.num_nodes()];
         let i = nl.ff_index(nl.find_node("QA").unwrap()).unwrap();
         let j = nl.ff_index(nl.find_node("QC").unwrap()).unwrap();
-        assert!(!glitch_path_exists(&nl, i, j, &v0, &v1, HazardCheck::Sensitization));
-        assert!(glitch_path_exists(&nl, i, j, &v0, &v1, HazardCheck::CoSensitization));
+        assert!(!glitch_path_exists(
+            &nl,
+            i,
+            j,
+            &v0,
+            &v1,
+            HazardCheck::Sensitization
+        ));
+        assert!(glitch_path_exists(
+            &nl,
+            i,
+            j,
+            &v0,
+            &v1,
+            HazardCheck::CoSensitization
+        ));
     }
 }

@@ -53,7 +53,10 @@ pub mod sdc;
 pub use borrowing::condition2_candidates;
 pub use budget::{max_cycle_budget, CycleBudget};
 pub use config::{Engine, McConfig};
-pub use hazard::{check_hazards, sensitization_dependencies, HazardCheck, HazardReport, SensitizationDependencies};
-pub use pipeline::{analyze, AnalyzeError};
+pub use hazard::{
+    check_hazards, check_hazards_with, sensitization_dependencies, HazardCheck, HazardReport,
+    SensitizationDependencies,
+};
+pub use pipeline::{analyze, analyze_with, AnalyzeError};
 pub use report::{McReport, PairClass, PairResult, Step, StepStats};
 pub use sdc::{to_sdc, SdcOptions};

@@ -2,16 +2,18 @@
 
 use crate::config::{Engine, McConfig};
 use crate::engines::{
-    classify_pair_bdd, classify_pair_implication, classify_pair_sat, Verdict,
+    classify_pair_bdd, classify_pair_implication_probed, classify_pair_sat, PairProbe, Verdict,
 };
 use crate::report::{McReport, PairClass, PairResult, Step, StepStats};
 use mcp_atpg::SearchConfig;
 use mcp_bdd::{InitStates, Ref, SymbolicFsm};
 use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
 use mcp_netlist::{Expanded, Netlist};
+use mcp_obs::{ObsCtx, PairEvent};
 use mcp_sat::CircuitCnf;
 use mcp_sim::mc_filter;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Error produced by [`analyze`].
@@ -58,6 +60,22 @@ impl std::error::Error for AnalyzeError {}
 /// Engine resource exhaustion is **not** an error: affected pairs are
 /// reported [`PairClass::Unknown`].
 pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeError> {
+    analyze_with(netlist, cfg, &ObsCtx::new())
+}
+
+/// [`analyze`] with an explicit observability context: span timers and
+/// engine counters accumulate into `obs`, per-pair events go to its sink,
+/// and the returned report embeds the final
+/// [`MetricsSnapshot`](mcp_obs::MetricsSnapshot).
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] for invalid cycle budgets (see [`McConfig`]).
+pub fn analyze_with(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+) -> Result<McReport, AnalyzeError> {
     if cfg.cycles < 2 {
         return Err(AnalyzeError::InvalidCycles { got: cfg.cycles });
     }
@@ -65,7 +83,7 @@ pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeErr
         return Err(AnalyzeError::BddNeedsTwoCycles { got: cfg.cycles });
     }
 
-    let t_total = Instant::now();
+    let t_total = obs.timers.span("analyze");
     let mut stats = StepStats::default();
     let mut results: Vec<PairResult> = Vec::new();
 
@@ -82,10 +100,12 @@ pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeErr
     // k-cycle condition constrains MORE sink times, so a 2-frame witness
     // is indeed a k-frame witness), so the filter applies unchanged.
     let survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
-        let t = Instant::now();
+        let t_sim = t_total.child("sim");
         let out = mc_filter(netlist, &candidates, &cfg.sim);
-        stats.time_sim = t.elapsed();
+        stats.time_sim = t_sim.stop();
         stats.sim_words = out.words_simulated;
+        obs.metrics.sim_words.add(out.words_simulated);
+        obs.metrics.sim_pairs_dropped.add(out.dropped as u64);
         let survivor_set: std::collections::HashSet<(usize, usize)> =
             out.survivors.iter().copied().collect();
         for &(i, j) in &candidates {
@@ -93,9 +113,24 @@ pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeErr
                 results.push(PairResult {
                     src: i,
                     dst: j,
-                    class: PairClass::SingleCycle { by: Step::RandomSim },
+                    class: PairClass::SingleCycle {
+                        by: Step::RandomSim,
+                    },
                 });
                 stats.single_by_sim += 1;
+                if obs.sink().enabled() {
+                    // Simulation kills pairs in bulk; elapsed time is not
+                    // attributable per pair, so it is reported as 0.
+                    obs.sink().record(&PairEvent {
+                        src: i,
+                        dst: j,
+                        step: "random_sim".to_owned(),
+                        class: "single".to_owned(),
+                        engine: None,
+                        assignments: Vec::new(),
+                        micros: 0,
+                    });
+                }
             }
         }
         out.survivors
@@ -104,55 +139,108 @@ pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeErr
     };
 
     // Steps 3-4: engine-specific classification of the survivors.
-    let t_prepare = Instant::now();
+    let done = AtomicUsize::new(0);
+    let total = survivors.len();
+    let tick = |d: usize| obs.progress("pairs", d, total);
+    let t_prepare = t_total.child("prepare");
     let verdicts: Vec<((usize, usize), Verdict)> = match cfg.engine {
         Engine::Implication => {
             let x = Expanded::build(netlist, cfg.frames());
             let learned = if cfg.static_learning {
-                Some(learn(
+                let l = learn(
                     &x,
                     &LearnConfig {
                         max_implications: cfg.learn_budget,
                     },
-                ))
+                );
+                obs.metrics.learned_implications.add(l.len() as u64);
+                Some(l)
             } else {
                 None
             };
-            stats.time_prepare = t_prepare.elapsed();
+            stats.time_prepare = t_prepare.stop();
             let search_cfg = SearchConfig {
                 backtrack_limit: cfg.backtrack_limit,
             };
-            run_pair_loop(&survivors, cfg.threads, &mut stats, |pairs, out| {
+            run_pair_loop(&survivors, cfg.threads, &mut stats, obs, |pairs, out| {
                 let mut eng = match &learned {
                     Some(l) => new_engine_with_learned(&x, l),
                     None => ImpEngine::new(&x),
                 };
                 for &(i, j) in pairs {
-                    let v = classify_pair_implication(&mut eng, i, j, cfg.cycles, &search_cfg);
+                    let t_pair = Instant::now();
+                    let mut probe = if obs.sink().enabled() {
+                        PairProbe::traced()
+                    } else {
+                        PairProbe::default()
+                    };
+                    let v = classify_pair_implication_probed(
+                        &mut eng,
+                        i,
+                        j,
+                        cfg.cycles,
+                        &search_cfg,
+                        &mut probe,
+                    );
+                    obs.metrics.atpg_decisions.add(probe.decisions);
+                    obs.metrics.atpg_backtracks.add(probe.backtracks);
+                    obs.metrics.atpg_aborts.add(probe.aborts);
+                    if obs.sink().enabled() {
+                        obs.sink().record(&verdict_event(
+                            i,
+                            j,
+                            &v,
+                            "implication",
+                            std::mem::take(&mut probe.assignments),
+                            t_pair.elapsed(),
+                        ));
+                    }
+                    tick(done.fetch_add(1, Ordering::Relaxed) + 1);
                     out.push(((i, j), v));
                 }
+                obs.metrics.implications.add(eng.implications());
+                obs.metrics.contradictions.add(eng.contradictions());
             })
         }
         Engine::Sat => {
             let x = Expanded::build(netlist, cfg.frames());
-            stats.time_prepare = t_prepare.elapsed();
-            run_pair_loop(&survivors, cfg.threads, &mut stats, |pairs, out| {
+            stats.time_prepare = t_prepare.stop();
+            run_pair_loop(&survivors, cfg.threads, &mut stats, obs, |pairs, out| {
                 let mut cnf = CircuitCnf::new(&x);
                 for &(i, j) in pairs {
+                    let t_pair = Instant::now();
                     let v = classify_pair_sat(&mut cnf, &x, i, j, cfg.cycles);
+                    if obs.sink().enabled() {
+                        obs.sink().record(&verdict_event(
+                            i,
+                            j,
+                            &v,
+                            "sat",
+                            Vec::new(),
+                            t_pair.elapsed(),
+                        ));
+                    }
+                    tick(done.fetch_add(1, Ordering::Relaxed) + 1);
                     out.push(((i, j), v));
                 }
+                let s = cnf.solver().stats();
+                obs.metrics.sat_decisions.add(s.decisions);
+                obs.metrics.sat_propagations.add(s.propagations);
+                obs.metrics.sat_conflicts.add(s.conflicts);
+                obs.metrics.sat_learned.add(s.learnt);
+                obs.metrics.sat_restarts.add(s.restarts);
             })
         }
         Engine::Bdd {
             node_limit,
             reachability,
         } => {
-            let t_pairs = Instant::now();
+            let t_pairs = t_total.child("pairs");
             let mut verdicts = Vec::with_capacity(survivors.len());
             match SymbolicFsm::build(netlist, node_limit) {
                 Err(_) => {
                     // The model itself blew the budget: everything unknown.
+                    stats.time_prepare = t_prepare.stop();
                     for &(i, j) in &survivors {
                         verdicts.push(((i, j), Verdict::Unknown));
                     }
@@ -163,7 +251,7 @@ pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeErr
                     } else {
                         Some(Ref::TRUE)
                     };
-                    stats.time_prepare = t_prepare.elapsed();
+                    stats.time_prepare = t_prepare.stop();
                     match reached {
                         None => {
                             for &(i, j) in &survivors {
@@ -172,13 +260,31 @@ pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeErr
                         }
                         Some(r) => {
                             for &(i, j) in &survivors {
-                                verdicts.push(((i, j), classify_pair_bdd(&mut fsm, i, j, r)));
+                                let t_pair = Instant::now();
+                                let v = classify_pair_bdd(&mut fsm, i, j, r);
+                                if obs.sink().enabled() {
+                                    obs.sink().record(&verdict_event(
+                                        i,
+                                        j,
+                                        &v,
+                                        "bdd",
+                                        Vec::new(),
+                                        t_pair.elapsed(),
+                                    ));
+                                }
+                                tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                                verdicts.push(((i, j), v));
                             }
                         }
                     }
+                    obs.metrics
+                        .bdd_peak_nodes
+                        .raise_to(fsm.bdd().num_nodes() as u64);
+                    obs.metrics.bdd_cache_lookups.add(fsm.bdd().cache_lookups());
+                    obs.metrics.bdd_cache_hits.add(fsm.bdd().cache_hits());
                 }
             }
-            stats.time_pairs = t_pairs.elapsed();
+            stats.time_pairs = t_pairs.stop();
             verdicts
         }
     };
@@ -212,14 +318,52 @@ pub fn analyze(netlist: &Netlist, cfg: &McConfig) -> Result<McReport, AnalyzeErr
     }
 
     results.sort_unstable_by_key(|p| (p.src, p.dst));
-    stats.time_total = t_total.elapsed();
-    Ok(McReport::new(netlist.name().to_owned(), results, stats))
+    stats.time_total = t_total.stop();
+    let _ = obs.sink().flush();
+    Ok(McReport::new(
+        netlist.name().to_owned(),
+        results,
+        stats,
+        obs.snapshot(),
+    ))
 }
 
-fn new_engine_with_learned<'a>(
-    x: &'a Expanded,
-    learned: &'a LearnedImplications,
-) -> ImpEngine<'a> {
+/// Journal name of a resolving [`Step`].
+pub(crate) fn step_name(step: Step) -> &'static str {
+    match step {
+        Step::Structural => "structural",
+        Step::RandomSim => "random_sim",
+        Step::Implication => "implication",
+        Step::Atpg => "atpg",
+    }
+}
+
+/// Builds the journal record for one engine-classified pair.
+fn verdict_event(
+    i: usize,
+    j: usize,
+    v: &Verdict,
+    engine: &str,
+    assignments: Vec<mcp_obs::AssignmentEvent>,
+    elapsed: Duration,
+) -> PairEvent {
+    let (step, class) = match v {
+        Verdict::Multi { by } => (step_name(*by), "multi"),
+        Verdict::Single { by } => (step_name(*by), "single"),
+        Verdict::Unknown => ("atpg", "unknown"),
+    };
+    PairEvent {
+        src: i,
+        dst: j,
+        step: step.to_owned(),
+        class: class.to_owned(),
+        engine: Some(engine.to_owned()),
+        assignments,
+        micros: elapsed.as_micros() as u64,
+    }
+}
+
+fn new_engine_with_learned<'a>(x: &'a Expanded, learned: &'a LearnedImplications) -> ImpEngine<'a> {
     let mut eng = ImpEngine::new(x).with_learned(learned);
     // Assert globally forced literals up front; a conflict here would mean
     // the circuit has no consistent assignment at all, which cannot happen
@@ -232,12 +376,14 @@ fn new_engine_with_learned<'a>(
 }
 
 /// Splits `pairs` across `threads` workers, each running `work(chunk,
-/// &mut out)`; collects all verdicts and accumulates wall-clock into
-/// `stats.time_pairs` (summed across workers).
+/// &mut out)`; collects all verdicts and accumulates per-worker busy time
+/// into `stats.time_pairs` and the `analyze/pairs` span (summed across
+/// workers).
 fn run_pair_loop<F>(
     pairs: &[(usize, usize)],
     threads: usize,
     stats: &mut StepStats,
+    obs: &ObsCtx,
     work: F,
 ) -> Vec<((usize, usize), Verdict)>
 where
@@ -245,10 +391,10 @@ where
 {
     let threads = threads.max(1).min(pairs.len().max(1));
     if threads == 1 {
-        let t = Instant::now();
+        let span = obs.timers.span("analyze/pairs");
         let mut out = Vec::with_capacity(pairs.len());
         work(pairs, &mut out);
-        stats.time_pairs += t.elapsed();
+        stats.time_pairs += span.stop();
         return out;
     }
     let chunk = pairs.len().div_ceil(threads);
@@ -269,6 +415,7 @@ where
         for h in handles {
             let (out, dt) = h.join().expect("worker panicked");
             all.extend(out);
+            obs.timers.add("analyze/pairs", dt);
             times.push(dt);
         }
     })
@@ -459,8 +606,15 @@ mod tests {
         let mut single_other = 0usize;
         let mut multi_imp = 0usize;
         let mut multi_atpg = 0usize;
+        // A raised backtrack limit keeps every pair resolvable; the
+        // paper's default of 50 leaves a handful of m820 pairs aborted,
+        // which would say nothing about the step shape under test.
+        let cfg = McConfig {
+            backtrack_limit: 1024,
+            ..McConfig::default()
+        };
         for nl in suite::quick_suite() {
-            let r = analyze(&nl, &McConfig::default()).expect("analyze");
+            let r = analyze(&nl, &cfg).expect("analyze");
             single_sim += r.stats.single_by_sim;
             single_other += r.stats.single_by_implication + r.stats.single_by_atpg;
             multi_imp += r.stats.multi_by_implication;

@@ -1,5 +1,6 @@
 //! Analysis results and per-step statistics.
 
+use mcp_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -112,14 +113,23 @@ pub struct McReport {
     pub pairs: Vec<PairResult>,
     /// Aggregated per-step statistics.
     pub stats: StepStats,
+    /// Observability snapshot at the end of the run: engine counters plus
+    /// span timings (see [`mcp_obs`]).
+    pub metrics: MetricsSnapshot,
 }
 
 impl McReport {
-    pub(crate) fn new(circuit: String, pairs: Vec<PairResult>, stats: StepStats) -> Self {
+    pub(crate) fn new(
+        circuit: String,
+        pairs: Vec<PairResult>,
+        stats: StepStats,
+        metrics: MetricsSnapshot,
+    ) -> Self {
         McReport {
             circuit,
             pairs,
             stats,
+            metrics,
         }
     }
 
@@ -187,7 +197,9 @@ mod tests {
                 PairResult {
                     src: 1,
                     dst: 0,
-                    class: PairClass::SingleCycle { by: Step::RandomSim },
+                    class: PairClass::SingleCycle {
+                        by: Step::RandomSim,
+                    },
                 },
                 PairResult {
                     src: 2,
@@ -196,6 +208,7 @@ mod tests {
                 },
             ],
             StepStats::default(),
+            MetricsSnapshot::default(),
         )
     }
 

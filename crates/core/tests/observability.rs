@@ -1,0 +1,105 @@
+//! Integration checks for the observability surface of the pipeline:
+//! `StepStats` totals cover the structural pair count, the embedded
+//! `MetricsSnapshot` has non-zero counters for every step that resolved
+//! pairs, the NDJSON journal carries one record per analyzed pair, and
+//! two same-seed runs produce identical counter snapshots.
+
+use mcp_core::{analyze, analyze_with, McConfig};
+use mcp_gen::circuits;
+use mcp_obs::{read_journal_file, FileSink, ObsCtx};
+
+#[test]
+fn fig1_step_totals_cover_every_structural_pair() {
+    let nl = circuits::fig1();
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    let s = &report.stats;
+    assert_eq!(s.candidates, 9, "Fig.1 has 9 connected FF pairs");
+    assert_eq!(
+        s.single_total() + s.multi_total() + s.unknown,
+        s.candidates,
+        "every candidate pair is attributed to exactly one step"
+    );
+    assert_eq!(report.pairs.len(), s.candidates);
+}
+
+#[test]
+fn fig1_counters_are_nonzero_for_every_resolving_step() {
+    let nl = circuits::fig1();
+    let report = analyze(&nl, &McConfig::default()).expect("analyze");
+    let s = &report.stats;
+    let c = &report.metrics.counters;
+
+    // The sim prefilter resolved pairs, so its counters must show work.
+    assert!(s.single_by_sim > 0, "paper walkthrough: sim drops 4 pairs");
+    assert!(c.sim_words > 0);
+    assert_eq!(c.sim_pairs_dropped, s.single_by_sim as u64);
+
+    // The implication step resolved pairs, so the engine must have
+    // placed implications on the trail.
+    assert!(s.multi_by_implication > 0);
+    assert!(c.implications > 0);
+
+    // Search effort is only counted when the search ran.
+    if s.multi_by_atpg + s.single_by_atpg + s.unknown == 0 {
+        assert_eq!(c.atpg_aborts, 0);
+    }
+
+    // Span timers covered the phases, and the nested spans cannot
+    // exceed the root (single-threaded run).
+    let spans = &report.metrics.spans;
+    for key in ["analyze", "analyze/sim", "analyze/prepare", "analyze/pairs"] {
+        assert!(spans.contains_key(key), "missing span `{key}`");
+    }
+    assert!(spans["analyze"].total >= spans["analyze/pairs"].total);
+}
+
+#[test]
+fn ndjson_journal_has_one_record_per_pair() {
+    let nl = circuits::fig1();
+    let dir = std::env::temp_dir().join("mcp-core-obs-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("fig1.ndjson");
+    let sink = FileSink::create(&path).expect("create journal");
+    let obs = ObsCtx::new().with_sink(Box::new(sink));
+    let report = analyze_with(&nl, &McConfig::default(), &obs).expect("analyze");
+
+    let events = read_journal_file(&path).expect("journal parses");
+    assert_eq!(events.len(), report.stats.candidates);
+
+    // Every candidate pair appears exactly once.
+    let mut seen: Vec<(usize, usize)> = events.iter().map(|e| (e.src, e.dst)).collect();
+    seen.sort_unstable();
+    let mut expected: Vec<(usize, usize)> = report.pairs.iter().map(|p| (p.src, p.dst)).collect();
+    expected.sort_unstable();
+    assert_eq!(seen, expected);
+
+    for e in &events {
+        assert!(
+            ["structural", "random_sim", "implication", "atpg"].contains(&e.step.as_str()),
+            "unexpected step `{}`",
+            e.step
+        );
+        assert!(["multi", "single", "unknown"].contains(&e.class.as_str()));
+    }
+    // Pairs that reached the implication step carry per-assignment
+    // outcomes.
+    assert!(events.iter().any(|e| !e.assignments.is_empty()));
+}
+
+#[test]
+fn same_seed_runs_produce_identical_counter_snapshots() {
+    let nl = circuits::fig1();
+    for threads in [1usize, 2] {
+        let cfg = McConfig {
+            threads,
+            ..McConfig::default()
+        };
+        let a = analyze(&nl, &cfg).expect("analyze");
+        let b = analyze(&nl, &cfg).expect("analyze");
+        assert_eq!(
+            a.metrics.counters, b.metrics.counters,
+            "counters must be deterministic at threads={threads}"
+        );
+        assert_eq!(a.multi_cycle_pairs(), b.multi_cycle_pairs());
+    }
+}

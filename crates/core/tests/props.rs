@@ -129,8 +129,7 @@ proptest! {
 
 #[test]
 fn circuits_without_ffs_produce_empty_reports() {
-    let nl = mcp_netlist::bench::parse("comb", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)")
-        .expect("parse");
+    let nl = mcp_netlist::bench::parse("comb", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)").expect("parse");
     let report = analyze(&nl, &McConfig::default()).expect("analyze");
     assert!(report.pairs.is_empty());
     assert_eq!(report.stats.candidates, 0);

@@ -105,7 +105,14 @@ pub(crate) fn push_gated_datapath(
     prefix: &str,
     cfg: &DatapathConfig,
 ) -> (Vec<NodeId>, Vec<NodeId>) {
-    push_windowed_datapath(b, prefix, &[cfg.load_phase], cfg.capture_phase, cfg.width, cfg.counter_bits)
+    push_windowed_datapath(
+        b,
+        prefix,
+        &[cfg.load_phase],
+        cfg.capture_phase,
+        cfg.width,
+        cfg.counter_bits,
+    )
 }
 
 /// Appends a datapath whose source register loads in any of several
@@ -301,9 +308,7 @@ pub fn composite(name: &str, cfg: &CompositeConfig) -> Netlist {
         all_regs.extend(bb);
     }
     for (i, &(depth, width)) in cfg.pipelines.iter().enumerate() {
-        let mut prev: Vec<NodeId> = (0..width)
-            .map(|w| b.input(format!("P{i}_IN{w}")))
-            .collect();
+        let mut prev: Vec<NodeId> = (0..width).map(|w| b.input(format!("P{i}_IN{w}"))).collect();
         for s in 0..depth {
             let mut stage = Vec::with_capacity(width);
             for w in 0..width {

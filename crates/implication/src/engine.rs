@@ -59,6 +59,10 @@ pub struct ImpEngine<'a> {
     learned: Option<&'a LearnedImplications>,
     /// Total direct-implication gate examinations (instrumentation).
     examinations: u64,
+    /// Definite values placed on the trail so far (instrumentation).
+    implications: u64,
+    /// Conflicts discovered so far (instrumentation).
+    contradictions: u64,
 }
 
 impl<'a> ImpEngine<'a> {
@@ -79,6 +83,8 @@ impl<'a> ImpEngine<'a> {
             in_queue: vec![false; x.num_nodes()],
             learned: None,
             examinations: 0,
+            implications: 0,
+            contradictions: 0,
         }
     }
 
@@ -111,6 +117,20 @@ impl<'a> ImpEngine<'a> {
     #[inline]
     pub fn examinations(&self) -> u64 {
         self.examinations
+    }
+
+    /// Definite values placed on the trail so far, counting both asserted
+    /// objectives and derived implications (instrumentation).
+    #[inline]
+    pub fn implications(&self) -> u64 {
+        self.implications
+    }
+
+    /// Conflicts discovered so far by [`assign`](Self::assign) or
+    /// [`propagate`](Self::propagate) (instrumentation).
+    #[inline]
+    pub fn contradictions(&self) -> u64 {
+        self.contradictions
     }
 
     /// The node assigned at trail position `k` (`k < trail_len()`).
@@ -172,6 +192,7 @@ impl<'a> ImpEngine<'a> {
             V3::X => {
                 self.val[id.index()] = V3::from(v);
                 self.trail.push(id);
+                self.implications += 1;
                 self.schedule_around(id);
                 if let Some(learned) = self.learned {
                     // Replay learned binary implications for this literal.
@@ -182,7 +203,10 @@ impl<'a> ImpEngine<'a> {
                 Ok(())
             }
             cur if cur == V3::from(v) => Ok(()),
-            _ => Err(Conflict { node: id }),
+            _ => {
+                self.contradictions += 1;
+                Err(Conflict { node: id })
+            }
         }
     }
 
@@ -227,7 +251,10 @@ impl<'a> ImpEngine<'a> {
                 // assigned, so nothing remains.
                 return Ok(());
             }
-            _ => return Err(Conflict { node: g }),
+            _ => {
+                self.contradictions += 1;
+                return Err(Conflict { node: g });
+            }
         }
 
         // Backward: output definite, inputs not yet determining it.
@@ -265,7 +292,11 @@ impl<'a> ImpEngine<'a> {
                         }
                     }
                     match count_x {
-                        0 => Err(Conflict { node: g }), // all non-controlling but controlled out
+                        0 => {
+                            // All inputs non-controlling but controlled out.
+                            self.contradictions += 1;
+                            Err(Conflict { node: g })
+                        }
                         1 => self.assign(unassigned.expect("one unassigned"), c),
                         _ => Ok(()), // undetermined: an unjustified gate (J-frontier)
                     }
@@ -290,6 +321,7 @@ impl<'a> ImpEngine<'a> {
                         // Fully assigned; forward eval would have caught a
                         // mismatch, but be safe.
                         if parity {
+                            self.contradictions += 1;
                             Err(Conflict { node: g })
                         } else {
                             Ok(())

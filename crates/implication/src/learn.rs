@@ -116,10 +116,7 @@ pub fn learn(x: &Expanded, cfg: &LearnConfig) -> LearnedImplications {
                 // trail entry (the trial assignment itself).
                 for k in trail_before + 1..eng.trail_len() {
                     let m = eng.trail_at(k);
-                    let w = eng
-                        .value(m)
-                        .to_bool()
-                        .expect("trail entries are definite");
+                    let w = eng.value(m).to_bool().expect("trail entries are definite");
                     store.record((m, !w), (id, !v), budget);
                 }
             } else {
@@ -156,9 +153,8 @@ mod tests {
         // contrapositives of *implied* literals: from trial a=1 nothing
         // nontrivial is implied. From trial y=1: implied a=1, b=1, z=1 →
         // records (a=0)→(y=0), (b=0)→(y=0), (z=0)→(y=0). All sound.
-        let (nl, x) = expand(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nq = DFF(z)\ny = AND(a, b)\nz = OR(y, c)",
-        );
+        let (nl, x) =
+            expand("INPUT(a)\nINPUT(b)\nINPUT(c)\nq = DFF(z)\ny = AND(a, b)\nz = OR(y, c)");
         let store = learn(&x, &LearnConfig::default());
         assert!(!store.is_empty());
         let y = x.value_of(0, nl.find_node("y").unwrap());
@@ -202,9 +198,8 @@ mod tests {
 
     #[test]
     fn budget_caps_store_size() {
-        let (_, x) = expand(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nq = DFF(z)\ny = AND(a, b)\nz = OR(y, c)",
-        );
+        let (_, x) =
+            expand("INPUT(a)\nINPUT(b)\nINPUT(c)\nq = DFF(z)\ny = AND(a, b)\nz = OR(y, c)");
         let store = learn(
             &x,
             &LearnConfig {

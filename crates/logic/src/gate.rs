@@ -84,7 +84,8 @@ impl GateKind {
     /// value.
     #[inline]
     pub fn controlled_output(self) -> Option<bool> {
-        self.controlling_value().map(|c| c ^ self.output_inversion())
+        self.controlling_value()
+            .map(|c| c ^ self.output_inversion())
     }
 
     /// Whether the gate output is inverted relative to its non-inverting
@@ -362,7 +363,11 @@ mod tests {
             for lane in 0..4 {
                 let la = a >> lane & 1 == 1;
                 let lb = b >> lane & 1 == 1;
-                assert_eq!(w >> lane & 1 == 1, kind.eval_bool([la, lb]), "{kind} lane {lane}");
+                assert_eq!(
+                    w >> lane & 1 == 1,
+                    kind.eval_bool([la, lb]),
+                    "{kind} lane {lane}"
+                );
             }
         }
         assert_eq!(GateKind::Not.eval_word(&[a]) & 0xF, !a & 0xF);

@@ -56,7 +56,11 @@ impl fmt::Display for ParseBenchError {
         if self.line == 0 {
             write!(f, "bench parse error: {}", self.message)
         } else {
-            write!(f, "bench parse error at line {}: {}", self.line, self.message)
+            write!(
+                f,
+                "bench parse error at line {}: {}",
+                self.line, self.message
+            )
         }
     }
 }
@@ -220,12 +224,12 @@ pub fn parse(name: &str, src: &str) -> Result<Netlist, ParseBenchError> {
         for (line, gname, kind, args) in remaining {
             if args.iter().all(|a| ids.contains_key(a)) {
                 let fanins: Vec<NodeId> = args.iter().map(|a| ids[a]).collect();
-                let id = b.gate(gname.clone(), kind, fanins).map_err(|e| {
-                    ParseBenchError {
+                let id = b
+                    .gate(gname.clone(), kind, fanins)
+                    .map_err(|e| ParseBenchError {
                         line,
                         message: e.to_string(),
-                    }
-                })?;
+                    })?;
                 ids.insert(gname, id);
             } else {
                 next.push((line, gname, kind, args));
@@ -359,11 +363,7 @@ mod tests {
 
     #[test]
     fn case_insensitive_keywords_and_buf_spellings() {
-        let nl = parse(
-            "c",
-            "input(a)\noutput(y)\ny = buff(b)\nb = nand(a, a)\n",
-        )
-        .expect("parse");
+        let nl = parse("c", "input(a)\noutput(y)\ny = buff(b)\nb = nand(a, a)\n").expect("parse");
         assert_eq!(nl.num_gates(), 2);
     }
 

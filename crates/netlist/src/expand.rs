@@ -206,9 +206,7 @@ impl Expanded {
                     map[ff.index()] = id;
                 } else {
                     // Alias: FF output in frame f = D input value in f-1.
-                    map[ff.index()] = value_in_frame[f as usize - 1][d_inputs
-                        [ff_idx]
-                        .index()];
+                    map[ff.index()] = value_in_frame[f as usize - 1][d_inputs[ff_idx].index()];
                 }
             }
             for (id, node) in netlist.nodes() {
@@ -325,7 +323,11 @@ impl Expanded {
     ///
     /// Panics if `ff` or `time` is out of range.
     pub fn ff_at(&self, ff: usize, time: u32) -> XId {
-        assert!(time <= self.frames, "time {time} exceeds frames {}", self.frames);
+        assert!(
+            time <= self.frames,
+            "time {time} exceeds frames {}",
+            self.frames
+        );
         if time == 0 {
             self.state_vars[ff]
         } else {

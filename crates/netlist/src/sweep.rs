@@ -382,11 +382,8 @@ mod tests {
 
     #[test]
     fn idempotent_inputs_collapse() {
-        let nl = bench::parse(
-            "i",
-            "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, a, a)",
-        )
-        .expect("parse");
+        let nl =
+            bench::parse("i", "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, a, a)").expect("parse");
         let (swept, _) = sweep(&nl);
         // AND(a,a,a) = a.
         assert_eq!(swept.num_gates(), 0);

@@ -13,14 +13,8 @@ use mcp_sim::ParallelSim;
 use proptest::prelude::*;
 
 fn cfg_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
-    (
-        0u64..100_000,
-        1usize..6,
-        0usize..4,
-        1usize..40,
-        1usize..5,
-    )
-        .prop_map(|(seed, ffs, pis, gates, max_arity)| {
+    (0u64..100_000, 1usize..6, 0usize..4, 1usize..40, 1usize..5).prop_map(
+        |(seed, ffs, pis, gates, max_arity)| {
             (
                 seed,
                 RandomCircuitConfig {
@@ -30,7 +24,8 @@ fn cfg_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
                     max_arity,
                 },
             )
-        })
+        },
+    )
 }
 
 proptest! {
@@ -204,7 +199,7 @@ proptest! {
 mod sweep_props {
     use super::*;
     use mcp_logic::GateKind;
-    use mcp_netlist::{sweep, NetlistBuilder, Netlist, NodeId};
+    use mcp_netlist::{sweep, Netlist, NetlistBuilder, NodeId};
 
     /// A random circuit whose gate pool also contains constants and
     /// deliberate duplicates — the food the sweeper eats.

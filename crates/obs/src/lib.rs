@@ -1,0 +1,696 @@
+//! Observability for the multi-cycle path pipeline.
+//!
+//! Three complementary facilities, all cheap enough to stay on by
+//! default and all safe to share across the scoped worker threads of the
+//! pair loop:
+//!
+//! - **Span timers** ([`Timers`], [`SpanGuard`]): RAII wall-clock
+//!   accumulation keyed by hierarchical `a/b/c` paths on the monotonic
+//!   clock, replacing ad-hoc `Instant::now()` bookkeeping.
+//! - **Engine counters** ([`Metrics`], [`Counters`]): relaxed
+//!   `AtomicU64`s the pipeline flushes per-pair deltas into — decisions,
+//!   backtracks, implications, SAT conflicts, BDD cache traffic, words
+//!   simulated. [`Counters`] is the serializable snapshot embedded in
+//!   reports.
+//! - **Event journal** ([`ObsSink`]): a per-pair record of the resolving
+//!   step, per-assignment implication outcomes, and elapsed time. The
+//!   default [`NullSink`] reports `enabled() == false` so hot paths skip
+//!   event construction entirely; [`FileSink`] writes NDJSON, one record
+//!   per pair; [`MemSink`] buffers in memory for tests.
+//!
+//! [`ObsCtx`] bundles the three plus an optional throttled progress
+//! meter, and is what the pipeline's `analyze_with` entry point accepts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Span timers
+// ---------------------------------------------------------------------
+
+/// Accumulated wall-clock total and entry count of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Total time spent inside the span, summed over entries.
+    pub total: Duration,
+    /// Number of times the span was entered.
+    pub count: u64,
+}
+
+/// Thread-safe hierarchical span accumulator.
+///
+/// Spans are keyed by `/`-separated paths (`"analyze/pairs/implication"`);
+/// the hierarchy is by naming convention, so a snapshot sorts parents
+/// directly above their children.
+#[derive(Debug, Default)]
+pub struct Timers {
+    entries: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Timers {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enters the span at `path`; the returned guard records elapsed
+    /// time into this accumulator when dropped.
+    pub fn span(&self, path: impl Into<String>) -> SpanGuard<'_> {
+        SpanGuard {
+            timers: self,
+            path: path.into(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Adds an externally measured duration (e.g. per-worker busy time
+    /// summed across threads) to the span at `path`.
+    pub fn add(&self, path: &str, elapsed: Duration) {
+        let mut entries = self.entries.lock().expect("timers poisoned");
+        let stat = entries.entry(path.to_owned()).or_default();
+        stat.total += elapsed;
+        stat.count += 1;
+    }
+
+    /// Total accumulated so far at `path` (zero if never entered).
+    pub fn total(&self, path: &str) -> Duration {
+        self.entries
+            .lock()
+            .expect("timers poisoned")
+            .get(path)
+            .map_or(Duration::ZERO, |s| s.total)
+    }
+
+    /// A copy of every span recorded so far.
+    pub fn snapshot(&self) -> BTreeMap<String, SpanStat> {
+        self.entries.lock().expect("timers poisoned").clone()
+    }
+}
+
+/// RAII guard of one entered span; see [`Timers::span`].
+#[must_use = "dropping the guard immediately records a ~zero-length span"]
+#[derive(Debug)]
+pub struct SpanGuard<'t> {
+    timers: &'t Timers,
+    path: String,
+    start: Instant,
+    done: bool,
+}
+
+impl<'t> SpanGuard<'t> {
+    /// Enters a child span `self.path + "/" + name`.
+    pub fn child(&self, name: &str) -> SpanGuard<'t> {
+        self.timers.span(format!("{}/{name}", self.path))
+    }
+
+    /// The span's full path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Ends the span now and returns the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.timers.add(&self.path, elapsed);
+        self.done = true;
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.timers.add(&self.path, self.start.elapsed());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine counters
+// ---------------------------------------------------------------------
+
+/// One relaxed atomic counter.
+///
+/// Relaxed ordering is deliberate: counters are statistics, each update
+/// is a single atomic RMW, and no other memory is published through
+/// them.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the counter to `n` if it is currently lower (for peak
+    /// gauges like the BDD unique-table size).
+    pub fn raise_to(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared live counters for every engine in the pipeline.
+///
+/// The pipeline flushes per-pair deltas in here from worker threads;
+/// [`Metrics::counters`] takes the plain-integer snapshot.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Implication engine: definite values derived by propagation.
+    pub implications: Counter,
+    /// Implication engine: propagations that ended in a contradiction.
+    pub contradictions: Counter,
+    /// Implication engine: learned implications added by static learning.
+    pub learned_implications: Counter,
+    /// ATPG: decisions taken by the backtrack search.
+    pub atpg_decisions: Counter,
+    /// ATPG: backtracks performed.
+    pub atpg_backtracks: Counter,
+    /// ATPG: searches that hit the backtrack limit and aborted.
+    pub atpg_aborts: Counter,
+    /// SAT: decisions.
+    pub sat_decisions: Counter,
+    /// SAT: unit propagations.
+    pub sat_propagations: Counter,
+    /// SAT: conflicts.
+    pub sat_conflicts: Counter,
+    /// SAT: clauses learned from conflicts.
+    pub sat_learned: Counter,
+    /// SAT: restarts.
+    pub sat_restarts: Counter,
+    /// BDD: peak unique-table size over all per-pair managers.
+    pub bdd_peak_nodes: Counter,
+    /// BDD: apply/ITE cache lookups.
+    pub bdd_cache_lookups: Counter,
+    /// BDD: apply/ITE cache hits.
+    pub bdd_cache_hits: Counter,
+    /// Random simulation: 64-pattern words simulated.
+    pub sim_words: Counter,
+    /// Random simulation: candidate pairs dropped by the prefilter.
+    pub sim_pairs_dropped: Counter,
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plain-integer snapshot of every counter.
+    pub fn counters(&self) -> Counters {
+        Counters {
+            implications: self.implications.get(),
+            contradictions: self.contradictions.get(),
+            learned_implications: self.learned_implications.get(),
+            atpg_decisions: self.atpg_decisions.get(),
+            atpg_backtracks: self.atpg_backtracks.get(),
+            atpg_aborts: self.atpg_aborts.get(),
+            sat_decisions: self.sat_decisions.get(),
+            sat_propagations: self.sat_propagations.get(),
+            sat_conflicts: self.sat_conflicts.get(),
+            sat_learned: self.sat_learned.get(),
+            sat_restarts: self.sat_restarts.get(),
+            bdd_peak_nodes: self.bdd_peak_nodes.get(),
+            bdd_cache_lookups: self.bdd_cache_lookups.get(),
+            bdd_cache_hits: self.bdd_cache_hits.get(),
+            sim_words: self.sim_words.get(),
+            sim_pairs_dropped: self.sim_pairs_dropped.get(),
+        }
+    }
+}
+
+/// Serializable snapshot of [`Metrics`] — same fields, plain `u64`s.
+///
+/// Counter totals are sums of deterministic per-pair deltas, so two
+/// runs with the same seed and config produce identical `Counters`
+/// regardless of worker scheduling (span *timings* do not share this
+/// property, which is why they live outside this struct).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field meanings documented on `Metrics`
+pub struct Counters {
+    pub implications: u64,
+    pub contradictions: u64,
+    pub learned_implications: u64,
+    pub atpg_decisions: u64,
+    pub atpg_backtracks: u64,
+    pub atpg_aborts: u64,
+    pub sat_decisions: u64,
+    pub sat_propagations: u64,
+    pub sat_conflicts: u64,
+    pub sat_learned: u64,
+    pub sat_restarts: u64,
+    pub bdd_peak_nodes: u64,
+    pub bdd_cache_lookups: u64,
+    pub bdd_cache_hits: u64,
+    pub sim_words: u64,
+    pub sim_pairs_dropped: u64,
+}
+
+impl Counters {
+    /// Fraction of BDD cache lookups that hit, or 0.0 with no lookups.
+    pub fn bdd_cache_hit_rate(&self) -> f64 {
+        if self.bdd_cache_lookups == 0 {
+            0.0
+        } else {
+            self.bdd_cache_hits as f64 / self.bdd_cache_lookups as f64
+        }
+    }
+}
+
+/// Full observability snapshot: counters plus span timings.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Engine counters (deterministic for a fixed seed/config).
+    pub counters: Counters,
+    /// Accumulated span timings by path (wall-clock, not deterministic).
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+// ---------------------------------------------------------------------
+// Event journal
+// ---------------------------------------------------------------------
+
+/// Outcome of one of the four value assignments the implication step
+/// tries on a pair, or of a downstream search on that assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssignmentEvent {
+    /// Value assigned to the source FF at time 0.
+    pub src_value: bool,
+    /// Value assigned to the destination FF input at the sink time.
+    pub dst_value: bool,
+    /// What happened: `contradiction`, `implied_violation`, `witness`,
+    /// `unsat`, or `aborted`.
+    pub outcome: String,
+}
+
+/// One journal record: how a single FF pair was resolved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairEvent {
+    /// Source FF index.
+    pub src: usize,
+    /// Destination FF index.
+    pub dst: usize,
+    /// Pipeline step that resolved the pair (`structural`, `random_sim`,
+    /// `implication`, `atpg`).
+    pub step: String,
+    /// Final classification: `multi`, `single`, or `unknown`.
+    pub class: String,
+    /// Decision engine that produced the classification, if any.
+    pub engine: Option<String>,
+    /// Per-assignment outcomes from the implication/search step.
+    pub assignments: Vec<AssignmentEvent>,
+    /// Wall-clock microseconds spent on this pair.
+    pub micros: u64,
+}
+
+/// Receiver of per-pair journal events.
+///
+/// Implementations must be callable concurrently from the pair-loop
+/// worker threads.
+pub trait ObsSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: &PairEvent);
+
+    /// Whether events will actually be kept. Hot paths check this before
+    /// building [`PairEvent`]s, so a disabled sink costs one virtual
+    /// call per pair and nothing per assignment.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes buffered events to durable storage, if any.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Default sink: drops everything and reports itself disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {
+    fn record(&self, _event: &PairEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// NDJSON file sink: one JSON object per line, one line per pair.
+#[derive(Debug)]
+pub struct FileSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Creates (truncates) the journal file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(FileSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl ObsSink for FileSink {
+    fn record(&self, event: &PairEvent) {
+        let line = serde_json::to_string(event).expect("PairEvent serializes");
+        let mut out = self.out.lock().expect("file sink poisoned");
+        // An exhausted disk mid-journal should not kill the analysis;
+        // the error resurfaces on the explicit end-of-run flush.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.out.lock().expect("file sink poisoned").flush()
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// In-memory sink for tests and for `mcpath stats` post-processing.
+#[derive(Debug, Default)]
+pub struct MemSink {
+    events: Mutex<Vec<PairEvent>>,
+}
+
+impl MemSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes all recorded events, leaving the sink empty.
+    pub fn drain(&self) -> Vec<PairEvent> {
+        std::mem::take(&mut self.events.lock().expect("mem sink poisoned"))
+    }
+}
+
+impl ObsSink for MemSink {
+    fn record(&self, event: &PairEvent) {
+        self.events
+            .lock()
+            .expect("mem sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Parses an NDJSON journal (as written by [`FileSink`]) back into
+/// events. Blank lines are ignored; malformed lines are errors.
+pub fn read_journal(reader: impl io::Read) -> io::Result<Vec<PairEvent>> {
+    let mut events = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("journal line {}: {e}", lineno + 1),
+            )
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Opens and parses the NDJSON journal file at `path`.
+pub fn read_journal_file(path: impl AsRef<Path>) -> io::Result<Vec<PairEvent>> {
+    read_journal(File::open(path)?)
+}
+
+// ---------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------
+
+/// Throttled progress reporter writing single lines to stderr.
+#[derive(Debug)]
+struct ProgressMeter {
+    every: Duration,
+    started: Instant,
+    last: Mutex<Instant>,
+}
+
+impl ProgressMeter {
+    fn new(every: Duration) -> Self {
+        let now = Instant::now();
+        ProgressMeter {
+            every,
+            started: now,
+            last: Mutex::new(now - every),
+        }
+    }
+
+    fn tick(&self, label: &str, done: usize, total: usize) {
+        // Never block a worker on the progress lock.
+        let Ok(mut last) = self.last.try_lock() else {
+            return;
+        };
+        if last.elapsed() < self.every && done != total {
+            return;
+        }
+        *last = Instant::now();
+        let pct = if total == 0 {
+            100.0
+        } else {
+            done as f64 * 100.0 / total as f64
+        };
+        eprintln!(
+            "[mcpath] {label}: {done}/{total} ({pct:.1}%) after {:.1}s",
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------
+
+/// Everything the pipeline needs to observe one run: timers, counters,
+/// a journal sink, and an optional progress meter. Shared by reference
+/// across the pair-loop worker threads.
+pub struct ObsCtx {
+    /// Span timers.
+    pub timers: Timers,
+    /// Engine counters.
+    pub metrics: Metrics,
+    sink: Box<dyn ObsSink>,
+    progress: Option<ProgressMeter>,
+}
+
+impl Default for ObsCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ObsCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsCtx")
+            .field("timers", &self.timers)
+            .field("metrics", &self.metrics)
+            .field("sink_enabled", &self.sink.enabled())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl ObsCtx {
+    /// A context with a [`NullSink`] and no progress meter — the
+    /// zero-overhead default.
+    pub fn new() -> Self {
+        ObsCtx {
+            timers: Timers::new(),
+            metrics: Metrics::new(),
+            sink: Box::new(NullSink),
+            progress: None,
+        }
+    }
+
+    /// Replaces the journal sink.
+    pub fn with_sink(mut self, sink: Box<dyn ObsSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Enables progress lines on stderr, at most one per `every`.
+    pub fn with_progress(mut self, every: Duration) -> Self {
+        self.progress = Some(ProgressMeter::new(every));
+        self
+    }
+
+    /// The journal sink.
+    pub fn sink(&self) -> &dyn ObsSink {
+        &*self.sink
+    }
+
+    /// Emits a progress line if a meter is attached and the throttle
+    /// allows it.
+    pub fn progress(&self, label: &str, done: usize, total: usize) {
+        if let Some(meter) = &self.progress {
+            meter.tick(label, done, total);
+        }
+    }
+
+    /// Counters-plus-spans snapshot of the run so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.metrics.counters(),
+            spans: self.timers.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_guards_accumulate_by_path() {
+        let timers = Timers::new();
+        {
+            let root = timers.span("analyze");
+            let _child = root.child("pairs");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        timers.add("analyze/pairs", Duration::from_millis(5));
+        let snap = timers.snapshot();
+        assert_eq!(snap["analyze"].count, 1);
+        assert_eq!(snap["analyze/pairs"].count, 2);
+        assert!(snap["analyze/pairs"].total >= Duration::from_millis(5));
+        assert!(timers.total("analyze") >= Duration::from_millis(2));
+        assert_eq!(timers.total("never"), Duration::ZERO);
+    }
+
+    #[test]
+    fn span_stop_returns_elapsed_once() {
+        let timers = Timers::new();
+        let g = timers.span("x");
+        let elapsed = g.stop();
+        let snap = timers.snapshot();
+        assert_eq!(snap["x"].count, 1);
+        assert_eq!(snap["x"].total, elapsed);
+    }
+
+    #[test]
+    fn counters_are_shared_across_threads() {
+        let metrics = Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&metrics);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.implications.add(1);
+                    }
+                    m.bdd_peak_nodes.raise_to(37);
+                });
+            }
+        });
+        let c = metrics.counters();
+        assert_eq!(c.implications, 4000);
+        assert_eq!(c.bdd_peak_nodes, 37);
+        assert_eq!(c.bdd_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let ctx = ObsCtx::new();
+        ctx.metrics.sat_conflicts.add(7);
+        ctx.timers.add("analyze/sim", Duration::from_micros(1234));
+        let snap = ctx.snapshot();
+        let text = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, snap);
+        assert_eq!(back.counters.sat_conflicts, 7);
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_mem_sink_records() {
+        assert!(!NullSink.enabled());
+        let sink = MemSink::new();
+        assert!(sink.enabled());
+        let event = PairEvent {
+            src: 1,
+            dst: 2,
+            step: "implication".to_owned(),
+            class: "multi".to_owned(),
+            engine: Some("implication".to_owned()),
+            assignments: vec![AssignmentEvent {
+                src_value: true,
+                dst_value: false,
+                outcome: "contradiction".to_owned(),
+            }],
+            micros: 42,
+        };
+        sink.record(&event);
+        assert_eq!(sink.drain(), vec![event]);
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_ndjson() {
+        let path = std::env::temp_dir().join(format!(
+            "mcp_obs_journal_test_{}.ndjson",
+            std::process::id()
+        ));
+        let events: Vec<PairEvent> = (0..3)
+            .map(|k| PairEvent {
+                src: k,
+                dst: k + 1,
+                step: "atpg".to_owned(),
+                class: "single".to_owned(),
+                engine: None,
+                assignments: Vec::new(),
+                micros: k as u64,
+            })
+            .collect();
+        {
+            let sink = FileSink::create(&path).expect("create");
+            for e in &events {
+                sink.record(e);
+            }
+            sink.flush().expect("flush");
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 3);
+        let back = read_journal_file(&path).expect("parse journal");
+        assert_eq!(back, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_reader_rejects_garbage() {
+        let bad = "{\"src\": 1}\nnot json\n";
+        assert!(read_journal(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn obs_ctx_is_sync_and_sendable() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ObsCtx>();
+        assert_sync::<Timers>();
+        assert_sync::<Metrics>();
+    }
+}

@@ -51,8 +51,7 @@ impl CircuitCnf {
                     solver.add_clause(&[out.lit(b)]);
                 }
                 XKind::Gate(kind) => {
-                    let ins: Vec<Var> =
-                        node.fanins().iter().map(|f| var_of[f.index()]).collect();
+                    let ins: Vec<Var> = node.fanins().iter().map(|f| var_of[f.index()]).collect();
                     encode_gate(&mut solver, kind, out, &ins);
                 }
             }
@@ -208,7 +207,10 @@ mod tests {
 
     #[test]
     fn unsat_for_structural_tautologies() {
-        let (nl, x) = setup("INPUT(a)\nOUTPUT(y)\nq = DFF(y)\nna = NOT(a)\ny = AND(a, na)", 1);
+        let (nl, x) = setup(
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\nna = NOT(a)\ny = AND(a, na)",
+            1,
+        );
         let y = x.value_of(0, nl.find_node("y").unwrap());
         let mut cnf = CircuitCnf::new(&x);
         assert_eq!(cnf.solve_with(&[(y, true)]), SolveResult::Unsat);

@@ -148,8 +148,7 @@ impl<'a> DelaySim<'a> {
         for &g in self.netlist.topo_gates() {
             let node = self.netlist.node(g);
             let kind = node.kind().gate_kind().expect("gate");
-            self.val[g.index()] =
-                kind.eval_bool(node.fanins().iter().map(|f| self.val[f.index()]));
+            self.val[g.index()] = kind.eval_bool(node.fanins().iter().map(|f| self.val[f.index()]));
         }
         self.projected.copy_from_slice(&self.val);
     }
@@ -177,10 +176,10 @@ impl<'a> DelaySim<'a> {
         let mut seq = 0u64;
 
         let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, u32, bool)>>,
-                        seq: &mut u64,
-                        t: u64,
-                        node: NodeId,
-                        v: bool| {
+                    seq: &mut u64,
+                    t: u64,
+                    node: NodeId,
+                    v: bool| {
             heap.push(Reverse((t, *seq, node.index() as u32, v)));
             *seq += 1;
         };
@@ -217,8 +216,7 @@ impl<'a> DelaySim<'a> {
                 let Some(kind) = gnode.kind().gate_kind() else {
                     continue; // DFF D pins don't propagate within the cycle
                 };
-                let new =
-                    kind.eval_bool(gnode.fanins().iter().map(|f| self.val[f.index()]));
+                let new = kind.eval_bool(gnode.fanins().iter().map(|f| self.val[f.index()]));
                 if new != self.projected[g.index()] {
                     self.projected[g.index()] = new;
                     push(&mut heap, &mut seq, t + self.delay[g.index()], g, new);

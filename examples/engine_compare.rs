@@ -93,7 +93,10 @@ fn main() {
         "OUTPUT(R0)\nR0 = DFF(R2)\nR1 = DFF(R0)\nR2 = DFF(R1)",
     )
     .expect("ring parses");
-    for (label, reach) in [("all states assumed", false), ("reachable from reset", true)] {
+    for (label, reach) in [
+        ("all states assumed", false),
+        ("reachable from reset", true),
+    ] {
         let r = analyze(
             &ring,
             &McConfig {

@@ -51,7 +51,12 @@ fn main() {
     // ASCII waveform of the interesting signals.
     let signals = ["FF3", "EN2", "MUX2_SELB", "MUX2_A1", "MUX2_A0", "MUX2_OR"];
     let horizon = report.settle_time() + 2;
-    println!("\ntime       {}", (0..horizon).map(|t| (t % 10).to_string()).collect::<String>());
+    println!(
+        "\ntime       {}",
+        (0..horizon)
+            .map(|t| (t % 10).to_string())
+            .collect::<String>()
+    );
     for name in signals {
         let id = node(name);
         let mut value = initial[id.index()];
@@ -72,5 +77,8 @@ fn main() {
     let path = std::env::temp_dir().join("fig3_glitch.vcd");
     let mut file = std::fs::File::create(&path).expect("create vcd");
     vcd::write_vcd(&nl, &initial, report.events(), &mut file).expect("write vcd");
-    println!("\nfull waveform written to {} (open with GTKWave)", path.display());
+    println!(
+        "\nfull waveform written to {} (open with GTKWave)",
+        path.display()
+    );
 }

@@ -71,13 +71,27 @@ fn main() {
     set(&mut v0, "C", V3::Zero);
     set(&mut v1, "C", V3::Zero);
 
-    let qa = frag.ff_index(frag.find_node("QA").expect("node")).expect("ff");
-    let qc = frag.ff_index(frag.find_node("QC").expect("node")).expect("ff");
+    let qa = frag
+        .ff_index(frag.find_node("QA").expect("node"))
+        .expect("ff");
+    let qc = frag
+        .ff_index(frag.find_node("QC").expect("node"))
+        .expect("ff");
     let sens = mcpath::core::hazard::glitch_path_exists(
-        &frag, qa, qc, &v0, &v1, HazardCheck::Sensitization,
+        &frag,
+        qa,
+        qc,
+        &v0,
+        &v1,
+        HazardCheck::Sensitization,
     );
     let cosens = mcpath::core::hazard::glitch_path_exists(
-        &frag, qa, qc, &v0, &v1, HazardCheck::CoSensitization,
+        &frag,
+        qa,
+        qc,
+        &v0,
+        &v1,
+        HazardCheck::CoSensitization,
     );
     println!(
         "\nFig.4 fragment (A transitions, side input B settled controlling):\n  \

@@ -24,7 +24,10 @@ fn main() {
     // Step 1: structural candidates.
     let name_of = |ff: usize| netlist.node(netlist.dffs()[ff]).name().to_owned();
     let candidates = netlist.connected_ff_pairs();
-    println!("\nstep 1 — topologically connected FF pairs: {}", candidates.len());
+    println!(
+        "\nstep 1 — topologically connected FF pairs: {}",
+        candidates.len()
+    );
     for &(i, j) in &candidates {
         println!("  ({}, {})", name_of(i), name_of(j));
     }
@@ -38,7 +41,10 @@ fn main() {
         report.stats.single_by_sim, report.stats.sim_words
     );
     for p in &report.pairs {
-        if let PairClass::SingleCycle { by: Step::RandomSim } = p.class {
+        if let PairClass::SingleCycle {
+            by: Step::RandomSim,
+        } = p.class
+        {
             println!("  ({}, {})", name_of(p.src), name_of(p.dst));
         }
     }

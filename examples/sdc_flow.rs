@@ -22,7 +22,17 @@ fn main() {
     );
 
     println!("=== naive constraints (MC condition only — UNSAFE under hazards) ===");
-    print!("{}", to_sdc(&netlist, &report, &SdcOptions { cycles: 2, ..Default::default() }));
+    print!(
+        "{}",
+        to_sdc(
+            &netlist,
+            &report,
+            &SdcOptions {
+                cycles: 2,
+                ..Default::default()
+            }
+        )
+    );
 
     let cosens = check_hazards(&netlist, &report, HazardCheck::CoSensitization);
     println!("\n=== hazard-robust constraints (co-sensitization survivors) ===");
@@ -53,7 +63,14 @@ fn main() {
 
     // The punchline on this circuit: (FF3, FF2) is constrained by the
     // naive set and absent from the robust set.
-    let naive = to_sdc(&netlist, &report, &SdcOptions { cycles: 2, ..Default::default() });
+    let naive = to_sdc(
+        &netlist,
+        &report,
+        &SdcOptions {
+            cycles: 2,
+            ..Default::default()
+        },
+    );
     let robust = to_sdc(
         &netlist,
         &report,

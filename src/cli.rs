@@ -9,20 +9,26 @@
 //!   against static hazards with both criteria;
 //! * `kcycle <file.bench> --max-k <K>` — sweep the cycle budget and report
 //!   each pair's maximal verified budget;
-//! * `stats <file.bench>` — parse and print structural statistics only;
+//! * `stats <file>` — for a `.bench` file, parse and print structural
+//!   statistics; for a saved JSON report or an NDJSON trace journal,
+//!   pretty-print the observability data as a Table-2-style per-step
+//!   table;
 //! * `gen <suite-name>` — emit a synthetic suite circuit as `.bench` text
 //!   (so external tools can consume the benchmark suite).
 //!
 //! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
 //! `--learn`, `--threads N`, `--no-sim`, `--no-self-pairs`,
-//! `--json <path>`, `--quiet`.
+//! `--json <path>`, `--metrics`, `--trace-out <path>`, `--progress`,
+//! `--quiet`.
 
 use mcp_core::{
-    analyze, check_hazards, max_cycle_budget, sensitization_dependencies, to_sdc, CycleBudget,
-    Engine, HazardCheck, McConfig, PairClass, SdcOptions, Step,
+    analyze, analyze_with, check_hazards, max_cycle_budget, sensitization_dependencies, to_sdc,
+    CycleBudget, Engine, HazardCheck, McConfig, McReport, PairClass, SdcOptions, Step, StepStats,
 };
 use mcp_netlist::{bench, Netlist};
+use mcp_obs::{read_journal_file, FileSink, MetricsSnapshot, ObsCtx, PairEvent};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +51,12 @@ pub struct Command {
     pub no_self_pairs: bool,
     /// Optional JSON report path.
     pub json: Option<String>,
+    /// Print engine counters and span timings after the analysis.
+    pub metrics: bool,
+    /// Optional NDJSON per-pair trace journal path.
+    pub trace_out: Option<String>,
+    /// Report pair-loop progress on stderr while analyzing.
+    pub progress: bool,
     /// Suppress the pair listing.
     pub quiet: bool,
 }
@@ -113,7 +125,7 @@ USAGE:
   mcpath hazard  <file.bench> [options]
   mcpath deps    <file.bench> [options]
   mcpath kcycle  <file.bench> --max-k <K> [options]
-  mcpath stats   <file.bench>
+  mcpath stats   <file.bench|report.json|trace.ndjson>
   mcpath gen     <m27|m298|...|m38584>
   mcpath dot     <file.bench>
   mcpath sweep   <file.bench>
@@ -129,6 +141,9 @@ OPTIONS:
   --no-sim                       skip the random-simulation prefilter
   --no-self-pairs                exclude (FFi, FFi) pairs ([9]'s convention)
   --json <path>                  dump the report as JSON
+  --metrics                      print engine counters and span timings
+  --trace-out <path>             write a per-pair NDJSON trace journal
+  --progress                     report pair-loop progress on stderr
   --quiet                        omit the per-pair listing
 ";
 
@@ -153,12 +168,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut no_sim = false;
     let mut no_self_pairs = false;
     let mut json = None;
+    let mut metrics = false;
+    let mut trace_out = None;
+    let mut progress = false;
     let mut quiet = false;
     let mut max_k: Option<u32> = None;
     let mut robust_check: Option<HazardCheck> = None;
 
     let take_value = |args: &mut std::iter::Peekable<I::IntoIter>,
-                          flag: &str|
+                      flag: &str|
      -> Result<String, ParseCliError> {
         args.next()
             .ok_or_else(|| ParseCliError(format!("`{flag}` needs a value")))
@@ -202,6 +220,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     .map_err(|e| ParseCliError(format!("bad --threads: {e}")))?;
             }
             "--json" => json = Some(take_value(&mut args, "--json")?),
+            "--trace-out" => trace_out = Some(take_value(&mut args, "--trace-out")?),
             "--robust" => {
                 robust_check = Some(match take_value(&mut args, "--robust")?.as_str() {
                     "sensitization" | "sens" => HazardCheck::Sensitization,
@@ -212,6 +231,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 })
             }
             "--learn" => learn = true,
+            "--metrics" => metrics = true,
+            "--progress" => progress = true,
             "--no-sim" => no_sim = true,
             "--no-self-pairs" => no_self_pairs = true,
             "--quiet" => quiet = true,
@@ -273,11 +294,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         no_sim,
         no_self_pairs,
         json,
+        metrics,
+        trace_out,
+        progress,
         quiet,
     })
 }
 
 impl Command {
+    /// Builds the observability context requested by `--trace-out` /
+    /// `--progress`.
+    fn obs(&self) -> Result<ObsCtx, String> {
+        let mut obs = ObsCtx::new();
+        if let Some(p) = &self.trace_out {
+            let sink = FileSink::create(p).map_err(|e| format!("create `{p}`: {e}"))?;
+            obs = obs.with_sink(Box::new(sink));
+        }
+        if self.progress {
+            obs = obs.with_progress(Duration::from_millis(200));
+        }
+        Ok(obs)
+    }
+
     fn config(&self) -> McConfig {
         McConfig {
             engine: self.engine,
@@ -293,8 +331,7 @@ impl Command {
 }
 
 fn load(path: &str) -> Result<Netlist, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     bench::parse(path, &text).map_err(|e| e.to_string())
 }
 
@@ -319,19 +356,29 @@ pub fn run(cmd: &Command) -> Result<String, String> {
     match &cmd.action {
         Action::Help => out.push_str(USAGE),
         Action::Stats(path) => {
-            let nl = load(path)?;
-            let s = nl.stats();
-            let _ = writeln!(
-                out,
-                "{}: inputs={} outputs={} ffs={} gates={} depth={} ff_pairs={}",
-                nl.name(),
-                s.inputs,
-                s.outputs,
-                s.ffs,
-                s.gates,
-                nl.depth(),
-                s.ff_pairs
-            );
+            if path.ends_with(".ndjson") {
+                let events = read_journal_file(path)
+                    .map_err(|e| format!("cannot read journal `{path}`: {e}"))?;
+                out.push_str(&render_journal(&events));
+            } else if path.ends_with(".json") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                out.push_str(&render_saved_report(path, &text)?);
+            } else {
+                let nl = load(path)?;
+                let s = nl.stats();
+                let _ = writeln!(
+                    out,
+                    "{}: inputs={} outputs={} ffs={} gates={} depth={} ff_pairs={}",
+                    nl.name(),
+                    s.inputs,
+                    s.outputs,
+                    s.ffs,
+                    s.gates,
+                    nl.depth(),
+                    s.ff_pairs
+                );
+            }
         }
         Action::Gen(name) => {
             let nl = mcp_gen::suite::standard_suite()
@@ -342,10 +389,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         }
         Action::Analyze(path) => {
             let nl = load(path)?;
-            let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
+            let obs = cmd.obs()?;
+            let report = analyze_with(&nl, &cmd.config(), &obs).map_err(|e| e.to_string())?;
             if let Some(p) = &cmd.json {
-                let text = serde_json::to_string_pretty(&report)
-                    .map_err(|e| format!("serialize: {e}"))?;
+                let text =
+                    serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
                 std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
             }
             let _ = writeln!(
@@ -388,6 +436,12 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                         pair_name(&nl, p.src, p.dst)
                     );
                 }
+            }
+            if cmd.metrics {
+                out.push('\n');
+                out.push_str(&render_step_table(&report.stats));
+                out.push('\n');
+                out.push_str(&render_snapshot(&report.metrics));
             }
         }
         Action::Hazard(path) => {
@@ -489,8 +543,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
             let deps = sensitization_dependencies(&nl, &report);
             if let Some(p) = &cmd.json {
-                let text = serde_json::to_string_pretty(&deps)
-                    .map_err(|e| format!("serialize: {e}"))?;
+                let text =
+                    serde_json::to_string_pretty(&deps).map_err(|e| format!("serialize: {e}"))?;
                 std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
             }
             let conditional = deps.deps.iter().filter(|(_, d)| !d.is_empty()).count();
@@ -506,8 +560,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                     if d.is_empty() {
                         continue;
                     }
-                    let list: Vec<String> =
-                        d.iter().map(|&(k, l)| pair_name(&nl, k, l)).collect();
+                    let list: Vec<String> = d.iter().map(|&(k, l)| pair_name(&nl, k, l)).collect();
                     let _ = writeln!(
                         out,
                         "  {} depends on {}",
@@ -545,6 +598,215 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// Formats a duration compactly for table cells.
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{}us", d.as_micros())
+    }
+}
+
+/// Renders [`StepStats`] as the paper's Table-2 layout: pairs resolved
+/// and wall-clock per step. The pair-loop time covers implication and
+/// search together (they interleave per pair), so it sits on the
+/// `search` row.
+fn render_step_table(s: &StepStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "per-step resolution ({} candidate pairs):",
+        s.candidates
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "step", "multi", "single", "unknown", "time"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "random_sim",
+        0,
+        s.single_by_sim,
+        0,
+        fmt_dur(s.time_sim)
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "implication", s.multi_by_implication, s.single_by_implication, 0, "-"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "search",
+        s.multi_by_atpg,
+        s.single_by_atpg,
+        s.unknown,
+        fmt_dur(s.time_pairs)
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "prepare",
+        "",
+        "",
+        "",
+        fmt_dur(s.time_prepare)
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "total",
+        s.multi_total(),
+        s.single_total(),
+        s.unknown,
+        fmt_dur(s.time_total)
+    );
+    out
+}
+
+/// Renders a [`MetricsSnapshot`]: the non-zero engine counters followed
+/// by accumulated span timings.
+fn render_snapshot(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let c = &m.counters;
+    let rows: [(&str, u64); 16] = [
+        ("implications", c.implications),
+        ("contradictions", c.contradictions),
+        ("learned_implications", c.learned_implications),
+        ("atpg_decisions", c.atpg_decisions),
+        ("atpg_backtracks", c.atpg_backtracks),
+        ("atpg_aborts", c.atpg_aborts),
+        ("sat_decisions", c.sat_decisions),
+        ("sat_propagations", c.sat_propagations),
+        ("sat_conflicts", c.sat_conflicts),
+        ("sat_learned", c.sat_learned),
+        ("sat_restarts", c.sat_restarts),
+        ("bdd_peak_nodes", c.bdd_peak_nodes),
+        ("bdd_cache_lookups", c.bdd_cache_lookups),
+        ("bdd_cache_hits", c.bdd_cache_hits),
+        ("sim_words", c.sim_words),
+        ("sim_pairs_dropped", c.sim_pairs_dropped),
+    ];
+    let _ = writeln!(out, "engine counters:");
+    for (name, v) in rows {
+        if v != 0 {
+            let _ = writeln!(out, "  {name:<24} {v}");
+        }
+    }
+    if c.bdd_cache_lookups != 0 {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:.1}%",
+            "bdd_cache_hit_rate",
+            c.bdd_cache_hit_rate() * 100.0
+        );
+    }
+    if !m.spans.is_empty() {
+        let _ = writeln!(out, "spans:");
+        for (path, st) in &m.spans {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10}  x{}",
+                path,
+                fmt_dur(st.total),
+                st.count
+            );
+        }
+    }
+    out
+}
+
+/// Aggregates an NDJSON trace journal into a Table-2-style per-step
+/// table plus an assignment-outcome histogram.
+fn render_journal(events: &[PairEvent]) -> String {
+    use std::collections::BTreeMap;
+    // step -> (multi, single, unknown, micros)
+    let mut steps: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
+    let mut outcomes: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in events {
+        let entry = steps.entry(e.step.as_str()).or_default();
+        match e.class.as_str() {
+            "multi" => entry.0 += 1,
+            "single" => entry.1 += 1,
+            _ => entry.2 += 1,
+        }
+        entry.3 += e.micros;
+        for a in &e.assignments {
+            *outcomes.entry(a.outcome.as_str()).or_default() += 1;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "trace journal: {} pair events", events.len());
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "step", "multi", "single", "unknown", "time"
+    );
+    // Pipeline order first, then anything unexpected.
+    let known = ["structural", "random_sim", "implication", "atpg"];
+    let ordered = known
+        .iter()
+        .filter_map(|&k| steps.get_key_value(k))
+        .chain(steps.iter().filter(|(k, _)| !known.contains(k)));
+    let mut total = (0u64, 0u64, 0u64, 0u64);
+    for (step, &(m, s, u, us)) in ordered {
+        total = (total.0 + m, total.1 + s, total.2 + u, total.3 + us);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+            step,
+            m,
+            s,
+            u,
+            fmt_dur(Duration::from_micros(us))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "total",
+        total.0,
+        total.1,
+        total.2,
+        fmt_dur(Duration::from_micros(total.3))
+    );
+    if !outcomes.is_empty() {
+        let list: Vec<String> = outcomes.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "assignment outcomes: {}", list.join(" "));
+    }
+    out
+}
+
+/// Pretty-prints a saved JSON artifact: either a full [`McReport`] (as
+/// written by `--json`) or a bare [`MetricsSnapshot`].
+fn render_saved_report(path: &str, text: &str) -> Result<String, String> {
+    if let Ok(report) = serde_json::from_str::<McReport>(text) {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: saved report with {} pairs",
+            report.circuit,
+            report.pairs.len()
+        );
+        out.push_str(&render_step_table(&report.stats));
+        out.push('\n');
+        out.push_str(&render_snapshot(&report.metrics));
+        Ok(out)
+    } else if let Ok(snap) = serde_json::from_str::<MetricsSnapshot>(text) {
+        Ok(render_snapshot(&snap))
+    } else {
+        Err(format!(
+            "`{path}` is neither a saved analyze report nor a metrics snapshot"
+        ))
+    }
 }
 
 const GLITCH_TRIALS: usize = 512;
@@ -593,11 +855,7 @@ fn hunt_glitch(
             let initial: Vec<bool> = nl.nodes().map(|(id, _)| dsim.value(id)).collect();
             let report = dsim.edge(&pis1, &ffs1);
             if report.glitched(dst) {
-                return Some((
-                    initial,
-                    report.events().to_vec(),
-                    report.transitions(dst),
-                ));
+                return Some((initial, report.events().to_vec(), report.transitions(dst)));
             }
         }
     }
@@ -665,8 +923,7 @@ mod tests {
         let out = run(&cmd).expect("hazard");
         assert!(out.contains("Sensitization"), "{out}");
 
-        let cmd =
-            parse_args(argv(&format!("kcycle {} --max-k 4", path.display()))).expect("parse");
+        let cmd = parse_args(argv(&format!("kcycle {} --max-k 4", path.display()))).expect("parse");
         let out = run(&cmd).expect("kcycle");
         assert!(out.contains("cycles"), "{out}");
 
@@ -723,6 +980,59 @@ mod tests {
             vcd.display()
         )))
         .expect("parse");
+        assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse_args(argv(
+            "analyze foo.bench --metrics --trace-out t.ndjson --progress",
+        ))
+        .expect("parse");
+        assert!(cmd.metrics);
+        assert_eq!(cmd.trace_out.as_deref(), Some("t.ndjson"));
+        assert!(cmd.progress);
+        assert!(parse_args(argv("analyze f.bench --trace-out")).is_err());
+    }
+
+    #[test]
+    fn metrics_trace_and_stats_round_trip() {
+        let dir = std::env::temp_dir().join("mcpath-cli-test3");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let bench_path = dir.join("m27.bench");
+        let text = run(&parse_args(argv("gen m27")).expect("parse")).expect("gen");
+        std::fs::write(&bench_path, text).expect("write");
+        let json = dir.join("report.json");
+        let trace = dir.join("trace.ndjson");
+
+        let cmd = parse_args(argv(&format!(
+            "analyze {} --metrics --json {} --trace-out {} --quiet",
+            bench_path.display(),
+            json.display(),
+            trace.display()
+        )))
+        .expect("parse");
+        let out = run(&cmd).expect("analyze");
+        assert!(out.contains("engine counters:"), "{out}");
+        assert!(out.contains("implications"), "{out}");
+        assert!(out.contains("per-step resolution"), "{out}");
+
+        // `stats` on the NDJSON journal aggregates the per-pair events.
+        let cmd = parse_args(argv(&format!("stats {}", trace.display()))).expect("parse");
+        let out = run(&cmd).expect("stats journal");
+        assert!(out.contains("trace journal:"), "{out}");
+        assert!(out.contains("total"), "{out}");
+
+        // `stats` on the saved JSON report prints the same tables.
+        let cmd = parse_args(argv(&format!("stats {}", json.display()))).expect("parse");
+        let out = run(&cmd).expect("stats report");
+        assert!(out.contains("saved report"), "{out}");
+        assert!(out.contains("engine counters:"), "{out}");
+
+        // A JSON file that is neither is a clean error.
+        let bogus = dir.join("bogus.json");
+        std::fs::write(&bogus, "[1, 2, 3]").expect("write");
+        let cmd = parse_args(argv(&format!("stats {}", bogus.display()))).expect("parse");
         assert!(run(&cmd).is_err());
     }
 

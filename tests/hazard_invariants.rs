@@ -22,8 +22,7 @@ fn cosensitization_demotes_a_superset_of_sensitization() {
     // Every statically sensitizable path is statically co-sensitizable, so
     // the co-sensitization check must flag every pair the sensitization
     // check flags (the paper's Table 3 ordering).
-    let mut circuits: Vec<mcpath::netlist::Netlist> =
-        vec![circuits::fig1(), circuits::fig3()];
+    let mut circuits: Vec<mcpath::netlist::Netlist> = vec![circuits::fig1(), circuits::fig3()];
     circuits.extend(suite::quick_suite());
     for nl in &circuits {
         let report = analyze(nl, &McConfig::default()).expect("analyze");
@@ -109,5 +108,8 @@ fn demotion_rates_are_ordered_on_the_suite() {
         sens_kept * 2 > before,
         "sensitization should keep a majority: {sens_kept}/{before}"
     );
-    assert!(cosens_kept > 0, "pinned chains must survive co-sensitization");
+    assert!(
+        cosens_kept > 0,
+        "pinned chains must survive co-sensitization"
+    );
 }

@@ -125,11 +125,8 @@ fn larger_budgets_only_shrink_the_multicycle_set() {
 #[test]
 fn self_hold_pairs_are_k_cycle_for_every_k() {
     // A register that only ever holds is k-cycle for any budget.
-    let nl = mcpath::netlist::bench::parse(
-        "hold",
-        "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUFF(q)",
-    )
-    .expect("parse");
+    let nl = mcpath::netlist::bench::parse("hold", "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUFF(q)")
+        .expect("parse");
     for k in 2..=6u32 {
         let r = analyze(
             &nl,

@@ -46,7 +46,14 @@ fn section_4_2_step2_five_survivors() {
     let dropped: Vec<(usize, usize)> = report
         .pairs
         .iter()
-        .filter(|p| matches!(p.class, PairClass::SingleCycle { by: Step::RandomSim }))
+        .filter(|p| {
+            matches!(
+                p.class,
+                PairClass::SingleCycle {
+                    by: Step::RandomSim
+                }
+            )
+        })
         .map(|p| (p.src, p.dst))
         .collect();
     assert_eq!(

@@ -1,0 +1,780 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the workspace's property tests use:
+//! generate-only strategies (no shrinking), the `proptest!` runner macro,
+//! `prop_assert*`/`prop_assume!`, `prop_oneof!`, `any::<T>()`, integer
+//! ranges and tuples as strategies, `collection::vec`, `prop_map`,
+//! `prop_recursive`, and string-literal strategies interpreted as a small
+//! regex dialect (char classes, groups with alternation, `{m,n}`/`?`/`*`
+//! /`+` quantifiers, and `\PC` for "any non-control char").
+//!
+//! Case generation is deterministic: every test function replays the same
+//! fixed seed sequence, so failures reproduce without a persistence file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking —
+    /// `gen_value` draws one concrete value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Erases the concrete strategy type behind an `Rc`.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.gen_value(rng)))
+        }
+
+        /// Builds recursive values: `self` generates leaves and `expand`
+        /// wraps an inner strategy into one more layer. `depth` bounds the
+        /// nesting; the size/branch hints of real proptest are accepted
+        /// but unused.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = expand(strat).boxed();
+                let shallow = leaf.clone();
+                strat = BoxedStrategy(Rc::new(move |rng: &mut StdRng| {
+                    use rand::Rng;
+                    // Bias toward expansion so trees actually get deep,
+                    // but keep a leaf chance at every level.
+                    if rng.random_range(0u32..4) == 0 {
+                        shallow.gen_value(rng)
+                    } else {
+                        deeper.gen_value(rng)
+                    }
+                }));
+            }
+            strat
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.gen_value(rng))
+        }
+    }
+
+    /// A reference-counted, clonable, type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Picks one of the given strategies uniformly per generated value.
+    /// Backs the `prop_oneof!` macro.
+    pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng: &mut StdRng| {
+            use rand::Rng;
+            let k = rng.random_range(0..options.len());
+            options[k].gen_value(rng)
+        }))
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::SampleUniform + PartialOrd,
+    {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: rand::SampleUniform + PartialOrd,
+    {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.random_range(*self.start()..=*self.end())
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn gen_value(&self, rng: &mut StdRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+),)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    }
+}
+
+/// `any::<T>()` — full-range generation for primitive types.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl<T: rand::Standard> Arbitrary for T {
+        fn arbitrary(rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.random()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (full range for integers/bools).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        vec_strategy(element, len)
+    }
+
+    fn vec_strategy<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range for collection::vec");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.random_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration and per-case error plumbing.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's config: only the case count matters here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*` failed; the test fails.
+        Fail(String),
+    }
+
+    /// Drives the cases of one `proptest!` function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        case: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config, case: 0 }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Deterministic per-case generator: case `k` always sees the
+        /// same stream, so failures reproduce run over run.
+        pub fn next_rng(&mut self) -> StdRng {
+            let k = self.case;
+            self.case += 1;
+            StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(k ^ 0x0a0b_0c0d))
+        }
+    }
+}
+
+/// String generation from a small regex dialect.
+pub mod string {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    struct Piece {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        NonControl,
+        Alt(Vec<Vec<Piece>>),
+    }
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// Panics on syntax outside the supported dialect — patterns are
+    /// authored in-tree, so that is a programming error, not input error.
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alts = parse_alternation(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex `{pattern}`: trailing `{}`",
+            chars[pos]
+        );
+        let mut out = String::new();
+        emit_alt(&alts, rng, &mut out);
+        out
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize, pat: &str) -> Vec<Vec<Piece>> {
+        let mut alts = vec![parse_sequence(chars, pos, pat)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_sequence(chars, pos, pat));
+        }
+        alts
+    }
+
+    fn parse_sequence(chars: &[char], pos: &mut usize, pat: &str) -> Vec<Piece> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let node = parse_atom(chars, pos, pat);
+            let (min, max) = parse_quantifier(chars, pos, pat);
+            seq.push(Piece { node, min, max });
+        }
+        seq
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize, pat: &str) -> Node {
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            '\\' => {
+                let e = chars[*pos];
+                *pos += 1;
+                match e {
+                    'P' => {
+                        // `\PC`: any char not in Unicode category C.
+                        assert!(
+                            chars.get(*pos) == Some(&'C'),
+                            "unsupported escape \\P in `{pat}`"
+                        );
+                        *pos += 1;
+                        Node::NonControl
+                    }
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Node::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+                    other => Node::Lit(other),
+                }
+            }
+            '[' => Node::Class(parse_class(chars, pos, pat)),
+            '(' => {
+                let alts = parse_alternation(chars, pos, pat);
+                assert!(chars.get(*pos) == Some(&')'), "unclosed group in `{pat}`");
+                *pos += 1;
+                Node::Alt(alts)
+            }
+            '.' => Node::NonControl,
+            other => Node::Lit(other),
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("unclosed class in `{pat}`"));
+            *pos += 1;
+            if c == ']' {
+                assert!(!ranges.is_empty(), "empty class in `{pat}`");
+                return ranges;
+            }
+            let lo = if c == '\\' {
+                let e = chars[*pos];
+                *pos += 1;
+                e
+            } else {
+                c
+            };
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                *pos += 1;
+                let hi = chars[*pos];
+                *pos += 1;
+                assert!(lo <= hi, "inverted range in `{pat}`");
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, pat: &str) -> (u32, u32) {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                *pos += 1;
+                let min = parse_number(chars, pos, pat);
+                let max = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    parse_number(chars, pos, pat)
+                } else {
+                    min
+                };
+                assert!(
+                    chars.get(*pos) == Some(&'}'),
+                    "malformed repetition in `{pat}`"
+                );
+                *pos += 1;
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize, pat: &str) -> u32 {
+        let start = *pos;
+        while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        assert!(*pos > start, "expected number in repetition of `{pat}`");
+        chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    fn emit_alt(alts: &[Vec<Piece>], rng: &mut StdRng, out: &mut String) {
+        let seq = &alts[rng.random_range(0..alts.len())];
+        for piece in seq {
+            let n = rng.random_range(piece.min..=piece.max);
+            for _ in 0..n {
+                emit_node(&piece.node, rng, out);
+            }
+        }
+    }
+
+    fn emit_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut k = rng.random_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if k < span {
+                        out.push(char::from_u32(lo as u32 + k).expect("class char"));
+                        return;
+                    }
+                    k -= span;
+                }
+                unreachable!("class sampling out of bounds")
+            }
+            Node::NonControl => out.push(sample_non_control(rng)),
+            Node::Alt(alts) => emit_alt(alts, rng, out),
+        }
+    }
+
+    /// Mostly printable ASCII with an occasional multi-byte character, so
+    /// parser fuzzing sees UTF-8 boundaries too.
+    fn sample_non_control(rng: &mut StdRng) -> char {
+        const EXOTIC: [char; 8] = ['é', 'Ω', '中', '𝕏', '😀', '\u{a0}', 'ß', '・'];
+        if rng.random_range(0u32..12) == 0 {
+            EXOTIC[rng.random_range(0..EXOTIC.len())]
+        } else {
+            char::from_u32(rng.random_range(0x20u32..0x7f)).expect("printable ascii")
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?} == {:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            l,
+            r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?} != {:?}`", l, r);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property-test functions. Each `#[test]` fn body runs once per
+/// generated case; `prop_assert*` failures abort with a panic carrying
+/// the case's inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __pt_runner = $crate::test_runner::TestRunner::new($config);
+            let mut __pt_rejected: u32 = 0;
+            for __pt_case in 0..__pt_runner.cases() {
+                let mut __pt_rng = __pt_runner.next_rng();
+                $(let $pat = $crate::strategy::Strategy::gen_value(&$strategy, &mut __pt_rng);)+
+                let __pt_outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __pt_outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        __pt_rejected += 1;
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            __pt_case + 1,
+                            __pt_runner.cases(),
+                            msg
+                        );
+                    }
+                }
+            }
+            let _ = __pt_rejected;
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (0u64..10, 5usize..6, 0u32..=3);
+        for _ in 0..200 {
+            let (a, b, c) = s.gen_value(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+            assert!(c <= 3);
+        }
+    }
+
+    #[test]
+    fn regex_strings_match_their_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = "[A-Za-z][A-Za-z0-9]{0,4}".gen_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 5, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            let t = "INPUT\\([A-Za-z][A-Za-z0-9]{0,3}\\)".gen_value(&mut rng);
+            assert!(t.starts_with("INPUT(") && t.ends_with(')'), "{t:?}");
+            let u = "(AND|OR|NOT)".gen_value(&mut rng);
+            assert!(["AND", "OR", "NOT"].contains(&u.as_str()), "{u:?}");
+            let v = "\\PC{0,20}".gen_value(&mut rng);
+            assert!(
+                v.chars().count() <= 20 && !v.chars().any(char::is_control),
+                "{v:?}"
+            );
+            let w = "# [ -~]{0,20}".gen_value(&mut rng);
+            assert!(w.starts_with("# "), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u32..4).prop_map(T::Leaf);
+        let tree = leaf.prop_recursive(5, 64, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = tree.gen_value(&mut rng);
+            assert!(depth(&t) <= 6);
+            saw_node |= matches!(t, T::Node(..));
+        }
+        assert!(saw_node, "recursion never expanded");
+    }
+
+    #[test]
+    fn collection_vec_respects_length_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = crate::collection::vec(0u64..5, 0..12);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!(v.len() < 12);
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro machinery itself: patterns, assume, assert.
+        #[test]
+        fn macro_plumbing_works((a, b) in (0u64..100, 0u64..100), c in any::<u64>()) {
+            prop_assume!(a != b);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_ne!(a, b);
+            prop_assert_eq!(c, c, "c must equal itself: {}", c);
+            let picked = prop_oneof![Just(1u8), Just(2u8)];
+            let mut rng = StdRng::seed_from_u64(a);
+            let v = picked.gen_value(&mut rng);
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` content model. The item is parsed straight from the
+//! `proc_macro::TokenStream` (no `syn`/`quote` available offline): only the
+//! struct/enum name, field names, variant names, and `#[serde(skip)]`
+//! markers are needed — field *types* never are, because the generated code
+//! dispatches through the `Serialize`/`Deserialize` traits and lets
+//! inference do the rest.
+//!
+//! Supported shapes: structs with named fields, enums with unit and
+//! struct variants (serialized externally tagged, like real serde).
+//! Anything else — generics, tuple structs/variants, other `#[serde(...)]`
+//! attributes — is a `compile_error!` rather than a silent divergence.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` for a named struct or unit/struct-variant enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives `serde::Deserialize` for a named struct or unit/struct-variant enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for a struct variant.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Ser => gen_serialize(&item),
+            Mode::De => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("derive stand-in generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Default)]
+struct AttrInfo {
+    skip: bool,
+}
+
+/// Consumes leading `#[...]` attributes (including doc comments). Only
+/// `#[serde(skip)]` carries meaning; other `#[serde(...)]` forms error.
+fn parse_attrs(it: &mut Tokens) -> Result<AttrInfo, String> {
+    let mut info = AttrInfo::default();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                let group = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    _ => return Err("malformed attribute".to_owned()),
+                };
+                let mut inner = group.stream().into_iter();
+                let head = match inner.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => continue,
+                };
+                if head != "serde" {
+                    continue;
+                }
+                let args = match inner.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    _ => return Err("malformed #[serde(...)] attribute".to_owned()),
+                };
+                let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+                match arg_tokens.as_slice() {
+                    [TokenTree::Ident(id)] if id.to_string() == "skip" => info.skip = true,
+                    _ => {
+                        return Err(format!(
+                            "the vendored serde derive supports only #[serde(skip)], \
+                             not #[serde({})]",
+                            args.stream()
+                        ))
+                    }
+                }
+            }
+            _ => return Ok(info),
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!(
+            "expected {what}, found {}",
+            other.map_or_else(|| "end of input".to_owned(), |t| format!("`{t}`"))
+        )),
+    }
+}
+
+/// Skips a field's type: everything up to the next comma that is not
+/// nested inside generic angle brackets. `->` is recognized so the `>` of
+/// a return arrow does not unbalance the depth count.
+fn skip_type(it: &mut Tokens) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(tok) = it.peek() {
+        if let TokenTree::Punct(p) = tok {
+            let c = p.as_char();
+            match c {
+                ',' if depth == 0 => {
+                    it.next();
+                    return;
+                }
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                _ => {}
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        it.next();
+    }
+}
+
+fn parse_named_fields(group: Group) -> Result<Vec<Field>, String> {
+    let mut it = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let attrs = parse_attrs(&mut it)?;
+        skip_vis(&mut it);
+        let name = expect_ident(&mut it, "a field name")?;
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&mut it);
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: Group) -> Result<Vec<Variant>, String> {
+    let mut it = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        let attrs = parse_attrs(&mut it)?;
+        if attrs.skip {
+            return Err("#[serde(skip)] on enum variants is not supported".to_owned());
+        }
+        let name = expect_ident(&mut it, "a variant name")?;
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                it.next();
+                Some(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` is not supported by the vendored serde derive; \
+                     use a struct variant"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "explicit discriminant on variant `{name}` is not supported \
+                     by the vendored serde derive"
+                ));
+            }
+            _ => None,
+        };
+        match it.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => {
+                return Err(format!("unexpected token `{other}` after variant `{name}`"))
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    if parse_attrs(&mut it)?.skip {
+        return Err("#[serde(skip)] is a field attribute, not an item attribute".to_owned());
+    }
+    skip_vis(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`")?;
+    let name = expect_ident(&mut it, "the type name")?;
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+    let body_group = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => {
+            return Err(format!(
+                "the vendored serde derive supports only braced {kw} bodies \
+                 (no tuple or unit structs) for `{name}`"
+            ))
+        }
+    };
+    let body = match kw.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group)?),
+        "enum" => Body::Enum(parse_variants(body_group)?),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    Ok(Item { name, body })
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn push_entry(out: &mut String, key: &str, value_expr: &str) {
+    out.push_str(&format!(
+        "entries.push((::std::string::String::from({key:?}), \
+         ::serde::Serialize::to_content({value_expr})));\n"
+    ));
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                push_entry(&mut pushes, &f.name, &format!("&self.{}", f.name));
+            }
+            format!(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Content)> \
+                     = ::std::vec::Vec::new();\n\
+                 let _ = &mut entries;\n\
+                 {pushes}\
+                 ::serde::Content::Map(entries)"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Content::Str(::std::string::String::from({vname:?})),\n"
+                    )),
+                    Some(fields) => {
+                        let pattern: String = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _, ", f.name)
+                                } else {
+                                    format!("{}, ", f.name)
+                                }
+                            })
+                            .collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            push_entry(&mut pushes, &f.name, &f.name);
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pattern} }} => {{\n\
+                                 let mut entries: ::std::vec::Vec<(::std::string::String, \
+                                     ::serde::Content)> = ::std::vec::Vec::new();\n\
+                                 let _ = &mut entries;\n\
+                                 {pushes}\
+                                 ::serde::Content::Map(::std::vec![(\
+                                     ::std::string::String::from({vname:?}), \
+                                     ::serde::Content::Map(entries))])\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_field_inits(fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default(), ", f.name)
+            } else {
+                format!("{}: ::serde::field({map_var}, {:?})?, ", f.name, f.name)
+            }
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits = gen_field_inits(fields, "_m");
+            format!(
+                "let _m = c.as_map().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", {name:?}, c))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Some(fields) => {
+                        let inits = gen_field_inits(fields, "_f");
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                                 let _f = _inner.as_map().ok_or_else(|| \
+                                     ::serde::DeError::expected(\
+                                         \"object\", \"{name}::{vname}\", _inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match c {{\n\
+                     ::serde::Content::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\
+                                 \"unknown unit variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, _inner) = &m[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"variant string or single-entry object\", {name:?}, other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
