@@ -27,6 +27,7 @@ struct Row {
     mc_pairs_bdd: Option<usize>,
     cpu_bdd: Option<f64>,
     unknown_ours: usize,
+    lint_warnings: usize,
 }
 
 fn main() {
@@ -59,6 +60,7 @@ fn main() {
 
     for nl in &suite {
         let s = nl.stats();
+        let lint_warnings = args.lint_warnings(nl);
 
         let t = timers.span("ours");
         let ours = analyze(nl, &McConfig::default()).expect("analysis succeeds");
@@ -137,6 +139,7 @@ fn main() {
             mc_pairs_bdd: bdd.map(|(mc, _)| mc),
             cpu_bdd: bdd.map(|(_, dt)| dt.as_secs_f64()),
             unknown_ours: ours.stats.unknown,
+            lint_warnings,
         });
     }
 

@@ -26,6 +26,7 @@ struct Table2 {
     cpu_prepare: f64,
     cpu_pairs: f64,
     counters: Counters,
+    lint_warnings: usize,
 }
 
 fn main() {
@@ -43,6 +44,7 @@ fn main() {
         cpu_prepare: 0.0,
         cpu_pairs: 0.0,
         counters: Counters::default(),
+        lint_warnings: 0,
     };
     let mut t_sim = Duration::ZERO;
     let mut t_prepare = Duration::ZERO;
@@ -52,6 +54,7 @@ fn main() {
     let obs = ObsCtx::new();
 
     for nl in &suite {
+        agg.lint_warnings += args.lint_warnings(nl);
         let r = analyze_with(nl, &McConfig::default(), &obs).expect("analysis succeeds");
         agg.single_by_sim += r.stats.single_by_sim;
         agg.single_by_implication += r.stats.single_by_implication;

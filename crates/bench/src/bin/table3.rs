@@ -20,6 +20,7 @@ struct Table3 {
     cpu_sensitize: f64,
     mc_after_cosensitize: usize,
     cpu_cosensitize: f64,
+    lint_warnings: usize,
 }
 
 fn main() {
@@ -31,8 +32,10 @@ fn main() {
     let mut after_cosens = 0usize;
     let mut t_sens = Duration::ZERO;
     let mut t_cosens = Duration::ZERO;
+    let mut lint_warnings = 0usize;
 
     for nl in &suite {
+        lint_warnings += args.lint_warnings(nl);
         let report = analyze(nl, &McConfig::default()).expect("analysis succeeds");
         before += report.stats.multi_total();
 
@@ -84,6 +87,7 @@ fn main() {
         cpu_sensitize: t_sens.as_secs_f64(),
         mc_after_cosensitize: after_cosens,
         cpu_cosensitize: t_cosens.as_secs_f64(),
+        lint_warnings,
     };
     bench_artifact("table3", &rows);
     args.dump_json(&rows);

@@ -1,6 +1,6 @@
-//! Quantifies the paper's Section 3.1 remark: *"Note that while [8] takes
-//! into account reachable states, [9] and our method assume that all the
-//! states can be reachable. [8] may detect more multi-cycle paths than [9]
+//! Quantifies the paper's Section 3.1 remark: *"Note that while \[8\] takes
+//! into account reachable states, \[9\] and our method assume that all the
+//! states can be reachable. \[8\] may detect more multi-cycle paths than \[9\]
 //! and ours."*
 //!
 //! For the circuits small enough for the symbolic engine, this harness

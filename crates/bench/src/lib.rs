@@ -25,23 +25,27 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// Optional JSON dump path.
     pub json: Option<String>,
+    /// Lint every suite circuit before benchmarking it, failing the run
+    /// on error-level findings and propagating warning counts into the
+    /// bench artifact.
+    pub lint: bool,
 }
 
 impl HarnessArgs {
-    /// Parses `--quick` and `--json <path>` from `std::env::args`,
-    /// exiting with status 2 on unknown arguments (a typo must not
-    /// silently produce wrong-config numbers).
+    /// Parses `--quick`, `--lint` and `--json <path>` from
+    /// `std::env::args`, exiting with status 2 on unknown arguments (a
+    /// typo must not silently produce wrong-config numbers).
     pub fn parse() -> Self {
         match Self::try_parse(std::env::args().skip(1)) {
             Ok(out) => out,
             Err(e) => {
-                eprintln!("error: {e}\nusage: [--quick] [--json <path>]");
+                eprintln!("error: {e}\nusage: [--quick] [--lint] [--json <path>]");
                 std::process::exit(2);
             }
         }
     }
 
-    /// Parses an explicit argument list (testable core of [`parse`]).
+    /// Parses an explicit argument list (testable core of [`parse`](Self::parse)).
     ///
     /// # Errors
     ///
@@ -53,6 +57,7 @@ impl HarnessArgs {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
+                "--lint" => out.lint = true,
                 "--json" => {
                     out.json = Some(args.next().ok_or("`--json` needs a path")?);
                 }
@@ -60,6 +65,41 @@ impl HarnessArgs {
             }
         }
         Ok(out)
+    }
+
+    /// Runs the full `mcp-lint` rule set on a suite circuit when `--lint`
+    /// was given, and returns the number of warning-or-worse findings
+    /// (always 0 without `--lint`). Exits with status 1 on error-level
+    /// findings: a benchmark number measured on a corrupt netlist is
+    /// worse than no number.
+    pub fn lint_warnings(&self, nl: &Netlist) -> usize {
+        match self.lint_warnings_checked(nl) {
+            Ok(n) => n,
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Testable core of [`lint_warnings`](Self::lint_warnings).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered report when it contains error-level findings.
+    pub fn lint_warnings_checked(&self, nl: &Netlist) -> Result<usize, String> {
+        if !self.lint {
+            return Ok(0);
+        }
+        let report =
+            mcp_lint::Registry::with_default_rules().run(nl, &mcp_lint::LintConfig::default());
+        if report.has_errors() {
+            return Err(report.render_text(nl.name()));
+        }
+        Ok(report
+            .iter()
+            .filter(|d| d.severity >= mcp_lint::Severity::Warn)
+            .count())
     }
 
     /// The suite selected by the flags.
@@ -127,6 +167,18 @@ mod tests {
         assert_eq!(args.json.as_deref(), Some("out.json"));
         assert!(HarnessArgs::try_parse(argv("--qiuck")).is_err());
         assert!(HarnessArgs::try_parse(argv("--json")).is_err());
+    }
+
+    #[test]
+    fn lint_gate_is_quiet_on_the_suite_and_off_by_default() {
+        let nl = mcp_gen::suite::quick_suite().remove(0);
+        let off = HarnessArgs::default();
+        assert_eq!(off.lint_warnings_checked(&nl).expect("off"), 0);
+        let argv = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        let on = HarnessArgs::try_parse(argv("--lint")).expect("parse");
+        assert!(on.lint);
+        // The generated suite is lint-clean: no warnings, no errors.
+        assert_eq!(on.lint_warnings_checked(&nl).expect("clean"), 0);
     }
 
     #[test]

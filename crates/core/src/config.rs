@@ -50,6 +50,10 @@ pub struct McConfig {
     /// Analyze self pairs `(i, i)` (the paper reports them; the SAT
     /// baseline \[9\] excluded them).
     pub include_self_pairs: bool,
+    /// Run the error-level structural lints (`mcp-lint`) before the
+    /// engines and refuse corrupt netlists. Disable (`--no-lint`) only to
+    /// push a known-suspect netlist through anyway.
+    pub lint: bool,
     /// Worker threads for the pair loop (pairs are independent). `1` =
     /// sequential. The BDD engine is inherently sequential and ignores
     /// this.
@@ -67,6 +71,7 @@ impl Default for McConfig {
             static_learning: false,
             learn_budget: 8_000_000,
             include_self_pairs: true,
+            lint: true,
             threads: 1,
         }
     }
@@ -91,5 +96,6 @@ mod tests {
         assert_eq!(cfg.backtrack_limit, 50);
         assert_eq!(cfg.sim.idle_words, 128);
         assert!(cfg.include_self_pairs);
+        assert!(cfg.lint);
     }
 }

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Error produced by [`analyze`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnalyzeError {
     /// `cycles` must be at least 2 (a "1-cycle pair" is vacuous).
     InvalidCycles {
@@ -29,6 +29,14 @@ pub enum AnalyzeError {
         /// The rejected value.
         got: u32,
     },
+    /// The pre-flight lint pass found error-level structural defects
+    /// (combinational cycles, unconnected DFFs, ...). Engine verdicts on
+    /// such a netlist would be meaningless; fix the netlist or disable
+    /// the gate with [`McConfig::lint`]` = false`.
+    CorruptNetlist {
+        /// The error-level findings.
+        report: mcp_lint::Diagnostics,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -39,6 +47,18 @@ impl fmt::Display for AnalyzeError {
             }
             AnalyzeError::BddNeedsTwoCycles { got } => {
                 write!(f, "the BDD engine supports cycles = 2 only, got {got}")
+            }
+            AnalyzeError::CorruptNetlist { report } => {
+                write!(
+                    f,
+                    "netlist fails structural lint with {} error(s); \
+                     rerun with linting disabled to analyze anyway",
+                    report.len()
+                )?;
+                for d in report.iter() {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -82,6 +102,21 @@ pub fn analyze_with(
     if matches!(cfg.engine, Engine::Bdd { .. }) && cfg.cycles != 2 {
         return Err(AnalyzeError::BddNeedsTwoCycles { got: cfg.cycles });
     }
+    // Step 0: admission lint. Error-level findings (combinational cycles,
+    // unconnected or multi-driven DFFs, zero-width gates) void every
+    // assumption the engines make about the netlist, so refuse outright.
+    if cfg.lint {
+        let t_lint = obs.timers.span("analyze/lint");
+        let report = mcp_lint::Registry::with_default_rules().run_with_metrics(
+            netlist,
+            &mcp_lint::LintConfig::errors_only(),
+            Some(&obs.metrics),
+        );
+        t_lint.stop();
+        if report.has_errors() {
+            return Err(AnalyzeError::CorruptNetlist { report });
+        }
+    }
 
     let t_total = obs.timers.span("analyze");
     let mut stats = StepStats::default();
@@ -105,32 +140,30 @@ pub fn analyze_with(
         stats.time_sim = t_sim.stop();
         stats.sim_words = out.words_simulated;
         obs.metrics.sim_words.add(out.words_simulated);
-        obs.metrics.sim_pairs_dropped.add(out.dropped as u64);
-        let survivor_set: std::collections::HashSet<(usize, usize)> =
-            out.survivors.iter().copied().collect();
-        for &(i, j) in &candidates {
-            if !survivor_set.contains(&(i, j)) {
-                results.push(PairResult {
-                    src: i,
-                    dst: j,
-                    class: PairClass::SingleCycle {
-                        by: Step::RandomSim,
-                    },
+        obs.metrics.sim_pairs_dropped.add(out.dropped() as u64);
+        for d in &out.drops {
+            results.push(PairResult {
+                src: d.src,
+                dst: d.dst,
+                class: PairClass::SingleCycle {
+                    by: Step::RandomSim,
+                },
+            });
+            stats.single_by_sim += 1;
+            if obs.sink().enabled() {
+                // Simulation kills pairs in bulk; elapsed time is not
+                // attributable per pair (reported as 0), but the word
+                // whose lane witnessed the violation is.
+                obs.sink().record(&PairEvent {
+                    src: d.src,
+                    dst: d.dst,
+                    step: "random_sim".to_owned(),
+                    class: "single".to_owned(),
+                    engine: None,
+                    assignments: Vec::new(),
+                    micros: 0,
+                    sim_word: Some(d.word),
                 });
-                stats.single_by_sim += 1;
-                if obs.sink().enabled() {
-                    // Simulation kills pairs in bulk; elapsed time is not
-                    // attributable per pair, so it is reported as 0.
-                    obs.sink().record(&PairEvent {
-                        src: i,
-                        dst: j,
-                        step: "random_sim".to_owned(),
-                        class: "single".to_owned(),
-                        engine: None,
-                        assignments: Vec::new(),
-                        micros: 0,
-                    });
-                }
             }
         }
         out.survivors
@@ -360,6 +393,7 @@ fn verdict_event(
         engine: Some(engine.to_owned()),
         assignments,
         micros: elapsed.as_micros() as u64,
+        sim_word: None,
     }
 }
 
@@ -549,6 +583,51 @@ mod tests {
         .expect("analyze");
         assert!(report.pairs.iter().all(|p| p.src != p.dst));
         assert_eq!(report.stats.candidates, 7); // 9 minus (FF1,FF1),(FF2,FF2)
+    }
+
+    #[test]
+    fn corrupt_netlists_are_refused_unless_lint_is_off() {
+        use mcp_logic::GateKind;
+        use mcp_netlist::NetlistBuilder;
+        // g1 = AND(a, g2), g2 = NOT(g1): a combinational cycle that only
+        // `finish_unchecked` lets through.
+        let mut b = NetlistBuilder::new("cyclic");
+        let a = b.input("a");
+        let g1 = b.gate("g1", GateKind::And, [a, a]).unwrap();
+        let g2 = b.gate("g2", GateKind::Not, [g1]).unwrap();
+        b.rewire_fanin(g1, 1, g2).unwrap();
+        b.mark_output(g2);
+        let nl = b.finish_unchecked();
+
+        let err = analyze(&nl, &McConfig::default()).unwrap_err();
+        match &err {
+            AnalyzeError::CorruptNetlist { report } => {
+                assert!(report.iter().any(|d| d.rule == "comb-cycle"), "{report:?}");
+            }
+            other => panic!("expected CorruptNetlist, got {other:?}"),
+        }
+        assert!(err.to_string().contains("comb-cycle"));
+
+        // With the gate disabled the (FF-free) netlist analyzes trivially.
+        let report = analyze(
+            &nl,
+            &McConfig {
+                lint: false,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert!(report.pairs.is_empty());
+    }
+
+    #[test]
+    fn lint_gate_admits_clean_netlists_and_counts_rules() {
+        let nl = circuits::fig1();
+        let obs = mcp_obs::ObsCtx::new();
+        analyze_with(&nl, &McConfig::default(), &obs).expect("analyze");
+        let c = obs.snapshot().counters;
+        assert!(c.lint_rules_run > 0);
+        assert_eq!(c.lint_violations, 0);
     }
 
     #[test]

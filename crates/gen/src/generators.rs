@@ -26,12 +26,16 @@ fn push_counter(b: &mut NetlistBuilder, prefix: &str, n: usize) -> Vec<NodeId> {
                 .expect("arity"),
         };
         b.set_dff_input(bit, d).expect("dff");
-        carry = Some(match carry {
-            None => bit,
-            Some(c) => b
-                .gate(format!("{prefix}_CY{k}"), GateKind::And, [c, bit])
-                .expect("arity"),
-        });
+        if k + 1 < bits.len() {
+            // The carry into the last bit is the last one read; building
+            // the top carry would leave a floating gate.
+            carry = Some(match carry {
+                None => bit,
+                Some(c) => b
+                    .gate(format!("{prefix}_CY{k}"), GateKind::And, [c, bit])
+                    .expect("arity"),
+            });
+        }
     }
     bits
 }
@@ -424,6 +428,8 @@ pub fn composite(name: &str, cfg: &CompositeConfig) -> Netlist {
         GateKind::Not,
     ];
     let mut pool: Vec<NodeId> = all_regs.clone();
+    let mut glue: Vec<NodeId> = Vec::with_capacity(cfg.glue_gates);
+    let mut read: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
     for g in 0..cfg.glue_gates {
         if pool.is_empty() {
             break;
@@ -433,19 +439,29 @@ pub fn composite(name: &str, cfg: &CompositeConfig) -> Netlist {
         let ins: Vec<NodeId> = (0..arity)
             .map(|_| pool[rng.random_range(0..pool.len())])
             .collect();
+        read.extend(ins.iter().copied());
         let node = b
             .gate(format!("GL{g}"), kind, ins)
             .expect("glue gate arity");
         pool.push(node);
+        glue.push(node);
     }
     for r in 0..cfg.glue_regs {
         if pool.is_empty() {
             break;
         }
         let d = pool[rng.random_range(0..pool.len())];
+        read.insert(d);
         let q = b.dff(format!("GR{r}"));
         b.set_dff_input(q, d).expect("dff");
         b.mark_output(q);
+    }
+    // Glue gates the random picks never sampled would float; expose them
+    // as observation outputs so every generated circuit is lint-clean.
+    for g in glue {
+        if !read.contains(&g) {
+            b.mark_output(g);
+        }
     }
 
     b.finish().expect("generated composite is well-formed")

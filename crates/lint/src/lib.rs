@@ -1,0 +1,393 @@
+//! Rule-based static analysis of [`Netlist`]s, plus validation of the SDC
+//! constraints the pipeline emits.
+//!
+//! The multi-cycle analysis is only sound on well-formed circuits: a
+//! combinational cycle breaks the 2-frame expansion, an unconnected DFF
+//! has no next-state function, and a duplicated name makes `-from`/`-to`
+//! constraints ambiguous. Rather than trusting the input (and silently
+//! producing wrong answers), the pipeline runs this crate's Error-level
+//! rules first and refuses corrupt netlists with diagnostics.
+//!
+//! # Architecture
+//!
+//! * [`LintRule`] — one structural check over a [`Netlist`]; pushes
+//!   [`Diagnostic`]s.
+//! * [`Registry`] — the rule set; [`Registry::with_default_rules`] holds
+//!   the built-in rules, [`Registry::run`] applies them under a
+//!   [`LintConfig`] (per-rule enable/deny, severity floor).
+//! * [`Diagnostics`] — the report: renderable as text or JSON, with
+//!   severity roll-ups.
+//! * [`sdc`] — parses `set_multicycle_path` constraint text back and
+//!   cross-checks it against the netlist and the verified pair list.
+//!
+//! Netlists that went through `NetlistBuilder::finish` are already
+//! guaranteed free of the Error-level defects (the builder rejects them);
+//! the lint pass exists for netlists from other sources —
+//! `finish_unchecked`, deserializers, external tools — and for the
+//! Warn/Info hygiene rules the builder deliberately permits.
+//!
+//! ```
+//! use mcp_lint::{LintConfig, Registry, Severity};
+//! use mcp_netlist::NetlistBuilder;
+//! use mcp_logic::GateKind;
+//!
+//! let mut b = NetlistBuilder::new("demo");
+//! let a = b.input("a");
+//! let q = b.dff("q");
+//! let g = b.gate("g", GateKind::Not, [a]).unwrap();
+//! b.set_dff_input(q, g).unwrap();
+//! // note: q is never marked as an output — a dangling FF
+//! let nl = b.finish().unwrap();
+//!
+//! let report = Registry::with_default_rules().run(&nl, &LintConfig::default());
+//! assert!(report.iter().any(|d| d.rule == "dangling-ff"));
+//! assert_eq!(report.max_severity(), Some(Severity::Warn));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mcp_netlist::{Netlist, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub mod rules;
+pub mod sdc;
+
+pub use rules::default_rules;
+pub use sdc::{parse_sdc, validate_sdc, SdcConstraint};
+
+// ---------------------------------------------------------------------
+// Severity and diagnostics
+// ---------------------------------------------------------------------
+
+/// How bad a finding is.
+///
+/// Ordering is by badness: `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Noteworthy structure, no action needed (e.g. self-loop DFFs).
+    Info,
+    /// Suspicious but analyzable (e.g. dead logic, dangling FFs).
+    Warn,
+    /// The netlist is corrupt; analysis results would be meaningless.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule identifier (e.g. `comb-cycle`).
+    pub rule: String,
+    /// Severity after any [`LintConfig`] override.
+    pub severity: Severity,
+    /// Dense node indices the finding is anchored to (empty for
+    /// netlist-global or SDC-text findings). Convert back with
+    /// [`NodeId::from_index`].
+    pub nodes: Vec<usize>,
+    /// Human-readable explanation, with node names resolved.
+    pub message: String,
+    /// 1-based line in the validated SDC text, for [`sdc`] findings.
+    pub line: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic anchored to netlist nodes.
+    pub fn new(
+        rule: &str,
+        severity: Severity,
+        nodes: impl IntoIterator<Item = NodeId>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_owned(),
+            severity,
+            nodes: nodes.into_iter().map(NodeId::index).collect(),
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Builds a diagnostic anchored to a line of SDC text.
+    pub fn at_line(
+        rule: &str,
+        severity: Severity,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_owned(),
+            severity,
+            nodes: Vec::new(),
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.rule, self.message)?;
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        if !self.nodes.is_empty() {
+            write!(f, " (nodes:")?;
+            for n in &self.nodes {
+                write!(f, " n{n}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A lint report: the findings of one run, in rule registration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// All findings that survived the [`LintConfig`] filters.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// No findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Iterates over the findings.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` if any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// The worst severity present, or `None` for a clean report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends all findings of another report.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Renders the report as one line per finding plus a summary line.
+    pub fn render_text(&self, subject: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "{subject}: {} error(s), {} warning(s), {} note(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        out
+    }
+
+    /// Renders the report as machine-readable JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never — the report is always serializable.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("diagnostics serialize")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules and registry
+// ---------------------------------------------------------------------
+
+/// One structural check over a [`Netlist`].
+///
+/// Rules must be pure: no ordering dependencies between rules, and a rule
+/// must behave identically whether run alone or with the full registry.
+/// A rule pushes findings at its [`default_severity`](Self::default_severity);
+/// the registry applies [`LintConfig`] overrides afterwards.
+pub trait LintRule {
+    /// Stable kebab-case identifier, used in config and output.
+    fn id(&self) -> &'static str;
+
+    /// Severity of this rule's findings unless overridden.
+    fn default_severity(&self) -> Severity;
+
+    /// One-line description of what the rule checks.
+    fn description(&self) -> &'static str;
+
+    /// Runs the check, pushing one [`Diagnostic`] per finding.
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>);
+}
+
+/// Per-run lint configuration: which rules run and how their findings are
+/// classified.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Rule ids that do not run at all.
+    pub disabled: BTreeSet<String>,
+    /// Rule id → severity replacing the rule's default (a `deny` list is
+    /// a set of overrides to [`Severity::Error`]).
+    pub severity_overrides: BTreeMap<String, Severity>,
+    /// Findings strictly below this severity are dropped from the report.
+    /// `None` keeps everything.
+    pub min_severity: Option<Severity>,
+}
+
+impl LintConfig {
+    /// Keeps only [`Severity::Error`] findings — the pipeline's admission
+    /// check: hygiene warnings must not block analysis.
+    pub fn errors_only() -> LintConfig {
+        LintConfig {
+            min_severity: Some(Severity::Error),
+            ..LintConfig::default()
+        }
+    }
+
+    /// Disables a rule.
+    pub fn disable(mut self, rule: &str) -> LintConfig {
+        self.disabled.insert(rule.to_owned());
+        self
+    }
+
+    /// Escalates a rule's findings to [`Severity::Error`].
+    pub fn deny(mut self, rule: &str) -> LintConfig {
+        self.severity_overrides
+            .insert(rule.to_owned(), Severity::Error);
+        self
+    }
+
+    /// Overrides a rule's severity.
+    pub fn set_severity(mut self, rule: &str, severity: Severity) -> LintConfig {
+        self.severity_overrides.insert(rule.to_owned(), severity);
+        self
+    }
+}
+
+/// The set of lint rules to run.
+pub struct Registry {
+    rules: Vec<Box<dyn LintRule>>,
+}
+
+impl Registry {
+    /// A registry with no rules; populate with [`register`](Self::register).
+    pub fn empty() -> Registry {
+        Registry { rules: Vec::new() }
+    }
+
+    /// The built-in rule set (see [`rules`] for the list).
+    pub fn with_default_rules() -> Registry {
+        let mut r = Registry::empty();
+        for rule in rules::default_rules() {
+            r.register(rule);
+        }
+        r
+    }
+
+    /// Adds a rule. Rule ids must be unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule with the same id is already registered.
+    pub fn register(&mut self, rule: Box<dyn LintRule>) {
+        assert!(
+            self.rules.iter().all(|r| r.id() != rule.id()),
+            "duplicate lint rule id `{}`",
+            rule.id()
+        );
+        self.rules.push(rule);
+    }
+
+    /// The registered rules, in registration order.
+    pub fn rules(&self) -> impl Iterator<Item = &dyn LintRule> {
+        self.rules.iter().map(|r| r.as_ref())
+    }
+
+    /// Runs every enabled rule and collects the surviving findings.
+    pub fn run(&self, netlist: &Netlist, cfg: &LintConfig) -> Diagnostics {
+        self.run_with_metrics(netlist, cfg, None)
+    }
+
+    /// [`run`](Self::run), additionally bumping the `lint_rules_run` /
+    /// `lint_violations` counters of an observability context.
+    pub fn run_with_metrics(
+        &self,
+        netlist: &Netlist,
+        cfg: &LintConfig,
+        metrics: Option<&mcp_obs::Metrics>,
+    ) -> Diagnostics {
+        let mut report = Diagnostics::default();
+        for rule in &self.rules {
+            if cfg.disabled.contains(rule.id()) {
+                continue;
+            }
+            if let Some(m) = metrics {
+                m.lint_rules_run.add(1);
+            }
+            let severity = cfg
+                .severity_overrides
+                .get(rule.id())
+                .copied()
+                .unwrap_or_else(|| rule.default_severity());
+            let mut found = Vec::new();
+            rule.check(netlist, &mut found);
+            for mut d in found {
+                d.severity = severity;
+                if cfg.min_severity.is_some_and(|min| d.severity < min) {
+                    continue;
+                }
+                if let Some(m) = metrics {
+                    m.lint_violations.add(1);
+                }
+                report.push(d);
+            }
+        }
+        report
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field(
+                "rules",
+                &self.rules.iter().map(|r| r.id()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}

@@ -1,0 +1,569 @@
+//! The built-in lint rules.
+//!
+//! | id | severity | finding |
+//! |----|----------|---------|
+//! | `comb-cycle` | Error | combinational cycle (SCC over the gate graph) |
+//! | `zero-width-gate` | Error | gate with an empty fanin list |
+//! | `unconnected-dff` | Error | DFF whose D input was never connected |
+//! | `multi-driven-dff` | Error | DFF with more than one D driver |
+//! | `duplicate-name` | Error | two nodes sharing one name |
+//! | `floating-net` | Warn | gate that nothing reads and no output marks |
+//! | `unreachable-logic` | Warn | gates with no path to any FF or output |
+//! | `constant-dff` | Warn | DFF fed by a provably constant D input |
+//! | `dangling-ff` | Warn | DFF that nothing reads and no output marks |
+//! | `const-foldable` | Info | gates computing a provable constant |
+//! | `self-loop-dff` | Info | FF structurally feeding its own D input |
+//!
+//! The Error rules are exactly the defects `NetlistBuilder::finish`
+//! rejects: they can only occur in netlists from `finish_unchecked` or
+//! external deserializers, and they make analysis results meaningless.
+//! The Warn rules flag hygiene problems that a [`sweep`] would remove.
+//! The Info rules mark structure the multi-cycle analysis treats
+//! specially (constant cones shrink, self-loops become `(i, i)` pairs in
+//! the frame expansion).
+//!
+//! [`sweep`]: mod@mcp_netlist::sweep
+
+use crate::{Diagnostic, LintRule, Severity};
+use mcp_logic::V3;
+use mcp_netlist::{Netlist, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// All built-in rules, Error rules first.
+pub fn default_rules() -> Vec<Box<dyn LintRule>> {
+    vec![
+        Box::new(CombCycle),
+        Box::new(ZeroWidthGate),
+        Box::new(UnconnectedDff),
+        Box::new(MultiDrivenDff),
+        Box::new(DuplicateName),
+        Box::new(FloatingNet),
+        Box::new(UnreachableLogic),
+        Box::new(ConstantDff),
+        Box::new(DanglingFf),
+        Box::new(ConstFoldable),
+        Box::new(SelfLoopDff),
+    ]
+}
+
+/// Formats up to `cap` node names for a message, eliding the rest.
+fn name_list(netlist: &Netlist, nodes: &[NodeId], cap: usize) -> String {
+    let mut names: Vec<&str> = nodes
+        .iter()
+        .take(cap)
+        .map(|&id| netlist.node(id).name())
+        .collect();
+    if nodes.len() > cap {
+        names.push("...");
+    }
+    names.join(", ")
+}
+
+// ---------------------------------------------------------------------
+// Error rules
+// ---------------------------------------------------------------------
+
+/// `comb-cycle`: a cycle through combinational gates only.
+///
+/// The 2-frame expansion and every engine assume the combinational part
+/// is a DAG; a gate loop makes "the value of the cone" ill-defined.
+/// Detected as strongly connected components of the gate-to-gate fanin
+/// graph (Tarjan, iterative); each cyclic SCC yields one diagnostic.
+pub struct CombCycle;
+
+impl LintRule for CombCycle {
+    fn id(&self) -> &'static str {
+        "comb-cycle"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "combinational cycle in the gate graph"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for mut scc in cyclic_gate_sccs(netlist) {
+            scc.sort_unstable();
+            let msg = format!(
+                "combinational cycle through {} gate(s): {}",
+                scc.len(),
+                name_list(netlist, &scc, 8)
+            );
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                scc,
+                msg,
+            ));
+        }
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative) over the gate-only subgraph, with
+/// edges gate → gate-fanin. Returns the components that actually contain
+/// a cycle: more than one node, or a single gate reading itself.
+fn cyclic_gate_sccs(netlist: &Netlist) -> Vec<Vec<NodeId>> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = netlist.num_nodes();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS state: (node, next fanin position to visit).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+
+    for (root, node) in netlist.nodes() {
+        if !node.kind().is_gate() || index[root.index()] != UNVISITED {
+            continue;
+        }
+        work.push((root.index(), 0));
+        while let Some(&mut (v, ref mut fi)) = work.last_mut() {
+            if *fi == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let fanins = netlist.node(NodeId::from_index(v)).fanins();
+            let mut descended = false;
+            while *fi < fanins.len() {
+                let w = fanins[*fi].index();
+                *fi += 1;
+                if !netlist.node(NodeId::from_index(w)).kind().is_gate() {
+                    continue;
+                }
+                if index[w] == UNVISITED {
+                    work.push((w, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v is finished: pop, close its SCC if it is a root, and
+            // propagate its lowlink to the parent.
+            work.pop();
+            if lowlink[v] == index[v] {
+                let mut comp: Vec<NodeId> = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack non-empty");
+                    on_stack[w] = false;
+                    comp.push(NodeId::from_index(w));
+                    if w == v {
+                        break;
+                    }
+                }
+                let self_loop = comp.len() == 1 && {
+                    let id = comp[0];
+                    netlist.node(id).fanins().contains(&id)
+                };
+                if comp.len() > 1 || self_loop {
+                    sccs.push(comp);
+                }
+            }
+            if let Some(&mut (p, _)) = work.last_mut() {
+                lowlink[p] = lowlink[p].min(lowlink[v]);
+            }
+        }
+    }
+    sccs
+}
+
+/// `zero-width-gate`: a combinational gate with no fanins computes
+/// nothing; every evaluator in the workspace would panic or guess.
+pub struct ZeroWidthGate;
+
+impl LintRule for ZeroWidthGate {
+    fn id(&self) -> &'static str {
+        "zero-width-gate"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "gate with an empty fanin list"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for (id, node) in netlist.nodes() {
+            if node.kind().is_gate() && node.fanins().is_empty() {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    self.default_severity(),
+                    [id],
+                    format!("gate `{}` has no fanins", node.name()),
+                ));
+            }
+        }
+    }
+}
+
+/// `unconnected-dff`: a DFF whose D input was never connected has no
+/// next-state function — `Netlist::ff_d_input` would panic on it.
+pub struct UnconnectedDff;
+
+impl LintRule for UnconnectedDff {
+    fn id(&self) -> &'static str {
+        "unconnected-dff"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "DFF whose D input was never connected"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for (id, node) in netlist.nodes() {
+            if node.kind().is_dff() && node.fanins().is_empty() {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    self.default_severity(),
+                    [id],
+                    format!("DFF `{}` has no D input", node.name()),
+                ));
+            }
+        }
+    }
+}
+
+/// `multi-driven-dff`: a DFF with more than one fanin is multiply
+/// driven; the model defines exactly one D driver per FF.
+pub struct MultiDrivenDff;
+
+impl LintRule for MultiDrivenDff {
+    fn id(&self) -> &'static str {
+        "multi-driven-dff"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "DFF with more than one D driver"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for (id, node) in netlist.nodes() {
+            if node.kind().is_dff() && node.fanins().len() > 1 {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    self.default_severity(),
+                    [id],
+                    format!(
+                        "DFF `{}` has {} D drivers",
+                        node.name(),
+                        node.fanins().len()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `duplicate-name`: two nodes with one name make name-based lookups
+/// (`find_node`, SDC `-from`/`-to` cells) ambiguous.
+pub struct DuplicateName;
+
+impl LintRule for DuplicateName {
+    fn id(&self) -> &'static str {
+        "duplicate-name"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "two nodes sharing one name"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        for (id, node) in netlist.nodes() {
+            by_name.entry(node.name()).or_default().push(id);
+        }
+        let mut dups: Vec<(&str, Vec<NodeId>)> = by_name
+            .into_iter()
+            .filter(|(_, ids)| ids.len() > 1)
+            .collect();
+        dups.sort_unstable_by_key(|(_, ids)| ids[0]);
+        for (name, ids) in dups {
+            let msg = format!("{} nodes named `{}`", ids.len(), name);
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                ids,
+                msg,
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Warn rules
+// ---------------------------------------------------------------------
+
+/// `floating-net`: a gate nothing reads and no output marks drives
+/// nothing observable — usually a netlist extraction bug.
+pub struct FloatingNet;
+
+impl LintRule for FloatingNet {
+    fn id(&self) -> &'static str {
+        "floating-net"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "gate with no readers that is not a primary output"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for (id, node) in netlist.nodes() {
+            if node.kind().is_gate()
+                && netlist.fanouts(id).is_empty()
+                && !netlist.outputs().contains(&id)
+            {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    self.default_severity(),
+                    [id],
+                    format!("gate `{}` drives nothing", node.name()),
+                ));
+            }
+        }
+    }
+}
+
+/// `unreachable-logic`: gates outside every observable cone (backward
+/// from primary outputs and FF D inputs). They cost analysis time and
+/// usually indicate an incomplete extraction; `sweep` would drop them.
+pub struct UnreachableLogic;
+
+impl LintRule for UnreachableLogic {
+    fn id(&self) -> &'static str {
+        "unreachable-logic"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "gates with no path to any output or FF"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        let mut live = vec![false; netlist.num_nodes()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mark = |id: NodeId, live: &mut Vec<bool>, stack: &mut Vec<NodeId>| {
+            if !live[id.index()] {
+                live[id.index()] = true;
+                stack.push(id);
+            }
+        };
+        for &po in netlist.outputs() {
+            mark(po, &mut live, &mut stack);
+        }
+        for &ff in netlist.dffs() {
+            // Unconnected DFFs (their own Error) simply seed nothing.
+            for &d in netlist.node(ff).fanins() {
+                mark(d, &mut live, &mut stack);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            if netlist.node(n).kind().is_gate() {
+                for &f in netlist.node(n).fanins() {
+                    mark(f, &mut live, &mut stack);
+                }
+            }
+        }
+        let dead: Vec<NodeId> = netlist
+            .nodes()
+            .filter(|(id, node)| node.kind().is_gate() && !live[id.index()])
+            .map(|(id, _)| id)
+            .collect();
+        if !dead.is_empty() {
+            let msg = format!(
+                "{} gate(s) unreachable from any output or FF: {}",
+                dead.len(),
+                name_list(netlist, &dead, 8)
+            );
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                dead,
+                msg,
+            ));
+        }
+    }
+}
+
+/// `constant-dff`: a DFF fed a provably constant D value settles after
+/// one clock and never transitions again — its FF pairs are trivially
+/// multi-cycle for the wrong reason (dead source), which usually means a
+/// tied-off mode pin rather than a real register.
+pub struct ConstantDff;
+
+impl LintRule for ConstantDff {
+    fn id(&self) -> &'static str {
+        "constant-dff"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "DFF whose D input is a provable constant"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        let values = const_values(netlist);
+        for (id, node) in netlist.nodes() {
+            if !node.kind().is_dff() || node.fanins().len() != 1 {
+                continue;
+            }
+            let d = node.fanins()[0];
+            if let Some(v) = values[d.index()].to_bool() {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    self.default_severity(),
+                    [id],
+                    format!(
+                        "DFF `{}` is fed constant {} by `{}`",
+                        node.name(),
+                        u8::from(v),
+                        netlist.node(d).name()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `dangling-ff`: a DFF nothing reads and no output marks; its state is
+/// unobservable, so every pair ending in it is wasted analysis work.
+pub struct DanglingFf;
+
+impl LintRule for DanglingFf {
+    fn id(&self) -> &'static str {
+        "dangling-ff"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "DFF with no readers that is not a primary output"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for (id, node) in netlist.nodes() {
+            if node.kind().is_dff()
+                && netlist.fanouts(id).is_empty()
+                && !netlist.outputs().contains(&id)
+            {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    self.default_severity(),
+                    [id],
+                    format!("DFF `{}` is never read", node.name()),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Info rules
+// ---------------------------------------------------------------------
+
+/// `const-foldable`: gates whose output is a provable constant under
+/// ternary propagation from `CONST` drivers. One aggregate finding —
+/// cross-checked against `sweep`'s `folded_constant` in tests.
+pub struct ConstFoldable;
+
+impl LintRule for ConstFoldable {
+    fn id(&self) -> &'static str {
+        "const-foldable"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn description(&self) -> &'static str {
+        "gates computing a provable constant"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        let values = const_values(netlist);
+        let foldable: Vec<NodeId> = netlist
+            .nodes()
+            .filter(|(id, node)| node.kind().is_gate() && values[id.index()].is_definite())
+            .map(|(id, _)| id)
+            .collect();
+        if !foldable.is_empty() {
+            let msg = format!(
+                "{} gate(s) fold to constants: {}",
+                foldable.len(),
+                name_list(netlist, &foldable, 8)
+            );
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                foldable,
+                msg,
+            ));
+        }
+    }
+}
+
+/// `self-loop-dff`: an FF in its own D cone becomes a self pair `(i, i)`
+/// in the frame expansion — legitimate for hold multiplexers, but worth
+/// surfacing because such pairs dominate `include_self_pairs` runs.
+pub struct SelfLoopDff;
+
+impl LintRule for SelfLoopDff {
+    fn id(&self) -> &'static str {
+        "self-loop-dff"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn description(&self) -> &'static str {
+        "FF structurally feeding its own D input"
+    }
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for (j, &ff) in netlist.dffs().iter().enumerate() {
+            if netlist.node(ff).fanins().len() != 1 {
+                continue; // unconnected/multi-driven: their own Error rules
+            }
+            let (ff_sources, _) = netlist.cone_sources(netlist.node(ff).fanins()[0]);
+            if ff_sources.contains(&j) {
+                out.push(Diagnostic::new(
+                    self.id(),
+                    self.default_severity(),
+                    [ff],
+                    format!("DFF `{}` feeds its own D input", netlist.node(ff).name()),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// Ternary value of every node under constant propagation: `CONST`
+/// drivers are definite, inputs and FF outputs are `X`, gates evaluate
+/// over their fanins in topological order. Gates outside the topological
+/// order (only possible in cyclic, unchecked netlists) stay `X`.
+fn const_values(netlist: &Netlist) -> Vec<V3> {
+    let mut values = vec![V3::X; netlist.num_nodes()];
+    for (id, node) in netlist.nodes() {
+        if let NodeKind::Const(v) = node.kind() {
+            values[id.index()] = if v { V3::One } else { V3::Zero };
+        }
+    }
+    for &g in netlist.topo_gates() {
+        let node = netlist.node(g);
+        if node.fanins().is_empty() {
+            continue; // zero-width-gate's Error; value stays X
+        }
+        let kind = node.kind().gate_kind().expect("topo holds gates");
+        values[g.index()] = kind.eval_v3(node.fanins().iter().map(|f| values[f.index()]));
+    }
+    values
+}

@@ -1,0 +1,100 @@
+//! Property: every netlist the `mcp-gen` crate produces is lint-clean.
+//!
+//! The structured generators (paper figures, parameterized datapaths,
+//! pipelines, LFSRs, the benchmark suite) must produce **no finding at
+//! Warn or above** — Info findings are legitimate structure (e.g. the
+//! gated datapath's hold multiplexers self-loop by design). Random
+//! netlists may legitimately contain dead or floating logic (their gates
+//! are wired blind), so for them the property is the pipeline's own
+//! admission bar: no Error-level finding.
+
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_gen::{circuits, generators, suite};
+use mcp_lint::{Diagnostics, LintConfig, Registry, Severity};
+use mcp_netlist::Netlist;
+use proptest::prelude::*;
+
+fn lint(nl: &Netlist) -> Diagnostics {
+    Registry::with_default_rules().run(nl, &LintConfig::default())
+}
+
+/// Asserts no finding at or above `bar`.
+fn assert_below(nl: &Netlist, bar: Severity) {
+    let report = lint(nl);
+    let worst = report.max_severity();
+    assert!(
+        worst.is_none_or(|s| s < bar),
+        "`{}` is not lint-clean below {bar}: {}",
+        nl.name(),
+        report.render_text(nl.name())
+    );
+}
+
+#[test]
+fn paper_circuits_are_clean() {
+    assert_below(&circuits::fig1(), Severity::Warn);
+    assert_below(&circuits::fig3(), Severity::Warn);
+    assert_below(&circuits::fig4_fragment(), Severity::Warn);
+}
+
+#[test]
+fn structured_generators_are_clean() {
+    assert_below(&generators::pipeline(4, 3), Severity::Warn);
+    assert_below(&generators::lfsr(8, 3), Severity::Warn);
+    assert_below(
+        &generators::gated_datapath(&generators::DatapathConfig {
+            width: 3,
+            counter_bits: 2,
+            load_phase: 0,
+            capture_phase: 3,
+        }),
+        Severity::Warn,
+    );
+}
+
+#[test]
+fn benchmark_suites_are_clean() {
+    for nl in suite::standard_suite() {
+        assert_below(&nl, Severity::Warn);
+    }
+    for nl in suite::quick_suite() {
+        assert_below(&nl, Severity::Warn);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_netlists_pass_the_admission_bar(
+        seed in 0u64..100_000,
+        ffs in 1usize..6,
+        pis in 0usize..4,
+        gates in 1usize..40,
+        max_arity in 1usize..5,
+    ) {
+        let nl = random_netlist(seed, &RandomCircuitConfig { ffs, pis, gates, max_arity });
+        let report = Registry::with_default_rules().run(&nl, &LintConfig::errors_only());
+        prop_assert!(report.is_empty(), "{}", report.render_text(nl.name()));
+    }
+
+    #[test]
+    fn random_datapaths_are_clean(
+        width in 1usize..5,
+        counter_bits in 1usize..4,
+        phase in 0u64..8,
+    ) {
+        let capture_phase = phase % (1 << counter_bits);
+        let nl = generators::gated_datapath(&generators::DatapathConfig {
+            width,
+            counter_bits,
+            load_phase: 0,
+            capture_phase,
+        });
+        let report = lint(&nl);
+        prop_assert!(
+            report.max_severity().is_none_or(|s| s < Severity::Warn),
+            "{}", report.render_text(nl.name())
+        );
+    }
+}

@@ -271,6 +271,105 @@ pub fn parse(name: &str, src: &str) -> Result<Netlist, ParseBenchError> {
     Ok(b.finish()?)
 }
 
+/// Parses a `.bench` source **permissively**, deferring structural
+/// judgement to the `mcp-lint` rules.
+///
+/// Where [`parse`] rejects combinational cycles, unconnected flip-flops
+/// and duplicate definitions outright, this variant reconstructs the
+/// netlist exactly as written (via
+/// [`NetlistBuilder::raw_node`]/[`NetlistBuilder::finish_unchecked`]) so
+/// a linter can *report* the defects instead. Lexical errors and unknown
+/// gate keywords are still hard errors — there is no netlist to lint
+/// without a parse.
+///
+/// Permissive readings of otherwise-rejected input:
+///
+/// * cyclic gate definitions are wired as written (gates are assigned ids
+///   in textual order, so any gate may reference any other);
+/// * a duplicated signal name creates a second node; references resolve
+///   to the first definition;
+/// * a `DFF` whose data signal is undefined (or missing) stays
+///   unconnected;
+/// * an `OUTPUT` naming an undefined signal is dropped.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on syntax errors, unknown gate keywords,
+/// or gate fanins that no statement defines.
+pub fn parse_unchecked(name: &str, src: &str) -> Result<Netlist, ParseBenchError> {
+    let stmts = lex(src)?;
+    let mut b = NetlistBuilder::new(name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut dff_inputs: Vec<(NodeId, String)> = Vec::new();
+    let mut gate_defs: Vec<(usize, String, GateKind, Vec<String>)> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut created = 0usize;
+
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Input(sig) => {
+                let id = b.input(sig.clone());
+                created += 1;
+                ids.entry(sig.clone()).or_insert(id);
+            }
+            Stmt::Output(sig) => outputs.push(sig.clone()),
+            Stmt::Def { name, func, args } => {
+                let fu = func.to_ascii_uppercase();
+                if fu == "DFF" {
+                    let id = b.dff(name.clone());
+                    created += 1;
+                    ids.entry(name.clone()).or_insert(id);
+                    if let Some(d) = args.first() {
+                        dff_inputs.push((id, d.clone()));
+                    }
+                } else if fu == "CONST" {
+                    let v = matches!(args.as_slice(), [a] if a == "1");
+                    let id = b.constant(name.clone(), v);
+                    created += 1;
+                    ids.entry(name.clone()).or_insert(id);
+                } else {
+                    let kind: GateKind = fu.parse().map_err(|e| ParseBenchError {
+                        line: *line,
+                        message: format!("{e}"),
+                    })?;
+                    gate_defs.push((*line, name.clone(), kind, args.clone()));
+                }
+            }
+        }
+    }
+
+    // Gates receive the next ids in textual order. Precomputing the
+    // name→id map up front lets a gate reference any other gate —
+    // including itself — so cyclic definitions parse.
+    for (i, (_, gname, _, _)) in gate_defs.iter().enumerate() {
+        ids.entry(gname.clone())
+            .or_insert_with(|| NodeId::from_index(created + i));
+    }
+    for (line, gname, kind, args) in gate_defs {
+        let fanins = args
+            .iter()
+            .map(|a| {
+                ids.get(a).copied().ok_or_else(|| ParseBenchError {
+                    line,
+                    message: format!("signal `{a}` is undefined"),
+                })
+            })
+            .collect::<Result<Vec<NodeId>, ParseBenchError>>()?;
+        b.raw_node(gname, NodeKind::Gate(kind), fanins);
+    }
+    for (id, d) in dff_inputs {
+        if let Some(&d_id) = ids.get(&d) {
+            let _ = b.add_dff_driver(id, d_id);
+        }
+    }
+    for sig in outputs {
+        if let Some(&id) = ids.get(&sig) {
+            b.mark_output(id);
+        }
+    }
+    Ok(b.finish_unchecked())
+}
+
 /// Serializes a netlist to `.bench` source.
 ///
 /// The output parses back (see [`parse`]) to a netlist with identical
@@ -405,5 +504,43 @@ mod tests {
     fn syntax_errors_carry_line_numbers() {
         let err = parse("bad", "INPUT(a)\nwhat is this\n").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn parse_unchecked_accepts_what_parse_rejects() {
+        // A combinational cycle: `parse` refuses, the permissive path
+        // reconstructs it as written for mcp-lint to judge.
+        let src = "OUTPUT(a)\na = NOT(b)\nb = NOT(a)\n";
+        assert!(parse("bad", src).is_err());
+        let nl = parse_unchecked("bad", src).expect("permissive parse");
+        // Cyclic gates exist as nodes but are absent from the topological
+        // order, so count raw nodes here.
+        assert_eq!(nl.num_nodes(), 2);
+        let a = nl.find_node("a").expect("a");
+        let b = nl.find_node("b").expect("b");
+        assert_eq!(nl.node(a).fanins(), &[b]);
+        assert_eq!(nl.node(b).fanins(), &[a]);
+
+        // An unconnected DFF stays unconnected instead of erroring.
+        let nl = parse_unchecked("bad", "OUTPUT(q)\nq = DFF(ghost)\n").expect("parse");
+        assert_eq!(nl.num_ffs(), 1);
+        assert!(nl.node(nl.dffs()[0]).fanins().is_empty());
+
+        // Truly undefined gate fanins are still hard errors.
+        assert!(parse_unchecked("bad", "OUTPUT(g)\ng = NOT(ghost)\n").is_err());
+    }
+
+    #[test]
+    fn parse_unchecked_matches_parse_on_well_formed_input() {
+        let src = "
+            INPUT(A)
+            OUTPUT(Q)
+            Q = DFF(D)
+            D = XOR(Q, A)
+        ";
+        let strict = parse("t", src).expect("strict");
+        let loose = parse_unchecked("t", src).expect("loose");
+        assert_eq!(strict.stats(), loose.stats());
+        assert_eq!(to_bench(&strict), to_bench(&loose));
     }
 }

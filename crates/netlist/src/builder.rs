@@ -21,6 +21,8 @@ pub enum BuildError {
     },
     /// `finish` found a flip-flop whose D input was never connected.
     UnconnectedDff(String),
+    /// `finish` found a flip-flop with more than one D driver.
+    MultiDrivenDff(String),
     /// `finish` found a combinational cycle (a cycle not broken by a DFF).
     CombinationalCycle {
         /// Name of one node on the cycle.
@@ -41,6 +43,9 @@ impl fmt::Display for BuildError {
             }
             BuildError::UnconnectedDff(n) => {
                 write!(f, "flip-flop `{n}` has no D input connected")
+            }
+            BuildError::MultiDrivenDff(n) => {
+                write!(f, "flip-flop `{n}` has more than one D driver")
             }
             BuildError::CombinationalCycle { on } => {
                 write!(f, "combinational cycle through node `{on}`")
@@ -148,9 +153,17 @@ impl NetlistBuilder {
     }
 
     /// Adds a flip-flop whose D input is already known.
+    ///
+    /// A `d` that does not belong to this builder is recorded as a
+    /// deferred [`BuildError::ForeignNode`] reported by
+    /// [`finish`](Self::finish).
     pub fn dff_with_input(&mut self, name: impl Into<String>, d: NodeId) -> NodeId {
         let id = self.dff(name);
-        self.nodes[id.index()].fanins = vec![d];
+        if d.index() >= self.nodes.len() {
+            self.errors.push(BuildError::ForeignNode);
+        } else {
+            self.nodes[id.index()].fanins = vec![d];
+        }
         id
     }
 
@@ -271,6 +284,84 @@ impl NetlistBuilder {
         self.gate(format!("{prefix}_OR"), GateKind::Or, [a0, a1])
     }
 
+    /// Appends a node exactly as given, with no checks — the entry point
+    /// for deserializers reconstructing a netlist from external data.
+    ///
+    /// The usual invariants (gate arity, single DFF driver, unique names)
+    /// are **not** enforced here; [`finish`](Self::finish) validates them
+    /// all at the end, and [`finish_unchecked`](Self::finish_unchecked)
+    /// defers judgement to the `mcp-lint` rules.
+    ///
+    /// Inputs and flip-flops are registered in declaration order, exactly
+    /// like [`input`](Self::input) and [`dff`](Self::dff).
+    pub fn raw_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        fanins: Vec<NodeId>,
+    ) -> NodeId {
+        let id = self.add_node(name.into(), kind, fanins);
+        match kind {
+            NodeKind::Input => self.inputs.push(id),
+            NodeKind::Dff => self.dffs.push(id),
+            NodeKind::Const(_) | NodeKind::Gate(_) => {}
+        }
+        id
+    }
+
+    /// Appends an **additional** D driver to a flip-flop — netlist surgery
+    /// for deserializers that must represent a multiply-driven register
+    /// before judging it. [`finish`](Self::finish) rejects the result with
+    /// [`BuildError::MultiDrivenDff`]; only
+    /// [`finish_unchecked`](Self::finish_unchecked) lets it through, for
+    /// `mcp-lint` to diagnose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ForeignNode`] if either id is out of range and
+    /// [`BuildError::NotADff`] if `ff` is not a flip-flop.
+    pub fn add_dff_driver(&mut self, ff: NodeId, d: NodeId) -> Result<(), BuildError> {
+        if ff.index() >= self.nodes.len() || d.index() >= self.nodes.len() {
+            return Err(BuildError::ForeignNode);
+        }
+        if !self.nodes[ff.index()].kind.is_dff() {
+            return Err(BuildError::NotADff(self.nodes[ff.index()].name.clone()));
+        }
+        self.nodes[ff.index()].fanins.push(d);
+        Ok(())
+    }
+
+    /// Replaces fanin `position` of an existing gate — netlist surgery for
+    /// deserializers, rewriters and the lint-rule test corpus.
+    ///
+    /// Unlike gate creation, rewiring can introduce combinational cycles;
+    /// [`finish`](Self::finish) rejects them, while
+    /// [`finish_unchecked`](Self::finish_unchecked) lets them through for
+    /// `mcp-lint` to diagnose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ForeignNode`] if either id is out of range,
+    /// `node` is not a combinational gate (DFF inputs are reconnected with
+    /// [`set_dff_input`](Self::set_dff_input)), or `position` is not one of
+    /// its fanin slots.
+    pub fn rewire_fanin(
+        &mut self,
+        node: NodeId,
+        position: usize,
+        new_fanin: NodeId,
+    ) -> Result<(), BuildError> {
+        if node.index() >= self.nodes.len() || new_fanin.index() >= self.nodes.len() {
+            return Err(BuildError::ForeignNode);
+        }
+        let target = &mut self.nodes[node.index()];
+        if !target.kind.is_gate() || position >= target.fanins.len() {
+            return Err(BuildError::ForeignNode);
+        }
+        target.fanins[position] = new_fanin;
+        Ok(())
+    }
+
     /// Marks a node as a primary output. A node may be marked repeatedly;
     /// marks are deduplicated.
     pub fn mark_output(&mut self, id: NodeId) {
@@ -283,91 +374,113 @@ impl NetlistBuilder {
     ///
     /// # Errors
     ///
-    /// Returns the first of: a deferred [`BuildError::DuplicateName`], a
-    /// [`BuildError::UnconnectedDff`], or a
+    /// Returns the first of: a deferred [`BuildError::DuplicateName`] or
+    /// [`BuildError::ForeignNode`], a [`BuildError::UnconnectedDff`] (a
+    /// flip-flop whose D input was never connected via
+    /// [`set_dff_input`](Self::set_dff_input) or
+    /// [`dff_with_input`](Self::dff_with_input)), a
+    /// [`BuildError::MultiDrivenDff`] (extra drivers added via
+    /// [`add_dff_driver`](Self::add_dff_driver)), a fanin id out of range
+    /// ([`BuildError::ForeignNode`]), or a
     /// [`BuildError::CombinationalCycle`].
-    pub fn finish(self) -> Result<Netlist, BuildError> {
-        if let Some(e) = self.errors.into_iter().next() {
+    pub fn finish(mut self) -> Result<Netlist, BuildError> {
+        if let Some(e) = std::mem::take(&mut self.errors).into_iter().next() {
             return Err(e);
         }
         for &ff in &self.dffs {
-            if self.nodes[ff.index()].fanins.is_empty() {
-                return Err(BuildError::UnconnectedDff(
-                    self.nodes[ff.index()].name.clone(),
-                ));
-            }
-        }
-
-        let n = self.nodes.len();
-
-        // Kahn's algorithm over combinational gates. DFF outputs, inputs and
-        // constants are sources; DFF D-inputs are sinks (the DFF edge does
-        // not propagate within a cycle).
-        let mut indeg = vec![0usize; n];
-        for (i, node) in self.nodes.iter().enumerate() {
-            if node.kind.is_gate() {
-                indeg[i] = node
-                    .fanins
-                    .iter()
-                    .filter(|f| self.nodes[f.index()].kind.is_gate())
-                    .count();
-            }
-        }
-        // gate-to-gate adjacency via fanouts computed below; do a simple
-        // worklist instead to avoid building it twice.
-        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for (i, node) in self.nodes.iter().enumerate() {
-            for &f in &node.fanins {
-                fanouts[f.index()].push(NodeId(i as u32));
-            }
-        }
-
-        let mut topo: Vec<NodeId> = Vec::with_capacity(n);
-        let mut ready: Vec<NodeId> = (0..n)
-            .filter(|&i| self.nodes[i].kind.is_gate() && indeg[i] == 0)
-            .map(|i| NodeId(i as u32))
-            .collect();
-        while let Some(g) = ready.pop() {
-            topo.push(g);
-            for &out in &fanouts[g.index()] {
-                if self.nodes[out.index()].kind.is_gate() {
-                    indeg[out.index()] -= 1;
-                    if indeg[out.index()] == 0 {
-                        ready.push(out);
-                    }
+            match self.nodes[ff.index()].fanins.len() {
+                0 => {
+                    return Err(BuildError::UnconnectedDff(
+                        self.nodes[ff.index()].name.clone(),
+                    ))
+                }
+                1 => {}
+                _ => {
+                    return Err(BuildError::MultiDrivenDff(
+                        self.nodes[ff.index()].name.clone(),
+                    ))
                 }
             }
         }
-        let num_gates = self.nodes.iter().filter(|nd| nd.kind.is_gate()).count();
-        if topo.len() != num_gates {
-            let on = self
-                .nodes
-                .iter()
-                .enumerate()
-                .find(|(i, nd)| nd.kind.is_gate() && indeg[*i] > 0)
-                .map(|(_, nd)| nd.name.clone())
-                .unwrap_or_default();
-            return Err(BuildError::CombinationalCycle { on });
+        let n = self.nodes.len();
+        if self
+            .nodes
+            .iter()
+            .any(|node| node.fanins.iter().any(|f| f.index() >= n))
+        {
+            return Err(BuildError::ForeignNode);
+        }
+        // Re-check gate arity: `gate` enforces it at creation, but
+        // `raw_node` defers everything to here.
+        for node in &self.nodes {
+            if let NodeKind::Gate(kind) = node.kind {
+                let ok = match kind.fixed_arity() {
+                    Some(k) => node.fanins.len() == k,
+                    None => !node.fanins.is_empty(),
+                };
+                if !ok {
+                    return Err(BuildError::BadArity {
+                        name: node.name.clone(),
+                        kind,
+                        got: node.fanins.len(),
+                    });
+                }
+            }
         }
 
-        let mut level = vec![0u32; n];
-        for &g in &topo {
-            level[g.index()] = 1 + self.nodes[g.index()]
-                .fanins
-                .iter()
-                .map(|f| level[f.index()])
-                .max()
-                .unwrap_or(0);
+        let (fanouts, topo, level, cyclic) = derive_structures(&self.nodes);
+        if let Some(i) = cyclic {
+            return Err(BuildError::CombinationalCycle {
+                on: self.nodes[i].name.clone(),
+            });
         }
 
+        Ok(self.into_netlist(fanouts, topo, level))
+    }
+
+    /// Produces a [`Netlist`] **without validating it**.
+    ///
+    /// Deferred errors (duplicate names), unconnected flip-flops and
+    /// combinational cycles are all let through; the derived structures are
+    /// computed best-effort (gates on or downstream of a combinational
+    /// cycle are missing from the topological order and keep level 0).
+    ///
+    /// This is the entry point for layers that must represent a circuit
+    /// *before* judging it — deserializers, repair flows, and above all the
+    /// `mcp-lint` static-analysis pass, whose negative-test corpus is built
+    /// of exactly the malformed circuits [`finish`](Self::finish) rejects.
+    /// Run the lint rules over the result before trusting any analysis on
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fanin id is out of range (a foreign [`NodeId`] cannot
+    /// be represented even permissively).
+    pub fn finish_unchecked(self) -> Netlist {
+        let n = self.nodes.len();
+        assert!(
+            self.nodes
+                .iter()
+                .all(|node| node.fanins.iter().all(|f| f.index() < n)),
+            "finish_unchecked: fanin id out of range"
+        );
+        let (fanouts, topo, level, _cyclic) = derive_structures(&self.nodes);
+        self.into_netlist(fanouts, topo, level)
+    }
+
+    fn into_netlist(
+        self,
+        fanouts: Vec<Vec<NodeId>>,
+        topo: Vec<NodeId>,
+        level: Vec<u32>,
+    ) -> Netlist {
         let ff_index_of = self
             .dffs
             .iter()
             .enumerate()
             .map(|(i, &id)| (id, i))
             .collect();
-
-        Ok(Netlist {
+        Netlist {
             name: self.name,
             nodes: self.nodes,
             inputs: self.inputs,
@@ -378,8 +491,78 @@ impl NetlistBuilder {
             topo,
             level,
             ff_index_of,
-        })
+        }
     }
+}
+
+/// Computes fanouts, the combinational topological order and per-node
+/// levels. Returns `(fanouts, topo, level, cyclic)` where `cyclic` is the
+/// index of some gate on (or fed by) a combinational cycle, if any — in
+/// that case `topo` covers only the acyclic portion and the stranded gates
+/// keep level 0.
+#[allow(clippy::type_complexity)]
+fn derive_structures(nodes: &[Node]) -> (Vec<Vec<NodeId>>, Vec<NodeId>, Vec<u32>, Option<usize>) {
+    let n = nodes.len();
+
+    // Kahn's algorithm over combinational gates. DFF outputs, inputs and
+    // constants are sources; DFF D-inputs are sinks (the DFF edge does
+    // not propagate within a cycle).
+    let mut indeg = vec![0usize; n];
+    for (i, node) in nodes.iter().enumerate() {
+        if node.kind.is_gate() {
+            indeg[i] = node
+                .fanins
+                .iter()
+                .filter(|f| nodes[f.index()].kind.is_gate())
+                .count();
+        }
+    }
+    // gate-to-gate adjacency via fanouts computed below; do a simple
+    // worklist instead to avoid building it twice.
+    let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (i, node) in nodes.iter().enumerate() {
+        for &f in &node.fanins {
+            fanouts[f.index()].push(NodeId(i as u32));
+        }
+    }
+
+    let mut topo: Vec<NodeId> = Vec::with_capacity(n);
+    let mut ready: Vec<NodeId> = (0..n)
+        .filter(|&i| nodes[i].kind.is_gate() && indeg[i] == 0)
+        .map(|i| NodeId(i as u32))
+        .collect();
+    while let Some(g) = ready.pop() {
+        topo.push(g);
+        for &out in &fanouts[g.index()] {
+            if nodes[out.index()].kind.is_gate() {
+                indeg[out.index()] -= 1;
+                if indeg[out.index()] == 0 {
+                    ready.push(out);
+                }
+            }
+        }
+    }
+    let num_gates = nodes.iter().filter(|nd| nd.kind.is_gate()).count();
+    let cyclic = if topo.len() != num_gates {
+        nodes
+            .iter()
+            .enumerate()
+            .position(|(i, nd)| nd.kind.is_gate() && indeg[i] > 0)
+    } else {
+        None
+    };
+
+    let mut level = vec![0u32; n];
+    for &g in &topo {
+        level[g.index()] = 1 + nodes[g.index()]
+            .fanins
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .unwrap_or(0);
+    }
+
+    (fanouts, topo, level, cyclic)
 }
 
 #[cfg(test)]
@@ -414,18 +597,46 @@ mod tests {
 
     #[test]
     fn combinational_cycle_is_rejected() {
-        // g1 = NOT(g2); g2 = BUF(g1) — a cycle with no DFF on it. The
-        // builder cannot express forward references for gates, so build the
-        // cycle by reconnecting through a DFF-free trick: create g2 reading
-        // g1 and then rebuild g1's fanin... fanins are immutable for gates,
-        // so instead use two gates both reading each other via a DFF-less
-        // path is impossible by construction. The only way to create a
-        // cycle is via set_dff_input pointing *into* the cycle — verify the
-        // DFF correctly breaks it instead.
+        // A cycle through a DFF is fine — the FF boundary breaks it.
         let mut b = NetlistBuilder::new("loop");
         let q = b.dff("Q");
         let g = b.gate("G", GateKind::Not, [q]).unwrap();
         b.set_dff_input(q, g).unwrap();
+        assert!(b.finish().is_ok());
+
+        // g1 = NOT(g2); g2 = BUF(g1): a DFF-free cycle, expressible only
+        // through rewiring, is rejected at finish.
+        let mut b = NetlistBuilder::new("comb-loop");
+        let a = b.input("A");
+        let g1 = b.gate("G1", GateKind::Not, [a]).unwrap();
+        let g2 = b.gate("G2", GateKind::Buf, [g1]).unwrap();
+        b.rewire_fanin(g1, 0, g2).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn rewire_fanin_validates_its_target() {
+        let mut b = NetlistBuilder::new("rw");
+        let a = b.input("A");
+        let q = b.dff("Q");
+        let g = b.gate("G", GateKind::Not, [a]).unwrap();
+        b.set_dff_input(q, g).unwrap();
+        assert!(matches!(
+            b.rewire_fanin(q, 0, a),
+            Err(BuildError::ForeignNode)
+        ));
+        assert!(matches!(
+            b.rewire_fanin(g, 1, a),
+            Err(BuildError::ForeignNode)
+        ));
+        assert!(matches!(
+            b.rewire_fanin(g, 0, NodeId::from_index(99)),
+            Err(BuildError::ForeignNode)
+        ));
+        b.rewire_fanin(g, 0, q).unwrap();
         assert!(b.finish().is_ok());
     }
 
@@ -462,6 +673,81 @@ mod tests {
         let a = b.input("n0"); // occupy the first auto name
         let g = b.gate_auto(GateKind::Not, [a]).unwrap();
         assert_ne!(b.finish().unwrap().node(g).name(), "n0");
+    }
+
+    #[test]
+    fn dff_with_input_rejects_foreign_nodes_at_finish() {
+        let mut b = NetlistBuilder::new("foreign");
+        let bogus = NodeId::from_index(7); // no such node in this builder
+        let _ = b.dff_with_input("Q", bogus);
+        assert!(matches!(b.finish(), Err(BuildError::ForeignNode)));
+    }
+
+    #[test]
+    fn finish_unchecked_permits_what_finish_rejects() {
+        // Unconnected DFF.
+        let mut b = NetlistBuilder::new("open");
+        let q = b.dff("Q");
+        let nl = b.finish_unchecked();
+        assert!(nl.node(q).fanins().is_empty());
+        assert_eq!(nl.num_ffs(), 1);
+
+        // Duplicate names.
+        let mut b = NetlistBuilder::new("dup");
+        let a = b.input("A");
+        let g = b.gate("A", GateKind::Not, [a]).unwrap();
+        let nl = b.finish_unchecked();
+        assert_eq!(nl.node(g).name(), nl.node(a).name());
+
+        // A combinational cycle (forged through a reconnected "DFF" slot is
+        // impossible; forge it by building the netlist by hand below in the
+        // lint crate — here just check the derived structures stay sane
+        // when a gate is stranded).
+        let mut b = NetlistBuilder::new("lv");
+        let q = b.dff("Q");
+        let n1 = b.gate("N1", GateKind::Not, [q]).unwrap();
+        b.set_dff_input(q, n1).unwrap();
+        let nl = b.finish_unchecked();
+        assert_eq!(nl.num_gates(), 1);
+        assert_eq!(nl.level(n1), 1);
+    }
+
+    #[test]
+    fn raw_node_defers_validation_to_finish() {
+        let mut b = NetlistBuilder::new("raw");
+        let a = b.raw_node("a", NodeKind::Input, Vec::new());
+        let q = b.raw_node("q", NodeKind::Dff, vec![a]);
+        let _zw = b.raw_node("zw", NodeKind::Gate(GateKind::And), Vec::new());
+        b.mark_output(q);
+        assert!(matches!(
+            b.finish(),
+            Err(BuildError::BadArity { got: 0, .. })
+        ));
+
+        let mut b = NetlistBuilder::new("raw-ok");
+        let a = b.raw_node("a", NodeKind::Input, Vec::new());
+        let g = b.raw_node("g", NodeKind::Gate(GateKind::Not), vec![a]);
+        let q = b.raw_node("q", NodeKind::Dff, vec![g]);
+        b.mark_output(q);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.num_inputs(), 1);
+        assert_eq!(nl.num_ffs(), 1);
+        assert_eq!(nl.ff_d_input(0), g);
+    }
+
+    #[test]
+    fn multi_driven_dff_is_rejected_at_finish() {
+        let mut b = NetlistBuilder::new("md");
+        let a = b.input("A");
+        let c = b.input("B");
+        let q = b.dff("Q");
+        b.set_dff_input(q, a).unwrap();
+        b.add_dff_driver(q, c).unwrap();
+        assert!(matches!(
+            b.rewire_fanin(q, 0, a),
+            Err(BuildError::ForeignNode)
+        ));
+        assert!(matches!(b.finish(), Err(BuildError::MultiDrivenDff(n)) if n == "Q"));
     }
 
     #[test]

@@ -205,6 +205,10 @@ pub struct Metrics {
     pub sim_words: Counter,
     /// Random simulation: candidate pairs dropped by the prefilter.
     pub sim_pairs_dropped: Counter,
+    /// Lint: rules executed over netlists.
+    pub lint_rules_run: Counter,
+    /// Lint: diagnostics (violations) reported by executed rules.
+    pub lint_violations: Counter,
 }
 
 impl Metrics {
@@ -232,6 +236,8 @@ impl Metrics {
             bdd_cache_hits: self.bdd_cache_hits.get(),
             sim_words: self.sim_words.get(),
             sim_pairs_dropped: self.sim_pairs_dropped.get(),
+            lint_rules_run: self.lint_rules_run.get(),
+            lint_violations: self.lint_violations.get(),
         }
     }
 }
@@ -261,6 +267,8 @@ pub struct Counters {
     pub bdd_cache_hits: u64,
     pub sim_words: u64,
     pub sim_pairs_dropped: u64,
+    pub lint_rules_run: u64,
+    pub lint_violations: u64,
 }
 
 impl Counters {
@@ -318,6 +326,11 @@ pub struct PairEvent {
     pub assignments: Vec<AssignmentEvent>,
     /// Wall-clock microseconds spent on this pair.
     pub micros: u64,
+    /// For pairs dropped by the random-simulation prefilter: the 0-based
+    /// index of the 64-pattern word whose lane witnessed the violation —
+    /// the per-pair drop cause (simulation time is spent in bulk, so
+    /// `micros` stays 0 for these records). `None` for every other step.
+    pub sim_word: Option<u64>,
 }
 
 /// Receiver of per-pair journal events.
@@ -643,6 +656,7 @@ mod tests {
                 outcome: "contradiction".to_owned(),
             }],
             micros: 42,
+            sim_word: None,
         };
         sink.record(&event);
         assert_eq!(sink.drain(), vec![event]);
@@ -664,6 +678,7 @@ mod tests {
                 engine: None,
                 assignments: Vec::new(),
                 micros: k as u64,
+                sim_word: Some(k as u64),
             })
             .collect();
         {

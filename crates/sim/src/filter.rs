@@ -29,16 +29,36 @@ impl Default for FilterConfig {
     }
 }
 
+/// One pair disproven by simulation, with its drop cause: the 0-based
+/// index of the 64-pattern word whose lane witnessed the violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairDrop {
+    /// Source FF index of the dropped pair.
+    pub src: usize,
+    /// Destination FF index of the dropped pair.
+    pub dst: usize,
+    /// 0-based index of the simulated word that killed the pair.
+    pub word: u64,
+}
+
 /// Result of the random-pattern filter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterOutcome {
     /// Pairs that survived (not yet disproven), in the input order.
     pub survivors: Vec<(usize, usize)>,
-    /// Number of pairs dropped as proven single-cycle.
-    pub dropped: usize,
+    /// Pairs dropped as proven single-cycle, in drop order, each with the
+    /// word index that witnessed the violation.
+    pub drops: Vec<PairDrop>,
     /// Number of 64-pattern words simulated (each word costs two clock
     /// cycles of evaluation).
     pub words_simulated: u64,
+}
+
+impl FilterOutcome {
+    /// Number of pairs dropped as proven single-cycle.
+    pub fn dropped(&self) -> usize {
+        self.drops.len()
+    }
 }
 
 /// Runs the paper's step 2: 2-clock random parallel-pattern simulation.
@@ -73,7 +93,7 @@ pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig
 
     let mut words = 0u64;
     let mut idle = 0u32;
-    let mut dropped = 0usize;
+    let mut drops: Vec<PairDrop> = Vec::new();
 
     while !alive.is_empty() && idle < cfg.idle_words && words < cfg.max_words {
         sim.randomize_state(&mut rng);
@@ -93,11 +113,20 @@ pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig
         }
         words += 1;
 
-        let before = alive.len();
-        alive.retain(|&(i, j)| (s0[i] ^ s1[i]) & (s1[j] ^ s2[j]) == 0);
-        let now_dropped = before - alive.len();
-        dropped += now_dropped;
-        if now_dropped == 0 {
+        let word = words - 1;
+        let before = drops.len();
+        alive.retain(|&(i, j)| {
+            let violated = (s0[i] ^ s1[i]) & (s1[j] ^ s2[j]) != 0;
+            if violated {
+                drops.push(PairDrop {
+                    src: i,
+                    dst: j,
+                    word,
+                });
+            }
+            !violated
+        });
+        if drops.len() == before {
             idle += 1;
         } else {
             idle = 0;
@@ -106,7 +135,7 @@ pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig
 
     FilterOutcome {
         survivors: alive,
-        dropped,
+        drops,
         words_simulated: words,
     }
 }
@@ -142,7 +171,14 @@ mod tests {
         let out = mc_filter(&nl, &pairs, &FilterConfig::default());
         // (A,B) must be disproven: A toggles freely from IN and B follows.
         assert!(!out.survivors.contains(&(0, 1)));
-        assert!(out.dropped >= 1);
+        assert!(out.dropped() >= 1);
+        // The drop record names the pair and a word that was simulated.
+        let drop = out
+            .drops
+            .iter()
+            .find(|d| (d.src, d.dst) == (0, 1))
+            .expect("(A,B) has a drop record");
+        assert!(drop.word < out.words_simulated);
         // (C,C) can never be dropped: C never changes, so the premise of
         // the violation (a transition at the source) never occurs.
         assert!(out.survivors.contains(&(2, 2)));
@@ -159,7 +195,7 @@ mod tests {
         let out = mc_filter(&nl, &[(2, 2)], &cfg);
         assert_eq!(out.words_simulated, 5);
         assert_eq!(out.survivors, vec![(2, 2)]);
-        assert_eq!(out.dropped, 0);
+        assert_eq!(out.dropped(), 0);
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod vcd;
 
 pub use delay::{DelaySim, EdgeReport};
 pub use event::EventSim;
-pub use filter::{mc_filter, FilterConfig, FilterOutcome};
+pub use filter::{mc_filter, FilterConfig, FilterOutcome, PairDrop};
 pub use parallel::ParallelSim;

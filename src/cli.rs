@@ -14,12 +14,15 @@
 //!   pretty-print the observability data as a Table-2-style per-step
 //!   table;
 //! * `gen <suite-name>` — emit a synthetic suite circuit as `.bench` text
-//!   (so external tools can consume the benchmark suite).
+//!   (so external tools can consume the benchmark suite);
+//! * `lint <file.bench> [--format text|json]` — run the full `mcp-lint`
+//!   rule set (parsing permissively, so corrupt netlists are diagnosed
+//!   rather than rejected) and exit non-zero on error-level findings.
 //!
 //! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
-//! `--learn`, `--threads N`, `--no-sim`, `--no-self-pairs`,
-//! `--json <path>`, `--metrics`, `--trace-out <path>`, `--progress`,
-//! `--quiet`.
+//! `--learn`, `--threads N`, `--no-sim`, `--no-self-pairs`, `--no-lint`,
+//! `--json <path>`, `--format text|json`, `--metrics`,
+//! `--trace-out <path>`, `--progress`, `--quiet`.
 
 use mcp_core::{
     analyze, analyze_with, check_hazards, max_cycle_budget, sensitization_dependencies, to_sdc,
@@ -49,6 +52,10 @@ pub struct Command {
     pub no_sim: bool,
     /// Exclude self pairs.
     pub no_self_pairs: bool,
+    /// Skip the pre-analysis structural lint gate.
+    pub no_lint: bool,
+    /// Output format of the `lint` subcommand.
+    pub format: LintFormat,
     /// Optional JSON report path.
     pub json: Option<String>,
     /// Print engine counters and span timings after the analysis.
@@ -59,6 +66,16 @@ pub struct Command {
     pub progress: bool,
     /// Suppress the pair listing.
     pub quiet: bool,
+}
+
+/// Output format of the `lint` subcommand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LintFormat {
+    /// One line per finding plus a summary line.
+    #[default]
+    Text,
+    /// The pretty-printed [`mcp_lint::Diagnostics`] JSON.
+    Json,
 }
 
 /// What to do.
@@ -82,6 +99,8 @@ pub enum Action {
     Sweep(String),
     /// Render a `.bench` file as Graphviz DOT.
     Dot(String),
+    /// Run the static-analysis rules on a `.bench` file.
+    Lint(String),
     /// Analyze and emit SDC `set_multicycle_path` constraints.
     Sdc {
         /// The `.bench` file.
@@ -131,6 +150,7 @@ USAGE:
   mcpath sweep   <file.bench>
   mcpath sdc     <file.bench> [--robust sens|cosens] [options]
   mcpath glitch  <file.bench> <srcFF> <dstFF> <out.vcd>
+  mcpath lint    <file.bench> [--format text|json]
 
 OPTIONS:
   --engine implication|sat|bdd   decision engine (default: implication)
@@ -140,6 +160,8 @@ OPTIONS:
   --threads <N>                  parallel pair workers (default: 1)
   --no-sim                       skip the random-simulation prefilter
   --no-self-pairs                exclude (FFi, FFi) pairs ([9]'s convention)
+  --no-lint                      analyze even if structural lints fail
+  --format text|json             lint report format (default: text)
   --json <path>                  dump the report as JSON
   --metrics                      print engine counters and span timings
   --trace-out <path>             write a per-pair NDJSON trace journal
@@ -167,6 +189,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut threads = 1usize;
     let mut no_sim = false;
     let mut no_self_pairs = false;
+    let mut no_lint = false;
+    let mut format = LintFormat::default();
     let mut json = None;
     let mut metrics = false;
     let mut trace_out = None;
@@ -220,6 +244,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     .map_err(|e| ParseCliError(format!("bad --threads: {e}")))?;
             }
             "--json" => json = Some(take_value(&mut args, "--json")?),
+            "--format" => {
+                format = match take_value(&mut args, "--format")?.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    other => {
+                        return Err(ParseCliError(format!("unknown format `{other}`")));
+                    }
+                }
+            }
             "--trace-out" => trace_out = Some(take_value(&mut args, "--trace-out")?),
             "--robust" => {
                 robust_check = Some(match take_value(&mut args, "--robust")?.as_str() {
@@ -235,6 +268,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             "--progress" => progress = true,
             "--no-sim" => no_sim = true,
             "--no-self-pairs" => no_self_pairs = true,
+            "--no-lint" => no_lint = true,
             "--quiet" => quiet = true,
             other if other.starts_with("--") => {
                 return Err(ParseCliError(format!("unknown option `{other}`")));
@@ -263,6 +297,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "gen" => Action::Gen(one_positional("a suite circuit name")?),
         "sweep" => Action::Sweep(one_positional("a .bench file")?),
         "dot" => Action::Dot(one_positional("a .bench file")?),
+        "lint" => Action::Lint(one_positional("a .bench file")?),
         "sdc" => Action::Sdc {
             path: one_positional("a .bench file")?,
             robust: robust_check,
@@ -293,6 +328,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         threads,
         no_sim,
         no_self_pairs,
+        no_lint,
+        format,
         json,
         metrics,
         trace_out,
@@ -325,6 +362,7 @@ impl Command {
             threads: self.threads,
             use_sim_filter: !self.no_sim,
             include_self_pairs: !self.no_self_pairs,
+            lint: !self.no_lint,
             ..McConfig::default()
         }
     }
@@ -490,6 +528,24 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 &mcp_netlist::dot::DotOptions::default(),
             ));
         }
+        Action::Lint(path) => {
+            // Parse permissively: the whole point of `lint` is to report
+            // on netlists the strict loader would reject.
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let nl = bench::parse_unchecked(path, &text).map_err(|e| e.to_string())?;
+            let report =
+                mcp_lint::Registry::with_default_rules().run(&nl, &mcp_lint::LintConfig::default());
+            let rendered = match cmd.format {
+                LintFormat::Text => report.render_text(nl.name()),
+                LintFormat::Json => report.render_json(),
+            };
+            // Error-level findings fail the command (exit code 1).
+            if report.has_errors() {
+                return Err(rendered);
+            }
+            out.push_str(&rendered);
+        }
         Action::Glitch {
             path,
             src,
@@ -529,14 +585,27 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let nl = load(path)?;
             let report = analyze(&nl, &cmd.config()).map_err(|e| e.to_string())?;
             let robust_only = robust.map(|check| check_hazards(&nl, &report, check));
-            out.push_str(&to_sdc(
+            let text = to_sdc(
                 &nl,
                 &report,
                 &SdcOptions {
                     robust_only,
                     cycles: cmd.cycles,
                 },
-            ));
+            );
+            // Round-trip the emitted constraints through the validator
+            // before handing them to the user: every `-from`/`-to` must
+            // name a real FF, lie on a combinational path, and appear in
+            // the verified pair list. A failure here is an internal
+            // emitter/report mismatch, never user error.
+            let check = mcp_lint::validate_sdc(&nl, &report.multi_cycle_pairs(), &text);
+            if check.has_errors() {
+                return Err(format!(
+                    "emitted SDC failed self-validation (internal error):\n{}",
+                    check.render_text(path)
+                ));
+            }
+            out.push_str(&text);
         }
         Action::Deps(path) => {
             let nl = load(path)?;
@@ -677,7 +746,7 @@ fn render_step_table(s: &StepStats) -> String {
 fn render_snapshot(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let c = &m.counters;
-    let rows: [(&str, u64); 16] = [
+    let rows: [(&str, u64); 18] = [
         ("implications", c.implications),
         ("contradictions", c.contradictions),
         ("learned_implications", c.learned_implications),
@@ -694,6 +763,8 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
         ("bdd_cache_hits", c.bdd_cache_hits),
         ("sim_words", c.sim_words),
         ("sim_pairs_dropped", c.sim_pairs_dropped),
+        ("lint_rules_run", c.lint_rules_run),
+        ("lint_violations", c.lint_violations),
     ];
     let _ = writeln!(out, "engine counters:");
     for (name, v) in rows {
@@ -981,6 +1052,53 @@ mod tests {
         )))
         .expect("parse");
         assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn lint_subcommand_reports_and_gates() {
+        let dir = std::env::temp_dir().join("mcpath-cli-lint");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+
+        // A clean generated circuit lints without findings.
+        let clean = dir.join("m27.bench");
+        let text = run(&parse_args(argv("gen m27")).expect("parse")).expect("gen");
+        std::fs::write(&clean, text).expect("write");
+        let out = run(&parse_args(argv(&format!("lint {}", clean.display()))).expect("parse"))
+            .expect("lint clean");
+        assert!(out.contains("0 error(s)"), "{out}");
+
+        // JSON format is machine-parseable.
+        let out = run(
+            &parse_args(argv(&format!("lint {} --format json", clean.display()))).expect("parse"),
+        )
+        .expect("lint json");
+        assert!(
+            serde_json::from_str::<mcp_lint::Diagnostics>(&out).is_ok(),
+            "{out}"
+        );
+        assert!(parse_args(argv("lint f.bench --format yaml")).is_err());
+
+        // A combinational cycle lints (permissive parse) and fails the
+        // command with an error-level diagnostic...
+        let cyclic = dir.join("cyclic.bench");
+        std::fs::write(&cyclic, "OUTPUT(a)\na = NOT(b)\nb = NOT(a)\n").expect("write");
+        let err = run(&parse_args(argv(&format!("lint {}", cyclic.display()))).expect("parse"))
+            .unwrap_err();
+        assert!(err.contains("comb-cycle"), "{err}");
+
+        // ...while `analyze` refuses the same file already at load time.
+        let err = run(&parse_args(argv(&format!("analyze {}", cyclic.display()))).expect("parse"))
+            .unwrap_err();
+        assert!(err.contains("cyclic"), "{err}");
+    }
+
+    #[test]
+    fn no_lint_flag_reaches_the_config() {
+        let cmd = parse_args(argv("analyze f.bench --no-lint")).expect("parse");
+        assert!(cmd.no_lint);
+        assert!(!cmd.config().lint);
+        let cmd = parse_args(argv("analyze f.bench")).expect("parse");
+        assert!(cmd.config().lint);
     }
 
     #[test]

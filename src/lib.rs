@@ -22,6 +22,7 @@
 //! * [`sat`] — CDCL SAT solver and CNF encoding (baseline engine)
 //! * [`bdd`] — BDD package and symbolic reachability (baseline engine)
 //! * [`gen`] — paper circuits and synthetic benchmark generators
+//! * [`lint`] — structural netlist lints and the SDC constraint validator
 //! * [`core`] — the multi-cycle analysis pipeline and hazard checks
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@ pub use mcp_bdd as bdd;
 pub use mcp_core as core;
 pub use mcp_gen as gen;
 pub use mcp_implication as implication;
+pub use mcp_lint as lint;
 pub use mcp_logic as logic;
 pub use mcp_netlist as netlist;
 pub use mcp_sat as sat;

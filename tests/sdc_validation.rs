@@ -1,0 +1,95 @@
+//! End-to-end contract: the SDC text the pipeline emits always
+//! round-trips through the `mcp-lint` validator with **zero** findings —
+//! every constrained pair names real FFs, lies on a combinational path,
+//! and appears in the verified multi-cycle set — and corrupt netlists
+//! never reach the engines through the binary.
+
+use mcpath::core::{analyze, check_hazards, to_sdc, HazardCheck, McConfig, SdcOptions};
+use mcpath::gen::suite;
+use mcpath::lint::validate_sdc;
+use mcpath::netlist::{bench, Netlist};
+
+/// Emits SDC in all three flavors (plain, sensitization-robust,
+/// co-sensitization-robust) and validates each against the netlist and
+/// the report's verified pairs.
+fn assert_round_trip(nl: &Netlist) {
+    let report = analyze(nl, &McConfig::default()).expect("analyze");
+    let verified = report.multi_cycle_pairs();
+    for robust in [
+        None,
+        Some(HazardCheck::Sensitization),
+        Some(HazardCheck::CoSensitization),
+    ] {
+        let text = to_sdc(
+            nl,
+            &report,
+            &SdcOptions {
+                robust_only: robust.map(|c| check_hazards(nl, &report, c)),
+                cycles: 2,
+            },
+        );
+        let diag = validate_sdc(nl, &verified, &text);
+        assert!(
+            diag.is_empty(),
+            "{} ({robust:?}): {}",
+            nl.name(),
+            diag.render_text(nl.name())
+        );
+    }
+}
+
+#[test]
+fn every_data_circuit_round_trips() {
+    let mut found = 0usize;
+    for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/data")).expect("data/") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "bench") {
+            continue;
+        }
+        let name = path.file_stem().and_then(|s| s.to_str()).expect("stem");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let nl = bench::parse(name, &text).expect("parse");
+        assert_round_trip(&nl);
+        found += 1;
+    }
+    assert!(found >= 1, "data/ should hold at least s27.bench");
+}
+
+#[test]
+fn the_quick_suite_round_trips() {
+    for nl in suite::quick_suite() {
+        assert_round_trip(&nl);
+    }
+}
+
+#[test]
+fn analyze_on_a_comb_cycle_netlist_exits_nonzero() {
+    let dir = std::env::temp_dir().join("mcpath-sdc-validation");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("cyclic.bench");
+    std::fs::write(&path, "OUTPUT(a)\na = NOT(b)\nb = NOT(a)\n").expect("write");
+
+    // `analyze` must refuse the circuit with a diagnostic and a failing
+    // exit code (the strict loader catches it before the lint gate even
+    // runs — either way, it never reaches the engines).
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mcpath"))
+        .args(["analyze", path.to_str().expect("utf8")])
+        .output()
+        .expect("run mcpath");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cyclic") || stderr.contains("cycle"),
+        "{stderr}"
+    );
+
+    // `lint` parses the same file permissively and pinpoints the rule,
+    // also exiting non-zero because the finding is error-level.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mcpath"))
+        .args(["lint", path.to_str().expect("utf8")])
+        .output()
+        .expect("run mcpath");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("comb-cycle"), "{stderr}");
+}
