@@ -63,7 +63,7 @@ fn main() {
         let lint_warnings = args.lint_warnings(nl);
 
         let t = timers.span("ours");
-        let ours = analyze(nl, &McConfig::default()).expect("analysis succeeds");
+        let ours = analyze(nl, &args.mc_config()).expect("analysis succeeds");
         let cpu_ours = t.stop();
 
         let t = timers.span("sat");
@@ -71,7 +71,7 @@ fn main() {
             nl,
             &McConfig {
                 engine: Engine::Sat,
-                ..McConfig::default()
+                ..args.mc_config()
             },
         )
         .expect("analysis succeeds");
@@ -89,7 +89,7 @@ fn main() {
                         node_limit: 1 << 22,
                         reachability: false,
                     },
-                    ..McConfig::default()
+                    ..args.mc_config()
                 },
             )
             .expect("analysis succeeds");

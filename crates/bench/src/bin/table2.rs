@@ -9,7 +9,7 @@
 //! synthetic suite.
 
 use mcp_bench::{bench_artifact, secs, HarnessArgs};
-use mcp_core::{analyze_with, McConfig};
+use mcp_core::analyze_with;
 use mcp_obs::{Counters, ObsCtx};
 use serde::Serialize;
 use std::time::Duration;
@@ -55,7 +55,7 @@ fn main() {
 
     for nl in &suite {
         agg.lint_warnings += args.lint_warnings(nl);
-        let r = analyze_with(nl, &McConfig::default(), &obs).expect("analysis succeeds");
+        let r = analyze_with(nl, &args.mc_config(), &obs).expect("analysis succeeds");
         agg.single_by_sim += r.stats.single_by_sim;
         agg.single_by_implication += r.stats.single_by_implication;
         agg.single_by_atpg += r.stats.single_by_atpg;

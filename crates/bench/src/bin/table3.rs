@@ -9,7 +9,7 @@
 //! survivors may depend on one another).
 
 use mcp_bench::{bench_artifact, secs, HarnessArgs};
-use mcp_core::{analyze, check_hazards, HazardCheck, McConfig};
+use mcp_core::{analyze, check_hazards, HazardCheck};
 use serde::Serialize;
 use std::time::Duration;
 
@@ -36,7 +36,7 @@ fn main() {
 
     for nl in &suite {
         lint_warnings += args.lint_warnings(nl);
-        let report = analyze(nl, &McConfig::default()).expect("analysis succeeds");
+        let report = analyze(nl, &args.mc_config()).expect("analysis succeeds");
         before += report.stats.multi_total();
 
         let sens = check_hazards(nl, &report, HazardCheck::Sensitization);

@@ -16,10 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use mcp_core::McConfig;
 use mcp_netlist::Netlist;
 
 /// Command-line options shared by the table binaries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Use the abbreviated suite.
     pub quick: bool,
@@ -29,17 +30,31 @@ pub struct HarnessArgs {
     /// on error-level findings and propagating warning counts into the
     /// bench artifact.
     pub lint: bool,
+    /// Worker threads for the pair loop (default 1: the paper's numbers
+    /// are single-threaded, so parallelism is opt-in per run).
+    pub threads: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            quick: false,
+            json: None,
+            lint: false,
+            threads: 1,
+        }
+    }
 }
 
 impl HarnessArgs {
-    /// Parses `--quick`, `--lint` and `--json <path>` from
-    /// `std::env::args`, exiting with status 2 on unknown arguments (a
-    /// typo must not silently produce wrong-config numbers).
+    /// Parses `--quick`, `--lint`, `--threads <N>` and `--json <path>`
+    /// from `std::env::args`, exiting with status 2 on unknown arguments
+    /// (a typo must not silently produce wrong-config numbers).
     pub fn parse() -> Self {
         match Self::try_parse(std::env::args().skip(1)) {
             Ok(out) => out,
             Err(e) => {
-                eprintln!("error: {e}\nusage: [--quick] [--lint] [--json <path>]");
+                eprintln!("error: {e}\nusage: [--quick] [--lint] [--threads <N>] [--json <path>]");
                 std::process::exit(2);
             }
         }
@@ -49,8 +64,8 @@ impl HarnessArgs {
     ///
     /// # Errors
     ///
-    /// Returns a message on an unknown argument or a `--json` without a
-    /// path.
+    /// Returns a message on an unknown argument, a `--json` without a
+    /// path, or a non-numeric / zero `--threads`.
     pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut args = args.into_iter();
@@ -61,10 +76,27 @@ impl HarnessArgs {
                 "--json" => {
                     out.json = Some(args.next().ok_or("`--json` needs a path")?);
                 }
+                "--threads" => {
+                    let v = args.next().ok_or("`--threads` needs a count")?;
+                    out.threads = v.parse().map_err(|e| format!("bad `--threads {v}`: {e}"))?;
+                    if out.threads == 0 {
+                        return Err("`--threads` must be at least 1".into());
+                    }
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
         Ok(out)
+    }
+
+    /// The baseline analysis configuration for this run: defaults plus
+    /// the harness-level `--threads` knob. Table binaries layer their
+    /// engine/option overrides on top with struct update syntax.
+    pub fn mc_config(&self) -> McConfig {
+        McConfig {
+            threads: self.threads,
+            ..McConfig::default()
+        }
     }
 
     /// Runs the full `mcp-lint` rule set on a suite circuit when `--lint`
@@ -167,6 +199,20 @@ mod tests {
         assert_eq!(args.json.as_deref(), Some("out.json"));
         assert!(HarnessArgs::try_parse(argv("--qiuck")).is_err());
         assert!(HarnessArgs::try_parse(argv("--json")).is_err());
+    }
+
+    #[test]
+    fn threads_knob_parses_and_reaches_the_config() {
+        let argv = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        let args = HarnessArgs::try_parse(argv("")).expect("parse");
+        assert_eq!(args.threads, 1, "single-threaded by default");
+        assert_eq!(args.mc_config().threads, 1);
+        let args = HarnessArgs::try_parse(argv("--threads 8")).expect("parse");
+        assert_eq!(args.threads, 8);
+        assert_eq!(args.mc_config().threads, 8);
+        assert!(HarnessArgs::try_parse(argv("--threads")).is_err());
+        assert!(HarnessArgs::try_parse(argv("--threads nope")).is_err());
+        assert!(HarnessArgs::try_parse(argv("--threads 0")).is_err());
     }
 
     #[test]

@@ -10,9 +10,11 @@
 
 use crate::config::McConfig;
 use crate::pipeline::AnalyzeError;
+use crate::schedule::run_items;
 use mcp_atpg::{search, SearchConfig, SearchOutcome};
 use mcp_implication::ImpEngine;
 use mcp_netlist::{Expanded, Netlist};
+use mcp_obs::ObsCtx;
 
 /// The verified cycle budget of one FF pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +63,71 @@ pub fn max_cycle_budget(
     let search_cfg = SearchConfig {
         backtrack_limit: cfg.backtrack_limit,
     };
+    Ok(budget_for_pair(&mut eng, &x, i, j, limit, &search_cfg))
+}
 
+/// A pair list with each pair's verified budget, sorted by pair.
+pub type PairBudgets = Vec<((usize, usize), CycleBudget)>;
+
+/// [`max_cycle_budget`] for a whole pair list at once: one shared
+/// expansion, and the per-pair sweeps distributed over `cfg.threads`
+/// workers under `cfg.scheduler` (each worker owns an engine; the sweep
+/// fully restores engine state between pairs, so results are independent
+/// of which worker handles which pair). Results come back sorted by
+/// pair, making the output deterministic for any thread count.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::InvalidCycles`] when `limit < 2`.
+///
+/// # Panics
+///
+/// Panics if any pair index is out of range for `netlist`.
+pub fn max_cycle_budgets(
+    netlist: &Netlist,
+    pairs: &[(usize, usize)],
+    limit: u32,
+    cfg: &McConfig,
+) -> Result<PairBudgets, AnalyzeError> {
+    if limit < 2 {
+        return Err(AnalyzeError::InvalidCycles { got: limit });
+    }
+    let x = Expanded::build(netlist, limit);
+    let search_cfg = SearchConfig {
+        backtrack_limit: cfg.backtrack_limit,
+    };
+    let obs = ObsCtx::new();
+    let (mut out, _busy) = run_items(
+        pairs,
+        cfg.threads,
+        cfg.scheduler,
+        &obs,
+        "kcycle/pairs",
+        |feed, out| {
+            let mut eng = ImpEngine::new(&x);
+            while let Some((i, j)) = feed.next() {
+                out.push((
+                    (i, j),
+                    budget_for_pair(&mut eng, &x, i, j, limit, &search_cfg),
+                ));
+            }
+        },
+    );
+    out.sort_unstable_by_key(|&(p, _)| p);
+    Ok(out)
+}
+
+/// The scenario sweep for one pair on a caller-provided engine over a
+/// caller-provided expansion. The engine is checkpointed and fully
+/// restored, so repeated calls (in any order) are independent.
+fn budget_for_pair(
+    eng: &mut ImpEngine<'_>,
+    x: &Expanded,
+    i: usize,
+    j: usize,
+    limit: u32,
+    search_cfg: &SearchConfig,
+) -> CycleBudget {
     // For each scenario, the earliest m in 2..=limit where the sink can
     // differ from FFj(t+1); the pair's budget is (min over scenarios) - 1.
     let mut earliest_violation: Option<u32> = None;
@@ -90,7 +156,7 @@ pub fn max_cycle_budget(
                 eng.backtrack(cp2);
                 continue;
             }
-            let (outcome, _) = search(&mut eng, &search_cfg);
+            let (outcome, _) = search(eng, search_cfg);
             eng.backtrack(cp2);
             match outcome {
                 SearchOutcome::Sat(_) => {
@@ -107,12 +173,12 @@ pub fn max_cycle_budget(
         }
     }
 
-    Ok(match earliest_violation {
+    match earliest_violation {
         Some(2) => CycleBudget::SingleCycle,
         Some(m) => CycleBudget::Exact { verified: m - 1 },
         None if any_unknown => CycleBudget::Unknown,
         None => CycleBudget::AtLeast { at_least: limit },
-    })
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +268,54 @@ mod tests {
     fn invalid_limit_is_rejected() {
         let nl = mcp_gen::circuits::fig1();
         assert!(max_cycle_budget(&nl, 0, 1, 1, &cfg()).is_err());
+        assert!(max_cycle_budgets(&nl, &[(0, 1)], 1, &cfg()).is_err());
+    }
+
+    #[test]
+    fn batch_budgets_match_single_pair_calls_at_any_thread_count() {
+        let nl = mcp_gen::circuits::fig1();
+        let pairs = nl.connected_ff_pairs();
+        let mut expected: Vec<((usize, usize), CycleBudget)> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                (
+                    (i, j),
+                    max_cycle_budget(&nl, i, j, 6, &cfg()).expect("valid limit"),
+                )
+            })
+            .collect();
+        expected.sort_unstable_by_key(|&(p, _)| p);
+        for threads in [1usize, 2, 8] {
+            for scheduler in [crate::Scheduler::WorkSteal, crate::Scheduler::Static] {
+                let got = max_cycle_budgets(
+                    &nl,
+                    &pairs,
+                    6,
+                    &McConfig {
+                        threads,
+                        scheduler,
+                        ..cfg()
+                    },
+                )
+                .expect("valid limit");
+                assert_eq!(got, expected, "threads={threads} {scheduler:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_budgets_on_no_pairs_is_a_clean_no_op() {
+        let nl = mcp_gen::circuits::fig1();
+        let got = max_cycle_budgets(
+            &nl,
+            &[],
+            6,
+            &McConfig {
+                threads: 8,
+                ..cfg()
+            },
+        )
+        .expect("valid limit");
+        assert!(got.is_empty());
     }
 }

@@ -25,6 +25,27 @@ pub enum Engine {
     },
 }
 
+/// How the pair loop distributes surviving FF pairs over worker threads.
+///
+/// Verdicts, reports and counter totals are identical under both
+/// policies (and any thread count); only wall-clock differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Work stealing (default): pairs are seeded into a global injector
+    /// hardest-first (by a fanin-cone + sim-activity cost hint); each
+    /// worker drains a local LIFO deque and steals from the injector or
+    /// from other workers when it runs dry. Robust to the heavy-tailed
+    /// per-pair cost distribution of Table 2, where a few ATPG/SAT
+    /// residue pairs cost orders of magnitude more than the implication
+    /// majority.
+    #[default]
+    WorkSteal,
+    /// Legacy static partitioning: pairs are split into equal contiguous
+    /// chunks, one per worker, up front. Kept for A/B measurement; one
+    /// unlucky chunk can serialize the run.
+    Static,
+}
+
 /// Configuration of [`analyze`](crate::analyze).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct McConfig {
@@ -58,6 +79,9 @@ pub struct McConfig {
     /// sequential. The BDD engine is inherently sequential and ignores
     /// this.
     pub threads: usize,
+    /// How pairs are distributed over the worker threads; irrelevant at
+    /// `threads = 1`.
+    pub scheduler: Scheduler,
 }
 
 impl Default for McConfig {
@@ -73,6 +97,7 @@ impl Default for McConfig {
             include_self_pairs: true,
             lint: true,
             threads: 1,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -97,5 +122,7 @@ mod tests {
         assert_eq!(cfg.sim.idle_words, 128);
         assert!(cfg.include_self_pairs);
         assert!(cfg.lint);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.scheduler, Scheduler::WorkSteal);
     }
 }

@@ -48,11 +48,12 @@ pub mod engines;
 pub mod hazard;
 pub mod pipeline;
 pub mod report;
+mod schedule;
 pub mod sdc;
 
 pub use borrowing::condition2_candidates;
-pub use budget::{max_cycle_budget, CycleBudget};
-pub use config::{Engine, McConfig};
+pub use budget::{max_cycle_budget, max_cycle_budgets, CycleBudget, PairBudgets};
+pub use config::{Engine, McConfig, Scheduler};
 pub use hazard::{
     check_hazards, check_hazards_with, sensitization_dependencies, HazardCheck, HazardReport,
     SensitizationDependencies,

@@ -5,6 +5,7 @@ use crate::engines::{
     classify_pair_bdd, classify_pair_implication_probed, classify_pair_sat, PairProbe, Verdict,
 };
 use crate::report::{McReport, PairClass, PairResult, Step, StepStats};
+use crate::schedule::{run_items, PairFeed};
 use mcp_atpg::SearchConfig;
 use mcp_bdd::{InitStates, Ref, SymbolicFsm};
 use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
@@ -134,7 +135,8 @@ pub fn analyze_with(
     // the 2-cycle condition also violates any k ≥ 2 condition? No — the
     // k-cycle condition constrains MORE sink times, so a 2-frame witness
     // is indeed a k-frame witness), so the filter applies unchanged.
-    let survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
+    let mut ff_toggles: Option<Vec<u64>> = None;
+    let mut survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
         let t_sim = t_total.child("sim");
         let out = mc_filter(netlist, &candidates, &cfg.sim);
         stats.time_sim = t_sim.stop();
@@ -166,10 +168,18 @@ pub fn analyze_with(
                 });
             }
         }
+        ff_toggles = Some(out.ff_toggles);
         out.survivors
     } else {
         candidates.clone()
     };
+
+    // Hardest-first scheduling order: with work stealing the queue is
+    // drained from the front, so front-loading the expensive pairs keeps
+    // the tail of the run short (a cheap pair never strands behind an
+    // expensive one). Verdicts are order-independent, and the report is
+    // re-sorted by pair at the end, so this is pure scheduling policy.
+    order_hardest_first(netlist, &mut survivors, ff_toggles.as_deref());
 
     // Steps 3-4: engine-specific classification of the survivors.
     let done = AtomicUsize::new(0);
@@ -195,12 +205,18 @@ pub fn analyze_with(
             let search_cfg = SearchConfig {
                 backtrack_limit: cfg.backtrack_limit,
             };
-            run_pair_loop(&survivors, cfg.threads, &mut stats, obs, |pairs, out| {
+            run_pair_loop(&survivors, cfg, &mut stats, obs, |feed, out| {
                 let mut eng = match &learned {
                     Some(l) => new_engine_with_learned(&x, l),
                     None => ImpEngine::new(&x),
                 };
-                for &(i, j) in pairs {
+                // Engine construction itself propagates (the learned
+                // forced literals); subtract that baseline so the flushed
+                // totals are pure per-pair deltas — independent of how
+                // many workers were spawned.
+                let base_implications = eng.implications();
+                let base_contradictions = eng.contradictions();
+                while let Some((i, j)) = feed.next() {
                     let t_pair = Instant::now();
                     let mut probe = if obs.sink().enabled() {
                         PairProbe::traced()
@@ -231,18 +247,48 @@ pub fn analyze_with(
                     tick(done.fetch_add(1, Ordering::Relaxed) + 1);
                     out.push(((i, j), v));
                 }
-                obs.metrics.implications.add(eng.implications());
-                obs.metrics.contradictions.add(eng.contradictions());
+                obs.metrics
+                    .implications
+                    .add(eng.implications() - base_implications);
+                obs.metrics
+                    .contradictions
+                    .add(eng.contradictions() - base_contradictions);
             })
         }
         Engine::Sat => {
             let x = Expanded::build(netlist, cfg.frames());
-            stats.time_prepare = t_prepare.stop();
-            run_pair_loop(&survivors, cfg.threads, &mut stats, obs, |pairs, out| {
+            // Template encoding with every pair's difference literals
+            // created in canonical (sorted-pair) order. Each pair is then
+            // solved on a fresh clone: variable numbering, decisions and
+            // learnt clauses per pair are identical no matter which
+            // worker runs the pair or in what order, which is what makes
+            // the report (including SAT counter totals) byte-identical
+            // for any thread count. The price is losing learnt-clause
+            // reuse across pairs — acceptable for a baseline engine.
+            let template = {
                 let mut cnf = CircuitCnf::new(&x);
-                for &(i, j) in pairs {
+                let mut sorted = survivors.clone();
+                sorted.sort_unstable();
+                for &(i, j) in &sorted {
+                    cnf.diff_lit(x.ff_at(i, 0), x.ff_at(i, 1));
+                    for m in 1..cfg.cycles {
+                        cnf.diff_lit(x.ff_at(j, m), x.ff_at(j, m + 1));
+                    }
+                }
+                cnf
+            };
+            stats.time_prepare = t_prepare.stop();
+            run_pair_loop(&survivors, cfg, &mut stats, obs, |feed, out| {
+                while let Some((i, j)) = feed.next() {
                     let t_pair = Instant::now();
+                    let mut cnf = template.clone();
                     let v = classify_pair_sat(&mut cnf, &x, i, j, cfg.cycles);
+                    let s = cnf.solver().stats();
+                    obs.metrics.sat_decisions.add(s.decisions);
+                    obs.metrics.sat_propagations.add(s.propagations);
+                    obs.metrics.sat_conflicts.add(s.conflicts);
+                    obs.metrics.sat_learned.add(s.learnt);
+                    obs.metrics.sat_restarts.add(s.restarts);
                     if obs.sink().enabled() {
                         obs.sink().record(&verdict_event(
                             i,
@@ -256,12 +302,6 @@ pub fn analyze_with(
                     tick(done.fetch_add(1, Ordering::Relaxed) + 1);
                     out.push(((i, j), v));
                 }
-                let s = cnf.solver().stats();
-                obs.metrics.sat_decisions.add(s.decisions);
-                obs.metrics.sat_propagations.add(s.propagations);
-                obs.metrics.sat_conflicts.add(s.conflicts);
-                obs.metrics.sat_learned.add(s.learnt);
-                obs.metrics.sat_restarts.add(s.restarts);
             })
         }
         Engine::Bdd {
@@ -409,53 +449,75 @@ fn new_engine_with_learned<'a>(x: &'a Expanded, learned: &'a LearnedImplications
     eng
 }
 
-/// Splits `pairs` across `threads` workers, each running `work(chunk,
-/// &mut out)`; collects all verdicts and accumulates per-worker busy time
-/// into `stats.time_pairs` and the `analyze/pairs` span (summed across
-/// workers).
+/// Reorders `survivors` so the pairs expected to cost the most come
+/// first in the scheduling queue.
+///
+/// The hint combines two signals available before any engine runs:
+///
+/// - **Fanin-cone size** of both FFs (the sink's weighted double: the
+///   expansion replicates the sink cone once per frame, and the search
+///   justifies into it) — a static proxy for per-pair engine effort.
+/// - **Sim-filter source activity** ([`mcp_sim::FilterOutcome::ff_toggles`],
+///   when the filter ran): a pair that survived *despite* a
+///   frequently-toggling source resisted that many concrete premise
+///   witnesses, so its refutation (if any) is unlikely to be easy —
+///   boost it ahead of pairs whose sources barely toggled.
+///
+/// Ties break on the pair itself, keeping the queue order (and thus the
+/// static-chunk partition) fully deterministic.
+fn order_hardest_first(
+    netlist: &Netlist,
+    survivors: &mut [(usize, usize)],
+    ff_toggles: Option<&[u64]>,
+) {
+    if survivors.len() < 2 {
+        return;
+    }
+    let nffs = netlist.num_ffs();
+    let cone: Vec<u64> = (0..nffs)
+        .map(|j| {
+            let (ffs, pis) = netlist.ff_d_cone_sources(j);
+            (ffs.len() + pis.len()) as u64
+        })
+        .collect();
+    let cost = |&(i, j): &(usize, usize)| -> u64 {
+        let base = 2 * cone[j] + cone[i] + 1;
+        match ff_toggles {
+            // Saturating at 7 keeps the boost bounded: beyond ~7 toggling
+            // lanes the premise is plainly easy to excite and tells us
+            // nothing more about hardness.
+            Some(t) => base * (1 + t[i].min(7)),
+            None => base,
+        }
+    };
+    survivors.sort_unstable_by_key(|p| (std::cmp::Reverse(cost(p)), *p));
+}
+
+/// Runs `work` over `pairs` on `cfg.threads` workers under
+/// `cfg.scheduler` (see [`crate::schedule`]); collects all verdicts and
+/// accumulates per-worker busy time into `stats.time_pairs` and the
+/// `analyze/pairs` span (one entry per worker). With no pairs this is a
+/// clean no-op: `work` is never invoked, so engines are not built.
 fn run_pair_loop<F>(
     pairs: &[(usize, usize)],
-    threads: usize,
+    cfg: &McConfig,
     stats: &mut StepStats,
     obs: &ObsCtx,
     work: F,
 ) -> Vec<((usize, usize), Verdict)>
 where
-    F: Fn(&[(usize, usize)], &mut Vec<((usize, usize), Verdict)>) + Sync,
+    F: Fn(&mut PairFeed<'_>, &mut Vec<((usize, usize), Verdict)>) + Sync,
 {
-    let threads = threads.max(1).min(pairs.len().max(1));
-    if threads == 1 {
-        let span = obs.timers.span("analyze/pairs");
-        let mut out = Vec::with_capacity(pairs.len());
-        work(pairs, &mut out);
-        stats.time_pairs += span.stop();
-        return out;
-    }
-    let chunk = pairs.len().div_ceil(threads);
-    let mut all = Vec::with_capacity(pairs.len());
-    let mut times: Vec<Duration> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = pairs
-            .chunks(chunk)
-            .map(|slice| {
-                s.spawn(|_| {
-                    let t = Instant::now();
-                    let mut out = Vec::with_capacity(slice.len());
-                    work(slice, &mut out);
-                    (out, t.elapsed())
-                })
-            })
-            .collect();
-        for h in handles {
-            let (out, dt) = h.join().expect("worker panicked");
-            all.extend(out);
-            obs.timers.add("analyze/pairs", dt);
-            times.push(dt);
-        }
-    })
-    .expect("scope");
-    stats.time_pairs += times.into_iter().sum::<Duration>();
-    all
+    let (out, busy) = run_items(
+        pairs,
+        cfg.threads,
+        cfg.scheduler,
+        obs,
+        "analyze/pairs",
+        work,
+    );
+    stats.time_pairs += busy;
+    out
 }
 
 #[cfg(test)]
@@ -555,19 +617,86 @@ mod tests {
 
     #[test]
     fn parallel_equals_sequential() {
+        // Stronger than verdict equality: the canonical (wall-clock-free)
+        // serialized report must be byte-identical for any thread count,
+        // under both scheduling policies.
         let nl = suite::quick_suite().remove(2); // m526
-        let seq = analyze(&nl, &McConfig::default()).expect("analyze");
-        let par = analyze(
-            &nl,
-            &McConfig {
-                threads: 4,
-                ..McConfig::default()
-            },
+        let baseline = serde_json::to_string(
+            &analyze(&nl, &McConfig::default())
+                .expect("analyze")
+                .canonical(),
         )
-        .expect("analyze");
-        assert_eq!(seq.multi_cycle_pairs(), par.multi_cycle_pairs());
-        assert_eq!(seq.single_cycle_pairs(), par.single_cycle_pairs());
-        assert_eq!(seq.unknown_pairs(), par.unknown_pairs());
+        .expect("serialize");
+        for scheduler in [crate::Scheduler::WorkSteal, crate::Scheduler::Static] {
+            for threads in [1usize, 2, 8] {
+                let par = analyze(
+                    &nl,
+                    &McConfig {
+                        threads,
+                        scheduler,
+                        ..McConfig::default()
+                    },
+                )
+                .expect("analyze");
+                let bytes = serde_json::to_string(&par.canonical()).expect("serialize");
+                assert_eq!(
+                    bytes, baseline,
+                    "canonical report drifted at threads={threads} under {scheduler:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pair_loop_no_ops_cleanly_at_any_thread_count() {
+        use mcp_netlist::bench;
+        // No FFs at all: the candidate set (and thus the survivor set) is
+        // empty, and the pair loop must no-op without clamp underflow,
+        // zero-size chunks, or spurious engine construction.
+        let nl = bench::parse("comb", "INPUT(a)\nOUTPUT(b)\nb = NOT(a)").expect("parse");
+        for engine in [Engine::Implication, Engine::Sat] {
+            for scheduler in [crate::Scheduler::WorkSteal, crate::Scheduler::Static] {
+                for threads in [0usize, 1, 8] {
+                    let report = analyze(
+                        &nl,
+                        &McConfig {
+                            engine,
+                            threads,
+                            scheduler,
+                            ..McConfig::default()
+                        },
+                    )
+                    .expect("analyze");
+                    assert!(report.pairs.is_empty());
+                    assert_eq!(report.stats.candidates, 0);
+                    assert_eq!(report.stats.time_pairs, Duration::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hardest_first_ordering_is_a_deterministic_permutation() {
+        let nl = suite::quick_suite().remove(0); // m27
+        let mut pairs = nl.connected_ff_pairs();
+        let original = pairs.clone();
+        let toggles = vec![3u64; nl.num_ffs()];
+        order_hardest_first(&nl, &mut pairs, Some(&toggles));
+        let mut sorted_a = pairs.clone();
+        sorted_a.sort_unstable();
+        let mut sorted_b = original.clone();
+        sorted_b.sort_unstable();
+        assert_eq!(sorted_a, sorted_b, "ordering must be a permutation");
+        // Re-running produces the identical order (ties broken by pair).
+        let mut again = original.clone();
+        order_hardest_first(&nl, &mut again, Some(&toggles));
+        assert_eq!(again, pairs);
+        // Without toggle data the static cone hint still applies.
+        let mut no_sim = original;
+        order_hardest_first(&nl, &mut no_sim, None);
+        let mut sorted_c = no_sim.clone();
+        sorted_c.sort_unstable();
+        assert_eq!(sorted_c, sorted_b);
     }
 
     #[test]

@@ -133,6 +133,26 @@ impl McReport {
         }
     }
 
+    /// The schedule-independent projection of the report: a copy with
+    /// every wall-clock field zeroed and the span-timing map emptied.
+    ///
+    /// Everything that remains — verdicts, per-step pair counts, engine
+    /// counter totals — is deterministic for a fixed circuit and config,
+    /// so two runs differing only in thread count, scheduling policy or
+    /// machine load serialize to **byte-identical** JSON. Wall-clock
+    /// fields cannot share that property (time passes differently on
+    /// every run), which is why they are projected out rather than
+    /// compared.
+    pub fn canonical(&self) -> McReport {
+        let mut r = self.clone();
+        r.stats.time_sim = Duration::ZERO;
+        r.stats.time_prepare = Duration::ZERO;
+        r.stats.time_pairs = Duration::ZERO;
+        r.stats.time_total = Duration::ZERO;
+        r.metrics.spans.clear();
+        r
+    }
+
     /// The verdict for `(src, dst)`, or `None` when the pair is not
     /// topologically connected (hence trivially multi-cycle / vacuous).
     pub fn class_of(&self, src: usize, dst: usize) -> Option<PairClass> {
@@ -230,6 +250,29 @@ mod tests {
         assert_eq!(back.pairs.len(), 3);
         assert_eq!(back.multi_cycle_pairs(), r.multi_cycle_pairs());
         assert_eq!(back.class_of(1, 0), r.class_of(1, 0));
+    }
+
+    #[test]
+    fn canonical_zeroes_clocks_and_drops_spans() {
+        let mut r = sample();
+        r.stats.time_total = Duration::from_millis(5);
+        r.stats.time_pairs = Duration::from_millis(3);
+        r.metrics.spans.insert(
+            "analyze".to_owned(),
+            mcp_obs::SpanStat {
+                total: Duration::from_millis(5),
+                count: 1,
+            },
+        );
+        r.metrics.counters.implications = 42;
+        let c = r.canonical();
+        assert_eq!(c.stats.time_total, Duration::ZERO);
+        assert_eq!(c.stats.time_pairs, Duration::ZERO);
+        assert!(c.metrics.spans.is_empty());
+        // Deterministic content survives the projection.
+        assert_eq!(c.metrics.counters.implications, 42);
+        assert_eq!(c.pairs, r.pairs);
+        assert_eq!(c.circuit, r.circuit);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Work distribution for the per-pair engine loop.
+//!
+//! The surviving FF pairs form an embarrassingly parallel workload with a
+//! brutally skewed cost profile: per Table 2, most pairs fall to the
+//! implication procedure in microseconds while the ATPG/SAT residue pairs
+//! each cost orders of magnitude more. Static chunking therefore
+//! serializes on whichever worker drew the residue; [`run_items`] instead
+//! offers a work-stealing policy — a global [`Injector`] seeded by the
+//! caller (hardest-first, see the pipeline's cost hints), per-worker LIFO
+//! deques, and stealing from both the injector and sibling workers when a
+//! deque runs dry.
+//!
+//! Determinism contract: the scheduler changes only *which worker*
+//! processes a pair and *when* — callers' work closures must make each
+//! pair's outcome and flushed counter deltas independent of that (fresh
+//! or fully-restored engine state per pair). Under that contract the
+//! merged output, re-sorted by pair, is byte-identical for any thread
+//! count and either policy.
+
+use crate::config::Scheduler;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use mcp_obs::ObsCtx;
+use std::time::{Duration, Instant};
+
+/// Per-pair results as produced by a worker: the pair, tagged with
+/// whatever the work closure computed for it.
+pub(crate) type PairResults<R> = Vec<((usize, usize), R)>;
+
+/// The stream of pairs one worker consumes; obtained inside a
+/// [`run_items`] work closure. Hides whether the run is a static slice
+/// walk or a stealing loop so engine closures are written once.
+pub(crate) enum PairFeed<'a> {
+    /// Sequential / static-chunk feed: a contiguous slice cursor.
+    Slice {
+        /// The chunk assigned to this worker.
+        pairs: &'a [(usize, usize)],
+        /// Next unread index.
+        at: usize,
+    },
+    /// Work-stealing feed.
+    Steal {
+        /// This worker's own deque.
+        local: Worker<(usize, usize)>,
+        /// The shared injector holding not-yet-claimed pairs.
+        injector: &'a Injector<(usize, usize)>,
+        /// Thief handles onto every worker's deque (including our own,
+        /// which is harmlessly empty whenever we consult it).
+        stealers: &'a [Stealer<(usize, usize)>],
+    },
+}
+
+impl PairFeed<'_> {
+    /// The next pair to classify, or `None` when no work remains
+    /// anywhere. Popped pairs are never re-queued, so a `None` is final
+    /// for this worker.
+    pub(crate) fn next(&mut self) -> Option<(usize, usize)> {
+        match self {
+            PairFeed::Slice { pairs, at } => {
+                let p = pairs.get(*at).copied();
+                *at += 1;
+                p
+            }
+            PairFeed::Steal {
+                local,
+                injector,
+                stealers,
+            } => loop {
+                if let Some(p) = local.pop() {
+                    return Some(p);
+                }
+                // A `Retry` from any source means a racing operation was
+                // in flight; loop again rather than concluding "empty".
+                let mut retry = false;
+                match injector.steal_batch_and_pop(local) {
+                    Steal::Success(p) => return Some(p),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+                for s in stealers.iter() {
+                    match s.steal() {
+                        Steal::Success(p) => return Some(p),
+                        Steal::Retry => retry = true,
+                        Steal::Empty => {}
+                    }
+                }
+                if !retry {
+                    return None;
+                }
+            },
+        }
+    }
+}
+
+/// Runs `work` over `items` on `threads` workers under the given
+/// scheduling policy, returning all produced results (in arbitrary
+/// order — callers sort) plus the summed per-worker busy time.
+///
+/// Each worker's busy time is also added to the `span_path` timer of
+/// `obs`, one entry per worker. An empty `items` returns immediately
+/// without invoking `work` (so callers' engine setup is never spent on a
+/// no-op), and `threads` is clamped to `1..=items.len()`.
+pub(crate) fn run_items<R, F>(
+    items: &[(usize, usize)],
+    threads: usize,
+    scheduler: Scheduler,
+    obs: &ObsCtx,
+    span_path: &str,
+    work: F,
+) -> (PairResults<R>, Duration)
+where
+    R: Send,
+    F: Fn(&mut PairFeed<'_>, &mut PairResults<R>) + Sync,
+{
+    if items.is_empty() {
+        return (Vec::new(), Duration::ZERO);
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        let span = obs.timers.span(span_path);
+        let mut out = Vec::with_capacity(items.len());
+        let mut feed = PairFeed::Slice {
+            pairs: items,
+            at: 0,
+        };
+        work(&mut feed, &mut out);
+        let dt = span.stop();
+        return (out, dt);
+    }
+
+    let mut all = Vec::with_capacity(items.len());
+    let mut busy = Duration::ZERO;
+    match scheduler {
+        Scheduler::Static => {
+            let chunk = items.len().div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = items
+                    .chunks(chunk)
+                    .map(|slice| {
+                        s.spawn(|_| {
+                            let t = Instant::now();
+                            let mut out = Vec::with_capacity(slice.len());
+                            let mut feed = PairFeed::Slice {
+                                pairs: slice,
+                                at: 0,
+                            };
+                            work(&mut feed, &mut out);
+                            (out, t.elapsed())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (out, dt) = h.join().expect("worker panicked");
+                    all.extend(out);
+                    obs.timers.add(span_path, dt);
+                    busy += dt;
+                }
+            })
+            .expect("scope");
+        }
+        Scheduler::WorkSteal => {
+            let injector = Injector::new();
+            for &p in items {
+                injector.push(p);
+            }
+            let workers: Vec<Worker<(usize, usize)>> =
+                (0..threads).map(|_| Worker::new_lifo()).collect();
+            let stealers: Vec<Stealer<(usize, usize)>> =
+                workers.iter().map(Worker::stealer).collect();
+            let injector = &injector;
+            let stealers = &stealers;
+            // Move only `local` into each closure; the work closure is
+            // shared by reference (`F: Sync`), like in the static arm.
+            let work = &work;
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = workers
+                    .into_iter()
+                    .map(|local| {
+                        s.spawn(move |_| {
+                            let t = Instant::now();
+                            let mut out = Vec::new();
+                            let mut feed = PairFeed::Steal {
+                                local,
+                                injector,
+                                stealers,
+                            };
+                            work(&mut feed, &mut out);
+                            (out, t.elapsed())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (out, dt) = h.join().expect("worker panicked");
+                    all.extend(out);
+                    obs.timers.add(span_path, dt);
+                    busy += dt;
+                }
+            })
+            .expect("scope");
+        }
+    }
+    (all, busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<(usize, usize)> {
+        (0..n).map(|i| (i, i + 1)).collect()
+    }
+
+    fn run_sorted(
+        items: &[(usize, usize)],
+        threads: usize,
+        scheduler: Scheduler,
+    ) -> Vec<((usize, usize), usize)> {
+        let obs = ObsCtx::new();
+        let (mut out, _) = run_items(
+            items,
+            threads,
+            scheduler,
+            &obs,
+            "test/pairs",
+            |feed, out| {
+                while let Some((i, j)) = feed.next() {
+                    out.push(((i, j), i * 100 + j));
+                }
+            },
+        );
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once_under_both_policies() {
+        let items = items(237);
+        let expected = run_sorted(&items, 1, Scheduler::WorkSteal);
+        for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
+            for threads in [2, 3, 8, 500] {
+                assert_eq!(
+                    run_sorted(&items, threads, scheduler),
+                    expected,
+                    "{scheduler:?} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_items_never_invoke_work() {
+        let obs = ObsCtx::new();
+        for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
+            for threads in [0, 1, 8] {
+                let (out, busy) = run_items::<(), _>(
+                    &[],
+                    threads,
+                    scheduler,
+                    &obs,
+                    "test/pairs",
+                    |_feed, _out| panic!("work must not run on an empty item set"),
+                );
+                assert!(out.is_empty());
+                assert_eq!(busy, Duration::ZERO);
+            }
+        }
+        assert!(
+            obs.timers.snapshot().is_empty(),
+            "no span entries for no-op runs"
+        );
+    }
+
+    #[test]
+    fn threads_are_clamped_to_the_item_count() {
+        // 3 items, 8 threads: must not panic (zero-size chunks, empty
+        // deques) and must still produce every result.
+        let items = items(3);
+        for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
+            assert_eq!(run_sorted(&items, 8, scheduler).len(), 3);
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_workload() {
+        // One expensive item at the front, many cheap ones behind it. A
+        // worker stuck on the expensive item must not strand the rest:
+        // with stealing, other workers drain them concurrently. We can't
+        // assert wall-clock in a unit test, so assert the load balance:
+        // no single worker processed everything.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items = items(64);
+        let obs = ObsCtx::new();
+        let max_per_worker = AtomicUsize::new(0);
+        let (out, _) = run_items(
+            &items,
+            4,
+            Scheduler::WorkSteal,
+            &obs,
+            "test/pairs",
+            |feed, out| {
+                let mut mine = 0usize;
+                while let Some((i, j)) = feed.next() {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    mine += 1;
+                    out.push(((i, j), ()));
+                }
+                max_per_worker.fetch_max(mine, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out.len(), items.len());
+        assert!(
+            max_per_worker.load(Ordering::Relaxed) < items.len(),
+            "work stealing should spread a skewed workload over workers"
+        );
+    }
+
+    #[test]
+    fn busy_time_sums_every_worker() {
+        let items = items(8);
+        let obs = ObsCtx::new();
+        let (_, busy) = run_items(
+            &items,
+            4,
+            Scheduler::WorkSteal,
+            &obs,
+            "test/pairs",
+            |feed, out| {
+                while let Some(p) = feed.next() {
+                    std::thread::sleep(Duration::from_millis(2));
+                    out.push((p, ()));
+                }
+            },
+        );
+        // 8 items × 2ms each ≥ 16ms of busy time regardless of threads.
+        assert!(busy >= Duration::from_millis(16), "busy = {busy:?}");
+        let snap = obs.timers.snapshot();
+        assert_eq!(snap["test/pairs"].count, 4, "one span entry per worker");
+        assert_eq!(snap["test/pairs"].total, busy);
+    }
+}

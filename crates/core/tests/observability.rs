@@ -4,8 +4,8 @@
 //! pairs, the NDJSON journal carries one record per analyzed pair, and
 //! two same-seed runs produce identical counter snapshots.
 
-use mcp_core::{analyze, analyze_with, McConfig};
-use mcp_gen::circuits;
+use mcp_core::{analyze, analyze_with, Engine, McConfig, Scheduler};
+use mcp_gen::{circuits, suite};
 use mcp_obs::{read_journal_file, FileSink, ObsCtx};
 
 #[test]
@@ -102,4 +102,70 @@ fn same_seed_runs_produce_identical_counter_snapshots() {
         );
         assert_eq!(a.multi_cycle_pairs(), b.multi_cycle_pairs());
     }
+}
+
+/// The tentpole determinism guarantee: the serialized canonical report —
+/// verdicts, per-step stats, **and the merged `MetricsSnapshot` counter
+/// totals** — is byte-identical whether the pair loop ran on 1 worker or
+/// 8, under either scheduling policy, for both parallel engines. Only
+/// wall-clock (zeroed by `canonical()`) may differ between runs.
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    let nl = suite::quick_suite().remove(1); // m298: survivors for every step
+    for engine in [Engine::Implication, Engine::Sat] {
+        for static_learning in [false, true] {
+            if static_learning && engine != Engine::Implication {
+                continue; // learning feeds only the implication engine
+            }
+            let mk = |threads: usize, scheduler: Scheduler| {
+                let cfg = McConfig {
+                    engine,
+                    threads,
+                    scheduler,
+                    static_learning,
+                    backtrack_limit: 1024,
+                    ..McConfig::default()
+                };
+                let report = analyze(&nl, &cfg).expect("analyze");
+                serde_json::to_string(&report.canonical()).expect("serialize")
+            };
+            let baseline = mk(1, Scheduler::WorkSteal);
+            for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
+                for threads in [2usize, 8] {
+                    assert_eq!(
+                        mk(threads, scheduler),
+                        baseline,
+                        "{engine:?} (learning={static_learning}) drifted \
+                         at threads={threads} under {scheduler:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An FF-free circuit exercises the empty-pair edge through the public
+/// API: the pair loop must no-op (no spans, no engine counters) instead
+/// of clamping to zero-size chunks.
+#[test]
+fn empty_survivor_set_leaves_no_pair_loop_trace() {
+    use mcp_netlist::bench;
+    let nl = bench::parse("comb", "INPUT(a)\nOUTPUT(b)\nb = NOT(a)").expect("parse");
+    let obs = ObsCtx::new();
+    let report = analyze_with(
+        &nl,
+        &McConfig {
+            threads: 8,
+            ..McConfig::default()
+        },
+        &obs,
+    )
+    .expect("analyze");
+    assert!(report.pairs.is_empty());
+    assert!(
+        !report.metrics.spans.contains_key("analyze/pairs"),
+        "no worker ran, so no pair-loop span may exist"
+    );
+    assert_eq!(report.metrics.counters.implications, 0);
+    assert_eq!(report.metrics.counters.atpg_decisions, 0);
 }

@@ -368,7 +368,8 @@ mod tests {
         let report = validate_sdc(&nl, &[(0, 1)], hold_only);
         assert!(report.iter().any(|d| d.rule == "sdc-hold-mismatch"));
 
-        let wrong_k = "set_multicycle_path 3 -setup -from [get_cells {FF1}] -to [get_cells {FF2}]\n\
+        let wrong_k =
+            "set_multicycle_path 3 -setup -from [get_cells {FF1}] -to [get_cells {FF2}]\n\
              set_multicycle_path 1 -hold -from [get_cells {FF1}] -to [get_cells {FF2}]";
         let report = validate_sdc(&nl, &[(0, 1)], wrong_k);
         let d = report

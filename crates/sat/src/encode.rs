@@ -31,7 +31,13 @@ use std::collections::HashMap;
 /// assert_eq!(cnf.solver_mut().solve(&[!diff]), SolveResult::Unsat);
 /// # Ok::<(), mcp_netlist::bench::ParseBenchError>(())
 /// ```
-#[derive(Debug)]
+/// `Clone` duplicates the entire encoding and solver state. The pipeline
+/// uses this for deterministic parallel classification: one *template*
+/// `CircuitCnf` is built with every pair's difference literals created in
+/// a canonical order, then each query runs on a fresh clone — so variable
+/// numbering, decisions and learnt clauses per pair are identical no
+/// matter which worker handles the pair or in what order.
+#[derive(Debug, Clone)]
 pub struct CircuitCnf {
     solver: Solver,
     var_of: Vec<Var>,

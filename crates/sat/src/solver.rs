@@ -123,7 +123,7 @@ impl LBool {
 type ClauseRef = u32;
 const REASON_NONE: ClauseRef = u32::MAX;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
 }
@@ -135,7 +135,7 @@ struct Watcher {
 }
 
 /// Indexed max-heap over variable activities (the VSIDS order).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VarHeap {
     heap: Vec<Var>,
     pos: Vec<i32>, // -1 when absent
@@ -235,7 +235,14 @@ pub struct SolverStats {
 }
 
 /// A CDCL SAT solver (see [module docs](self)).
-#[derive(Debug)]
+///
+/// `Clone` duplicates the complete solver state — clauses (including
+/// learnt ones), assignments, activities, saved phases and statistics.
+/// Cloning a freshly encoded instance per query is how callers that need
+/// *history-independent* per-query behavior (identical decisions,
+/// conflicts and learnt clauses no matter what was solved before) get it
+/// without rebuilding the encoding.
+#[derive(Debug, Clone)]
 pub struct Solver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<Watcher>>, // indexed by literal code

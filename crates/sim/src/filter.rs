@@ -52,6 +52,12 @@ pub struct FilterOutcome {
     /// Number of 64-pattern words simulated (each word costs two clock
     /// cycles of evaluation).
     pub words_simulated: u64,
+    /// Per-FF source activity: `ff_toggles[k]` counts the simulated lanes
+    /// (across all words) in which FF `k` transitioned between `t` and
+    /// `t+1`. A pair that survived despite a busy source resisted many
+    /// concrete premise attempts — a cheap hardness signal the pipeline's
+    /// scheduler uses to order the engine queue hardest-first.
+    pub ff_toggles: Vec<u64>,
 }
 
 impl FilterOutcome {
@@ -94,6 +100,7 @@ pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig
     let mut words = 0u64;
     let mut idle = 0u32;
     let mut drops: Vec<PairDrop> = Vec::new();
+    let mut ff_toggles = vec![0u64; nffs];
 
     while !alive.is_empty() && idle < cfg.idle_words && words < cfg.max_words {
         sim.randomize_state(&mut rng);
@@ -112,6 +119,9 @@ pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig
             *s = sim.next_state(k);
         }
         words += 1;
+        for k in 0..nffs {
+            ff_toggles[k] += u64::from((s0[k] ^ s1[k]).count_ones());
+        }
 
         let word = words - 1;
         let before = drops.len();
@@ -137,6 +147,7 @@ pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig
         survivors: alive,
         drops,
         words_simulated: words,
+        ff_toggles,
     }
 }
 
@@ -204,6 +215,18 @@ mod tests {
         let out = mc_filter(&nl, &[], &FilterConfig::default());
         assert_eq!(out.words_simulated, 0);
         assert!(out.survivors.is_empty());
+    }
+
+    #[test]
+    fn toggle_activity_separates_busy_from_held_ffs() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        let out = mc_filter(&nl, &pairs, &FilterConfig::default());
+        assert_eq!(out.ff_toggles.len(), nl.num_ffs());
+        // A (fed by a free input) toggles in ~half the lanes; C (a hold
+        // register) starts from a random state but never changes.
+        assert!(out.ff_toggles[0] > 0, "A must show toggle activity");
+        assert_eq!(out.ff_toggles[2], 0, "C never transitions");
     }
 
     #[test]

@@ -20,13 +20,14 @@
 //!   rather than rejected) and exit non-zero on error-level findings.
 //!
 //! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
-//! `--learn`, `--threads N`, `--no-sim`, `--no-self-pairs`, `--no-lint`,
-//! `--json <path>`, `--format text|json`, `--metrics`,
-//! `--trace-out <path>`, `--progress`, `--quiet`.
+//! `--learn`, `--threads N`, `--scheduler steal|static`, `--no-sim`,
+//! `--no-self-pairs`, `--no-lint`, `--json <path>`, `--format text|json`,
+//! `--metrics`, `--trace-out <path>`, `--progress`, `--quiet`.
 
 use mcp_core::{
-    analyze, analyze_with, check_hazards, max_cycle_budget, sensitization_dependencies, to_sdc,
-    CycleBudget, Engine, HazardCheck, McConfig, McReport, PairClass, SdcOptions, Step, StepStats,
+    analyze, analyze_with, check_hazards, max_cycle_budgets, sensitization_dependencies, to_sdc,
+    CycleBudget, Engine, HazardCheck, McConfig, McReport, PairClass, Scheduler, SdcOptions, Step,
+    StepStats,
 };
 use mcp_netlist::{bench, Netlist};
 use mcp_obs::{read_journal_file, FileSink, MetricsSnapshot, ObsCtx, PairEvent};
@@ -48,6 +49,8 @@ pub struct Command {
     pub learn: bool,
     /// Worker threads.
     pub threads: usize,
+    /// Pair-loop scheduling policy.
+    pub scheduler: Scheduler,
     /// Disable the random-simulation prefilter.
     pub no_sim: bool,
     /// Exclude self pairs.
@@ -158,6 +161,7 @@ OPTIONS:
   --backtracks <N>               ATPG backtrack limit (default: 50)
   --learn                        enable SOCRATES-style static learning
   --threads <N>                  parallel pair workers (default: 1)
+  --scheduler steal|static       pair scheduling policy (default: steal)
   --no-sim                       skip the random-simulation prefilter
   --no-self-pairs                exclude (FFi, FFi) pairs ([9]'s convention)
   --no-lint                      analyze even if structural lints fail
@@ -187,6 +191,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut backtracks = 50u64;
     let mut learn = false;
     let mut threads = 1usize;
+    let mut scheduler = Scheduler::default();
     let mut no_sim = false;
     let mut no_self_pairs = false;
     let mut no_lint = false;
@@ -242,6 +247,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 threads = take_value(&mut args, "--threads")?
                     .parse()
                     .map_err(|e| ParseCliError(format!("bad --threads: {e}")))?;
+            }
+            "--scheduler" => {
+                scheduler = match take_value(&mut args, "--scheduler")?.as_str() {
+                    "steal" | "work-steal" => Scheduler::WorkSteal,
+                    "static" => Scheduler::Static,
+                    other => {
+                        return Err(ParseCliError(format!("unknown scheduler `{other}`")));
+                    }
+                }
             }
             "--json" => json = Some(take_value(&mut args, "--json")?),
             "--format" => {
@@ -326,6 +340,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         backtracks,
         learn,
         threads,
+        scheduler,
         no_sim,
         no_self_pairs,
         no_lint,
@@ -360,6 +375,7 @@ impl Command {
             backtrack_limit: self.backtracks,
             static_learning: self.learn,
             threads: self.threads,
+            scheduler: self.scheduler,
             use_sim_filter: !self.no_sim,
             include_self_pairs: !self.no_self_pairs,
             lint: !self.no_lint,
@@ -653,9 +669,12 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 nl.name(),
                 report.stats.multi_total()
             );
-            for (i, j) in report.multi_cycle_pairs() {
-                let budget = max_cycle_budget(&nl, i, j, *max_k, &cmd.config())
+            // One shared expansion, pair sweeps distributed over
+            // `--threads` workers; results come back sorted by pair.
+            let budgets =
+                max_cycle_budgets(&nl, &report.multi_cycle_pairs(), *max_k, &cmd.config())
                     .map_err(|e| e.to_string())?;
+            for ((i, j), budget) in budgets {
                 let desc = match budget {
                     CycleBudget::SingleCycle => "single-cycle (!)".to_owned(),
                     CycleBudget::Exact { verified } => format!("exactly {verified} cycles"),
@@ -956,6 +975,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_scheduler_policy() {
+        let cmd = parse_args(argv("analyze f.bench")).expect("parse");
+        assert_eq!(cmd.scheduler, Scheduler::WorkSteal, "stealing is default");
+        assert_eq!(cmd.config().scheduler, Scheduler::WorkSteal);
+        let cmd = parse_args(argv("analyze f.bench --scheduler static")).expect("parse");
+        assert_eq!(cmd.scheduler, Scheduler::Static);
+        assert_eq!(cmd.config().scheduler, Scheduler::Static);
+        let cmd = parse_args(argv("analyze f.bench --scheduler steal")).expect("parse");
+        assert_eq!(cmd.scheduler, Scheduler::WorkSteal);
+        assert!(parse_args(argv("analyze f.bench --scheduler fifo")).is_err());
+        assert!(parse_args(argv("analyze f.bench --scheduler")).is_err());
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_engines() {
         assert!(parse_args(argv("analyze f.bench --frobnicate")).is_err());
         assert!(parse_args(argv("analyze f.bench --engine quantum")).is_err());
@@ -997,6 +1030,15 @@ mod tests {
         let cmd = parse_args(argv(&format!("kcycle {} --max-k 4", path.display()))).expect("parse");
         let out = run(&cmd).expect("kcycle");
         assert!(out.contains("cycles"), "{out}");
+        // The budget sweep is deterministic under parallel scheduling.
+        for extra in ["--threads 8", "--threads 8 --scheduler static"] {
+            let cmd = parse_args(argv(&format!(
+                "kcycle {} --max-k 4 {extra}",
+                path.display()
+            )))
+            .expect("parse");
+            assert_eq!(run(&cmd).expect("kcycle parallel"), out, "{extra}");
+        }
 
         let cmd = parse_args(argv(&format!("sdc {}", path.display()))).expect("parse");
         let out = run(&cmd).expect("sdc");

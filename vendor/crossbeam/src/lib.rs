@@ -1,10 +1,19 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the `thread::scope` API the workspace uses is provided, adapted
-//! over `std::thread::scope` (stable since Rust 1.63). The signatures
-//! mirror crossbeam 0.8: the scope closure and every spawned closure
-//! receive a `&Scope` handle, `scope` returns `Result<R>`, and handles
-//! expose `join() -> Result<T>`.
+//! Two APIs the workspace uses are provided with crossbeam-0.8-shaped
+//! signatures:
+//!
+//! - [`thread::scope`], adapted over `std::thread::scope` (stable since
+//!   Rust 1.63): the scope closure and every spawned closure receive a
+//!   `&Scope` handle, `scope` returns `Result<R>`, and handles expose
+//!   `join() -> Result<T>`.
+//! - [`deque`]: the work-stealing `Worker`/`Stealer`/`Injector` trio.
+//!   The real crate implements the Chase–Lev lock-free deque; this
+//!   stand-in keeps the same API and semantics (owner pops LIFO from one
+//!   end, thieves steal FIFO from the other, a shared FIFO injector
+//!   feeds batches) over `Mutex<VecDeque>` — correct under the crate's
+//!   `forbid(unsafe_code)` policy, and contention on the pair-scheduling
+//!   workloads here is negligible next to per-item work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,8 +83,242 @@ pub mod thread {
     }
 }
 
+/// Work-stealing deques and a shared injector queue (crossbeam 0.8 API).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    ///
+    /// The mutex-based stand-in never loses a race mid-operation, so it
+    /// never returns [`Steal::Retry`]; the variant exists (and callers
+    /// must handle it) so code written against this API runs unchanged on
+    /// the real lock-free implementation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty at the time of the attempt.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the source was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Whether a task was stolen.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Whether the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Lifo,
+        Fifo,
+    }
+
+    /// The owner's handle of a work-stealing deque.
+    ///
+    /// The owner pushes and pops at the "hot" end (back in LIFO flavor,
+    /// front in FIFO flavor); [`Stealer`]s take from the opposite (front)
+    /// end, so owner and thieves rarely contend on the same task.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque: the owner pops its most recently pushed
+        /// task first (depth-first, cache-friendly).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Creates a FIFO deque: the owner pops its oldest task first.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("deque poisoned");
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// Creates a thief handle stealing from the cold end.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Whether the deque was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of tasks in the deque at the time of the call.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// A thief's handle of a [`Worker`] deque; cloneable and shareable
+    /// across threads.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front (cold end) of the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals roughly half of the deque into `dest`, returning one of
+        /// the stolen tasks directly.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch: Vec<T> = {
+                let mut q = self.queue.lock().expect("deque poisoned");
+                let n = q.len().div_ceil(2);
+                q.drain(..n).collect()
+            };
+            let mut iter = batch.into_iter();
+            match iter.next() {
+                None => Steal::Empty,
+                Some(first) => {
+                    for t in iter {
+                        dest.push(t);
+                    }
+                    Steal::Success(first)
+                }
+            }
+        }
+
+        /// Whether the deque was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of tasks in the deque at the time of the call.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// A shared FIFO queue seeding a pool of [`Worker`]s.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Moves a batch of tasks from the front of the queue into `dest`,
+        /// returning one of them directly. The batch size is the real
+        /// crate's heuristic: half the queue, capped so no single thief
+        /// drains a large injector.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            const MAX_BATCH: usize = 32;
+            let batch: Vec<T> = {
+                let mut q = self.queue.lock().expect("injector poisoned");
+                let n = q.len().div_ceil(2).min(MAX_BATCH);
+                q.drain(..n).collect()
+            };
+            let mut iter = batch.into_iter();
+            match iter.next() {
+                None => Steal::Empty,
+                Some(first) => {
+                    for t in iter {
+                        dest.push(t);
+                    }
+                    Steal::Success(first)
+                }
+            }
+        }
+
+        /// Whether the queue was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of tasks in the queue at the time of the call.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::deque::{Injector, Steal, Worker};
     use super::thread;
 
     #[test]
@@ -90,6 +333,108 @@ mod tests {
         })
         .expect("scope");
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn lifo_worker_pops_newest_and_stealer_takes_oldest() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let st = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(3), "owner pops LIFO");
+        assert_eq!(st.steal(), Steal::Success(1), "thief steals FIFO");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(st.steal().is_empty());
+        assert!(w.is_empty() && st.is_empty());
+    }
+
+    #[test]
+    fn fifo_worker_pops_oldest() {
+        let w: Worker<u32> = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_batches_into_a_worker() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 10);
+        let w = Worker::new_lifo();
+        // Half of 10 = 5: one returned, four moved into the worker.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+        let empty: Injector<u32> = Injector::new();
+        assert!(empty.steal_batch_and_pop(&w).is_empty());
+        assert_eq!(empty.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn stealer_batch_takes_half() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let st = w.stealer();
+        for i in 0..8 {
+            w.push(i);
+        }
+        let dest = Worker::new_lifo();
+        // Half of 8 = 4 stolen from the front: 0 returned, 1..=3 moved.
+        assert_eq!(st.steal_batch_and_pop(&dest), Steal::Success(0));
+        assert_eq!(dest.len(), 3);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn steal_helpers_classify_variants() {
+        assert!(Steal::<u8>::Empty.is_empty());
+        assert!(Steal::<u8>::Retry.is_retry());
+        assert!(Steal::Success(7).is_success());
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<u8>::Empty.success(), None);
+    }
+
+    #[test]
+    fn concurrent_thieves_drain_everything_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let inj: Injector<u64> = Injector::new();
+        const N: u64 = 10_000;
+        for i in 0..N {
+            inj.push(i);
+        }
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let local: Worker<u64> = Worker::new_lifo();
+                    loop {
+                        let task = local
+                            .pop()
+                            .or_else(|| match inj.steal_batch_and_pop(&local) {
+                                Steal::Success(t) => Some(t),
+                                _ => None,
+                            });
+                        match task {
+                            Some(t) => {
+                                sum.fetch_add(t, Ordering::Relaxed);
+                                count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(count.load(Ordering::Relaxed), N);
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
     }
 
     #[test]
