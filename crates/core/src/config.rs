@@ -75,6 +75,14 @@ pub struct McConfig {
     /// engines and refuse corrupt netlists. Disable (`--no-lint`) only to
     /// push a known-suspect netlist through anyway.
     pub lint: bool,
+    /// Scope per-pair engine work to the pair's cone of influence: the
+    /// survivors are grouped by sink FF and each group is classified on a
+    /// [`Slice`](mcp_netlist::Slice) of the time-frame expansion instead
+    /// of the whole circuit (default: on). Verdicts — and the canonical
+    /// report — are identical either way; only engine effort differs.
+    /// Disable (`--no-slice`, or the `MCPATH_NO_SLICE` env var) to
+    /// A/B-measure whole-circuit engine cost.
+    pub slice: bool,
     /// Worker threads for the pair loop (pairs are independent). `1` =
     /// sequential. The BDD engine is inherently sequential and ignores
     /// this.
@@ -96,6 +104,7 @@ impl Default for McConfig {
             learn_budget: 8_000_000,
             include_self_pairs: true,
             lint: true,
+            slice: std::env::var_os("MCPATH_NO_SLICE").is_none(),
             threads: 1,
             scheduler: Scheduler::default(),
         }
@@ -122,6 +131,11 @@ mod tests {
         assert_eq!(cfg.sim.idle_words, 128);
         assert!(cfg.include_self_pairs);
         assert!(cfg.lint);
+        if std::env::var_os("MCPATH_NO_SLICE").is_none() {
+            assert!(cfg.slice, "slicing defaults to on");
+        } else {
+            assert!(!cfg.slice, "MCPATH_NO_SLICE must disable slicing");
+        }
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.scheduler, Scheduler::WorkSteal);
     }

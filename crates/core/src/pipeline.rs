@@ -9,10 +9,11 @@ use crate::schedule::{run_items, PairFeed};
 use mcp_atpg::SearchConfig;
 use mcp_bdd::{InitStates, Ref, SymbolicFsm};
 use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
-use mcp_netlist::{Expanded, Netlist};
+use mcp_netlist::{Expanded, Netlist, XId};
 use mcp_obs::{ObsCtx, PairEvent};
 use mcp_sat::CircuitCnf;
 use mcp_sim::mc_filter;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -165,6 +166,8 @@ pub fn analyze_with(
                     assignments: Vec::new(),
                     micros: 0,
                     sim_word: Some(d.word),
+                    slice_nodes: None,
+                    slice_vars: None,
                 });
             }
         }
@@ -174,135 +177,217 @@ pub fn analyze_with(
         candidates.clone()
     };
 
-    // Hardest-first scheduling order: with work stealing the queue is
-    // drained from the front, so front-loading the expensive pairs keeps
-    // the tail of the run short (a cheap pair never strands behind an
+    // Sink-group planning: survivors sharing a sink FF form one work
+    // unit, so a single cone slice (and the per-group engine state built
+    // on it) serves every source of that sink. The groups also carry the
+    // hardest-first cost hints: with work stealing the queue is drained
+    // from the front, so front-loading the expensive groups keeps the
+    // tail of the run short (a cheap group never strands behind an
     // expensive one). Verdicts are order-independent, and the report is
     // re-sorted by pair at the end, so this is pure scheduling policy.
-    order_hardest_first(netlist, &mut survivors, ff_toggles.as_deref());
+    let t_prepare = t_total.child("prepare");
+    let x = Expanded::build(netlist, cfg.frames());
+    let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
+    order_hardest_first(&mut survivors, &groups);
 
     // Steps 3-4: engine-specific classification of the survivors.
     let done = AtomicUsize::new(0);
     let total = survivors.len();
     let tick = |d: usize| obs.progress("pairs", d, total);
-    let t_prepare = t_total.child("prepare");
     let verdicts: Vec<((usize, usize), Verdict)> = match cfg.engine {
         Engine::Implication => {
-            let x = Expanded::build(netlist, cfg.frames());
-            let learned = if cfg.static_learning {
-                let l = learn(
-                    &x,
-                    &LearnConfig {
-                        max_implications: cfg.learn_budget,
-                    },
-                );
-                obs.metrics.learned_implications.add(l.len() as u64);
-                Some(l)
-            } else {
-                None
-            };
-            stats.time_prepare = t_prepare.stop();
             let search_cfg = SearchConfig {
                 backtrack_limit: cfg.backtrack_limit,
             };
-            run_pair_loop(&survivors, cfg, &mut stats, obs, |feed, out| {
-                let mut eng = match &learned {
-                    Some(l) => new_engine_with_learned(&x, l),
-                    None => ImpEngine::new(&x),
-                };
-                // Engine construction itself propagates (the learned
-                // forced literals); subtract that baseline so the flushed
-                // totals are pure per-pair deltas — independent of how
-                // many workers were spawned.
-                let base_implications = eng.implications();
-                let base_contradictions = eng.contradictions();
-                while let Some((i, j)) = feed.next() {
-                    let t_pair = Instant::now();
-                    let mut probe = if obs.sink().enabled() {
-                        PairProbe::traced()
-                    } else {
-                        PairProbe::default()
-                    };
-                    let v = classify_pair_implication_probed(
-                        &mut eng,
-                        i,
-                        j,
-                        cfg.cycles,
-                        &search_cfg,
-                        &mut probe,
-                    );
-                    obs.metrics.atpg_decisions.add(probe.decisions);
-                    obs.metrics.atpg_backtracks.add(probe.backtracks);
-                    obs.metrics.atpg_aborts.add(probe.aborts);
-                    if obs.sink().enabled() {
-                        obs.sink().record(&verdict_event(
-                            i,
-                            j,
-                            &v,
-                            "implication",
-                            std::mem::take(&mut probe.assignments),
-                            t_pair.elapsed(),
-                        ));
+            if cfg.slice {
+                stats.time_prepare = t_prepare.stop();
+                run_group_loop(&groups, cfg, &mut stats, obs, |feed, out| {
+                    while let Some(g) = feed.next() {
+                        let group = &groups[g];
+                        let slice = x.build_slice(&group_roots(&x, group, cfg.cycles));
+                        let sx = slice.model();
+                        let sizes = (slice.num_nodes() as u64, slice.num_vars() as u64);
+                        note_slice_build(obs, sizes, group.sources.len());
+                        // Static learning is slice-local: the learned set
+                        // is sound on slice and whole circuit alike, but
+                        // only the slice's share is worth paying for here.
+                        let learned = if cfg.static_learning {
+                            let l = learn(
+                                sx,
+                                &LearnConfig {
+                                    max_implications: cfg.learn_budget,
+                                },
+                            );
+                            obs.metrics.learned_implications.add(l.len() as u64);
+                            Some(l)
+                        } else {
+                            None
+                        };
+                        let mut eng = match &learned {
+                            Some(l) => new_engine_with_learned(sx, l),
+                            None => ImpEngine::new(sx),
+                        };
+                        // Engine construction itself propagates (the
+                        // learned forced literals); subtract that baseline
+                        // so the flushed totals are pure per-group deltas
+                        // — independent of which worker ran the group.
+                        let base_implications = eng.implications();
+                        let base_contradictions = eng.contradictions();
+                        for &i in &group.sources {
+                            let v = classify_one_implication(
+                                &mut eng,
+                                i,
+                                group.sink,
+                                cfg,
+                                &search_cfg,
+                                obs,
+                                Some(sizes),
+                            );
+                            tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                            out.push(((i, group.sink), v));
+                        }
+                        obs.metrics
+                            .implications
+                            .add(eng.implications() - base_implications);
+                        obs.metrics
+                            .contradictions
+                            .add(eng.contradictions() - base_contradictions);
                     }
-                    tick(done.fetch_add(1, Ordering::Relaxed) + 1);
-                    out.push(((i, j), v));
-                }
-                obs.metrics
-                    .implications
-                    .add(eng.implications() - base_implications);
-                obs.metrics
-                    .contradictions
-                    .add(eng.contradictions() - base_contradictions);
-            })
+                })
+            } else {
+                let learned = if cfg.static_learning {
+                    let l = learn(
+                        &x,
+                        &LearnConfig {
+                            max_implications: cfg.learn_budget,
+                        },
+                    );
+                    obs.metrics.learned_implications.add(l.len() as u64);
+                    Some(l)
+                } else {
+                    None
+                };
+                stats.time_prepare = t_prepare.stop();
+                run_pair_loop(&survivors, cfg, &mut stats, obs, |feed, out| {
+                    let mut eng = match &learned {
+                        Some(l) => new_engine_with_learned(&x, l),
+                        None => ImpEngine::new(&x),
+                    };
+                    // Engine construction itself propagates (the learned
+                    // forced literals); subtract that baseline so the
+                    // flushed totals are pure per-pair deltas —
+                    // independent of how many workers were spawned.
+                    let base_implications = eng.implications();
+                    let base_contradictions = eng.contradictions();
+                    while let Some((i, j)) = feed.next() {
+                        let v =
+                            classify_one_implication(&mut eng, i, j, cfg, &search_cfg, obs, None);
+                        tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                        out.push(((i, j), v));
+                    }
+                    obs.metrics
+                        .implications
+                        .add(eng.implications() - base_implications);
+                    obs.metrics
+                        .contradictions
+                        .add(eng.contradictions() - base_contradictions);
+                })
+            }
         }
         Engine::Sat => {
-            let x = Expanded::build(netlist, cfg.frames());
-            // Template encoding with every pair's difference literals
-            // created in canonical (sorted-pair) order. Each pair is then
-            // solved on a fresh clone: variable numbering, decisions and
-            // learnt clauses per pair are identical no matter which
-            // worker runs the pair or in what order, which is what makes
-            // the report (including SAT counter totals) byte-identical
-            // for any thread count. The price is losing learnt-clause
-            // reuse across pairs — acceptable for a baseline engine.
-            let template = {
-                let mut cnf = CircuitCnf::new(&x);
-                let mut sorted = survivors.clone();
-                sorted.sort_unstable();
-                for &(i, j) in &sorted {
-                    cnf.diff_lit(x.ff_at(i, 0), x.ff_at(i, 1));
-                    for m in 1..cfg.cycles {
-                        cnf.diff_lit(x.ff_at(j, m), x.ff_at(j, m + 1));
+            // Each sink group is solved on one incremental solver in
+            // fixed ascending-source order: variable numbering, decisions
+            // and learnt clauses of a group are identical no matter which
+            // worker runs the group, which is what makes the report
+            // (including SAT counter totals) byte-identical for any
+            // thread count. Within a group the queries share learnt
+            // clauses — the whole-circuit clone-per-pair of earlier
+            // revisions is gone from the hot path.
+            if cfg.slice {
+                stats.time_prepare = t_prepare.stop();
+                run_group_loop(&groups, cfg, &mut stats, obs, |feed, out| {
+                    while let Some(g) = feed.next() {
+                        let group = &groups[g];
+                        let slice = x.build_slice(&group_roots(&x, group, cfg.cycles));
+                        let sx = slice.model();
+                        let mut cnf = CircuitCnf::new(sx);
+                        // Difference literals in canonical order:
+                        // ascending sources, then the sink boundaries.
+                        for &i in &group.sources {
+                            cnf.diff_lit(sx.ff_at(i, 0), sx.ff_at(i, 1));
+                        }
+                        for m in 1..cfg.cycles {
+                            cnf.diff_lit(sx.ff_at(group.sink, m), sx.ff_at(group.sink, m + 1));
+                        }
+                        let sizes = (slice.num_nodes() as u64, cnf.solver().num_vars() as u64);
+                        note_slice_build(obs, sizes, group.sources.len());
+                        for &i in &group.sources {
+                            let t_pair = Instant::now();
+                            let v = classify_pair_sat(&mut cnf, sx, i, group.sink, cfg.cycles);
+                            if obs.sink().enabled() {
+                                obs.sink().record(&verdict_event(
+                                    i,
+                                    group.sink,
+                                    &v,
+                                    "sat",
+                                    Vec::new(),
+                                    t_pair.elapsed(),
+                                    Some(sizes),
+                                ));
+                            }
+                            tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                            out.push(((i, group.sink), v));
+                        }
+                        // The solver started from zero for this group, so
+                        // its stats are already pure per-group deltas.
+                        flush_sat_stats(obs, &cnf);
                     }
-                }
-                cnf
-            };
-            stats.time_prepare = t_prepare.stop();
-            run_pair_loop(&survivors, cfg, &mut stats, obs, |feed, out| {
-                while let Some((i, j)) = feed.next() {
-                    let t_pair = Instant::now();
-                    let mut cnf = template.clone();
-                    let v = classify_pair_sat(&mut cnf, &x, i, j, cfg.cycles);
-                    let s = cnf.solver().stats();
-                    obs.metrics.sat_decisions.add(s.decisions);
-                    obs.metrics.sat_propagations.add(s.propagations);
-                    obs.metrics.sat_conflicts.add(s.conflicts);
-                    obs.metrics.sat_learned.add(s.learnt);
-                    obs.metrics.sat_restarts.add(s.restarts);
-                    if obs.sink().enabled() {
-                        obs.sink().record(&verdict_event(
-                            i,
-                            j,
-                            &v,
-                            "sat",
-                            Vec::new(),
-                            t_pair.elapsed(),
-                        ));
+                })
+            } else {
+                // Whole-circuit template with every pair's difference
+                // literals created in canonical (sorted-pair) order,
+                // cloned once per sink group (not per pair).
+                let template = {
+                    let mut cnf = CircuitCnf::new(&x);
+                    let mut sorted = survivors.clone();
+                    sorted.sort_unstable();
+                    for &(i, j) in &sorted {
+                        cnf.diff_lit(x.ff_at(i, 0), x.ff_at(i, 1));
+                        for m in 1..cfg.cycles {
+                            cnf.diff_lit(x.ff_at(j, m), x.ff_at(j, m + 1));
+                        }
                     }
-                    tick(done.fetch_add(1, Ordering::Relaxed) + 1);
-                    out.push(((i, j), v));
-                }
-            })
+                    cnf
+                };
+                stats.time_prepare = t_prepare.stop();
+                run_group_loop(&groups, cfg, &mut stats, obs, |feed, out| {
+                    while let Some(g) = feed.next() {
+                        let group = &groups[g];
+                        let mut cnf = template.clone();
+                        for &i in &group.sources {
+                            let t_pair = Instant::now();
+                            let v = classify_pair_sat(&mut cnf, &x, i, group.sink, cfg.cycles);
+                            if obs.sink().enabled() {
+                                obs.sink().record(&verdict_event(
+                                    i,
+                                    group.sink,
+                                    &v,
+                                    "sat",
+                                    Vec::new(),
+                                    t_pair.elapsed(),
+                                    None,
+                                ));
+                            }
+                            tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                            out.push(((i, group.sink), v));
+                        }
+                        // The template's stats are zero (building it only
+                        // adds clauses), so the clone's totals are the
+                        // group's deltas.
+                        flush_sat_stats(obs, &cnf);
+                    }
+                })
+            }
         }
         Engine::Bdd {
             node_limit,
@@ -343,6 +428,7 @@ pub fn analyze_with(
                                         "bdd",
                                         Vec::new(),
                                         t_pair.elapsed(),
+                                        None,
                                     ));
                                 }
                                 tick(done.fetch_add(1, Ordering::Relaxed) + 1);
@@ -411,7 +497,9 @@ pub(crate) fn step_name(step: Step) -> &'static str {
     }
 }
 
-/// Builds the journal record for one engine-classified pair.
+/// Builds the journal record for one engine-classified pair. `slice` is
+/// the `(nodes, vars)` size of the cone slice the pair ran on, or `None`
+/// when the engine ran on the whole-circuit expansion.
 fn verdict_event(
     i: usize,
     j: usize,
@@ -419,6 +507,7 @@ fn verdict_event(
     engine: &str,
     assignments: Vec<mcp_obs::AssignmentEvent>,
     elapsed: Duration,
+    slice: Option<(u64, u64)>,
 ) -> PairEvent {
     let (step, class) = match v {
         Verdict::Multi { by } => (step_name(*by), "multi"),
@@ -434,6 +523,8 @@ fn verdict_event(
         assignments,
         micros: elapsed.as_micros() as u64,
         sim_word: None,
+        slice_nodes: slice.map(|(n, _)| n),
+        slice_vars: slice.map(|(_, v)| v),
     }
 }
 
@@ -449,48 +540,169 @@ fn new_engine_with_learned<'a>(x: &'a Expanded, learned: &'a LearnedImplications
     eng
 }
 
-/// Reorders `survivors` so the pairs expected to cost the most come
-/// first in the scheduling queue.
+/// One unit of engine work: every surviving pair sharing a sink FF.
 ///
-/// The hint combines two signals available before any engine runs:
+/// Grouping by sink maximizes slice reuse: the `k`-frame sink cone
+/// dominates the slice, and every source of the sink already lies inside
+/// it (the pair is topologically connected), so one slice — and the
+/// engine state built on it — serves the whole group.
+struct SinkGroup {
+    /// Sink FF index (the `j` of every pair in the group).
+    sink: usize,
+    /// Source FF indices, ascending — the in-group classification order.
+    sources: Vec<usize>,
+    /// Exact node count of the group's cone slice (from
+    /// [`Expanded::cone_of`]) — the effort hint shared by the scheduler.
+    slice_nodes: u64,
+    /// Scheduling cost hint: `slice_nodes` boosted by sim-filter source
+    /// activity.
+    cost: u64,
+}
+
+/// The expansion nodes a sink group's engines inspect: source transition
+/// boundary (`t`, `t+1`) for every source, sink values at `t+1 ..= t+k`.
+/// Their fanin cone is exactly the logic any of the group's per-pair
+/// queries can touch.
+fn group_roots(x: &Expanded, group: &SinkGroup, cycles: u32) -> Vec<XId> {
+    let mut roots = Vec::with_capacity(2 * group.sources.len() + cycles as usize);
+    for &i in &group.sources {
+        roots.push(x.ff_at(i, 0));
+        roots.push(x.ff_at(i, 1));
+    }
+    for m in 1..=cycles {
+        roots.push(x.ff_at(group.sink, m));
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+/// Groups `survivors` by sink FF and orders the groups hardest-first.
 ///
-/// - **Fanin-cone size** of both FFs (the sink's weighted double: the
-///   expansion replicates the sink cone once per frame, and the search
-///   justifies into it) — a static proxy for per-pair engine effort.
+/// The cost hint combines two signals available before any engine runs:
+///
+/// - **Exact slice size** (the node count of the group's cone of
+///   influence in the `k`-frame expansion) — the work both the slice
+///   build and every per-pair query scale with. This replaces the older
+///   netlist-level fanin-cone proxy, which ignored cone overlap and gate
+///   depth entirely.
 /// - **Sim-filter source activity** ([`mcp_sim::FilterOutcome::ff_toggles`],
 ///   when the filter ran): a pair that survived *despite* a
 ///   frequently-toggling source resisted that many concrete premise
 ///   witnesses, so its refutation (if any) is unlikely to be easy —
-///   boost it ahead of pairs whose sources barely toggled.
+///   boost its group ahead of groups whose sources barely toggled.
 ///
-/// Ties break on the pair itself, keeping the queue order (and thus the
+/// Ties break on the sink index, keeping the group order (and thus the
 /// static-chunk partition) fully deterministic.
-fn order_hardest_first(
-    netlist: &Netlist,
-    survivors: &mut [(usize, usize)],
+fn plan_sink_groups(
+    x: &Expanded,
+    survivors: &[(usize, usize)],
     ff_toggles: Option<&[u64]>,
-) {
-    if survivors.len() < 2 {
-        return;
+    cycles: u32,
+) -> Vec<SinkGroup> {
+    let mut by_sink: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(i, j) in survivors {
+        by_sink.entry(j).or_default().push(i);
     }
-    let nffs = netlist.num_ffs();
-    let cone: Vec<u64> = (0..nffs)
-        .map(|j| {
-            let (ffs, pis) = netlist.ff_d_cone_sources(j);
-            (ffs.len() + pis.len()) as u64
-        })
-        .collect();
-    let cost = |&(i, j): &(usize, usize)| -> u64 {
-        let base = 2 * cone[j] + cone[i] + 1;
-        match ff_toggles {
+    let mut groups: Vec<SinkGroup> = by_sink
+        .into_iter()
+        .map(|(sink, mut sources)| {
+            sources.sort_unstable();
+            sources.dedup();
+            let mut g = SinkGroup {
+                sink,
+                sources,
+                slice_nodes: 0,
+                cost: 0,
+            };
+            g.slice_nodes = x.cone_of(&group_roots(x, &g, cycles)).len() as u64;
             // Saturating at 7 keeps the boost bounded: beyond ~7 toggling
             // lanes the premise is plainly easy to excite and tells us
             // nothing more about hardness.
-            Some(t) => base * (1 + t[i].min(7)),
-            None => base,
+            let boost = match ff_toggles {
+                Some(t) => 1 + g.sources.iter().map(|&i| t[i]).max().unwrap_or(0).min(7),
+                None => 1,
+            };
+            g.cost = g.slice_nodes * boost;
+            g
+        })
+        .collect();
+    groups.sort_unstable_by_key(|g| (std::cmp::Reverse(g.cost), g.sink));
+    groups
+}
+
+/// Rewrites `survivors` into the scheduling order implied by `groups`:
+/// hardest group first, ascending source within a group. Used directly
+/// by the engines that consume a flat pair list (BDD, no-slice
+/// implication); the group-fed engines get the same order from the
+/// groups themselves.
+fn order_hardest_first(survivors: &mut Vec<(usize, usize)>, groups: &[SinkGroup]) {
+    survivors.clear();
+    for g in groups {
+        for &i in &g.sources {
+            survivors.push((i, g.sink));
         }
+    }
+}
+
+/// Accounts one slice construction of `(nodes, vars)` size that serves a
+/// `group_size`-pair sink group: every pair after the first is a reuse
+/// ("cache hit") that would have been a fresh build under per-pair
+/// slicing.
+fn note_slice_build(obs: &ObsCtx, (nodes, vars): (u64, u64), group_size: usize) {
+    obs.metrics.slice_builds.add(1);
+    obs.metrics.slice_cache_hits.add(group_size as u64 - 1);
+    obs.metrics.slice_nodes.add(nodes);
+    obs.metrics.slice_vars.add(vars);
+    obs.metrics.slice_nodes_peak.raise_to(nodes);
+}
+
+/// Classifies one pair on an implication engine (whole-circuit or
+/// sliced — `eng`'s expansion decides), flushing per-pair search effort
+/// counters and the journal event.
+fn classify_one_implication(
+    eng: &mut ImpEngine<'_>,
+    i: usize,
+    j: usize,
+    cfg: &McConfig,
+    search_cfg: &SearchConfig,
+    obs: &ObsCtx,
+    slice: Option<(u64, u64)>,
+) -> Verdict {
+    let t_pair = Instant::now();
+    let mut probe = if obs.sink().enabled() {
+        PairProbe::traced()
+    } else {
+        PairProbe::default()
     };
-    survivors.sort_unstable_by_key(|p| (std::cmp::Reverse(cost(p)), *p));
+    let v = classify_pair_implication_probed(eng, i, j, cfg.cycles, search_cfg, &mut probe);
+    obs.metrics.atpg_decisions.add(probe.decisions);
+    obs.metrics.atpg_backtracks.add(probe.backtracks);
+    obs.metrics.atpg_aborts.add(probe.aborts);
+    if obs.sink().enabled() {
+        obs.sink().record(&verdict_event(
+            i,
+            j,
+            &v,
+            "implication",
+            std::mem::take(&mut probe.assignments),
+            t_pair.elapsed(),
+            slice,
+        ));
+    }
+    v
+}
+
+/// Adds a solver's lifetime totals to the SAT effort counters. Callers
+/// must hand over a solver whose totals are pure deltas for the work
+/// being flushed (fresh per group, or cloned from a zero-stats template).
+fn flush_sat_stats(obs: &ObsCtx, cnf: &CircuitCnf) {
+    let s = cnf.solver().stats();
+    obs.metrics.sat_decisions.add(s.decisions);
+    obs.metrics.sat_propagations.add(s.propagations);
+    obs.metrics.sat_conflicts.add(s.conflicts);
+    obs.metrics.sat_learned.add(s.learnt);
+    obs.metrics.sat_restarts.add(s.restarts);
 }
 
 /// Runs `work` over `pairs` on `cfg.threads` workers under
@@ -506,7 +718,7 @@ fn run_pair_loop<F>(
     work: F,
 ) -> Vec<((usize, usize), Verdict)>
 where
-    F: Fn(&mut PairFeed<'_>, &mut Vec<((usize, usize), Verdict)>) + Sync,
+    F: Fn(&mut PairFeed<'_, (usize, usize)>, &mut Vec<((usize, usize), Verdict)>) + Sync,
 {
     let (out, busy) = run_items(
         pairs,
@@ -516,6 +728,28 @@ where
         "analyze/pairs",
         work,
     );
+    stats.time_pairs += busy;
+    out
+}
+
+/// [`run_pair_loop`], but feeding whole sink-group indices
+/// (`0..groups.len()`): a worker that claims group `g` classifies every
+/// pair of `groups[g]` before taking more work, so per-group engine
+/// state (cone slice, learned set, incremental SAT solver) is built once
+/// and reused across the group — and the per-group counter deltas stay
+/// independent of which worker ran it.
+fn run_group_loop<F>(
+    groups: &[SinkGroup],
+    cfg: &McConfig,
+    stats: &mut StepStats,
+    obs: &ObsCtx,
+    work: F,
+) -> Vec<((usize, usize), Verdict)>
+where
+    F: Fn(&mut PairFeed<'_, usize>, &mut Vec<((usize, usize), Verdict)>) + Sync,
+{
+    let ids: Vec<usize> = (0..groups.len()).collect();
+    let (out, busy) = run_items(&ids, cfg.threads, cfg.scheduler, obs, "analyze/pairs", work);
     stats.time_pairs += busy;
     out
 }
@@ -678,25 +912,68 @@ mod tests {
     #[test]
     fn hardest_first_ordering_is_a_deterministic_permutation() {
         let nl = suite::quick_suite().remove(0); // m27
+        let x = Expanded::build(&nl, 2);
         let mut pairs = nl.connected_ff_pairs();
         let original = pairs.clone();
         let toggles = vec![3u64; nl.num_ffs()];
-        order_hardest_first(&nl, &mut pairs, Some(&toggles));
+        let groups = plan_sink_groups(&x, &pairs, Some(&toggles), 2);
+        // Groups come out hardest-first by the exact slice-size hint.
+        assert!(
+            groups.windows(2).all(|w| w[0].cost >= w[1].cost),
+            "group costs must be non-increasing"
+        );
+        assert!(groups.iter().all(|g| g.slice_nodes > 0));
+        order_hardest_first(&mut pairs, &groups);
         let mut sorted_a = pairs.clone();
         sorted_a.sort_unstable();
         let mut sorted_b = original.clone();
         sorted_b.sort_unstable();
         assert_eq!(sorted_a, sorted_b, "ordering must be a permutation");
-        // Re-running produces the identical order (ties broken by pair).
+        // Re-running produces the identical order (ties broken by sink).
+        let again_groups = plan_sink_groups(&x, &original, Some(&toggles), 2);
         let mut again = original.clone();
-        order_hardest_first(&nl, &mut again, Some(&toggles));
+        order_hardest_first(&mut again, &again_groups);
         assert_eq!(again, pairs);
-        // Without toggle data the static cone hint still applies.
+        // Without toggle data the slice-size hint still applies.
+        let no_sim_groups = plan_sink_groups(&x, &original, None, 2);
         let mut no_sim = original;
-        order_hardest_first(&nl, &mut no_sim, None);
+        order_hardest_first(&mut no_sim, &no_sim_groups);
         let mut sorted_c = no_sim.clone();
         sorted_c.sort_unstable();
         assert_eq!(sorted_c, sorted_b);
+    }
+
+    #[test]
+    fn slicing_does_not_change_the_canonical_report() {
+        // The slice-mode determinism contract: the canonical report is
+        // byte-identical with slicing on and off, for every engine that
+        // honors the flag.
+        let nl = suite::quick_suite().remove(2); // m526
+        for engine in [Engine::Implication, Engine::Sat] {
+            let on = analyze(
+                &nl,
+                &McConfig {
+                    engine,
+                    slice: true,
+                    ..McConfig::default()
+                },
+            )
+            .expect("analyze");
+            let off = analyze(
+                &nl,
+                &McConfig {
+                    engine,
+                    slice: false,
+                    ..McConfig::default()
+                },
+            )
+            .expect("analyze");
+            assert_eq!(
+                serde_json::to_string(&on.canonical()).expect("serialize"),
+                serde_json::to_string(&off.canonical()).expect("serialize"),
+                "canonical report drifted between slice modes under {engine:?}"
+            );
+        }
     }
 
     #[test]

@@ -133,16 +133,20 @@ impl McReport {
         }
     }
 
-    /// The schedule-independent projection of the report: a copy with
-    /// every wall-clock field zeroed and the span-timing map emptied.
+    /// The strategy-independent projection of the report: a copy with
+    /// every wall-clock field zeroed, the span-timing map emptied, and
+    /// the engine *effort* counters (implication/ATPG/SAT/BDD work, slice
+    /// sizes, learned-implication counts) cleared.
     ///
-    /// Everything that remains — verdicts, per-step pair counts, engine
-    /// counter totals — is deterministic for a fixed circuit and config,
-    /// so two runs differing only in thread count, scheduling policy or
-    /// machine load serialize to **byte-identical** JSON. Wall-clock
-    /// fields cannot share that property (time passes differently on
-    /// every run), which is why they are projected out rather than
-    /// compared.
+    /// Everything that remains — verdicts, per-step pair counts, the
+    /// input-side counters (lint, simulation) — describes *what was
+    /// decided about the circuit*, not *how hard the engine worked for
+    /// it*, so two runs differing only in thread count, scheduling
+    /// policy, or cone slicing (`McConfig::slice`) serialize to
+    /// **byte-identical** JSON. Effort counters cannot share that
+    /// property across slice modes (a sliced engine examines fewer
+    /// nodes by design); they remain available — and still deterministic
+    /// for a fixed config — in [`McReport::metrics`].
     pub fn canonical(&self) -> McReport {
         let mut r = self.clone();
         r.stats.time_sim = Duration::ZERO;
@@ -150,6 +154,14 @@ impl McReport {
         r.stats.time_pairs = Duration::ZERO;
         r.stats.time_total = Duration::ZERO;
         r.metrics.spans.clear();
+        let c = &r.metrics.counters;
+        r.metrics.counters = mcp_obs::Counters {
+            sim_words: c.sim_words,
+            sim_pairs_dropped: c.sim_pairs_dropped,
+            lint_rules_run: c.lint_rules_run,
+            lint_violations: c.lint_violations,
+            ..mcp_obs::Counters::default()
+        };
         r
     }
 
@@ -253,7 +265,7 @@ mod tests {
     }
 
     #[test]
-    fn canonical_zeroes_clocks_and_drops_spans() {
+    fn canonical_zeroes_clocks_spans_and_effort_counters() {
         let mut r = sample();
         r.stats.time_total = Duration::from_millis(5);
         r.stats.time_pairs = Duration::from_millis(3);
@@ -265,12 +277,19 @@ mod tests {
             },
         );
         r.metrics.counters.implications = 42;
+        r.metrics.counters.slice_builds = 7;
+        r.metrics.counters.sim_words = 9;
+        r.metrics.counters.lint_rules_run = 4;
         let c = r.canonical();
         assert_eq!(c.stats.time_total, Duration::ZERO);
         assert_eq!(c.stats.time_pairs, Duration::ZERO);
         assert!(c.metrics.spans.is_empty());
-        // Deterministic content survives the projection.
-        assert_eq!(c.metrics.counters.implications, 42);
+        // Engine effort varies with the slicing strategy: projected out.
+        assert_eq!(c.metrics.counters.implications, 0);
+        assert_eq!(c.metrics.counters.slice_builds, 0);
+        // Input-side work and the verdicts themselves survive.
+        assert_eq!(c.metrics.counters.sim_words, 9);
+        assert_eq!(c.metrics.counters.lint_rules_run, 4);
         assert_eq!(c.pairs, r.pairs);
         assert_eq!(c.circuit, r.circuit);
     }

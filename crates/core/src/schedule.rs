@@ -22,38 +22,34 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use mcp_obs::ObsCtx;
 use std::time::{Duration, Instant};
 
-/// Per-pair results as produced by a worker: the pair, tagged with
-/// whatever the work closure computed for it.
-pub(crate) type PairResults<R> = Vec<((usize, usize), R)>;
-
-/// The stream of pairs one worker consumes; obtained inside a
+/// The stream of work items one worker consumes; obtained inside a
 /// [`run_items`] work closure. Hides whether the run is a static slice
 /// walk or a stealing loop so engine closures are written once.
-pub(crate) enum PairFeed<'a> {
+pub(crate) enum PairFeed<'a, T> {
     /// Sequential / static-chunk feed: a contiguous slice cursor.
     Slice {
         /// The chunk assigned to this worker.
-        pairs: &'a [(usize, usize)],
+        pairs: &'a [T],
         /// Next unread index.
         at: usize,
     },
     /// Work-stealing feed.
     Steal {
         /// This worker's own deque.
-        local: Worker<(usize, usize)>,
-        /// The shared injector holding not-yet-claimed pairs.
-        injector: &'a Injector<(usize, usize)>,
+        local: Worker<T>,
+        /// The shared injector holding not-yet-claimed items.
+        injector: &'a Injector<T>,
         /// Thief handles onto every worker's deque (including our own,
         /// which is harmlessly empty whenever we consult it).
-        stealers: &'a [Stealer<(usize, usize)>],
+        stealers: &'a [Stealer<T>],
     },
 }
 
-impl PairFeed<'_> {
-    /// The next pair to classify, or `None` when no work remains
-    /// anywhere. Popped pairs are never re-queued, so a `None` is final
+impl<T: Copy> PairFeed<'_, T> {
+    /// The next item to process, or `None` when no work remains
+    /// anywhere. Popped items are never re-queued, so a `None` is final
     /// for this worker.
-    pub(crate) fn next(&mut self) -> Option<(usize, usize)> {
+    pub(crate) fn next(&mut self) -> Option<T> {
         match self {
             PairFeed::Slice { pairs, at } => {
                 let p = pairs.get(*at).copied();
@@ -95,21 +91,25 @@ impl PairFeed<'_> {
 /// scheduling policy, returning all produced results (in arbitrary
 /// order — callers sort) plus the summed per-worker busy time.
 ///
-/// Each worker's busy time is also added to the `span_path` timer of
-/// `obs`, one entry per worker. An empty `items` returns immediately
-/// without invoking `work` (so callers' engine setup is never spent on a
-/// no-op), and `threads` is clamped to `1..=items.len()`.
-pub(crate) fn run_items<R, F>(
-    items: &[(usize, usize)],
+/// The output element type `O` is independent of the item type `T`: a
+/// closure fed sink-group indices can still emit one keyed record per
+/// pair inside the group. Each worker's busy time is also added to the
+/// `span_path` timer of `obs`, one entry per worker. An empty `items`
+/// returns immediately without invoking `work` (so callers' engine setup
+/// is never spent on a no-op), and `threads` is clamped to
+/// `1..=items.len()`.
+pub(crate) fn run_items<T, O, F>(
+    items: &[T],
     threads: usize,
     scheduler: Scheduler,
     obs: &ObsCtx,
     span_path: &str,
     work: F,
-) -> (PairResults<R>, Duration)
+) -> (Vec<O>, Duration)
 where
-    R: Send,
-    F: Fn(&mut PairFeed<'_>, &mut PairResults<R>) + Sync,
+    T: Send + Sync + Copy,
+    O: Send,
+    F: Fn(&mut PairFeed<'_, T>, &mut Vec<O>) + Sync,
 {
     if items.is_empty() {
         return (Vec::new(), Duration::ZERO);
@@ -162,10 +162,8 @@ where
             for &p in items {
                 injector.push(p);
             }
-            let workers: Vec<Worker<(usize, usize)>> =
-                (0..threads).map(|_| Worker::new_lifo()).collect();
-            let stealers: Vec<Stealer<(usize, usize)>> =
-                workers.iter().map(Worker::stealer).collect();
+            let workers: Vec<Worker<T>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+            let stealers: Vec<Stealer<T>> = workers.iter().map(Worker::stealer).collect();
             let injector = &injector;
             let stealers = &stealers;
             // Move only `local` into each closure; the work closure is
@@ -251,7 +249,7 @@ mod tests {
         let obs = ObsCtx::new();
         for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
             for threads in [0, 1, 8] {
-                let (out, busy) = run_items::<(), _>(
+                let (out, busy) = run_items::<(usize, usize), (), _>(
                     &[],
                     threads,
                     scheduler,

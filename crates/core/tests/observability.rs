@@ -105,40 +105,126 @@ fn same_seed_runs_produce_identical_counter_snapshots() {
 }
 
 /// The tentpole determinism guarantee: the serialized canonical report —
-/// verdicts, per-step stats, **and the merged `MetricsSnapshot` counter
-/// totals** — is byte-identical whether the pair loop ran on 1 worker or
-/// 8, under either scheduling policy, for both parallel engines. Only
-/// wall-clock (zeroed by `canonical()`) may differ between runs.
+/// verdicts, per-step stats, and the strategy-independent counter
+/// projection — is byte-identical whether the pair loop ran on 1 worker
+/// or 8, under either scheduling policy, **with cone slicing on or
+/// off**, for both parallel engines. Only wall-clock, spans and engine
+/// effort (all projected out by `canonical()`) may differ between runs.
 #[test]
-fn reports_are_byte_identical_across_thread_counts() {
+fn reports_are_byte_identical_across_thread_counts_and_slice_modes() {
     let nl = suite::quick_suite().remove(1); // m298: survivors for every step
     for engine in [Engine::Implication, Engine::Sat] {
         for static_learning in [false, true] {
             if static_learning && engine != Engine::Implication {
                 continue; // learning feeds only the implication engine
             }
-            let mk = |threads: usize, scheduler: Scheduler| {
+            let mk = |threads: usize, scheduler: Scheduler, slice: bool| {
                 let cfg = McConfig {
                     engine,
                     threads,
                     scheduler,
                     static_learning,
+                    slice,
                     backtrack_limit: 1024,
                     ..McConfig::default()
                 };
                 let report = analyze(&nl, &cfg).expect("analyze");
                 serde_json::to_string(&report.canonical()).expect("serialize")
             };
-            let baseline = mk(1, Scheduler::WorkSteal);
+            let baseline = mk(1, Scheduler::WorkSteal, true);
+            for slice in [true, false] {
+                for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
+                    for threads in [1usize, 2, 8] {
+                        assert_eq!(
+                            mk(threads, scheduler, slice),
+                            baseline,
+                            "{engine:?} (learning={static_learning}) drifted at \
+                             threads={threads} slice={slice} under {scheduler:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Within a fixed slice mode the *full* counter snapshot — engine effort
+/// included, nothing projected out — must not depend on the thread
+/// count or scheduling policy. (Across slice modes effort legitimately
+/// differs; that is exactly what `canonical()` projects away above.)
+#[test]
+fn full_counter_snapshots_are_thread_independent_within_a_slice_mode() {
+    let nl = suite::quick_suite().remove(1); // m298
+    for engine in [Engine::Implication, Engine::Sat] {
+        for slice in [true, false] {
+            let run = |threads: usize, scheduler: Scheduler| {
+                let cfg = McConfig {
+                    engine,
+                    threads,
+                    scheduler,
+                    slice,
+                    backtrack_limit: 1024,
+                    ..McConfig::default()
+                };
+                analyze(&nl, &cfg).expect("analyze").metrics.counters
+            };
+            let baseline = run(1, Scheduler::WorkSteal);
+            if slice {
+                assert!(baseline.slice_builds > 0, "{engine:?}: slicing ran");
+                assert!(baseline.slice_nodes_peak > 0);
+            } else {
+                assert_eq!(baseline.slice_builds, 0, "{engine:?}: slicing was off");
+            }
             for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
                 for threads in [2usize, 8] {
                     assert_eq!(
-                        mk(threads, scheduler),
+                        run(threads, scheduler),
                         baseline,
-                        "{engine:?} (learning={static_learning}) drifted \
-                         at threads={threads} under {scheduler:?}"
+                        "{engine:?} slice={slice} counters drifted at \
+                         threads={threads} under {scheduler:?}"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// NDJSON verdict events carry the slice dimensions exactly when the
+/// pair went through a sliced engine: populated for engine-classified
+/// pairs with slicing on, absent for sim-dropped pairs and for every
+/// event of a `--no-slice` run.
+#[test]
+fn journal_events_carry_slice_sizes_only_when_sliced() {
+    let nl = circuits::fig1();
+    let dir = std::env::temp_dir().join("mcp-core-obs-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    for slice in [true, false] {
+        let path = dir.join(format!("fig1-slice-{slice}.ndjson"));
+        let sink = FileSink::create(&path).expect("create journal");
+        let obs = ObsCtx::new().with_sink(Box::new(sink));
+        let cfg = McConfig {
+            slice,
+            ..McConfig::default()
+        };
+        analyze_with(&nl, &cfg, &obs).expect("analyze");
+        let events = read_journal_file(&path).expect("journal parses");
+        assert!(!events.is_empty());
+        for e in &events {
+            if e.step == "random_sim" || !slice {
+                assert_eq!(
+                    e.slice_nodes, None,
+                    "({}, {}) slice={slice}: unsliced event must omit slice_nodes",
+                    e.src, e.dst
+                );
+                assert_eq!(e.slice_vars, None);
+            } else {
+                assert!(
+                    e.slice_nodes.is_some_and(|n| n > 0),
+                    "({}, {}) engine event missing slice_nodes",
+                    e.src,
+                    e.dst
+                );
+                assert!(e.slice_vars.is_some_and(|v| v > 0));
             }
         }
     }

@@ -2,11 +2,12 @@
 //! test, and the agreement checks built on it.
 //!
 //! The oracle enumerates **all** assignments of the free bits of a
-//! 3-frame window — initial state plus two input vectors, at most 20
+//! k+1-frame window — initial state plus `k` input vectors, at most 20
 //! bits — and evaluates the netlist directly with scalar Boolean gate
 //! evaluation. A pair `(i, j)` is multi-cycle iff *no* assignment
-//! produces `FFi(t) != FFi(t+1)` together with `FFj(t+1) != FFj(t+2)`
-//! (the paper's MC condition, checked literally).
+//! produces `FFi(t) != FFi(t+1)` together with `FFj(t+m) != FFj(t+m+1)`
+//! for some `m ∈ 1..k` (the paper's MC condition, checked literally;
+//! `k = 2` is the paper's default).
 //!
 //! This is deliberately a *second, simpler implementation* of the same
 //! ground truth as `mcp_gen::oracle::exhaustive_mc_pairs` (which
@@ -15,12 +16,14 @@
 //! substrate cannot hide by agreeing with itself. The tests assert that
 //! both oracles and all four engine configurations (implication,
 //! implication+ATPG with learning, SAT, BDD) agree on the paper's
-//! figures and on the real ISCAS s27.
+//! figures and on the real ISCAS s27 — with cone slicing on *and* off,
+//! and (for the brute-force oracle, which generalizes) at cycle budgets
+//! beyond the paper's `k = 2`.
 
 use mcp_core::{analyze, Engine, McConfig, Scheduler};
 use mcp_gen::random::{random_netlist, RandomCircuitConfig};
 use mcp_gen::{circuits, oracle};
-use mcp_netlist::{bench, Netlist, NodeKind};
+use mcp_netlist::{bench, Expanded, Netlist, NodeKind, XId};
 use proptest::prelude::*;
 
 /// Evaluates one clock frame: given the FF states and primary-input
@@ -55,31 +58,34 @@ fn step(nl: &Netlist, state: &[bool], inputs: &[bool]) -> Vec<bool> {
 /// sorted.
 type PairSets = (Vec<(usize, usize)>, Vec<(usize, usize)>);
 
-/// Brute-force 2-frame enumeration of the MC condition over every
-/// topologically connected FF pair (self pairs included). Panics above
-/// 20 free bits — the oracle is for small circuits only.
-fn brute_force_mc_pairs(nl: &Netlist) -> PairSets {
+/// Brute-force `k`-frame enumeration of the MC condition over every
+/// topologically connected FF pair (self pairs included): a pair is
+/// violated when some assignment transitions the source at `t+1` AND
+/// the sink at some `t+m+1`, `m ∈ 1..k`. Panics above 20 free bits —
+/// the oracle is for small circuits only.
+fn brute_force_mc_pairs_k(nl: &Netlist, k: u32) -> PairSets {
     let nffs = nl.num_ffs();
     let npis = nl.num_inputs();
-    let bits = nffs + 2 * npis;
+    let frames = k as usize;
+    let bits = nffs + frames * npis;
     assert!(
         bits <= 20,
         "{}: {bits} free bits exceed the brute-force budget",
         nl.name()
     );
     let pairs = nl.connected_ff_pairs();
-    // violated[p] — some assignment transitions the source at t+1 AND the
-    // sink at t+2.
     let mut violated = vec![false; pairs.len()];
     for a in 0u64..(1u64 << bits) {
-        let bit = |k: usize| (a >> k) & 1 == 1;
-        let s0: Vec<bool> = (0..nffs).map(bit).collect();
-        let in0: Vec<bool> = (0..npis).map(|k| bit(nffs + k)).collect();
-        let in1: Vec<bool> = (0..npis).map(|k| bit(nffs + npis + k)).collect();
-        let s1 = step(nl, &s0, &in0);
-        let s2 = step(nl, &s1, &in1);
+        let bit = |q: usize| (a >> q) & 1 == 1;
+        let mut states: Vec<Vec<bool>> = vec![(0..nffs).map(bit).collect()];
+        for f in 0..frames {
+            let inputs: Vec<bool> = (0..npis).map(|q| bit(nffs + f * npis + q)).collect();
+            let next = step(nl, states.last().expect("seeded"), &inputs);
+            states.push(next);
+        }
         for (p, &(i, j)) in pairs.iter().enumerate() {
-            if s0[i] != s1[i] && s1[j] != s2[j] {
+            if states[0][i] != states[1][i] && (1..frames).any(|m| states[m][j] != states[m + 1][j])
+            {
                 violated[p] = true;
             }
         }
@@ -96,6 +102,11 @@ fn brute_force_mc_pairs(nl: &Netlist) -> PairSets {
     multi.sort_unstable();
     single.sort_unstable();
     (multi, single)
+}
+
+/// The classic 2-cycle oracle.
+fn brute_force_mc_pairs(nl: &Netlist) -> PairSets {
+    brute_force_mc_pairs_k(nl, 2)
 }
 
 /// The engine configurations whose verdicts must all equal the oracle:
@@ -148,27 +159,36 @@ fn assert_engines_match_oracle(nl: &Netlist) {
     );
 
     for cfg in engine_configs() {
-        let report = analyze(nl, &cfg).expect("analyze");
-        assert_eq!(
-            report.multi_cycle_pairs(),
-            multi,
-            "{}: engine {:?} disagrees with the brute-force oracle",
-            nl.name(),
-            cfg.engine
-        );
-        assert_eq!(
-            report.single_cycle_pairs(),
-            single,
-            "{}: engine {:?} single-cycle set drifted",
-            nl.name(),
-            cfg.engine
-        );
-        assert!(
-            report.unknown_pairs().is_empty(),
-            "{}: engine {:?} left unknowns at a 100k backtrack budget",
-            nl.name(),
-            cfg.engine
-        );
+        for slice in [true, false] {
+            let report = analyze(
+                nl,
+                &McConfig {
+                    slice,
+                    ..cfg.clone()
+                },
+            )
+            .expect("analyze");
+            assert_eq!(
+                report.multi_cycle_pairs(),
+                multi,
+                "{}: engine {:?} slice={slice} disagrees with the brute-force oracle",
+                nl.name(),
+                cfg.engine
+            );
+            assert_eq!(
+                report.single_cycle_pairs(),
+                single,
+                "{}: engine {:?} slice={slice} single-cycle set drifted",
+                nl.name(),
+                cfg.engine
+            );
+            assert!(
+                report.unknown_pairs().is_empty(),
+                "{}: engine {:?} slice={slice} left unknowns at a 100k backtrack budget",
+                nl.name(),
+                cfg.engine
+            );
+        }
     }
 }
 
@@ -227,41 +247,117 @@ proptest! {
 
     /// The differential property: on random small netlists, *every*
     /// engine configuration at *every* thread count under *either*
-    /// scheduling policy returns exactly the brute-force oracle's
-    /// verdict set, with no unknowns.
+    /// scheduling policy, with cone slicing on *and* off, at cycle
+    /// budgets `k ∈ {2, 3}`, returns exactly the brute-force oracle's
+    /// verdict set, with no unknowns. (The BDD baseline only encodes
+    /// the paper's 2-cycle condition and is skipped at `k = 3`.)
     #[test]
     fn random_netlists_every_engine_every_thread_count_equals_the_oracle(
         (seed, rc) in small_cfg_strategy(),
     ) {
         let nl = random_netlist(seed, &rc);
-        let (multi, single) = brute_force_mc_pairs(&nl);
-        for cfg in engine_configs() {
-            for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
-                for threads in [1usize, 2, 8] {
-                    let report = analyze(
-                        &nl,
-                        &McConfig {
-                            threads,
-                            scheduler,
-                            ..cfg.clone()
-                        },
-                    )
-                    .expect("analyze");
-                    prop_assert_eq!(
-                        report.multi_cycle_pairs(),
-                        multi.clone(),
-                        "seed={} {:?} {:?} threads={} learning={}",
-                        seed, cfg.engine, scheduler, threads, cfg.static_learning
-                    );
-                    prop_assert_eq!(
-                        report.single_cycle_pairs(),
-                        single.clone(),
-                        "seed={} {:?} single set", seed, cfg.engine
-                    );
-                    prop_assert!(
-                        report.unknown_pairs().is_empty(),
-                        "seed={} {:?} left unknowns", seed, cfg.engine
-                    );
+        for k in [2u32, 3] {
+            let (multi, single) = brute_force_mc_pairs_k(&nl, k);
+            for cfg in engine_configs() {
+                if k != 2 && matches!(cfg.engine, Engine::Bdd { .. }) {
+                    continue;
+                }
+                for slice in [true, false] {
+                    for scheduler in [Scheduler::WorkSteal, Scheduler::Static] {
+                        for threads in [1usize, 2, 8] {
+                            let report = analyze(
+                                &nl,
+                                &McConfig {
+                                    cycles: k,
+                                    slice,
+                                    threads,
+                                    scheduler,
+                                    ..cfg.clone()
+                                },
+                            )
+                            .expect("analyze");
+                            prop_assert_eq!(
+                                report.multi_cycle_pairs(),
+                                multi.clone(),
+                                "seed={} k={} {:?} slice={} {:?} threads={} learning={}",
+                                seed, k, cfg.engine, slice, scheduler, threads,
+                                cfg.static_learning
+                            );
+                            prop_assert_eq!(
+                                report.single_cycle_pairs(),
+                                single.clone(),
+                                "seed={} k={} {:?} slice={} single set",
+                                seed, k, cfg.engine, slice
+                            );
+                            prop_assert!(
+                                report.unknown_pairs().is_empty(),
+                                "seed={} k={} {:?} slice={} left unknowns",
+                                seed, k, cfg.engine, slice
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Expanded::build_slice` must be *exactly* the whole-circuit
+    /// expansion restricted to the cone of influence: same node kinds,
+    /// origins, levels and fanin wiring (modulo the dense renumbering),
+    /// and the slice's free variables are the whole model's free
+    /// variables filtered to the cone, in the same canonical order.
+    /// Checked for every connected pair's root set at `k ∈ {2, 3}`.
+    #[test]
+    fn build_slice_equals_the_whole_expansion_restricted_to_the_cone(
+        (seed, rc) in small_cfg_strategy(),
+    ) {
+        let nl = random_netlist(seed, &rc);
+        for k in [2u32, 3] {
+            let x = Expanded::build(&nl, k);
+            for (i, j) in nl.connected_ff_pairs() {
+                let mut roots: Vec<XId> = vec![x.ff_at(i, 0), x.ff_at(i, 1)];
+                for m in 1..=k {
+                    roots.push(x.ff_at(j, m));
+                }
+                roots.sort_unstable();
+                roots.dedup();
+                let mut cone = x.cone_of(&roots);
+                cone.sort_unstable();
+                let slice = x.build_slice(&roots);
+                let sx = slice.model();
+
+                prop_assert_eq!(slice.num_nodes(), cone.len(), "seed={seed} k={k}");
+                for (sid, snode) in sx.nodes() {
+                    let wid = slice.to_whole(sid);
+                    prop_assert_eq!(slice.to_slice(wid), Some(sid));
+                    let wnode = x.node(wid);
+                    prop_assert_eq!(snode.kind(), wnode.kind(), "seed={seed}");
+                    prop_assert_eq!(snode.origin(), wnode.origin(), "seed={seed}");
+                    prop_assert_eq!(sx.level(sid), x.level(wid), "seed={seed}");
+                    let mapped: Vec<XId> =
+                        snode.fanins().iter().map(|&f| slice.to_whole(f)).collect();
+                    prop_assert_eq!(&mapped[..], wnode.fanins(), "seed={seed} fanins");
+                }
+                // Dense ascending renumbering: slice node s maps to cone[s].
+                let back: Vec<XId> =
+                    (0..slice.num_nodes()).map(|s| slice.to_whole(sx.nodes().nth(s).expect("dense").0)).collect();
+                prop_assert_eq!(&back, &cone, "seed={seed} node order");
+
+                let sliced_vars: Vec<XId> =
+                    sx.vars().iter().map(|&v| slice.to_whole(v)).collect();
+                let cone_vars: Vec<XId> = x
+                    .vars()
+                    .iter()
+                    .copied()
+                    .filter(|v| slice.to_slice(*v).is_some())
+                    .collect();
+                prop_assert_eq!(&sliced_vars, &cone_vars, "seed={seed} var order");
+
+                // The FF lookups the engines rely on survive the remap.
+                prop_assert_eq!(slice.to_whole(sx.ff_at(i, 0)), x.ff_at(i, 0));
+                prop_assert_eq!(slice.to_whole(sx.ff_at(i, 1)), x.ff_at(i, 1));
+                for m in 1..=k {
+                    prop_assert_eq!(slice.to_whole(sx.ff_at(j, m)), x.ff_at(j, m));
                 }
             }
         }

@@ -407,6 +407,181 @@ impl Expanded {
         }
         val
     }
+
+    /// The fanin closure (cone of influence) of `roots`, as an ascending
+    /// list of node ids. Ascending id order is topological, so the cone is
+    /// directly usable as a dense sub-model node order.
+    pub fn cone_of(&self, roots: &[XId]) -> Vec<XId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        let mut stack: Vec<XId> = Vec::new();
+        for &r in roots {
+            if !in_cone[r.index()] {
+                in_cone[r.index()] = true;
+                stack.push(r);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for &f in &self.nodes[id.index()].fanins {
+                if !in_cone[f.index()] {
+                    in_cone[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+        (0..self.nodes.len())
+            .filter(|&i| in_cone[i])
+            .map(|i| XId(i as u32))
+            .collect()
+    }
+
+    /// Builds the cone-of-influence [`Slice`] rooted at `roots`: a dense
+    /// sub-model containing exactly [`cone_of`](Self::cone_of)`(roots)`,
+    /// renumbered in ascending (hence still topological) order.
+    ///
+    /// The slice's nested [`Expanded`] keeps the *original* netlist's FF
+    /// and PI indexing — [`ff_at`](Self::ff_at), [`pi_at`](Self::pi_at)
+    /// and [`value_of`](Self::value_of) answer with slice-local ids for
+    /// any node inside the cone, so every engine built against `Expanded`
+    /// runs on a slice unchanged. Asking for a node *outside* the cone
+    /// returns an unmapped sentinel and will panic on use; callers scope
+    /// their queries to the roots they sliced for.
+    pub fn build_slice(&self, roots: &[XId]) -> Slice {
+        const UNSET: XId = XId(u32::MAX);
+        let from_slice = self.cone_of(roots);
+        let mut to_slice = vec![UNSET; self.nodes.len()];
+        for (si, &wid) in from_slice.iter().enumerate() {
+            to_slice[wid.index()] = XId(si as u32);
+        }
+        let remap = |id: XId| to_slice[id.index()];
+
+        // Dense nodes with remapped fanins: ascending whole-id order means
+        // every fanin of an in-cone gate is already mapped (fanin closure).
+        let nodes: Vec<XNode> = from_slice
+            .iter()
+            .map(|&wid| {
+                let w = &self.nodes[wid.index()];
+                XNode {
+                    kind: w.kind,
+                    fanins: w.fanins.iter().map(|&f| remap(f)).collect(),
+                    origin: w.origin,
+                }
+            })
+            .collect();
+
+        // Full-width lookup maps with UNSET holes for out-of-cone entries,
+        // so original frame/FF/PI indices keep working.
+        let value_in_frame: Vec<Vec<XId>> = self
+            .value_in_frame
+            .iter()
+            .map(|frame_map| {
+                frame_map
+                    .iter()
+                    .map(|&x| if x == UNSET { UNSET } else { remap(x) })
+                    .collect()
+            })
+            .collect();
+        let state_vars: Vec<XId> = self.state_vars.iter().map(|&x| remap(x)).collect();
+        let pi_vars: Vec<XId> = self.pi_vars.iter().map(|&x| remap(x)).collect();
+
+        // In-cone free variables in canonical (ascending) order.
+        let vars: Vec<XId> = self
+            .vars
+            .iter()
+            .filter(|&&x| to_slice[x.index()] != UNSET)
+            .map(|&x| remap(x))
+            .collect();
+
+        let mut fanouts: Vec<Vec<XId>> = vec![Vec::new(); nodes.len()];
+        let mut topo = Vec::new();
+        let mut level = vec![0u32; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            let id = XId(i as u32);
+            if matches!(node.kind, XKind::Gate(_)) {
+                topo.push(id);
+                level[i] = 1 + node
+                    .fanins
+                    .iter()
+                    .map(|f| level[f.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+            for &f in &node.fanins {
+                fanouts[f.index()].push(id);
+            }
+        }
+
+        Slice {
+            model: Expanded {
+                nodes,
+                frames: self.frames,
+                num_pis: self.num_pis,
+                num_ffs: self.num_ffs,
+                value_in_frame,
+                d_inputs: self.d_inputs.clone(),
+                fanouts,
+                topo,
+                vars,
+                pi_vars,
+                state_vars,
+                level,
+            },
+            from_slice,
+        }
+    }
+}
+
+/// A cone-of-influence slice of an [`Expanded`] model.
+///
+/// Built by [`Expanded::build_slice`]: the fanin closure of a set of root
+/// nodes (typically the FF-transition nodes of one sink group's multi-cycle
+/// query), densely renumbered so per-pair engine work is O(|cone|) instead
+/// of O(|circuit|). The nested [`model`](Self::model) is a genuine
+/// [`Expanded`] — implication, ATPG and SAT engines consume it unchanged —
+/// and [`to_whole`](Self::to_whole)/[`to_slice`](Self::to_slice) translate
+/// between slice-local and whole-model ids (each slice node also keeps its
+/// `(frame, NodeId)` origin).
+#[derive(Debug, Clone)]
+pub struct Slice {
+    model: Expanded,
+    /// `from_slice[slice_id] = whole_id`, ascending.
+    from_slice: Vec<XId>,
+}
+
+impl Slice {
+    /// The dense sliced model.
+    #[inline]
+    pub fn model(&self) -> &Expanded {
+        &self.model
+    }
+
+    /// Number of nodes in the slice.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.model.nodes.len()
+    }
+
+    /// Number of free variables inside the cone.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.model.vars.len()
+    }
+
+    /// The whole-model id a slice node came from.
+    #[inline]
+    pub fn to_whole(&self, slice_id: XId) -> XId {
+        self.from_slice[slice_id.index()]
+    }
+
+    /// The slice id of a whole-model node, if it is inside the cone.
+    ///
+    /// O(log n) — ids are kept sorted rather than carrying a full-width
+    /// reverse map per slice.
+    pub fn to_slice(&self, whole_id: XId) -> Option<XId> {
+        self.from_slice
+            .binary_search(&whole_id)
+            .ok()
+            .map(|i| XId(i as u32))
+    }
 }
 
 #[cfg(test)]
@@ -497,6 +672,83 @@ mod tests {
         for f in 0..2 {
             let xa = x.value_of(f, a);
             assert_eq!(x.node(xa).origin(), Some((f, a)));
+        }
+    }
+
+    #[test]
+    fn slice_restricts_the_model_to_the_cone() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 2);
+        // Cone of Q1's self pair: the toggle loop only — IN and the AND
+        // gate feeding Q2 are outside it.
+        let roots = vec![x.ff_at(0, 0), x.ff_at(0, 1), x.ff_at(0, 2)];
+        let s = x.build_slice(&roots);
+        // Q1(t) var + NOT per frame = 3 nodes; the whole model has 8.
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_vars(), 1);
+        assert!(s.num_nodes() < x.num_nodes());
+        // FF indexing survives: the slice answers ff_at with its own ids.
+        let sm = s.model();
+        assert_eq!(sm.frames(), 2);
+        for t in 0..=2 {
+            let sid = sm.ff_at(0, t);
+            assert_eq!(s.to_whole(sid), x.ff_at(0, t));
+            assert_eq!(s.to_slice(x.ff_at(0, t)), Some(sid));
+        }
+        // Structure, origin and level match the whole model in-cone.
+        for (sid, node) in sm.nodes() {
+            let wid = s.to_whole(sid);
+            let w = x.node(wid);
+            assert_eq!(node.kind(), w.kind());
+            assert_eq!(node.origin(), w.origin());
+            assert_eq!(sm.level(sid), x.level(wid));
+            let wf: Vec<XId> = node.fanins().iter().map(|&f| s.to_whole(f)).collect();
+            assert_eq!(wf, w.fanins());
+        }
+    }
+
+    #[test]
+    fn slice_evaluation_matches_the_whole_model() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 2);
+        // Slice for the (Q1 -> Q2) pair: Q1 transition at t, Q2 at t+1.
+        let roots = vec![x.ff_at(0, 0), x.ff_at(0, 1), x.ff_at(1, 1), x.ff_at(1, 2)];
+        let s = x.build_slice(&roots);
+        let sm = s.model();
+        for a in 0u32..16 {
+            let bit = |k: u32| V3::from(a >> k & 1 == 1);
+            let whole = x.eval_v3(&[
+                (x.ff_at(0, 0), bit(0)),
+                (x.ff_at(1, 0), bit(1)),
+                (x.pi_at(0, 0), bit(2)),
+                (x.pi_at(0, 1), bit(3)),
+            ]);
+            let sliced_assign: Vec<_> = [
+                (x.ff_at(0, 0), bit(0)),
+                (x.ff_at(1, 0), bit(1)),
+                (x.pi_at(0, 0), bit(2)),
+                (x.pi_at(0, 1), bit(3)),
+            ]
+            .iter()
+            .filter_map(|&(wid, v)| s.to_slice(wid).map(|sid| (sid, v)))
+            .collect();
+            let sliced = sm.eval_v3(&sliced_assign);
+            for (sid, _) in sm.nodes() {
+                assert_eq!(sliced[sid.index()], whole[s.to_whole(sid).index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cone_of_is_fanin_closed_and_sorted() {
+        let nl = sample();
+        let x = Expanded::build(&nl, 3);
+        let cone = x.cone_of(&[x.ff_at(1, 3)]);
+        assert!(cone.windows(2).all(|w| w[0] < w[1]));
+        for &id in &cone {
+            for &f in x.node(id).fanins() {
+                assert!(cone.binary_search(&f).is_ok(), "cone not fanin-closed");
+            }
         }
     }
 

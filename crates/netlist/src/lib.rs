@@ -19,6 +19,9 @@
 //!   implication engine, the ATPG search and the SAT encoding: `F`
 //!   combinational copies of the logic connected through the FF boundary,
 //!   exposing the value of any flip-flop at times `t .. t+F`.
+//! * [`expand::Slice`] — the cone-of-influence slice of an expansion
+//!   ([`expand::Expanded::build_slice`]): per-pair engine work scales with
+//!   the pair's cone instead of the whole circuit.
 //!
 //! # Example
 //!
@@ -50,6 +53,6 @@ pub mod model;
 pub mod sweep;
 
 pub use builder::{BuildError, NetlistBuilder};
-pub use expand::{Expanded, VarOrigin, XId, XKind};
+pub use expand::{Expanded, Slice, VarOrigin, XId, XKind};
 pub use model::{Netlist, Node, NodeId, NodeKind, Stats};
 pub use sweep::{sweep, SweepStats};

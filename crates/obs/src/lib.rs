@@ -209,6 +209,20 @@ pub struct Metrics {
     pub lint_rules_run: Counter,
     /// Lint: diagnostics (violations) reported by executed rules.
     pub lint_violations: Counter,
+    /// Slicing: cone slices built (one per sink group in slice mode).
+    pub slice_builds: Counter,
+    /// Slicing: pairs served by an already-built sink-group slice
+    /// (group size minus one, summed over groups).
+    pub slice_cache_hits: Counter,
+    /// Slicing: total nodes across all built slices (mean slice size =
+    /// `slice_nodes / slice_builds`).
+    pub slice_nodes: Counter,
+    /// Slicing: total per-slice variables across all built slices — free
+    /// variables for the implication engine, encoded CNF variables for
+    /// the SAT engine.
+    pub slice_vars: Counter,
+    /// Slicing: largest slice built (node count).
+    pub slice_nodes_peak: Counter,
 }
 
 impl Metrics {
@@ -238,6 +252,11 @@ impl Metrics {
             sim_pairs_dropped: self.sim_pairs_dropped.get(),
             lint_rules_run: self.lint_rules_run.get(),
             lint_violations: self.lint_violations.get(),
+            slice_builds: self.slice_builds.get(),
+            slice_cache_hits: self.slice_cache_hits.get(),
+            slice_nodes: self.slice_nodes.get(),
+            slice_vars: self.slice_vars.get(),
+            slice_nodes_peak: self.slice_nodes_peak.get(),
         }
     }
 }
@@ -269,6 +288,18 @@ pub struct Counters {
     pub sim_pairs_dropped: u64,
     pub lint_rules_run: u64,
     pub lint_violations: u64,
+    // Slice counters arrived after the first journal/report format;
+    // `default` keeps old saved reports parseable.
+    #[serde(default)]
+    pub slice_builds: u64,
+    #[serde(default)]
+    pub slice_cache_hits: u64,
+    #[serde(default)]
+    pub slice_nodes: u64,
+    #[serde(default)]
+    pub slice_vars: u64,
+    #[serde(default)]
+    pub slice_nodes_peak: u64,
 }
 
 impl Counters {
@@ -278,6 +309,24 @@ impl Counters {
             0.0
         } else {
             self.bdd_cache_hits as f64 / self.bdd_cache_lookups as f64
+        }
+    }
+
+    /// Mean node count of built slices, or 0.0 when no slice was built.
+    pub fn slice_nodes_mean(&self) -> f64 {
+        if self.slice_builds == 0 {
+            0.0
+        } else {
+            self.slice_nodes as f64 / self.slice_builds as f64
+        }
+    }
+
+    /// Mean per-slice variable count, or 0.0 when no slice was built.
+    pub fn slice_vars_mean(&self) -> f64 {
+        if self.slice_builds == 0 {
+            0.0
+        } else {
+            self.slice_vars as f64 / self.slice_builds as f64
         }
     }
 }
@@ -331,6 +380,14 @@ pub struct PairEvent {
     /// the per-pair drop cause (simulation time is spent in bulk, so
     /// `micros` stays 0 for these records). `None` for every other step.
     pub sim_word: Option<u64>,
+    /// Node count of the sink-group slice this pair ran on. `None` when
+    /// slicing was off or the resolving step ran no engine.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slice_nodes: Option<u64>,
+    /// Variable count of that slice (free variables for implication,
+    /// encoded CNF variables for SAT). `None` as for `slice_nodes`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slice_vars: Option<u64>,
 }
 
 /// Receiver of per-pair journal events.
@@ -657,6 +714,8 @@ mod tests {
             }],
             micros: 42,
             sim_word: None,
+            slice_nodes: Some(12),
+            slice_vars: Some(4),
         };
         sink.record(&event);
         assert_eq!(sink.drain(), vec![event]);
@@ -679,6 +738,8 @@ mod tests {
                 assignments: Vec::new(),
                 micros: k as u64,
                 sim_word: Some(k as u64),
+                slice_nodes: None,
+                slice_vars: None,
             })
             .collect();
         {
@@ -699,6 +760,29 @@ mod tests {
     fn journal_reader_rejects_garbage() {
         let bad = "{\"src\": 1}\nnot json\n";
         assert!(read_journal(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn pre_slice_journals_and_snapshots_still_parse() {
+        // Records written before the slice fields existed must load with
+        // the fields defaulted, not error.
+        let old = "{\"src\":0,\"dst\":1,\"step\":\"implication\",\"class\":\"multi\",\
+                   \"engine\":\"implication\",\"assignments\":[],\"micros\":3,\
+                   \"sim_word\":null}\n";
+        let events = read_journal(old.as_bytes()).expect("old journal parses");
+        assert_eq!(events[0].slice_nodes, None);
+        assert_eq!(events[0].slice_vars, None);
+
+        let old_counters = "{\"implications\":1,\"contradictions\":0,\
+            \"learned_implications\":0,\"atpg_decisions\":0,\"atpg_backtracks\":0,\
+            \"atpg_aborts\":0,\"sat_decisions\":0,\"sat_propagations\":0,\
+            \"sat_conflicts\":0,\"sat_learned\":0,\"sat_restarts\":0,\
+            \"bdd_peak_nodes\":0,\"bdd_cache_lookups\":0,\"bdd_cache_hits\":0,\
+            \"sim_words\":0,\"sim_pairs_dropped\":0,\"lint_rules_run\":0,\
+            \"lint_violations\":0}";
+        let c: Counters = serde_json::from_str(old_counters).expect("old counters parse");
+        assert_eq!(c.slice_builds, 0);
+        assert_eq!(c.slice_nodes_mean(), 0.0);
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //!
 //! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
 //! `--learn`, `--threads N`, `--scheduler steal|static`, `--no-sim`,
-//! `--no-self-pairs`, `--no-lint`, `--json <path>`, `--format text|json`,
-//! `--metrics`, `--trace-out <path>`, `--progress`, `--quiet`.
+//! `--no-self-pairs`, `--no-lint`, `--no-slice`, `--json <path>`,
+//! `--format text|json`, `--metrics`, `--trace-out <path>`, `--progress`,
+//! `--quiet`.
 
 use mcp_core::{
     analyze, analyze_with, check_hazards, max_cycle_budgets, sensitization_dependencies, to_sdc,
@@ -57,6 +58,9 @@ pub struct Command {
     pub no_self_pairs: bool,
     /// Skip the pre-analysis structural lint gate.
     pub no_lint: bool,
+    /// Run the engines on the whole-circuit expansion instead of per
+    /// sink-group cone slices (A/B escape hatch; verdicts are identical).
+    pub no_slice: bool,
     /// Output format of the `lint` subcommand.
     pub format: LintFormat,
     /// Optional JSON report path.
@@ -165,6 +169,8 @@ OPTIONS:
   --no-sim                       skip the random-simulation prefilter
   --no-self-pairs                exclude (FFi, FFi) pairs ([9]'s convention)
   --no-lint                      analyze even if structural lints fail
+  --no-slice                     engines run on the whole-circuit expansion
+                                 instead of per-sink-group cone slices
   --format text|json             lint report format (default: text)
   --json <path>                  dump the report as JSON
   --metrics                      print engine counters and span timings
@@ -195,6 +201,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut no_sim = false;
     let mut no_self_pairs = false;
     let mut no_lint = false;
+    let mut no_slice = false;
     let mut format = LintFormat::default();
     let mut json = None;
     let mut metrics = false;
@@ -283,6 +290,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             "--no-sim" => no_sim = true,
             "--no-self-pairs" => no_self_pairs = true,
             "--no-lint" => no_lint = true,
+            "--no-slice" => no_slice = true,
             "--quiet" => quiet = true,
             other if other.starts_with("--") => {
                 return Err(ParseCliError(format!("unknown option `{other}`")));
@@ -344,6 +352,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         no_sim,
         no_self_pairs,
         no_lint,
+        no_slice,
         format,
         json,
         metrics,
@@ -369,6 +378,7 @@ impl Command {
     }
 
     fn config(&self) -> McConfig {
+        let defaults = McConfig::default();
         McConfig {
             engine: self.engine,
             cycles: self.cycles,
@@ -379,7 +389,10 @@ impl Command {
             use_sim_filter: !self.no_sim,
             include_self_pairs: !self.no_self_pairs,
             lint: !self.no_lint,
-            ..McConfig::default()
+            // The flag can only disable slicing; the default (normally
+            // on) also honors the MCPATH_NO_SLICE env var.
+            slice: defaults.slice && !self.no_slice,
+            ..defaults
         }
     }
 }
@@ -765,7 +778,7 @@ fn render_step_table(s: &StepStats) -> String {
 fn render_snapshot(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let c = &m.counters;
-    let rows: [(&str, u64); 18] = [
+    let rows: [(&str, u64); 23] = [
         ("implications", c.implications),
         ("contradictions", c.contradictions),
         ("learned_implications", c.learned_implications),
@@ -780,6 +793,11 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
         ("bdd_peak_nodes", c.bdd_peak_nodes),
         ("bdd_cache_lookups", c.bdd_cache_lookups),
         ("bdd_cache_hits", c.bdd_cache_hits),
+        ("slice_builds", c.slice_builds),
+        ("slice_cache_hits", c.slice_cache_hits),
+        ("slice_nodes", c.slice_nodes),
+        ("slice_vars", c.slice_vars),
+        ("slice_nodes_peak", c.slice_nodes_peak),
         ("sim_words", c.sim_words),
         ("sim_pairs_dropped", c.sim_pairs_dropped),
         ("lint_rules_run", c.lint_rules_run),
@@ -797,6 +815,14 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
             "  {:<24} {:.1}%",
             "bdd_cache_hit_rate",
             c.bdd_cache_hit_rate() * 100.0
+        );
+    }
+    if c.slice_builds != 0 {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:.1}",
+            "slice_nodes_mean",
+            c.slice_nodes_mean()
         );
     }
     if !m.spans.is_empty() {
@@ -818,17 +844,41 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
 /// table plus an assignment-outcome histogram.
 fn render_journal(events: &[PairEvent]) -> String {
     use std::collections::BTreeMap;
-    // step -> (multi, single, unknown, micros)
-    let mut steps: BTreeMap<&str, (u64, u64, u64, u64)> = BTreeMap::new();
+    #[derive(Default, Clone, Copy)]
+    struct Row {
+        multi: u64,
+        single: u64,
+        unknown: u64,
+        micros: u64,
+        /// Summed `slice_nodes` over the events that carried one.
+        slice_nodes: u64,
+        sliced_events: u64,
+    }
+    impl Row {
+        /// Mean slice size over the sliced events, rendered `-` when the
+        /// step never ran on a slice.
+        fn slice_mean(&self) -> String {
+            if self.sliced_events == 0 {
+                "-".to_owned()
+            } else {
+                format!("{:.0}", self.slice_nodes as f64 / self.sliced_events as f64)
+            }
+        }
+    }
+    let mut steps: BTreeMap<&str, Row> = BTreeMap::new();
     let mut outcomes: BTreeMap<&str, u64> = BTreeMap::new();
     for e in events {
         let entry = steps.entry(e.step.as_str()).or_default();
         match e.class.as_str() {
-            "multi" => entry.0 += 1,
-            "single" => entry.1 += 1,
-            _ => entry.2 += 1,
+            "multi" => entry.multi += 1,
+            "single" => entry.single += 1,
+            _ => entry.unknown += 1,
         }
-        entry.3 += e.micros;
+        entry.micros += e.micros;
+        if let Some(n) = e.slice_nodes {
+            entry.slice_nodes += n;
+            entry.sliced_events += 1;
+        }
         for a in &e.assignments {
             *outcomes.entry(a.outcome.as_str()).or_default() += 1;
         }
@@ -837,8 +887,8 @@ fn render_journal(events: &[PairEvent]) -> String {
     let _ = writeln!(out, "trace journal: {} pair events", events.len());
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
-        "step", "multi", "single", "unknown", "time"
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>9}",
+        "step", "multi", "single", "unknown", "time", "slice"
     );
     // Pipeline order first, then anything unexpected.
     let known = ["structural", "random_sim", "implication", "atpg"];
@@ -846,27 +896,34 @@ fn render_journal(events: &[PairEvent]) -> String {
         .iter()
         .filter_map(|&k| steps.get_key_value(k))
         .chain(steps.iter().filter(|(k, _)| !known.contains(k)));
-    let mut total = (0u64, 0u64, 0u64, 0u64);
-    for (step, &(m, s, u, us)) in ordered {
-        total = (total.0 + m, total.1 + s, total.2 + u, total.3 + us);
+    let mut total = Row::default();
+    for (step, &r) in ordered {
+        total.multi += r.multi;
+        total.single += r.single;
+        total.unknown += r.unknown;
+        total.micros += r.micros;
+        total.slice_nodes += r.slice_nodes;
+        total.sliced_events += r.sliced_events;
         let _ = writeln!(
             out,
-            "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+            "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>9}",
             step,
-            m,
-            s,
-            u,
-            fmt_dur(Duration::from_micros(us))
+            r.multi,
+            r.single,
+            r.unknown,
+            fmt_dur(Duration::from_micros(r.micros)),
+            r.slice_mean()
         );
     }
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>9}",
         "total",
-        total.0,
-        total.1,
-        total.2,
-        fmt_dur(Duration::from_micros(total.3))
+        total.multi,
+        total.single,
+        total.unknown,
+        fmt_dur(Duration::from_micros(total.micros)),
+        total.slice_mean()
     );
     if !outcomes.is_empty() {
         let list: Vec<String> = outcomes.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -1141,6 +1198,17 @@ mod tests {
         assert!(!cmd.config().lint);
         let cmd = parse_args(argv("analyze f.bench")).expect("parse");
         assert!(cmd.config().lint);
+    }
+
+    #[test]
+    fn no_slice_flag_reaches_the_config() {
+        let cmd = parse_args(argv("analyze f.bench --no-slice")).expect("parse");
+        assert!(cmd.no_slice);
+        assert!(!cmd.config().slice);
+        // Without the flag the default applies (on, unless the
+        // MCPATH_NO_SLICE env var is set in this test environment).
+        let cmd = parse_args(argv("analyze f.bench")).expect("parse");
+        assert_eq!(cmd.config().slice, McConfig::default().slice);
     }
 
     #[test]

@@ -120,6 +120,19 @@ pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T,
     }
 }
 
+/// Like [`field`], but an absent key yields `T::default()` — the backing
+/// for `#[serde(default)]`, so old serialized snapshots stay readable
+/// after a struct grows new fields.
+pub fn field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------

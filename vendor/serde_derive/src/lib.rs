@@ -3,8 +3,9 @@
 //! Expands `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
 //! vendored `serde` content model. The item is parsed straight from the
 //! `proc_macro::TokenStream` (no `syn`/`quote` available offline): only the
-//! struct/enum name, field names, variant names, and `#[serde(skip)]`
-//! markers are needed — field *types* never are, because the generated code
+//! struct/enum name, field names, variant names, and the `#[serde(skip)]`,
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]` markers
+//! are needed — field *types* never are, because the generated code
 //! dispatches through the `Serialize`/`Deserialize` traits and lets
 //! inference do the rest.
 //!
@@ -37,6 +38,11 @@ enum Mode {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: a missing entry deserializes to `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the field is omitted from
+    /// serialized output when `path(&value)` is true.
+    skip_serializing_if: Option<String>,
 }
 
 struct Variant {
@@ -76,10 +82,13 @@ type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 #[derive(Default)]
 struct AttrInfo {
     skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
 }
 
-/// Consumes leading `#[...]` attributes (including doc comments). Only
-/// `#[serde(skip)]` carries meaning; other `#[serde(...)]` forms error.
+/// Consumes leading `#[...]` attributes (including doc comments). The
+/// recognized `#[serde(...)]` arguments are `skip`, `default`, and
+/// `skip_serializing_if = "path"` (comma-separable); other forms error.
 fn parse_attrs(it: &mut Tokens) -> Result<AttrInfo, String> {
     let mut info = AttrInfo::default();
     loop {
@@ -102,21 +111,58 @@ fn parse_attrs(it: &mut Tokens) -> Result<AttrInfo, String> {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
                     _ => return Err("malformed #[serde(...)] attribute".to_owned()),
                 };
-                let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
-                match arg_tokens.as_slice() {
-                    [TokenTree::Ident(id)] if id.to_string() == "skip" => info.skip = true,
-                    _ => {
-                        return Err(format!(
-                            "the vendored serde derive supports only #[serde(skip)], \
-                             not #[serde({})]",
-                            args.stream()
-                        ))
-                    }
-                }
+                parse_serde_args(args, &mut info)?;
             }
             _ => return Ok(info),
         }
     }
+}
+
+/// Parses the comma-separated argument list of one `#[serde(...)]`.
+fn parse_serde_args(args: Group, info: &mut AttrInfo) -> Result<(), String> {
+    let unsupported = |args: &Group| {
+        Err(format!(
+            "the vendored serde derive supports only #[serde(skip)], \
+             #[serde(default)] and #[serde(skip_serializing_if = \"path\")], \
+             not #[serde({})]",
+            args.stream()
+        ))
+    };
+    let mut it = args.stream().into_iter().peekable();
+    while let Some(tok) = it.next() {
+        let key = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => return unsupported(&args),
+        };
+        match key.as_str() {
+            "skip" => info.skip = true,
+            "default" => info.default = true,
+            "skip_serializing_if" => {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                    _ => return unsupported(&args),
+                }
+                let lit = match it.next() {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    _ => return unsupported(&args),
+                };
+                // The literal renders with its surrounding quotes; the
+                // content is a path expression like `Option::is_none`.
+                let path = lit.trim_matches('"').to_owned();
+                if path.is_empty() || path.len() + 2 != lit.len() {
+                    return unsupported(&args);
+                }
+                info.skip_serializing_if = Some(path);
+            }
+            _ => return unsupported(&args),
+        }
+        match it.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            _ => return unsupported(&args),
+        }
+    }
+    Ok(())
 }
 
 /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
@@ -183,6 +229,8 @@ fn parse_named_fields(group: Group) -> Result<Vec<Field>, String> {
         fields.push(Field {
             name,
             skip: attrs.skip,
+            default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
         });
     }
     Ok(fields)
@@ -193,8 +241,8 @@ fn parse_variants(group: Group) -> Result<Vec<Variant>, String> {
     let mut variants = Vec::new();
     while it.peek().is_some() {
         let attrs = parse_attrs(&mut it)?;
-        if attrs.skip {
-            return Err("#[serde(skip)] on enum variants is not supported".to_owned());
+        if attrs.skip || attrs.default || attrs.skip_serializing_if.is_some() {
+            return Err("#[serde(...)] on enum variants is not supported".to_owned());
         }
         let name = expect_ident(&mut it, "a variant name")?;
         let fields = match it.peek() {
@@ -231,8 +279,9 @@ fn parse_variants(group: Group) -> Result<Vec<Variant>, String> {
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let mut it = input.into_iter().peekable();
-    if parse_attrs(&mut it)?.skip {
-        return Err("#[serde(skip)] is a field attribute, not an item attribute".to_owned());
+    let item_attrs = parse_attrs(&mut it)?;
+    if item_attrs.skip || item_attrs.default || item_attrs.skip_serializing_if.is_some() {
+        return Err("#[serde(...)] field attributes are not valid on items".to_owned());
     }
     skip_vis(&mut it);
     let kw = expect_ident(&mut it, "`struct` or `enum`")?;
@@ -263,11 +312,16 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 // Code generation
 // ---------------------------------------------------------------------
 
-fn push_entry(out: &mut String, key: &str, value_expr: &str) {
-    out.push_str(&format!(
+fn push_entry(out: &mut String, f: &Field, value_expr: &str) {
+    let key = &f.name;
+    let push = format!(
         "entries.push((::std::string::String::from({key:?}), \
          ::serde::Serialize::to_content({value_expr})));\n"
-    ));
+    );
+    match &f.skip_serializing_if {
+        Some(path) => out.push_str(&format!("if !{path}({value_expr}) {{ {push} }}\n")),
+        None => out.push_str(&push),
+    }
 }
 
 fn gen_serialize(item: &Item) -> String {
@@ -276,7 +330,7 @@ fn gen_serialize(item: &Item) -> String {
         Body::Struct(fields) => {
             let mut pushes = String::new();
             for f in fields.iter().filter(|f| !f.skip) {
-                push_entry(&mut pushes, &f.name, &format!("&self.{}", f.name));
+                push_entry(&mut pushes, f, &format!("&self.{}", f.name));
             }
             format!(
                 "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Content)> \
@@ -308,7 +362,7 @@ fn gen_serialize(item: &Item) -> String {
                             .collect();
                         let mut pushes = String::new();
                         for f in fields.iter().filter(|f| !f.skip) {
-                            push_entry(&mut pushes, &f.name, &f.name);
+                            push_entry(&mut pushes, f, &f.name);
                         }
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {pattern} }} => {{\n\
@@ -342,6 +396,11 @@ fn gen_field_inits(fields: &[Field], map_var: &str) -> String {
         .map(|f| {
             if f.skip {
                 format!("{}: ::std::default::Default::default(), ", f.name)
+            } else if f.default {
+                format!(
+                    "{}: ::serde::field_or_default({map_var}, {:?})?, ",
+                    f.name, f.name
+                )
             } else {
                 format!("{}: ::serde::field({map_var}, {:?})?, ", f.name, f.name)
             }
