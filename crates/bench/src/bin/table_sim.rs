@@ -1,0 +1,166 @@
+//! Throughput of the compiled wide-lane simulation kernel.
+//!
+//! Runs the random-pattern prefilter over the suite twice per circuit:
+//! once on the graph-walking 64-lane reference path (`tape: false`) and
+//! once per supported lane width on the compiled tape kernel, reporting
+//! words simulated, wall-clock, node-evaluation throughput and the
+//! speedup over the reference — plus the drift check that makes the
+//! numbers trustworthy: every configuration must produce the *same*
+//! [`mcp_sim::FilterOutcome`] (survivors, drop order, witness words), so the
+//! speedup is measured on provably identical work.
+//!
+//! The headline number the roadmap tracks is the 256-lane speedup on the
+//! largest circuit of the run.
+
+use mcp_bench::{bench_artifact, secs, HarnessArgs};
+use mcp_sim::{mc_filter_stats, FilterConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Tape lane widths swept per circuit (the reference is always 64).
+const LANES: [u32; 4] = [64, 128, 256, 512];
+
+#[derive(Debug, Serialize)]
+struct Row {
+    circuit: String,
+    nodes: usize,
+    ffs: usize,
+    candidate_pairs: usize,
+    /// `"reference"` or `"tape"`.
+    kernel: &'static str,
+    lanes: u32,
+    words: u64,
+    /// Kernel instructions per pass (0 on the reference path) — shows
+    /// how much the compile-time folding shrank the netlist.
+    tape_ops_per_pass: u64,
+    wall_s: f64,
+    /// Netlist-node evaluations per second: `nodes × words × 2` clock
+    /// cycles over wall-clock. Words are identical across kernels for a
+    /// circuit, so ratios of this column are pure speedups.
+    node_evals_per_sec: f64,
+    /// Speedup over the reference kernel on the same circuit.
+    speedup: f64,
+}
+
+/// The artifact records the machine's core count alongside the rows:
+/// the kernel is single-threaded, but a loaded shared machine depresses
+/// wall-clock, so numbers are only comparable at equal `cores`.
+#[derive(Debug, Serialize)]
+struct Headline {
+    circuit: String,
+    lanes: u32,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Artifact {
+    cores: usize,
+    headline: Headline,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let suite = args.suite();
+
+    println!("Wide-lane kernel throughput on the random-pattern prefilter ({cores} core(s))");
+    println!("{:-<78}", "");
+    println!(
+        "{:>8} {:>7} {:>7} | {:>9} {:>5} {:>8} {:>9} {:>10} {:>7}",
+        "circuit", "nodes", "pairs", "kernel", "lane", "words", "wall(s)", "Mev/s", "speedup"
+    );
+    println!("{:-<78}", "");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for nl in &suite {
+        args.lint_warnings(nl);
+        let s = nl.stats();
+        let nodes = nl.num_nodes();
+        let pairs = nl.connected_ff_pairs();
+        let reference_cfg = FilterConfig {
+            tape: false,
+            ..FilterConfig::default()
+        };
+
+        let t = Instant::now();
+        let (reference, _) = mc_filter_stats(nl, &pairs, &reference_cfg);
+        let ref_wall = t.elapsed().as_secs_f64();
+        let mut emit = |kernel: &'static str, lanes: u32, words: u64, ops: u64, wall: f64| {
+            let evals = (nodes as f64) * (words as f64) * 2.0;
+            let node_evals_per_sec = evals / wall.max(1e-9);
+            let speedup = ref_wall / wall.max(1e-9);
+            println!(
+                "{:>8} {:>7} {:>7} | {:>9} {:>5} {:>8} {:>8} {:>10.1} {:>6.2}x",
+                nl.name(),
+                nodes,
+                pairs.len(),
+                kernel,
+                lanes,
+                words,
+                secs(std::time::Duration::from_secs_f64(wall)),
+                node_evals_per_sec / 1e6,
+                speedup
+            );
+            rows.push(Row {
+                circuit: nl.name().to_owned(),
+                nodes,
+                ffs: s.ffs,
+                candidate_pairs: pairs.len(),
+                kernel,
+                lanes,
+                words,
+                tape_ops_per_pass: ops,
+                wall_s: wall,
+                node_evals_per_sec,
+                speedup,
+            });
+        };
+        emit("reference", 64, reference.words_simulated, 0, ref_wall);
+
+        for lanes in LANES {
+            let tape_cfg = FilterConfig {
+                tape: true,
+                lanes,
+                ..reference_cfg
+            };
+            let t = Instant::now();
+            let (out, stats) = mc_filter_stats(nl, &pairs, &tape_cfg);
+            let wall = t.elapsed().as_secs_f64();
+            assert_eq!(
+                out,
+                reference,
+                "{}: tape outcome drifted from the reference at {lanes} lanes",
+                nl.name()
+            );
+            let ops_per_pass = stats.tape_ops.checked_div(stats.passes).unwrap_or(0);
+            emit("tape", lanes, out.words_simulated, ops_per_pass, wall);
+        }
+        println!("{:-<78}", "");
+    }
+
+    // Headline: 256-lane speedup on the largest circuit of the run
+    // (the suite is ordered by size, so that is the last one).
+    let headline = rows
+        .iter()
+        .rev()
+        .find(|r| r.kernel == "tape" && r.lanes == 256)
+        .map(|r| Headline {
+            circuit: r.circuit.clone(),
+            lanes: r.lanes,
+            speedup: r.speedup,
+        })
+        .expect("suite is non-empty");
+    println!(
+        "headline: {:.2}x node-evals/sec over the reference at 256 lanes on {}",
+        headline.speedup, headline.circuit
+    );
+
+    let artifact = Artifact {
+        cores,
+        headline,
+        rows,
+    };
+    bench_artifact("sim", &artifact);
+    args.dump_json(&artifact);
+}

@@ -116,6 +116,15 @@ impl McConfig {
     pub fn frames(&self) -> u32 {
         self.cycles
     }
+
+    /// The simulation lane width of the compiled prefilter kernel
+    /// (64, 128, 256 or 512 patterns per pass) — a view onto
+    /// [`FilterConfig::lanes`], which is the single source of truth.
+    /// Defaults to 256; the CLI sets it via `--sim-lanes`, the
+    /// environment via `MCPATH_SIM_LANES`.
+    pub fn sim_lanes(&self) -> u32 {
+        self.sim.lanes
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +147,13 @@ mod tests {
         }
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.scheduler, Scheduler::WorkSteal);
+        if std::env::var_os("MCPATH_SIM_LANES").is_none() {
+            assert_eq!(cfg.sim_lanes(), 256, "lane width defaults to 256");
+        }
+        if std::env::var_os("MCPATH_NO_TAPE").is_none() {
+            assert!(cfg.sim.tape, "tape kernel defaults to on");
+        } else {
+            assert!(!cfg.sim.tape, "MCPATH_NO_TAPE must disable the tape");
+        }
     }
 }

@@ -12,7 +12,7 @@ use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
 use mcp_netlist::{Expanded, Netlist, XId};
 use mcp_obs::{ObsCtx, PairEvent};
 use mcp_sat::CircuitCnf;
-use mcp_sim::mc_filter;
+use mcp_sim::mc_filter_stats;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,6 +28,13 @@ pub enum AnalyzeError {
     },
     /// The BDD engine only supports the classic 2-cycle check.
     BddNeedsTwoCycles {
+        /// The rejected value.
+        got: u32,
+    },
+    /// The simulation lane width is not one of the supported values
+    /// (64, 128, 256, 512). Reachable via `--sim-lanes` or the
+    /// `MCPATH_SIM_LANES` environment variable.
+    InvalidSimLanes {
         /// The rejected value.
         got: u32,
     },
@@ -49,6 +56,9 @@ impl fmt::Display for AnalyzeError {
             }
             AnalyzeError::BddNeedsTwoCycles { got } => {
                 write!(f, "the BDD engine supports cycles = 2 only, got {got}")
+            }
+            AnalyzeError::InvalidSimLanes { got } => {
+                write!(f, "sim lanes must be one of 64, 128, 256, 512, got {got}")
             }
             AnalyzeError::CorruptNetlist { report } => {
                 write!(
@@ -104,6 +114,13 @@ pub fn analyze_with(
     if matches!(cfg.engine, Engine::Bdd { .. }) && cfg.cycles != 2 {
         return Err(AnalyzeError::BddNeedsTwoCycles { got: cfg.cycles });
     }
+    // Validated even when the tape kernel (or the filter itself) is off:
+    // a bad `--sim-lanes` / `MCPATH_SIM_LANES` value is a config error
+    // either way, and catching it here keeps `mc_filter` panic-free in
+    // pipeline use.
+    if cfg.sim.lane_words().is_none() {
+        return Err(AnalyzeError::InvalidSimLanes { got: cfg.sim.lanes });
+    }
     // Step 0: admission lint. Error-level findings (combinational cycles,
     // unconnected or multi-driven DFFs, zero-width gates) void every
     // assumption the engines make about the netlist, so refuse outright.
@@ -139,11 +156,13 @@ pub fn analyze_with(
     let mut ff_toggles: Option<Vec<u64>> = None;
     let mut survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
         let t_sim = t_total.child("sim");
-        let out = mc_filter(netlist, &candidates, &cfg.sim);
+        let (out, sim_stats) = mc_filter_stats(netlist, &candidates, &cfg.sim);
         stats.time_sim = t_sim.stop();
         stats.sim_words = out.words_simulated;
         obs.metrics.sim_words.add(out.words_simulated);
         obs.metrics.sim_pairs_dropped.add(out.dropped() as u64);
+        obs.metrics.sim_passes.add(sim_stats.passes);
+        obs.metrics.sim_tape_ops.add(sim_stats.tape_ops);
         for d in &out.drops {
             results.push(PairResult {
                 src: d.src,
@@ -1063,6 +1082,41 @@ mod tests {
             ),
             Err(AnalyzeError::BddNeedsTwoCycles { got: 3 })
         ));
+        let mut bad_lanes = McConfig::default();
+        bad_lanes.sim.lanes = 96;
+        let err = analyze(&nl, &bad_lanes).unwrap_err();
+        assert!(matches!(err, AnalyzeError::InvalidSimLanes { got: 96 }));
+        assert!(err.to_string().contains("96"));
+        // Rejected even when the tape kernel — or the filter — is off:
+        // the config is wrong regardless of which path would consume it.
+        bad_lanes.sim.tape = false;
+        bad_lanes.use_sim_filter = false;
+        assert!(matches!(
+            analyze(&nl, &bad_lanes),
+            Err(AnalyzeError::InvalidSimLanes { got: 96 })
+        ));
+    }
+
+    #[test]
+    fn tape_and_lane_width_do_not_change_the_canonical_report() {
+        let nl = suite::quick_suite().remove(2); // m526
+        let baseline = {
+            let mut cfg = McConfig::default();
+            cfg.sim.tape = false;
+            serde_json::to_string(&analyze(&nl, &cfg).expect("analyze").canonical())
+                .expect("serialize")
+        };
+        for lanes in mcp_sim::filter::SUPPORTED_LANES {
+            let mut cfg = McConfig::default();
+            cfg.sim.tape = true;
+            cfg.sim.lanes = lanes;
+            let bytes = serde_json::to_string(&analyze(&nl, &cfg).expect("analyze").canonical())
+                .expect("serialize");
+            assert_eq!(
+                bytes, baseline,
+                "canonical report drifted at {lanes} sim lanes"
+            );
+        }
     }
 
     #[test]

@@ -189,6 +189,47 @@ fn full_counter_snapshots_are_thread_independent_within_a_slice_mode() {
     }
 }
 
+/// The prefilter's compiled tape kernel is an implementation detail:
+/// the canonical report is byte-identical with the kernel on or off, at
+/// every supported lane width, at every thread count. The kernel-effort
+/// counters (`sim_passes`, `sim_tape_ops`) are the only observable
+/// difference, and `canonical()` projects them out.
+#[test]
+fn reports_are_byte_identical_across_tape_modes_and_lane_widths() {
+    let nl = suite::quick_suite().remove(1); // m298: sim drops + survivors
+    let mk = |tape: bool, lanes: u32, threads: usize| {
+        let mut cfg = McConfig {
+            threads,
+            ..McConfig::default()
+        };
+        cfg.sim.tape = tape;
+        cfg.sim.lanes = lanes;
+        let report = analyze(&nl, &cfg).expect("analyze");
+        let canon = serde_json::to_string(&report.canonical()).expect("serialize");
+        (canon, report.metrics.counters)
+    };
+    let (baseline, ref_counters) = mk(false, 64, 1);
+    assert_eq!(
+        ref_counters.sim_passes, 0,
+        "reference path must not count kernel passes"
+    );
+    assert_eq!(ref_counters.sim_tape_ops, 0);
+    for lanes in [64u32, 128, 256, 512] {
+        for threads in [1usize, 2, 8] {
+            let (canon, counters) = mk(true, lanes, threads);
+            assert_eq!(
+                canon, baseline,
+                "canonical report drifted at lanes={lanes} threads={threads}"
+            );
+            assert!(
+                counters.sim_passes > 0,
+                "tape path must count kernel passes (lanes={lanes})"
+            );
+            assert!(counters.sim_tape_ops > 0);
+        }
+    }
+}
+
 /// NDJSON verdict events carry the slice dimensions exactly when the
 /// pair went through a sliced engine: populated for engine-classified
 /// pairs with slicing on, absent for sim-dropped pairs and for every

@@ -205,6 +205,14 @@ pub struct Metrics {
     pub sim_words: Counter,
     /// Random simulation: candidate pairs dropped by the prefilter.
     pub sim_pairs_dropped: Counter,
+    /// Random simulation: wide evaluation passes of the compiled tape
+    /// kernel (each pass covers `lanes / 64` words). Zero when the
+    /// prefilter ran on the graph-walking reference path.
+    pub sim_passes: Counter,
+    /// Random simulation: tape instructions executed by the compiled
+    /// kernel (instructions per eval × evals). Zero on the reference
+    /// path.
+    pub sim_tape_ops: Counter,
     /// Lint: rules executed over netlists.
     pub lint_rules_run: Counter,
     /// Lint: diagnostics (violations) reported by executed rules.
@@ -250,6 +258,8 @@ impl Metrics {
             bdd_cache_hits: self.bdd_cache_hits.get(),
             sim_words: self.sim_words.get(),
             sim_pairs_dropped: self.sim_pairs_dropped.get(),
+            sim_passes: self.sim_passes.get(),
+            sim_tape_ops: self.sim_tape_ops.get(),
             lint_rules_run: self.lint_rules_run.get(),
             lint_violations: self.lint_violations.get(),
             slice_builds: self.slice_builds.get(),
@@ -286,6 +296,12 @@ pub struct Counters {
     pub bdd_cache_hits: u64,
     pub sim_words: u64,
     pub sim_pairs_dropped: u64,
+    // Tape-kernel counters arrived after the first report format;
+    // `default` keeps old saved reports parseable.
+    #[serde(default)]
+    pub sim_passes: u64,
+    #[serde(default)]
+    pub sim_tape_ops: u64,
     pub lint_rules_run: u64,
     pub lint_violations: u64,
     // Slice counters arrived after the first journal/report format;
@@ -338,6 +354,24 @@ pub struct MetricsSnapshot {
     pub counters: Counters,
     /// Accumulated span timings by path (wall-clock, not deterministic).
     pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl MetricsSnapshot {
+    /// Random-simulation throughput: 64-pattern words per wall-clock
+    /// second of the `analyze/sim` span, or 0.0 when the span is absent
+    /// or empty. Wall-clock-derived, so (unlike the counters) not
+    /// deterministic across runs.
+    pub fn sim_words_per_sec(&self) -> f64 {
+        let secs = self
+            .spans
+            .get("analyze/sim")
+            .map_or(0.0, |s| s.total.as_secs_f64());
+        if secs > 0.0 {
+            self.counters.sim_words as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -783,6 +817,18 @@ mod tests {
         let c: Counters = serde_json::from_str(old_counters).expect("old counters parse");
         assert_eq!(c.slice_builds, 0);
         assert_eq!(c.slice_nodes_mean(), 0.0);
+        assert_eq!(c.sim_passes, 0);
+        assert_eq!(c.sim_tape_ops, 0);
+    }
+
+    #[test]
+    fn sim_throughput_derives_from_the_sim_span() {
+        let ctx = ObsCtx::new();
+        assert_eq!(ctx.snapshot().sim_words_per_sec(), 0.0);
+        ctx.metrics.sim_words.add(500);
+        ctx.timers.add("analyze/sim", Duration::from_millis(250));
+        let wps = ctx.snapshot().sim_words_per_sec();
+        assert!((wps - 2000.0).abs() < 1e-6, "got {wps}");
     }
 
     #[test]

@@ -1,9 +1,35 @@
 //! Random-pattern filtering of single-cycle FF pairs (paper step 2).
+//!
+//! Two interchangeable execution paths compute the **same**
+//! [`FilterOutcome`]:
+//!
+//! * the **reference path** — the original graph-walking
+//!   [`ParallelSim`] loop, one 64-lane word per pass;
+//! * the **tape path** (default) — the compiled [`Tape`]
+//!   kernel evaluating `64 × W` lanes per pass
+//!   ([`FilterConfig::lanes`] selects `W`), with alive pairs grouped by
+//!   source FF so a word in which a source never toggles skips its whole
+//!   group.
+//!
+//! ## Lane-width determinism contract
+//!
+//! The tape path draws the RNG stream in 64-bit words in exactly the
+//! reference order (per word: FF states, first-cycle inputs,
+//! second-cycle inputs), evaluates a `W`-word batch at once, then
+//! *replays* the batch word by word under the reference stop condition.
+//! Drops, witness word indices, survivor order, `words_simulated`, and
+//! `ff_toggles` are therefore byte-identical to the 64-lane reference
+//! for the same seed at every supported lane width — RNG words drawn
+//! past the stop point are simply never observed. The differential suite
+//! in `tests/tape_diff.rs` pins this contract on random netlists.
 
-use crate::ParallelSim;
+use crate::{ParallelSim, Tape, TapeSim};
 use mcp_netlist::Netlist;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Lane widths the compiled kernel supports (one to eight 64-bit words).
+pub const SUPPORTED_LANES: [u32; 4] = [64, 128, 256, 512];
 
 /// Configuration of the random-pattern multi-cycle filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +43,28 @@ pub struct FilterConfig {
     pub idle_words: u32,
     /// Hard cap on simulated words, a safety net for degenerate circuits.
     pub max_words: u64,
+    /// Simulation lanes per pass of the compiled kernel: one of
+    /// [`SUPPORTED_LANES`] (64, 128, 256 or 512 — i.e. 1, 2, 4 or 8
+    /// `u64` words). The outcome is identical at every width; wider
+    /// lanes amortize per-instruction overhead over more patterns.
+    /// Defaults to 256, overridable via the `MCPATH_SIM_LANES`
+    /// environment variable. Invalid values are rejected by
+    /// `analyze` with `AnalyzeError::InvalidSimLanes`.
+    pub lanes: u32,
+    /// Run on the compiled tape kernel (default) rather than the
+    /// graph-walking reference simulator. Defaults to `true`, or `false`
+    /// when the `MCPATH_NO_TAPE` environment variable is set; the CLI
+    /// exposes it as `--no-tape`.
+    pub tape: bool,
+}
+
+fn default_lanes() -> u32 {
+    match std::env::var("MCPATH_SIM_LANES") {
+        Err(_) => 256,
+        // An unparseable override becomes 0, which `lane_words` maps to
+        // `None` and `analyze` rejects with a clear error.
+        Ok(s) => s.trim().parse().unwrap_or(0),
+    }
 }
 
 impl Default for FilterConfig {
@@ -25,6 +73,22 @@ impl Default for FilterConfig {
             seed: 0x5eed_cafe,
             idle_words: 128,
             max_words: 1 << 16,
+            lanes: default_lanes(),
+            tape: std::env::var_os("MCPATH_NO_TAPE").is_none(),
+        }
+    }
+}
+
+impl FilterConfig {
+    /// The number of `u64` words per pass for the configured lane width,
+    /// or `None` if `lanes` is not one of [`SUPPORTED_LANES`].
+    pub fn lane_words(&self) -> Option<usize> {
+        match self.lanes {
+            64 => Some(1),
+            128 => Some(2),
+            256 => Some(4),
+            512 => Some(8),
+            _ => None,
         }
     }
 }
@@ -67,6 +131,19 @@ impl FilterOutcome {
     }
 }
 
+/// Execution-cost counters of one filter run. Deliberately **not** part
+/// of [`FilterOutcome`]: the outcome is pinned byte-identical across
+/// lane widths, while these counters describe how the kernel got there
+/// (they vary with `lanes` and are zero on the reference path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Wide evaluation passes of the tape kernel (each pass simulates up
+    /// to `lanes / 64` words, two clock cycles each).
+    pub passes: u64,
+    /// Tape instructions executed (instructions per eval × evals).
+    pub tape_ops: u64,
+}
+
 /// Runs the paper's step 2: 2-clock random parallel-pattern simulation.
 ///
 /// Each 64-lane word draws a random initial state and random inputs for two
@@ -84,12 +161,59 @@ impl FilterOutcome {
 ///
 /// The surviving pairs are only *candidates*: the implication/ATPG (or
 /// SAT/BDD) engines must still prove them.
+///
+/// # Panics
+///
+/// Panics if a pair names an FF index out of range, or if `cfg.tape` is
+/// set and `cfg.lanes` is not one of [`SUPPORTED_LANES`] (the pipeline
+/// validates lanes up front and reports `AnalyzeError::InvalidSimLanes`
+/// instead).
 pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig) -> FilterOutcome {
+    mc_filter_stats(netlist, pairs, cfg).0
+}
+
+/// [`mc_filter`] plus the kernel's [`FilterStats`].
+///
+/// # Panics
+///
+/// As [`mc_filter`].
+pub fn mc_filter_stats(
+    netlist: &Netlist,
+    pairs: &[(usize, usize)],
+    cfg: &FilterConfig,
+) -> (FilterOutcome, FilterStats) {
     let nffs = netlist.num_ffs();
-    let mut alive: Vec<(usize, usize)> = pairs.to_vec();
     for &(i, j) in pairs {
         assert!(i < nffs && j < nffs, "FF index out of range in pair list");
     }
+    if !cfg.tape {
+        return (
+            mc_filter_reference(netlist, pairs, cfg),
+            FilterStats::default(),
+        );
+    }
+    match cfg.lane_words() {
+        Some(1) => mc_filter_tape::<1>(netlist, pairs, cfg),
+        Some(2) => mc_filter_tape::<2>(netlist, pairs, cfg),
+        Some(4) => mc_filter_tape::<4>(netlist, pairs, cfg),
+        Some(8) => mc_filter_tape::<8>(netlist, pairs, cfg),
+        _ => panic!(
+            "sim lanes {} out of range: supported widths are 64, 128, 256, 512",
+            cfg.lanes
+        ),
+    }
+}
+
+/// The original graph-walking loop over [`ParallelSim`], one 64-lane
+/// word per pass. Kept verbatim as the differential reference for the
+/// tape kernel (and reachable via `--no-tape` / `MCPATH_NO_TAPE`).
+fn mc_filter_reference(
+    netlist: &Netlist,
+    pairs: &[(usize, usize)],
+    cfg: &FilterConfig,
+) -> FilterOutcome {
+    let nffs = netlist.num_ffs();
+    let mut alive: Vec<(usize, usize)> = pairs.to_vec();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut sim = ParallelSim::new(netlist);
 
@@ -151,6 +275,159 @@ pub fn mc_filter(netlist: &Netlist, pairs: &[(usize, usize)], cfg: &FilterConfig
     }
 }
 
+/// Alive pairs sharing one source FF. A word in which the source never
+/// toggled between `t` and `t+1` cannot violate any pair of the group —
+/// the whole group is skipped with one word compare.
+struct SourceGroup {
+    src: usize,
+    /// `(input position, destination FF)` of each alive pair, in input
+    /// order (positions are strictly increasing within a group).
+    pairs: Vec<(usize, usize)>,
+}
+
+/// The compiled-kernel path: simulate `W` words per pass on the tape,
+/// then replay the batch word by word under the reference stop
+/// condition. See the module docs for the determinism contract.
+fn mc_filter_tape<const W: usize>(
+    netlist: &Netlist,
+    pairs: &[(usize, usize)],
+    cfg: &FilterConfig,
+) -> (FilterOutcome, FilterStats) {
+    let nffs = netlist.num_ffs();
+    let npis = netlist.num_inputs();
+    let tape = Tape::compile(netlist);
+    let mut sim = TapeSim::<W>::new(&tape);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Group alive pairs by source FF, preserving input order both within
+    // groups (positions ascend) and across the run (drops are re-sorted
+    // by position per word, survivors by position at the end).
+    let mut group_of: Vec<Option<usize>> = vec![None; nffs];
+    let mut groups: Vec<SourceGroup> = Vec::new();
+    for (pos, &(i, j)) in pairs.iter().enumerate() {
+        let g = *group_of[i].get_or_insert_with(|| {
+            groups.push(SourceGroup {
+                src: i,
+                pairs: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[g].pairs.push((pos, j));
+    }
+    let mut alive_count = pairs.len();
+
+    // Per-word-slot random draws and captured FF trajectories, one
+    // `[u64; W]` per FF / PI.
+    let mut state = vec![[0u64; W]; nffs];
+    let mut in0 = vec![[0u64; W]; npis];
+    let mut in1 = vec![[0u64; W]; npis];
+    let mut s1 = vec![[0u64; W]; nffs];
+    let mut s2 = vec![[0u64; W]; nffs];
+
+    let mut words = 0u64;
+    let mut idle = 0u32;
+    let mut drops: Vec<PairDrop> = Vec::new();
+    let mut ff_toggles = vec![0u64; nffs];
+    let mut stats = FilterStats::default();
+    // Per-word drop candidates, re-sorted into input order before being
+    // appended so drop order matches the reference exactly.
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+
+    'run: while alive_count > 0 && idle < cfg.idle_words && words < cfg.max_words {
+        // Draw the RNG stream word-slot-major in the reference order:
+        // per word, FF states, then cycle-1 inputs, then cycle-2 inputs.
+        for w in 0..W {
+            for s in state.iter_mut() {
+                s[w] = rng.random();
+            }
+            for i in in0.iter_mut() {
+                i[w] = rng.random();
+            }
+            for i in in1.iter_mut() {
+                i[w] = rng.random();
+            }
+        }
+        for (k, s) in state.iter().enumerate() {
+            sim.set_state(k, *s);
+        }
+        for (p, i) in in0.iter().enumerate() {
+            sim.set_input(p, *i);
+        }
+        sim.eval();
+        for (k, s) in s1.iter_mut().enumerate() {
+            *s = sim.next_state(k);
+        }
+        sim.clock();
+        for (p, i) in in1.iter().enumerate() {
+            sim.set_input(p, *i);
+        }
+        sim.eval();
+        for (k, s) in s2.iter_mut().enumerate() {
+            *s = sim.next_state(k);
+        }
+        stats.passes += 1;
+        stats.tape_ops += 2 * tape.num_ops() as u64;
+
+        // Replay the batch word by word under the reference stop
+        // condition; words past the stop point are never observed.
+        for w in 0..W {
+            if !(alive_count > 0 && idle < cfg.idle_words && words < cfg.max_words) {
+                break 'run;
+            }
+            words += 1;
+            let word = words - 1;
+            for k in 0..nffs {
+                ff_toggles[k] += u64::from((state[k][w] ^ s1[k][w]).count_ones());
+            }
+            candidates.clear();
+            for group in groups.iter_mut() {
+                let src = group.src;
+                let src_toggle = state[src][w] ^ s1[src][w];
+                if src_toggle == 0 {
+                    continue;
+                }
+                group.pairs.retain(|&(pos, dst)| {
+                    let violated = src_toggle & (s1[dst][w] ^ s2[dst][w]) != 0;
+                    if violated {
+                        candidates.push((pos, src, dst));
+                    }
+                    !violated
+                });
+            }
+            if candidates.is_empty() {
+                idle += 1;
+            } else {
+                idle = 0;
+                alive_count -= candidates.len();
+                candidates.sort_unstable_by_key(|&(pos, _, _)| pos);
+                drops.extend(
+                    candidates
+                        .iter()
+                        .map(|&(_, src, dst)| PairDrop { src, dst, word }),
+                );
+            }
+        }
+    }
+
+    let mut survivors: Vec<(usize, usize)> = Vec::with_capacity(alive_count);
+    let mut positions: Vec<(usize, (usize, usize))> = groups
+        .iter()
+        .flat_map(|g| g.pairs.iter().map(|&(pos, dst)| (pos, (g.src, dst))))
+        .collect();
+    positions.sort_unstable_by_key(|&(pos, _)| pos);
+    survivors.extend(positions.into_iter().map(|(_, pair)| pair));
+
+    (
+        FilterOutcome {
+            survivors,
+            drops,
+            words_simulated: words,
+            ff_toggles,
+        },
+        stats,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +449,14 @@ mod tests {
         b.set_dff_input(c, hold).unwrap();
         b.mark_output(q);
         b.finish().unwrap()
+    }
+
+    fn cfg_with_lanes(lanes: u32) -> FilterConfig {
+        FilterConfig {
+            lanes,
+            tape: true,
+            ..FilterConfig::default()
+        }
     }
 
     #[test]
@@ -236,6 +521,57 @@ mod tests {
         let a = mc_filter(&nl, &pairs, &FilterConfig::default());
         let b = mc_filter(&nl, &pairs, &FilterConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tape_outcome_is_byte_identical_to_reference_at_every_width() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        let reference = mc_filter_reference(&nl, &pairs, &FilterConfig::default());
+        for lanes in SUPPORTED_LANES {
+            let out = mc_filter(&nl, &pairs, &cfg_with_lanes(lanes));
+            assert_eq!(out, reference, "lane width {lanes}");
+        }
+    }
+
+    #[test]
+    fn tape_stats_count_passes_and_ops() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        let (out, stats) = mc_filter_stats(&nl, &pairs, &cfg_with_lanes(256));
+        assert!(stats.passes > 0);
+        // 4 words per pass: the word count never exceeds 4 × passes.
+        assert!(out.words_simulated <= 4 * stats.passes);
+        assert!(out.words_simulated > 4 * (stats.passes - 1));
+        // mixed() compiles to zero tape instructions (all BUFs alias), so
+        // tape_ops stays zero here; the invariant is ops = 2·passes·num_ops.
+        assert_eq!(stats.tape_ops % 2, 0);
+        // The reference path reports zero kernel stats.
+        let no_tape = FilterConfig {
+            tape: false,
+            ..FilterConfig::default()
+        };
+        let (ref_out, ref_stats) = mc_filter_stats(&nl, &pairs, &no_tape);
+        assert_eq!(ref_stats, FilterStats::default());
+        assert_eq!(ref_out, out);
+    }
+
+    #[test]
+    fn lane_words_maps_supported_widths() {
+        for (lanes, words) in [(64u32, 1usize), (128, 2), (256, 4), (512, 8)] {
+            let cfg = cfg_with_lanes(lanes);
+            assert_eq!(cfg.lane_words(), Some(words));
+        }
+        assert_eq!(cfg_with_lanes(0).lane_words(), None);
+        assert_eq!(cfg_with_lanes(96).lane_words(), None);
+        assert_eq!(cfg_with_lanes(1024).lane_words(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unsupported_lane_width() {
+        let nl = mixed();
+        mc_filter(&nl, &[(0, 1)], &cfg_with_lanes(96));
     }
 
     #[test]

@@ -6,10 +6,18 @@
 //!   `u64` word per node carries 64 independent Boolean patterns, so a
 //!   single pass over the levelized gates simulates 64 input vectors.
 //!   This is the paper's "parallel pattern simulation".
+//! * [`TapeSim`] — the compiled wide-lane kernel: [`Tape::compile`] lowers
+//!   the netlist once into a flat, levelized instruction tape (constants
+//!   folded, buffers chained away), and a const-generic `[u64; W]` word
+//!   evaluates `64 × W` patterns per pass. Observationally identical to
+//!   `ParallelSim` lane-for-lane, several times faster per node-eval.
 //! * [`filter::mc_filter`] — the paper's step 2: repeated 2-clock random
 //!   simulation that *disproves* the multi-cycle condition for most
 //!   single-cycle FF pairs cheaply, stopping once no pair has been dropped
 //!   for a configurable number of consecutive words (32 in the paper).
+//!   Runs on the tape kernel by default (`FilterConfig::lanes` selects the
+//!   width) with a lane-width determinism contract: the outcome is
+//!   byte-identical to the 64-lane reference at every supported width.
 //! * [`EventSim`] — an event-driven three-valued simulator over the
 //!   original netlist, used by tests and the examples for cycle-accurate
 //!   inspection of small circuits.
@@ -39,9 +47,11 @@ pub mod delay;
 pub mod event;
 pub mod filter;
 pub mod parallel;
+pub mod tape;
 pub mod vcd;
 
 pub use delay::{DelaySim, EdgeReport};
 pub use event::EventSim;
-pub use filter::{mc_filter, FilterConfig, FilterOutcome, PairDrop};
+pub use filter::{mc_filter, mc_filter_stats, FilterConfig, FilterOutcome, FilterStats, PairDrop};
 pub use parallel::ParallelSim;
+pub use tape::{SlotRef, Tape, TapeSim};

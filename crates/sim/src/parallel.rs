@@ -23,9 +23,17 @@ pub struct ParallelSim<'a> {
 impl<'a> ParallelSim<'a> {
     /// Creates a simulator with all inputs and state zero.
     pub fn new(netlist: &'a Netlist) -> Self {
+        let mut values = vec![0; netlist.num_nodes()];
+        // Constant nodes never change: write their words once here instead
+        // of re-initializing them on every eval pass.
+        for (id, node) in netlist.nodes() {
+            if let NodeKind::Const(v) = node.kind() {
+                values[id.index()] = if v { u64::MAX } else { 0 };
+            }
+        }
         ParallelSim {
             netlist,
-            values: vec![0; netlist.num_nodes()],
+            values,
             inputs: vec![0; netlist.num_inputs()],
             state: vec![0; netlist.num_ffs()],
         }
@@ -93,11 +101,7 @@ impl<'a> ParallelSim<'a> {
         for (i, &ff) in self.netlist.dffs().iter().enumerate() {
             self.values[ff.index()] = self.state[i];
         }
-        for (id, node) in self.netlist.nodes() {
-            if let NodeKind::Const(v) = node.kind() {
-                self.values[id.index()] = if v { u64::MAX } else { 0 };
-            }
-        }
+        // Constant node words were written once at construction.
         // Reuse a small scratch buffer for fanin words to avoid per-gate
         // allocation.
         let mut scratch: Vec<u64> = Vec::with_capacity(8);

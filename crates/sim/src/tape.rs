@@ -1,0 +1,643 @@
+//! Compiled wide-lane simulation kernel.
+//!
+//! [`ParallelSim`](crate::ParallelSim) walks the netlist graph on every
+//! pass: per-gate enum dispatch, a fanin-id indirection per input, and a
+//! scratch copy of every fanin word. That is fine for a handful of
+//! passes, but the random-pattern prefilter (paper step 2) runs hundreds
+//! of passes over the whole circuit — the last un-compiled hot path of
+//! the pipeline.
+//!
+//! [`Tape`] lowers the netlist **once** into a flat, levelized
+//! instruction tape of pure **binary** operations in structure-of-arrays
+//! layout (opcode / left slot / right slot), folding constants and
+//! chaining buffers away at compile time:
+//!
+//! * `Const` drivers never occupy a runtime slot — readers fold them
+//!   into the instruction (a controlling constant folds the whole gate,
+//!   non-controlling constants are dropped from the fanin list, XOR
+//!   parity constants flip the opcode between XOR and XNOR);
+//! * `BUF` gates (and single-input AND/OR after folding) emit no
+//!   instruction at all — their readers alias the source slot;
+//! * a gate whose folded fanin list becomes empty is itself a constant,
+//!   and the fold cascades through its readers;
+//! * an `n`-input gate decomposes into a chain of `n - 1` binary
+//!   instructions (the inversion of NAND/NOR/XNOR lands on the last
+//!   link), and `NOT(a)` becomes `NAND(a, a)` — so the evaluator is a
+//!   single flat load–load–op–store loop with no per-instruction fanin
+//!   iteration, no arity dispatch, and an output slot that is implicit
+//!   in the instruction index.
+//!
+//! [`TapeSim`] evaluates the tape with **const-generic wide words**
+//! `[u64; W]`: one pass simulates `64 × W` independent Boolean patterns.
+//! `W` is a compile-time constant, so the per-instruction inner loop
+//! unrolls into straight-line word ops with no lane branching.
+//!
+//! The kernel is observationally identical to `ParallelSim` lane-for-lane
+//! (see `tests/tape_diff.rs`): every original node's value — including
+//! folded and aliased ones — is recoverable through [`Tape::slot_of`] /
+//! [`TapeSim::value`].
+
+use mcp_logic::GateKind;
+use mcp_netlist::{Netlist, NodeId, NodeKind};
+
+/// Where a node's value lives after compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRef {
+    /// The value is computed into (or set on) a runtime slot.
+    Slot(u32),
+    /// The value folded to a compile-time constant.
+    Const(bool),
+}
+
+/// Binary tape opcodes. `Buf` never appears (aliased away) and `Not`
+/// has no opcode of its own (`NAND(a, a)`); the inverting opcodes close
+/// a decomposed n-ary chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+}
+
+/// A netlist compiled into a flat, levelized instruction tape.
+///
+/// Slot layout: slots `0 .. num_inputs` are the primary inputs (in
+/// declaration order), slots `num_inputs .. num_inputs + num_ffs` are
+/// the flip-flop states (in FF-index order), and instruction `i` writes
+/// slot `num_inputs + num_ffs + i` — the output slot is implicit in the
+/// instruction index. Instructions are in the netlist's topological
+/// gate order, so a single forward sweep evaluates the combinational
+/// logic, and every instruction only reads slots below its own.
+#[derive(Debug, Clone)]
+pub struct Tape {
+    num_slots: usize,
+    num_inputs: usize,
+    num_ffs: usize,
+    /// SoA instruction stream: one entry per emitted binary instruction.
+    opcode: Vec<Op>,
+    /// Left operand slot of instruction `i`.
+    lhs: Vec<u32>,
+    /// Right operand slot of instruction `i` (`lhs[i]` again for NOT).
+    rhs: Vec<u32>,
+    /// Resolved location of every original node's value, by node index.
+    node_ref: Vec<SlotRef>,
+    /// Resolved location of every FF's D-input value, by FF index.
+    ff_d: Vec<SlotRef>,
+}
+
+impl Tape {
+    /// Compiles `netlist` into a tape. One-time cost, linear in the
+    /// netlist size; every [`TapeSim`] built on the result shares it.
+    pub fn compile(netlist: &Netlist) -> Tape {
+        let num_inputs = netlist.num_inputs();
+        let num_ffs = netlist.num_ffs();
+        let mut node_ref = vec![SlotRef::Const(false); netlist.num_nodes()];
+        for (i, &pi) in netlist.inputs().iter().enumerate() {
+            node_ref[pi.index()] = SlotRef::Slot(i as u32);
+        }
+        for (k, &ff) in netlist.dffs().iter().enumerate() {
+            node_ref[ff.index()] = SlotRef::Slot((num_inputs + k) as u32);
+        }
+        for (id, node) in netlist.nodes() {
+            if let NodeKind::Const(v) = node.kind() {
+                node_ref[id.index()] = SlotRef::Const(v);
+            }
+        }
+
+        let mut tape = Tape {
+            num_slots: num_inputs + num_ffs,
+            num_inputs,
+            num_ffs,
+            opcode: Vec::new(),
+            lhs: Vec::new(),
+            rhs: Vec::new(),
+            node_ref: Vec::new(),
+            ff_d: Vec::new(),
+        };
+
+        let mut slots: Vec<u32> = Vec::with_capacity(8);
+        for &g in netlist.topo_gates() {
+            let node = netlist.node(g);
+            let kind = node.kind().gate_kind().expect("topo holds gates");
+            let fanins = node.fanins();
+            let r = match kind {
+                GateKind::Buf => node_ref[fanins[0].index()],
+                GateKind::Not => match node_ref[fanins[0].index()] {
+                    SlotRef::Const(v) => SlotRef::Const(!v),
+                    SlotRef::Slot(s) => tape.emit_not(s),
+                },
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let ctrl = kind.controlling_value().expect("AND/OR family");
+                    let mut controlled = false;
+                    slots.clear();
+                    for &f in fanins {
+                        match node_ref[f.index()] {
+                            SlotRef::Const(v) if v == ctrl => {
+                                controlled = true;
+                                break;
+                            }
+                            // A non-controlling constant is the identity
+                            // of the base function — drop it.
+                            SlotRef::Const(_) => {}
+                            SlotRef::Slot(s) => slots.push(s),
+                        }
+                    }
+                    if controlled {
+                        SlotRef::Const(kind.controlled_output().expect("AND/OR family"))
+                    } else if slots.is_empty() {
+                        // All inputs were the identity constant.
+                        SlotRef::Const(!ctrl ^ kind.output_inversion())
+                    } else {
+                        let (base, inv) = match kind {
+                            GateKind::And | GateKind::Nand => (Op::And, Op::Nand),
+                            _ => (Op::Or, Op::Nor),
+                        };
+                        tape.emit_or_alias(base, inv, kind.output_inversion(), &slots)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Constant inputs fold into the output parity.
+                    let mut parity = kind.output_inversion();
+                    slots.clear();
+                    for &f in fanins {
+                        match node_ref[f.index()] {
+                            SlotRef::Const(v) => parity ^= v,
+                            SlotRef::Slot(s) => slots.push(s),
+                        }
+                    }
+                    if slots.is_empty() {
+                        SlotRef::Const(parity)
+                    } else {
+                        tape.emit_or_alias(Op::Xor, Op::Xnor, parity, &slots)
+                    }
+                }
+            };
+            node_ref[g.index()] = r;
+        }
+
+        tape.ff_d = (0..num_ffs)
+            .map(|k| node_ref[netlist.ff_d_input(k).index()])
+            .collect();
+        tape.node_ref = node_ref;
+        tape
+    }
+
+    /// Emits the binary chain for an n-ary gate, or — for a single
+    /// surviving fanin — aliases (non-inverting) or emits a NOT
+    /// (inverting) instead, so degenerate gates cost nothing extra at
+    /// runtime. An n-input gate becomes `n - 1` instructions of `base`
+    /// with the output inversion folded into a final `inv` link.
+    fn emit_or_alias(&mut self, base: Op, inv: Op, inverting: bool, slots: &[u32]) -> SlotRef {
+        if slots.len() == 1 {
+            return if inverting {
+                self.emit_not(slots[0])
+            } else {
+                SlotRef::Slot(slots[0])
+            };
+        }
+        let mut acc = slots[0];
+        for &s in &slots[1..slots.len() - 1] {
+            let SlotRef::Slot(next) = self.emit2(base, acc, s) else {
+                unreachable!("emit2 always yields a slot");
+            };
+            acc = next;
+        }
+        let last = slots[slots.len() - 1];
+        self.emit2(if inverting { inv } else { base }, acc, last)
+    }
+
+    /// `NOT(a)` as the binary instruction `NAND(a, a)`.
+    fn emit_not(&mut self, a: u32) -> SlotRef {
+        self.emit2(Op::Nand, a, a)
+    }
+
+    fn emit2(&mut self, op: Op, a: u32, b: u32) -> SlotRef {
+        let out = u32::try_from(self.num_slots).expect("slot count exceeds u32");
+        self.num_slots += 1;
+        self.opcode.push(op);
+        self.lhs.push(a);
+        self.rhs.push(b);
+        SlotRef::Slot(out)
+    }
+
+    /// Number of runtime value slots (inputs + FF states + instruction
+    /// outputs).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of emitted binary instructions — the per-pass work. An
+    /// n-input gate contributes at most `n - 1`; folding and aliasing
+    /// only shrink the total relative to that bound.
+    #[inline]
+    pub fn num_ops(&self) -> usize {
+        self.opcode.len()
+    }
+
+    /// Total fanin references across all instructions (the tape's
+    /// memory-traffic proxy) — two per binary instruction.
+    #[inline]
+    pub fn num_fanin_refs(&self) -> usize {
+        2 * self.opcode.len()
+    }
+
+    /// Number of primary inputs of the compiled netlist.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of flip-flops of the compiled netlist.
+    #[inline]
+    pub fn num_ffs(&self) -> usize {
+        self.num_ffs
+    }
+
+    /// Where the value of original node `id` lives. Aliased (buffer) and
+    /// folded (constant) nodes resolve here without occupying a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the compiled netlist.
+    #[inline]
+    pub fn slot_of(&self, id: NodeId) -> SlotRef {
+        self.node_ref[id.index()]
+    }
+
+    /// Where FF `ff`'s D-input value lives after an eval pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn ff_d(&self, ff: usize) -> SlotRef {
+        self.ff_d[ff]
+    }
+
+    /// The runtime slot of primary input `pi`.
+    #[inline]
+    pub fn pi_slot(&self, pi: usize) -> usize {
+        debug_assert!(pi < self.num_inputs);
+        pi
+    }
+
+    /// The runtime slot holding FF `ff`'s state.
+    #[inline]
+    pub fn ff_slot(&self, ff: usize) -> usize {
+        debug_assert!(ff < self.num_ffs);
+        self.num_inputs + ff
+    }
+}
+
+/// Wide-word evaluator over a compiled [`Tape`].
+///
+/// Each slot holds `[u64; W]`: bit `l` of word `w` is one independent
+/// simulation lane, `64 × W` lanes per pass. `W = 1` is the drop-in
+/// equivalent of [`ParallelSim`](crate::ParallelSim); `W = 4` (256
+/// lanes) is the pipeline default.
+///
+/// The state/eval/clock protocol mirrors `ParallelSim`: set inputs and
+/// state, [`eval`](Self::eval), read [`value`](Self::value) /
+/// [`next_state`](Self::next_state), then [`clock`](Self::clock) to
+/// latch.
+#[derive(Debug, Clone)]
+pub struct TapeSim<'t, const W: usize> {
+    tape: &'t Tape,
+    slots: Vec<[u64; W]>,
+    /// Clock-latch scratch: D values are read out completely before any
+    /// state slot is overwritten, because a D ref may alias another
+    /// FF's state slot (e.g. `Q2.D = BUF(Q1)` chains to Q1's slot).
+    latch: Vec<[u64; W]>,
+}
+
+impl<'t, const W: usize> TapeSim<'t, W> {
+    /// Creates an evaluator with all inputs and state zero.
+    pub fn new(tape: &'t Tape) -> Self {
+        TapeSim {
+            tape,
+            slots: vec![[0; W]; tape.num_slots()],
+            latch: vec![[0; W]; tape.num_ffs()],
+        }
+    }
+
+    /// The compiled tape this evaluator runs.
+    #[inline]
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Sets the `64 × W` lanes of primary input `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is out of range.
+    #[inline]
+    pub fn set_input(&mut self, pi: usize, words: [u64; W]) {
+        assert!(pi < self.tape.num_inputs, "primary input out of range");
+        self.slots[self.tape.pi_slot(pi)] = words;
+    }
+
+    /// Sets the `64 × W` lanes of FF `ff`'s state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn set_state(&mut self, ff: usize, words: [u64; W]) {
+        assert!(ff < self.tape.num_ffs, "flip-flop out of range");
+        self.slots[self.tape.ff_slot(ff)] = words;
+    }
+
+    /// Current state of FF `ff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn state(&self, ff: usize) -> [u64; W] {
+        assert!(ff < self.tape.num_ffs, "flip-flop out of range");
+        self.slots[self.tape.ff_slot(ff)]
+    }
+
+    /// Runs the instruction tape: one forward sweep evaluates the
+    /// combinational logic for the current inputs and state.
+    ///
+    /// Each binary instruction is a load–load–op–store over `[u64; W]`;
+    /// the output slot is the instruction index offset past the
+    /// input/state slots, so the loop carries no per-instruction
+    /// metadata beyond two operand indices and an opcode.
+    pub fn eval(&mut self) {
+        let t = self.tape;
+        let base = t.num_inputs + t.num_ffs;
+        for (out, ((&op, &a), &b)) in
+            (base..).zip(t.opcode.iter().zip(t.lhs.iter()).zip(t.rhs.iter()))
+        {
+            let va = self.slots[a as usize];
+            let vb = self.slots[b as usize];
+            let mut v = [0u64; W];
+            match op {
+                Op::And => {
+                    for l in 0..W {
+                        v[l] = va[l] & vb[l];
+                    }
+                }
+                Op::Nand => {
+                    for l in 0..W {
+                        v[l] = !(va[l] & vb[l]);
+                    }
+                }
+                Op::Or => {
+                    for l in 0..W {
+                        v[l] = va[l] | vb[l];
+                    }
+                }
+                Op::Nor => {
+                    for l in 0..W {
+                        v[l] = !(va[l] | vb[l]);
+                    }
+                }
+                Op::Xor => {
+                    for l in 0..W {
+                        v[l] = va[l] ^ vb[l];
+                    }
+                }
+                Op::Xnor => {
+                    for l in 0..W {
+                        v[l] = !(va[l] ^ vb[l]);
+                    }
+                }
+            }
+            self.slots[out] = v;
+        }
+    }
+
+    /// Resolves a [`SlotRef`] against the current slot values.
+    #[inline]
+    fn resolve(&self, r: SlotRef) -> [u64; W] {
+        match r {
+            SlotRef::Slot(s) => self.slots[s as usize],
+            SlotRef::Const(true) => [u64::MAX; W],
+            SlotRef::Const(false) => [0; W],
+        }
+    }
+
+    /// The wide value of original node `id` from the most recent
+    /// [`eval`](Self::eval). Works for every node of the compiled
+    /// netlist, including folded constants and aliased buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the compiled netlist.
+    #[inline]
+    pub fn value(&self, id: NodeId) -> [u64; W] {
+        self.resolve(self.tape.slot_of(id))
+    }
+
+    /// FF `ff`'s D-input value from the most recent `eval` — the state
+    /// it will hold after the next [`clock`](Self::clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[inline]
+    pub fn next_state(&self, ff: usize) -> [u64; W] {
+        self.resolve(self.tape.ff_d(ff))
+    }
+
+    /// Latches every FF's D-input value (positive clock edge).
+    pub fn clock(&mut self) {
+        for ff in 0..self.tape.num_ffs {
+            self.latch[ff] = self.resolve(self.tape.ff_d[ff]);
+        }
+        for ff in 0..self.tape.num_ffs {
+            self.slots[self.tape.ff_slot(ff)] = self.latch[ff];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParallelSim;
+    use mcp_netlist::NetlistBuilder;
+
+    fn gray2() -> Netlist {
+        let mut b = NetlistBuilder::new("gray2");
+        let f3 = b.dff("F3");
+        let f4 = b.dff("F4");
+        let nf3 = b.gate("NF3", GateKind::Not, [f3]).unwrap();
+        b.set_dff_input(f3, f4).unwrap();
+        b.set_dff_input(f4, nf3).unwrap();
+        b.mark_output(f3);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn gray_counter_matches_parallel_sim() {
+        let nl = gray2();
+        let tape = Tape::compile(&nl);
+        let mut sim = TapeSim::<2>::new(&tape);
+        let mut reference = ParallelSim::new(&nl);
+        sim.set_state(0, [0b10, 0b01]);
+        sim.set_state(1, [0b10, 0b11]);
+        reference.set_state(0, 0b10);
+        reference.set_state(1, 0b10);
+        sim.eval();
+        reference.eval();
+        // Word 0 tracks the reference lane-for-lane.
+        assert_eq!(sim.next_state(0)[0], reference.next_state(0));
+        assert_eq!(sim.next_state(1)[0], reference.next_state(1));
+        sim.clock();
+        reference.clock();
+        assert_eq!(sim.state(0)[0], reference.state(0));
+        assert_eq!(sim.state(1)[0], reference.state(1));
+        // Words are independent: word 1 evolved its own state.
+        assert_eq!(sim.state(0)[1], 0b11);
+        assert_eq!(sim.state(1)[1], !0b01);
+    }
+
+    #[test]
+    fn constants_fold_away_entirely() {
+        let mut b = NetlistBuilder::new("c");
+        let one = b.constant("ONE", true);
+        let zero = b.constant("ZERO", false);
+        let input = b.input("IN");
+        // a = AND(ONE, ZERO) -> const 0;  o = OR(ONE, ZERO) -> const 1
+        let a = b.gate("A", GateKind::And, [one, zero]).unwrap();
+        let o = b.gate("O", GateKind::Or, [one, zero]).unwrap();
+        // g = AND(IN, ONE) -> alias of IN;  n = NOR(IN, ZERO) -> NOT(IN)
+        let g = b.gate("G", GateKind::And, [input, one]).unwrap();
+        let n = b.gate("N", GateKind::Nor, [input, zero]).unwrap();
+        // x = XOR(IN, ONE) -> NOT(IN);  y = XNOR(ONE, ZERO) -> const 0
+        let x = b.gate("X", GateKind::Xor, [input, one]).unwrap();
+        let y = b.gate("Y", GateKind::Xnor, [one, zero]).unwrap();
+        for id in [a, o, g, n, x, y] {
+            b.mark_output(id);
+        }
+        let nl = b.finish().unwrap();
+        let tape = Tape::compile(&nl);
+        // Only the two NOTs survive as instructions.
+        assert_eq!(tape.num_ops(), 2);
+        assert_eq!(tape.slot_of(a), SlotRef::Const(false));
+        assert_eq!(tape.slot_of(o), SlotRef::Const(true));
+        assert_eq!(tape.slot_of(g), tape.slot_of(input));
+        assert_eq!(tape.slot_of(y), SlotRef::Const(false));
+
+        let mut sim = TapeSim::<1>::new(&tape);
+        sim.set_input(0, [0b01]);
+        sim.eval();
+        assert_eq!(sim.value(a), [0]);
+        assert_eq!(sim.value(o), [u64::MAX]);
+        assert_eq!(sim.value(g), [0b01]);
+        assert_eq!(sim.value(n), [!0b01]);
+        assert_eq!(sim.value(x), [!0b01]);
+        assert_eq!(sim.value(y), [0]);
+    }
+
+    #[test]
+    fn buffer_chains_alias_to_the_source_slot() {
+        let mut b = NetlistBuilder::new("bufs");
+        let input = b.input("IN");
+        let b1 = b.gate("B1", GateKind::Buf, [input]).unwrap();
+        let b2 = b.gate("B2", GateKind::Buf, [b1]).unwrap();
+        let b3 = b.gate("B3", GateKind::Buf, [b2]).unwrap();
+        let ff = b.dff("FF");
+        b.set_dff_input(ff, b3).unwrap();
+        b.mark_output(ff);
+        let nl = b.finish().unwrap();
+        let tape = Tape::compile(&nl);
+        assert_eq!(tape.num_ops(), 0, "buffer chains emit no instructions");
+        assert_eq!(tape.slot_of(b3), tape.slot_of(input));
+        assert_eq!(tape.ff_d(0), tape.slot_of(input));
+
+        let mut sim = TapeSim::<1>::new(&tape);
+        sim.set_input(0, [0xABCD]);
+        sim.eval();
+        assert_eq!(sim.next_state(0), [0xABCD]);
+        sim.clock();
+        assert_eq!(sim.state(0), [0xABCD]);
+    }
+
+    #[test]
+    fn constant_fed_ff_latches_the_constant() {
+        let mut b = NetlistBuilder::new("constff");
+        let one = b.constant("ONE", true);
+        let ff = b.dff("FF");
+        b.set_dff_input(ff, one).unwrap();
+        b.mark_output(ff);
+        let nl = b.finish().unwrap();
+        let tape = Tape::compile(&nl);
+        assert_eq!(tape.ff_d(0), SlotRef::Const(true));
+        let mut sim = TapeSim::<2>::new(&tape);
+        sim.set_state(0, [0, 0]);
+        sim.eval();
+        assert_eq!(sim.next_state(0), [u64::MAX; 2]);
+        sim.clock();
+        assert_eq!(sim.state(0), [u64::MAX; 2]);
+    }
+
+    #[test]
+    fn clock_reads_all_d_values_before_latching() {
+        // FF shift pair where each D aliases the *other* FF's state slot:
+        // a naive in-place latch would corrupt the second read.
+        let mut b = NetlistBuilder::new("swap");
+        let f0 = b.dff("F0");
+        let f1 = b.dff("F1");
+        let b0 = b.gate("B0", GateKind::Buf, [f1]).unwrap();
+        let b1 = b.gate("B1", GateKind::Buf, [f0]).unwrap();
+        b.set_dff_input(f0, b0).unwrap();
+        b.set_dff_input(f1, b1).unwrap();
+        b.mark_output(f0);
+        let nl = b.finish().unwrap();
+        let tape = Tape::compile(&nl);
+        assert_eq!(tape.num_ops(), 0);
+        let mut sim = TapeSim::<1>::new(&tape);
+        sim.set_state(0, [0xAAAA]);
+        sim.set_state(1, [0x5555]);
+        sim.eval();
+        sim.clock();
+        assert_eq!(sim.state(0), [0x5555]);
+        assert_eq!(sim.state(1), [0xAAAA]);
+    }
+
+    #[test]
+    fn cascaded_folding_reaches_downstream_gates() {
+        // NOT(AND(ONE, ZERO)) = NOT(0) = 1, then AND(IN, that) aliases IN.
+        let mut b = NetlistBuilder::new("cascade");
+        let one = b.constant("ONE", true);
+        let zero = b.constant("ZERO", false);
+        let input = b.input("IN");
+        let a = b.gate("A", GateKind::And, [one, zero]).unwrap();
+        let n = b.gate("N", GateKind::Not, [a]).unwrap();
+        let g = b.gate("G", GateKind::And, [input, n]).unwrap();
+        b.mark_output(g);
+        let nl = b.finish().unwrap();
+        let tape = Tape::compile(&nl);
+        assert_eq!(tape.num_ops(), 0);
+        assert_eq!(tape.slot_of(n), SlotRef::Const(true));
+        assert_eq!(tape.slot_of(g), tape.slot_of(input));
+    }
+
+    #[test]
+    fn wide_words_carry_independent_lanes() {
+        let nl = gray2();
+        let tape = Tape::compile(&nl);
+        let mut w4 = TapeSim::<4>::new(&tape);
+        let mut w1 = TapeSim::<1>::new(&tape);
+        let states = [[1u64, 2, 3, 4], [5u64, 6, 7, 8]];
+        w4.set_state(0, states[0]);
+        w4.set_state(1, states[1]);
+        w4.eval();
+        for (word, (&s0, &s1)) in states[0].iter().zip(states[1].iter()).enumerate() {
+            w1.set_state(0, [s0]);
+            w1.set_state(1, [s1]);
+            w1.eval();
+            assert_eq!(w4.next_state(0)[word], w1.next_state(0)[0]);
+            assert_eq!(w4.next_state(1)[word], w1.next_state(1)[0]);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Differential property tests for the compiled tape kernel.
+//!
+//! Three oracles pin the kernel down from independent directions:
+//!
+//! * [`ParallelSim`] — the graph-walking 64-lane simulator is the
+//!   per-node value reference: every netlist node must carry the same
+//!   word in both models, before and after clocking.
+//! * [`mc_filter`] with `tape: false` — the prefilter reference path.
+//!   The tape path must reproduce the **entire** [`FilterOutcome`]
+//!   (survivor set, drop order, witness words, toggle counts) at every
+//!   supported lane width, not just statistically similar results.
+//! * [`EventSim`] — the three-valued event-driven simulator evaluates
+//!   the netlist *without* any compile-time folding, so agreement on
+//!   netlists dense with constants and buffer chains shows the folding
+//!   rules preserve semantics.
+//!
+//! `mcp_gen::random_netlist` never emits `Const` nodes or long buffer
+//! chains, so a local generator builds folding-heavy netlists here.
+
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_logic::{GateKind, V3};
+use mcp_netlist::{Netlist, NetlistBuilder, NodeId};
+use mcp_sim::{mc_filter, EventSim, FilterConfig, ParallelSim, Tape, TapeSim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (0u64..100_000, 1usize..6, 0usize..4, 1usize..40, 1usize..5).prop_map(
+        |(seed, ffs, pis, gates, max_arity)| {
+            (
+                seed,
+                RandomCircuitConfig {
+                    ffs,
+                    pis,
+                    gates,
+                    max_arity,
+                },
+            )
+        },
+    )
+}
+
+/// Random netlist biased toward what the tape compiler folds: constant
+/// nodes feed the gate pool, and `Buf`/`Not` are drawn twice as often as
+/// in [`random_netlist`] so alias chains and inverter stacking appear.
+fn folding_netlist(seed: u64, cfg: &RandomCircuitConfig) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("fold{seed}"));
+    let mut pool: Vec<NodeId> = (0..cfg.pis).map(|i| b.input(format!("I{i}"))).collect();
+    let ffs: Vec<NodeId> = (0..cfg.ffs).map(|i| b.dff(format!("F{i}"))).collect();
+    pool.extend(&ffs);
+    pool.push(b.constant("c0", false));
+    pool.push(b.constant("c1", true));
+
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Buf,
+    ];
+    for _ in 0..cfg.gates {
+        let kind = kinds[rng.random_range(0..kinds.len())];
+        let arity = kind
+            .fixed_arity()
+            .unwrap_or_else(|| rng.random_range(1..=cfg.max_arity));
+        let ins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[rng.random_range(0..pool.len())])
+            .collect();
+        let g = b.gate_auto(kind, ins).expect("valid arity");
+        pool.push(g);
+    }
+    for &ff in &ffs {
+        let d = pool[rng.random_range(0..pool.len())];
+        b.set_dff_input(ff, d).expect("valid dff");
+    }
+    b.mark_output(*pool.last().expect("non-empty pool"));
+    b.finish().expect("folding circuit is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The prefilter's outcome is byte-identical between the reference
+    /// path and the tape kernel at every supported lane width. Small
+    /// `idle_words` keeps runs short while still crossing several
+    /// batch boundaries at the widest width.
+    #[test]
+    fn tape_filter_matches_reference_at_every_lane_width(
+        (seed, cfg) in cfg_strategy(),
+        filter_seed in any::<u64>(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let pairs = nl.connected_ff_pairs();
+        let reference_cfg = FilterConfig {
+            seed: filter_seed,
+            idle_words: 6,
+            max_words: 512,
+            tape: false,
+            lanes: 64,
+        };
+        let reference = mc_filter(&nl, &pairs, &reference_cfg);
+        for lanes in [64u32, 256, 512] {
+            let tape_cfg = FilterConfig {
+                tape: true,
+                lanes,
+                ..reference_cfg
+            };
+            let got = mc_filter(&nl, &pairs, &tape_cfg);
+            prop_assert_eq!(
+                &got, &reference,
+                "outcome diverged at {} lanes (netlist seed {})", lanes, seed
+            );
+        }
+    }
+
+    /// Per-node values: a 1-word `TapeSim` tracks `ParallelSim` exactly on
+    /// folding-heavy netlists, across evaluation and clocking.
+    #[test]
+    fn tape_values_match_parallel_sim_per_node(
+        (seed, cfg) in cfg_strategy(),
+        stimulus in any::<u64>(),
+    ) {
+        let nl = folding_netlist(seed, &cfg);
+        let tape = Tape::compile(&nl);
+        let mut tsim = TapeSim::<1>::new(&tape);
+        let mut psim = ParallelSim::new(&nl);
+
+        let mut rng = StdRng::seed_from_u64(stimulus);
+        for ff in 0..nl.num_ffs() {
+            let w: u64 = rng.random();
+            tsim.set_state(ff, [w]);
+            psim.set_state(ff, w);
+        }
+        for cycle in 0..3 {
+            for pi in 0..nl.num_inputs() {
+                let w: u64 = rng.random();
+                tsim.set_input(pi, [w]);
+                psim.set_input(pi, w);
+            }
+            tsim.eval();
+            psim.eval();
+            for (id, _) in nl.nodes() {
+                prop_assert_eq!(
+                    tsim.value(id)[0],
+                    psim.value(id),
+                    "node {:?} diverged in cycle {} (netlist seed {})", id, cycle, seed
+                );
+            }
+            for ff in 0..nl.num_ffs() {
+                prop_assert_eq!(tsim.next_state(ff)[0], psim.next_state(ff));
+            }
+            tsim.clock();
+            psim.clock();
+            for ff in 0..nl.num_ffs() {
+                prop_assert_eq!(tsim.state(ff)[0], psim.state(ff));
+            }
+        }
+    }
+
+    /// Const folding preserves semantics: the tape agrees with the
+    /// three-valued event simulator (which performs no folding at all) on
+    /// every node of constant-dense netlists, and folding never *adds*
+    /// instructions relative to the gate count.
+    #[test]
+    fn const_folding_matches_event_sim(
+        (seed, cfg) in cfg_strategy(),
+        stimulus in any::<u64>(),
+    ) {
+        let nl = folding_netlist(seed, &cfg);
+        let tape = Tape::compile(&nl);
+        // An n-input gate decomposes into at most n-1 binary
+        // instructions (1 for NOT, 0 for BUF); folding only shrinks it.
+        let bound: usize = nl
+            .nodes()
+            .filter_map(|(_, n)| {
+                n.kind().gate_kind().map(|k| match k {
+                    GateKind::Buf => 0,
+                    GateKind::Not => 1,
+                    _ => n.fanins().len().saturating_sub(1).max(1),
+                })
+            })
+            .sum();
+        prop_assert!(
+            tape.num_ops() <= bound,
+            "folding must not add instructions: {} ops for a bound of {}",
+            tape.num_ops(),
+            bound
+        );
+
+        let mut tsim = TapeSim::<1>::new(&tape);
+        let mut esim = EventSim::new(&nl);
+        let mut bits = stimulus;
+        let mut next_bit = || {
+            bits = bits
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            bits >> 63 == 1
+        };
+        for ff in 0..nl.num_ffs() {
+            let v = next_bit();
+            tsim.set_state(ff, [if v { u64::MAX } else { 0 }]);
+            esim.set_state(ff, V3::from(v));
+        }
+        for _ in 0..2 {
+            for pi in 0..nl.num_inputs() {
+                let v = next_bit();
+                tsim.set_input(pi, [if v { u64::MAX } else { 0 }]);
+                esim.set_input(pi, V3::from(v));
+            }
+            tsim.eval();
+            esim.propagate();
+            for (id, _) in nl.nodes() {
+                let lane0 = tsim.value(id)[0] & 1 == 1;
+                prop_assert_eq!(
+                    V3::from(lane0),
+                    esim.value(id),
+                    "node {:?} diverged (netlist seed {})", id, seed
+                );
+            }
+            tsim.clock();
+            esim.clock();
+        }
+    }
+}

@@ -21,9 +21,9 @@
 //!
 //! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
 //! `--learn`, `--threads N`, `--scheduler steal|static`, `--no-sim`,
-//! `--no-self-pairs`, `--no-lint`, `--no-slice`, `--json <path>`,
-//! `--format text|json`, `--metrics`, `--trace-out <path>`, `--progress`,
-//! `--quiet`.
+//! `--sim-lanes 64|128|256|512`, `--no-tape`, `--no-self-pairs`,
+//! `--no-lint`, `--no-slice`, `--json <path>`, `--format text|json`,
+//! `--metrics`, `--trace-out <path>`, `--progress`, `--quiet`.
 
 use mcp_core::{
     analyze, analyze_with, check_hazards, max_cycle_budgets, sensitization_dependencies, to_sdc,
@@ -54,6 +54,14 @@ pub struct Command {
     pub scheduler: Scheduler,
     /// Disable the random-simulation prefilter.
     pub no_sim: bool,
+    /// Simulation lane width of the prefilter's compiled kernel
+    /// (64, 128, 256 or 512); `None` keeps the default (256, or the
+    /// `MCPATH_SIM_LANES` env var).
+    pub sim_lanes: Option<u32>,
+    /// Run the prefilter on the graph-walking reference simulator
+    /// instead of the compiled tape kernel (A/B escape hatch; the
+    /// outcome is byte-identical).
+    pub no_tape: bool,
     /// Exclude self pairs.
     pub no_self_pairs: bool,
     /// Skip the pre-analysis structural lint gate.
@@ -167,6 +175,10 @@ OPTIONS:
   --threads <N>                  parallel pair workers (default: 1)
   --scheduler steal|static       pair scheduling policy (default: steal)
   --no-sim                       skip the random-simulation prefilter
+  --sim-lanes 64|128|256|512     prefilter patterns per pass (default: 256);
+                                 the outcome is identical at every width
+  --no-tape                      prefilter on the graph-walking reference
+                                 simulator instead of the compiled kernel
   --no-self-pairs                exclude (FFi, FFi) pairs ([9]'s convention)
   --no-lint                      analyze even if structural lints fail
   --no-slice                     engines run on the whole-circuit expansion
@@ -199,6 +211,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut threads = 1usize;
     let mut scheduler = Scheduler::default();
     let mut no_sim = false;
+    let mut sim_lanes: Option<u32> = None;
+    let mut no_tape = false;
     let mut no_self_pairs = false;
     let mut no_lint = false;
     let mut no_slice = false;
@@ -284,10 +298,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     }
                 })
             }
+            "--sim-lanes" => {
+                sim_lanes = Some(
+                    take_value(&mut args, "--sim-lanes")?
+                        .parse()
+                        .map_err(|e| ParseCliError(format!("bad --sim-lanes: {e}")))?,
+                );
+            }
             "--learn" => learn = true,
             "--metrics" => metrics = true,
             "--progress" => progress = true,
             "--no-sim" => no_sim = true,
+            "--no-tape" => no_tape = true,
             "--no-self-pairs" => no_self_pairs = true,
             "--no-lint" => no_lint = true,
             "--no-slice" => no_slice = true,
@@ -350,6 +372,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         threads,
         scheduler,
         no_sim,
+        sim_lanes,
+        no_tape,
         no_self_pairs,
         no_lint,
         no_slice,
@@ -379,7 +403,17 @@ impl Command {
 
     fn config(&self) -> McConfig {
         let defaults = McConfig::default();
+        let mut sim = defaults.sim;
+        if let Some(lanes) = self.sim_lanes {
+            // Validation happens in `analyze` (AnalyzeError::InvalidSimLanes)
+            // so env- and flag-sourced values get the same diagnostics.
+            sim.lanes = lanes;
+        }
+        // The flag can only disable the tape; the default (normally on)
+        // also honors the MCPATH_NO_TAPE env var.
+        sim.tape = sim.tape && !self.no_tape;
         McConfig {
+            sim,
             engine: self.engine,
             cycles: self.cycles,
             backtrack_limit: self.backtracks,
@@ -726,51 +760,72 @@ fn render_step_table(s: &StepStats) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
-        "step", "multi", "single", "unknown", "time"
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
+        "step", "multi", "single", "unknown", "time", "throughput"
     );
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
         "random_sim",
         0,
         s.single_by_sim,
         0,
-        fmt_dur(s.time_sim)
+        fmt_dur(s.time_sim),
+        fmt_words_per_sec(s.sim_words, s.time_sim)
     );
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
-        "implication", s.multi_by_implication, s.single_by_implication, 0, "-"
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
+        "implication", s.multi_by_implication, s.single_by_implication, 0, "-", "-"
     );
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
         "search",
         s.multi_by_atpg,
         s.single_by_atpg,
         s.unknown,
-        fmt_dur(s.time_pairs)
+        fmt_dur(s.time_pairs),
+        "-"
     );
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
         "prepare",
         "",
         "",
         "",
-        fmt_dur(s.time_prepare)
+        fmt_dur(s.time_prepare),
+        "-"
     );
     let _ = writeln!(
         out,
-        "  {:<12} {:>7} {:>7} {:>8} {:>10}",
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
         "total",
         s.multi_total(),
         s.single_total(),
         s.unknown,
-        fmt_dur(s.time_total)
+        fmt_dur(s.time_total),
+        "-"
     );
     out
+}
+
+/// `words` 64-pattern simulation words over `t` as a human unit
+/// (`"1.2Mw/s"`), or `"-"` when either side is zero.
+fn fmt_words_per_sec(words: u64, t: Duration) -> String {
+    let secs = t.as_secs_f64();
+    if words == 0 || secs <= 0.0 {
+        return "-".to_string();
+    }
+    let wps = words as f64 / secs;
+    if wps >= 1e6 {
+        format!("{:.1}Mw/s", wps / 1e6)
+    } else if wps >= 1e3 {
+        format!("{:.1}kw/s", wps / 1e3)
+    } else {
+        format!("{wps:.0}w/s")
+    }
 }
 
 /// Renders a [`MetricsSnapshot`]: the non-zero engine counters followed
@@ -778,7 +833,7 @@ fn render_step_table(s: &StepStats) -> String {
 fn render_snapshot(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let c = &m.counters;
-    let rows: [(&str, u64); 23] = [
+    let rows: [(&str, u64); 25] = [
         ("implications", c.implications),
         ("contradictions", c.contradictions),
         ("learned_implications", c.learned_implications),
@@ -800,6 +855,8 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
         ("slice_nodes_peak", c.slice_nodes_peak),
         ("sim_words", c.sim_words),
         ("sim_pairs_dropped", c.sim_pairs_dropped),
+        ("sim_passes", c.sim_passes),
+        ("sim_tape_ops", c.sim_tape_ops),
         ("lint_rules_run", c.lint_rules_run),
         ("lint_violations", c.lint_violations),
     ];
@@ -824,6 +881,10 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
             "slice_nodes_mean",
             c.slice_nodes_mean()
         );
+    }
+    let wps = m.sim_words_per_sec();
+    if wps > 0.0 {
+        let _ = writeln!(out, "  {:<24} {wps:.0}", "sim_words_per_sec");
     }
     if !m.spans.is_empty() {
         let _ = writeln!(out, "spans:");
@@ -1212,6 +1273,43 @@ mod tests {
     }
 
     #[test]
+    fn sim_lanes_and_no_tape_flags_reach_the_config() {
+        let cmd = parse_args(argv("analyze f.bench --sim-lanes 128 --no-tape")).expect("parse");
+        assert_eq!(cmd.sim_lanes, Some(128));
+        assert!(cmd.no_tape);
+        let cfg = cmd.config();
+        assert_eq!(cfg.sim_lanes(), 128);
+        assert!(!cfg.sim.tape);
+        // Without the flags the defaults apply (256 lanes / tape on,
+        // unless MCPATH_SIM_LANES / MCPATH_NO_TAPE are set in this test
+        // environment).
+        let cmd = parse_args(argv("analyze f.bench")).expect("parse");
+        assert_eq!(cmd.config().sim, McConfig::default().sim);
+        // Non-numeric widths are parse errors; missing values too.
+        assert!(parse_args(argv("analyze f.bench --sim-lanes abc")).is_err());
+        assert!(parse_args(argv("analyze f.bench --sim-lanes")).is_err());
+    }
+
+    #[test]
+    fn unsupported_lane_width_is_a_clean_analyze_error() {
+        // 96 parses as a number; `analyze` rejects it (the same check
+        // covers MCPATH_SIM_LANES, so the CLI does not pre-validate).
+        let dir = std::env::temp_dir().join("mcpath-cli-test-lanes");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let bench_path = dir.join("m27.bench");
+        let text = run(&parse_args(argv("gen m27")).expect("parse")).expect("gen");
+        std::fs::write(&bench_path, text).expect("write");
+        let cmd = parse_args(argv(&format!(
+            "analyze {} --sim-lanes 96 --quiet",
+            bench_path.display()
+        )))
+        .expect("parse");
+        let err = run(&cmd).unwrap_err();
+        assert!(err.contains("sim lanes"), "{err}");
+        assert!(err.contains("96"), "{err}");
+    }
+
+    #[test]
     fn parses_observability_flags() {
         let cmd = parse_args(argv(
             "analyze foo.bench --metrics --trace-out t.ndjson --progress",
@@ -1244,6 +1342,8 @@ mod tests {
         assert!(out.contains("engine counters:"), "{out}");
         assert!(out.contains("implications"), "{out}");
         assert!(out.contains("per-step resolution"), "{out}");
+        assert!(out.contains("throughput"), "{out}");
+        assert!(out.contains("sim_words_per_sec"), "{out}");
 
         // `stats` on the NDJSON journal aggregates the per-pair events.
         let cmd = parse_args(argv(&format!("stats {}", trace.display()))).expect("parse");
