@@ -204,6 +204,7 @@ fn main() {
         );
     }
 
-    bench_artifact("table1", &rows);
+    let artifact = bench_artifact("table1", &rows);
+    args.drift_gate(artifact.as_deref());
     args.dump_json(&rows);
 }

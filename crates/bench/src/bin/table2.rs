@@ -132,6 +132,7 @@ fn main() {
         agg.counters.sim_words,
     );
 
-    bench_artifact("table2", &agg);
+    let artifact = bench_artifact("table2", &agg);
+    args.drift_gate(artifact.as_deref());
     args.dump_json(&agg);
 }

@@ -89,6 +89,7 @@ fn main() {
         cpu_cosensitize: t_cosens.as_secs_f64(),
         lint_warnings,
     };
-    bench_artifact("table3", &rows);
+    let artifact = bench_artifact("table3", &rows);
+    args.drift_gate(artifact.as_deref());
     args.dump_json(&rows);
 }

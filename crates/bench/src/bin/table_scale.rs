@@ -37,14 +37,10 @@ struct Row {
     oracle_checked: bool,
 }
 
-/// The artifact pairs the curve with the machine's core count: a wall
-/// clock speedup is bounded by available cores, so a flat curve from a
-/// single-core container must not be misread as a scheduler defect.
-#[derive(Debug, Serialize)]
-struct Artifact {
-    cores: usize,
-    rows: Vec<Row>,
-}
+// The artifact envelope (see `bench_artifact`) pairs the curve with the
+// machine's core count: a wall-clock speedup is bounded by available
+// cores, so a flat curve from a single-core container must not be
+// misread as a scheduler defect.
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -156,7 +152,7 @@ fn main() {
         println!("note: single-core machine — wall-clock speedup is bounded at 1.0x");
     }
 
-    let artifact = Artifact { cores, rows };
-    bench_artifact("scale", &artifact);
-    args.dump_json(&artifact);
+    let artifact = bench_artifact("scale", &rows);
+    args.dump_json(&rows);
+    args.drift_gate(artifact.as_deref());
 }

@@ -42,9 +42,10 @@ struct Row {
     speedup: f64,
 }
 
-/// The artifact records the machine's core count alongside the rows:
-/// the kernel is single-threaded, but a loaded shared machine depresses
-/// wall-clock, so numbers are only comparable at equal `cores`.
+/// The artifact envelope (see `bench_artifact`) records the machine's
+/// core count alongside the rows: the kernel is single-threaded, but a
+/// loaded shared machine depresses wall-clock, so numbers are only
+/// comparable at equal `cores`.
 #[derive(Debug, Serialize)]
 struct Headline {
     circuit: String,
@@ -54,7 +55,6 @@ struct Headline {
 
 #[derive(Debug, Serialize)]
 struct Artifact {
-    cores: usize,
     headline: Headline,
     rows: Vec<Row>,
 }
@@ -156,11 +156,8 @@ fn main() {
         headline.speedup, headline.circuit
     );
 
-    let artifact = Artifact {
-        cores,
-        headline,
-        rows,
-    };
-    bench_artifact("sim", &artifact);
+    let artifact = Artifact { headline, rows };
+    let text = bench_artifact("sim", &artifact);
     args.dump_json(&artifact);
+    args.drift_gate(text.as_deref());
 }

@@ -33,6 +33,11 @@ pub struct HarnessArgs {
     /// Worker threads for the pair loop (default 1: the paper's numbers
     /// are single-threaded, so parallelism is opt-in per run).
     pub threads: usize,
+    /// Optional baseline `BENCH_*.json` to diff this run's artifact
+    /// against; above-threshold counter growth fails the run.
+    pub baseline: Option<String>,
+    /// Counter growth (percent) tolerated by the `--baseline` gate.
+    pub threshold: f64,
 }
 
 impl Default for HarnessArgs {
@@ -42,19 +47,25 @@ impl Default for HarnessArgs {
             json: None,
             lint: false,
             threads: 1,
+            baseline: None,
+            threshold: 0.0,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parses `--quick`, `--lint`, `--threads <N>` and `--json <path>`
-    /// from `std::env::args`, exiting with status 2 on unknown arguments
+    /// Parses `--quick`, `--lint`, `--threads <N>`, `--json <path>`,
+    /// `--baseline <path>` and `--threshold <pct>` from
+    /// `std::env::args`, exiting with status 2 on unknown arguments
     /// (a typo must not silently produce wrong-config numbers).
     pub fn parse() -> Self {
         match Self::try_parse(std::env::args().skip(1)) {
             Ok(out) => out,
             Err(e) => {
-                eprintln!("error: {e}\nusage: [--quick] [--lint] [--threads <N>] [--json <path>]");
+                eprintln!(
+                    "error: {e}\nusage: [--quick] [--lint] [--threads <N>] [--json <path>] \
+                     [--baseline <BENCH.json>] [--threshold <pct>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -64,8 +75,9 @@ impl HarnessArgs {
     ///
     /// # Errors
     ///
-    /// Returns a message on an unknown argument, a `--json` without a
-    /// path, or a non-numeric / zero `--threads`.
+    /// Returns a message on an unknown argument, a `--json`/`--baseline`
+    /// without a path, a non-numeric `--threshold`, or a non-numeric /
+    /// zero `--threads`.
     pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut args = args.into_iter();
@@ -75,6 +87,15 @@ impl HarnessArgs {
                 "--lint" => out.lint = true,
                 "--json" => {
                     out.json = Some(args.next().ok_or("`--json` needs a path")?);
+                }
+                "--baseline" => {
+                    out.baseline = Some(args.next().ok_or("`--baseline` needs a path")?);
+                }
+                "--threshold" => {
+                    let v = args.next().ok_or("`--threshold` needs a percentage")?;
+                    out.threshold = v
+                        .parse()
+                        .map_err(|e| format!("bad `--threshold {v}`: {e}"))?;
                 }
                 "--threads" => {
                     let v = args.next().ok_or("`--threads` needs a count")?;
@@ -87,6 +108,59 @@ impl HarnessArgs {
             }
         }
         Ok(out)
+    }
+
+    /// Diffs this run's serialized artifact against the `--baseline`
+    /// artifact over the deterministic counters (wall-clock, `cores` and
+    /// `peak_rss_kb` fields are excluded as machine-dependent noise).
+    ///
+    /// Returns `Ok(None)` without `--baseline`, and the rendered diff
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered diff when it contains above-threshold
+    /// counter growth, or a message when either artifact is unreadable.
+    pub fn drift_check(&self, current: &str) -> Result<Option<String>, String> {
+        let Some(path) = &self.baseline else {
+            return Ok(None);
+        };
+        let old =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let cmp = mcp_obs::compare_artifacts(
+            &old,
+            current,
+            mcp_obs::CompareConfig {
+                threshold_pct: self.threshold,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let rendered = cmp.render();
+        if cmp.regressions() > 0 {
+            return Err(format!("counter drift against `{path}`:\n{rendered}"));
+        }
+        Ok(Some(rendered))
+    }
+
+    /// Exit-on-drift wrapper around [`drift_check`](Self::drift_check)
+    /// for the table binaries: prints the comparison, exits with status
+    /// 1 on regressions.
+    pub fn drift_gate(&self, current: Option<&str>) {
+        let Some(current) = current else {
+            if self.baseline.is_some() {
+                eprintln!("error: no artifact was written, nothing to compare");
+                std::process::exit(1);
+            }
+            return;
+        };
+        match self.drift_check(current) {
+            Ok(None) => {}
+            Ok(Some(rendered)) => eprint!("# baseline comparison:\n{rendered}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     /// The baseline analysis configuration for this run: defaults plus
@@ -164,21 +238,53 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// Peak resident set size of this process in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`, the RSS high-water mark). Returns 0 on
+/// platforms without procfs — callers treat 0 as "not measured".
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 /// Writes `rows` to `BENCH_<name>.json` in the current directory — the
 /// machine-readable perf artifact each table binary leaves behind so
-/// successive runs accumulate a benchmark trajectory.
-pub fn bench_artifact<T: serde::Serialize>(name: &str, rows: &T) {
+/// successive runs accumulate a benchmark trajectory — and returns the
+/// written text (for the `--baseline` drift gate), or `None` when the
+/// artifact could not be produced.
+///
+/// The rows are wrapped in a machine envelope recording the core count
+/// and peak RSS: wall-clock columns are only comparable at equal
+/// `cores`, and a memory blow-up is a regression the timing columns
+/// cannot show. The envelope is assembled textually so it works for any
+/// row type without a generic `Serialize` impl.
+pub fn bench_artifact<T: serde::Serialize>(name: &str, rows: &T) -> Option<String> {
     let path = format!("BENCH_{name}.json");
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("cannot write {path}: {e}");
-            } else {
-                eprintln!("# wrote {path}");
-            }
+    let body = match serde_json::to_string_pretty(rows) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serialize {path}: {e}");
+            return None;
         }
-        Err(e) => eprintln!("cannot serialize {path}: {e}"),
+    };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let doc = format!(
+        "{{\n  \"cores\": {cores},\n  \"peak_rss_kb\": {},\n  \"rows\": {body}\n}}",
+        peak_rss_kb()
+    );
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("cannot write {path}: {e}");
+    } else {
+        eprintln!("# wrote {path}");
     }
+    Some(doc)
 }
 
 #[cfg(test)]
@@ -225,6 +331,53 @@ mod tests {
         assert!(on.lint);
         // The generated suite is lint-clean: no warnings, no errors.
         assert_eq!(on.lint_warnings_checked(&nl).expect("clean"), 0);
+    }
+
+    #[test]
+    fn peak_rss_is_measured_where_procfs_exists() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(
+                peak_rss_kb() > 0,
+                "VmHWM should be nonzero for a live process"
+            );
+        } else {
+            assert_eq!(peak_rss_kb(), 0);
+        }
+    }
+
+    #[test]
+    fn baseline_drift_gate_flags_counter_growth_only() {
+        let argv = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        let dir = std::env::temp_dir().join("mcp-bench-drift");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let baseline = dir.join("BENCH_base.json");
+        std::fs::write(
+            &baseline,
+            "{\n  \"cores\": 8,\n  \"peak_rss_kb\": 1000,\n  \"rows\": [{\"pairs\": 100}]\n}",
+        )
+        .expect("write");
+
+        let args = HarnessArgs::try_parse(argv(&format!(
+            "--baseline {} --threshold 10",
+            baseline.display()
+        )))
+        .expect("parse");
+        assert!((args.threshold - 10.0).abs() < 1e-9);
+
+        // Within threshold — and machine-dependent fields never count.
+        let ok = "{\n  \"cores\": 1,\n  \"peak_rss_kb\": 99999,\n  \"rows\": [{\"pairs\": 105}]\n}";
+        let rendered = args.drift_check(ok).expect("within threshold").unwrap();
+        assert!(rendered.contains("differing"), "{rendered}");
+
+        // Above threshold: a drift error carrying the diff table.
+        let bad = "{\n  \"cores\": 8,\n  \"peak_rss_kb\": 1000,\n  \"rows\": [{\"pairs\": 200}]\n}";
+        let err = args.drift_check(bad).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+
+        // Without --baseline the gate is inert.
+        assert_eq!(HarnessArgs::default().drift_check(bad).expect("off"), None);
+        assert!(HarnessArgs::try_parse(argv("--baseline")).is_err());
+        assert!(HarnessArgs::try_parse(argv("--threshold x")).is_err());
     }
 
     #[test]

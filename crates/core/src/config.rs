@@ -125,6 +125,43 @@ impl McConfig {
     pub fn sim_lanes(&self) -> u32 {
         self.sim.lanes
     }
+
+    /// Fingerprint of the *verdict-affecting* configuration, written
+    /// into the run-ledger header and checked by `analyze --resume`.
+    ///
+    /// Covers everything that can change a pair's classification or the
+    /// step that resolves it: the engine (with its BDD parameters), the
+    /// cycle budget, the sim prefilter's on/off state and its seed and
+    /// stopping rules, the ATPG backtrack limit, static learning and its
+    /// budget (learning moves pairs between the implication and ATPG
+    /// steps), and self-pair inclusion. Deliberately *excludes* knobs
+    /// proven verdict-neutral by the determinism test suite — threads,
+    /// scheduler, slicing, sim lane width, tape vs reference kernel —
+    /// and the lint gate, so a resumed run may change any of those.
+    pub fn fingerprint(&self) -> u64 {
+        let engine = match self.engine {
+            Engine::Implication => "implication".to_owned(),
+            Engine::Sat => "sat".to_owned(),
+            Engine::Bdd {
+                node_limit,
+                reachability,
+            } => format!("bdd:{node_limit}:{reachability}"),
+        };
+        let text = format!(
+            "engine={engine};cycles={};sim={};seed={};idle={};max={};\
+             backtracks={};learning={};learn_budget={};self_pairs={}",
+            self.cycles,
+            self.use_sim_filter,
+            self.sim.seed,
+            self.sim.idle_words,
+            self.sim.max_words,
+            self.backtrack_limit,
+            self.static_learning,
+            self.learn_budget,
+            self.include_self_pairs,
+        );
+        mcp_obs::fnv1a(text.as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +192,36 @@ mod tests {
         } else {
             assert!(!cfg.sim.tape, "MCPATH_NO_TAPE must disable the tape");
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_verdict_affecting_knobs_only() {
+        let base = McConfig::default();
+        let fp = base.fingerprint();
+        assert_eq!(fp, McConfig::default().fingerprint());
+
+        // Verdict-neutral knobs leave the fingerprint alone.
+        let mut neutral = base.clone();
+        neutral.threads = 8;
+        neutral.scheduler = Scheduler::Static;
+        neutral.slice = !neutral.slice;
+        neutral.lint = !neutral.lint;
+        neutral.sim.lanes = 64;
+        neutral.sim.tape = !neutral.sim.tape;
+        assert_eq!(neutral.fingerprint(), fp);
+
+        // Verdict-affecting knobs each change it.
+        let mut cycles = base.clone();
+        cycles.cycles = 3;
+        assert_ne!(cycles.fingerprint(), fp);
+        let mut seed = base.clone();
+        seed.sim.seed ^= 1;
+        assert_ne!(seed.fingerprint(), fp);
+        let mut learning = base.clone();
+        learning.static_learning = !learning.static_learning;
+        assert_ne!(learning.fingerprint(), fp);
+        let mut engine = base.clone();
+        engine.engine = Engine::Sat;
+        assert_ne!(engine.fingerprint(), fp);
     }
 }

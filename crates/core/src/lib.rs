@@ -48,6 +48,7 @@ pub mod engines;
 pub mod hazard;
 pub mod pipeline;
 pub mod report;
+pub mod resume;
 mod schedule;
 pub mod sdc;
 
@@ -60,4 +61,5 @@ pub use hazard::{
 };
 pub use pipeline::{analyze, analyze_with, AnalyzeError};
 pub use report::{McReport, PairClass, PairResult, Step, StepStats};
+pub use resume::{analyze_resume_with, plan_resume, ResumePlan};
 pub use sdc::{to_sdc, SdcOptions};

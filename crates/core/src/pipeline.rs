@@ -5,17 +5,18 @@ use crate::engines::{
     classify_pair_bdd, classify_pair_implication_probed, classify_pair_sat, PairProbe, Verdict,
 };
 use crate::report::{McReport, PairClass, PairResult, Step, StepStats};
+use crate::resume::ResumePlan;
 use crate::schedule::{run_items, PairFeed};
 use mcp_atpg::SearchConfig;
 use mcp_bdd::{InitStates, Ref, SymbolicFsm};
 use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
 use mcp_netlist::{Expanded, Netlist, XId};
-use mcp_obs::{ObsCtx, PairEvent};
+use mcp_obs::{ObsCtx, PairEvent, RunHeader, LEDGER_VERSION};
 use mcp_sat::CircuitCnf;
 use mcp_sim::mc_filter_stats;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Error produced by [`analyze`].
@@ -46,6 +47,15 @@ pub enum AnalyzeError {
         /// The error-level findings.
         report: mcp_lint::Diagnostics,
     },
+    /// `--resume` was handed a ledger that does not belong to this run:
+    /// wrong format version, different netlist, different verdict-
+    /// affecting config, or a different candidate pair set. Splicing
+    /// verdicts across any of those boundaries would corrupt the report,
+    /// so the resume is refused; rerun without `--resume` instead.
+    ResumeMismatch {
+        /// What specifically failed to match.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -71,6 +81,9 @@ impl fmt::Display for AnalyzeError {
                     write!(f, "\n  {d}")?;
                 }
                 Ok(())
+            }
+            AnalyzeError::ResumeMismatch { reason } => {
+                write!(f, "cannot resume from this ledger: {reason}")
             }
         }
     }
@@ -108,6 +121,56 @@ pub fn analyze_with(
     cfg: &McConfig,
     obs: &ObsCtx,
 ) -> Result<McReport, AnalyzeError> {
+    analyze_inner(netlist, cfg, obs, None)
+}
+
+/// The structural candidate pair set the pipeline commits to: every
+/// topologically connected FF pair, minus self pairs when excluded.
+/// Shared with the resume planner, which must reproduce it exactly to
+/// validate a ledger's pair digest.
+pub(crate) fn candidate_pairs(netlist: &Netlist, cfg: &McConfig) -> Vec<(usize, usize)> {
+    let mut candidates = netlist.connected_ff_pairs();
+    if !cfg.include_self_pairs {
+        candidates.retain(|&(i, j)| i != j);
+    }
+    candidates
+}
+
+/// Order-independent digest of a candidate pair set, written into the
+/// run-ledger header and checked on resume.
+pub(crate) fn pair_digest(pairs: &[(usize, usize)]) -> u64 {
+    let mut sorted = pairs.to_vec();
+    sorted.sort_unstable();
+    let mut bytes = Vec::with_capacity(sorted.len() * 16);
+    for (i, j) in sorted {
+        bytes.extend_from_slice(&(i as u64).to_le_bytes());
+        bytes.extend_from_slice(&(j as u64).to_le_bytes());
+    }
+    mcp_obs::fnv1a(&bytes)
+}
+
+/// Reconstructs an engine verdict from its journaled event — the inverse
+/// of [`verdict_event`], used by `--resume` to restore completed pairs.
+fn verdict_from_event(event: &mcp_obs::PairEvent) -> Verdict {
+    let by = match event.step.as_str() {
+        "structural" => Step::Structural,
+        "random_sim" => Step::RandomSim,
+        "implication" => Step::Implication,
+        _ => Step::Atpg,
+    };
+    match event.class.as_str() {
+        "multi" => Verdict::Multi { by },
+        "single" => Verdict::Single { by },
+        _ => Verdict::Unknown,
+    }
+}
+
+pub(crate) fn analyze_inner(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+    resume: Option<&ResumePlan>,
+) -> Result<McReport, AnalyzeError> {
     if cfg.cycles < 2 {
         return Err(AnalyzeError::InvalidCycles { got: cfg.cycles });
     }
@@ -138,15 +201,26 @@ pub fn analyze_with(
     }
 
     let t_total = obs.timers.span("analyze");
+    let tr_total = obs.trace_span(|| "analyze".to_owned());
     let mut stats = StepStats::default();
     let mut results: Vec<PairResult> = Vec::new();
 
     // Step 1: structural candidates.
-    let mut candidates = netlist.connected_ff_pairs();
-    if !cfg.include_self_pairs {
-        candidates.retain(|&(i, j)| i != j);
-    }
+    let candidates = candidate_pairs(netlist, cfg);
     stats.candidates = candidates.len();
+
+    // Open the ledger with the run's identity, before any event can be
+    // appended: format version plus the digests `--resume` will check.
+    if obs.sink().enabled() {
+        obs.sink().record_header(&RunHeader {
+            ledger: LEDGER_VERSION,
+            circuit: netlist.name().to_owned(),
+            netlist_hash: netlist.content_hash(),
+            config_fingerprint: cfg.fingerprint(),
+            pair_digest: pair_digest(&candidates),
+            pairs: candidates.len() as u64,
+        });
+    }
 
     // Step 2: random-pattern simulation. For k-cycle budgets above 2 the
     // 2-cycle witness is still a valid violation witness (a pair violating
@@ -156,6 +230,7 @@ pub fn analyze_with(
     let mut ff_toggles: Option<Vec<u64>> = None;
     let mut survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
         let t_sim = t_total.child("sim");
+        let _tr_sim = obs.trace_span(|| "analyze/sim".to_owned());
         let (out, sim_stats) = mc_filter_stats(netlist, &candidates, &cfg.sim);
         stats.time_sim = t_sim.stop();
         stats.sim_words = out.words_simulated;
@@ -187,6 +262,7 @@ pub fn analyze_with(
                     sim_word: Some(d.word),
                     slice_nodes: None,
                     slice_vars: None,
+                    resumed: false,
                 });
             }
         }
@@ -195,6 +271,29 @@ pub fn analyze_with(
     } else {
         candidates.clone()
     };
+
+    // Resume: pairs the prior run's ledger already resolved with an
+    // engine verdict skip the scheduler entirely — their verdicts are
+    // restored verbatim (and re-journaled with `resumed` set, so the new
+    // ledger is itself complete). The sim prefilter above re-ran from
+    // the same seed on the same candidates, so its drops are recomputed
+    // rather than restored; only engine work is saved.
+    let mut restored: Vec<((usize, usize), Verdict)> = Vec::new();
+    if let Some(plan) = resume {
+        survivors.retain(|&(i, j)| match plan.restored.get(&(i, j)) {
+            Some(event) => {
+                restored.push(((i, j), verdict_from_event(event)));
+                if obs.sink().enabled() {
+                    let mut replay = event.clone();
+                    replay.resumed = true;
+                    obs.sink().record(&replay);
+                }
+                false
+            }
+            None => true,
+        });
+        obs.metrics.resume_pairs_loaded.add(restored.len() as u64);
+    }
 
     // Sink-group planning: survivors sharing a sink FF form one work
     // unit, so a single cone slice (and the per-group engine state built
@@ -205,14 +304,33 @@ pub fn analyze_with(
     // expensive one). Verdicts are order-independent, and the report is
     // re-sorted by pair at the end, so this is pure scheduling policy.
     let t_prepare = t_total.child("prepare");
+    let tr_prepare = obs.trace_span(|| "analyze/prepare".to_owned());
     let x = Expanded::build(netlist, cfg.frames());
     let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
     order_hardest_first(&mut survivors, &groups);
+    drop(tr_prepare);
 
-    // Steps 3-4: engine-specific classification of the survivors.
+    // Steps 3-4: engine-specific classification of the survivors. The
+    // progress meter extrapolates its ETA over the scheduler's cost
+    // hints, not pair counts: groups run hardest-first, so count-based
+    // extrapolation would wildly overestimate early in the run.
     let done = AtomicUsize::new(0);
+    let done_cost = AtomicU64::new(0);
     let total = survivors.len();
-    let tick = |d: usize| obs.progress("pairs", d, total);
+    let total_cost: u64 = groups.iter().map(|g| g.cost).sum();
+    let pair_share: BTreeMap<(usize, usize), u64> = groups
+        .iter()
+        .flat_map(|g| {
+            let share = g.cost / g.sources.len().max(1) as u64;
+            g.sources.iter().map(move |&i| ((i, g.sink), share))
+        })
+        .collect();
+    let tick = |pair: (usize, usize)| {
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let share = pair_share.get(&pair).copied().unwrap_or(0);
+        let c = done_cost.fetch_add(share, Ordering::Relaxed) + share;
+        obs.progress_with_cost("pairs", d, total, (c, total_cost));
+    };
     let verdicts: Vec<((usize, usize), Verdict)> = match cfg.engine {
         Engine::Implication => {
             let search_cfg = SearchConfig {
@@ -223,6 +341,7 @@ pub fn analyze_with(
                 run_group_loop(&groups, cfg, &mut stats, obs, |feed, out| {
                     while let Some(g) = feed.next() {
                         let group = &groups[g];
+                        let _tr = obs.trace_span(|| format!("analyze/pairs/sink:{}", group.sink));
                         let slice = x.build_slice(&group_roots(&x, group, cfg.cycles));
                         let sx = slice.model();
                         let sizes = (slice.num_nodes() as u64, slice.num_vars() as u64);
@@ -262,7 +381,7 @@ pub fn analyze_with(
                                 obs,
                                 Some(sizes),
                             );
-                            tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                            tick((i, group.sink));
                             out.push(((i, group.sink), v));
                         }
                         obs.metrics
@@ -301,7 +420,7 @@ pub fn analyze_with(
                     while let Some((i, j)) = feed.next() {
                         let v =
                             classify_one_implication(&mut eng, i, j, cfg, &search_cfg, obs, None);
-                        tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                        tick((i, j));
                         out.push(((i, j), v));
                     }
                     obs.metrics
@@ -327,6 +446,7 @@ pub fn analyze_with(
                 run_group_loop(&groups, cfg, &mut stats, obs, |feed, out| {
                     while let Some(g) = feed.next() {
                         let group = &groups[g];
+                        let _tr = obs.trace_span(|| format!("analyze/pairs/sink:{}", group.sink));
                         let slice = x.build_slice(&group_roots(&x, group, cfg.cycles));
                         let sx = slice.model();
                         let mut cnf = CircuitCnf::new(sx);
@@ -354,7 +474,7 @@ pub fn analyze_with(
                                     Some(sizes),
                                 ));
                             }
-                            tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                            tick((i, group.sink));
                             out.push(((i, group.sink), v));
                         }
                         // The solver started from zero for this group, so
@@ -382,6 +502,7 @@ pub fn analyze_with(
                 run_group_loop(&groups, cfg, &mut stats, obs, |feed, out| {
                     while let Some(g) = feed.next() {
                         let group = &groups[g];
+                        let _tr = obs.trace_span(|| format!("analyze/pairs/sink:{}", group.sink));
                         let mut cnf = template.clone();
                         for &i in &group.sources {
                             let t_pair = Instant::now();
@@ -397,7 +518,7 @@ pub fn analyze_with(
                                     None,
                                 ));
                             }
-                            tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                            tick((i, group.sink));
                             out.push(((i, group.sink), v));
                         }
                         // The template's stats are zero (building it only
@@ -413,6 +534,7 @@ pub fn analyze_with(
             reachability,
         } => {
             let t_pairs = t_total.child("pairs");
+            let _tr_pairs = obs.trace_span(|| "analyze/pairs/bdd".to_owned());
             let mut verdicts = Vec::with_capacity(survivors.len());
             match SymbolicFsm::build(netlist, node_limit) {
                 Err(_) => {
@@ -450,7 +572,7 @@ pub fn analyze_with(
                                         None,
                                     ));
                                 }
-                                tick(done.fetch_add(1, Ordering::Relaxed) + 1);
+                                tick((i, j));
                                 verdicts.push(((i, j), v));
                             }
                         }
@@ -467,7 +589,9 @@ pub fn analyze_with(
         }
     };
 
-    for ((i, j), v) in verdicts {
+    // Merge the run's verdicts with any restored by `--resume`; the
+    // final sort below makes the interleaving irrelevant.
+    for ((i, j), v) in verdicts.into_iter().chain(restored) {
         let class = match v {
             Verdict::Multi { by } => {
                 match by {
@@ -497,6 +621,14 @@ pub fn analyze_with(
 
     results.sort_unstable_by_key(|p| (p.src, p.dst));
     stats.time_total = t_total.stop();
+    drop(tr_total);
+    // Close the ledger with the timestamped span tree (pair verdicts are
+    // already durable — they were flushed as they landed).
+    if obs.tracing() {
+        for span in obs.tracer.drain() {
+            obs.sink().record_span(&span);
+        }
+    }
     let _ = obs.sink().flush();
     Ok(McReport::new(
         netlist.name().to_owned(),
@@ -544,6 +676,7 @@ fn verdict_event(
         sim_word: None,
         slice_nodes: slice.map(|(n, _)| n),
         slice_vars: slice.map(|(_, v)| v),
+        resumed: false,
     }
 }
 

@@ -1,0 +1,276 @@
+//! Checkpoint/resume from a run ledger (`analyze --resume`).
+//!
+//! A v2 ledger (see [`mcp_obs::RunHeader`]) is a durable checkpoint:
+//! every engine verdict was flushed the moment it landed, so a run
+//! killed mid-flight leaves behind exactly the pairs it completed. This
+//! module validates that a ledger belongs to the run being restarted —
+//! same format version, same netlist content, same verdict-affecting
+//! config, same candidate pair set — and replays its completed verdicts
+//! into the pipeline so only the unresolved pairs reach the scheduler.
+//!
+//! The merged result is *byte-identical* to an uninterrupted run's
+//! canonical report: verdicts are deterministic per pair, the sim
+//! prefilter and lint gate re-run from the same seed and config, and
+//! everything wall-clock-dependent is projected out by
+//! [`McReport::canonical`].
+
+use crate::config::McConfig;
+use crate::pipeline::{analyze_inner, candidate_pairs, pair_digest, AnalyzeError};
+use crate::report::McReport;
+use mcp_netlist::Netlist;
+use mcp_obs::{Ledger, ObsCtx, PairEvent, LEDGER_VERSION};
+use std::collections::BTreeMap;
+
+/// A validated resume: the engine verdicts restorable from a prior
+/// run's ledger, keyed by pair. Built by [`plan_resume`].
+#[derive(Debug, Clone)]
+pub struct ResumePlan {
+    pub(crate) restored: BTreeMap<(usize, usize), PairEvent>,
+}
+
+impl ResumePlan {
+    /// Number of pairs whose verdicts the plan restores.
+    pub fn restored_pairs(&self) -> usize {
+        self.restored.len()
+    }
+}
+
+/// Validates `ledger` against the current inputs and extracts the
+/// completed engine verdicts.
+///
+/// Sim-prefilter drops in the ledger are ignored — the prefilter is
+/// deterministic and cheap, so the resumed run recomputes them — as are
+/// span lines. Only events carrying an engine verdict are restored.
+///
+/// # Errors
+///
+/// [`AnalyzeError::ResumeMismatch`] when the ledger has no v2 header,
+/// a different format version, a different netlist content hash, a
+/// different verdict-affecting config fingerprint, or a different
+/// candidate pair set (digest or count).
+pub fn plan_resume(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    ledger: &Ledger,
+) -> Result<ResumePlan, AnalyzeError> {
+    let mismatch = |reason: String| AnalyzeError::ResumeMismatch { reason };
+    let header = ledger.header.as_ref().ok_or_else(|| {
+        mismatch(
+            "ledger has no run header (pre-v2 journal, or the run died before writing one)"
+                .to_owned(),
+        )
+    })?;
+    if header.ledger != LEDGER_VERSION {
+        return Err(mismatch(format!(
+            "ledger format v{} (this build reads v{LEDGER_VERSION})",
+            header.ledger
+        )));
+    }
+    let netlist_hash = netlist.content_hash();
+    if header.netlist_hash != netlist_hash {
+        return Err(mismatch(format!(
+            "netlist mismatch: ledger was written for '{}' (content hash {:016x}), \
+             current netlist is '{}' ({netlist_hash:016x})",
+            header.circuit,
+            header.netlist_hash,
+            netlist.name()
+        )));
+    }
+    let fingerprint = cfg.fingerprint();
+    if header.config_fingerprint != fingerprint {
+        return Err(mismatch(format!(
+            "config mismatch: ledger fingerprint {:016x}, current {fingerprint:016x} \
+             (a verdict-affecting option — engine, cycles, sim filter/seed, backtracks, \
+             learning, self pairs — changed)",
+            header.config_fingerprint
+        )));
+    }
+    let candidates = candidate_pairs(netlist, cfg);
+    let digest = pair_digest(&candidates);
+    if header.pair_digest != digest || header.pairs != candidates.len() as u64 {
+        return Err(mismatch(format!(
+            "candidate pair set mismatch: ledger committed to {} pairs (digest {:016x}), \
+             this run has {} (digest {digest:016x})",
+            header.pairs,
+            header.pair_digest,
+            candidates.len()
+        )));
+    }
+
+    let candidate_set: std::collections::BTreeSet<(usize, usize)> =
+        candidates.into_iter().collect();
+    let mut restored = BTreeMap::new();
+    for event in &ledger.events {
+        if event.engine.is_none() {
+            continue; // sim-prefilter drop: recomputed, not restored
+        }
+        let pair = (event.src, event.dst);
+        if !candidate_set.contains(&pair) {
+            return Err(mismatch(format!(
+                "ledger carries a verdict for pair ({}, {}) outside the candidate set",
+                event.src, event.dst
+            )));
+        }
+        // Last write wins; duplicates can only arise from a ledger that
+        // was itself resumed, where the replayed and original verdicts
+        // are identical anyway.
+        restored.insert(pair, event.clone());
+    }
+    Ok(ResumePlan { restored })
+}
+
+/// [`analyze_with`](crate::analyze_with), restarted from a prior run's
+/// ledger: validates the ledger with [`plan_resume`], feeds only the
+/// unresolved pairs to the engines, and merges restored + new verdicts
+/// into the same report an uninterrupted run produces.
+///
+/// # Errors
+///
+/// [`AnalyzeError::ResumeMismatch`] from validation, plus everything
+/// [`analyze`](crate::analyze) can return.
+pub fn analyze_resume_with(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+    ledger: &Ledger,
+) -> Result<McReport, AnalyzeError> {
+    let plan = plan_resume(netlist, cfg, ledger)?;
+    analyze_inner(netlist, cfg, obs, Some(&plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze_with;
+    use mcp_gen::{circuits, suite};
+    use mcp_obs::MemSink;
+    use std::sync::Arc;
+
+    /// Runs `analyze_with` while capturing its ledger through a shared
+    /// `MemSink`, returning the canonical report JSON and the ledger.
+    fn run_with_ledger(nl: &Netlist, cfg: &McConfig) -> (String, Ledger) {
+        let sink = Arc::new(MemSink::new());
+        let obs = ObsCtx::new().with_sink(Box::new(Arc::clone(&sink)));
+        let report = analyze_with(nl, cfg, &obs).expect("analyze");
+        let canonical = serde_json::to_string(&report.canonical()).expect("serialize");
+        let ledger = Ledger {
+            header: sink.take_header(),
+            spans: sink.drain_spans(),
+            events: sink.drain(),
+        };
+        (canonical, ledger)
+    }
+
+    #[test]
+    fn resume_from_a_complete_ledger_reverifies_nothing() {
+        let nl = circuits::fig1();
+        let cfg = McConfig::default();
+        let (baseline, ledger) = run_with_ledger(&nl, &cfg);
+        assert!(ledger.header.is_some(), "run must write a header");
+        let engine_verdicts = ledger.events.iter().filter(|e| e.engine.is_some()).count();
+        assert!(engine_verdicts > 0, "fig1 resolves pairs via the engines");
+
+        let obs = ObsCtx::new();
+        let resumed = analyze_resume_with(&nl, &cfg, &obs, &ledger).expect("resume");
+        assert_eq!(
+            serde_json::to_string(&resumed.canonical()).expect("serialize"),
+            baseline,
+            "resumed report must be byte-identical"
+        );
+        let c = obs.snapshot().counters;
+        assert_eq!(c.resume_pairs_loaded, engine_verdicts as u64);
+        assert_eq!(c.implications, 0, "no engine re-runs on a full resume");
+        assert_eq!(c.atpg_decisions, 0);
+        assert_eq!(c.atpg_backtracks, 0);
+    }
+
+    #[test]
+    fn resume_from_a_truncated_ledger_is_byte_identical() {
+        let nl = suite::quick_suite().remove(0);
+        let cfg = McConfig::default();
+        let (baseline, mut ledger) = run_with_ledger(&nl, &cfg);
+        let engine_total = ledger.events.iter().filter(|e| e.engine.is_some()).count();
+        assert!(engine_total > 1, "need enough verdicts to truncate");
+        // A SIGKILL mid-run leaves the header plus a prefix of the
+        // events; model it by dropping the back half.
+        ledger.events.truncate(ledger.events.len() / 2);
+        let kept = ledger.events.iter().filter(|e| e.engine.is_some()).count();
+
+        // Capture the resumed run's own ledger too: replayed verdicts
+        // must be re-recorded (marked resumed) so it is itself complete.
+        let sink = Arc::new(MemSink::new());
+        let obs = ObsCtx::new().with_sink(Box::new(Arc::clone(&sink)));
+        let resumed = analyze_resume_with(&nl, &cfg, &obs, &ledger).expect("resume");
+        assert_eq!(
+            serde_json::to_string(&resumed.canonical()).expect("serialize"),
+            baseline,
+            "partial resume must converge to the uninterrupted report"
+        );
+        assert_eq!(obs.snapshot().counters.resume_pairs_loaded, kept as u64);
+        let replayed = sink.drain();
+        assert_eq!(
+            replayed.iter().filter(|e| e.engine.is_some()).count(),
+            engine_total,
+            "resumed ledger must carry every engine verdict (replayed + new)"
+        );
+        assert_eq!(replayed.iter().filter(|e| e.resumed).count(), kept);
+    }
+
+    #[test]
+    fn plan_resume_rejects_headerless_ledgers() {
+        let nl = circuits::fig1();
+        let cfg = McConfig::default();
+        let err = plan_resume(&nl, &cfg, &Ledger::default()).unwrap_err();
+        assert!(err.to_string().contains("no run header"), "{err}");
+    }
+
+    #[test]
+    fn plan_resume_rejects_version_netlist_and_config_drift() {
+        let nl = circuits::fig1();
+        let cfg = McConfig::default();
+        let (_, ledger) = run_with_ledger(&nl, &cfg);
+
+        // Foreign format version.
+        let mut wrong_version = ledger.clone();
+        wrong_version.header.as_mut().unwrap().ledger = LEDGER_VERSION + 1;
+        let err = plan_resume(&nl, &cfg, &wrong_version).unwrap_err();
+        assert!(err.to_string().contains("format"), "{err}");
+
+        // Different circuit.
+        let other = circuits::fig4_fragment();
+        let err = plan_resume(&other, &cfg, &ledger).unwrap_err();
+        assert!(err.to_string().contains("netlist mismatch"), "{err}");
+
+        // Verdict-affecting config change.
+        let mut recfg = cfg.clone();
+        recfg.cycles = 3;
+        let err = plan_resume(&nl, &recfg, &ledger).unwrap_err();
+        assert!(err.to_string().contains("config mismatch"), "{err}");
+
+        // Verdict-neutral config change still resumes.
+        let mut neutral = cfg.clone();
+        neutral.threads = 2;
+        neutral.slice = !neutral.slice;
+        assert!(plan_resume(&nl, &neutral, &ledger).is_ok());
+    }
+
+    #[test]
+    fn plan_resume_rejects_verdicts_outside_the_candidate_set() {
+        let nl = circuits::fig1();
+        let cfg = McConfig::default();
+        let (_, mut ledger) = run_with_ledger(&nl, &cfg);
+        let mut rogue = ledger
+            .events
+            .iter()
+            .find(|e| e.engine.is_some())
+            .expect("engine verdict")
+            .clone();
+        rogue.src = 9_999;
+        ledger.events.push(rogue);
+        let err = plan_resume(&nl, &cfg, &ledger).unwrap_err();
+        assert!(
+            err.to_string().contains("outside the candidate set"),
+            "{err}"
+        );
+    }
+}

@@ -117,6 +117,7 @@ where
     let threads = threads.max(1).min(items.len());
     if threads == 1 {
         let span = obs.timers.span(span_path);
+        let _tr = obs.trace_span(|| format!("{span_path}/worker"));
         let mut out = Vec::with_capacity(items.len());
         let mut feed = PairFeed::Slice {
             pairs: items,
@@ -138,6 +139,7 @@ where
                     .map(|slice| {
                         s.spawn(|_| {
                             let t = Instant::now();
+                            let _tr = obs.trace_span(|| format!("{span_path}/worker"));
                             let mut out = Vec::with_capacity(slice.len());
                             let mut feed = PairFeed::Slice {
                                 pairs: slice,
@@ -175,6 +177,7 @@ where
                     .map(|local| {
                         s.spawn(move |_| {
                             let t = Instant::now();
+                            let _tr = obs.trace_span(|| format!("{span_path}/worker"));
                             let mut out = Vec::new();
                             let mut feed = PairFeed::Steal {
                                 local,

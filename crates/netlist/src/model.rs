@@ -266,6 +266,20 @@ impl Netlist {
             ff_pairs: self.connected_ff_pairs().len(),
         }
     }
+
+    /// Stable 64-bit content hash of the circuit (FNV-1a over the
+    /// canonical BENCH serialization, which covers name, I/O, FFs, and
+    /// every gate with its fanins in deterministic order). Two netlists
+    /// hash equal iff they round-trip to the same BENCH text, making
+    /// this the run-ledger identity check for `analyze --resume`.
+    pub fn content_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in crate::bench::to_bench(self).as_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +351,24 @@ mod tests {
         assert_eq!(s.gates, 2);
         // FF1 feeds both its own D (via NOT) and FF2's D (via AND).
         assert_eq!(s.ff_pairs, 2);
+    }
+
+    #[test]
+    fn content_hash_tracks_circuit_identity() {
+        let nl = tiny();
+        assert_eq!(nl.content_hash(), tiny().content_hash());
+        // Same structure, different name: different identity.
+        let mut b = NetlistBuilder::new("tiny2");
+        let input = b.input("IN");
+        let ff1 = b.dff("FF1");
+        let ff2 = b.dff("FF2");
+        let n = b.gate("N", GateKind::Not, [ff1]).unwrap();
+        let a = b.gate("A", GateKind::And, [ff1, input]).unwrap();
+        b.set_dff_input(ff1, n).unwrap();
+        b.set_dff_input(ff2, a).unwrap();
+        b.mark_output(ff2);
+        let renamed = b.finish().unwrap();
+        assert_ne!(nl.content_hash(), renamed.content_hash());
     }
 
     use mcp_logic::GateKind;

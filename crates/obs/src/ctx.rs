@@ -1,0 +1,131 @@
+//! The per-run observability context bundling timers, counters, sink,
+//! tracer, and progress meter.
+
+use crate::ledger::{ObsSink, PairEvent};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::progress::ProgressMeter;
+use crate::timers::Timers;
+use crate::trace::{TraceGuard, Tracer};
+use crate::NullSink;
+use std::time::Duration;
+
+/// Everything the pipeline needs to observe one run: timers, counters,
+/// a ledger sink, a timestamped-span tracer, and an optional progress
+/// meter. Shared by reference across the pair-loop worker threads.
+pub struct ObsCtx {
+    /// Span timers (flat totals by path).
+    pub timers: Timers,
+    /// Engine counters.
+    pub metrics: Metrics,
+    /// Timestamped span collector for trace export.
+    pub tracer: Tracer,
+    sink: Box<dyn ObsSink>,
+    tracing: bool,
+    progress: Option<ProgressMeter>,
+}
+
+impl Default for ObsCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ObsCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsCtx")
+            .field("timers", &self.timers)
+            .field("metrics", &self.metrics)
+            .field("sink_enabled", &self.sink.enabled())
+            .field("tracing", &self.tracing)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl ObsCtx {
+    /// A context with a [`NullSink`], tracing off, and no progress
+    /// meter — the zero-overhead default.
+    pub fn new() -> Self {
+        ObsCtx {
+            timers: Timers::new(),
+            metrics: Metrics::new(),
+            tracer: Tracer::new(),
+            sink: Box::new(NullSink),
+            tracing: false,
+            progress: None,
+        }
+    }
+
+    /// Replaces the ledger sink. Tracing follows the sink: an enabled
+    /// sink turns timestamped span capture on, since captured spans are
+    /// only ever observable through the sink's end-of-run span dump.
+    pub fn with_sink(mut self, sink: Box<dyn ObsSink>) -> Self {
+        self.tracing = sink.enabled();
+        self.sink = sink;
+        self
+    }
+
+    /// Overrides whether timestamped spans are captured (independent of
+    /// the sink, e.g. for tests that read the tracer directly).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Enables progress lines on stderr, at most one per `every`.
+    pub fn with_progress(mut self, every: Duration) -> Self {
+        self.progress = Some(ProgressMeter::new(every));
+        self
+    }
+
+    /// The ledger sink.
+    pub fn sink(&self) -> &dyn ObsSink {
+        &*self.sink
+    }
+
+    /// Whether timestamped span capture is on.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Enters a timestamped trace span if tracing is on. The path
+    /// closure only runs when the span will actually be captured, so
+    /// hot paths pay nothing for label formatting when tracing is off.
+    pub fn trace_span(&self, path: impl FnOnce() -> String) -> Option<TraceGuard<'_>> {
+        if self.tracing {
+            Some(self.tracer.span(path()))
+        } else {
+            None
+        }
+    }
+
+    /// Records one pair event through the sink (no-op when disabled).
+    pub fn record(&self, event: &PairEvent) {
+        self.sink.record(event);
+    }
+
+    /// Emits a progress line if a meter is attached and the throttle
+    /// allows it.
+    pub fn progress(&self, label: &str, done: usize, total: usize) {
+        if let Some(meter) = &self.progress {
+            meter.tick(label, done, total, None);
+        }
+    }
+
+    /// Like [`ObsCtx::progress`], with work-weighted cost totals for an
+    /// ETA estimate (`(completed_cost, total_cost)` in the scheduler's
+    /// slice-node cost units).
+    pub fn progress_with_cost(&self, label: &str, done: usize, total: usize, cost: (u64, u64)) {
+        if let Some(meter) = &self.progress {
+            meter.tick(label, done, total, Some(cost));
+        }
+    }
+
+    /// Counters-plus-spans snapshot of the run so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.metrics.counters(),
+            spans: self.timers.snapshot(),
+        }
+    }
+}

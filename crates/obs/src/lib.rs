@@ -1,6 +1,6 @@
 //! Observability for the multi-cycle path pipeline.
 //!
-//! Three complementary facilities, all cheap enough to stay on by
+//! Four complementary facilities, all cheap enough to stay on by
 //! default and all safe to share across the scoped worker threads of the
 //! pair loop:
 //!
@@ -12,664 +12,53 @@
 //!   backtracks, implications, SAT conflicts, BDD cache traffic, words
 //!   simulated. [`Counters`] is the serializable snapshot embedded in
 //!   reports.
-//! - **Event journal** ([`ObsSink`]): a per-pair record of the resolving
-//!   step, per-assignment implication outcomes, and elapsed time. The
+//! - **Run ledger** ([`ObsSink`], [`RunHeader`], [`PairEvent`]): a
+//!   versioned NDJSON journal. A v2 ledger opens with a [`RunHeader`]
+//!   (format version plus netlist/config/pair-set digests), appends one
+//!   flushed [`PairEvent`] per resolved pair — making the file a durable
+//!   checkpoint that `analyze --resume` can restart from after a SIGKILL
+//!   — and closes with the run's timestamped [`SpanEvent`] tree. The
 //!   default [`NullSink`] reports `enabled() == false` so hot paths skip
-//!   event construction entirely; [`FileSink`] writes NDJSON, one record
-//!   per pair; [`MemSink`] buffers in memory for tests.
+//!   event construction entirely; [`FileSink`] writes the NDJSON ledger;
+//!   [`MemSink`] buffers in memory for tests.
+//! - **Trace capture** ([`Tracer`], [`chrome_trace`]): timestamped spans
+//!   with per-thread track ids, exportable as Chrome trace-event JSON
+//!   for Perfetto.
 //!
-//! [`ObsCtx`] bundles the three plus an optional throttled progress
-//! meter, and is what the pipeline's `analyze_with` entry point accepts.
+//! [`ObsCtx`] bundles these plus an optional throttled progress meter,
+//! and is what the pipeline's `analyze_with` entry point accepts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+mod compare;
+mod ctx;
+mod ledger;
+mod metrics;
+mod progress;
+mod timers;
+mod trace;
 
-// ---------------------------------------------------------------------
-// Span timers
-// ---------------------------------------------------------------------
-
-/// Accumulated wall-clock total and entry count of one span path.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SpanStat {
-    /// Total time spent inside the span, summed over entries.
-    pub total: Duration,
-    /// Number of times the span was entered.
-    pub count: u64,
-}
-
-/// Thread-safe hierarchical span accumulator.
-///
-/// Spans are keyed by `/`-separated paths (`"analyze/pairs/implication"`);
-/// the hierarchy is by naming convention, so a snapshot sorts parents
-/// directly above their children.
-#[derive(Debug, Default)]
-pub struct Timers {
-    entries: Mutex<BTreeMap<String, SpanStat>>,
-}
-
-impl Timers {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Enters the span at `path`; the returned guard records elapsed
-    /// time into this accumulator when dropped.
-    pub fn span(&self, path: impl Into<String>) -> SpanGuard<'_> {
-        SpanGuard {
-            timers: self,
-            path: path.into(),
-            start: Instant::now(),
-            done: false,
-        }
-    }
-
-    /// Adds an externally measured duration (e.g. per-worker busy time
-    /// summed across threads) to the span at `path`.
-    pub fn add(&self, path: &str, elapsed: Duration) {
-        let mut entries = self.entries.lock().expect("timers poisoned");
-        let stat = entries.entry(path.to_owned()).or_default();
-        stat.total += elapsed;
-        stat.count += 1;
-    }
-
-    /// Total accumulated so far at `path` (zero if never entered).
-    pub fn total(&self, path: &str) -> Duration {
-        self.entries
-            .lock()
-            .expect("timers poisoned")
-            .get(path)
-            .map_or(Duration::ZERO, |s| s.total)
-    }
-
-    /// A copy of every span recorded so far.
-    pub fn snapshot(&self) -> BTreeMap<String, SpanStat> {
-        self.entries.lock().expect("timers poisoned").clone()
-    }
-}
-
-/// RAII guard of one entered span; see [`Timers::span`].
-#[must_use = "dropping the guard immediately records a ~zero-length span"]
-#[derive(Debug)]
-pub struct SpanGuard<'t> {
-    timers: &'t Timers,
-    path: String,
-    start: Instant,
-    done: bool,
-}
-
-impl<'t> SpanGuard<'t> {
-    /// Enters a child span `self.path + "/" + name`.
-    pub fn child(&self, name: &str) -> SpanGuard<'t> {
-        self.timers.span(format!("{}/{name}", self.path))
-    }
-
-    /// The span's full path.
-    pub fn path(&self) -> &str {
-        &self.path
-    }
-
-    /// Ends the span now and returns the elapsed time.
-    pub fn stop(mut self) -> Duration {
-        let elapsed = self.start.elapsed();
-        self.timers.add(&self.path, elapsed);
-        self.done = true;
-        elapsed
-    }
-}
-
-impl Drop for SpanGuard<'_> {
-    fn drop(&mut self) {
-        if !self.done {
-            self.timers.add(&self.path, self.start.elapsed());
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Engine counters
-// ---------------------------------------------------------------------
-
-/// One relaxed atomic counter.
-///
-/// Relaxed ordering is deliberate: counters are statistics, each update
-/// is a single atomic RMW, and no other memory is published through
-/// them.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Adds `n`.
-    pub fn add(&self, n: u64) {
-        if n != 0 {
-            self.0.fetch_add(n, Ordering::Relaxed);
-        }
-    }
-
-    /// Raises the counter to `n` if it is currently lower (for peak
-    /// gauges like the BDD unique-table size).
-    pub fn raise_to(&self, n: u64) {
-        self.0.fetch_max(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// Shared live counters for every engine in the pipeline.
-///
-/// The pipeline flushes per-pair deltas in here from worker threads;
-/// [`Metrics::counters`] takes the plain-integer snapshot.
-#[derive(Debug, Default)]
-pub struct Metrics {
-    /// Implication engine: definite values derived by propagation.
-    pub implications: Counter,
-    /// Implication engine: propagations that ended in a contradiction.
-    pub contradictions: Counter,
-    /// Implication engine: learned implications added by static learning.
-    pub learned_implications: Counter,
-    /// ATPG: decisions taken by the backtrack search.
-    pub atpg_decisions: Counter,
-    /// ATPG: backtracks performed.
-    pub atpg_backtracks: Counter,
-    /// ATPG: searches that hit the backtrack limit and aborted.
-    pub atpg_aborts: Counter,
-    /// SAT: decisions.
-    pub sat_decisions: Counter,
-    /// SAT: unit propagations.
-    pub sat_propagations: Counter,
-    /// SAT: conflicts.
-    pub sat_conflicts: Counter,
-    /// SAT: clauses learned from conflicts.
-    pub sat_learned: Counter,
-    /// SAT: restarts.
-    pub sat_restarts: Counter,
-    /// BDD: peak unique-table size over all per-pair managers.
-    pub bdd_peak_nodes: Counter,
-    /// BDD: apply/ITE cache lookups.
-    pub bdd_cache_lookups: Counter,
-    /// BDD: apply/ITE cache hits.
-    pub bdd_cache_hits: Counter,
-    /// Random simulation: 64-pattern words simulated.
-    pub sim_words: Counter,
-    /// Random simulation: candidate pairs dropped by the prefilter.
-    pub sim_pairs_dropped: Counter,
-    /// Random simulation: wide evaluation passes of the compiled tape
-    /// kernel (each pass covers `lanes / 64` words). Zero when the
-    /// prefilter ran on the graph-walking reference path.
-    pub sim_passes: Counter,
-    /// Random simulation: tape instructions executed by the compiled
-    /// kernel (instructions per eval × evals). Zero on the reference
-    /// path.
-    pub sim_tape_ops: Counter,
-    /// Lint: rules executed over netlists.
-    pub lint_rules_run: Counter,
-    /// Lint: diagnostics (violations) reported by executed rules.
-    pub lint_violations: Counter,
-    /// Slicing: cone slices built (one per sink group in slice mode).
-    pub slice_builds: Counter,
-    /// Slicing: pairs served by an already-built sink-group slice
-    /// (group size minus one, summed over groups).
-    pub slice_cache_hits: Counter,
-    /// Slicing: total nodes across all built slices (mean slice size =
-    /// `slice_nodes / slice_builds`).
-    pub slice_nodes: Counter,
-    /// Slicing: total per-slice variables across all built slices — free
-    /// variables for the implication engine, encoded CNF variables for
-    /// the SAT engine.
-    pub slice_vars: Counter,
-    /// Slicing: largest slice built (node count).
-    pub slice_nodes_peak: Counter,
-}
-
-impl Metrics {
-    /// Creates zeroed counters.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Plain-integer snapshot of every counter.
-    pub fn counters(&self) -> Counters {
-        Counters {
-            implications: self.implications.get(),
-            contradictions: self.contradictions.get(),
-            learned_implications: self.learned_implications.get(),
-            atpg_decisions: self.atpg_decisions.get(),
-            atpg_backtracks: self.atpg_backtracks.get(),
-            atpg_aborts: self.atpg_aborts.get(),
-            sat_decisions: self.sat_decisions.get(),
-            sat_propagations: self.sat_propagations.get(),
-            sat_conflicts: self.sat_conflicts.get(),
-            sat_learned: self.sat_learned.get(),
-            sat_restarts: self.sat_restarts.get(),
-            bdd_peak_nodes: self.bdd_peak_nodes.get(),
-            bdd_cache_lookups: self.bdd_cache_lookups.get(),
-            bdd_cache_hits: self.bdd_cache_hits.get(),
-            sim_words: self.sim_words.get(),
-            sim_pairs_dropped: self.sim_pairs_dropped.get(),
-            sim_passes: self.sim_passes.get(),
-            sim_tape_ops: self.sim_tape_ops.get(),
-            lint_rules_run: self.lint_rules_run.get(),
-            lint_violations: self.lint_violations.get(),
-            slice_builds: self.slice_builds.get(),
-            slice_cache_hits: self.slice_cache_hits.get(),
-            slice_nodes: self.slice_nodes.get(),
-            slice_vars: self.slice_vars.get(),
-            slice_nodes_peak: self.slice_nodes_peak.get(),
-        }
-    }
-}
-
-/// Serializable snapshot of [`Metrics`] — same fields, plain `u64`s.
-///
-/// Counter totals are sums of deterministic per-pair deltas, so two
-/// runs with the same seed and config produce identical `Counters`
-/// regardless of worker scheduling (span *timings* do not share this
-/// property, which is why they live outside this struct).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[allow(missing_docs)] // field meanings documented on `Metrics`
-pub struct Counters {
-    pub implications: u64,
-    pub contradictions: u64,
-    pub learned_implications: u64,
-    pub atpg_decisions: u64,
-    pub atpg_backtracks: u64,
-    pub atpg_aborts: u64,
-    pub sat_decisions: u64,
-    pub sat_propagations: u64,
-    pub sat_conflicts: u64,
-    pub sat_learned: u64,
-    pub sat_restarts: u64,
-    pub bdd_peak_nodes: u64,
-    pub bdd_cache_lookups: u64,
-    pub bdd_cache_hits: u64,
-    pub sim_words: u64,
-    pub sim_pairs_dropped: u64,
-    // Tape-kernel counters arrived after the first report format;
-    // `default` keeps old saved reports parseable.
-    #[serde(default)]
-    pub sim_passes: u64,
-    #[serde(default)]
-    pub sim_tape_ops: u64,
-    pub lint_rules_run: u64,
-    pub lint_violations: u64,
-    // Slice counters arrived after the first journal/report format;
-    // `default` keeps old saved reports parseable.
-    #[serde(default)]
-    pub slice_builds: u64,
-    #[serde(default)]
-    pub slice_cache_hits: u64,
-    #[serde(default)]
-    pub slice_nodes: u64,
-    #[serde(default)]
-    pub slice_vars: u64,
-    #[serde(default)]
-    pub slice_nodes_peak: u64,
-}
-
-impl Counters {
-    /// Fraction of BDD cache lookups that hit, or 0.0 with no lookups.
-    pub fn bdd_cache_hit_rate(&self) -> f64 {
-        if self.bdd_cache_lookups == 0 {
-            0.0
-        } else {
-            self.bdd_cache_hits as f64 / self.bdd_cache_lookups as f64
-        }
-    }
-
-    /// Mean node count of built slices, or 0.0 when no slice was built.
-    pub fn slice_nodes_mean(&self) -> f64 {
-        if self.slice_builds == 0 {
-            0.0
-        } else {
-            self.slice_nodes as f64 / self.slice_builds as f64
-        }
-    }
-
-    /// Mean per-slice variable count, or 0.0 when no slice was built.
-    pub fn slice_vars_mean(&self) -> f64 {
-        if self.slice_builds == 0 {
-            0.0
-        } else {
-            self.slice_vars as f64 / self.slice_builds as f64
-        }
-    }
-}
-
-/// Full observability snapshot: counters plus span timings.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct MetricsSnapshot {
-    /// Engine counters (deterministic for a fixed seed/config).
-    pub counters: Counters,
-    /// Accumulated span timings by path (wall-clock, not deterministic).
-    pub spans: BTreeMap<String, SpanStat>,
-}
-
-impl MetricsSnapshot {
-    /// Random-simulation throughput: 64-pattern words per wall-clock
-    /// second of the `analyze/sim` span, or 0.0 when the span is absent
-    /// or empty. Wall-clock-derived, so (unlike the counters) not
-    /// deterministic across runs.
-    pub fn sim_words_per_sec(&self) -> f64 {
-        let secs = self
-            .spans
-            .get("analyze/sim")
-            .map_or(0.0, |s| s.total.as_secs_f64());
-        if secs > 0.0 {
-            self.counters.sim_words as f64 / secs
-        } else {
-            0.0
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Event journal
-// ---------------------------------------------------------------------
-
-/// Outcome of one of the four value assignments the implication step
-/// tries on a pair, or of a downstream search on that assignment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AssignmentEvent {
-    /// Value assigned to the source FF at time 0.
-    pub src_value: bool,
-    /// Value assigned to the destination FF input at the sink time.
-    pub dst_value: bool,
-    /// What happened: `contradiction`, `implied_violation`, `witness`,
-    /// `unsat`, or `aborted`.
-    pub outcome: String,
-}
-
-/// One journal record: how a single FF pair was resolved.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PairEvent {
-    /// Source FF index.
-    pub src: usize,
-    /// Destination FF index.
-    pub dst: usize,
-    /// Pipeline step that resolved the pair (`structural`, `random_sim`,
-    /// `implication`, `atpg`).
-    pub step: String,
-    /// Final classification: `multi`, `single`, or `unknown`.
-    pub class: String,
-    /// Decision engine that produced the classification, if any.
-    pub engine: Option<String>,
-    /// Per-assignment outcomes from the implication/search step.
-    pub assignments: Vec<AssignmentEvent>,
-    /// Wall-clock microseconds spent on this pair.
-    pub micros: u64,
-    /// For pairs dropped by the random-simulation prefilter: the 0-based
-    /// index of the 64-pattern word whose lane witnessed the violation —
-    /// the per-pair drop cause (simulation time is spent in bulk, so
-    /// `micros` stays 0 for these records). `None` for every other step.
-    pub sim_word: Option<u64>,
-    /// Node count of the sink-group slice this pair ran on. `None` when
-    /// slicing was off or the resolving step ran no engine.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub slice_nodes: Option<u64>,
-    /// Variable count of that slice (free variables for implication,
-    /// encoded CNF variables for SAT). `None` as for `slice_nodes`.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub slice_vars: Option<u64>,
-}
-
-/// Receiver of per-pair journal events.
-///
-/// Implementations must be callable concurrently from the pair-loop
-/// worker threads.
-pub trait ObsSink: Send + Sync {
-    /// Records one event.
-    fn record(&self, event: &PairEvent);
-
-    /// Whether events will actually be kept. Hot paths check this before
-    /// building [`PairEvent`]s, so a disabled sink costs one virtual
-    /// call per pair and nothing per assignment.
-    fn enabled(&self) -> bool {
-        true
-    }
-
-    /// Flushes buffered events to durable storage, if any.
-    fn flush(&self) -> io::Result<()> {
-        Ok(())
-    }
-}
-
-/// Default sink: drops everything and reports itself disabled.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NullSink;
-
-impl ObsSink for NullSink {
-    fn record(&self, _event: &PairEvent) {}
-
-    fn enabled(&self) -> bool {
-        false
-    }
-}
-
-/// NDJSON file sink: one JSON object per line, one line per pair.
-#[derive(Debug)]
-pub struct FileSink {
-    out: Mutex<BufWriter<File>>,
-}
-
-impl FileSink {
-    /// Creates (truncates) the journal file at `path`.
-    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(FileSink {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
-        })
-    }
-}
-
-impl ObsSink for FileSink {
-    fn record(&self, event: &PairEvent) {
-        let line = serde_json::to_string(event).expect("PairEvent serializes");
-        let mut out = self.out.lock().expect("file sink poisoned");
-        // An exhausted disk mid-journal should not kill the analysis;
-        // the error resurfaces on the explicit end-of-run flush.
-        let _ = writeln!(out, "{line}");
-    }
-
-    fn flush(&self) -> io::Result<()> {
-        self.out.lock().expect("file sink poisoned").flush()
-    }
-}
-
-impl Drop for FileSink {
-    fn drop(&mut self) {
-        let _ = self.flush();
-    }
-}
-
-/// In-memory sink for tests and for `mcpath stats` post-processing.
-#[derive(Debug, Default)]
-pub struct MemSink {
-    events: Mutex<Vec<PairEvent>>,
-}
-
-impl MemSink {
-    /// Creates an empty sink.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Takes all recorded events, leaving the sink empty.
-    pub fn drain(&self) -> Vec<PairEvent> {
-        std::mem::take(&mut self.events.lock().expect("mem sink poisoned"))
-    }
-}
-
-impl ObsSink for MemSink {
-    fn record(&self, event: &PairEvent) {
-        self.events
-            .lock()
-            .expect("mem sink poisoned")
-            .push(event.clone());
-    }
-}
-
-/// Parses an NDJSON journal (as written by [`FileSink`]) back into
-/// events. Blank lines are ignored; malformed lines are errors.
-pub fn read_journal(reader: impl io::Read) -> io::Result<Vec<PairEvent>> {
-    let mut events = Vec::new();
-    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let event = serde_json::from_str(&line).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("journal line {}: {e}", lineno + 1),
-            )
-        })?;
-        events.push(event);
-    }
-    Ok(events)
-}
-
-/// Opens and parses the NDJSON journal file at `path`.
-pub fn read_journal_file(path: impl AsRef<Path>) -> io::Result<Vec<PairEvent>> {
-    read_journal(File::open(path)?)
-}
-
-// ---------------------------------------------------------------------
-// Progress
-// ---------------------------------------------------------------------
-
-/// Throttled progress reporter writing single lines to stderr.
-#[derive(Debug)]
-struct ProgressMeter {
-    every: Duration,
-    started: Instant,
-    last: Mutex<Instant>,
-}
-
-impl ProgressMeter {
-    fn new(every: Duration) -> Self {
-        let now = Instant::now();
-        ProgressMeter {
-            every,
-            started: now,
-            last: Mutex::new(now - every),
-        }
-    }
-
-    fn tick(&self, label: &str, done: usize, total: usize) {
-        // Never block a worker on the progress lock.
-        let Ok(mut last) = self.last.try_lock() else {
-            return;
-        };
-        if last.elapsed() < self.every && done != total {
-            return;
-        }
-        *last = Instant::now();
-        let pct = if total == 0 {
-            100.0
-        } else {
-            done as f64 * 100.0 / total as f64
-        };
-        eprintln!(
-            "[mcpath] {label}: {done}/{total} ({pct:.1}%) after {:.1}s",
-            self.started.elapsed().as_secs_f64()
-        );
-    }
-}
-
-// ---------------------------------------------------------------------
-// Context
-// ---------------------------------------------------------------------
-
-/// Everything the pipeline needs to observe one run: timers, counters,
-/// a journal sink, and an optional progress meter. Shared by reference
-/// across the pair-loop worker threads.
-pub struct ObsCtx {
-    /// Span timers.
-    pub timers: Timers,
-    /// Engine counters.
-    pub metrics: Metrics,
-    sink: Box<dyn ObsSink>,
-    progress: Option<ProgressMeter>,
-}
-
-impl Default for ObsCtx {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl std::fmt::Debug for ObsCtx {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ObsCtx")
-            .field("timers", &self.timers)
-            .field("metrics", &self.metrics)
-            .field("sink_enabled", &self.sink.enabled())
-            .field("progress", &self.progress.is_some())
-            .finish()
-    }
-}
-
-impl ObsCtx {
-    /// A context with a [`NullSink`] and no progress meter — the
-    /// zero-overhead default.
-    pub fn new() -> Self {
-        ObsCtx {
-            timers: Timers::new(),
-            metrics: Metrics::new(),
-            sink: Box::new(NullSink),
-            progress: None,
-        }
-    }
-
-    /// Replaces the journal sink.
-    pub fn with_sink(mut self, sink: Box<dyn ObsSink>) -> Self {
-        self.sink = sink;
-        self
-    }
-
-    /// Enables progress lines on stderr, at most one per `every`.
-    pub fn with_progress(mut self, every: Duration) -> Self {
-        self.progress = Some(ProgressMeter::new(every));
-        self
-    }
-
-    /// The journal sink.
-    pub fn sink(&self) -> &dyn ObsSink {
-        &*self.sink
-    }
-
-    /// Emits a progress line if a meter is attached and the throttle
-    /// allows it.
-    pub fn progress(&self, label: &str, done: usize, total: usize) {
-        if let Some(meter) = &self.progress {
-            meter.tick(label, done, total);
-        }
-    }
-
-    /// Counters-plus-spans snapshot of the run so far.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            counters: self.metrics.counters(),
-            spans: self.timers.snapshot(),
-        }
-    }
-}
+pub use compare::{
+    compare_artifacts, compare_counters, flatten_artifact, CompareConfig, Comparison, CounterDiff,
+};
+pub use ctx::ObsCtx;
+pub use ledger::{
+    fnv1a, read_journal, read_journal_file, read_ledger, read_ledger_file, read_ledger_resilient,
+    read_ledger_resilient_file, AssignmentEvent, FileSink, Ledger, MemSink, NullSink, ObsSink,
+    PairEvent, RunHeader, SpanEvent, LEDGER_VERSION,
+};
+pub use metrics::{Counter, Counters, Metrics, MetricsSnapshot};
+pub use timers::{SpanGuard, SpanStat, Timers};
+pub use trace::{
+    chrome_trace, chrome_trace_from_totals, current_tid, ChromeEvent, ChromeTrace, Tracer,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn span_guards_accumulate_by_path() {
@@ -696,6 +85,7 @@ mod tests {
         let snap = timers.snapshot();
         assert_eq!(snap["x"].count, 1);
         assert_eq!(snap["x"].total, elapsed);
+        assert_eq!(snap["x"].mean(), elapsed);
     }
 
     #[test]
@@ -730,6 +120,22 @@ mod tests {
         assert_eq!(back.counters.sat_conflicts, 7);
     }
 
+    fn sample_event(k: usize) -> PairEvent {
+        PairEvent {
+            src: k,
+            dst: k + 1,
+            step: "atpg".to_owned(),
+            class: "single".to_owned(),
+            engine: None,
+            assignments: Vec::new(),
+            micros: k as u64,
+            sim_word: Some(k as u64),
+            slice_nodes: None,
+            slice_vars: None,
+            resumed: false,
+        }
+    }
+
     #[test]
     fn null_sink_is_disabled_and_mem_sink_records() {
         assert!(!NullSink.enabled());
@@ -750,6 +156,7 @@ mod tests {
             sim_word: None,
             slice_nodes: Some(12),
             slice_vars: Some(4),
+            resumed: false,
         };
         sink.record(&event);
         assert_eq!(sink.drain(), vec![event]);
@@ -762,20 +169,7 @@ mod tests {
             "mcp_obs_journal_test_{}.ndjson",
             std::process::id()
         ));
-        let events: Vec<PairEvent> = (0..3)
-            .map(|k| PairEvent {
-                src: k,
-                dst: k + 1,
-                step: "atpg".to_owned(),
-                class: "single".to_owned(),
-                engine: None,
-                assignments: Vec::new(),
-                micros: k as u64,
-                sim_word: Some(k as u64),
-                slice_nodes: None,
-                slice_vars: None,
-            })
-            .collect();
+        let events: Vec<PairEvent> = (0..3).map(sample_event).collect();
         {
             let sink = FileSink::create(&path).expect("create");
             for e in &events {
@@ -791,9 +185,74 @@ mod tests {
     }
 
     #[test]
+    fn file_sink_writes_full_ledgers() {
+        let path =
+            std::env::temp_dir().join(format!("mcp_obs_ledger_test_{}.ndjson", std::process::id()));
+        let header = RunHeader {
+            ledger: LEDGER_VERSION,
+            circuit: "s27".to_owned(),
+            netlist_hash: 11,
+            config_fingerprint: 22,
+            pair_digest: 33,
+            pairs: 2,
+        };
+        let span = SpanEvent {
+            span: "analyze/pairs".to_owned(),
+            tid: 1,
+            start_us: 5,
+            dur_us: 40,
+        };
+        {
+            let sink = FileSink::create(&path).expect("create");
+            sink.record_header(&header);
+            sink.record(&sample_event(0));
+            sink.record(&sample_event(1));
+            sink.record_span(&span);
+            sink.flush().expect("flush");
+        }
+        let ledger = read_ledger_file(&path).expect("parse ledger");
+        assert_eq!(ledger.header, Some(header));
+        assert_eq!(ledger.spans, vec![span]);
+        assert_eq!(ledger.events.len(), 2);
+        // The journal-level reader sees only the pair events.
+        let events = read_journal_file(&path).expect("parse as journal");
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resilient_reader_tolerates_only_a_torn_final_line() {
+        let good = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&sample_event(0)).unwrap(),
+            serde_json::to_string(&sample_event(1)).unwrap()
+        );
+        let torn = format!("{good}{{\"src\":9,\"dst\":10,\"st");
+        // Strict reader rejects the torn tail; resilient one drops it.
+        assert!(read_ledger(torn.as_bytes()).is_err());
+        let ledger = read_ledger_resilient(torn.as_bytes()).expect("resilient parse");
+        assert_eq!(ledger.events.len(), 2);
+        // Garbage mid-file stays an error even in resilient mode.
+        let mid = format!("not json\n{good}");
+        assert!(read_ledger_resilient(mid.as_bytes()).is_err());
+    }
+
+    #[test]
     fn journal_reader_rejects_garbage() {
         let bad = "{\"src\": 1}\nnot json\n";
         assert!(read_journal(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn resumed_flag_is_omitted_when_false_and_round_trips_when_true() {
+        let mut event = sample_event(0);
+        let text = serde_json::to_string(&event).unwrap();
+        assert!(!text.contains("resumed"));
+        event.resumed = true;
+        let text = serde_json::to_string(&event).unwrap();
+        assert!(text.contains("\"resumed\":true"));
+        let back: PairEvent = serde_json::from_str(&text).unwrap();
+        assert!(back.resumed);
     }
 
     #[test]
@@ -806,6 +265,10 @@ mod tests {
         let events = read_journal(old.as_bytes()).expect("old journal parses");
         assert_eq!(events[0].slice_nodes, None);
         assert_eq!(events[0].slice_vars, None);
+        assert!(!events[0].resumed);
+        let ledger = read_ledger(old.as_bytes()).expect("old ledger parses");
+        assert_eq!(ledger.header, None);
+        assert!(ledger.spans.is_empty());
 
         let old_counters = "{\"implications\":1,\"contradictions\":0,\
             \"learned_implications\":0,\"atpg_decisions\":0,\"atpg_backtracks\":0,\
@@ -819,6 +282,7 @@ mod tests {
         assert_eq!(c.slice_nodes_mean(), 0.0);
         assert_eq!(c.sim_passes, 0);
         assert_eq!(c.sim_tape_ops, 0);
+        assert_eq!(c.resume_pairs_loaded, 0);
     }
 
     #[test]
@@ -832,10 +296,144 @@ mod tests {
     }
 
     #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        // Reference value for the empty string from the FNV spec.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"s27"), fnv1a(b"s28"));
+        assert_eq!(fnv1a(b"s27"), fnv1a(b"s27"));
+    }
+
+    #[test]
+    fn tracer_assigns_distinct_tids_per_thread() {
+        let tracer = Tracer::new();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let t = &tracer;
+                s.spawn(move || {
+                    let g = t.span("analyze/pairs/group");
+                    std::thread::sleep(Duration::from_millis(1));
+                    drop(g);
+                });
+            }
+        });
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 2);
+        assert_ne!(spans[0].tid, spans[1].tid);
+        assert!(spans.iter().all(|s| s.dur_us >= 1000));
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_carries_spans_with_categories() {
+        let spans = vec![
+            SpanEvent {
+                span: "analyze/sim".to_owned(),
+                tid: 1,
+                start_us: 0,
+                dur_us: 100,
+            },
+            SpanEvent {
+                span: "analyze/pairs/group:n5".to_owned(),
+                tid: 2,
+                start_us: 100,
+                dur_us: 50,
+            },
+        ];
+        let doc = chrome_trace(&spans);
+        assert_eq!(doc.displayTimeUnit, "ms");
+        assert_eq!(doc.traceEvents.len(), 2);
+        assert!(doc.traceEvents.iter().all(|e| e.ph == "X" && e.pid == 1));
+        assert_eq!(doc.traceEvents[0].cat, "analyze");
+        assert_eq!(doc.traceEvents[1].ts, 100);
+        assert_eq!(doc.traceEvents[1].tid, 2);
+        let text = serde_json::to_string(&doc).expect("serialize");
+        assert!(text.contains("\"traceEvents\""));
+        let back: ChromeTrace = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn flat_totals_degrade_to_a_sequential_trace() {
+        let mut spans = std::collections::BTreeMap::new();
+        spans.insert(
+            "analyze/pairs".to_owned(),
+            SpanStat {
+                total: Duration::from_micros(300),
+                count: 3,
+            },
+        );
+        spans.insert(
+            "analyze/sim".to_owned(),
+            SpanStat {
+                total: Duration::from_micros(200),
+                count: 1,
+            },
+        );
+        let doc = chrome_trace_from_totals(&spans);
+        assert_eq!(doc.traceEvents.len(), 2);
+        assert_eq!(doc.traceEvents[0].ts, 0);
+        assert_eq!(doc.traceEvents[1].ts, 300);
+    }
+
+    #[test]
+    fn obs_ctx_trace_spans_follow_the_sink() {
+        let off = ObsCtx::new();
+        assert!(!off.tracing());
+        assert!(off.trace_span(|| "x".to_owned()).is_none());
+
+        let on = ObsCtx::new().with_sink(Box::new(MemSink::new()));
+        assert!(on.tracing());
+        on.trace_span(|| "analyze/pairs/g".to_owned());
+        assert_eq!(on.tracer.drain().len(), 1);
+
+        let null = ObsCtx::new().with_sink(Box::new(NullSink));
+        assert!(!null.tracing());
+    }
+
+    #[test]
+    fn compare_flags_only_above_threshold_increases() {
+        let old = "{\"counters\":{\"implications\":100,\"sat_conflicts\":10},\
+                   \"spans\":{\"analyze\":{\"total\":{\"secs\":1,\"nanos\":0},\"count\":1}},\
+                   \"time_total\":{\"secs\":9,\"nanos\":0}}";
+        let new = "{\"counters\":{\"implications\":103,\"sat_conflicts\":10},\
+                   \"spans\":{\"analyze\":{\"total\":{\"secs\":7,\"nanos\":0},\"count\":1}},\
+                   \"time_total\":{\"secs\":2,\"nanos\":0}}";
+        // 3% growth: below a 5% threshold, above a 1% threshold. Span and
+        // time_total changes never count.
+        let lax = compare_artifacts(old, new, CompareConfig { threshold_pct: 5.0 }).unwrap();
+        assert_eq!(lax.regressions(), 0);
+        assert_eq!(lax.diffs.len(), 1);
+        let strict = compare_artifacts(old, new, CompareConfig { threshold_pct: 1.0 }).unwrap();
+        assert_eq!(strict.regressions(), 1);
+        assert!(strict.render().contains("REGRESSION"));
+        // Identical artifacts: no diffs at all.
+        let same = compare_artifacts(old, old, CompareConfig::default()).unwrap();
+        assert!(same.diffs.is_empty());
+        assert!(same.render().contains("no counter differences"));
+    }
+
+    #[test]
+    fn compare_accepts_ndjson_ledgers() {
+        let a = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&sample_event(0)).unwrap(),
+            serde_json::to_string(&sample_event(1)).unwrap()
+        );
+        let b = format!("{}\n", serde_json::to_string(&sample_event(0)).unwrap());
+        let cmp = compare_artifacts(&a, &b, CompareConfig::default()).unwrap();
+        // One fewer single-by-atpg verdict: a difference, not a regression.
+        assert_eq!(cmp.regressions(), 0);
+        assert_eq!(cmp.diffs.len(), 1);
+        let cmp = compare_artifacts(&b, &a, CompareConfig::default()).unwrap();
+        assert_eq!(cmp.regressions(), 1);
+    }
+
+    #[test]
     fn obs_ctx_is_sync_and_sendable() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<ObsCtx>();
         assert_sync::<Timers>();
         assert_sync::<Metrics>();
+        assert_sync::<Tracer>();
     }
 }

@@ -1,0 +1,115 @@
+//! Hierarchical wall-clock span accumulation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock total and entry count of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Total time spent inside the span, summed over entries.
+    pub total: Duration,
+    /// Number of times the span was entered.
+    pub count: u64,
+}
+
+impl SpanStat {
+    /// Mean time per entry, or zero when the span was never entered.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Thread-safe hierarchical span accumulator.
+///
+/// Spans are keyed by `/`-separated paths (`"analyze/pairs/implication"`);
+/// the hierarchy is by naming convention, so a snapshot sorts parents
+/// directly above their children.
+#[derive(Debug, Default)]
+pub struct Timers {
+    entries: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Timers {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enters the span at `path`; the returned guard records elapsed
+    /// time into this accumulator when dropped.
+    pub fn span(&self, path: impl Into<String>) -> SpanGuard<'_> {
+        SpanGuard {
+            timers: self,
+            path: path.into(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Adds an externally measured duration (e.g. per-worker busy time
+    /// summed across threads) to the span at `path`.
+    pub fn add(&self, path: &str, elapsed: Duration) {
+        let mut entries = self.entries.lock().expect("timers poisoned");
+        let stat = entries.entry(path.to_owned()).or_default();
+        stat.total += elapsed;
+        stat.count += 1;
+    }
+
+    /// Total accumulated so far at `path` (zero if never entered).
+    pub fn total(&self, path: &str) -> Duration {
+        self.entries
+            .lock()
+            .expect("timers poisoned")
+            .get(path)
+            .map_or(Duration::ZERO, |s| s.total)
+    }
+
+    /// A copy of every span recorded so far.
+    pub fn snapshot(&self) -> BTreeMap<String, SpanStat> {
+        self.entries.lock().expect("timers poisoned").clone()
+    }
+}
+
+/// RAII guard of one entered span; see [`Timers::span`].
+#[must_use = "dropping the guard immediately records a ~zero-length span"]
+#[derive(Debug)]
+pub struct SpanGuard<'t> {
+    timers: &'t Timers,
+    path: String,
+    start: Instant,
+    done: bool,
+}
+
+impl<'t> SpanGuard<'t> {
+    /// Enters a child span `self.path + "/" + name`.
+    pub fn child(&self, name: &str) -> SpanGuard<'t> {
+        self.timers.span(format!("{}/{name}", self.path))
+    }
+
+    /// The span's full path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Ends the span now and returns the elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.timers.add(&self.path, elapsed);
+        self.done = true;
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.timers.add(&self.path, self.start.elapsed());
+        }
+    }
+}

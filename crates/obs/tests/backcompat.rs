@@ -1,0 +1,72 @@
+//! Pins the checked-in PR-1-era journal fixture against the ledger
+//! readers: journals written before the run header, span events, slice
+//! fields and the `resumed` flag existed must keep loading unchanged.
+//!
+//! The in-crate unit test covers the *shape* with a synthetic line; this
+//! test covers the *artifact* — a real multi-line fixture file that must
+//! never be regenerated, so reader drift against historical journals is
+//! caught even if the unit test's literal is updated alongside the code.
+
+use mcp_obs::{
+    compare_artifacts, read_journal_file, read_ledger_file, read_ledger_resilient_file,
+    CompareConfig,
+};
+use std::path::PathBuf;
+
+fn fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/pr1_journal.ndjson")
+}
+
+#[test]
+fn the_pr1_fixture_loads_as_a_journal_with_defaulted_fields() {
+    let events = read_journal_file(fixture()).expect("PR-1 journal parses");
+    assert_eq!(events.len(), 5);
+
+    // Every record predates the slice/resume fields: all defaulted.
+    for e in &events {
+        assert_eq!(e.slice_nodes, None, "pair ({}, {})", e.src, e.dst);
+        assert_eq!(e.slice_vars, None, "pair ({}, {})", e.src, e.dst);
+        assert!(!e.resumed, "pair ({}, {})", e.src, e.dst);
+    }
+
+    // Spot-check the payloads survived: the self-loop implication verdict
+    // with both contradiction assignments, and the sim drop word.
+    assert_eq!((events[0].src, events[0].dst), (0, 0));
+    assert_eq!(events[0].class, "multi");
+    assert_eq!(events[0].assignments.len(), 2);
+    assert!(events[0]
+        .assignments
+        .iter()
+        .all(|a| a.outcome == "contradiction"));
+    assert_eq!(events[1].step, "random_sim");
+    assert_eq!(events[1].sim_word, Some(3));
+    assert_eq!(events[1].engine, None);
+    assert_eq!(events[3].engine.as_deref(), Some("atpg"));
+    assert_eq!(events[3].micros, 840);
+}
+
+#[test]
+fn the_pr1_fixture_loads_as_a_headerless_ledger() {
+    for ledger in [
+        read_ledger_file(fixture()).expect("strict read"),
+        read_ledger_resilient_file(fixture()).expect("resilient read"),
+    ] {
+        assert_eq!(ledger.header, None, "PR-1 journals carry no run header");
+        assert!(ledger.spans.is_empty(), "PR-1 journals carry no spans");
+        assert_eq!(ledger.events.len(), 5);
+    }
+}
+
+#[test]
+fn the_pr1_fixture_feeds_the_compare_gate() {
+    // `stats --compare` must accept old journals on either side: compared
+    // against itself the fixture reports no drift at all.
+    let text = std::fs::read_to_string(fixture()).expect("fixture readable");
+    let cmp = compare_artifacts(&text, &text, CompareConfig::default()).expect("old vs old");
+    assert_eq!(cmp.regressions(), 0);
+    assert!(
+        cmp.render().contains("no counter differences"),
+        "got: {}",
+        cmp.render()
+    );
+}

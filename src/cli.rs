@@ -10,9 +10,14 @@
 //! * `kcycle <file.bench> --max-k <K>` — sweep the cycle budget and report
 //!   each pair's maximal verified budget;
 //! * `stats <file>` — for a `.bench` file, parse and print structural
-//!   statistics; for a saved JSON report or an NDJSON trace journal,
+//!   statistics; for a saved JSON report or an NDJSON run ledger,
 //!   pretty-print the observability data as a Table-2-style per-step
 //!   table;
+//! * `stats --compare <old> <new> [--threshold <pct>]` — diff the
+//!   deterministic counters of two artifacts (reports, ledgers, metrics
+//!   snapshots or BENCH tables) and exit non-zero on regressions;
+//! * `trace <ledger.ndjson|report.json>` — export the captured span tree
+//!   as Chrome trace-event JSON (Perfetto / `chrome://tracing`);
 //! * `gen <suite-name>` — emit a synthetic suite circuit as `.bench` text
 //!   (so external tools can consume the benchmark suite);
 //! * `lint <file.bench> [--format text|json]` — run the full `mcp-lint`
@@ -22,16 +27,22 @@
 //! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
 //! `--learn`, `--threads N`, `--scheduler steal|static`, `--no-sim`,
 //! `--sim-lanes 64|128|256|512`, `--no-tape`, `--no-self-pairs`,
-//! `--no-lint`, `--no-slice`, `--json <path>`, `--format text|json`,
-//! `--metrics`, `--trace-out <path>`, `--progress`, `--quiet`.
+//! `--no-lint`, `--no-slice`, `--json <path>`, `--canonical`,
+//! `--resume <ledger>`, `--format text|json|chrome`, `--metrics`,
+//! `--trace-out <path>`, `--progress`, `--quiet`, `--compare <old> <new>`,
+//! `--threshold <pct>`.
 
 use mcp_core::{
-    analyze, analyze_with, check_hazards, max_cycle_budgets, sensitization_dependencies, to_sdc,
-    CycleBudget, Engine, HazardCheck, McConfig, McReport, PairClass, Scheduler, SdcOptions, Step,
-    StepStats,
+    analyze, analyze_resume_with, analyze_with, check_hazards, max_cycle_budgets,
+    sensitization_dependencies, to_sdc, CycleBudget, Engine, HazardCheck, McConfig, McReport,
+    PairClass, Scheduler, SdcOptions, Step, StepStats,
 };
 use mcp_netlist::{bench, Netlist};
-use mcp_obs::{read_journal_file, FileSink, MetricsSnapshot, ObsCtx, PairEvent};
+use mcp_obs::{
+    chrome_trace, chrome_trace_from_totals, compare_artifacts, read_journal_file,
+    read_ledger_resilient_file, CompareConfig, FileSink, Ledger, MetricsSnapshot, ObsCtx,
+    PairEvent,
+};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -69,28 +80,37 @@ pub struct Command {
     /// Run the engines on the whole-circuit expansion instead of per
     /// sink-group cone slices (A/B escape hatch; verdicts are identical).
     pub no_slice: bool,
-    /// Output format of the `lint` subcommand.
-    pub format: LintFormat,
+    /// Output format of the `lint` and `trace` subcommands.
+    pub format: OutputFormat,
     /// Optional JSON report path.
     pub json: Option<String>,
+    /// Write the `--json` report in canonical form (wall-clock and
+    /// machine-dependent fields projected out) for byte comparison.
+    pub canonical: bool,
+    /// Resume `analyze` from a prior run's NDJSON ledger.
+    pub resume: Option<String>,
     /// Print engine counters and span timings after the analysis.
     pub metrics: bool,
-    /// Optional NDJSON per-pair trace journal path.
+    /// Optional NDJSON run-ledger path.
     pub trace_out: Option<String>,
     /// Report pair-loop progress on stderr while analyzing.
     pub progress: bool,
+    /// Regression threshold (percent) for `stats --compare`.
+    pub threshold: f64,
     /// Suppress the pair listing.
     pub quiet: bool,
 }
 
-/// Output format of the `lint` subcommand.
+/// Output format of the `lint` and `trace` subcommands.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub enum LintFormat {
-    /// One line per finding plus a summary line.
+pub enum OutputFormat {
+    /// One line per finding plus a summary line (`lint` only).
     #[default]
     Text,
-    /// The pretty-printed [`mcp_lint::Diagnostics`] JSON.
+    /// Machine-readable JSON ([`mcp_lint::Diagnostics`] for `lint`).
     Json,
+    /// Chrome trace-event JSON (`trace` only).
+    Chrome,
 }
 
 /// What to do.
@@ -107,6 +127,15 @@ pub enum Action {
     Kcycle(String, u32),
     /// Print structural statistics of a `.bench` file.
     Stats(String),
+    /// Diff the deterministic counters of two artifacts.
+    Compare {
+        /// Baseline artifact path.
+        old: String,
+        /// Candidate artifact path.
+        new: String,
+    },
+    /// Export an artifact's span tree as Chrome trace-event JSON.
+    Trace(String),
     /// Emit a synthetic suite circuit as `.bench`.
     Gen(String),
     /// Simplify a `.bench` file (constant sweep, CSE, dead logic) and
@@ -159,7 +188,9 @@ USAGE:
   mcpath hazard  <file.bench> [options]
   mcpath deps    <file.bench> [options]
   mcpath kcycle  <file.bench> --max-k <K> [options]
-  mcpath stats   <file.bench|report.json|trace.ndjson>
+  mcpath stats   <file.bench|report.json|ledger.ndjson>
+  mcpath stats   --compare <old> <new> [--threshold <pct>]
+  mcpath trace   <ledger.ndjson|report.json> [--format chrome]
   mcpath gen     <m27|m298|...|m38584>
   mcpath dot     <file.bench>
   mcpath sweep   <file.bench>
@@ -183,11 +214,19 @@ OPTIONS:
   --no-lint                      analyze even if structural lints fail
   --no-slice                     engines run on the whole-circuit expansion
                                  instead of per-sink-group cone slices
-  --format text|json             lint report format (default: text)
+  --format text|json|chrome      lint/trace output format
   --json <path>                  dump the report as JSON
+  --canonical                    write the --json report in canonical form
+                                 (timings zeroed; byte-comparable)
+  --resume <ledger.ndjson>       restart analyze from a prior run's ledger,
+                                 re-verifying only the unresolved pairs
   --metrics                      print engine counters and span timings
-  --trace-out <path>             write a per-pair NDJSON trace journal
+  --trace-out <path>             write the NDJSON run ledger (header, one
+                                 record per pair, timestamped span tree)
   --progress                     report pair-loop progress on stderr
+  --compare <old> <new>          diff two artifacts' deterministic counters
+  --threshold <pct>              counter growth tolerated by --compare
+                                 before it counts as a regression (default 0)
   --quiet                        omit the per-pair listing
 ";
 
@@ -216,11 +255,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut no_self_pairs = false;
     let mut no_lint = false;
     let mut no_slice = false;
-    let mut format = LintFormat::default();
+    let mut format: Option<OutputFormat> = None;
     let mut json = None;
+    let mut canonical = false;
+    let mut resume = None;
     let mut metrics = false;
     let mut trace_out = None;
     let mut progress = false;
+    let mut threshold = 0.0f64;
+    let mut compare: Option<(String, String)> = None;
     let mut quiet = false;
     let mut max_k: Option<u32> = None;
     let mut robust_check: Option<HazardCheck> = None;
@@ -280,15 +323,29 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             }
             "--json" => json = Some(take_value(&mut args, "--json")?),
             "--format" => {
-                format = match take_value(&mut args, "--format")?.as_str() {
-                    "text" => LintFormat::Text,
-                    "json" => LintFormat::Json,
+                format = Some(match take_value(&mut args, "--format")?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    "chrome" => OutputFormat::Chrome,
                     other => {
                         return Err(ParseCliError(format!("unknown format `{other}`")));
                     }
-                }
+                })
             }
             "--trace-out" => trace_out = Some(take_value(&mut args, "--trace-out")?),
+            "--resume" => resume = Some(take_value(&mut args, "--resume")?),
+            "--compare" => {
+                let old = take_value(&mut args, "--compare")?;
+                let new = args
+                    .next()
+                    .ok_or_else(|| ParseCliError("`--compare` needs two artifact paths".into()))?;
+                compare = Some((old, new));
+            }
+            "--threshold" => {
+                threshold = take_value(&mut args, "--threshold")?
+                    .parse()
+                    .map_err(|e| ParseCliError(format!("bad --threshold: {e}")))?;
+            }
             "--robust" => {
                 robust_check = Some(match take_value(&mut args, "--robust")?.as_str() {
                     "sensitization" | "sens" => HazardCheck::Sensitization,
@@ -306,6 +363,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 );
             }
             "--learn" => learn = true,
+            "--canonical" => canonical = true,
             "--metrics" => metrics = true,
             "--progress" => progress = true,
             "--no-sim" => no_sim = true,
@@ -337,7 +395,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             one_positional("a .bench file")?,
             max_k.ok_or_else(|| ParseCliError("`kcycle` needs --max-k <K>".into()))?,
         ),
-        "stats" => Action::Stats(one_positional("a .bench file")?),
+        "stats" => match &compare {
+            Some((old, new)) => {
+                if !positional.is_empty() {
+                    return Err(ParseCliError(
+                        "`stats --compare` takes no positional file".into(),
+                    ));
+                }
+                Action::Compare {
+                    old: old.clone(),
+                    new: new.clone(),
+                }
+            }
+            None => Action::Stats(one_positional("a .bench file")?),
+        },
+        "trace" => Action::Trace(one_positional("a ledger or report file")?),
         "gen" => Action::Gen(one_positional("a suite circuit name")?),
         "sweep" => Action::Sweep(one_positional("a .bench file")?),
         "dot" => Action::Dot(one_positional("a .bench file")?),
@@ -363,6 +435,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         other => return Err(ParseCliError(format!("unknown subcommand `{other}`"))),
     };
 
+    // `trace` defaults to the only format it supports; everything else
+    // keeps the historical text default.
+    let format = format.unwrap_or(match action {
+        Action::Trace(_) => OutputFormat::Chrome,
+        _ => OutputFormat::Text,
+    });
+
     Ok(Command {
         action,
         engine,
@@ -379,9 +458,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         no_slice,
         format,
         json,
+        canonical,
+        resume,
         metrics,
         trace_out,
         progress,
+        threshold,
         quiet,
     })
 }
@@ -481,6 +563,62 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 );
             }
         }
+        Action::Compare { old, new } => {
+            let old_text =
+                std::fs::read_to_string(old).map_err(|e| format!("cannot read `{old}`: {e}"))?;
+            let new_text =
+                std::fs::read_to_string(new).map_err(|e| format!("cannot read `{new}`: {e}"))?;
+            let cmp = compare_artifacts(
+                &old_text,
+                &new_text,
+                CompareConfig {
+                    threshold_pct: cmd.threshold,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let rendered = cmp.render();
+            // Regressions fail the command (exit code 1) so CI can gate
+            // directly on `mcpath stats --compare`.
+            if cmp.regressions() > 0 {
+                return Err(format!("counter regression(s) detected:\n{rendered}"));
+            }
+            out.push_str(&rendered);
+        }
+        Action::Trace(path) => {
+            if cmd.format != OutputFormat::Chrome {
+                return Err("`trace` only supports --format chrome".into());
+            }
+            let doc = if path.ends_with(".ndjson") {
+                let ledger = read_ledger_resilient_file(path)
+                    .map_err(|e| format!("cannot read ledger `{path}`: {e}"))?;
+                if ledger.spans.is_empty() {
+                    return Err(format!(
+                        "`{path}` carries no span events — the span tree is written \
+                         when the run completes (re-run `analyze --trace-out` to the \
+                         end, or `trace` the saved report for span totals)"
+                    ));
+                }
+                chrome_trace(&ledger.spans)
+            } else {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+                // Saved artifacts carry only span *totals*; degrade to a
+                // proportional single-track layout.
+                if let Ok(report) = serde_json::from_str::<McReport>(&text) {
+                    chrome_trace_from_totals(&report.metrics.spans)
+                } else if let Ok(snap) = serde_json::from_str::<MetricsSnapshot>(&text) {
+                    chrome_trace_from_totals(&snap.spans)
+                } else {
+                    return Err(format!(
+                        "`{path}` is neither an NDJSON ledger, a saved analyze \
+                         report, nor a metrics snapshot"
+                    ));
+                }
+            };
+            let text = serde_json::to_string_pretty(&doc).map_err(|e| format!("serialize: {e}"))?;
+            out.push_str(&text);
+            out.push('\n');
+        }
         Action::Gen(name) => {
             let nl = mcp_gen::suite::standard_suite()
                 .into_iter()
@@ -490,12 +628,38 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         }
         Action::Analyze(path) => {
             let nl = load(path)?;
+            // Read the resume ledger *before* `obs()` opens `--trace-out`:
+            // resuming a run onto its own ledger path is the natural CLI
+            // usage, and `FileSink::create` truncates. Resilient read, so
+            // a final line torn by the SIGKILL doesn't block the restart.
+            let resume_ledger: Option<Ledger> = match &cmd.resume {
+                Some(p) => Some(
+                    read_ledger_resilient_file(p)
+                        .map_err(|e| format!("cannot read ledger `{p}`: {e}"))?,
+                ),
+                None => None,
+            };
             let obs = cmd.obs()?;
-            let report = analyze_with(&nl, &cmd.config(), &obs).map_err(|e| e.to_string())?;
+            let report = match &resume_ledger {
+                Some(ledger) => analyze_resume_with(&nl, &cmd.config(), &obs, ledger),
+                None => analyze_with(&nl, &cmd.config(), &obs),
+            }
+            .map_err(|e| e.to_string())?;
             if let Some(p) = &cmd.json {
-                let text =
-                    serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+                let text = if cmd.canonical {
+                    serde_json::to_string_pretty(&report.canonical())
+                } else {
+                    serde_json::to_string_pretty(&report)
+                }
+                .map_err(|e| format!("serialize: {e}"))?;
                 std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
+            }
+            if resume_ledger.is_some() {
+                let _ = writeln!(
+                    out,
+                    "resumed: {} verdicts restored from the ledger",
+                    obs.snapshot().counters.resume_pairs_loaded
+                );
             }
             let _ = writeln!(
                 out,
@@ -600,8 +764,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let report =
                 mcp_lint::Registry::with_default_rules().run(&nl, &mcp_lint::LintConfig::default());
             let rendered = match cmd.format {
-                LintFormat::Text => report.render_text(nl.name()),
-                LintFormat::Json => report.render_json(),
+                OutputFormat::Text => report.render_text(nl.name()),
+                OutputFormat::Json => report.render_json(),
+                OutputFormat::Chrome => {
+                    return Err("`lint` supports --format text|json only".into());
+                }
             };
             // Error-level findings fail the command (exit code 1).
             if report.has_errors() {
@@ -888,14 +1055,33 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
     }
     if !m.spans.is_empty() {
         let _ = writeln!(out, "spans:");
+        // The BTreeMap's lexicographic order visits parents before their
+        // children, so the `/`-separated paths render as an indented
+        // tree: each entry prints its final segment at a depth matching
+        // its ancestry, with bare `name/` lines for ancestors that have
+        // no timer entry of their own.
+        let mut prev: Vec<&str> = Vec::new();
         for (path, st) in &m.spans {
+            let segs: Vec<&str> = path.split('/').collect();
+            let shared = prev.iter().zip(&segs).take_while(|(a, b)| a == b).count();
+            let ancestors = segs.iter().enumerate().take(segs.len() - 1).skip(shared);
+            for (depth, seg) in ancestors {
+                let _ = writeln!(out, "  {:pad$}{seg}/", "", pad = depth * 2);
+            }
+            let depth = segs.len() - 1;
+            let mean = if st.count > 1 {
+                format!("  mean {}", fmt_dur(st.mean()))
+            } else {
+                String::new()
+            };
+            let label = format!("{:pad$}{}", "", segs[depth], pad = depth * 2);
             let _ = writeln!(
                 out,
-                "  {:<24} {:>10}  x{}",
-                path,
+                "  {label:<24} {:>10}  x{}{mean}",
                 fmt_dur(st.total),
                 st.count
             );
+            prev = segs;
         }
     }
     out
@@ -1362,6 +1548,167 @@ mod tests {
         std::fs::write(&bogus, "[1, 2, 3]").expect("write");
         let cmd = parse_args(argv(&format!("stats {}", bogus.display()))).expect("parse");
         assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn parses_resume_compare_and_canonical_flags() {
+        let cmd = parse_args(argv(
+            "analyze f.bench --resume old.ndjson --canonical --json r.json",
+        ))
+        .expect("parse");
+        assert_eq!(cmd.resume.as_deref(), Some("old.ndjson"));
+        assert!(cmd.canonical);
+
+        let cmd = parse_args(argv("stats --compare a.json b.json --threshold 5")).expect("parse");
+        assert_eq!(
+            cmd.action,
+            Action::Compare {
+                old: "a.json".into(),
+                new: "b.json".into()
+            }
+        );
+        assert!((cmd.threshold - 5.0).abs() < 1e-9);
+        assert!(parse_args(argv("stats --compare a.json")).is_err());
+        assert!(parse_args(argv("stats x.bench --compare a.json b.json")).is_err());
+        assert!(parse_args(argv("stats --compare a.json b.json --threshold abc")).is_err());
+
+        let cmd = parse_args(argv("trace t.ndjson")).expect("parse");
+        assert_eq!(cmd.action, Action::Trace("t.ndjson".into()));
+        assert_eq!(cmd.format, OutputFormat::Chrome, "trace defaults to chrome");
+        assert!(parse_args(argv("trace")).is_err());
+        assert!(run(&parse_args(argv("lint f.bench --format chrome")).expect("parse")).is_err());
+    }
+
+    #[test]
+    fn resume_trace_and_compare_round_trip() {
+        let dir = std::env::temp_dir().join("mcpath-cli-ledger");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let bench_path = dir.join("m27.bench");
+        let text = run(&parse_args(argv("gen m27")).expect("parse")).expect("gen");
+        std::fs::write(&bench_path, text).expect("write");
+        let full = dir.join("full.ndjson");
+        let report = dir.join("report.json");
+        let c1 = dir.join("c1.json");
+        let c2 = dir.join("c2.json");
+
+        // Uninterrupted run: full ledger + plain and canonical reports.
+        let out = run(&parse_args(argv(&format!(
+            "analyze {} --trace-out {} --json {} --quiet",
+            bench_path.display(),
+            full.display(),
+            report.display()
+        )))
+        .expect("parse"))
+        .expect("analyze");
+        assert!(!out.contains("resumed:"), "{out}");
+        run(&parse_args(argv(&format!(
+            "analyze {} --json {} --canonical --quiet",
+            bench_path.display(),
+            c1.display()
+        )))
+        .expect("parse"))
+        .expect("analyze canonical");
+
+        // `trace` exports the ledger's span tree as Chrome trace JSON.
+        let out = run(&parse_args(argv(&format!("trace {}", full.display()))).expect("parse"))
+            .expect("trace ledger");
+        let doc: mcp_obs::ChromeTrace = serde_json::from_str(&out).expect("chrome JSON");
+        assert!(!doc.traceEvents.is_empty());
+        assert!(doc
+            .traceEvents
+            .iter()
+            .any(|e| e.name.starts_with("analyze")));
+        // ...and a saved report degrades to span totals.
+        let out = run(&parse_args(argv(&format!("trace {}", report.display()))).expect("parse"))
+            .expect("trace report");
+        let doc: mcp_obs::ChromeTrace = serde_json::from_str(&out).expect("chrome JSON");
+        assert!(!doc.traceEvents.is_empty());
+
+        // Simulate a mid-run kill: keep the header and half the events.
+        let ledger_text = std::fs::read_to_string(&full).expect("read ledger");
+        let lines: Vec<&str> = ledger_text.lines().collect();
+        let keep = (lines.len() / 2).max(2);
+        let truncated = dir.join("killed.ndjson");
+        std::fs::write(&truncated, format!("{}\n", lines[..keep].join("\n"))).expect("write");
+
+        // Resume completes the run; the canonical report is byte-identical.
+        let out = run(&parse_args(argv(&format!(
+            "analyze {} --resume {} --json {} --canonical --quiet",
+            bench_path.display(),
+            truncated.display(),
+            c2.display()
+        )))
+        .expect("parse"))
+        .expect("resume");
+        assert!(out.contains("resumed:"), "{out}");
+        assert_eq!(
+            std::fs::read(&c1).expect("read c1"),
+            std::fs::read(&c2).expect("read c2"),
+            "resumed canonical report must be byte-identical"
+        );
+
+        // Identical artifacts compare clean; a ledger that gained events
+        // relative to its baseline is a regression (exit code 1).
+        let out = run(&parse_args(argv(&format!(
+            "stats --compare {} {}",
+            c1.display(),
+            c2.display()
+        )))
+        .expect("parse"))
+        .expect("compare identical");
+        assert!(out.contains("no counter differences"), "{out}");
+        let err = run(&parse_args(argv(&format!(
+            "stats --compare {} {}",
+            truncated.display(),
+            full.display()
+        )))
+        .expect("parse"))
+        .unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+
+        // Resuming against a different circuit is a clean mismatch error.
+        let fig3 = dir.join("fig3.bench");
+        std::fs::write(&fig3, bench::to_bench(&mcp_gen::circuits::fig3())).expect("write");
+        let err = run(&parse_args(argv(&format!(
+            "analyze {} --resume {} --quiet",
+            fig3.display(),
+            full.display()
+        )))
+        .expect("parse"))
+        .unwrap_err();
+        assert!(err.contains("cannot resume"), "{err}");
+    }
+
+    #[test]
+    fn span_table_renders_as_an_indented_hierarchy() {
+        let mut snap = MetricsSnapshot::default();
+        snap.spans.insert(
+            "analyze".to_owned(),
+            mcp_obs::SpanStat {
+                total: Duration::from_millis(10),
+                count: 1,
+            },
+        );
+        snap.spans.insert(
+            "analyze/pairs".to_owned(),
+            mcp_obs::SpanStat {
+                total: Duration::from_millis(8),
+                count: 4,
+            },
+        );
+        snap.spans.insert(
+            "orphan/child".to_owned(),
+            mcp_obs::SpanStat {
+                total: Duration::from_millis(1),
+                count: 1,
+            },
+        );
+        let out = render_snapshot(&snap);
+        assert!(out.contains("\n  analyze "), "{out}");
+        assert!(out.contains("\n    pairs"), "indented child:\n{out}");
+        assert!(out.contains("mean 2.00ms"), "per-entry mean:\n{out}");
+        assert!(out.contains("  orphan/\n"), "ancestor header:\n{out}");
+        assert!(out.contains("\n    child"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! End-to-end checks of the run-ledger contract through the real
+//! `mcpath` binary: a SIGKILL mid-analysis must lose no completed
+//! verdict, `--resume` must reproduce the uninterrupted run's canonical
+//! report byte for byte without re-running any restored pair, and the
+//! `trace` exporter must emit valid Chrome trace-event JSON with one
+//! track per worker thread.
+
+use mcp_obs::{read_ledger_resilient_file, ChromeTrace};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn mcpath() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcpath"))
+}
+
+/// A per-test scratch directory under the target-adjacent temp root,
+/// wiped at creation so reruns start clean.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcpath-resume-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn gen_bench(dir: &Path, circuit: &str) -> PathBuf {
+    let out = mcpath()
+        .args(["gen", circuit])
+        .output()
+        .expect("run mcpath gen");
+    assert!(out.status.success(), "gen {circuit} failed");
+    let path = dir.join(format!("{circuit}.bench"));
+    std::fs::write(&path, &out.stdout).expect("write bench");
+    path
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = mcpath().args(args).output().expect("run mcpath");
+    assert!(
+        out.status.success(),
+        "mcpath {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn sigkill_mid_run_loses_no_verdicts_and_resume_is_byte_identical() {
+    let dir = scratch("kill");
+    let bench = gen_bench(&dir, "m38584");
+    let bench = bench.to_str().expect("utf8 path");
+    let ledger = dir.join("run.ndjson");
+    let ledger_s = ledger.to_str().expect("utf8 path");
+
+    // Uninterrupted baseline, canonical form.
+    let baseline_json = dir.join("baseline.json");
+    run_ok(&[
+        "analyze",
+        bench,
+        "--json",
+        baseline_json.to_str().unwrap(),
+        "--canonical",
+        "--quiet",
+    ]);
+
+    // Launch the same analysis with a ledger, and SIGKILL it once the
+    // pair loop is demonstrably in flight (several thousand records past
+    // the header and the bulk sim-drop burst).
+    let mut child = mcpath()
+        .args(["analyze", bench, "--trace-out", ledger_s, "--quiet"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn analyze");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let killed_mid_run = loop {
+        if child.try_wait().expect("try_wait").is_some() {
+            break false; // finished before we could kill it — still resumable
+        }
+        let lines = std::fs::read_to_string(&ledger)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 5000 {
+            child.kill().expect("SIGKILL the run"); // Child::kill is SIGKILL on unix
+            child.wait().expect("reap");
+            break true;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "analyze never reached the pair loop"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    // What survived the kill: the restorable verdicts are exactly the
+    // engine-resolved events (sim drops are recomputed on resume).
+    let partial = read_ledger_resilient_file(&ledger).expect("partial ledger readable");
+    assert!(partial.header.is_some(), "header must be written up front");
+    let restorable: BTreeSet<(usize, usize)> = partial
+        .events
+        .iter()
+        .filter(|e| e.engine.is_some())
+        .map(|e| (e.src, e.dst))
+        .collect();
+    assert!(
+        !restorable.is_empty(),
+        "kill landed before any engine verdict was flushed"
+    );
+
+    // Resume into a fresh ledger and compare canonical bytes.
+    let resumed_json = dir.join("resumed.json");
+    let ledger2 = dir.join("resumed.ndjson");
+    let stdout = run_ok(&[
+        "analyze",
+        bench,
+        "--resume",
+        ledger_s,
+        "--trace-out",
+        ledger2.to_str().unwrap(),
+        "--json",
+        resumed_json.to_str().unwrap(),
+        "--canonical",
+        "--quiet",
+    ]);
+    assert!(
+        stdout.contains(&format!("resumed: {} verdicts", restorable.len())),
+        "stdout must report the restored count:\n{stdout}"
+    );
+
+    let baseline = std::fs::read(&baseline_json).expect("baseline json");
+    let resumed = std::fs::read(&resumed_json).expect("resumed json");
+    assert!(
+        baseline == resumed,
+        "resumed canonical report must be byte-identical to the baseline"
+    );
+
+    // Zero re-verified pairs: in the resumed run's ledger, the restored
+    // set is exactly the `resumed`-flagged records, and every freshly
+    // computed engine verdict lies outside it.
+    let replay = read_ledger_resilient_file(&ledger2).expect("resumed ledger readable");
+    let replayed: BTreeSet<(usize, usize)> = replay
+        .events
+        .iter()
+        .filter(|e| e.resumed)
+        .map(|e| (e.src, e.dst))
+        .collect();
+    assert_eq!(replayed, restorable, "restored set must replay verbatim");
+    for e in replay.events.iter().filter(|e| !e.resumed) {
+        if e.engine.is_some() {
+            assert!(
+                !restorable.contains(&(e.src, e.dst)),
+                "pair ({}, {}) was restored yet ran an engine again",
+                e.src,
+                e.dst
+            );
+        }
+    }
+    if killed_mid_run {
+        assert!(
+            replay
+                .events
+                .iter()
+                .any(|e| !e.resumed && e.engine.is_some()),
+            "a mid-run kill must leave fresh work for the resume to finish"
+        );
+    }
+}
+
+#[test]
+fn stats_accepts_a_pr1_era_journal() {
+    // The checked-in fixture predates the run header, spans, slice
+    // fields and the `resumed` flag; `stats` must still render it.
+    let fixture =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/obs/tests/fixtures/pr1_journal.ndjson");
+    let out = run_ok(&["stats", fixture.to_str().unwrap()]);
+    assert!(
+        out.contains("trace journal: 5 pair events"),
+        "stats must render the old journal:\n{out}"
+    );
+    assert!(out.contains("implication"));
+    assert!(out.contains("contradiction=2"));
+}
+
+#[test]
+fn trace_export_is_valid_chrome_json_with_a_track_per_worker() {
+    let dir = scratch("trace");
+    let bench = gen_bench(&dir, "m820");
+    let ledger = dir.join("run.ndjson");
+    run_ok(&[
+        "analyze",
+        bench.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--trace-out",
+        ledger.to_str().unwrap(),
+        "--quiet",
+    ]);
+
+    let stdout = run_ok(&["trace", ledger.to_str().unwrap(), "--format", "chrome"]);
+    let trace: ChromeTrace = serde_json::from_str(&stdout).expect("valid trace-event JSON");
+    assert_eq!(trace.displayTimeUnit, "ms");
+    assert!(!trace.traceEvents.is_empty());
+    for e in &trace.traceEvents {
+        assert_eq!(e.ph, "X", "complete events only");
+        assert_eq!(e.pid, 1);
+        assert!(!e.name.is_empty() && !e.cat.is_empty());
+        assert_eq!(e.cat, e.name.split('/').next().unwrap());
+    }
+
+    // At `--threads 2` the pair loop spawns two workers, each stamping
+    // its spans with its own thread-local track id.
+    let worker_tids: BTreeSet<u64> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.name.ends_with("/worker"))
+        .map(|e| e.tid)
+        .collect();
+    assert!(
+        worker_tids.len() >= 2,
+        "expected at least two worker tracks, got {worker_tids:?}"
+    );
+}

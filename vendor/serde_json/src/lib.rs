@@ -50,6 +50,13 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     Ok(T::from_content(&content)?)
 }
 
+/// Parses a JSON string into the untyped [`Content`] tree (the stand-in's
+/// equivalent of `serde_json::Value`), for consumers that need to walk
+/// arbitrary JSON without a schema.
+pub fn from_str_content(s: &str) -> Result<Content, Error> {
+    parse(s)
+}
+
 // ---------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------
