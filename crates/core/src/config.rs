@@ -83,6 +83,15 @@ pub struct McConfig {
     /// Disable (`--no-slice`, or the `MCPATH_NO_SLICE` env var) to
     /// A/B-measure whole-circuit engine cost.
     pub slice: bool,
+    /// Statically classify pairs whose sink D input the dataflow
+    /// analysis proves constant at the first Kleene iterate, before the
+    /// sim prefilter or any engine runs (default: on). A frozen sink
+    /// never transitions, so such pairs are multi-cycle for every `k`;
+    /// the engines would reach the same verdict the expensive way.
+    /// Verdicts — and the canonical report — are identical either way.
+    /// Disable (`--no-static-classify`, or the
+    /// `MCPATH_NO_STATIC_CLASSIFY` env var) to A/B-measure the saving.
+    pub static_classify: bool,
     /// Worker threads for the pair loop (pairs are independent). `1` =
     /// sequential. The BDD engine is inherently sequential and ignores
     /// this.
@@ -105,6 +114,7 @@ impl Default for McConfig {
             include_self_pairs: true,
             lint: true,
             slice: std::env::var_os("MCPATH_NO_SLICE").is_none(),
+            static_classify: std::env::var_os("MCPATH_NO_STATIC_CLASSIFY").is_none(),
             threads: 1,
             scheduler: Scheduler::default(),
         }
@@ -136,8 +146,10 @@ impl McConfig {
     /// budget (learning moves pairs between the implication and ATPG
     /// steps), and self-pair inclusion. Deliberately *excludes* knobs
     /// proven verdict-neutral by the determinism test suite — threads,
-    /// scheduler, slicing, sim lane width, tape vs reference kernel —
-    /// and the lint gate, so a resumed run may change any of those.
+    /// scheduler, slicing, sim lane width, tape vs reference kernel,
+    /// the static pre-classification pass (it resolves pairs the engines
+    /// would classify identically) — and the lint gate, so a resumed run
+    /// may change any of those.
     pub fn fingerprint(&self) -> u64 {
         let engine = match self.engine {
             Engine::Implication => "implication".to_owned(),
@@ -182,6 +194,11 @@ mod tests {
         } else {
             assert!(!cfg.slice, "MCPATH_NO_SLICE must disable slicing");
         }
+        if std::env::var_os("MCPATH_NO_STATIC_CLASSIFY").is_none() {
+            assert!(cfg.static_classify, "static pre-pass defaults to on");
+        } else {
+            assert!(!cfg.static_classify);
+        }
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.scheduler, Scheduler::WorkSteal);
         if std::env::var_os("MCPATH_SIM_LANES").is_none() {
@@ -208,6 +225,7 @@ mod tests {
         neutral.lint = !neutral.lint;
         neutral.sim.lanes = 64;
         neutral.sim.tape = !neutral.sim.tape;
+        neutral.static_classify = !neutral.static_classify;
         assert_eq!(neutral.fingerprint(), fp);
 
         // Verdict-affecting knobs each change it.

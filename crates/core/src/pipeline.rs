@@ -13,7 +13,7 @@ use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
 use mcp_netlist::{Expanded, Netlist, XId};
 use mcp_obs::{ObsCtx, PairEvent, RunHeader, LEDGER_VERSION};
 use mcp_sat::CircuitCnf;
-use mcp_sim::mc_filter_stats;
+use mcp_sim::mc_filter_stats_seeded;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -206,7 +206,7 @@ pub(crate) fn analyze_inner(
     let mut results: Vec<PairResult> = Vec::new();
 
     // Step 1: structural candidates.
-    let candidates = candidate_pairs(netlist, cfg);
+    let mut candidates = candidate_pairs(netlist, cfg);
     stats.candidates = candidates.len();
 
     // Open the ledger with the run's identity, before any event can be
@@ -222,6 +222,76 @@ pub(crate) fn analyze_inner(
         });
     }
 
+    // Step 1.5: static pre-classification. The forward ternary lattice
+    // (`mcp_lint::const_lattice`) evaluated at its *first* Kleene
+    // iterate — every FF output X — under-approximates every concrete
+    // state, so a node it calls definite holds that value at every time
+    // frame, from any initial state, under any stimulus. A sink FF whose
+    // D input is such a node ("frozen sink") therefore never transitions:
+    // the pair is multi-cycle for every cycle budget and backtrack limit,
+    // and the sim prefilter can never produce a violation witness for it
+    // either — which is why removing these pairs before the filter leaves
+    // the drop set over the remaining pairs untouched (the filter's RNG
+    // draws word-slot-major, independent of the pair list), keeping the
+    // canonical report byte-identical with the pass on or off. Only the
+    // first iterate is sound here: fixpoint-only constants hold *after*
+    // the widening horizon, not at frame 0, and feed the lint rules
+    // instead. Without a CONST node the lattice has no seeds, so the
+    // whole pass is skipped as a no-op.
+    let mut base_consts: Option<Vec<mcp_logic::V3>> = None;
+    let has_consts = netlist
+        .nodes()
+        .any(|(_, n)| matches!(n.kind(), mcp_netlist::NodeKind::Const(_)));
+    if cfg.static_classify && !candidates.is_empty() && has_consts {
+        let t_static = t_total.child("static");
+        let _tr_static = obs.trace_span(|| "analyze/static".to_owned());
+        let lattice = mcp_lint::const_lattice(netlist);
+        obs.metrics
+            .dataflow_consts
+            .add(lattice.num_definite_base() as u64);
+        obs.metrics.dataflow_iters.add(lattice.iterations as u64);
+        let frozen: Vec<bool> = (0..netlist.num_ffs())
+            .map(|j| lattice.base[netlist.ff_d_input(j).index()].is_definite())
+            .collect();
+        candidates.retain(|&(i, j)| {
+            if !frozen[j] {
+                return true;
+            }
+            results.push(PairResult {
+                src: i,
+                dst: j,
+                class: PairClass::MultiCycle {
+                    by: Step::Structural,
+                },
+            });
+            stats.multi_by_static += 1;
+            obs.metrics.static_resolved.add(1);
+            if obs.sink().enabled() {
+                // Resolved before any engine ran: no engine tag, no
+                // attributable per-pair time. `--resume` recomputes
+                // these (the pass is cheap and deterministic), exactly
+                // like sim-prefilter drops.
+                obs.sink().record(&PairEvent {
+                    src: i,
+                    dst: j,
+                    step: "structural".to_owned(),
+                    class: "multi".to_owned(),
+                    engine: None,
+                    assignments: Vec::new(),
+                    micros: 0,
+                    sim_word: None,
+                    slice_nodes: None,
+                    slice_vars: None,
+                    resumed: false,
+                    static_pass: true,
+                });
+            }
+            false
+        });
+        base_consts = Some(lattice.base);
+        stats.time_static = t_static.stop();
+    }
+
     // Step 2: random-pattern simulation. For k-cycle budgets above 2 the
     // 2-cycle witness is still a valid violation witness (a pair violating
     // the 2-cycle condition also violates any k ≥ 2 condition? No — the
@@ -231,7 +301,12 @@ pub(crate) fn analyze_inner(
     let mut survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
         let t_sim = t_total.child("sim");
         let _tr_sim = obs.trace_span(|| "analyze/sim".to_owned());
-        let (out, sim_stats) = mc_filter_stats(netlist, &candidates, &cfg.sim);
+        // The base lattice (when the pre-pass computed one) seeds the
+        // tape compiler: provably constant gates are pinned and their
+        // instructions folded away. Outcome-identical — the constants
+        // hold under every stimulus — so only kernel effort shrinks.
+        let consts = base_consts.as_deref().unwrap_or(&[]);
+        let (out, sim_stats) = mc_filter_stats_seeded(netlist, &candidates, &cfg.sim, consts);
         stats.time_sim = t_sim.stop();
         stats.sim_words = out.words_simulated;
         obs.metrics.sim_words.add(out.words_simulated);
@@ -263,6 +338,7 @@ pub(crate) fn analyze_inner(
                     slice_nodes: None,
                     slice_vars: None,
                     resumed: false,
+                    static_pass: false,
                 });
             }
         }
@@ -677,6 +753,7 @@ fn verdict_event(
         slice_nodes: slice.map(|(n, _)| n),
         slice_vars: slice.map(|(_, v)| v),
         resumed: false,
+        static_pass: false,
     }
 }
 
@@ -1268,6 +1345,152 @@ mod tests {
         )
         .expect("analyze");
         assert_eq!(report.unknown_pairs().len(), report.pairs.len());
+    }
+
+    #[test]
+    fn frozen_sinks_are_resolved_before_sim_or_engines() {
+        let nl = generators::frozen_sink_demo(4);
+        let obs = mcp_obs::ObsCtx::new();
+        let on = analyze_with(&nl, &McConfig::default(), &obs).expect("analyze");
+        // Every (core, debug) pair is frozen-sink: 4 debug sinks fed by
+        // a tied-off AND, one core source each.
+        assert_eq!(on.stats.multi_by_static, 4);
+        assert_eq!(on.stats.multi_total(), 4);
+        let c = obs.snapshot().counters;
+        assert_eq!(c.static_resolved, on.stats.multi_by_static as u64);
+        assert!(c.dataflow_consts > 0, "the tie-off must prove constants");
+        assert!(c.dataflow_iters >= 1);
+        // Every structural-step verdict names a debug sink (FF indices
+        // 3.. in declaration order: CORE0-2 then DBG0-3).
+        for p in &on.pairs {
+            let is_static = p.class
+                == PairClass::MultiCycle {
+                    by: Step::Structural,
+                };
+            assert_eq!(is_static, p.dst >= 3, "pair ({}, {})", p.src, p.dst);
+        }
+
+        let off = analyze(
+            &nl,
+            &McConfig {
+                static_classify: false,
+                ..McConfig::default()
+            },
+        )
+        .expect("analyze");
+        assert_eq!(off.stats.multi_by_static, 0);
+        assert_eq!(
+            serde_json::to_string(&on.canonical()).expect("serialize"),
+            serde_json::to_string(&off.canonical()).expect("serialize"),
+            "canonical report must not see the pre-pass"
+        );
+        // The frozen pairs are undroppable by simulation, so with the
+        // pass off the filter grinds to its idle-words stop; with them
+        // gone it stops the moment the core pairs die.
+        assert!(
+            on.stats.sim_words < off.stats.sim_words,
+            "pre-pass must shrink simulated words: {} vs {}",
+            on.stats.sim_words,
+            off.stats.sim_words
+        );
+    }
+
+    #[test]
+    fn static_pre_pass_is_inert_without_const_nodes() {
+        // No CONST node → no lattice seeds → the pass must not run (and
+        // must not bill dataflow counters).
+        let nl = circuits::fig1();
+        let obs = mcp_obs::ObsCtx::new();
+        let report = analyze_with(&nl, &McConfig::default(), &obs).expect("analyze");
+        assert_eq!(report.stats.multi_by_static, 0);
+        assert_eq!(report.stats.time_static, Duration::ZERO);
+        let c = obs.snapshot().counters;
+        assert_eq!(c.static_resolved, 0);
+        assert_eq!(c.dataflow_consts, 0);
+        assert_eq!(c.dataflow_iters, 0);
+    }
+
+    #[test]
+    fn static_events_are_journaled_without_an_engine_tag() {
+        use mcp_obs::MemSink;
+        use std::sync::Arc;
+        let nl = generators::frozen_sink_demo(3);
+        let sink = Arc::new(MemSink::new());
+        let obs = mcp_obs::ObsCtx::new().with_sink(Box::new(Arc::clone(&sink)));
+        let report = analyze_with(&nl, &McConfig::default(), &obs).expect("analyze");
+        let events = sink.drain();
+        let statics: Vec<_> = events.iter().filter(|e| e.static_pass).collect();
+        assert_eq!(statics.len(), report.stats.multi_by_static);
+        for e in &statics {
+            assert_eq!(e.step, "structural");
+            assert_eq!(e.class, "multi");
+            assert_eq!(e.engine, None, "no engine ran for a static verdict");
+            assert_eq!(e.micros, 0);
+        }
+        // Engine verdicts and sim drops never carry the flag.
+        assert!(events.iter().all(|e| !e.static_pass || e.engine.is_none()));
+    }
+
+    #[test]
+    fn static_classification_keeps_the_canonical_report_byte_identical() {
+        // The acceptance matrix: engines × schedulers × threads {1,2,8}
+        // × slice modes, pre-pass on vs off, all byte-identical.
+        let nl = generators::frozen_sink_demo(5);
+        let mut baseline: Option<String> = None;
+        for engine in [Engine::Implication, Engine::Sat] {
+            for scheduler in [crate::Scheduler::WorkSteal, crate::Scheduler::Static] {
+                for threads in [1usize, 2, 8] {
+                    for slice in [true, false] {
+                        for static_classify in [true, false] {
+                            let report = analyze(
+                                &nl,
+                                &McConfig {
+                                    engine,
+                                    scheduler,
+                                    threads,
+                                    slice,
+                                    static_classify,
+                                    ..McConfig::default()
+                                },
+                            )
+                            .expect("analyze");
+                            let bytes =
+                                serde_json::to_string(&report.canonical()).expect("serialize");
+                            match &baseline {
+                                None => baseline = Some(bytes),
+                                Some(b) => assert_eq!(
+                                    &bytes, b,
+                                    "canonical report drifted: {engine:?} {scheduler:?} \
+                                     threads={threads} slice={slice} static={static_classify}"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The BDD engine ignores threads/scheduler/slice; its canonical
+        // report must still match the baseline at both pre-pass settings.
+        for static_classify in [true, false] {
+            let report = analyze(
+                &nl,
+                &McConfig {
+                    engine: Engine::Bdd {
+                        node_limit: 1 << 20,
+                        reachability: false,
+                    },
+                    static_classify,
+                    ..McConfig::default()
+                },
+            )
+            .expect("analyze");
+            let bytes = serde_json::to_string(&report.canonical()).expect("serialize");
+            assert_eq!(
+                Some(bytes),
+                baseline,
+                "BDD drifted at static={static_classify}"
+            );
+        }
     }
 
     #[test]

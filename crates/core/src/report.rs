@@ -65,6 +65,10 @@ pub struct PairResult {
 pub struct StepStats {
     /// Topologically connected pairs (Table 1 `FF-pair`).
     pub candidates: usize,
+    /// Multi-cycle pairs resolved by the static dataflow pre-pass (the
+    /// sink's D input is provably constant, so it can never transition).
+    #[serde(default)]
+    pub multi_by_static: usize,
     /// Single-cycle pairs disproven by random simulation.
     pub single_by_sim: usize,
     /// Single-cycle pairs found by the implication procedure (an implied
@@ -80,6 +84,9 @@ pub struct StepStats {
     pub unknown: usize,
     /// 64-pattern words simulated by the prefilter.
     pub sim_words: u64,
+    /// Wall-clock spent in the static dataflow pre-pass.
+    #[serde(default)]
+    pub time_static: Duration,
     /// Wall-clock spent in the simulation prefilter.
     pub time_sim: Duration,
     /// Wall-clock spent in expansion + static learning.
@@ -94,7 +101,7 @@ pub struct StepStats {
 impl StepStats {
     /// Total multi-cycle pairs.
     pub fn multi_total(&self) -> usize {
-        self.multi_by_implication + self.multi_by_atpg
+        self.multi_by_static + self.multi_by_implication + self.multi_by_atpg
     }
 
     /// Total single-cycle pairs.
@@ -134,32 +141,54 @@ impl McReport {
     }
 
     /// The strategy-independent projection of the report: a copy with
-    /// every wall-clock field zeroed, the span-timing map emptied, and
-    /// the engine *effort* counters (implication/ATPG/SAT/BDD work, slice
-    /// sizes, learned-implication counts) cleared.
+    /// every wall-clock field zeroed, the span-timing map emptied, the
+    /// engine *effort* counters (implication/ATPG/SAT/BDD work, slice
+    /// sizes, learned-implication counts, simulated word counts) cleared,
+    /// and multi-cycle attribution folded into a single bucket.
     ///
     /// Everything that remains — verdicts, per-step pair counts, the
-    /// input-side counters (lint, simulation) — describes *what was
-    /// decided about the circuit*, not *how hard the engine worked for
-    /// it*, so two runs differing only in thread count, scheduling
-    /// policy, or cone slicing (`McConfig::slice`) serialize to
-    /// **byte-identical** JSON. Effort counters cannot share that
-    /// property across slice modes (a sliced engine examines fewer
-    /// nodes by design); they remain available — and still deterministic
-    /// for a fixed config — in [`McReport::metrics`].
+    /// input-side counters (lint) — describes *what was decided about
+    /// the circuit*, not *how hard the engine worked for it*, so two
+    /// runs differing only in thread count, scheduling policy, cone
+    /// slicing (`McConfig::slice`), or the static dataflow pre-pass
+    /// (`McConfig::static_classify`) serialize to **byte-identical**
+    /// JSON. Effort counters cannot share that property across slice
+    /// modes (a sliced engine examines fewer nodes by design), and word
+    /// counts cannot share it across static modes (statically resolved
+    /// pairs let the prefilter's alive set drain sooner); they remain
+    /// available — and still deterministic for a fixed config — in
+    /// [`McReport::metrics`].
+    ///
+    /// Multi-cycle verdicts are attribution-folded (`by` rewritten to
+    /// [`Step::Atpg`], the per-step multi counts summed into one) because
+    /// the *verdict* is mode-independent but the resolving step is not:
+    /// a provably frozen sink is `multi_by_static` with the pre-pass on
+    /// and `multi_by_implication`/`multi_by_atpg` with it off. Single
+    /// attribution needs no folding — the pre-pass only ever proves
+    /// multi.
     pub fn canonical(&self) -> McReport {
         let mut r = self.clone();
+        r.stats.time_static = Duration::ZERO;
         r.stats.time_sim = Duration::ZERO;
         r.stats.time_prepare = Duration::ZERO;
         r.stats.time_pairs = Duration::ZERO;
         r.stats.time_total = Duration::ZERO;
+        r.stats.sim_words = 0;
+        r.stats.multi_by_atpg = r.stats.multi_total();
+        r.stats.multi_by_static = 0;
+        r.stats.multi_by_implication = 0;
+        for p in &mut r.pairs {
+            if let PairClass::MultiCycle { by } = &mut p.class {
+                *by = Step::Atpg;
+            }
+        }
         r.metrics.spans.clear();
         let c = &r.metrics.counters;
         r.metrics.counters = mcp_obs::Counters {
-            sim_words: c.sim_words,
             sim_pairs_dropped: c.sim_pairs_dropped,
             lint_rules_run: c.lint_rules_run,
             lint_violations: c.lint_violations,
+            lint_nodes_visited: c.lint_nodes_visited,
             ..mcp_obs::Counters::default()
         };
         r
@@ -279,18 +308,36 @@ mod tests {
         r.metrics.counters.implications = 42;
         r.metrics.counters.slice_builds = 7;
         r.metrics.counters.sim_words = 9;
+        r.metrics.counters.static_resolved = 2;
         r.metrics.counters.lint_rules_run = 4;
+        r.stats.sim_words = 9;
+        r.stats.multi_by_implication = 1;
+        r.stats.multi_by_static = 2;
         let c = r.canonical();
         assert_eq!(c.stats.time_total, Duration::ZERO);
         assert_eq!(c.stats.time_pairs, Duration::ZERO);
         assert!(c.metrics.spans.is_empty());
-        // Engine effort varies with the slicing strategy: projected out.
+        // Engine effort varies with the slicing strategy, word counts
+        // with the static pre-pass: projected out.
         assert_eq!(c.metrics.counters.implications, 0);
         assert_eq!(c.metrics.counters.slice_builds, 0);
-        // Input-side work and the verdicts themselves survive.
-        assert_eq!(c.metrics.counters.sim_words, 9);
+        assert_eq!(c.metrics.counters.sim_words, 0);
+        assert_eq!(c.metrics.counters.static_resolved, 0);
+        assert_eq!(c.stats.sim_words, 0);
+        // Multi attribution folds into one bucket; the verdict survives.
+        assert_eq!(c.stats.multi_by_atpg, 3);
+        assert_eq!(c.stats.multi_by_static, 0);
+        assert_eq!(c.stats.multi_by_implication, 0);
+        assert_eq!(c.stats.multi_total(), r.stats.multi_total());
+        assert_eq!(
+            c.class_of(0, 1),
+            Some(PairClass::MultiCycle { by: Step::Atpg }),
+            "multi `by` folds to one representative"
+        );
+        assert_eq!(c.class_of(1, 0), r.class_of(1, 0), "single `by` survives");
+        assert_eq!(c.multi_cycle_pairs(), r.multi_cycle_pairs());
+        // Input-side lint work survives.
         assert_eq!(c.metrics.counters.lint_rules_run, 4);
-        assert_eq!(c.pairs, r.pairs);
         assert_eq!(c.circuit, r.circuit);
     }
 

@@ -251,6 +251,7 @@ mod tests {
         let mut neutral = cfg.clone();
         neutral.threads = 2;
         neutral.slice = !neutral.slice;
+        neutral.static_classify = !neutral.static_classify;
         assert!(plan_resume(&nl, &neutral, &ledger).is_ok());
     }
 

@@ -233,6 +233,49 @@ pub fn pipeline(depth: usize, width: usize) -> Netlist {
     b.finish().expect("generated pipeline is well-formed")
 }
 
+/// Generates the static pre-classification showcase: a live 3-FF core
+/// chain plus a tied-off debug block whose `width` capture registers
+/// sit behind an `AND` with a constant-zero enable — the netlist shape
+/// a disabled scan/debug feature leaves behind after synthesis ties
+/// its enable off.
+///
+/// The dataflow lattice proves every debug D input constant at its
+/// first Kleene iterate, so each `(core, debug)` pair is a frozen-sink
+/// multi-cycle pair the static pre-pass resolves without simulating a
+/// word or invoking an engine. The remaining core pairs are ordinary
+/// single-cycle sim fodder. With the pass off the frozen pairs are
+/// *undroppable* by simulation (their sinks never transition), so the
+/// filter grinds to its idle-words stop and the engines prove each one
+/// the expensive way — the A/B contrast the bench table records.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn frozen_sink_demo(width: usize) -> Netlist {
+    assert!(width > 0, "degenerate demo");
+    let mut b = NetlistBuilder::new(format!("frozen_w{width}"));
+    let input = b.input("IN");
+    let zero = b.constant("TIE0", false);
+    let core: Vec<NodeId> = (0..3).map(|k| b.dff(format!("CORE{k}"))).collect();
+    b.set_dff_input(core[0], input).expect("dff");
+    for k in 1..3 {
+        let g = b
+            .gate(format!("MIX{k}"), GateKind::Xor, [core[k - 1], input])
+            .expect("arity");
+        b.set_dff_input(core[k], g).expect("dff");
+    }
+    b.mark_output(core[2]);
+    for k in 0..width {
+        let q = b.dff(format!("DBG{k}"));
+        let cap = b
+            .gate(format!("CAP{k}"), GateKind::And, [core[k % 3], zero])
+            .expect("arity");
+        b.set_dff_input(q, cap).expect("dff");
+        b.mark_output(q);
+    }
+    b.finish().expect("demo circuit is well-formed")
+}
+
 /// Generates an `n`-bit Fibonacci LFSR (taps at `n-1` and `tap`); all
 /// shift pairs are single-cycle.
 ///

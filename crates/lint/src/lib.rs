@@ -52,9 +52,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+pub mod dataflow;
 pub mod rules;
 pub mod sdc;
 
+pub use dataflow::{const_lattice, AnalysisIndex, ConstLattice, FfDomain};
 pub use rules::default_rules;
 pub use sdc::{parse_sdc, validate_sdc, SdcConstraint};
 
@@ -235,12 +237,16 @@ impl Diagnostics {
 // Rules and registry
 // ---------------------------------------------------------------------
 
-/// One structural check over a [`Netlist`].
+/// One structural or semantic check over a [`Netlist`].
 ///
 /// Rules must be pure: no ordering dependencies between rules, and a rule
 /// must behave identically whether run alone or with the full registry.
 /// A rule pushes findings at its [`default_severity`](Self::default_severity);
 /// the registry applies [`LintConfig`] overrides afterwards.
+///
+/// Every rule receives the shared [`AnalysisIndex`] the registry computed
+/// once for the run — constant lattice, SCCs, liveness/observability,
+/// per-FF cones, FF domains — instead of re-deriving those facts itself.
 pub trait LintRule {
     /// Stable kebab-case identifier, used in config and output.
     fn id(&self) -> &'static str;
@@ -252,7 +258,7 @@ pub trait LintRule {
     fn description(&self) -> &'static str;
 
     /// Runs the check, pushing one [`Diagnostic`] per finding.
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>);
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>);
 }
 
 /// Per-run lint configuration: which rules run and how their findings are
@@ -344,13 +350,20 @@ impl Registry {
     }
 
     /// [`run`](Self::run), additionally bumping the `lint_rules_run` /
-    /// `lint_violations` counters of an observability context.
+    /// `lint_violations` / `lint_nodes_visited` counters of an
+    /// observability context.
     pub fn run_with_metrics(
         &self,
         netlist: &Netlist,
         cfg: &LintConfig,
         metrics: Option<&mcp_obs::Metrics>,
     ) -> Diagnostics {
+        // One shared analysis per run; every rule reads from it instead
+        // of re-traversing the graph.
+        let index = AnalysisIndex::build(netlist);
+        if let Some(m) = metrics {
+            m.lint_nodes_visited.add(index.nodes_visited());
+        }
         let mut report = Diagnostics::default();
         for rule in &self.rules {
             if cfg.disabled.contains(rule.id()) {
@@ -365,7 +378,7 @@ impl Registry {
                 .copied()
                 .unwrap_or_else(|| rule.default_severity());
             let mut found = Vec::new();
-            rule.check(netlist, &mut found);
+            rule.check(netlist, &index, &mut found);
             for mut d in found {
                 d.severity = severity;
                 if cfg.min_severity.is_some_and(|min| d.severity < min) {

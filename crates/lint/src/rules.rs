@@ -11,22 +11,31 @@
 //! | `unreachable-logic` | Warn | gates with no path to any FF or output |
 //! | `constant-dff` | Warn | DFF fed by a provably constant D input |
 //! | `dangling-ff` | Warn | DFF that nothing reads and no output marks |
+//! | `unobservable-logic` | Warn | live gates hidden behind fixpoint constants |
+//! | `const-implied-net` | Warn | nets constant only through the sequential fixpoint |
 //! | `const-foldable` | Info | gates computing a provable constant |
 //! | `self-loop-dff` | Info | FF structurally feeding its own D input |
+//! | `x-prop-to-dff` | Info | FF forever dependent on its power-up X |
+//! | `domain-mixing` | Info | FF pair crossing different inferred enable domains |
 //!
 //! The Error rules are exactly the defects `NetlistBuilder::finish`
 //! rejects: they can only occur in netlists from `finish_unchecked` or
 //! external deserializers, and they make analysis results meaningless.
-//! The Warn rules flag hygiene problems that a [`sweep`] would remove.
-//! The Info rules mark structure the multi-cycle analysis treats
-//! specially (constant cones shrink, self-loops become `(i, i)` pairs in
-//! the frame expansion).
+//! The Warn rules flag hygiene problems that a [`sweep`] would remove or
+//! that the dataflow analysis proves semantically dead. The Info rules
+//! mark structure the multi-cycle analysis treats specially (constant
+//! cones shrink, self-loops become `(i, i)` pairs in the frame
+//! expansion, enable-domain crossings are where multi-cycle transfers
+//! live).
+//!
+//! Every rule reads its facts from the shared [`AnalysisIndex`] the
+//! registry computes once per run (see [`crate::dataflow`]); none of
+//! them traverses the netlist graph beyond a linear node scan.
 //!
 //! [`sweep`]: mod@mcp_netlist::sweep
 
-use crate::{Diagnostic, LintRule, Severity};
-use mcp_logic::V3;
-use mcp_netlist::{Netlist, NodeId, NodeKind};
+use crate::{AnalysisIndex, Diagnostic, LintRule, Severity};
+use mcp_netlist::{Netlist, NodeId};
 use std::collections::HashMap;
 
 /// All built-in rules, Error rules first.
@@ -41,8 +50,12 @@ pub fn default_rules() -> Vec<Box<dyn LintRule>> {
         Box::new(UnreachableLogic),
         Box::new(ConstantDff),
         Box::new(DanglingFf),
+        Box::new(UnobservableLogic),
+        Box::new(ConstImpliedNet),
         Box::new(ConstFoldable),
         Box::new(SelfLoopDff),
+        Box::new(XPropToDff),
+        Box::new(DomainMixing),
     ]
 }
 
@@ -67,8 +80,7 @@ fn name_list(netlist: &Netlist, nodes: &[NodeId], cap: usize) -> String {
 ///
 /// The 2-frame expansion and every engine assume the combinational part
 /// is a DAG; a gate loop makes "the value of the cone" ill-defined.
-/// Detected as strongly connected components of the gate-to-gate fanin
-/// graph (Tarjan, iterative); each cyclic SCC yields one diagnostic.
+/// Reads the Tarjan SCC condensation from the shared index.
 pub struct CombCycle;
 
 impl LintRule for CombCycle {
@@ -81,99 +93,21 @@ impl LintRule for CombCycle {
     fn description(&self) -> &'static str {
         "combinational cycle in the gate graph"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
-        for mut scc in cyclic_gate_sccs(netlist) {
-            scc.sort_unstable();
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
+        for scc in index.cyclic_sccs() {
             let msg = format!(
                 "combinational cycle through {} gate(s): {}",
                 scc.len(),
-                name_list(netlist, &scc, 8)
+                name_list(netlist, scc, 8)
             );
             out.push(Diagnostic::new(
                 self.id(),
                 self.default_severity(),
-                scc,
+                scc.iter().copied(),
                 msg,
             ));
         }
     }
-}
-
-/// Tarjan's SCC algorithm (iterative) over the gate-only subgraph, with
-/// edges gate → gate-fanin. Returns the components that actually contain
-/// a cycle: more than one node, or a single gate reading itself.
-fn cyclic_gate_sccs(netlist: &Netlist) -> Vec<Vec<NodeId>> {
-    const UNVISITED: u32 = u32::MAX;
-    let n = netlist.num_nodes();
-    let mut index = vec![UNVISITED; n];
-    let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0u32;
-    let mut sccs: Vec<Vec<NodeId>> = Vec::new();
-
-    // Explicit DFS state: (node, next fanin position to visit).
-    let mut work: Vec<(usize, usize)> = Vec::new();
-
-    for (root, node) in netlist.nodes() {
-        if !node.kind().is_gate() || index[root.index()] != UNVISITED {
-            continue;
-        }
-        work.push((root.index(), 0));
-        while let Some(&mut (v, ref mut fi)) = work.last_mut() {
-            if *fi == 0 {
-                index[v] = next_index;
-                lowlink[v] = next_index;
-                next_index += 1;
-                stack.push(v);
-                on_stack[v] = true;
-            }
-            let fanins = netlist.node(NodeId::from_index(v)).fanins();
-            let mut descended = false;
-            while *fi < fanins.len() {
-                let w = fanins[*fi].index();
-                *fi += 1;
-                if !netlist.node(NodeId::from_index(w)).kind().is_gate() {
-                    continue;
-                }
-                if index[w] == UNVISITED {
-                    work.push((w, 0));
-                    descended = true;
-                    break;
-                } else if on_stack[w] {
-                    lowlink[v] = lowlink[v].min(index[w]);
-                }
-            }
-            if descended {
-                continue;
-            }
-            // v is finished: pop, close its SCC if it is a root, and
-            // propagate its lowlink to the parent.
-            work.pop();
-            if lowlink[v] == index[v] {
-                let mut comp: Vec<NodeId> = Vec::new();
-                loop {
-                    let w = stack.pop().expect("tarjan stack non-empty");
-                    on_stack[w] = false;
-                    comp.push(NodeId::from_index(w));
-                    if w == v {
-                        break;
-                    }
-                }
-                let self_loop = comp.len() == 1 && {
-                    let id = comp[0];
-                    netlist.node(id).fanins().contains(&id)
-                };
-                if comp.len() > 1 || self_loop {
-                    sccs.push(comp);
-                }
-            }
-            if let Some(&mut (p, _)) = work.last_mut() {
-                lowlink[p] = lowlink[p].min(lowlink[v]);
-            }
-        }
-    }
-    sccs
 }
 
 /// `zero-width-gate`: a combinational gate with no fanins computes
@@ -190,7 +124,7 @@ impl LintRule for ZeroWidthGate {
     fn description(&self) -> &'static str {
         "gate with an empty fanin list"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    fn check(&self, netlist: &Netlist, _index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         for (id, node) in netlist.nodes() {
             if node.kind().is_gate() && node.fanins().is_empty() {
                 out.push(Diagnostic::new(
@@ -218,7 +152,7 @@ impl LintRule for UnconnectedDff {
     fn description(&self) -> &'static str {
         "DFF whose D input was never connected"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    fn check(&self, netlist: &Netlist, _index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         for (id, node) in netlist.nodes() {
             if node.kind().is_dff() && node.fanins().is_empty() {
                 out.push(Diagnostic::new(
@@ -246,7 +180,7 @@ impl LintRule for MultiDrivenDff {
     fn description(&self) -> &'static str {
         "DFF with more than one D driver"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    fn check(&self, netlist: &Netlist, _index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         for (id, node) in netlist.nodes() {
             if node.kind().is_dff() && node.fanins().len() > 1 {
                 out.push(Diagnostic::new(
@@ -278,7 +212,7 @@ impl LintRule for DuplicateName {
     fn description(&self) -> &'static str {
         "two nodes sharing one name"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    fn check(&self, netlist: &Netlist, _index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
         for (id, node) in netlist.nodes() {
             by_name.entry(node.name()).or_default().push(id);
@@ -318,7 +252,7 @@ impl LintRule for FloatingNet {
     fn description(&self) -> &'static str {
         "gate with no readers that is not a primary output"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    fn check(&self, netlist: &Netlist, _index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         for (id, node) in netlist.nodes() {
             if node.kind().is_gate()
                 && netlist.fanouts(id).is_empty()
@@ -350,34 +284,10 @@ impl LintRule for UnreachableLogic {
     fn description(&self) -> &'static str {
         "gates with no path to any output or FF"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
-        let mut live = vec![false; netlist.num_nodes()];
-        let mut stack: Vec<NodeId> = Vec::new();
-        let mark = |id: NodeId, live: &mut Vec<bool>, stack: &mut Vec<NodeId>| {
-            if !live[id.index()] {
-                live[id.index()] = true;
-                stack.push(id);
-            }
-        };
-        for &po in netlist.outputs() {
-            mark(po, &mut live, &mut stack);
-        }
-        for &ff in netlist.dffs() {
-            // Unconnected DFFs (their own Error) simply seed nothing.
-            for &d in netlist.node(ff).fanins() {
-                mark(d, &mut live, &mut stack);
-            }
-        }
-        while let Some(n) = stack.pop() {
-            if netlist.node(n).kind().is_gate() {
-                for &f in netlist.node(n).fanins() {
-                    mark(f, &mut live, &mut stack);
-                }
-            }
-        }
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         let dead: Vec<NodeId> = netlist
             .nodes()
-            .filter(|(id, node)| node.kind().is_gate() && !live[id.index()])
+            .filter(|(id, node)| node.kind().is_gate() && !index.is_live(*id))
             .map(|(id, _)| id)
             .collect();
         if !dead.is_empty() {
@@ -412,14 +322,13 @@ impl LintRule for ConstantDff {
     fn description(&self) -> &'static str {
         "DFF whose D input is a provable constant"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
-        let values = const_values(netlist);
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         for (id, node) in netlist.nodes() {
             if !node.kind().is_dff() || node.fanins().len() != 1 {
                 continue;
             }
             let d = node.fanins()[0];
-            if let Some(v) = values[d.index()].to_bool() {
+            if let Some(v) = index.base_value(d).to_bool() {
                 out.push(Diagnostic::new(
                     self.id(),
                     self.default_severity(),
@@ -450,7 +359,7 @@ impl LintRule for DanglingFf {
     fn description(&self) -> &'static str {
         "DFF with no readers that is not a primary output"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    fn check(&self, netlist: &Netlist, _index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         for (id, node) in netlist.nodes() {
             if node.kind().is_dff()
                 && netlist.fanouts(id).is_empty()
@@ -463,6 +372,94 @@ impl LintRule for DanglingFf {
                     format!("DFF `{}` is never read", node.name()),
                 ));
             }
+        }
+    }
+}
+
+/// `unobservable-logic`: gates that *structurally* reach an output or FF
+/// but whose every path runs through a fixpoint-constant gate — they can
+/// never influence anything observable. Strictly stronger than
+/// `unreachable-logic` (which these gates pass) and disjoint from the
+/// constant rules (the gates themselves are not constant).
+pub struct UnobservableLogic;
+
+impl LintRule for UnobservableLogic {
+    fn id(&self) -> &'static str {
+        "unobservable-logic"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "live gates that only feed fixpoint-constant logic"
+    }
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
+        let dark: Vec<NodeId> = netlist
+            .nodes()
+            .filter(|(id, node)| {
+                node.kind().is_gate()
+                    && index.is_live(*id)
+                    && !index.is_observable(*id)
+                    && !index.fix_value(*id).is_definite()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if !dark.is_empty() {
+            let msg = format!(
+                "{} live gate(s) shadowed by constants, unable to influence any output or FF: {}",
+                dark.len(),
+                name_list(netlist, &dark, 8)
+            );
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                dark,
+                msg,
+            ));
+        }
+    }
+}
+
+/// `const-implied-net`: nets that are **not** combinationally constant
+/// but settle to a constant once the sequential fixpoint is reached —
+/// e.g. a register ladder seeded by a tied-off pin. The first frames
+/// after power-up may still differ, which is exactly why these are
+/// surfaced separately from `const-foldable`.
+pub struct ConstImpliedNet;
+
+impl LintRule for ConstImpliedNet {
+    fn id(&self) -> &'static str {
+        "const-implied-net"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "nets constant only through the sequential fixpoint"
+    }
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
+        let implied: Vec<NodeId> = netlist
+            .nodes()
+            .filter(|(id, node)| {
+                (node.kind().is_gate() || node.kind().is_dff())
+                    && index.fix_value(*id).is_definite()
+                    && !index.base_value(*id).is_definite()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if !implied.is_empty() {
+            let msg = format!(
+                "{} net(s) become constant after {} clock edge(s): {}",
+                implied.len(),
+                index.lattice().iterations,
+                name_list(netlist, &implied, 8)
+            );
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                implied,
+                msg,
+            ));
         }
     }
 }
@@ -486,11 +483,10 @@ impl LintRule for ConstFoldable {
     fn description(&self) -> &'static str {
         "gates computing a provable constant"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
-        let values = const_values(netlist);
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         let foldable: Vec<NodeId> = netlist
             .nodes()
-            .filter(|(id, node)| node.kind().is_gate() && values[id.index()].is_definite())
+            .filter(|(id, node)| node.kind().is_gate() && index.base_value(*id).is_definite())
             .map(|(id, _)| id)
             .collect();
         if !foldable.is_empty() {
@@ -524,13 +520,12 @@ impl LintRule for SelfLoopDff {
     fn description(&self) -> &'static str {
         "FF structurally feeding its own D input"
     }
-    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
         for (j, &ff) in netlist.dffs().iter().enumerate() {
             if netlist.node(ff).fanins().len() != 1 {
                 continue; // unconnected/multi-driven: their own Error rules
             }
-            let (ff_sources, _) = netlist.cone_sources(netlist.node(ff).fanins()[0]);
-            if ff_sources.contains(&j) {
+            if index.cone_ffs(j).binary_search(&j).is_ok() {
                 out.push(Diagnostic::new(
                     self.id(),
                     self.default_severity(),
@@ -542,28 +537,111 @@ impl LintRule for SelfLoopDff {
     }
 }
 
-// ---------------------------------------------------------------------
-// Shared helpers
-// ---------------------------------------------------------------------
+/// `x-prop-to-dff`: FFs that no primary input can ever influence, even
+/// transitively, and that the fixpoint cannot prove constant — their
+/// power-up X persists for the life of the machine. Free-running
+/// counters and ring state machines are the legitimate shape; an X-fed
+/// datapath register is the bug this surfaces.
+pub struct XPropToDff;
 
-/// Ternary value of every node under constant propagation: `CONST`
-/// drivers are definite, inputs and FF outputs are `X`, gates evaluate
-/// over their fanins in topological order. Gates outside the topological
-/// order (only possible in cyclic, unchecked netlists) stay `X`.
-fn const_values(netlist: &Netlist) -> Vec<V3> {
-    let mut values = vec![V3::X; netlist.num_nodes()];
-    for (id, node) in netlist.nodes() {
-        if let NodeKind::Const(v) = node.kind() {
-            values[id.index()] = if v { V3::One } else { V3::Zero };
+impl LintRule for XPropToDff {
+    fn id(&self) -> &'static str {
+        "x-prop-to-dff"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn description(&self) -> &'static str {
+        "FF whose power-up X can persist forever"
+    }
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
+        let stuck: Vec<NodeId> = netlist
+            .dffs()
+            .iter()
+            .enumerate()
+            .filter(|&(j, &ff)| {
+                !netlist.node(ff).fanins().is_empty()
+                    && !index.seq_has_pi(j)
+                    && !index.fix_value(ff).is_definite()
+            })
+            .map(|(_, &ff)| ff)
+            .collect();
+        if !stuck.is_empty() {
+            let msg = format!(
+                "{} FF(s) unreachable from any primary input; power-up X persists: {}",
+                stuck.len(),
+                name_list(netlist, &stuck, 8)
+            );
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                stuck,
+                msg,
+            ));
         }
     }
-    for &g in netlist.topo_gates() {
-        let node = netlist.node(g);
-        if node.fanins().is_empty() {
-            continue; // zero-width-gate's Error; value stays X
-        }
-        let kind = node.kind().gate_kind().expect("topo holds gates");
-        values[g.index()] = kind.eval_v3(node.fanins().iter().map(|f| values[f.index()]));
+}
+
+/// `domain-mixing`: FF pairs whose source and sink carry *different*
+/// inferred load-enable domains. On a single-clock netlist this marks
+/// the enable-domain crossings where multi-cycle transfers live; once
+/// the model grows real multiple clocks the same rule will flag clock
+/// domain crossings, hence Info for now.
+pub struct DomainMixing;
+
+impl LintRule for DomainMixing {
+    fn id(&self) -> &'static str {
+        "domain-mixing"
     }
-    values
+    fn default_severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn description(&self) -> &'static str {
+        "FF pair crossing different inferred enable domains"
+    }
+    fn check(&self, netlist: &Netlist, index: &AnalysisIndex, out: &mut Vec<Diagnostic>) {
+        let mut crossings = 0usize;
+        let mut involved: Vec<NodeId> = Vec::new();
+        let mut samples: Vec<String> = Vec::new();
+        for j in 0..netlist.num_ffs() {
+            for &i in index.cone_ffs(j) {
+                if i == j {
+                    continue;
+                }
+                let (src, dst) = (index.domain(i), index.domain(j));
+                // Only a crossing when both ends are provably gated —
+                // "ungated feeds gated" is ordinary datapath structure.
+                let gated = src.enable.is_some() && dst.enable.is_some();
+                if gated && !src.same_domain(dst) {
+                    crossings += 1;
+                    involved.push(netlist.dffs()[i]);
+                    involved.push(netlist.dffs()[j]);
+                    if samples.len() < 4 {
+                        samples.push(format!(
+                            "{} -> {}",
+                            netlist.node(netlist.dffs()[i]).name(),
+                            netlist.node(netlist.dffs()[j]).name()
+                        ));
+                    }
+                }
+            }
+        }
+        if crossings > 0 {
+            involved.sort_unstable();
+            involved.dedup();
+            let mut msg = format!(
+                "{crossings} FF pair(s) cross different enable domains: {}",
+                samples.join(", ")
+            );
+            if crossings > samples.len() {
+                msg.push_str(", ...");
+            }
+            out.push(Diagnostic::new(
+                self.id(),
+                self.default_severity(),
+                involved,
+                msg,
+            ));
+        }
+    }
 }

@@ -1,0 +1,148 @@
+//! Differential soundness of the dataflow constant lattice against
+//! `EventSim` ground truth.
+//!
+//! The two claims the static pre-classification pass rests on (see
+//! `dataflow.rs` and DESIGN.md §14):
+//!
+//! - **base**: a node the *first Kleene iterate* calls constant holds
+//!   that value at every time, from any initial state, under any
+//!   stimulus — the FF frontier was all-X, which under-approximates
+//!   every concrete state.
+//! - **fix**: a node the *fixpoint* calls constant holds that value at
+//!   every time ≥ `iterations` clock edges, from any initial state.
+//!
+//! Both are checked here by simulating random constant-seeded netlists
+//! under fully random definite stimulus and comparing every definite
+//! lattice entry against the simulator.
+
+use mcp_lint::{const_lattice, AnalysisIndex};
+use mcp_logic::{GateKind, V3};
+use mcp_netlist::{Netlist, NetlistBuilder, NodeId};
+use mcp_sim::EventSim;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random sequential netlist whose gate pool mixes PIs, FFs, and CONST
+/// drivers, so the lattice has definite entries to check (the stock
+/// `mcp_gen::random` generator emits no constants).
+fn const_seeded_netlist(seed: u64, gates: usize) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("dfdiff");
+    let mut pool: Vec<NodeId> = (0..3).map(|i| b.input(format!("I{i}"))).collect();
+    pool.push(b.constant("C0", false));
+    pool.push(b.constant("C1", true));
+    let ffs: Vec<NodeId> = (0..3).map(|i| b.dff(format!("F{i}"))).collect();
+    pool.extend(&ffs);
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    for _ in 0..gates {
+        let kind = kinds[rng.random_range(0..kinds.len())];
+        let arity = kind.fixed_arity().unwrap_or(rng.random_range(1..=3));
+        let ins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[rng.random_range(0..pool.len())])
+            .collect();
+        let g = b.gate_auto(kind, ins).unwrap();
+        pool.push(g);
+    }
+    for &ff in &ffs {
+        let d = pool[rng.random_range(0..pool.len())];
+        b.set_dff_input(ff, d).unwrap();
+    }
+    b.mark_output(*pool.last().unwrap());
+    b.finish().unwrap()
+}
+
+/// Drives every PI and (initial) FF to a random definite value.
+fn randomize(sim: &mut EventSim, nl: &Netlist, rng: &mut StdRng, states_too: bool) {
+    for pi in 0..nl.num_inputs() {
+        sim.set_input(pi, V3::from(rng.random::<bool>()));
+    }
+    if states_too {
+        for ff in 0..nl.num_ffs() {
+            sim.set_state(ff, V3::from(rng.random::<bool>()));
+        }
+    }
+    sim.propagate();
+}
+
+/// Asserts every definite entry of `values` matches the simulator.
+fn assert_lattice_holds(nl: &Netlist, sim: &EventSim, values: &[V3], what: &str) {
+    for (id, node) in nl.nodes() {
+        let claimed = values[id.index()];
+        if claimed.is_definite() {
+            assert_eq!(
+                sim.value(id),
+                claimed,
+                "{what} lattice wrong at `{}`",
+                node.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn base_constants_hold_at_every_time(seed in any::<u64>(), gates in 5usize..40) {
+        let nl = const_seeded_netlist(seed, gates);
+        let lattice = const_lattice(&nl);
+        prop_assume!(lattice.num_definite_base() > 0);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB45E);
+        let mut sim = EventSim::new(&nl);
+        randomize(&mut sim, &nl, &mut rng, true);
+        assert_lattice_holds(&nl, &sim, &lattice.base, "base");
+        // The base claim is time-independent: it must survive clocking.
+        for _ in 0..4 {
+            sim.clock();
+            randomize(&mut sim, &nl, &mut rng, false);
+            assert_lattice_holds(&nl, &sim, &lattice.base, "base");
+        }
+    }
+
+    #[test]
+    fn fixpoint_constants_hold_after_convergence(seed in any::<u64>(), gates in 5usize..40) {
+        let nl = const_seeded_netlist(seed, gates);
+        let lattice = const_lattice(&nl);
+        prop_assume!(lattice.num_definite_fix() > lattice.num_definite_base());
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF15E);
+        let mut sim = EventSim::new(&nl);
+        randomize(&mut sim, &nl, &mut rng, true);
+        // Run the widening horizon out from an arbitrary definite state.
+        for _ in 0..lattice.iterations {
+            sim.clock();
+            randomize(&mut sim, &nl, &mut rng, false);
+        }
+        for _ in 0..3 {
+            assert_lattice_holds(&nl, &sim, &lattice.fix, "fix");
+            sim.clock();
+            randomize(&mut sim, &nl, &mut rng, false);
+        }
+    }
+
+    #[test]
+    fn index_base_matches_standalone_lattice(seed in any::<u64>(), gates in 5usize..30) {
+        // `const_lattice` (the pipeline entry point) and the full index
+        // build must agree — the pre-pass and the lint rules reason from
+        // the same facts.
+        let nl = const_seeded_netlist(seed, gates);
+        let lattice = const_lattice(&nl);
+        let index = AnalysisIndex::build(&nl);
+        for (id, _) in nl.nodes() {
+            prop_assert_eq!(index.base_value(id), lattice.base[id.index()]);
+            prop_assert_eq!(index.fix_value(id), lattice.fix[id.index()]);
+        }
+        prop_assert_eq!(index.lattice().iterations, lattice.iterations);
+    }
+}

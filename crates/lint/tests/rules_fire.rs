@@ -274,6 +274,145 @@ fn self_loop_dff_fires_once() {
     the_one(&report, "self-loop-dff", Severity::Info, &[q]);
 }
 
+#[test]
+fn x_prop_to_dff_fires_on_a_pi_free_counter() {
+    // q.D = NOT(q): a free-running toggle no input can ever set. The
+    // healthy FF is fed from a PI and must stay clean.
+    let mut b = NetlistBuilder::new("xprop");
+    let a = b.input("a");
+    let q = b.dff("q");
+    let ok = b.dff("ok");
+    let n = b.gate("n", GateKind::Not, [q]).unwrap();
+    b.set_dff_input(q, n).unwrap();
+    b.set_dff_input(ok, a).unwrap();
+    b.mark_output(q);
+    b.mark_output(ok);
+    let nl = b.finish().unwrap();
+
+    let report = run_rule(Box::new(mcp_lint::rules::XPropToDff), &nl);
+    let d = the_one(&report, "x-prop-to-dff", Severity::Info, &[q]);
+    assert!(d.message.contains("power-up X"), "{d:?}");
+    default_registry_agrees(&nl, "x-prop-to-dff");
+
+    // Negative: route the PI into the counter and the finding vanishes.
+    let mut b = NetlistBuilder::new("xprop_ok");
+    let a = b.input("a");
+    let q = b.dff("q");
+    let n = b.gate("n", GateKind::Xor, [q, a]).unwrap();
+    b.set_dff_input(q, n).unwrap();
+    b.mark_output(q);
+    let nl = b.finish().unwrap();
+    assert!(run_rule(Box::new(mcp_lint::rules::XPropToDff), &nl).is_empty());
+}
+
+#[test]
+fn unobservable_logic_fires_behind_a_constant_shadow() {
+    // dead = NOT(a) only feeds forced = OR(dead, 1): structurally live,
+    // semantically unable to influence the FF behind the constant.
+    let mut b = NetlistBuilder::new("dark");
+    let a = b.input("a");
+    let one = b.constant("one", true);
+    let q = b.dff("q");
+    let dead = b.gate("dead", GateKind::Not, [a]).unwrap();
+    let forced = b.gate("forced", GateKind::Or, [dead, one]).unwrap();
+    b.set_dff_input(q, forced).unwrap();
+    b.mark_output(q);
+    let nl = b.finish().unwrap();
+
+    let report = run_rule(Box::new(mcp_lint::rules::UnobservableLogic), &nl);
+    let d = the_one(&report, "unobservable-logic", Severity::Warn, &[dead]);
+    assert!(d.message.contains("shadowed by constants"), "{d:?}");
+    default_registry_agrees(&nl, "unobservable-logic");
+
+    // Negative: without the constant the same shape is fully observable.
+    let mut b = NetlistBuilder::new("lit");
+    let a = b.input("a");
+    let c = b.input("c");
+    let q = b.dff("q");
+    let dead = b.gate("dead", GateKind::Not, [a]).unwrap();
+    let forced = b.gate("forced", GateKind::Or, [dead, c]).unwrap();
+    b.set_dff_input(q, forced).unwrap();
+    b.mark_output(q);
+    let nl = b.finish().unwrap();
+    assert!(run_rule(Box::new(mcp_lint::rules::UnobservableLogic), &nl).is_empty());
+}
+
+#[test]
+fn const_implied_net_fires_on_a_register_ladder() {
+    // g1 = OR(a, 1) is combinationally constant (const-foldable's
+    // business); q1, g2, q2 become constant only through clock edges.
+    let mut b = NetlistBuilder::new("ladder");
+    let a = b.input("a");
+    let one = b.constant("one", true);
+    let q1 = b.dff("q1");
+    let q2 = b.dff("q2");
+    let g1 = b.gate("g1", GateKind::Or, [a, one]).unwrap();
+    let g2 = b.gate("g2", GateKind::Buf, [q1]).unwrap();
+    let live = b.gate("live", GateKind::Xor, [q2, a]).unwrap();
+    b.set_dff_input(q1, g1).unwrap();
+    b.set_dff_input(q2, g2).unwrap();
+    b.mark_output(live);
+    let nl = b.finish().unwrap();
+
+    let report = run_rule(Box::new(mcp_lint::rules::ConstImpliedNet), &nl);
+    let d = the_one(&report, "const-implied-net", Severity::Warn, &[q1, q2, g2]);
+    assert!(d.message.contains("after 2 clock edge(s)"), "{d:?}");
+    default_registry_agrees(&nl, "const-implied-net");
+
+    // Negative: no CONST driver, no sequential constants.
+    let mut b = NetlistBuilder::new("noconst");
+    let a = b.input("a");
+    let q = b.dff("q");
+    b.set_dff_input(q, a).unwrap();
+    b.mark_output(q);
+    let nl = b.finish().unwrap();
+    assert!(run_rule(Box::new(mcp_lint::rules::ConstImpliedNet), &nl).is_empty());
+}
+
+/// Builds one load-enabled FF: `q.D = OR(AND(q, NOT en), AND(data, en))`.
+fn load_enabled_ff(b: &mut NetlistBuilder, tag: &str, data: NodeId, en: NodeId) -> NodeId {
+    let q = b.dff(format!("q{tag}"));
+    let ne = b.gate(format!("ne{tag}"), GateKind::Not, [en]).unwrap();
+    let hold = b
+        .gate(format!("hold{tag}"), GateKind::And, [q, ne])
+        .unwrap();
+    let load = b
+        .gate(format!("load{tag}"), GateKind::And, [data, en])
+        .unwrap();
+    let d = b
+        .gate(format!("d{tag}"), GateKind::Or, [hold, load])
+        .unwrap();
+    b.set_dff_input(q, d).unwrap();
+    q
+}
+
+#[test]
+fn domain_mixing_fires_across_enable_domains() {
+    let mut b = NetlistBuilder::new("mix");
+    let data = b.input("data");
+    let en1 = b.input("en1");
+    let en2 = b.input("en2");
+    let q1 = load_enabled_ff(&mut b, "1", data, en1);
+    let q2 = load_enabled_ff(&mut b, "2", q1, en2);
+    b.mark_output(q2);
+    let nl = b.finish().unwrap();
+
+    let report = run_rule(Box::new(mcp_lint::rules::DomainMixing), &nl);
+    let d = the_one(&report, "domain-mixing", Severity::Info, &[q1, q2]);
+    assert!(d.message.contains("q1 -> q2"), "{d:?}");
+    default_registry_agrees(&nl, "domain-mixing");
+
+    // Negative: the same transfer under one shared enable is one domain.
+    let mut b = NetlistBuilder::new("same");
+    let data = b.input("data");
+    let en = b.input("en");
+    let q1 = load_enabled_ff(&mut b, "1", data, en);
+    let q2 = load_enabled_ff(&mut b, "2", q1, en);
+    b.mark_output(q2);
+    let nl = b.finish().unwrap();
+    assert!(run_rule(Box::new(mcp_lint::rules::DomainMixing), &nl).is_empty());
+}
+
 // ---------------------------------------------------------------------
 // Registry configuration behaviour
 // ---------------------------------------------------------------------
@@ -324,9 +463,31 @@ fn metrics_count_rules_and_violations() {
         Some(&metrics),
     );
     let c = metrics.counters();
-    assert_eq!(c.lint_rules_run, 11);
+    assert_eq!(c.lint_rules_run, 15);
     assert_eq!(c.lint_violations, report.len() as u64);
     assert!(c.lint_violations >= 1);
+    assert!(c.lint_nodes_visited > 0);
+}
+
+#[test]
+fn shared_index_is_built_once_for_the_whole_registry() {
+    // The satellite claim on m38584: `Registry::run` traverses the graph
+    // once (the shared `AnalysisIndex` build), where the rules previously
+    // re-walked it individually. The counter must equal exactly one index
+    // build, i.e. a `#rules`-fold reduction over per-rule rebuilds.
+    let nl = mcp_gen::suite::standard_suite()
+        .into_iter()
+        .find(|n| n.name() == "m38584")
+        .expect("m38584 in the standard suite");
+    let one_build = mcp_lint::AnalysisIndex::build(&nl).nodes_visited();
+    assert!(one_build > 0);
+
+    let metrics = mcp_obs::Metrics::new();
+    Registry::with_default_rules().run_with_metrics(&nl, &LintConfig::default(), Some(&metrics));
+    let c = metrics.counters();
+    assert_eq!(c.lint_nodes_visited, one_build, "index built exactly once");
+    let graph_rules = 9; // rules that consume lattice/SCC/reach/cone facts
+    assert!(c.lint_nodes_visited < graph_rules * one_build);
 }
 
 #[test]

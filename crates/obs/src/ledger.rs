@@ -128,6 +128,11 @@ pub struct PairEvent {
     /// by `--resume` instead of being computed in this run.
     #[serde(default, skip_serializing_if = "is_false")]
     pub resumed: bool,
+    /// `true` when the static dataflow pre-pass resolved this pair
+    /// before the sim prefilter or any engine ran. (Named `static_pass`
+    /// because `static` is a Rust keyword.)
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub static_pass: bool,
 }
 
 /// Receiver of ledger records.

@@ -133,6 +133,7 @@ mod tests {
             slice_nodes: None,
             slice_vars: None,
             resumed: false,
+            static_pass: false,
         }
     }
 
@@ -157,6 +158,7 @@ mod tests {
             slice_nodes: Some(12),
             slice_vars: Some(4),
             resumed: false,
+            static_pass: false,
         };
         sink.record(&event);
         assert_eq!(sink.drain(), vec![event]);
@@ -248,11 +250,15 @@ mod tests {
         let mut event = sample_event(0);
         let text = serde_json::to_string(&event).unwrap();
         assert!(!text.contains("resumed"));
+        assert!(!text.contains("static_pass"));
         event.resumed = true;
+        event.static_pass = true;
         let text = serde_json::to_string(&event).unwrap();
         assert!(text.contains("\"resumed\":true"));
+        assert!(text.contains("\"static_pass\":true"));
         let back: PairEvent = serde_json::from_str(&text).unwrap();
         assert!(back.resumed);
+        assert!(back.static_pass);
     }
 
     #[test]
@@ -283,6 +289,10 @@ mod tests {
         assert_eq!(c.sim_passes, 0);
         assert_eq!(c.sim_tape_ops, 0);
         assert_eq!(c.resume_pairs_loaded, 0);
+        assert_eq!(c.lint_nodes_visited, 0);
+        assert_eq!(c.dataflow_consts, 0);
+        assert_eq!(c.dataflow_iters, 0);
+        assert_eq!(c.static_resolved, 0);
     }
 
     #[test]

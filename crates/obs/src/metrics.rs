@@ -83,6 +83,18 @@ pub struct Metrics {
     pub lint_rules_run: Counter,
     /// Lint: diagnostics (violations) reported by executed rules.
     pub lint_violations: Counter,
+    /// Lint/dataflow: nodes visited building the shared analysis index
+    /// (one Kleene fixpoint + one Tarjan pass + two backward sweeps per
+    /// netlist — the traversals the rules used to repeat individually).
+    pub lint_nodes_visited: Counter,
+    /// Dataflow: nodes the ternary interpreter proved constant at the
+    /// sequential fixpoint.
+    pub dataflow_consts: Counter,
+    /// Dataflow: Kleene rounds the FF widening needed to converge.
+    pub dataflow_iters: Counter,
+    /// Static pre-classification: candidate pairs resolved by the
+    /// dataflow pass before any engine or the sim prefilter ran.
+    pub static_resolved: Counter,
     /// Slicing: cone slices built (one per sink group in slice mode).
     pub slice_builds: Counter,
     /// Slicing: pairs served by an already-built sink-group slice
@@ -131,6 +143,10 @@ impl Metrics {
             sim_tape_ops: self.sim_tape_ops.get(),
             lint_rules_run: self.lint_rules_run.get(),
             lint_violations: self.lint_violations.get(),
+            lint_nodes_visited: self.lint_nodes_visited.get(),
+            dataflow_consts: self.dataflow_consts.get(),
+            dataflow_iters: self.dataflow_iters.get(),
+            static_resolved: self.static_resolved.get(),
             slice_builds: self.slice_builds.get(),
             slice_cache_hits: self.slice_cache_hits.get(),
             slice_nodes: self.slice_nodes.get(),
@@ -174,6 +190,16 @@ pub struct Counters {
     pub sim_tape_ops: u64,
     pub lint_rules_run: u64,
     pub lint_violations: u64,
+    // Dataflow-analysis counters arrived with the static pre-pass;
+    // `default` keeps old saved reports parseable.
+    #[serde(default)]
+    pub lint_nodes_visited: u64,
+    #[serde(default)]
+    pub dataflow_consts: u64,
+    #[serde(default)]
+    pub dataflow_iters: u64,
+    #[serde(default)]
+    pub static_resolved: u64,
     // Slice counters arrived after the first journal/report format;
     // `default` keeps old saved reports parseable.
     #[serde(default)]

@@ -24,6 +24,7 @@
 //! in `tests/tape_diff.rs` pins this contract on random netlists.
 
 use crate::{ParallelSim, Tape, TapeSim};
+use mcp_logic::V3;
 use mcp_netlist::Netlist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -182,6 +183,30 @@ pub fn mc_filter_stats(
     pairs: &[(usize, usize)],
     cfg: &FilterConfig,
 ) -> (FilterOutcome, FilterStats) {
+    mc_filter_stats_seeded(netlist, pairs, cfg, &[])
+}
+
+/// [`mc_filter_stats`] with externally proven per-node constants
+/// (typically the base iterate of `mcp-lint`'s dataflow lattice) handed
+/// to the tape compiler via [`Tape::compile_with_consts`]: definite
+/// gates are pinned to compile-time constants, shrinking the
+/// instruction stream the kernel executes per pass. The
+/// [`FilterOutcome`] is identical to the unseeded run — a sound seed
+/// holds under every stimulus, so no lane can observe a difference —
+/// only [`FilterStats::tape_ops`] shrinks. The reference path ignores
+/// the seed (it exists precisely to pin the tape's behavior). An empty
+/// slice is the plain unseeded filter.
+///
+/// # Panics
+///
+/// As [`mc_filter`], plus a non-empty `consts` shorter than the node
+/// count.
+pub fn mc_filter_stats_seeded(
+    netlist: &Netlist,
+    pairs: &[(usize, usize)],
+    cfg: &FilterConfig,
+    consts: &[V3],
+) -> (FilterOutcome, FilterStats) {
     let nffs = netlist.num_ffs();
     for &(i, j) in pairs {
         assert!(i < nffs && j < nffs, "FF index out of range in pair list");
@@ -193,10 +218,10 @@ pub fn mc_filter_stats(
         );
     }
     match cfg.lane_words() {
-        Some(1) => mc_filter_tape::<1>(netlist, pairs, cfg),
-        Some(2) => mc_filter_tape::<2>(netlist, pairs, cfg),
-        Some(4) => mc_filter_tape::<4>(netlist, pairs, cfg),
-        Some(8) => mc_filter_tape::<8>(netlist, pairs, cfg),
+        Some(1) => mc_filter_tape::<1>(netlist, pairs, cfg, consts),
+        Some(2) => mc_filter_tape::<2>(netlist, pairs, cfg, consts),
+        Some(4) => mc_filter_tape::<4>(netlist, pairs, cfg, consts),
+        Some(8) => mc_filter_tape::<8>(netlist, pairs, cfg, consts),
         _ => panic!(
             "sim lanes {} out of range: supported widths are 64, 128, 256, 512",
             cfg.lanes
@@ -292,10 +317,11 @@ fn mc_filter_tape<const W: usize>(
     netlist: &Netlist,
     pairs: &[(usize, usize)],
     cfg: &FilterConfig,
+    consts: &[V3],
 ) -> (FilterOutcome, FilterStats) {
     let nffs = netlist.num_ffs();
     let npis = netlist.num_inputs();
-    let tape = Tape::compile(netlist);
+    let tape = Tape::compile_with_consts(netlist, consts);
     let mut sim = TapeSim::<W>::new(&tape);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 

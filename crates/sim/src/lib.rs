@@ -52,6 +52,9 @@ pub mod vcd;
 
 pub use delay::{DelaySim, EdgeReport};
 pub use event::EventSim;
-pub use filter::{mc_filter, mc_filter_stats, FilterConfig, FilterOutcome, FilterStats, PairDrop};
+pub use filter::{
+    mc_filter, mc_filter_stats, mc_filter_stats_seeded, FilterConfig, FilterOutcome, FilterStats,
+    PairDrop,
+};
 pub use parallel::ParallelSim;
 pub use tape::{SlotRef, Tape, TapeSim};

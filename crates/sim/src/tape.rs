@@ -37,7 +37,7 @@
 //! folded and aliased ones — is recoverable through [`Tape::slot_of`] /
 //! [`TapeSim::value`].
 
-use mcp_logic::GateKind;
+use mcp_logic::{GateKind, V3};
 use mcp_netlist::{Netlist, NodeId, NodeKind};
 
 /// Where a node's value lives after compilation.
@@ -92,6 +92,30 @@ impl Tape {
     /// Compiles `netlist` into a tape. One-time cost, linear in the
     /// netlist size; every [`TapeSim`] built on the result shares it.
     pub fn compile(netlist: &Netlist) -> Tape {
+        Tape::compile_with_consts(netlist, &[])
+    }
+
+    /// [`compile`](Self::compile) with externally proven constants:
+    /// `consts[id]` is a ternary value per node (typically the first
+    /// Kleene iterate of `mcp-lint`'s constant lattice), and every
+    /// *gate* with a definite entry is pinned to [`SlotRef::Const`]
+    /// before instruction emission — it emits nothing, and the fold
+    /// cascades through its readers exactly like a native `Const`
+    /// driver. An empty slice disables pinning (plain `compile`).
+    ///
+    /// Soundness is the caller's burden: a pinned gate must actually
+    /// hold its value under every stimulus the tape will see. The
+    /// tape's own cascade folder derives the same fold set from native
+    /// `Const` drivers (both are correlation-blind forward ternary
+    /// propagation with X at every PI and FF), so for the lattice's
+    /// base iterate the pinned compile is pinned *identical* — see
+    /// `seeded_compile_matches_the_cascade_folder` — and the seeding
+    /// exists to keep that equivalence enforced rather than assumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consts` is non-empty and shorter than the node count.
+    pub fn compile_with_consts(netlist: &Netlist, consts: &[V3]) -> Tape {
         let num_inputs = netlist.num_inputs();
         let num_ffs = netlist.num_ffs();
         let mut node_ref = vec![SlotRef::Const(false); netlist.num_nodes()];
@@ -104,6 +128,21 @@ impl Tape {
         for (id, node) in netlist.nodes() {
             if let NodeKind::Const(v) = node.kind() {
                 node_ref[id.index()] = SlotRef::Const(v);
+            }
+        }
+        let mut pinned = vec![false; netlist.num_nodes()];
+        if !consts.is_empty() {
+            assert!(
+                consts.len() >= netlist.num_nodes(),
+                "const seed slice shorter than the node count"
+            );
+            for (id, node) in netlist.nodes() {
+                if node.kind().gate_kind().is_some() {
+                    if let Some(v) = consts[id.index()].to_bool() {
+                        node_ref[id.index()] = SlotRef::Const(v);
+                        pinned[id.index()] = true;
+                    }
+                }
             }
         }
 
@@ -120,6 +159,9 @@ impl Tape {
 
         let mut slots: Vec<u32> = Vec::with_capacity(8);
         for &g in netlist.topo_gates() {
+            if pinned[g.index()] {
+                continue;
+            }
             let node = netlist.node(g);
             let kind = node.kind().gate_kind().expect("topo holds gates");
             let fanins = node.fanins();
@@ -620,6 +662,53 @@ mod tests {
         assert_eq!(tape.num_ops(), 0);
         assert_eq!(tape.slot_of(n), SlotRef::Const(true));
         assert_eq!(tape.slot_of(g), tape.slot_of(input));
+    }
+
+    #[test]
+    fn seeded_compile_matches_the_cascade_folder() {
+        // The tape's syntactic cascade folder and a forward ternary
+        // lattice over the same netlist are both correlation-blind
+        // constant propagation from CONST drivers with X at every PI
+        // and FF — so seeding the compiler with exactly the constants
+        // its own folder would derive must reproduce the instruction
+        // stream bit for bit. (A seed the folder *can't* derive would
+        // shrink the tape; the pipeline's seed never is, and this test
+        // keeps the equivalence enforced rather than assumed.)
+        let mut b = NetlistBuilder::new("seeded");
+        let one = b.constant("ONE", true);
+        let zero = b.constant("ZERO", false);
+        let input = b.input("IN");
+        let ff = b.dff("FF");
+        let dead = b.gate("DEAD", GateKind::And, [input, zero]).unwrap();
+        let n = b.gate("N", GateKind::Not, [dead]).unwrap();
+        let live = b.gate("LIVE", GateKind::Xor, [input, ff]).unwrap();
+        let mix = b.gate("MIX", GateKind::Or, [live, dead]).unwrap();
+        let keep = b.gate("KEEP", GateKind::And, [mix, n, one]).unwrap();
+        b.set_dff_input(ff, keep).unwrap();
+        b.mark_output(keep);
+        let nl = b.finish().unwrap();
+
+        let plain = Tape::compile(&nl);
+        // Recover the folder's own constant set through `slot_of`, feed
+        // it back as the seed.
+        let consts: Vec<V3> = (0..nl.num_nodes())
+            .map(|i| match plain.slot_of(NodeId::from_index(i)) {
+                SlotRef::Const(v) => V3::from(v),
+                SlotRef::Slot(_) => V3::X,
+            })
+            .collect();
+        let seeded = Tape::compile_with_consts(&nl, &consts);
+        assert_eq!(seeded.num_ops(), plain.num_ops());
+        assert_eq!(seeded.opcode, plain.opcode);
+        assert_eq!(seeded.lhs, plain.lhs);
+        assert_eq!(seeded.rhs, plain.rhs);
+        assert_eq!(seeded.node_ref, plain.node_ref);
+        assert_eq!(seeded.ff_d, plain.ff_d);
+
+        // An empty seed is the plain compile.
+        let unseeded = Tape::compile_with_consts(&nl, &[]);
+        assert_eq!(unseeded.num_ops(), plain.num_ops());
+        assert_eq!(unseeded.node_ref, plain.node_ref);
     }
 
     #[test]

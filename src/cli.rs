@@ -22,12 +22,15 @@
 //!   (so external tools can consume the benchmark suite);
 //! * `lint <file.bench> [--format text|json]` — run the full `mcp-lint`
 //!   rule set (parsing permissively, so corrupt netlists are diagnosed
-//!   rather than rejected) and exit non-zero on error-level findings.
+//!   rather than rejected) and exit non-zero on error-level findings;
+//!   `--deny`/`--allow` escalate or disable individual rules, and
+//!   `--max-diags` caps the rendered finding list.
 //!
 //! Options: `--engine implication|sat|bdd`, `--cycles K`, `--backtracks N`,
 //! `--learn`, `--threads N`, `--scheduler steal|static`, `--no-sim`,
 //! `--sim-lanes 64|128|256|512`, `--no-tape`, `--no-self-pairs`,
-//! `--no-lint`, `--no-slice`, `--json <path>`, `--canonical`,
+//! `--no-lint`, `--no-slice`, `--no-static-classify`, `--deny <rule>`,
+//! `--allow <rule>`, `--max-diags <n>`, `--json <path>`, `--canonical`,
 //! `--resume <ledger>`, `--format text|json|chrome`, `--metrics`,
 //! `--trace-out <path>`, `--progress`, `--quiet`, `--compare <old> <new>`,
 //! `--threshold <pct>`.
@@ -80,6 +83,16 @@ pub struct Command {
     /// Run the engines on the whole-circuit expansion instead of per
     /// sink-group cone slices (A/B escape hatch; verdicts are identical).
     pub no_slice: bool,
+    /// Skip the dataflow pre-pass that statically classifies pairs whose
+    /// sink FF is provably frozen (A/B escape hatch; the canonical report
+    /// is byte-identical either way).
+    pub no_static_classify: bool,
+    /// Lint rule ids escalated to error severity (`--deny`, repeatable).
+    pub deny: Vec<String>,
+    /// Lint rule ids disabled entirely (`--allow`, repeatable).
+    pub allow: Vec<String>,
+    /// Cap on the findings the `lint` subcommand renders (`--max-diags`).
+    pub max_diags: Option<usize>,
     /// Output format of the `lint` and `trace` subcommands.
     pub format: OutputFormat,
     /// Optional JSON report path.
@@ -196,7 +209,8 @@ USAGE:
   mcpath sweep   <file.bench>
   mcpath sdc     <file.bench> [--robust sens|cosens] [options]
   mcpath glitch  <file.bench> <srcFF> <dstFF> <out.vcd>
-  mcpath lint    <file.bench> [--format text|json]
+  mcpath lint    <file.bench> [--format text|json] [--deny <rule>]
+                 [--allow <rule>] [--max-diags <n>]
 
 OPTIONS:
   --engine implication|sat|bdd   decision engine (default: implication)
@@ -214,6 +228,13 @@ OPTIONS:
   --no-lint                      analyze even if structural lints fail
   --no-slice                     engines run on the whole-circuit expansion
                                  instead of per-sink-group cone slices
+  --no-static-classify           skip the dataflow pre-pass that resolves
+                                 pairs with provably frozen sink FFs
+  --deny <rule>                  escalate a lint rule to error severity
+                                 (repeatable; `lint` only)
+  --allow <rule>                 disable a lint rule entirely
+                                 (repeatable; `lint` only)
+  --max-diags <n>                cap the findings `lint` renders
   --format text|json|chrome      lint/trace output format
   --json <path>                  dump the report as JSON
   --canonical                    write the --json report in canonical form
@@ -255,6 +276,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut no_self_pairs = false;
     let mut no_lint = false;
     let mut no_slice = false;
+    let mut no_static_classify = false;
+    let mut deny: Vec<String> = Vec::new();
+    let mut allow: Vec<String> = Vec::new();
+    let mut max_diags: Option<usize> = None;
     let mut format: Option<OutputFormat> = None;
     let mut json = None;
     let mut canonical = false;
@@ -371,6 +396,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             "--no-self-pairs" => no_self_pairs = true,
             "--no-lint" => no_lint = true,
             "--no-slice" => no_slice = true,
+            "--no-static-classify" => no_static_classify = true,
+            "--deny" => deny.push(take_value(&mut args, "--deny")?),
+            "--allow" => allow.push(take_value(&mut args, "--allow")?),
+            "--max-diags" => {
+                max_diags = Some(
+                    take_value(&mut args, "--max-diags")?
+                        .parse()
+                        .map_err(|e| ParseCliError(format!("bad --max-diags: {e}")))?,
+                );
+            }
             "--quiet" => quiet = true,
             other if other.starts_with("--") => {
                 return Err(ParseCliError(format!("unknown option `{other}`")));
@@ -456,6 +491,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         no_self_pairs,
         no_lint,
         no_slice,
+        no_static_classify,
+        deny,
+        allow,
+        max_diags,
         format,
         json,
         canonical,
@@ -508,6 +547,9 @@ impl Command {
             // The flag can only disable slicing; the default (normally
             // on) also honors the MCPATH_NO_SLICE env var.
             slice: defaults.slice && !self.no_slice,
+            // Same pattern for the dataflow pre-pass and the
+            // MCPATH_NO_STATIC_CLASSIFY env var.
+            static_classify: defaults.static_classify && !self.no_static_classify,
             ..defaults
         }
     }
@@ -672,7 +714,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             );
             let _ = writeln!(
                 out,
-                "steps: sim dropped {} ({} words) | implication proved {} | search: {} single / {} multi",
+                "steps: static resolved {} | sim dropped {} ({} words) | implication proved {} | search: {} single / {} multi",
+                report.stats.multi_by_static,
                 report.stats.single_by_sim,
                 report.stats.sim_words,
                 report.stats.multi_by_implication,
@@ -761,17 +804,48 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let nl = bench::parse_unchecked(path, &text).map_err(|e| e.to_string())?;
-            let report =
-                mcp_lint::Registry::with_default_rules().run(&nl, &mcp_lint::LintConfig::default());
+            let registry = mcp_lint::Registry::with_default_rules();
+            // `--deny`/`--allow` must name real rules — a typo silently
+            // doing nothing would defeat the point of a CI gate.
+            for rule in cmd.deny.iter().chain(&cmd.allow) {
+                if !registry.rules().any(|r| r.id() == rule) {
+                    return Err(format!("unknown lint rule `{rule}`"));
+                }
+            }
+            let mut lint_cfg = mcp_lint::LintConfig::default();
+            for rule in &cmd.deny {
+                lint_cfg = lint_cfg.deny(rule);
+            }
+            for rule in &cmd.allow {
+                lint_cfg = lint_cfg.disable(rule);
+            }
+            let mut report = registry.run(&nl, &lint_cfg);
+            // Error-level findings fail the command (exit code 1), judged
+            // on the *full* report: a cap on the rendered list must not
+            // let errors beyond it slip through the gate.
+            let gate_failed = report.has_errors();
+            let total = report.len();
+            if let Some(cap) = cmd.max_diags {
+                report.diagnostics.truncate(cap);
+            }
             let rendered = match cmd.format {
-                OutputFormat::Text => report.render_text(nl.name()),
+                OutputFormat::Text => {
+                    let mut text = report.render_text(nl.name());
+                    if report.len() < total {
+                        let _ = writeln!(
+                            text,
+                            "(showing {} of {total} findings; raise --max-diags for the rest)",
+                            report.len()
+                        );
+                    }
+                    text
+                }
                 OutputFormat::Json => report.render_json(),
                 OutputFormat::Chrome => {
                     return Err("`lint` supports --format text|json only".into());
                 }
             };
-            // Error-level findings fail the command (exit code 1).
-            if report.has_errors() {
+            if gate_failed {
                 return Err(rendered);
             }
             out.push_str(&rendered);
@@ -933,6 +1007,16 @@ fn render_step_table(s: &StepStats) -> String {
     let _ = writeln!(
         out,
         "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
+        "structural",
+        s.multi_by_static,
+        0,
+        0,
+        fmt_dur(s.time_static),
+        "-"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
         "random_sim",
         0,
         s.single_by_sim,
@@ -1000,7 +1084,7 @@ fn fmt_words_per_sec(words: u64, t: Duration) -> String {
 fn render_snapshot(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let c = &m.counters;
-    let rows: [(&str, u64); 25] = [
+    let rows: [(&str, u64); 29] = [
         ("implications", c.implications),
         ("contradictions", c.contradictions),
         ("learned_implications", c.learned_implications),
@@ -1026,6 +1110,10 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
         ("sim_tape_ops", c.sim_tape_ops),
         ("lint_rules_run", c.lint_rules_run),
         ("lint_violations", c.lint_violations),
+        ("lint_nodes_visited", c.lint_nodes_visited),
+        ("dataflow_consts", c.dataflow_consts),
+        ("dataflow_iters", c.dataflow_iters),
+        ("static_resolved", c.static_resolved),
     ];
     let _ = writeln!(out, "engine counters:");
     for (name, v) in rows {
@@ -1445,6 +1533,91 @@ mod tests {
         assert!(!cmd.config().lint);
         let cmd = parse_args(argv("analyze f.bench")).expect("parse");
         assert!(cmd.config().lint);
+    }
+
+    #[test]
+    fn no_static_classify_flag_reaches_the_config() {
+        let cmd = parse_args(argv("analyze f.bench --no-static-classify")).expect("parse");
+        assert!(cmd.no_static_classify);
+        assert!(!cmd.config().static_classify);
+        // Without the flag the default applies (on, unless the
+        // MCPATH_NO_STATIC_CLASSIFY env var is set in this test
+        // environment).
+        let cmd = parse_args(argv("analyze f.bench")).expect("parse");
+        assert_eq!(
+            cmd.config().static_classify,
+            McConfig::default().static_classify
+        );
+    }
+
+    #[test]
+    fn lint_deny_allow_and_max_diags() {
+        let dir = std::env::temp_dir().join("mcpath-cli-lint-flags");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        // A dangling FF (never marked as an output) is a Warn-level
+        // finding by default.
+        let dangling = dir.join("dangling.bench");
+        std::fs::write(
+            &dangling,
+            "INPUT(a)\nINPUT(b)\nOUTPUT(o)\nq = DFF(g)\ng = NOT(a)\no = AND(a, b)\n",
+        )
+        .expect("write");
+
+        // Warnings pass by default...
+        let out = run(&parse_args(argv(&format!("lint {}", dangling.display()))).expect("parse"))
+            .expect("lint warns only");
+        assert!(out.contains("dangling-ff"), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+
+        // ...but `--deny` escalates the rule to a gating error...
+        let err = run(&parse_args(argv(&format!(
+            "lint {} --deny dangling-ff",
+            dangling.display()
+        )))
+        .expect("parse"))
+        .unwrap_err();
+        assert!(err.contains("error[dangling-ff]"), "{err}");
+
+        // ...and `--allow` suppresses it entirely.
+        let out = run(&parse_args(argv(&format!(
+            "lint {} --allow dangling-ff",
+            dangling.display()
+        )))
+        .expect("parse"))
+        .expect("lint allowed");
+        assert!(!out.contains("dangling-ff"), "{out}");
+
+        // `--max-diags 0` truncates the listing but keeps the total note.
+        let out = run(
+            &parse_args(argv(&format!("lint {} --max-diags 0", dangling.display())))
+                .expect("parse"),
+        )
+        .expect("lint capped");
+        assert!(!out.contains("dangling-ff"), "{out}");
+        assert!(out.contains("showing 0 of"), "{out}");
+
+        // The cap must not mask the error gate: a comb cycle still fails
+        // even when its finding is cut from the listing.
+        let cyclic = dir.join("cyclic.bench");
+        std::fs::write(&cyclic, "OUTPUT(a)\na = NOT(b)\nb = NOT(a)\n").expect("write");
+        let err = run(
+            &parse_args(argv(&format!("lint {} --max-diags 0", cyclic.display()))).expect("parse"),
+        )
+        .unwrap_err();
+        assert!(err.contains("showing 0 of"), "{err}");
+
+        // Typos in rule names are clean errors, not silent no-ops.
+        for flag in ["--deny", "--allow"] {
+            let err = run(&parse_args(argv(&format!(
+                "lint {} {flag} no-such-rule",
+                dangling.display()
+            )))
+            .expect("parse"))
+            .unwrap_err();
+            assert!(err.contains("unknown lint rule"), "{err}");
+        }
+        assert!(parse_args(argv("lint f.bench --max-diags abc")).is_err());
+        assert!(parse_args(argv("lint f.bench --deny")).is_err());
     }
 
     #[test]

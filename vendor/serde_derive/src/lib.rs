@@ -14,6 +14,8 @@
 //! Anything else — generics, tuple structs/variants, other `#[serde(...)]`
 //! attributes — is a `compile_error!` rather than a silent divergence.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 use std::iter::Peekable;
 
