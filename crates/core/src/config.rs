@@ -46,6 +46,30 @@ pub enum Scheduler {
     Static,
 }
 
+/// Which slice of a sharded run this process owns.
+///
+/// The surviving pair set is partitioned into `count` deterministic,
+/// sink-group-aligned shards (see `mcp_core::shard`); a process with a
+/// `ShardSpec` verifies only the pairs of shard `index` and journals
+/// its shard identity into the run-ledger header so `merge` can check
+/// completeness. Sharding is verdict-neutral scheduling policy — the
+/// merged report is byte-identical to an unsharded run — so it is
+/// excluded from [`McConfig::fingerprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 0-based shard index, `< count`.
+    pub index: u64,
+    /// Total number of shards, `>= 1`.
+    pub count: u64,
+}
+
+impl ShardSpec {
+    /// Whether `index < count` and `count >= 1`.
+    pub fn is_valid(&self) -> bool {
+        self.count >= 1 && self.index < self.count
+    }
+}
+
 /// Configuration of [`analyze`](crate::analyze).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct McConfig {
@@ -99,6 +123,11 @@ pub struct McConfig {
     /// How pairs are distributed over the worker threads; irrelevant at
     /// `threads = 1`.
     pub scheduler: Scheduler,
+    /// Restrict this run to one shard of the deterministic pair
+    /// partition (`None` = verify everything, the default). Like
+    /// `threads`, this is pure scheduling policy: it never changes a
+    /// verdict, only which process computes it.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for McConfig {
@@ -117,6 +146,7 @@ impl Default for McConfig {
             static_classify: std::env::var_os("MCPATH_NO_STATIC_CLASSIFY").is_none(),
             threads: 1,
             scheduler: Scheduler::default(),
+            shard: None,
         }
     }
 }
@@ -146,10 +176,12 @@ impl McConfig {
     /// budget (learning moves pairs between the implication and ATPG
     /// steps), and self-pair inclusion. Deliberately *excludes* knobs
     /// proven verdict-neutral by the determinism test suite — threads,
-    /// scheduler, slicing, sim lane width, tape vs reference kernel,
-    /// the static pre-classification pass (it resolves pairs the engines
-    /// would classify identically) — and the lint gate, so a resumed run
-    /// may change any of those.
+    /// scheduler, sharding, slicing, sim lane width, tape vs reference
+    /// kernel, the static pre-classification pass (it resolves pairs the
+    /// engines would classify identically) — and the lint gate, so a
+    /// resumed run may change any of those. Shard neutrality is what
+    /// lets `merge` check every shard ledger against one fingerprint,
+    /// and lets a shard be resumed with a different thread count.
     pub fn fingerprint(&self) -> u64 {
         let engine = match self.engine {
             Engine::Implication => "implication".to_owned(),
@@ -226,6 +258,7 @@ mod tests {
         neutral.sim.lanes = 64;
         neutral.sim.tape = !neutral.sim.tape;
         neutral.static_classify = !neutral.static_classify;
+        neutral.shard = Some(ShardSpec { index: 1, count: 4 });
         assert_eq!(neutral.fingerprint(), fp);
 
         // Verdict-affecting knobs each change it.
@@ -241,5 +274,13 @@ mod tests {
         let mut engine = base.clone();
         engine.engine = Engine::Sat;
         assert_ne!(engine.fingerprint(), fp);
+    }
+
+    #[test]
+    fn shard_specs_validate_index_against_count() {
+        assert!(ShardSpec { index: 0, count: 1 }.is_valid());
+        assert!(ShardSpec { index: 3, count: 4 }.is_valid());
+        assert!(!ShardSpec { index: 4, count: 4 }.is_valid());
+        assert!(!ShardSpec { index: 0, count: 0 }.is_valid());
     }
 }

@@ -51,15 +51,17 @@ pub mod report;
 pub mod resume;
 mod schedule;
 pub mod sdc;
+pub mod shard;
 
 pub use borrowing::condition2_candidates;
 pub use budget::{max_cycle_budget, max_cycle_budgets, CycleBudget, PairBudgets};
-pub use config::{Engine, McConfig, Scheduler};
+pub use config::{Engine, McConfig, Scheduler, ShardSpec};
 pub use hazard::{
     check_hazards, check_hazards_with, sensitization_dependencies, HazardCheck, HazardReport,
     SensitizationDependencies,
 };
-pub use pipeline::{analyze, analyze_with, AnalyzeError};
+pub use pipeline::{analyze, analyze_with, AnalyzeError, DigestKind};
 pub use report::{McReport, PairClass, PairResult, Step, StepStats};
 pub use resume::{analyze_resume_with, plan_resume, ResumePlan};
 pub use sdc::{to_sdc, SdcOptions};
+pub use shard::{merge_shards, merge_shards_with, plan_shards, ShardPlan};

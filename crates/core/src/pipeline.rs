@@ -48,14 +48,65 @@ pub enum AnalyzeError {
         report: mcp_lint::Diagnostics,
     },
     /// `--resume` was handed a ledger that does not belong to this run:
-    /// wrong format version, different netlist, different verdict-
-    /// affecting config, or a different candidate pair set. Splicing
-    /// verdicts across any of those boundaries would corrupt the report,
-    /// so the resume is refused; rerun without `--resume` instead.
+    /// wrong format version, different candidate pair set, or a
+    /// different shard identity. Splicing verdicts across any of those
+    /// boundaries would corrupt the report, so the resume is refused;
+    /// rerun without `--resume` instead. (Netlist and config drift get
+    /// the dedicated [`AnalyzeError::DigestMismatch`].)
     ResumeMismatch {
         /// What specifically failed to match.
         reason: String,
     },
+    /// The shard spec is invalid: the index must be below the count and
+    /// the count at least 1.
+    InvalidShard {
+        /// Requested 0-based shard index.
+        index: u64,
+        /// Requested shard count.
+        count: u64,
+    },
+    /// A resume or merge ledger carries a different run-identity digest
+    /// than the current invocation. Verdicts spliced across a netlist or
+    /// verdict-affecting-config boundary would be meaningless, so the
+    /// operation is refused — naming both digests so the two runs can be
+    /// told apart.
+    DigestMismatch {
+        /// Which digest disagreed.
+        what: DigestKind,
+        /// The digest recorded in the ledger header.
+        ledger: u64,
+        /// The digest of the current netlist / config.
+        current: u64,
+    },
+    /// The ledgers handed to `merge` do not form one complete,
+    /// consistent sharded run: a ledger is missing its header or from a
+    /// foreign run, a shard index is missing or duplicated, or a ledger
+    /// carries verdicts for pairs its shard does not own.
+    ShardMerge {
+        /// What specifically is unsound.
+        reason: String,
+    },
+    /// One shard ledger lacks verdicts for pairs that shard owns — the
+    /// process was killed mid-run. Resume that shard to completion
+    /// (`mcpath shard ... --resume`) and merge again.
+    ShardIncomplete {
+        /// The incomplete shard's 0-based index.
+        index: u64,
+        /// Owned pairs with no verdict in its ledger.
+        missing: usize,
+    },
+}
+
+/// Which run-identity digest disagreed in
+/// [`AnalyzeError::DigestMismatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestKind {
+    /// The netlist content hash (the ledger belongs to a different
+    /// circuit, or the circuit changed on disk).
+    Netlist,
+    /// The verdict-affecting config fingerprint
+    /// ([`McConfig::fingerprint`]).
+    Config,
 }
 
 impl fmt::Display for AnalyzeError {
@@ -84,6 +135,44 @@ impl fmt::Display for AnalyzeError {
             }
             AnalyzeError::ResumeMismatch { reason } => {
                 write!(f, "cannot resume from this ledger: {reason}")
+            }
+            AnalyzeError::InvalidShard { index, count } => {
+                write!(
+                    f,
+                    "shard index must be below the shard count (which must be ≥ 1), \
+                     got shard {index}/{count}"
+                )
+            }
+            AnalyzeError::DigestMismatch {
+                what,
+                ledger,
+                current,
+            } => {
+                let (kind, hint) = match what {
+                    DigestKind::Netlist => {
+                        ("netlist", "the ledger was written for a different circuit")
+                    }
+                    DigestKind::Config => (
+                        "config",
+                        "a verdict-affecting option — engine, cycles, sim filter/seed, \
+                         backtracks, learning, self pairs — changed",
+                    ),
+                };
+                write!(
+                    f,
+                    "{kind} mismatch: ledger digest {ledger:016x}, current {current:016x} \
+                     ({hint})"
+                )
+            }
+            AnalyzeError::ShardMerge { reason } => {
+                write!(f, "cannot merge shard ledgers: {reason}")
+            }
+            AnalyzeError::ShardIncomplete { index, missing } => {
+                write!(
+                    f,
+                    "shard {index} is incomplete: {missing} owned pair(s) have no verdict \
+                     in its ledger; resume that shard to completion before merging"
+                )
             }
         }
     }
@@ -184,6 +273,14 @@ pub(crate) fn analyze_inner(
     if cfg.sim.lane_words().is_none() {
         return Err(AnalyzeError::InvalidSimLanes { got: cfg.sim.lanes });
     }
+    if let Some(spec) = cfg.shard {
+        if !spec.is_valid() {
+            return Err(AnalyzeError::InvalidShard {
+                index: spec.index,
+                count: spec.count,
+            });
+        }
+    }
     // Step 0: admission lint. Error-level findings (combinational cycles,
     // unconnected or multi-driven DFFs, zero-width gates) void every
     // assumption the engines make about the netlist, so refuse outright.
@@ -206,154 +303,74 @@ pub(crate) fn analyze_inner(
     let mut results: Vec<PairResult> = Vec::new();
 
     // Step 1: structural candidates.
-    let mut candidates = candidate_pairs(netlist, cfg);
+    let candidates = candidate_pairs(netlist, cfg);
     stats.candidates = candidates.len();
 
     // Open the ledger with the run's identity, before any event can be
-    // appended: format version plus the digests `--resume` will check.
+    // appended: format version plus the digests `--resume` and `merge`
+    // will check. A shard journals its shard identity and the parent-run
+    // digest, but commits to the *full* candidate set — shard membership
+    // is derived, not part of the pair digest — so every sibling shard
+    // (and an unsharded run of the same config) shares these digests.
     if obs.sink().enabled() {
+        let netlist_hash = netlist.content_hash();
+        let config_fingerprint = cfg.fingerprint();
+        let digest = pair_digest(&candidates);
+        let (shard_index, shard_count) = cfg.shard.map_or((0, 0), |s| (s.index, s.count));
         obs.sink().record_header(&RunHeader {
             ledger: LEDGER_VERSION,
             circuit: netlist.name().to_owned(),
-            netlist_hash: netlist.content_hash(),
-            config_fingerprint: cfg.fingerprint(),
-            pair_digest: pair_digest(&candidates),
+            netlist_hash,
+            config_fingerprint,
+            pair_digest: digest,
             pairs: candidates.len() as u64,
+            shard_index,
+            shard_count,
+            run_digest: mcp_obs::run_digest(netlist_hash, config_fingerprint, digest),
         });
     }
 
-    // Step 1.5: static pre-classification. The forward ternary lattice
-    // (`mcp_lint::const_lattice`) evaluated at its *first* Kleene
-    // iterate — every FF output X — under-approximates every concrete
-    // state, so a node it calls definite holds that value at every time
-    // frame, from any initial state, under any stimulus. A sink FF whose
-    // D input is such a node ("frozen sink") therefore never transitions:
-    // the pair is multi-cycle for every cycle budget and backtrack limit,
-    // and the sim prefilter can never produce a violation witness for it
-    // either — which is why removing these pairs before the filter leaves
-    // the drop set over the remaining pairs untouched (the filter's RNG
-    // draws word-slot-major, independent of the pair list), keeping the
-    // canonical report byte-identical with the pass on or off. Only the
-    // first iterate is sound here: fixpoint-only constants hold *after*
-    // the widening horizon, not at frame 0, and feed the lint rules
-    // instead. Without a CONST node the lattice has no seeds, so the
-    // whole pass is skipped as a no-op.
-    let mut base_consts: Option<Vec<mcp_logic::V3>> = None;
-    let has_consts = netlist
-        .nodes()
-        .any(|(_, n)| matches!(n.kind(), mcp_netlist::NodeKind::Const(_)));
-    if cfg.static_classify && !candidates.is_empty() && has_consts {
-        let t_static = t_total.child("static");
-        let _tr_static = obs.trace_span(|| "analyze/static".to_owned());
-        let lattice = mcp_lint::const_lattice(netlist);
-        obs.metrics
-            .dataflow_consts
-            .add(lattice.num_definite_base() as u64);
-        obs.metrics.dataflow_iters.add(lattice.iterations as u64);
-        let frozen: Vec<bool> = (0..netlist.num_ffs())
-            .map(|j| lattice.base[netlist.ff_d_input(j).index()].is_definite())
+    // Steps 1.5–2: the deterministic prefilters (static
+    // pre-classification + random-pattern simulation), shared with the
+    // merge planner, which replays them to recompute shard ownership.
+    let Prefiltered {
+        mut survivors,
+        ff_toggles,
+    } = run_prefilters(netlist, cfg, obs, &mut stats, &mut results, candidates);
+
+    let t_prepare = t_total.child("prepare");
+    let tr_prepare = obs.trace_span(|| "analyze/prepare".to_owned());
+    let x = Expanded::build(netlist, cfg.frames());
+
+    // Shard filter: keep only the pairs this process owns under the
+    // deterministic sink-group partition. Ownership is computed over the
+    // *pre-resume* survivors — the prefilters are seed-deterministic, so
+    // every sibling (and a later resume of this shard) derives the same
+    // partition, while a resume-dependent partition could shift pairs
+    // between shards mid-run and lose them.
+    if let Some(spec) = cfg.shard {
+        let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
+        let owned: std::collections::BTreeSet<(usize, usize)> = assign_shards(&groups, spec.count)
+            .swap_remove(spec.index as usize)
+            .into_iter()
             .collect();
-        candidates.retain(|&(i, j)| {
-            if !frozen[j] {
-                return true;
-            }
-            results.push(PairResult {
-                src: i,
-                dst: j,
-                class: PairClass::MultiCycle {
-                    by: Step::Structural,
-                },
-            });
-            stats.multi_by_static += 1;
-            obs.metrics.static_resolved.add(1);
-            if obs.sink().enabled() {
-                // Resolved before any engine ran: no engine tag, no
-                // attributable per-pair time. `--resume` recomputes
-                // these (the pass is cheap and deterministic), exactly
-                // like sim-prefilter drops.
-                obs.sink().record(&PairEvent {
-                    src: i,
-                    dst: j,
-                    step: "structural".to_owned(),
-                    class: "multi".to_owned(),
-                    engine: None,
-                    assignments: Vec::new(),
-                    micros: 0,
-                    sim_word: None,
-                    slice_nodes: None,
-                    slice_vars: None,
-                    resumed: false,
-                    static_pass: true,
-                });
-            }
-            false
-        });
-        base_consts = Some(lattice.base);
-        stats.time_static = t_static.stop();
+        let before = survivors.len();
+        survivors.retain(|p| owned.contains(p));
+        obs.metrics.shard_pairs_owned.add(survivors.len() as u64);
+        obs.metrics
+            .shard_pairs_skipped
+            .add((before - survivors.len()) as u64);
     }
-
-    // Step 2: random-pattern simulation. For k-cycle budgets above 2 the
-    // 2-cycle witness is still a valid violation witness (a pair violating
-    // the 2-cycle condition also violates any k ≥ 2 condition? No — the
-    // k-cycle condition constrains MORE sink times, so a 2-frame witness
-    // is indeed a k-frame witness), so the filter applies unchanged.
-    let mut ff_toggles: Option<Vec<u64>> = None;
-    let mut survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
-        let t_sim = t_total.child("sim");
-        let _tr_sim = obs.trace_span(|| "analyze/sim".to_owned());
-        // The base lattice (when the pre-pass computed one) seeds the
-        // tape compiler: provably constant gates are pinned and their
-        // instructions folded away. Outcome-identical — the constants
-        // hold under every stimulus — so only kernel effort shrinks.
-        let consts = base_consts.as_deref().unwrap_or(&[]);
-        let (out, sim_stats) = mc_filter_stats_seeded(netlist, &candidates, &cfg.sim, consts);
-        stats.time_sim = t_sim.stop();
-        stats.sim_words = out.words_simulated;
-        obs.metrics.sim_words.add(out.words_simulated);
-        obs.metrics.sim_pairs_dropped.add(out.dropped() as u64);
-        obs.metrics.sim_passes.add(sim_stats.passes);
-        obs.metrics.sim_tape_ops.add(sim_stats.tape_ops);
-        for d in &out.drops {
-            results.push(PairResult {
-                src: d.src,
-                dst: d.dst,
-                class: PairClass::SingleCycle {
-                    by: Step::RandomSim,
-                },
-            });
-            stats.single_by_sim += 1;
-            if obs.sink().enabled() {
-                // Simulation kills pairs in bulk; elapsed time is not
-                // attributable per pair (reported as 0), but the word
-                // whose lane witnessed the violation is.
-                obs.sink().record(&PairEvent {
-                    src: d.src,
-                    dst: d.dst,
-                    step: "random_sim".to_owned(),
-                    class: "single".to_owned(),
-                    engine: None,
-                    assignments: Vec::new(),
-                    micros: 0,
-                    sim_word: Some(d.word),
-                    slice_nodes: None,
-                    slice_vars: None,
-                    resumed: false,
-                    static_pass: false,
-                });
-            }
-        }
-        ff_toggles = Some(out.ff_toggles);
-        out.survivors
-    } else {
-        candidates.clone()
-    };
 
     // Resume: pairs the prior run's ledger already resolved with an
     // engine verdict skip the scheduler entirely — their verdicts are
     // restored verbatim (and re-journaled with `resumed` set, so the new
     // ledger is itself complete). The sim prefilter above re-ran from
     // the same seed on the same candidates, so its drops are recomputed
-    // rather than restored; only engine work is saved.
+    // rather than restored; only engine work is saved. Restored verdicts
+    // for pairs outside the current survivor set (another shard's pairs,
+    // when a full-run ledger feeds a merge) are simply not this
+    // process's problem and stay untouched in the plan.
     let mut restored: Vec<((usize, usize), Verdict)> = Vec::new();
     if let Some(plan) = resume {
         survivors.retain(|&(i, j)| match plan.restored.get(&(i, j)) {
@@ -379,9 +396,6 @@ pub(crate) fn analyze_inner(
     // tail of the run short (a cheap group never strands behind an
     // expensive one). Verdicts are order-independent, and the report is
     // re-sorted by pair at the end, so this is pure scheduling policy.
-    let t_prepare = t_total.child("prepare");
-    let tr_prepare = obs.trace_span(|| "analyze/prepare".to_owned());
-    let x = Expanded::build(netlist, cfg.frames());
     let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
     order_hardest_first(&mut survivors, &groups);
     drop(tr_prepare);
@@ -714,6 +728,191 @@ pub(crate) fn analyze_inner(
     ))
 }
 
+/// Outcome of the deterministic prefilter stages.
+pub(crate) struct Prefiltered {
+    /// Candidate pairs no prefilter could resolve, in candidate order.
+    pub(crate) survivors: Vec<(usize, usize)>,
+    /// Per-FF toggle activity from the sim filter (`None` when the
+    /// filter was off) — the scheduler's hardness boost.
+    pub(crate) ff_toggles: Option<Vec<u64>>,
+}
+
+/// Steps 1.5–2 of the pipeline: static pre-classification followed by
+/// the random-pattern simulation prefilter. Resolved pairs land in
+/// `results`/`stats` (and the journal); the survivors come back.
+///
+/// Factored out of [`analyze_inner`] because shard ownership is defined
+/// over the prefiltered survivors: the merge planner re-runs exactly
+/// this code (on a throwaway `ObsCtx`) to recompute which pairs each
+/// shard owned, and any drift between the two paths would unsoundly
+/// shift ownership. Both stages are deterministic for a fixed netlist
+/// and fingerprint-covered config — the static pass is a pure dataflow
+/// fixpoint, and the sim filter draws from a fixed seed word-slot-major,
+/// independent of thread count.
+pub(crate) fn run_prefilters(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+    stats: &mut StepStats,
+    results: &mut Vec<PairResult>,
+    mut candidates: Vec<(usize, usize)>,
+) -> Prefiltered {
+    // Step 1.5: static pre-classification. The forward ternary lattice
+    // (`mcp_lint::const_lattice`) evaluated at its *first* Kleene
+    // iterate — every FF output X — under-approximates every concrete
+    // state, so a node it calls definite holds that value at every time
+    // frame, from any initial state, under any stimulus. A sink FF whose
+    // D input is such a node ("frozen sink") therefore never transitions:
+    // the pair is multi-cycle for every cycle budget and backtrack limit,
+    // and the sim prefilter can never produce a violation witness for it
+    // either — which is why removing these pairs before the filter leaves
+    // the drop set over the remaining pairs untouched (the filter's RNG
+    // draws word-slot-major, independent of the pair list), keeping the
+    // canonical report byte-identical with the pass on or off. Only the
+    // first iterate is sound here: fixpoint-only constants hold *after*
+    // the widening horizon, not at frame 0, and feed the lint rules
+    // instead. Without a CONST node the lattice has no seeds, so the
+    // whole pass is skipped as a no-op.
+    let mut base_consts: Option<Vec<mcp_logic::V3>> = None;
+    let has_consts = netlist
+        .nodes()
+        .any(|(_, n)| matches!(n.kind(), mcp_netlist::NodeKind::Const(_)));
+    if cfg.static_classify && !candidates.is_empty() && has_consts {
+        let t_static = obs.timers.span("analyze/static");
+        let _tr_static = obs.trace_span(|| "analyze/static".to_owned());
+        let lattice = mcp_lint::const_lattice(netlist);
+        obs.metrics
+            .dataflow_consts
+            .add(lattice.num_definite_base() as u64);
+        obs.metrics.dataflow_iters.add(lattice.iterations as u64);
+        let frozen: Vec<bool> = (0..netlist.num_ffs())
+            .map(|j| lattice.base[netlist.ff_d_input(j).index()].is_definite())
+            .collect();
+        candidates.retain(|&(i, j)| {
+            if !frozen[j] {
+                return true;
+            }
+            results.push(PairResult {
+                src: i,
+                dst: j,
+                class: PairClass::MultiCycle {
+                    by: Step::Structural,
+                },
+            });
+            stats.multi_by_static += 1;
+            obs.metrics.static_resolved.add(1);
+            if obs.sink().enabled() {
+                // Resolved before any engine ran: no engine tag, no
+                // attributable per-pair time. `--resume` recomputes
+                // these (the pass is cheap and deterministic), exactly
+                // like sim-prefilter drops.
+                obs.sink().record(&PairEvent {
+                    src: i,
+                    dst: j,
+                    step: "structural".to_owned(),
+                    class: "multi".to_owned(),
+                    engine: None,
+                    assignments: Vec::new(),
+                    micros: 0,
+                    sim_word: None,
+                    slice_nodes: None,
+                    slice_vars: None,
+                    resumed: false,
+                    static_pass: true,
+                });
+            }
+            false
+        });
+        base_consts = Some(lattice.base);
+        stats.time_static = t_static.stop();
+    }
+
+    // Step 2: random-pattern simulation. For k-cycle budgets above 2 the
+    // 2-cycle witness is still a valid violation witness (a pair violating
+    // the 2-cycle condition also violates any k ≥ 2 condition? No — the
+    // k-cycle condition constrains MORE sink times, so a 2-frame witness
+    // is indeed a k-frame witness), so the filter applies unchanged.
+    let mut ff_toggles: Option<Vec<u64>> = None;
+    let survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
+        let t_sim = obs.timers.span("analyze/sim");
+        let _tr_sim = obs.trace_span(|| "analyze/sim".to_owned());
+        // The base lattice (when the pre-pass computed one) seeds the
+        // tape compiler: provably constant gates are pinned and their
+        // instructions folded away. Outcome-identical — the constants
+        // hold under every stimulus — so only kernel effort shrinks.
+        let consts = base_consts.as_deref().unwrap_or(&[]);
+        let (out, sim_stats) = mc_filter_stats_seeded(netlist, &candidates, &cfg.sim, consts);
+        stats.time_sim = t_sim.stop();
+        stats.sim_words = out.words_simulated;
+        obs.metrics.sim_words.add(out.words_simulated);
+        obs.metrics.sim_pairs_dropped.add(out.dropped() as u64);
+        obs.metrics.sim_passes.add(sim_stats.passes);
+        obs.metrics.sim_tape_ops.add(sim_stats.tape_ops);
+        for d in &out.drops {
+            results.push(PairResult {
+                src: d.src,
+                dst: d.dst,
+                class: PairClass::SingleCycle {
+                    by: Step::RandomSim,
+                },
+            });
+            stats.single_by_sim += 1;
+            if obs.sink().enabled() {
+                // Simulation kills pairs in bulk; elapsed time is not
+                // attributable per pair (reported as 0), but the word
+                // whose lane witnessed the violation is.
+                obs.sink().record(&PairEvent {
+                    src: d.src,
+                    dst: d.dst,
+                    step: "random_sim".to_owned(),
+                    class: "single".to_owned(),
+                    engine: None,
+                    assignments: Vec::new(),
+                    micros: 0,
+                    sim_word: Some(d.word),
+                    slice_nodes: None,
+                    slice_vars: None,
+                    resumed: false,
+                    static_pass: false,
+                });
+            }
+        }
+        ff_toggles = Some(out.ff_toggles);
+        out.survivors
+    } else {
+        candidates
+    };
+    Prefiltered {
+        survivors,
+        ff_toggles,
+    }
+}
+
+/// Partitions the sink groups over `count` shards and returns each
+/// shard's pair set (`count` entries, possibly empty).
+///
+/// Greedy LPT (longest-processing-time) over the groups in their
+/// deterministic hardest-first order: each group goes, whole, to the
+/// currently least-loaded shard (ties to the lowest shard index). Keeping
+/// groups whole preserves the one-slice-per-sink-group economics inside
+/// every shard; LPT keeps the load split within 4/3 of optimal for the
+/// heavy-tailed group costs. The input order, the costs and the tie
+/// break are all deterministic, so every process — shards, resumes, the
+/// merge planner — derives the identical partition.
+pub(crate) fn assign_shards(groups: &[SinkGroup], count: u64) -> Vec<Vec<(usize, usize)>> {
+    let count = count.max(1) as usize;
+    let mut shards: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
+    let mut load = vec![0u64; count];
+    for g in groups {
+        let lightest = (0..count).min_by_key(|&s| (load[s], s)).unwrap_or(0);
+        // Every group costs at least its slice walk even when the cost
+        // hint degenerates to 0, so bare group count still balances.
+        load[lightest] += g.cost.max(1);
+        shards[lightest].extend(g.sources.iter().map(|&i| (i, g.sink)));
+    }
+    shards
+}
+
 /// Journal name of a resolving [`Step`].
 pub(crate) fn step_name(step: Step) -> &'static str {
     match step {
@@ -775,7 +974,7 @@ fn new_engine_with_learned<'a>(x: &'a Expanded, learned: &'a LearnedImplications
 /// dominates the slice, and every source of the sink already lies inside
 /// it (the pair is topologically connected), so one slice — and the
 /// engine state built on it — serves the whole group.
-struct SinkGroup {
+pub(crate) struct SinkGroup {
     /// Sink FF index (the `j` of every pair in the group).
     sink: usize,
     /// Source FF indices, ascending — the in-group classification order.
@@ -823,7 +1022,7 @@ fn group_roots(x: &Expanded, group: &SinkGroup, cycles: u32) -> Vec<XId> {
 ///
 /// Ties break on the sink index, keeping the group order (and thus the
 /// static-chunk partition) fully deterministic.
-fn plan_sink_groups(
+pub(crate) fn plan_sink_groups(
     x: &Expanded,
     survivors: &[(usize, usize)],
     ff_toggles: Option<&[u64]>,

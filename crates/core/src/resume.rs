@@ -15,7 +15,7 @@
 //! [`McReport::canonical`].
 
 use crate::config::McConfig;
-use crate::pipeline::{analyze_inner, candidate_pairs, pair_digest, AnalyzeError};
+use crate::pipeline::{analyze_inner, candidate_pairs, pair_digest, AnalyzeError, DigestKind};
 use crate::report::McReport;
 use mcp_netlist::Netlist;
 use mcp_obs::{Ledger, ObsCtx, PairEvent, LEDGER_VERSION};
@@ -44,10 +44,11 @@ impl ResumePlan {
 ///
 /// # Errors
 ///
-/// [`AnalyzeError::ResumeMismatch`] when the ledger has no v2 header,
-/// a different format version, a different netlist content hash, a
-/// different verdict-affecting config fingerprint, or a different
-/// candidate pair set (digest or count).
+/// [`AnalyzeError::DigestMismatch`] when the netlist content hash or the
+/// verdict-affecting config fingerprint disagrees (naming both digests);
+/// [`AnalyzeError::ResumeMismatch`] when the ledger has no v2 header, a
+/// different format version, a different candidate pair set (digest or
+/// count), or a different shard identity than the current invocation.
 pub fn plan_resume(
     netlist: &Netlist,
     cfg: &McConfig,
@@ -68,21 +69,40 @@ pub fn plan_resume(
     }
     let netlist_hash = netlist.content_hash();
     if header.netlist_hash != netlist_hash {
-        return Err(mismatch(format!(
-            "netlist mismatch: ledger was written for '{}' (content hash {:016x}), \
-             current netlist is '{}' ({netlist_hash:016x})",
-            header.circuit,
-            header.netlist_hash,
-            netlist.name()
-        )));
+        return Err(AnalyzeError::DigestMismatch {
+            what: DigestKind::Netlist,
+            ledger: header.netlist_hash,
+            current: netlist_hash,
+        });
     }
     let fingerprint = cfg.fingerprint();
     if header.config_fingerprint != fingerprint {
+        return Err(AnalyzeError::DigestMismatch {
+            what: DigestKind::Config,
+            ledger: header.config_fingerprint,
+            current: fingerprint,
+        });
+    }
+    // Shard identity must match exactly: a shard's ledger only covers
+    // that shard's owned pairs, so splicing it into an unsharded run (or
+    // a different shard) would silently leave — or duplicate — work.
+    // `merge` is the one consumer allowed to cross this boundary, and it
+    // builds its own plan. Pre-shard ledgers carry the unsharded (0, 0)
+    // identity via serde defaults and keep resuming unsharded runs.
+    let (want_index, want_count) = cfg.shard.map_or((0, 0), |s| (s.index, s.count));
+    if (header.shard_index, header.shard_count) != (want_index, want_count) {
+        let describe = |index: u64, count: u64| {
+            if count == 0 {
+                "unsharded".to_owned()
+            } else {
+                format!("shard {index}/{count}")
+            }
+        };
         return Err(mismatch(format!(
-            "config mismatch: ledger fingerprint {:016x}, current {fingerprint:016x} \
-             (a verdict-affecting option — engine, cycles, sim filter/seed, backtracks, \
-             learning, self pairs — changed)",
-            header.config_fingerprint
+            "shard mismatch: ledger is {}, this run is {} \
+             (use `mcpath merge` to combine shard ledgers)",
+            describe(header.shard_index, header.shard_count),
+            describe(want_index, want_count),
         )));
     }
     let candidates = candidate_pairs(netlist, cfg);
@@ -236,16 +256,47 @@ mod tests {
         let err = plan_resume(&nl, &cfg, &wrong_version).unwrap_err();
         assert!(err.to_string().contains("format"), "{err}");
 
-        // Different circuit.
+        // Different circuit: the dedicated variant names both digests.
         let other = circuits::fig4_fragment();
         let err = plan_resume(&other, &cfg, &ledger).unwrap_err();
+        assert_eq!(
+            err,
+            AnalyzeError::DigestMismatch {
+                what: DigestKind::Netlist,
+                ledger: nl.content_hash(),
+                current: other.content_hash(),
+            }
+        );
         assert!(err.to_string().contains("netlist mismatch"), "{err}");
+        assert!(
+            err.to_string()
+                .contains(&format!("{:016x}", nl.content_hash())),
+            "error must name the ledger digest: {err}"
+        );
+        assert!(
+            err.to_string()
+                .contains(&format!("{:016x}", other.content_hash())),
+            "error must name the current digest: {err}"
+        );
 
-        // Verdict-affecting config change.
+        // Verdict-affecting config change: same story for fingerprints.
         let mut recfg = cfg.clone();
         recfg.cycles = 3;
         let err = plan_resume(&nl, &recfg, &ledger).unwrap_err();
+        assert_eq!(
+            err,
+            AnalyzeError::DigestMismatch {
+                what: DigestKind::Config,
+                ledger: cfg.fingerprint(),
+                current: recfg.fingerprint(),
+            }
+        );
         assert!(err.to_string().contains("config mismatch"), "{err}");
+        assert!(
+            err.to_string()
+                .contains(&format!("{:016x}", recfg.fingerprint())),
+            "error must name the current fingerprint: {err}"
+        );
 
         // Verdict-neutral config change still resumes.
         let mut neutral = cfg.clone();
@@ -253,6 +304,35 @@ mod tests {
         neutral.slice = !neutral.slice;
         neutral.static_classify = !neutral.static_classify;
         assert!(plan_resume(&nl, &neutral, &ledger).is_ok());
+    }
+
+    #[test]
+    fn plan_resume_rejects_shard_identity_drift() {
+        use crate::config::ShardSpec;
+        let nl = circuits::fig1();
+        let cfg = McConfig::default();
+        let (_, ledger) = run_with_ledger(&nl, &cfg);
+
+        // An unsharded ledger cannot resume a shard run...
+        let mut sharded = cfg.clone();
+        sharded.shard = Some(ShardSpec { index: 0, count: 2 });
+        let err = plan_resume(&nl, &sharded, &ledger).unwrap_err();
+        assert!(err.to_string().contains("shard mismatch"), "{err}");
+
+        // ...nor a shard ledger an unsharded (or differently-sharded) run.
+        let (_, shard_ledger) = run_with_ledger(&nl, &sharded);
+        let h = shard_ledger.header.as_ref().expect("header");
+        assert_eq!((h.shard_index, h.shard_count), (0, 2));
+        assert_eq!(h.run_digest, h.expected_run_digest());
+        let err = plan_resume(&nl, &cfg, &shard_ledger).unwrap_err();
+        assert!(err.to_string().contains("shard mismatch"), "{err}");
+        let mut other_shard = cfg.clone();
+        other_shard.shard = Some(ShardSpec { index: 1, count: 2 });
+        let err = plan_resume(&nl, &other_shard, &shard_ledger).unwrap_err();
+        assert!(err.to_string().contains("shard mismatch"), "{err}");
+
+        // The matching shard spec resumes fine.
+        assert!(plan_resume(&nl, &sharded, &shard_ledger).is_ok());
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! Sharded multi-process verification: the deterministic pair
+//! partition and the crash-safe ledger merge.
+//!
+//! The pair set is embarrassingly distributable — every verdict is
+//! per-pair deterministic — so a run can be split over N independent
+//! OS processes, each journaling its own ledger-v2 file, and merged
+//! back into *the* canonical report. Three properties make the merge
+//! sound, all pinned by the test suite:
+//!
+//! - **Deterministic ownership.** [`plan_shards`] partitions the
+//!   prefiltered survivors sink-group-whole via greedy LPT over the
+//!   deterministic hardest-first group order. Every process — each
+//!   shard, a resume of a killed shard, and the merge planner — derives
+//!   the identical partition from the netlist and config alone, so
+//!   ownership never depends on which shards happen to have run.
+//! - **Digest-checked identity.** Every shard header carries the
+//!   netlist/config/pair-set digests plus its shard coordinates and the
+//!   parent [run digest](mcp_obs::run_digest). [`merge_shards`] refuses
+//!   missing, duplicate, foreign, or incomplete shards with typed
+//!   [`AnalyzeError`]s instead of producing a silently short report.
+//! - **Merge is resume-from-union.** The union of the shards' engine
+//!   verdicts forms one [`ResumePlan`]; the ordinary pipeline then
+//!   re-runs the deterministic prefilters, restores every surviving
+//!   pair's verdict, and the engines no-op. The merged canonical report
+//!   is byte-identical to a single-process `--threads 1` run because it
+//!   *is* that run, with the engine work pre-supplied.
+
+use crate::config::McConfig;
+use crate::pipeline::{
+    analyze_inner, assign_shards, candidate_pairs, pair_digest, plan_sink_groups, run_prefilters,
+    AnalyzeError, DigestKind, Prefiltered,
+};
+use crate::report::{McReport, StepStats};
+use crate::resume::ResumePlan;
+use mcp_netlist::{Expanded, Netlist};
+use mcp_obs::{Ledger, ObsCtx, PairEvent, LEDGER_VERSION};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The deterministic shard partition of one run: shard `s` owns exactly
+/// the pairs of `owned(s)`, and the sets are disjoint and cover every
+/// prefiltered survivor.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    owned: Vec<BTreeSet<(usize, usize)>>,
+}
+
+impl ShardPlan {
+    /// Number of shards in the partition.
+    pub fn count(&self) -> u64 {
+        self.owned.len() as u64
+    }
+
+    /// The pair set shard `index` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= count()`.
+    pub fn owned(&self, index: u64) -> &BTreeSet<(usize, usize)> {
+        &self.owned[index as usize]
+    }
+
+    /// Owned-pair count per shard — the balance the bench harness
+    /// reports.
+    pub fn pairs_per_shard(&self) -> Vec<usize> {
+        self.owned.iter().map(|s| s.len()).collect()
+    }
+
+    /// Total pairs across all shards (the prefiltered survivor count).
+    pub fn total_pairs(&self) -> usize {
+        self.owned.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Computes the partition a sharded run of `cfg` over `count` shards
+/// uses, by replaying the deterministic prefilters (static
+/// pre-classification + seeded random simulation) and the sink-group
+/// LPT assignment — exactly the code path `analyze` takes, so the two
+/// can never drift.
+///
+/// `cfg.shard` is ignored: the partition is a property of the whole
+/// run, not of any one shard.
+///
+/// # Errors
+///
+/// [`AnalyzeError::InvalidShard`] when `count` is 0.
+pub fn plan_shards(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    count: u64,
+) -> Result<ShardPlan, AnalyzeError> {
+    if count == 0 {
+        return Err(AnalyzeError::InvalidShard { index: 0, count });
+    }
+    // Throwaway context: planning must not journal, count, or trace —
+    // the real run (or merge) does that itself.
+    let obs = ObsCtx::new();
+    let mut stats = StepStats::default();
+    let mut results = Vec::new();
+    let candidates = candidate_pairs(netlist, cfg);
+    let Prefiltered {
+        survivors,
+        ff_toggles,
+    } = run_prefilters(netlist, cfg, &obs, &mut stats, &mut results, candidates);
+    let x = Expanded::build(netlist, cfg.frames());
+    let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
+    let owned = assign_shards(&groups, count)
+        .into_iter()
+        .map(|pairs| pairs.into_iter().collect())
+        .collect();
+    Ok(ShardPlan { owned })
+}
+
+/// [`merge_shards_with`] on a fresh (silent) observability context.
+///
+/// # Errors
+///
+/// See [`merge_shards_with`].
+pub fn merge_shards(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    ledgers: &[Ledger],
+) -> Result<McReport, AnalyzeError> {
+    merge_shards_with(netlist, cfg, &ObsCtx::new(), ledgers)
+}
+
+/// Merges the per-shard ledgers of one sharded run into the canonical
+/// report — byte-identical (after [`McReport::canonical`]) to a
+/// single-process run of the same netlist and config.
+///
+/// Soundness gate, in order: every ledger must carry a v2 header whose
+/// netlist/config/pair digests match the current invocation and whose
+/// recorded run digest is self-consistent; the shard counts must agree
+/// and the indices form exactly `{0, …, count-1}` (no shard missing,
+/// duplicated, or out of range); every engine verdict must lie inside
+/// its shard's recomputed ownership set; and every owned pair must have
+/// a verdict. Only then are the verdicts unioned and replayed through
+/// the ordinary pipeline.
+///
+/// Ownership is recomputed under *this* invocation's config, so merge
+/// with the same flags the shards ran with (the verdict-affecting ones
+/// are digest-enforced; of the neutral ones only `--no-static-classify`
+/// moves pairs across the prefilter boundary, and a mismatch there
+/// surfaces as a foreign-verdict or incomplete-shard refusal, never as
+/// a wrong report).
+///
+/// # Errors
+///
+/// [`AnalyzeError::ShardMerge`] for structural unsoundness,
+/// [`AnalyzeError::DigestMismatch`] for netlist/config drift,
+/// [`AnalyzeError::ShardIncomplete`] for a shard killed before
+/// finishing (resume it, then merge again), plus everything
+/// [`analyze`](crate::analyze) can return.
+pub fn merge_shards_with(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+    ledgers: &[Ledger],
+) -> Result<McReport, AnalyzeError> {
+    let merge_err = |reason: String| AnalyzeError::ShardMerge { reason };
+    if ledgers.is_empty() {
+        return Err(merge_err("no shard ledgers given".to_owned()));
+    }
+
+    let netlist_hash = netlist.content_hash();
+    let fingerprint = cfg.fingerprint();
+    let candidates = candidate_pairs(netlist, cfg);
+    let digest = pair_digest(&candidates);
+    let candidate_set: BTreeSet<(usize, usize)> = candidates.iter().copied().collect();
+
+    let mut count = 0u64;
+    let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+    for (k, ledger) in ledgers.iter().enumerate() {
+        let header = ledger
+            .header
+            .as_ref()
+            .ok_or_else(|| merge_err(format!("ledger #{k} has no run header")))?;
+        if header.ledger != LEDGER_VERSION {
+            return Err(merge_err(format!(
+                "ledger #{k} has format v{} (this build reads v{LEDGER_VERSION})",
+                header.ledger
+            )));
+        }
+        if header.netlist_hash != netlist_hash {
+            return Err(AnalyzeError::DigestMismatch {
+                what: DigestKind::Netlist,
+                ledger: header.netlist_hash,
+                current: netlist_hash,
+            });
+        }
+        if header.config_fingerprint != fingerprint {
+            return Err(AnalyzeError::DigestMismatch {
+                what: DigestKind::Config,
+                ledger: header.config_fingerprint,
+                current: fingerprint,
+            });
+        }
+        if header.pair_digest != digest || header.pairs != candidates.len() as u64 {
+            return Err(merge_err(format!(
+                "ledger #{k} committed to a different candidate pair set \
+                 ({} pairs, digest {:016x}; this run has {}, digest {digest:016x})",
+                header.pairs,
+                header.pair_digest,
+                candidates.len()
+            )));
+        }
+        if header.run_digest != header.expected_run_digest() {
+            return Err(merge_err(format!(
+                "ledger #{k} records run digest {:016x} but its identity fields imply \
+                 {:016x} — a foreign or doctored journal",
+                header.run_digest,
+                header.expected_run_digest()
+            )));
+        }
+        if header.shard_count == 0 {
+            return Err(merge_err(format!(
+                "ledger #{k} is not a shard ledger (it was written by an unsharded run, \
+                 which already is the full report)"
+            )));
+        }
+        if count == 0 {
+            count = header.shard_count;
+        } else if header.shard_count != count {
+            return Err(merge_err(format!(
+                "shard count disagreement: ledger #{k} says {} shards, earlier ledgers \
+                 say {count}",
+                header.shard_count
+            )));
+        }
+        if header.shard_index >= header.shard_count {
+            return Err(merge_err(format!(
+                "ledger #{k} claims shard {}/{}, which is out of range",
+                header.shard_index, header.shard_count
+            )));
+        }
+        if let Some(prev) = seen.insert(header.shard_index, k) {
+            return Err(merge_err(format!(
+                "duplicate shard {}/{count} (ledgers #{prev} and #{k})",
+                header.shard_index
+            )));
+        }
+    }
+    if seen.len() as u64 != count {
+        let missing: Vec<String> = (0..count)
+            .filter(|i| !seen.contains_key(i))
+            .map(|i| i.to_string())
+            .collect();
+        return Err(merge_err(format!(
+            "missing shard(s) {} of {count}",
+            missing.join(", ")
+        )));
+    }
+
+    // Recompute the ownership partition the shards derived, and index
+    // it pair → owning shard for the foreign-verdict check.
+    let plan = plan_shards(netlist, cfg, count)?;
+    let owner_of: BTreeMap<(usize, usize), u64> = (0..count)
+        .flat_map(|s| plan.owned(s).iter().map(move |&p| (p, s)))
+        .collect();
+
+    // Union the engine verdicts shard by shard, enforcing ownership and
+    // completeness. Prefilter events (engine `None`) are recomputed by
+    // the replay below, exactly as on resume; engine verdicts for pairs
+    // no shard owns are pairs this invocation's prefilters resolve
+    // (e.g. the shards ran with `--no-static-classify`) — equally
+    // recomputed, so they are skipped rather than restored.
+    let mut restored: BTreeMap<(usize, usize), PairEvent> = BTreeMap::new();
+    for (&index, &k) in &seen {
+        let owned = plan.owned(index);
+        let mut verdicts: BTreeMap<(usize, usize), &PairEvent> = BTreeMap::new();
+        for event in &ledgers[k].events {
+            if event.engine.is_none() {
+                continue;
+            }
+            let pair = (event.src, event.dst);
+            if !candidate_set.contains(&pair) {
+                return Err(merge_err(format!(
+                    "shard {index} carries a verdict for pair ({}, {}) outside the \
+                     candidate set",
+                    event.src, event.dst
+                )));
+            }
+            match owner_of.get(&pair) {
+                Some(&owner) if owner == index => {
+                    // Last write wins, as on resume: duplicates only
+                    // arise from a shard that was itself resumed, where
+                    // replayed and original verdicts are identical.
+                    verdicts.insert(pair, event);
+                }
+                Some(&owner) => {
+                    return Err(merge_err(format!(
+                        "shard {index} carries a verdict for pair ({}, {}), which is \
+                         owned by shard {owner} — ledgers from different partitions \
+                         cannot be merged",
+                        event.src, event.dst
+                    )));
+                }
+                None => {} // prefilter-resolved under this config
+            }
+        }
+        let missing = owned.iter().filter(|p| !verdicts.contains_key(p)).count();
+        if missing > 0 {
+            return Err(AnalyzeError::ShardIncomplete { index, missing });
+        }
+        for (pair, event) in verdicts {
+            restored.insert(pair, event.clone());
+        }
+    }
+
+    // Replay through the ordinary pipeline as a resume-from-union: the
+    // prefilters re-run deterministically, every surviving pair's
+    // verdict restores, and the engines see an empty work list.
+    let mut unsharded = cfg.clone();
+    unsharded.shard = None;
+    let plan = ResumePlan { restored };
+    analyze_inner(netlist, &unsharded, obs, Some(&plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShardSpec;
+    use crate::pipeline::analyze_with;
+    use mcp_gen::{circuits, suite};
+    use mcp_obs::MemSink;
+    use std::sync::Arc;
+
+    fn capture(nl: &Netlist, cfg: &McConfig) -> (McReport, Ledger) {
+        let sink = Arc::new(MemSink::new());
+        let obs = ObsCtx::new().with_sink(Box::new(Arc::clone(&sink)));
+        let report = analyze_with(nl, cfg, &obs).expect("analyze");
+        let ledger = Ledger {
+            header: sink.take_header(),
+            spans: sink.drain_spans(),
+            events: sink.drain(),
+        };
+        (report, ledger)
+    }
+
+    fn shard_ledgers(nl: &Netlist, cfg: &McConfig, count: u64) -> Vec<Ledger> {
+        (0..count)
+            .map(|index| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.shard = Some(ShardSpec { index, count });
+                capture(nl, &shard_cfg).1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_is_disjoint_complete_and_deterministic() {
+        let nl = suite::quick_suite().remove(1);
+        let cfg = McConfig::default();
+        for count in [1u64, 2, 4, 7] {
+            let plan = plan_shards(&nl, &cfg, count).expect("plan");
+            assert_eq!(plan.count(), count);
+            let again = plan_shards(&nl, &cfg, count).expect("plan again");
+            for s in 0..count {
+                assert_eq!(plan.owned(s), again.owned(s), "partition must be stable");
+            }
+            // Disjoint and covering: the union has no duplicates and
+            // matches the total.
+            let mut all: Vec<(usize, usize)> = (0..count)
+                .flat_map(|s| plan.owned(s).iter().copied())
+                .collect();
+            let total = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), total, "shards must be disjoint");
+            assert_eq!(plan.total_pairs(), total);
+        }
+        // Different counts really partition differently (not all-in-one).
+        let plan = plan_shards(&nl, &cfg, 4).expect("plan");
+        if plan.total_pairs() >= 4 {
+            assert!(
+                (0..4).filter(|&s| !plan.owned(s).is_empty()).count() > 1,
+                "LPT must spread non-trivial work over shards"
+            );
+        }
+        assert!(plan_shards(&nl, &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn merging_shards_reproduces_the_single_process_report() {
+        let nl = suite::quick_suite().remove(1);
+        let cfg = McConfig::default();
+        let (baseline, _) = capture(&nl, &cfg);
+        let canonical = serde_json::to_string(&baseline.canonical()).expect("serialize");
+        for count in [1u64, 2, 4, 7] {
+            let ledgers = shard_ledgers(&nl, &cfg, count);
+            // Every shard header carries its coordinates and run digest.
+            for (i, l) in ledgers.iter().enumerate() {
+                let h = l.header.as_ref().expect("header");
+                assert_eq!((h.shard_index, h.shard_count), (i as u64, count));
+                assert_eq!(h.run_digest, h.expected_run_digest());
+            }
+            let merged = merge_shards(&nl, &cfg, &ledgers).expect("merge");
+            assert_eq!(
+                serde_json::to_string(&merged.canonical()).expect("serialize"),
+                canonical,
+                "{count}-shard merge must be byte-identical to one process"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_refuses_missing_duplicate_and_foreign_shards() {
+        let nl = circuits::fig1();
+        let cfg = McConfig::default();
+        let ledgers = shard_ledgers(&nl, &cfg, 2);
+
+        let err = merge_shards(&nl, &cfg, &[]).unwrap_err();
+        assert!(matches!(err, AnalyzeError::ShardMerge { .. }), "{err}");
+
+        let err = merge_shards(&nl, &cfg, &ledgers[..1]).unwrap_err();
+        assert!(err.to_string().contains("missing shard"), "{err}");
+
+        let dup = vec![ledgers[0].clone(), ledgers[0].clone()];
+        let err = merge_shards(&nl, &cfg, &dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate shard"), "{err}");
+
+        // An unsharded ledger is not mergeable.
+        let (_, unsharded) = capture(&nl, &cfg);
+        let err = merge_shards(&nl, &cfg, &[unsharded]).unwrap_err();
+        assert!(err.to_string().contains("not a shard ledger"), "{err}");
+
+        // A doctored run digest is caught even when everything else fits.
+        let mut doctored = ledgers.clone();
+        doctored[1].header.as_mut().unwrap().run_digest ^= 1;
+        let err = merge_shards(&nl, &cfg, &doctored).unwrap_err();
+        assert!(err.to_string().contains("run digest"), "{err}");
+
+        // A different circuit's shards refuse with the typed digest error.
+        let other = circuits::fig4_fragment();
+        let err = merge_shards(&other, &cfg, &ledgers).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AnalyzeError::DigestMismatch {
+                    what: DigestKind::Netlist,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // A config change likewise.
+        let mut recfg = cfg.clone();
+        recfg.cycles = 3;
+        let err = merge_shards(&nl, &recfg, &ledgers).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AnalyzeError::DigestMismatch {
+                    what: DigestKind::Config,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn merge_refuses_an_incomplete_shard_and_accepts_its_resumed_ledger() {
+        let nl = suite::quick_suite().remove(1);
+        let cfg = McConfig::default();
+        let mut ledgers = shard_ledgers(&nl, &cfg, 2);
+
+        // Kill shard 1 retroactively: drop its last engine verdict.
+        let full = ledgers[1].clone();
+        let last_engine = ledgers[1]
+            .events
+            .iter()
+            .rposition(|e| e.engine.is_some())
+            .expect("shard 1 has engine verdicts");
+        ledgers[1].events.truncate(last_engine);
+        let err = merge_shards(&nl, &cfg, &ledgers).unwrap_err();
+        match err {
+            AnalyzeError::ShardIncomplete { index, missing } => {
+                assert_eq!(index, 1);
+                assert!(missing >= 1);
+            }
+            other => panic!("expected ShardIncomplete, got {other}"),
+        }
+
+        // Resume the killed shard from its truncated ledger, then merge.
+        let truncated = ledgers[1].clone();
+        let mut shard_cfg = cfg.clone();
+        shard_cfg.shard = Some(ShardSpec { index: 1, count: 2 });
+        let sink = Arc::new(MemSink::new());
+        let obs = ObsCtx::new().with_sink(Box::new(Arc::clone(&sink)));
+        crate::resume::analyze_resume_with(&nl, &shard_cfg, &obs, &truncated).expect("resume");
+        ledgers[1] = Ledger {
+            header: sink.take_header(),
+            spans: sink.drain_spans(),
+            events: sink.drain(),
+        };
+        let merged = merge_shards(&nl, &cfg, &ledgers).expect("merge after resume");
+
+        // Identical to the merge of the never-killed ledgers.
+        ledgers[1] = full;
+        let clean = merge_shards(&nl, &cfg, &ledgers).expect("clean merge");
+        assert_eq!(
+            serde_json::to_string(&merged.canonical()).unwrap(),
+            serde_json::to_string(&clean.canonical()).unwrap()
+        );
+    }
+}

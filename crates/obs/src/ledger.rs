@@ -19,10 +19,24 @@ use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Current ledger format version, written into [`RunHeader::ledger`].
 pub const LEDGER_VERSION: u64 = 2;
+
+/// Process exit status of the deterministic fault-injection hook: a
+/// sink whose [`FailAfter`] budget is exhausted terminates the process
+/// with this code, so kill/resume tests can tell an injected crash from
+/// an ordinary failure.
+pub const FAULT_EXIT_CODE: i32 = 86;
+
+/// Environment variable read by [`FileSink::create`]: when set to an
+/// integer `k`, the sink aborts the process (exit [`FAULT_EXIT_CODE`])
+/// on the `k+1`-th journal write, after exactly `k` lines have become
+/// durable. This is the test tier's stand-in for a SIGKILL landing at a
+/// deterministic point in the run.
+pub const FAIL_AFTER_ENV: &str = "MCPATH_FAIL_AFTER_EVENTS";
 
 /// 64-bit FNV-1a over a byte string — the repo-wide content hash for
 /// ledger digests. Chosen for being dependency-free and stable across
@@ -34,6 +48,19 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Digest identifying a run's full configuration identity: FNV-1a over
+/// the little-endian bytes of the netlist hash, the config fingerprint,
+/// and the candidate-pair-set digest, in that order. Every shard of one
+/// logical run shares this value, so `merge` can reject a ledger that
+/// belongs to a different run even when shard indices happen to line up.
+pub fn run_digest(netlist_hash: u64, config_fingerprint: u64, pair_digest: u64) -> u64 {
+    let mut bytes = [0u8; 24];
+    bytes[..8].copy_from_slice(&netlist_hash.to_le_bytes());
+    bytes[8..16].copy_from_slice(&config_fingerprint.to_le_bytes());
+    bytes[16..].copy_from_slice(&pair_digest.to_le_bytes());
+    fnv1a(&bytes)
 }
 
 /// First line of a v2+ ledger: identifies the run so `--resume` can
@@ -52,9 +79,34 @@ pub struct RunHeader {
     /// Fingerprint of the verdict-affecting `McConfig` fields.
     pub config_fingerprint: u64,
     /// Digest of the ordered candidate pair set the run committed to.
+    /// Shard ledgers commit to the **full** candidate set — shard
+    /// identity lives in the dedicated fields below — so any shard of a
+    /// run is digest-compatible with its siblings and with an unsharded
+    /// run of the same config.
     pub pair_digest: u64,
     /// Number of candidate pairs in that set.
     pub pairs: u64,
+    /// 0-based shard index, or 0 for an unsharded run. Pre-shard ledgers
+    /// deserialize to the unsharded `(0, 0)` identity.
+    #[serde(default)]
+    pub shard_index: u64,
+    /// Total shard count, or 0 for an unsharded run.
+    #[serde(default)]
+    pub shard_count: u64,
+    /// Parent-run digest (see [`run_digest`]): identical across every
+    /// shard of one logical run. 0 in pre-shard ledgers.
+    #[serde(default)]
+    pub run_digest: u64,
+}
+
+impl RunHeader {
+    /// The run digest this header's identity fields imply. `merge`
+    /// recomputes it per shard and refuses ledgers whose recorded
+    /// [`RunHeader::run_digest`] disagrees (a foreign or doctored
+    /// journal).
+    pub fn expected_run_digest(&self) -> u64 {
+        run_digest(self.netlist_hash, self.config_fingerprint, self.pair_digest)
+    }
 }
 
 /// One timestamped span: a node of the run's span tree, written to the
@@ -203,6 +255,56 @@ impl ObsSink for NullSink {
     }
 }
 
+/// Deterministic fault-injection budget: admits exactly `limit` journal
+/// writes, then refuses every further one.
+///
+/// The counter is checked *before* the write, so a sink honoring the
+/// budget leaves exactly `limit` durable lines behind and dies on the
+/// `limit+1`-th attempt — the deterministic stand-in for a SIGKILL that
+/// kill/resume tests need (a real signal lands at a scheduler-dependent
+/// line). The budget itself only counts; the caller decides what
+/// refusal means ([`FileSink`] exits with [`FAULT_EXIT_CODE`]).
+#[derive(Debug)]
+pub struct FailAfter {
+    limit: u64,
+    count: AtomicU64,
+}
+
+impl FailAfter {
+    /// A budget admitting exactly `limit` writes.
+    pub fn new(limit: u64) -> Self {
+        FailAfter {
+            limit,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads the budget from [`FAIL_AFTER_ENV`], or `None` when the
+    /// variable is unset or not an integer (a typo disables the hook
+    /// rather than silently killing a production run at line 0).
+    pub fn from_env() -> Option<Self> {
+        Self::from_value(&std::env::var(FAIL_AFTER_ENV).ok()?)
+    }
+
+    /// Parses a budget from the env-var text (testable core of
+    /// [`from_env`](Self::from_env)).
+    pub fn from_value(value: &str) -> Option<Self> {
+        value.trim().parse().ok().map(Self::new)
+    }
+
+    /// Claims one write slot. Returns `true` while the budget lasts;
+    /// the first `limit` calls — under any thread interleaving — get
+    /// `true`, every later call gets `false`.
+    pub fn admit(&self) -> bool {
+        self.count.fetch_add(1, Ordering::SeqCst) < self.limit
+    }
+
+    /// Writes admitted so far (saturating at the limit).
+    pub fn admitted(&self) -> u64 {
+        self.count.load(Ordering::SeqCst).min(self.limit)
+    }
+}
+
 /// NDJSON ledger file sink: one JSON object per line.
 ///
 /// Every record is flushed to the OS as soon as it is written — the
@@ -210,20 +312,45 @@ impl ObsSink for NullSink {
 /// holding completed verdicts in user space would defeat it. At worst
 /// the final line is torn mid-write; [`read_ledger_resilient`] tolerates
 /// exactly that.
+///
+/// When [`FAIL_AFTER_ENV`] is set (or a [`FailAfter`] is attached via
+/// [`FileSink::with_fault`]), the sink becomes the fault-injection
+/// surface: once the budget is exhausted it flushes what it has and
+/// terminates the process with [`FAULT_EXIT_CODE`], simulating a crash
+/// at a deterministic journal position.
 #[derive(Debug)]
 pub struct FileSink {
     out: Mutex<BufWriter<File>>,
+    fault: Option<FailAfter>,
 }
 
 impl FileSink {
-    /// Creates (truncates) the ledger file at `path`.
+    /// Creates (truncates) the ledger file at `path`, arming the
+    /// fault-injection hook when [`FAIL_AFTER_ENV`] is set.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(FileSink {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
-        })
+        Ok(Self::with_fault(File::create(path)?, FailAfter::from_env()))
+    }
+
+    /// Wraps an already-open file, with an explicit (or no) fault
+    /// budget — the constructor tests use to exercise the hook without
+    /// touching process-global environment.
+    pub fn with_fault(file: File, fault: Option<FailAfter>) -> Self {
+        FileSink {
+            out: Mutex::new(BufWriter::new(file)),
+            fault,
+        }
     }
 
     fn write_line(&self, line: &str) {
+        if let Some(fault) = &self.fault {
+            if !fault.admit() {
+                // Injected crash: make the admitted lines durable, then
+                // die without unwinding — like the SIGKILL this models,
+                // nothing downstream gets to run.
+                let _ = self.flush();
+                std::process::exit(FAULT_EXIT_CODE);
+            }
+        }
         let mut out = self.out.lock().expect("file sink poisoned");
         // An exhausted disk mid-journal should not kill the analysis;
         // the error resurfaces on the explicit end-of-run flush.

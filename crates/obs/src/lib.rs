@@ -45,8 +45,9 @@ pub use compare::{
 pub use ctx::ObsCtx;
 pub use ledger::{
     fnv1a, read_journal, read_journal_file, read_ledger, read_ledger_file, read_ledger_resilient,
-    read_ledger_resilient_file, AssignmentEvent, FileSink, Ledger, MemSink, NullSink, ObsSink,
-    PairEvent, RunHeader, SpanEvent, LEDGER_VERSION,
+    read_ledger_resilient_file, run_digest, AssignmentEvent, FailAfter, FileSink, Ledger, MemSink,
+    NullSink, ObsSink, PairEvent, RunHeader, SpanEvent, FAIL_AFTER_ENV, FAULT_EXIT_CODE,
+    LEDGER_VERSION,
 };
 pub use metrics::{Counter, Counters, Metrics, MetricsSnapshot};
 pub use timers::{SpanGuard, SpanStat, Timers};
@@ -197,7 +198,11 @@ mod tests {
             config_fingerprint: 22,
             pair_digest: 33,
             pairs: 2,
+            shard_index: 1,
+            shard_count: 4,
+            run_digest: run_digest(11, 22, 33),
         };
+        assert_eq!(header.run_digest, header.expected_run_digest());
         let span = SpanEvent {
             span: "analyze/pairs".to_owned(),
             tid: 1,
@@ -311,6 +316,88 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"s27"), fnv1a(b"s28"));
         assert_eq!(fnv1a(b"s27"), fnv1a(b"s27"));
+    }
+
+    #[test]
+    fn run_digest_is_order_sensitive() {
+        // The three identity digests feed the run digest in a fixed
+        // order; swapping any two must change it, or a netlist/config
+        // transposition could collide.
+        let d = run_digest(1, 2, 3);
+        assert_eq!(run_digest(1, 2, 3), d);
+        assert_ne!(run_digest(2, 1, 3), d);
+        assert_ne!(run_digest(1, 3, 2), d);
+        assert_ne!(run_digest(3, 2, 1), d);
+    }
+
+    #[test]
+    fn pre_shard_headers_parse_as_unsharded() {
+        let old = "{\"ledger\":2,\"circuit\":\"s27\",\"netlist_hash\":11,\
+                   \"config_fingerprint\":22,\"pair_digest\":33,\"pairs\":2}";
+        let h: RunHeader = serde_json::from_str(old).expect("old header parses");
+        assert_eq!((h.shard_index, h.shard_count), (0, 0));
+        assert_eq!(h.run_digest, 0);
+    }
+
+    #[test]
+    fn fail_after_admits_exactly_the_budget_under_contention() {
+        // The hook's whole value is determinism: no matter how worker
+        // threads interleave, exactly `limit` writes get through.
+        for limit in [0u64, 1, 5, 64] {
+            let fault = Arc::new(FailAfter::new(limit));
+            let admitted = Arc::new(Metrics::new());
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let f = Arc::clone(&fault);
+                    let a = Arc::clone(&admitted);
+                    s.spawn(move || {
+                        for _ in 0..64 {
+                            if f.admit() {
+                                a.implications.add(1);
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(admitted.counters().implications, limit);
+            assert_eq!(fault.admitted(), limit);
+            // Once exhausted, the budget stays exhausted.
+            assert!(!fault.admit());
+        }
+    }
+
+    #[test]
+    fn fail_after_env_values_parse_or_disarm() {
+        assert_eq!(FailAfter::from_value("7").map(|f| f.admitted()), Some(0));
+        let f = FailAfter::from_value(" 2 ").expect("whitespace tolerated");
+        assert!(f.admit());
+        assert!(f.admit());
+        assert!(!f.admit());
+        // Garbage disarms the hook instead of killing runs at line 0.
+        assert!(FailAfter::from_value("").is_none());
+        assert!(FailAfter::from_value("nope").is_none());
+        assert!(FailAfter::from_value("-1").is_none());
+    }
+
+    #[test]
+    fn file_sink_with_unarmed_fault_writes_everything() {
+        // A budget larger than the run never trips; the sink behaves
+        // exactly like an unfaulted one (the tripping path necessarily
+        // exits the process, so it is exercised by the integration
+        // suite's child-process tests, not here).
+        let path =
+            std::env::temp_dir().join(format!("mcp_obs_fault_test_{}.ndjson", std::process::id()));
+        {
+            let file = std::fs::File::create(&path).expect("create");
+            let sink = FileSink::with_fault(file, Some(FailAfter::new(100)));
+            for k in 0..3 {
+                sink.record(&sample_event(k));
+            }
+            sink.flush().expect("flush");
+        }
+        let events = read_journal_file(&path).expect("parse");
+        assert_eq!(events.len(), 3);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

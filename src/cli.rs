@@ -18,6 +18,13 @@
 //!   snapshots or BENCH tables) and exit non-zero on regressions;
 //! * `trace <ledger.ndjson|report.json>` — export the captured span tree
 //!   as Chrome trace-event JSON (Perfetto / `chrome://tracing`);
+//! * `shard <file.bench> --shard <I/N> --trace-out <ledger>` — verify one
+//!   shard of the deterministic pair partition and journal its verdicts
+//!   (the ledger *is* the shard's output; `--resume` restarts a killed
+//!   shard from its own journal);
+//! * `merge <file.bench> <shard1.ndjson> ...` — combine the per-shard
+//!   ledgers of one run into the canonical report, refusing missing,
+//!   duplicate, foreign or incomplete shards;
 //! * `gen <suite-name>` — emit a synthetic suite circuit as `.bench` text
 //!   (so external tools can consume the benchmark suite);
 //! * `lint <file.bench> [--format text|json]` — run the full `mcp-lint`
@@ -31,14 +38,14 @@
 //! `--sim-lanes 64|128|256|512`, `--no-tape`, `--no-self-pairs`,
 //! `--no-lint`, `--no-slice`, `--no-static-classify`, `--deny <rule>`,
 //! `--allow <rule>`, `--max-diags <n>`, `--json <path>`, `--canonical`,
-//! `--resume <ledger>`, `--format text|json|chrome`, `--metrics`,
-//! `--trace-out <path>`, `--progress`, `--quiet`, `--compare <old> <new>`,
-//! `--threshold <pct>`.
+//! `--resume <ledger>`, `--shard <I/N>`, `--shards <N>`,
+//! `--format text|json|chrome`, `--metrics`, `--trace-out <path>`,
+//! `--progress`, `--quiet`, `--compare <old> <new>`, `--threshold <pct>`.
 
 use mcp_core::{
     analyze, analyze_resume_with, analyze_with, check_hazards, max_cycle_budgets,
-    sensitization_dependencies, to_sdc, CycleBudget, Engine, HazardCheck, McConfig, McReport,
-    PairClass, Scheduler, SdcOptions, Step, StepStats,
+    merge_shards_with, sensitization_dependencies, to_sdc, CycleBudget, Engine, HazardCheck,
+    McConfig, McReport, PairClass, Scheduler, SdcOptions, ShardSpec, Step, StepStats,
 };
 use mcp_netlist::{bench, Netlist};
 use mcp_obs::{
@@ -102,6 +109,12 @@ pub struct Command {
     pub canonical: bool,
     /// Resume `analyze` from a prior run's NDJSON ledger.
     pub resume: Option<String>,
+    /// Which slice of the deterministic pair partition this process
+    /// verifies (`--shard I/N`; the `shard` subcommand requires it).
+    pub shard: Option<(u64, u64)>,
+    /// Driver mode for `analyze`: fork `--shards N` child `shard`
+    /// processes over the pair partition and merge their ledgers.
+    pub shards: Option<u64>,
     /// Print engine counters and span timings after the analysis.
     pub metrics: bool,
     /// Optional NDJSON run-ledger path.
@@ -138,6 +151,16 @@ pub enum Action {
     Deps(String),
     /// Cycle-budget sweep on a `.bench` file up to the given `k`.
     Kcycle(String, u32),
+    /// Verify one shard of a `.bench` file's pair partition, journaling
+    /// the verdicts to `--trace-out`.
+    Shard(String),
+    /// Merge per-shard NDJSON ledgers into the canonical report.
+    Merge {
+        /// The `.bench` file the shards analyzed.
+        path: String,
+        /// One ledger path per shard (any order).
+        ledgers: Vec<String>,
+    },
     /// Print structural statistics of a `.bench` file.
     Stats(String),
     /// Diff the deterministic counters of two artifacts.
@@ -201,6 +224,9 @@ USAGE:
   mcpath hazard  <file.bench> [options]
   mcpath deps    <file.bench> [options]
   mcpath kcycle  <file.bench> --max-k <K> [options]
+  mcpath shard   <file.bench> --shard <I/N> --trace-out <ledger.ndjson>
+                 [--resume <ledger.ndjson>] [options]
+  mcpath merge   <file.bench> <shard0.ndjson> [<shard1.ndjson> ...] [options]
   mcpath stats   <file.bench|report.json|ledger.ndjson>
   mcpath stats   --compare <old> <new> [--threshold <pct>]
   mcpath trace   <ledger.ndjson|report.json> [--format chrome]
@@ -241,6 +267,10 @@ OPTIONS:
                                  (timings zeroed; byte-comparable)
   --resume <ledger.ndjson>       restart analyze from a prior run's ledger,
                                  re-verifying only the unresolved pairs
+  --shard <I/N>                  verify shard I of the N-way deterministic
+                                 pair partition (the `shard` subcommand)
+  --shards <N>                   analyze by forking N `shard` child
+                                 processes and merging their ledgers
   --metrics                      print engine counters and span timings
   --trace-out <path>             write the NDJSON run ledger (header, one
                                  record per pair, timestamped span tree)
@@ -284,6 +314,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut json = None;
     let mut canonical = false;
     let mut resume = None;
+    let mut shard: Option<(u64, u64)> = None;
+    let mut shards: Option<u64> = None;
     let mut metrics = false;
     let mut trace_out = None;
     let mut progress = false;
@@ -359,6 +391,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             }
             "--trace-out" => trace_out = Some(take_value(&mut args, "--trace-out")?),
             "--resume" => resume = Some(take_value(&mut args, "--resume")?),
+            "--shard" => {
+                let v = take_value(&mut args, "--shard")?;
+                let parsed = v
+                    .split_once('/')
+                    .and_then(|(i, n)| Some((i.parse::<u64>().ok()?, n.parse::<u64>().ok()?)));
+                shard = Some(parsed.ok_or_else(|| {
+                    ParseCliError(format!("bad --shard `{v}` (expected I/N, e.g. 0/4)"))
+                })?);
+            }
+            "--shards" => {
+                shards = Some(
+                    take_value(&mut args, "--shards")?
+                        .parse()
+                        .map_err(|e| ParseCliError(format!("bad --shards: {e}")))?,
+                );
+            }
             "--compare" => {
                 let old = take_value(&mut args, "--compare")?;
                 let new = args
@@ -430,6 +478,32 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             one_positional("a .bench file")?,
             max_k.ok_or_else(|| ParseCliError("`kcycle` needs --max-k <K>".into()))?,
         ),
+        "shard" => {
+            if shard.is_none() {
+                return Err(ParseCliError(
+                    "`shard` needs --shard <I/N> (e.g. --shard 0/4)".into(),
+                ));
+            }
+            if trace_out.is_none() {
+                return Err(ParseCliError(
+                    "`shard` needs --trace-out <ledger.ndjson>: the journal is the \
+                     shard's output (`merge` consumes it)"
+                        .into(),
+                ));
+            }
+            Action::Shard(one_positional("a .bench file")?)
+        }
+        "merge" => match positional.as_slice() {
+            [path, rest @ ..] if !rest.is_empty() => Action::Merge {
+                path: path.clone(),
+                ledgers: rest.to_vec(),
+            },
+            _ => {
+                return Err(ParseCliError(
+                    "`merge` needs: <file.bench> <shard0.ndjson> [<shard1.ndjson> ...]".into(),
+                ))
+            }
+        },
         "stats" => match &compare {
             Some((old, new)) => {
                 if !positional.is_empty() {
@@ -470,6 +544,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         other => return Err(ParseCliError(format!("unknown subcommand `{other}`"))),
     };
 
+    // The driver forks fresh shard processes; a prior ledger belongs to
+    // one shard, not to the whole partition.
+    if shards.is_some() && resume.is_some() {
+        return Err(ParseCliError(
+            "`--shards` cannot be combined with `--resume` (restart the killed shard \
+             with `mcpath shard --resume`, then `mcpath merge`)"
+                .into(),
+        ));
+    }
+    if let Some(count) = shards {
+        if count == 0 {
+            return Err(ParseCliError("`--shards` needs at least 1".into()));
+        }
+    }
+
     // `trace` defaults to the only format it supports; everything else
     // keeps the historical text default.
     let format = format.unwrap_or(match action {
@@ -499,6 +588,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         json,
         canonical,
         resume,
+        shard,
+        shards,
         metrics,
         trace_out,
         progress,
@@ -550,8 +641,66 @@ impl Command {
             // Same pattern for the dataflow pre-pass and the
             // MCPATH_NO_STATIC_CLASSIFY env var.
             static_classify: defaults.static_classify && !self.no_static_classify,
+            shard: self.shard.map(|(index, count)| ShardSpec { index, count }),
             ..defaults
         }
+    }
+
+    /// The flags a forked `shard` child must inherit so its config
+    /// fingerprint (and its verdict-neutral scheduling knobs) match the
+    /// parent `analyze --shards` invocation.
+    fn child_flags(&self) -> Vec<String> {
+        let mut flags: Vec<String> = Vec::new();
+        let mut push = |f: &str| flags.push(f.to_owned());
+        match self.engine {
+            Engine::Implication => {}
+            Engine::Sat => {
+                push("--engine");
+                push("sat");
+            }
+            Engine::Bdd { .. } => {
+                push("--engine");
+                push("bdd");
+            }
+        }
+        push("--cycles");
+        push(&self.cycles.to_string());
+        push("--backtracks");
+        push(&self.backtracks.to_string());
+        if self.learn {
+            push("--learn");
+        }
+        push("--threads");
+        push(&self.threads.to_string());
+        push("--scheduler");
+        push(match self.scheduler {
+            Scheduler::WorkSteal => "steal",
+            Scheduler::Static => "static",
+        });
+        if self.no_sim {
+            push("--no-sim");
+        }
+        if let Some(lanes) = self.sim_lanes {
+            push("--sim-lanes");
+            push(&lanes.to_string());
+        }
+        if self.no_tape {
+            push("--no-tape");
+        }
+        if self.no_self_pairs {
+            push("--no-self-pairs");
+        }
+        if self.no_lint {
+            push("--no-lint");
+        }
+        if self.no_slice {
+            push("--no-slice");
+        }
+        if self.no_static_classify {
+            push("--no-static-classify");
+        }
+        push("--quiet");
+        flags
     }
 }
 
@@ -670,10 +819,46 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         }
         Action::Analyze(path) => {
             let nl = load(path)?;
-            // Read the resume ledger *before* `obs()` opens `--trace-out`:
-            // resuming a run onto its own ledger path is the natural CLI
-            // usage, and `FileSink::create` truncates. Resilient read, so
-            // a final line torn by the SIGKILL doesn't block the restart.
+            if let Some(count) = cmd.shards {
+                let report = run_sharded(cmd, path, &nl, count, &mut out)?;
+                append_report(&mut out, cmd, &nl, &report)?;
+            } else {
+                // Read the resume ledger *before* `obs()` opens
+                // `--trace-out`: resuming a run onto its own ledger path
+                // is the natural CLI usage, and `FileSink::create`
+                // truncates. Resilient read, so a final line torn by the
+                // SIGKILL doesn't block the restart.
+                let resume_ledger: Option<Ledger> = match &cmd.resume {
+                    Some(p) => Some(
+                        read_ledger_resilient_file(p)
+                            .map_err(|e| format!("cannot read ledger `{p}`: {e}"))?,
+                    ),
+                    None => None,
+                };
+                let obs = cmd.obs()?;
+                let report = match &resume_ledger {
+                    Some(ledger) => analyze_resume_with(&nl, &cmd.config(), &obs, ledger),
+                    None => analyze_with(&nl, &cmd.config(), &obs),
+                }
+                .map_err(|e| e.to_string())?;
+                if resume_ledger.is_some() {
+                    let _ = writeln!(
+                        out,
+                        "resumed: {} verdicts restored from the ledger",
+                        obs.snapshot().counters.resume_pairs_loaded
+                    );
+                }
+                append_report(&mut out, cmd, &nl, &report)?;
+            }
+        }
+        Action::Shard(path) => {
+            let (index, count) = cmd
+                .shard
+                .ok_or_else(|| "`shard` needs --shard <I/N>".to_owned())?;
+            let nl = load(path)?;
+            // Same ordering constraint as `analyze --resume`: a killed
+            // shard restarts onto its own ledger path, which `obs()`
+            // truncates on open.
             let resume_ledger: Option<Ledger> = match &cmd.resume {
                 Some(p) => Some(
                     read_ledger_resilient_file(p)
@@ -687,70 +872,41 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 None => analyze_with(&nl, &cmd.config(), &obs),
             }
             .map_err(|e| e.to_string())?;
-            if let Some(p) = &cmd.json {
-                let text = if cmd.canonical {
-                    serde_json::to_string_pretty(&report.canonical())
-                } else {
-                    serde_json::to_string_pretty(&report)
-                }
-                .map_err(|e| format!("serialize: {e}"))?;
-                std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
-            }
+            let counters = obs.snapshot().counters;
             if resume_ledger.is_some() {
                 let _ = writeln!(
                     out,
                     "resumed: {} verdicts restored from the ledger",
-                    obs.snapshot().counters.resume_pairs_loaded
+                    counters.resume_pairs_loaded
                 );
             }
             let _ = writeln!(
                 out,
-                "{}: {} candidate pairs; {} multi-cycle, {} single-cycle, {} unknown",
-                nl.name(),
-                report.stats.candidates,
-                report.stats.multi_total(),
-                report.stats.single_total(),
-                report.stats.unknown
+                "shard {index}/{count}: owns {} of {} surviving pairs",
+                counters.shard_pairs_owned,
+                counters.shard_pairs_owned + counters.shard_pairs_skipped
             );
+            append_report(&mut out, cmd, &nl, &report)?;
+        }
+        Action::Merge { path, ledgers } => {
+            let nl = load(path)?;
+            let mut parsed = Vec::with_capacity(ledgers.len());
+            for p in ledgers {
+                parsed.push(
+                    read_ledger_resilient_file(p)
+                        .map_err(|e| format!("cannot read ledger `{p}`: {e}"))?,
+                );
+            }
+            let obs = cmd.obs()?;
+            let report =
+                merge_shards_with(&nl, &cmd.config(), &obs, &parsed).map_err(|e| e.to_string())?;
             let _ = writeln!(
                 out,
-                "steps: static resolved {} | sim dropped {} ({} words) | implication proved {} | search: {} single / {} multi",
-                report.stats.multi_by_static,
-                report.stats.single_by_sim,
-                report.stats.sim_words,
-                report.stats.multi_by_implication,
-                report.stats.single_by_atpg,
-                report.stats.multi_by_atpg
+                "merged: {} shard ledgers, {} verdicts restored",
+                parsed.len(),
+                obs.snapshot().counters.resume_pairs_loaded
             );
-            if !cmd.quiet {
-                for p in &report.pairs {
-                    let verdict = match p.class {
-                        PairClass::MultiCycle { .. } => "multi-cycle ",
-                        PairClass::SingleCycle { .. } => "single-cycle",
-                        PairClass::Unknown => "UNKNOWN     ",
-                    };
-                    let step = match p.class {
-                        PairClass::MultiCycle { by } | PairClass::SingleCycle { by } => match by {
-                            Step::RandomSim => "sim",
-                            Step::Implication => "implication",
-                            Step::Atpg => "search",
-                            Step::Structural => "structural",
-                        },
-                        PairClass::Unknown => "aborted",
-                    };
-                    let _ = writeln!(
-                        out,
-                        "  {verdict} {:<24} [{step}]",
-                        pair_name(&nl, p.src, p.dst)
-                    );
-                }
-            }
-            if cmd.metrics {
-                out.push('\n');
-                out.push_str(&render_step_table(&report.stats));
-                out.push('\n');
-                out.push_str(&render_snapshot(&report.metrics));
-            }
+            append_report(&mut out, cmd, &nl, &report)?;
         }
         Action::Hazard(path) => {
             let nl = load(path)?;
@@ -976,6 +1132,144 @@ pub fn run(cmd: &Command) -> Result<String, String> {
     Ok(out)
 }
 
+/// Appends the standard `analyze`-style report output: the optional
+/// `--json` dump, the summary lines, the per-pair listing (unless
+/// `--quiet`), and the `--metrics` tables. Shared by `analyze`, `shard`
+/// and `merge`, whose reports must render identically.
+fn append_report(
+    out: &mut String,
+    cmd: &Command,
+    nl: &Netlist,
+    report: &McReport,
+) -> Result<(), String> {
+    if let Some(p) = &cmd.json {
+        let text = if cmd.canonical {
+            serde_json::to_string_pretty(&report.canonical())
+        } else {
+            serde_json::to_string_pretty(report)
+        }
+        .map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} candidate pairs; {} multi-cycle, {} single-cycle, {} unknown",
+        nl.name(),
+        report.stats.candidates,
+        report.stats.multi_total(),
+        report.stats.single_total(),
+        report.stats.unknown
+    );
+    let _ = writeln!(
+        out,
+        "steps: static resolved {} | sim dropped {} ({} words) | implication proved {} | search: {} single / {} multi",
+        report.stats.multi_by_static,
+        report.stats.single_by_sim,
+        report.stats.sim_words,
+        report.stats.multi_by_implication,
+        report.stats.single_by_atpg,
+        report.stats.multi_by_atpg
+    );
+    if !cmd.quiet {
+        for p in &report.pairs {
+            let verdict = match p.class {
+                PairClass::MultiCycle { .. } => "multi-cycle ",
+                PairClass::SingleCycle { .. } => "single-cycle",
+                PairClass::Unknown => "UNKNOWN     ",
+            };
+            let step = match p.class {
+                PairClass::MultiCycle { by } | PairClass::SingleCycle { by } => match by {
+                    Step::RandomSim => "sim",
+                    Step::Implication => "implication",
+                    Step::Atpg => "search",
+                    Step::Structural => "structural",
+                },
+                PairClass::Unknown => "aborted",
+            };
+            let _ = writeln!(
+                out,
+                "  {verdict} {:<24} [{step}]",
+                pair_name(nl, p.src, p.dst)
+            );
+        }
+    }
+    if cmd.metrics {
+        out.push('\n');
+        out.push_str(&render_step_table(&report.stats));
+        out.push('\n');
+        out.push_str(&render_snapshot(&report.metrics));
+    }
+    Ok(())
+}
+
+/// `analyze --shards N`: fork one `mcpath shard` child process per
+/// partition slice, wait for all of them, and merge their ledgers
+/// in-process. The merged report is byte-identical (canonically) to a
+/// single-process run; the shard ledgers live in a scratch directory
+/// that is removed on success and kept on failure for post-mortems.
+fn run_sharded(
+    cmd: &Command,
+    path: &str,
+    nl: &Netlist,
+    count: u64,
+    out: &mut String,
+) -> Result<McReport, String> {
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the mcpath binary: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("mcpath-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create `{}`: {e}", dir.display()))?;
+    let flags = cmd.child_flags();
+
+    let mut children = Vec::with_capacity(count as usize);
+    let mut ledger_paths = Vec::with_capacity(count as usize);
+    for index in 0..count {
+        let ledger = dir.join(format!("shard-{index}.ndjson"));
+        let child = std::process::Command::new(&exe)
+            .arg("shard")
+            .arg(path)
+            .arg("--shard")
+            .arg(format!("{index}/{count}"))
+            .arg("--trace-out")
+            .arg(&ledger)
+            .args(&flags)
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn shard {index}/{count}: {e}"))?;
+        children.push((index, child));
+        ledger_paths.push(ledger);
+    }
+    for (index, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for shard {index}/{count}: {e}"))?;
+        if !status.success() {
+            return Err(format!(
+                "shard {index}/{count} failed with {status} (its ledger is under \
+                 `{}`; fix the cause, resume it with `mcpath shard --resume`, then \
+                 `mcpath merge`)",
+                dir.display()
+            ));
+        }
+    }
+
+    let mut ledgers = Vec::with_capacity(ledger_paths.len());
+    for p in &ledger_paths {
+        ledgers.push(
+            read_ledger_resilient_file(p)
+                .map_err(|e| format!("cannot read ledger `{}`: {e}", p.display()))?,
+        );
+    }
+    let obs = cmd.obs()?;
+    let report = merge_shards_with(nl, &cmd.config(), &obs, &ledgers).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "sharded: {count} processes, {} verdicts merged",
+        obs.snapshot().counters.resume_pairs_loaded
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
 /// Formats a duration compactly for table cells.
 fn fmt_dur(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -1084,7 +1378,7 @@ fn fmt_words_per_sec(words: u64, t: Duration) -> String {
 fn render_snapshot(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let c = &m.counters;
-    let rows: [(&str, u64); 29] = [
+    let rows: [(&str, u64); 31] = [
         ("implications", c.implications),
         ("contradictions", c.contradictions),
         ("learned_implications", c.learned_implications),
@@ -1114,6 +1408,8 @@ fn render_snapshot(m: &MetricsSnapshot) -> String {
         ("dataflow_consts", c.dataflow_consts),
         ("dataflow_iters", c.dataflow_iters),
         ("static_resolved", c.static_resolved),
+        ("shard_pairs_owned", c.shard_pairs_owned),
+        ("shard_pairs_skipped", c.shard_pairs_skipped),
     ];
     let _ = writeln!(out, "engine counters:");
     for (name, v) in rows {
@@ -1839,7 +2135,8 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("regression"), "{err}");
 
-        // Resuming against a different circuit is a clean mismatch error.
+        // Resuming against a different circuit is a clean mismatch error
+        // that names both digests.
         let fig3 = dir.join("fig3.bench");
         std::fs::write(&fig3, bench::to_bench(&mcp_gen::circuits::fig3())).expect("write");
         let err = run(&parse_args(argv(&format!(
@@ -1849,7 +2146,8 @@ mod tests {
         )))
         .expect("parse"))
         .unwrap_err();
-        assert!(err.contains("cannot resume"), "{err}");
+        assert!(err.contains("netlist mismatch"), "{err}");
+        assert!(err.contains("ledger digest"), "{err}");
     }
 
     #[test]
@@ -1882,6 +2180,138 @@ mod tests {
         assert!(out.contains("mean 2.00ms"), "per-entry mean:\n{out}");
         assert!(out.contains("  orphan/\n"), "ancestor header:\n{out}");
         assert!(out.contains("\n    child"), "{out}");
+    }
+
+    #[test]
+    fn parses_shard_and_merge_surfaces() {
+        // `shard` needs --shard I/N and --trace-out.
+        let cmd =
+            parse_args(argv("shard f.bench --shard 2/4 --trace-out s2.ndjson")).expect("parse");
+        assert_eq!(cmd.action, Action::Shard("f.bench".into()));
+        assert_eq!(cmd.shard, Some((2, 4)));
+        assert_eq!(cmd.config().shard, Some(ShardSpec { index: 2, count: 4 }));
+        assert!(parse_args(argv("shard f.bench --trace-out s.ndjson")).is_err());
+        assert!(parse_args(argv("shard f.bench --shard 0/4")).is_err());
+        for bad in ["2", "2/", "/4", "a/b", "1/2/3"] {
+            assert!(
+                parse_args(argv(&format!(
+                    "shard f.bench --shard {bad} --trace-out s.ndjson"
+                )))
+                .is_err(),
+                "--shard {bad} must be rejected"
+            );
+        }
+
+        // `merge` takes the bench plus at least one ledger.
+        let cmd = parse_args(argv("merge f.bench a.ndjson b.ndjson")).expect("parse");
+        assert_eq!(
+            cmd.action,
+            Action::Merge {
+                path: "f.bench".into(),
+                ledgers: vec!["a.ndjson".into(), "b.ndjson".into()],
+            }
+        );
+        assert!(parse_args(argv("merge f.bench")).is_err());
+
+        // `analyze --shards` is the driver; it refuses `--resume`.
+        let cmd = parse_args(argv("analyze f.bench --shards 4")).expect("parse");
+        assert_eq!(cmd.shards, Some(4));
+        assert!(
+            cmd.config().shard.is_none(),
+            "the driver itself is unsharded"
+        );
+        assert!(parse_args(argv("analyze f.bench --shards 0")).is_err());
+        assert!(parse_args(argv("analyze f.bench --shards abc")).is_err());
+        let err = parse_args(argv("analyze f.bench --shards 2 --resume l.ndjson")).unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn shard_children_inherit_the_fingerprint_flags() {
+        let cmd = parse_args(argv(
+            "analyze f.bench --shards 2 --engine sat --cycles 3 --backtracks 99 --learn \
+             --threads 4 --scheduler static --no-sim --sim-lanes 128 --no-tape \
+             --no-self-pairs --no-lint --no-slice --no-static-classify",
+        ))
+        .expect("parse");
+        let flags = cmd.child_flags();
+        let rebuilt = parse_args(
+            ["shard".into(), "f.bench".into()]
+                .into_iter()
+                .chain([
+                    "--shard".to_owned(),
+                    "0/2".to_owned(),
+                    "--trace-out".to_owned(),
+                    "s.ndjson".to_owned(),
+                ])
+                .chain(flags),
+        )
+        .expect("child command parses");
+        // The verdict-affecting config must survive the round trip
+        // exactly: equal fingerprints are what `merge` enforces.
+        assert_eq!(rebuilt.config().fingerprint(), cmd.config().fingerprint());
+        // And the neutral scheduling knobs ride along too.
+        assert_eq!(rebuilt.threads, cmd.threads);
+        assert_eq!(rebuilt.scheduler, cmd.scheduler);
+        assert!(rebuilt.quiet);
+    }
+
+    #[test]
+    fn shard_and_merge_round_trip_matches_single_process() {
+        let dir = std::env::temp_dir().join("mcpath-cli-shard");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let bench_path = dir.join("m27.bench");
+        let text = run(&parse_args(argv("gen m27")).expect("parse")).expect("gen");
+        std::fs::write(&bench_path, text).expect("write");
+
+        // Single-process canonical baseline.
+        let baseline = dir.join("baseline.json");
+        run(&parse_args(argv(&format!(
+            "analyze {} --threads 1 --json {} --canonical --quiet",
+            bench_path.display(),
+            baseline.display()
+        )))
+        .expect("parse"))
+        .expect("baseline analyze");
+
+        // Run the three shards in-process and merge their ledgers.
+        let mut ledger_args = String::new();
+        for index in 0..3 {
+            let ledger = dir.join(format!("shard-{index}.ndjson"));
+            let out = run(&parse_args(argv(&format!(
+                "shard {} --shard {index}/3 --trace-out {} --quiet",
+                bench_path.display(),
+                ledger.display()
+            )))
+            .expect("parse"))
+            .expect("shard run");
+            assert!(out.contains(&format!("shard {index}/3:")), "{out}");
+            let _ = write!(ledger_args, " {}", ledger.display());
+        }
+        let merged = dir.join("merged.json");
+        let out = run(&parse_args(argv(&format!(
+            "merge {}{ledger_args} --json {} --canonical --quiet",
+            bench_path.display(),
+            merged.display()
+        )))
+        .expect("parse"))
+        .expect("merge");
+        assert!(out.contains("merged: 3 shard ledgers"), "{out}");
+        assert_eq!(
+            std::fs::read(&baseline).expect("read baseline"),
+            std::fs::read(&merged).expect("read merged"),
+            "merged canonical report must be byte-identical"
+        );
+
+        // A missing shard is refused with a clean message.
+        let err = run(&parse_args(argv(&format!(
+            "merge {} {}",
+            bench_path.display(),
+            dir.join("shard-0.ndjson").display()
+        )))
+        .expect("parse"))
+        .unwrap_err();
+        assert!(err.contains("missing shard"), "{err}");
     }
 
     #[test]
