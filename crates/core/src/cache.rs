@@ -1,0 +1,358 @@
+//! Warm-cache analysis: replay a prior run's verdicts from the
+//! content-addressed store.
+//!
+//! [`analyze_cached_with`] is `analyze_with` plus a [`CasStore`]: a
+//! *cold* run (no usable `Verdicts` artifact) analyzes normally while
+//! collecting every stage artifact, then persists them; a *warm* rerun
+//! of the same netlist × verdict-affecting config finds the `Verdicts`
+//! artifact under its stage key, validates its identity digests, and
+//! splices every verdict into the pipeline without constructing a
+//! single engine. The cheap deterministic stages — lint, expansion, the
+//! prefilters — still run fresh on the warm path, which is what keeps
+//! the canonical report *byte-identical* to a cold run: their surviving
+//! counters (`sim_pairs_dropped`, the lint counters) are recomputed
+//! rather than guessed, and the spliced verdicts preserve the exact
+//! step attribution the engines produced.
+//!
+//! Spliced pairs are journaled with `cached: true` and **no engine
+//! tag**, so a warm run's ledger provably contains zero engine events —
+//! the acceptance check CI enforces.
+
+use crate::cas::{CasError, CasStore};
+use crate::config::McConfig;
+use crate::pipeline::{analyze_inner, candidate_pairs, pair_digest, AnalyzeError, DigestKind};
+use crate::report::McReport;
+use crate::resume::ResumePlan;
+use crate::stage::{
+    stage_key_for, StageTrace, VerdictRecord, VerdictsArtifact, STAGE_EXPANDED, STAGE_GROUPED,
+    STAGE_LINTED, STAGE_PARSED, STAGE_PREFILTERED, STAGE_VERDICTS,
+};
+use mcp_netlist::Netlist;
+use mcp_obs::{ObsCtx, PairEvent};
+use std::collections::BTreeMap;
+
+impl From<CasError> for AnalyzeError {
+    fn from(e: CasError) -> Self {
+        match e {
+            CasError::Io { reason } => AnalyzeError::CacheIo { reason },
+            CasError::Corrupt {
+                stage,
+                path,
+                reason,
+            } => AnalyzeError::CacheCorrupt {
+                stage,
+                reason: format!("{reason} ({})", path.display()),
+            },
+        }
+    }
+}
+
+/// Synthesizes the splice event for one cached verdict: no engine tag,
+/// no attributable time, `cached` set. The inverse of the pipeline's
+/// own `verdict_event`, with provenance swapped from "an engine just
+/// ran" to "the store already knew".
+pub(crate) fn cached_event(r: &VerdictRecord) -> PairEvent {
+    PairEvent {
+        src: r.src,
+        dst: r.dst,
+        step: r.step.clone(),
+        class: r.class.clone(),
+        engine: None,
+        assignments: Vec::new(),
+        micros: 0,
+        sim_word: None,
+        slice_nodes: None,
+        slice_vars: None,
+        resumed: false,
+        static_pass: false,
+        cached: true,
+    }
+}
+
+/// Validates a `Verdicts` artifact against the current run identity.
+/// The stage key already encodes netlist hash and fingerprint, so a
+/// mismatch here means a corrupted or hand-moved entry — but the check
+/// costs nothing and turns a silent wrong-report into a typed refusal.
+pub(crate) fn check_verdicts_identity(
+    art: &VerdictsArtifact,
+    netlist_hash: u64,
+    fingerprint: u64,
+    pairs: u64,
+) -> Result<(), AnalyzeError> {
+    if art.netlist_hash != netlist_hash {
+        return Err(AnalyzeError::DigestMismatch {
+            what: DigestKind::Netlist,
+            ledger: art.netlist_hash,
+            current: netlist_hash,
+        });
+    }
+    if art.config_fingerprint != fingerprint {
+        return Err(AnalyzeError::DigestMismatch {
+            what: DigestKind::Config,
+            ledger: art.config_fingerprint,
+            current: fingerprint,
+        });
+    }
+    if art.pair_digest != pairs {
+        return Err(AnalyzeError::CacheCorrupt {
+            stage: STAGE_VERDICTS.to_owned(),
+            reason: format!(
+                "pair digest {:016x} does not match the current candidate set {:016x}",
+                art.pair_digest, pairs
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Persists every artifact a cold run collected. Called after the run
+/// succeeded, so a crash mid-persist can only lose cache entries, never
+/// report correctness.
+pub(crate) fn persist_trace(
+    store: &CasStore,
+    netlist_hash: u64,
+    cfg: &McConfig,
+    circuit: &str,
+    pairs: u64,
+    trace: StageTrace,
+) -> Result<(), AnalyzeError> {
+    let StageTrace {
+        parsed,
+        linted,
+        expanded,
+        prefiltered,
+        grouped,
+        mut verdicts,
+    } = trace;
+    if let Some(a) = parsed {
+        store.put(
+            STAGE_PARSED,
+            stage_key_for(STAGE_PARSED, netlist_hash, cfg),
+            &a,
+        )?;
+    }
+    if let Some(a) = linted {
+        store.put(
+            STAGE_LINTED,
+            stage_key_for(STAGE_LINTED, netlist_hash, cfg),
+            &a,
+        )?;
+    }
+    if let Some(a) = expanded {
+        store.put(
+            STAGE_EXPANDED,
+            stage_key_for(STAGE_EXPANDED, netlist_hash, cfg),
+            &a,
+        )?;
+    }
+    if let Some(a) = prefiltered {
+        store.put(
+            STAGE_PREFILTERED,
+            stage_key_for(STAGE_PREFILTERED, netlist_hash, cfg),
+            &a,
+        )?;
+    }
+    if let Some(a) = grouped {
+        store.put(
+            STAGE_GROUPED,
+            stage_key_for(STAGE_GROUPED, netlist_hash, cfg),
+            &a,
+        )?;
+    }
+    verdicts.sort_unstable_by_key(|r| (r.src, r.dst));
+    store.put(
+        STAGE_VERDICTS,
+        stage_key_for(STAGE_VERDICTS, netlist_hash, cfg),
+        &VerdictsArtifact {
+            circuit: circuit.to_owned(),
+            netlist_hash,
+            config_fingerprint: cfg.fingerprint(),
+            pair_digest: pairs,
+            verdicts,
+        },
+    )?;
+    Ok(())
+}
+
+/// [`analyze_cached_with`] on a fresh [`ObsCtx`].
+///
+/// # Errors
+///
+/// Everything [`analyze`](crate::analyze) can return, plus
+/// [`AnalyzeError::CacheCorrupt`] / [`AnalyzeError::CacheIo`] for
+/// damaged or unwritable cache entries.
+pub fn analyze_cached(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    store: &CasStore,
+) -> Result<McReport, AnalyzeError> {
+    analyze_cached_with(netlist, cfg, &ObsCtx::new(), store)
+}
+
+/// Analyzes `netlist`, answering from `store` when a prior run of the
+/// identical netlist × verdict-affecting config already persisted its
+/// verdicts, and populating the store otherwise.
+///
+/// Warm path: zero engine constructions, `cache_hits` counts the
+/// artifact lookup, `cache_pairs_spliced` the replayed verdicts, and
+/// every spliced journal event carries `cached: true` with no engine
+/// tag. Cold path: a normal run plus `cache_misses`, with all seven
+/// stage artifacts persisted on success. The canonical report is
+/// byte-identical between the two paths.
+///
+/// # Errors
+///
+/// Everything [`analyze`](crate::analyze) can return, plus
+/// [`AnalyzeError::CacheCorrupt`] / [`AnalyzeError::CacheIo`].
+pub fn analyze_cached_with(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+    store: &CasStore,
+) -> Result<McReport, AnalyzeError> {
+    let netlist_hash = netlist.content_hash();
+    let vkey = stage_key_for(crate::stage::STAGE_VERDICTS, netlist_hash, cfg);
+    match store.get::<VerdictsArtifact>(crate::stage::STAGE_VERDICTS, vkey)? {
+        Some(art) => {
+            let digest = pair_digest(&candidate_pairs(netlist, cfg));
+            check_verdicts_identity(&art, netlist_hash, cfg.fingerprint(), digest)?;
+            obs.metrics.cache_hits.add(1);
+            let restored: BTreeMap<(usize, usize), PairEvent> = art
+                .verdicts
+                .iter()
+                .map(|r| ((r.src, r.dst), cached_event(r)))
+                .collect();
+            let plan = ResumePlan {
+                restored,
+                from_cache: true,
+            };
+            analyze_inner(netlist, cfg, obs, Some(&plan), None)
+        }
+        None => {
+            obs.metrics.cache_misses.add(1);
+            let mut trace = StageTrace::default();
+            let report = analyze_inner(netlist, cfg, obs, None, Some(&mut trace))?;
+            let digest = pair_digest(&candidate_pairs(netlist, cfg));
+            persist_trace(store, netlist_hash, cfg, netlist.name(), digest, trace)?;
+            Ok(report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze_with;
+    use mcp_gen::{circuits, suite};
+    use mcp_obs::MemSink;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mcpath-cache-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn canon(report: &McReport) -> String {
+        serde_json::to_string(&report.canonical()).expect("serialize")
+    }
+
+    #[test]
+    fn warm_rerun_is_byte_identical_with_zero_engine_events() {
+        let dir = tempdir("warm");
+        let store = CasStore::open(&dir).expect("open");
+        let nl = suite::quick_suite().remove(0); // m27
+        let cfg = McConfig::default();
+
+        let cold_obs = ObsCtx::new();
+        let cold = analyze_cached_with(&nl, &cfg, &cold_obs, &store).expect("cold");
+        assert_eq!(cold_obs.snapshot().counters.cache_misses, 1);
+
+        let sink = Arc::new(MemSink::new());
+        let warm_obs = ObsCtx::new().with_sink(Box::new(Arc::clone(&sink)));
+        let warm = analyze_cached_with(&nl, &cfg, &warm_obs, &store).expect("warm");
+        assert_eq!(canon(&warm), canon(&cold), "warm must equal cold");
+        // Zero engine work: every journaled event is prefilter- or
+        // cache-attributed.
+        let events = sink.drain();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().all(|e| e.engine.is_none()),
+            "a warm run must journal no engine-tagged events"
+        );
+        assert!(events.iter().any(|e| e.cached));
+        let c = warm_obs.snapshot().counters;
+        assert_eq!(c.cache_hits, 1);
+        assert!(c.cache_pairs_spliced > 0);
+        // And the plain (storeless) run agrees too.
+        let plain = analyze_with(&nl, &cfg, &ObsCtx::new()).expect("plain");
+        assert_eq!(canon(&plain), canon(&cold));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_fingerprint_changes_miss_instead_of_splicing() {
+        let dir = tempdir("fp");
+        let store = CasStore::open(&dir).expect("open");
+        let nl = circuits::fig1();
+        analyze_cached(&nl, &McConfig::default(), &store).expect("cold");
+        // A different cycle budget lands on a different stage key: a
+        // miss (and a second cold run), never a cross-config splice.
+        let obs = ObsCtx::new();
+        let k3 = McConfig {
+            cycles: 3,
+            ..McConfig::default()
+        };
+        analyze_cached_with(&nl, &k3, &obs, &store).expect("k3");
+        assert_eq!(obs.snapshot().counters.cache_misses, 1);
+        assert_eq!(obs.snapshot().counters.cache_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_verdicts_entry_is_refused_with_a_typed_error() {
+        let dir = tempdir("corrupt");
+        let store = CasStore::open(&dir).expect("open");
+        let nl = circuits::fig1();
+        let cfg = McConfig::default();
+        analyze_cached(&nl, &cfg, &store).expect("cold");
+        let key = stage_key_for(crate::stage::STAGE_VERDICTS, nl.content_hash(), &cfg);
+        let path = dir.join(format!("verdicts-{key:016x}.json"));
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, text.replace("multi", "singl")).expect("corrupt");
+        match analyze_cached(&nl, &cfg, &store) {
+            Err(AnalyzeError::CacheCorrupt { stage, .. }) => assert_eq!(stage, "verdicts"),
+            other => panic!("expected CacheCorrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_runs_replay_across_thread_counts_and_schedulers() {
+        // A cache written sequentially must splice identically under any
+        // verdict-neutral execution shape (the fingerprint ignores them).
+        let dir = tempdir("shape");
+        let store = CasStore::open(&dir).expect("open");
+        let nl = suite::quick_suite().remove(0);
+        let cold = analyze_cached(&nl, &McConfig::default(), &store).expect("cold");
+        for scheduler in [crate::Scheduler::WorkSteal, crate::Scheduler::Static] {
+            for threads in [1usize, 2, 8] {
+                let cfg = McConfig {
+                    threads,
+                    scheduler,
+                    ..McConfig::default()
+                };
+                let obs = ObsCtx::new();
+                let warm = analyze_cached_with(&nl, &cfg, &obs, &store).expect("warm");
+                assert_eq!(canon(&warm), canon(&cold), "{scheduler:?} t={threads}");
+                assert_eq!(obs.snapshot().counters.cache_hits, 1);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,312 @@
+//! Content-addressed artifact store backing `--cache-dir`.
+//!
+//! One directory, one JSON file per artifact, named
+//! `<stage>-<key:016x>.json` where `key` is the [`stage_key`] of the
+//! artifact (stage name × netlist content hash × the config slice that
+//! stage reads). Every file is a small envelope around the payload:
+//!
+//! ```json
+//! {"stage":"verdicts","key":"00ab…","payload_digest":"…","payload":{…}}
+//! ```
+//!
+//! The envelope makes corruption detectable without trusting the
+//! filesystem: on every read the store re-derives the payload digest and
+//! cross-checks the envelope's stage/key against the filename-derived
+//! expectation, refusing with [`CasError::Corrupt`] on any disagreement
+//! — truncation, hand edits, or a file renamed over another entry all
+//! surface as typed errors instead of silently corrupted reports, in
+//! the same spirit as the ledger's `DigestMismatch`.
+//!
+//! Writes are atomic (`tmp` + rename into place), so a crash mid-`put`
+//! leaves either the old entry or no entry — never a torn one. A missing
+//! entry is a plain cache miss ([`CasStore::get`] returns `Ok(None)`),
+//! never an error.
+//!
+//! [`stage_key`]: crate::stage::stage_key
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Error produced by [`CasStore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CasError {
+    /// The store directory or an entry could not be read or written.
+    Io {
+        /// The underlying I/O failure.
+        reason: String,
+    },
+    /// An entry exists but fails its integrity check: unparseable JSON,
+    /// an envelope naming a different stage/key than expected, or a
+    /// payload whose digest no longer matches the envelope.
+    Corrupt {
+        /// The stage whose entry is damaged.
+        stage: String,
+        /// The offending file.
+        path: PathBuf,
+        /// What specifically failed to check out.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CasError::Io { reason } => write!(f, "artifact store I/O error: {reason}"),
+            CasError::Corrupt {
+                stage,
+                path,
+                reason,
+            } => write!(
+                f,
+                "corrupt artifact store entry for stage `{stage}` at {}: {reason}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CasError {}
+
+/// Renders a raw [`Content`] tree through `serde_json` — the envelope
+/// holds the payload as a pre-serialized tree rather than a typed
+/// value, so it can digest the payload without knowing its type.
+struct Raw(Content);
+
+impl Serialize for Raw {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+fn render(c: &Content) -> Result<String, CasError> {
+    serde_json::to_string(&Raw(c.clone())).map_err(|e| CasError::Io {
+        reason: format!("rendering JSON: {e}"),
+    })
+}
+
+/// Canonical digest of a payload: FNV-1a over its JSON rendering.
+/// Struct fields serialize in declaration order and maps in key order,
+/// so the rendering — and the digest — is deterministic across
+/// processes. Digests travel as hex strings: u64 round-trips through
+/// JSON floats lose precision past 2^53, and a digest that cannot
+/// round-trip exactly is no digest at all.
+fn payload_digest(rendered: &str) -> String {
+    format!("{:016x}", mcp_obs::fnv1a(rendered.as_bytes()))
+}
+
+/// A content-addressed store of stage artifacts in one directory.
+#[derive(Debug, Clone)]
+pub struct CasStore {
+    root: PathBuf,
+}
+
+impl CasStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`CasError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, CasError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| CasError::Io {
+            reason: format!("creating {}: {e}", root.display()),
+        })?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, stage: &str, key: u64) -> PathBuf {
+        self.root.join(format!("{stage}-{key:016x}.json"))
+    }
+
+    /// Persists `artifact` under `(stage, key)`, atomically replacing
+    /// any previous entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CasError::Io`] when the entry cannot be written.
+    pub fn put<T: Serialize>(&self, stage: &str, key: u64, artifact: &T) -> Result<(), CasError> {
+        let payload = artifact.to_content();
+        let digest = payload_digest(&render(&payload)?);
+        let envelope = Content::Map(vec![
+            ("stage".to_owned(), Content::Str(stage.to_owned())),
+            ("key".to_owned(), Content::Str(format!("{key:016x}"))),
+            ("payload_digest".to_owned(), Content::Str(digest)),
+            ("payload".to_owned(), payload),
+        ]);
+        let text = render(&envelope)?;
+        let path = self.entry_path(stage, key);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, text).map_err(|e| CasError::Io {
+            reason: format!("writing {}: {e}", tmp.display()),
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|e| CasError::Io {
+            reason: format!("renaming {} into place: {e}", tmp.display()),
+        })?;
+        Ok(())
+    }
+
+    /// Loads the `(stage, key)` entry, or `Ok(None)` when no entry
+    /// exists (a plain cache miss).
+    ///
+    /// # Errors
+    ///
+    /// [`CasError::Corrupt`] when an entry exists but fails any
+    /// integrity check; [`CasError::Io`] on other read failures.
+    pub fn get<T: Deserialize>(&self, stage: &str, key: u64) -> Result<Option<T>, CasError> {
+        let path = self.entry_path(stage, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(CasError::Io {
+                    reason: format!("reading {}: {e}", path.display()),
+                })
+            }
+        };
+        let corrupt = |reason: String| CasError::Corrupt {
+            stage: stage.to_owned(),
+            path: path.clone(),
+            reason,
+        };
+        let envelope = serde_json::from_str_content(&text)
+            .map_err(|e| corrupt(format!("unparseable JSON: {e}")))?;
+        let entries = envelope
+            .as_map()
+            .ok_or_else(|| corrupt("envelope is not a JSON object".to_owned()))?;
+        let named_stage: String =
+            serde::field(entries, "stage").map_err(|e| corrupt(format!("bad envelope: {e}")))?;
+        if named_stage != stage {
+            return Err(corrupt(format!(
+                "envelope names stage `{named_stage}`, expected `{stage}`"
+            )));
+        }
+        let named_key: String =
+            serde::field(entries, "key").map_err(|e| corrupt(format!("bad envelope: {e}")))?;
+        let expected_key = format!("{key:016x}");
+        if named_key != expected_key {
+            return Err(corrupt(format!(
+                "envelope names key {named_key}, expected {expected_key}"
+            )));
+        }
+        let recorded: String = serde::field(entries, "payload_digest")
+            .map_err(|e| corrupt(format!("bad envelope: {e}")))?;
+        let payload = entries
+            .iter()
+            .find(|(k, _)| k == "payload")
+            .map(|(_, v)| v)
+            .ok_or_else(|| corrupt("envelope has no payload".to_owned()))?;
+        let digest = payload_digest(&render(payload).map_err(|e| corrupt(e.to_string()))?);
+        if recorded != digest {
+            return Err(corrupt(format!(
+                "payload digest {digest} does not match envelope {recorded}"
+            )));
+        }
+        T::from_content(payload)
+            .map(Some)
+            .map_err(|e| corrupt(format!("payload does not deserialize: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{VerdictRecord, VerdictsArtifact};
+
+    fn sample() -> VerdictsArtifact {
+        VerdictsArtifact {
+            circuit: "c".to_owned(),
+            netlist_hash: 0xfeed,
+            config_fingerprint: 0xbeef,
+            pair_digest: 0xcafe,
+            verdicts: vec![VerdictRecord {
+                src: 0,
+                dst: 1,
+                src_name: "a".to_owned(),
+                dst_name: "b".to_owned(),
+                step: "implication".to_owned(),
+                class: "multi".to_owned(),
+            }],
+        }
+    }
+
+    #[test]
+    fn put_get_round_trips_and_misses_are_not_errors() {
+        let dir = tempdir();
+        let store = CasStore::open(&dir).expect("open");
+        assert_eq!(
+            store.get::<VerdictsArtifact>("verdicts", 42).expect("get"),
+            None
+        );
+        let art = sample();
+        store.put("verdicts", 42, &art).expect("put");
+        assert_eq!(
+            store.get::<VerdictsArtifact>("verdicts", 42).expect("get"),
+            Some(art)
+        );
+        // A different key or stage is still a miss.
+        assert_eq!(
+            store.get::<VerdictsArtifact>("verdicts", 43).expect("get"),
+            None
+        );
+        assert_eq!(
+            store.get::<VerdictsArtifact>("grouped", 42).expect("get"),
+            None
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_and_edited_entries_are_refused_as_corrupt() {
+        let dir = tempdir();
+        let store = CasStore::open(&dir).expect("open");
+        store.put("verdicts", 7, &sample()).expect("put");
+        let path = dir.join(format!("verdicts-{:016x}.json", 7));
+
+        // Truncation → unparseable JSON.
+        let full = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+        match store.get::<VerdictsArtifact>("verdicts", 7) {
+            Err(CasError::Corrupt { stage, reason, .. }) => {
+                assert_eq!(stage, "verdicts");
+                assert!(reason.contains("unparseable"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // A hand edit that keeps the JSON valid → digest mismatch.
+        std::fs::write(&path, full.replace("multi", "singl")).expect("edit");
+        match store.get::<VerdictsArtifact>("verdicts", 7) {
+            Err(CasError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("digest"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // A file copied over from another key → key mismatch.
+        store.put("verdicts", 8, &sample()).expect("put");
+        std::fs::copy(dir.join(format!("verdicts-{:016x}.json", 8)), &path).expect("copy");
+        match store.get::<VerdictsArtifact>("verdicts", 7) {
+            Err(CasError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("key"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mcpath-cas-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+}

@@ -128,6 +128,13 @@ pub struct McConfig {
     /// `threads`, this is pure scheduling policy: it never changes a
     /// verdict, only which process computes it.
     pub shard: Option<ShardSpec>,
+    /// Root of the content-addressed stage-artifact store
+    /// ([`CasStore`](crate::CasStore)); `None` (the default) disables
+    /// caching entirely. Set via `--cache-dir` or the `MCPATH_CACHE_DIR`
+    /// environment variable. Where the artifacts *live* never affects
+    /// what they *say*, so this knob is excluded from
+    /// [`McConfig::fingerprint`] and from every stage key.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for McConfig {
@@ -147,6 +154,7 @@ impl Default for McConfig {
             threads: 1,
             scheduler: Scheduler::default(),
             shard: None,
+            cache_dir: std::env::var_os("MCPATH_CACHE_DIR").map(std::path::PathBuf::from),
         }
     }
 }
@@ -259,6 +267,7 @@ mod tests {
         neutral.sim.tape = !neutral.sim.tape;
         neutral.static_classify = !neutral.static_classify;
         neutral.shard = Some(ShardSpec { index: 1, count: 4 });
+        neutral.cache_dir = Some(std::path::PathBuf::from("/tmp/mcpath-cache"));
         assert_eq!(neutral.fingerprint(), fp);
 
         // Verdict-affecting knobs each change it.

@@ -1,0 +1,422 @@
+//! ECO-incremental re-analysis: re-verify only what a netlist edit can
+//! have touched.
+//!
+//! An engineering change order (ECO) edits a handful of gates in an
+//! otherwise unchanged circuit. Re-running the full analysis discards
+//! almost everything the previous run proved; [`analyze_eco_with`]
+//! instead:
+//!
+//! 1. loads the **old** revision's `Verdicts` artifact from the store,
+//! 2. computes the name-keyed structural delta with [`mcp_netlist::diff`],
+//! 3. replans the **new** revision's sink groups (the same deterministic
+//!    prefilter + grouping code the shard planner replays), and
+//! 4. marks a group *dirty* exactly when its cone of influence in the
+//!    new time-frame expansion contains a changed node. Dirty groups are
+//!    re-verified by the engines; every clean group's pairs splice their
+//!    old verdicts (matched by FF *name* — indices may shift across the
+//!    edit), and pairs with no old verdict (newly created) are
+//!    re-verified too.
+//!
+//! **Soundness.** An engine verdict for a sink group depends only on the
+//! group's cone: the slice/no-slice canonical-identity contract
+//! guarantees classifying on the cone slice equals classifying on the
+//! whole circuit. A clean group's cone is name-and-structure identical
+//! in both revisions (any node whose kind or fanin wiring changed is in
+//! the delta, and a node reading a *removed* node has changed fanins, so
+//! removals can never hide inside a clean cone) — hence the old verdict
+//! is the verdict the engine would recompute. Two configurations break
+//! the cone-locality argument and fall back to a full run: the BDD
+//! engine (whole-circuit symbolic FSM) and whole-circuit static learning
+//! (`static_learning` without `slice`), whose learned implications can
+//! couple a group to logic outside its cone and shift step attribution.
+//!
+//! The prefilters and lint still run fresh on the new netlist — they are
+//! whole-circuit stages, and their surviving counters must reflect the
+//! new revision — so the final canonical report is **byte-identical** to
+//! a cold full analysis of the new netlist.
+
+use crate::cache::{cached_event, check_verdicts_identity, persist_trace};
+use crate::cas::CasStore;
+use crate::config::{Engine, McConfig};
+use crate::pipeline::{analyze_inner, candidate_pairs, pair_digest, AnalyzeError};
+use crate::report::{McReport, StepStats};
+use crate::resume::ResumePlan;
+use crate::stage::{
+    group_roots, plan_sink_groups, run_prefilters, Prefiltered, StageTrace, VerdictsArtifact,
+    STAGE_VERDICTS,
+};
+use mcp_netlist::{Expanded, Netlist};
+use mcp_obs::{ObsCtx, PairEvent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What an ECO re-analysis actually did, for reporting and CI assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EcoSummary {
+    /// `true` when no old verdicts could be spliced at all (no artifact
+    /// for the old revision, or a config that breaks cone locality) and
+    /// the analysis degenerated to a full cold run.
+    pub full_run: bool,
+    /// Changed or added node names in the delta.
+    pub changed_nodes: usize,
+    /// Removed node names in the delta.
+    pub removed_nodes: usize,
+    /// Sink groups in the new revision's plan.
+    pub groups_total: usize,
+    /// Groups whose cone intersects the delta (re-verified).
+    pub groups_reverified: usize,
+    /// Groups spliced entirely from the old revision's verdicts.
+    pub groups_spliced: usize,
+    /// Pairs answered from the old verdicts.
+    pub pairs_spliced: usize,
+    /// Pairs handed to the engines (dirty groups + newly created pairs).
+    pub pairs_reverified: usize,
+}
+
+/// Analyzes the `new` revision, splicing verdicts from the `old`
+/// revision's cached run for every sink group the edit provably cannot
+/// have affected, and re-verifying the rest. The canonical report is
+/// byte-identical to a cold full analysis of `new`; on success the
+/// store is populated with the new revision's artifacts, so subsequent
+/// warm or ECO runs chain off this one.
+///
+/// # Errors
+///
+/// Everything [`analyze`](crate::analyze) can return, plus
+/// [`AnalyzeError::CacheCorrupt`] / [`AnalyzeError::CacheIo`] for
+/// damaged or unwritable cache entries.
+pub fn analyze_eco_with(
+    old: &Netlist,
+    new: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+    store: &CasStore,
+) -> Result<(McReport, EcoSummary), AnalyzeError> {
+    // The cone-locality argument needs per-group engine verdicts:
+    // whole-circuit symbolic FSMs (BDD) and whole-circuit learned
+    // implication sets couple groups to logic outside their cones.
+    let cone_local =
+        !matches!(cfg.engine, Engine::Bdd { .. }) && (cfg.slice || !cfg.static_learning);
+    let old_key = crate::stage::stage_key_for(STAGE_VERDICTS, old.content_hash(), cfg);
+    let old_art = if cone_local {
+        store.get::<VerdictsArtifact>(STAGE_VERDICTS, old_key)?
+    } else {
+        None
+    };
+    let Some(old_art) = old_art else {
+        // Nothing to splice from: a plain (cached) full run of the new
+        // revision, which also populates the store.
+        let report = crate::cache::analyze_cached_with(new, cfg, obs, store)?;
+        let d = mcp_netlist::diff(old, new);
+        return Ok((
+            report,
+            EcoSummary {
+                full_run: true,
+                changed_nodes: d.changed.len(),
+                removed_nodes: d.removed.len(),
+                ..EcoSummary::default()
+            },
+        ));
+    };
+    check_verdicts_identity(
+        &old_art,
+        old.content_hash(),
+        cfg.fingerprint(),
+        pair_digest(&candidate_pairs(old, cfg)),
+    )?;
+    obs.metrics.cache_hits.add(1);
+
+    let delta = mcp_netlist::diff(old, new);
+
+    // Replan the new revision on a throwaway context, exactly like the
+    // shard planner: the real run re-journals and re-counts these stages
+    // itself, and the two code paths are the same functions so they
+    // cannot drift.
+    let plan_obs = ObsCtx::new();
+    let mut plan_stats = StepStats::default();
+    let mut plan_results = Vec::new();
+    let candidates = candidate_pairs(new, cfg);
+    let Prefiltered {
+        survivors,
+        ff_toggles,
+    } = run_prefilters(
+        new,
+        cfg,
+        &plan_obs,
+        &mut plan_stats,
+        &mut plan_results,
+        candidates,
+    );
+    let x = Expanded::build(new, cfg.frames());
+    let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
+
+    // Old verdicts keyed by FF *name*: indices can shift when the edit
+    // inserts or deletes flip-flops, names cannot.
+    let old_verdicts: BTreeMap<(&str, &str), &crate::stage::VerdictRecord> = old_art
+        .verdicts
+        .iter()
+        .map(|r| ((r.src_name.as_str(), r.dst_name.as_str()), r))
+        .collect();
+    let ff_names: Vec<&str> = new.dffs().iter().map(|&id| new.node(id).name()).collect();
+
+    let mut summary = EcoSummary {
+        groups_total: groups.len(),
+        changed_nodes: delta.changed.len(),
+        removed_nodes: delta.removed.len(),
+        ..EcoSummary::default()
+    };
+    let mut restored: BTreeMap<(usize, usize), PairEvent> = BTreeMap::new();
+    let mut invalidated = 0u64;
+    for group in &groups {
+        // Dirty iff any node of the group's cone originates from a
+        // changed netlist node. Every expansion node of a cone traces to
+        // an origin except the frame-0 FF pseudo-inputs, which carry no
+        // structure of their own.
+        let roots = group_roots(&x, group, cfg.cycles);
+        let dirty = !delta.changed.is_empty()
+            && x.cone_of(&roots).iter().any(|&id| {
+                x.node(id)
+                    .origin()
+                    .is_some_and(|(_, nid)| delta.changed.contains(new.node(nid).name()))
+            });
+        if dirty {
+            summary.groups_reverified += 1;
+            // Pairs whose old verdict exists but can no longer be
+            // trusted: the edit invalidated them.
+            invalidated += group
+                .sources
+                .iter()
+                .filter(|&&i| old_verdicts.contains_key(&(ff_names[i], ff_names[group.sink])))
+                .count() as u64;
+            summary.pairs_reverified += group.sources.len();
+            continue;
+        }
+        summary.groups_spliced += 1;
+        for &i in &group.sources {
+            match old_verdicts.get(&(ff_names[i], ff_names[group.sink])) {
+                Some(r) => {
+                    let mut event = cached_event(r);
+                    // Re-key to the new revision's FF indices.
+                    event.src = i;
+                    event.dst = group.sink;
+                    restored.insert((i, group.sink), event);
+                    summary.pairs_spliced += 1;
+                }
+                // A pair the old run never classified (e.g. newly
+                // connected through an unchanged cone — possible when
+                // the edit rewired logic *outside* this cone that used
+                // to block the prefilters): re-verify it.
+                None => summary.pairs_reverified += 1,
+            }
+        }
+    }
+    obs.metrics
+        .eco_groups_reverified
+        .add(summary.groups_reverified as u64);
+    obs.metrics
+        .eco_groups_spliced
+        .add(summary.groups_spliced as u64);
+    obs.metrics.cache_invalidations.add(invalidated);
+
+    let plan = ResumePlan {
+        restored,
+        from_cache: true,
+    };
+    let mut trace = StageTrace::default();
+    let report = analyze_inner(new, cfg, obs, Some(&plan), Some(&mut trace))?;
+    persist_trace(
+        store,
+        new.content_hash(),
+        cfg,
+        new.name(),
+        pair_digest(&candidate_pairs(new, cfg)),
+        trace,
+    )?;
+    Ok((report, summary))
+}
+
+/// The sinks of `groups` whose cones intersect `changed`, resolved
+/// against `new` — exposed for the CLI's ECO reporting and tests.
+pub fn dirty_sinks(new: &Netlist, cfg: &McConfig, changed: &BTreeSet<String>) -> Vec<usize> {
+    let plan_obs = ObsCtx::new();
+    let mut stats = StepStats::default();
+    let mut results = Vec::new();
+    let candidates = candidate_pairs(new, cfg);
+    let Prefiltered {
+        survivors,
+        ff_toggles,
+    } = run_prefilters(new, cfg, &plan_obs, &mut stats, &mut results, candidates);
+    let x = Expanded::build(new, cfg.frames());
+    let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
+    groups
+        .iter()
+        .filter(|g| {
+            let roots = group_roots(&x, g, cfg.cycles);
+            x.cone_of(&roots).iter().any(|&id| {
+                x.node(id)
+                    .origin()
+                    .is_some_and(|(_, nid)| changed.contains(new.node(nid).name()))
+            })
+        })
+        .map(|g| g.sink)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::analyze_cached_with;
+    use crate::cas::CasStore;
+    use crate::pipeline::analyze_with;
+    use mcp_gen::suite;
+    use mcp_netlist::bench;
+    use mcp_obs::MemSink;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mcpath-eco-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn canon(report: &McReport) -> String {
+        serde_json::to_string(&report.canonical()).expect("serialize")
+    }
+
+    /// One-gate edit to m27: flips an AND to an OR through the bench
+    /// text, exactly what an ECO does.
+    fn edited(nl: &Netlist) -> Netlist {
+        let text = bench::to_bench(nl);
+        let mut done = false;
+        let patched: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if !done && l.contains("= AND(") {
+                    done = true;
+                    l.replace("= AND(", "= OR(")
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect();
+        assert!(done, "no AND gate to edit in {}", nl.name());
+        bench::parse(nl.name(), &patched.join("\n")).expect("parse edited")
+    }
+
+    #[test]
+    fn eco_equals_cold_full_run_and_splices_clean_groups() {
+        let dir = tempdir("basic");
+        let store = CasStore::open(&dir).expect("open");
+        let old = suite::quick_suite().remove(1); // m298
+        let new = edited(&old);
+        let cfg = McConfig::default();
+        analyze_cached_with(&old, &cfg, &ObsCtx::new(), &store).expect("seed old");
+
+        let sink = Arc::new(MemSink::new());
+        let obs = ObsCtx::new().with_sink(Box::new(Arc::clone(&sink)));
+        let (eco, summary) = analyze_eco_with(&old, &new, &cfg, &obs, &store).expect("eco");
+        let cold = analyze_with(&new, &cfg, &ObsCtx::new()).expect("cold");
+        assert_eq!(canon(&eco), canon(&cold), "ECO must equal the cold run");
+
+        assert!(!summary.full_run);
+        assert_eq!(summary.changed_nodes, 1, "{summary:?}");
+        assert!(summary.groups_spliced > 0, "{summary:?}");
+        assert!(summary.groups_reverified > 0, "{summary:?}");
+        assert!(summary.pairs_spliced > 0);
+        // The journal separates spliced from re-verified work.
+        let events = sink.drain();
+        let cached = events.iter().filter(|e| e.cached).count();
+        let engine = events.iter().filter(|e| e.engine.is_some()).count();
+        assert_eq!(cached, summary.pairs_spliced);
+        assert_eq!(engine, summary.pairs_reverified);
+        let c = obs.snapshot().counters;
+        assert_eq!(c.eco_groups_spliced, summary.groups_spliced as u64);
+        assert_eq!(c.eco_groups_reverified, summary.groups_reverified as u64);
+        assert!(c.cache_invalidations > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn identical_revisions_splice_everything() {
+        let dir = tempdir("noop");
+        let store = CasStore::open(&dir).expect("open");
+        let nl = suite::quick_suite().remove(0); // m27
+        let cfg = McConfig::default();
+        let seeded = analyze_cached_with(&nl, &cfg, &ObsCtx::new(), &store).expect("seed");
+        let obs = ObsCtx::new();
+        let (eco, summary) = analyze_eco_with(&nl, &nl, &cfg, &obs, &store).expect("eco");
+        assert_eq!(canon(&eco), canon(&seeded));
+        assert_eq!(summary.groups_reverified, 0, "{summary:?}");
+        assert_eq!(summary.pairs_reverified, 0, "{summary:?}");
+        assert_eq!(summary.changed_nodes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_old_artifact_falls_back_to_a_full_run() {
+        let dir = tempdir("fallback");
+        let store = CasStore::open(&dir).expect("open");
+        let old = suite::quick_suite().remove(0);
+        let new = edited(&old);
+        let cfg = McConfig::default();
+        // No seed run for `old`: ECO must degrade to a (correct) full run.
+        let (eco, summary) =
+            analyze_eco_with(&old, &new, &cfg, &ObsCtx::new(), &store).expect("eco");
+        assert!(summary.full_run);
+        let cold = analyze_with(&new, &cfg, &ObsCtx::new()).expect("cold");
+        assert_eq!(canon(&eco), canon(&cold));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cone_coupling_configs_refuse_to_splice() {
+        // Whole-circuit static learning (no slice) breaks cone locality;
+        // the ECO path must fall back to a full run rather than splice.
+        let dir = tempdir("guard");
+        let store = CasStore::open(&dir).expect("open");
+        let old = suite::quick_suite().remove(0);
+        let new = edited(&old);
+        let cfg = McConfig {
+            static_learning: true,
+            slice: false,
+            ..McConfig::default()
+        };
+        analyze_cached_with(&old, &cfg, &ObsCtx::new(), &store).expect("seed");
+        let (eco, summary) =
+            analyze_eco_with(&old, &new, &cfg, &ObsCtx::new(), &store).expect("eco");
+        assert!(summary.full_run, "{summary:?}");
+        let cold = analyze_with(&new, &cfg, &ObsCtx::new()).expect("cold");
+        assert_eq!(canon(&eco), canon(&cold));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eco_matches_cold_across_threads_and_schedulers() {
+        // The acceptance matrix: ECO equality must hold under any
+        // verdict-neutral execution shape.
+        let dir = tempdir("matrix");
+        let store = CasStore::open(&dir).expect("open");
+        let old = suite::quick_suite().remove(0); // m27
+        let new = edited(&old);
+        analyze_cached_with(&old, &McConfig::default(), &ObsCtx::new(), &store).expect("seed");
+        let cold = analyze_with(&new, &McConfig::default(), &ObsCtx::new()).expect("cold");
+        let baseline = canon(&cold);
+        for scheduler in [crate::Scheduler::WorkSteal, crate::Scheduler::Static] {
+            for threads in [1usize, 2, 8] {
+                let cfg = McConfig {
+                    threads,
+                    scheduler,
+                    ..McConfig::default()
+                };
+                let (eco, _) =
+                    analyze_eco_with(&old, &new, &cfg, &ObsCtx::new(), &store).expect("eco");
+                assert_eq!(canon(&eco), baseline, "{scheduler:?} t={threads}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -43,7 +43,10 @@
 
 pub mod borrowing;
 pub mod budget;
+pub mod cache;
+pub mod cas;
 pub mod config;
+pub mod eco;
 pub mod engines;
 pub mod hazard;
 pub mod pipeline;
@@ -52,10 +55,14 @@ pub mod resume;
 mod schedule;
 pub mod sdc;
 pub mod shard;
+pub mod stage;
 
 pub use borrowing::condition2_candidates;
 pub use budget::{max_cycle_budget, max_cycle_budgets, CycleBudget, PairBudgets};
+pub use cache::{analyze_cached, analyze_cached_with};
+pub use cas::{CasError, CasStore};
 pub use config::{Engine, McConfig, Scheduler, ShardSpec};
+pub use eco::{analyze_eco_with, EcoSummary};
 pub use hazard::{
     check_hazards, check_hazards_with, sensitization_dependencies, HazardCheck, HazardReport,
     SensitizationDependencies,
@@ -65,3 +72,8 @@ pub use report::{McReport, PairClass, PairResult, Step, StepStats};
 pub use resume::{analyze_resume_with, plan_resume, ResumePlan};
 pub use sdc::{to_sdc, SdcOptions};
 pub use shard::{merge_shards, merge_shards_with, plan_shards, ShardPlan};
+pub use stage::{
+    config_slice, stage_key, stage_key_for, ExpandedArtifact, GroupRecord, GroupedArtifact,
+    LintedArtifact, ParsedArtifact, PrefilteredArtifact, ReportArtifact, VerdictRecord,
+    VerdictsArtifact, STAGES,
+};

@@ -7,13 +7,17 @@ use crate::engines::{
 use crate::report::{McReport, PairClass, PairResult, Step, StepStats};
 use crate::resume::ResumePlan;
 use crate::schedule::{run_items, PairFeed};
+use crate::stage::{
+    assign_shards, group_roots, grouped_artifact, order_hardest_first, plan_sink_groups,
+    run_prefilters, step_name, ExpandedArtifact, LintedArtifact, ParsedArtifact, Prefiltered,
+    PrefilteredArtifact, SinkGroup, StageTrace, VerdictRecord,
+};
 use mcp_atpg::SearchConfig;
 use mcp_bdd::{InitStates, Ref, SymbolicFsm};
 use mcp_implication::{learn, ImpEngine, LearnConfig, LearnedImplications};
-use mcp_netlist::{Expanded, Netlist, XId};
+use mcp_netlist::{Expanded, Netlist};
 use mcp_obs::{ObsCtx, PairEvent, RunHeader, LEDGER_VERSION};
 use mcp_sat::CircuitCnf;
-use mcp_sim::mc_filter_stats_seeded;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -95,6 +99,25 @@ pub enum AnalyzeError {
         /// Owned pairs with no verdict in its ledger.
         missing: usize,
     },
+    /// A cache entry exists under the expected key but is unreadable or
+    /// fails its integrity check (truncated or hand-edited JSON, a
+    /// payload digest that no longer matches, or an envelope naming a
+    /// different stage/key than its filename). Splicing from such an
+    /// entry could silently corrupt the report, so the run refuses —
+    /// delete the offending file (or the whole cache directory) and
+    /// rerun cold.
+    CacheCorrupt {
+        /// The stage whose entry is damaged.
+        stage: String,
+        /// What specifically failed to check out.
+        reason: String,
+    },
+    /// The artifact cache directory could not be created, read or
+    /// written.
+    CacheIo {
+        /// The underlying I/O failure.
+        reason: String,
+    },
 }
 
 /// Which run-identity digest disagreed in
@@ -174,6 +197,16 @@ impl fmt::Display for AnalyzeError {
                      in its ledger; resume that shard to completion before merging"
                 )
             }
+            AnalyzeError::CacheCorrupt { stage, reason } => {
+                write!(
+                    f,
+                    "corrupt cache entry for stage `{stage}`: {reason}; \
+                     delete the entry (or the cache directory) and rerun cold"
+                )
+            }
+            AnalyzeError::CacheIo { reason } => {
+                write!(f, "cache directory I/O error: {reason}")
+            }
         }
     }
 }
@@ -210,7 +243,7 @@ pub fn analyze_with(
     cfg: &McConfig,
     obs: &ObsCtx,
 ) -> Result<McReport, AnalyzeError> {
-    analyze_inner(netlist, cfg, obs, None)
+    analyze_inner(netlist, cfg, obs, None, None)
 }
 
 /// The structural candidate pair set the pipeline commits to: every
@@ -259,6 +292,7 @@ pub(crate) fn analyze_inner(
     cfg: &McConfig,
     obs: &ObsCtx,
     resume: Option<&ResumePlan>,
+    mut trace: Option<&mut StageTrace>,
 ) -> Result<McReport, AnalyzeError> {
     if cfg.cycles < 2 {
         return Err(AnalyzeError::InvalidCycles { got: cfg.cycles });
@@ -342,6 +376,35 @@ pub(crate) fn analyze_inner(
     let tr_prepare = obs.trace_span(|| "analyze/prepare".to_owned());
     let x = Expanded::build(netlist, cfg.frames());
 
+    // Record the early-stage artifacts before sharding or splicing can
+    // touch the survivor set: the artifacts describe the canonical
+    // (unsharded, cold) shape of the run.
+    if let Some(t) = trace.as_deref_mut() {
+        let nh = netlist.content_hash();
+        let s = netlist.stats();
+        t.parsed = Some(ParsedArtifact {
+            circuit: netlist.name().to_owned(),
+            netlist_hash: nh,
+            inputs: s.inputs as u64,
+            ffs: s.ffs as u64,
+            gates: s.gates as u64,
+        });
+        t.linted = Some(LintedArtifact {
+            netlist_hash: nh,
+            gated: cfg.lint,
+        });
+        t.prefiltered = Some(PrefilteredArtifact {
+            survivors: survivors.clone(),
+            static_multi: stats.multi_by_static as u64,
+            sim_single: stats.single_by_sim as u64,
+        });
+        t.expanded = Some(ExpandedArtifact {
+            netlist_hash: nh,
+            frames: cfg.frames(),
+            nodes: x.num_nodes() as u64,
+        });
+    }
+
     // Shard filter: keep only the pairs this process owns under the
     // deterministic sink-group partition. Ownership is computed over the
     // *pre-resume* survivors — the prefilters are seed-deterministic, so
@@ -378,14 +441,26 @@ pub(crate) fn analyze_inner(
                 restored.push(((i, j), verdict_from_event(event)));
                 if obs.sink().enabled() {
                     let mut replay = event.clone();
-                    replay.resumed = true;
+                    if plan.from_cache {
+                        // A cache splice is not a crash recovery: the
+                        // event advertises its provenance via `cached`
+                        // and carries no engine tag, so a warm run's
+                        // ledger shows zero engine work.
+                        replay.cached = true;
+                    } else {
+                        replay.resumed = true;
+                    }
                     obs.sink().record(&replay);
                 }
                 false
             }
             None => true,
         });
-        obs.metrics.resume_pairs_loaded.add(restored.len() as u64);
+        if plan.from_cache {
+            obs.metrics.cache_pairs_spliced.add(restored.len() as u64);
+        } else {
+            obs.metrics.resume_pairs_loaded.add(restored.len() as u64);
+        }
     }
 
     // Sink-group planning: survivors sharing a sink FF form one work
@@ -398,6 +473,26 @@ pub(crate) fn analyze_inner(
     // re-sorted by pair at the end, so this is pure scheduling policy.
     let groups = plan_sink_groups(&x, &survivors, ff_toggles.as_deref(), cfg.cycles);
     order_hardest_first(&mut survivors, &groups);
+    if let Some(t) = trace.as_deref_mut() {
+        // Post-splice the groups cover only the re-verified residue; the
+        // canonical Grouped artifact is the plan over *all* prefilter
+        // survivors, recomputed the same way the shard planner does it.
+        t.grouped = Some(if restored.is_empty() {
+            grouped_artifact(&groups)
+        } else {
+            let full = t
+                .prefiltered
+                .as_ref()
+                .map(|p| p.survivors.as_slice())
+                .unwrap_or(&[]);
+            grouped_artifact(&plan_sink_groups(
+                &x,
+                full,
+                ff_toggles.as_deref(),
+                cfg.cycles,
+            ))
+        });
+    }
     drop(tr_prepare);
 
     // Steps 3-4: engine-specific classification of the survivors. The
@@ -679,8 +774,18 @@ pub(crate) fn analyze_inner(
         }
     };
 
-    // Merge the run's verdicts with any restored by `--resume`; the
-    // final sort below makes the interleaving irrelevant.
+    // Merge the run's verdicts with any restored by `--resume` or a
+    // cache splice; the final sort below makes the interleaving
+    // irrelevant. With a stage trace attached, every merged verdict also
+    // lands in the Verdicts artifact — keyed by FF name as well as
+    // index, so ECO re-analysis can map it across a netlist edit.
+    let ff_names: Option<Vec<&str>> = trace.is_some().then(|| {
+        netlist
+            .dffs()
+            .iter()
+            .map(|&id| netlist.node(id).name())
+            .collect()
+    });
     for ((i, j), v) in verdicts.into_iter().chain(restored) {
         let class = match v {
             Verdict::Multi { by } => {
@@ -702,6 +807,22 @@ pub(crate) fn analyze_inner(
                 PairClass::Unknown
             }
         };
+        if let Some(t) = trace.as_deref_mut() {
+            let names = ff_names.as_ref().expect("FF names built with the trace");
+            let (step, cls) = match v {
+                Verdict::Multi { by } => (step_name(by), "multi"),
+                Verdict::Single { by } => (step_name(by), "single"),
+                Verdict::Unknown => ("atpg", "unknown"),
+            };
+            t.verdicts.push(VerdictRecord {
+                src: i,
+                dst: j,
+                src_name: names[i].to_owned(),
+                dst_name: names[j].to_owned(),
+                step: step.to_owned(),
+                class: cls.to_owned(),
+            });
+        }
         results.push(PairResult {
             src: i,
             dst: j,
@@ -726,201 +847,6 @@ pub(crate) fn analyze_inner(
         stats,
         obs.snapshot(),
     ))
-}
-
-/// Outcome of the deterministic prefilter stages.
-pub(crate) struct Prefiltered {
-    /// Candidate pairs no prefilter could resolve, in candidate order.
-    pub(crate) survivors: Vec<(usize, usize)>,
-    /// Per-FF toggle activity from the sim filter (`None` when the
-    /// filter was off) — the scheduler's hardness boost.
-    pub(crate) ff_toggles: Option<Vec<u64>>,
-}
-
-/// Steps 1.5–2 of the pipeline: static pre-classification followed by
-/// the random-pattern simulation prefilter. Resolved pairs land in
-/// `results`/`stats` (and the journal); the survivors come back.
-///
-/// Factored out of [`analyze_inner`] because shard ownership is defined
-/// over the prefiltered survivors: the merge planner re-runs exactly
-/// this code (on a throwaway `ObsCtx`) to recompute which pairs each
-/// shard owned, and any drift between the two paths would unsoundly
-/// shift ownership. Both stages are deterministic for a fixed netlist
-/// and fingerprint-covered config — the static pass is a pure dataflow
-/// fixpoint, and the sim filter draws from a fixed seed word-slot-major,
-/// independent of thread count.
-pub(crate) fn run_prefilters(
-    netlist: &Netlist,
-    cfg: &McConfig,
-    obs: &ObsCtx,
-    stats: &mut StepStats,
-    results: &mut Vec<PairResult>,
-    mut candidates: Vec<(usize, usize)>,
-) -> Prefiltered {
-    // Step 1.5: static pre-classification. The forward ternary lattice
-    // (`mcp_lint::const_lattice`) evaluated at its *first* Kleene
-    // iterate — every FF output X — under-approximates every concrete
-    // state, so a node it calls definite holds that value at every time
-    // frame, from any initial state, under any stimulus. A sink FF whose
-    // D input is such a node ("frozen sink") therefore never transitions:
-    // the pair is multi-cycle for every cycle budget and backtrack limit,
-    // and the sim prefilter can never produce a violation witness for it
-    // either — which is why removing these pairs before the filter leaves
-    // the drop set over the remaining pairs untouched (the filter's RNG
-    // draws word-slot-major, independent of the pair list), keeping the
-    // canonical report byte-identical with the pass on or off. Only the
-    // first iterate is sound here: fixpoint-only constants hold *after*
-    // the widening horizon, not at frame 0, and feed the lint rules
-    // instead. Without a CONST node the lattice has no seeds, so the
-    // whole pass is skipped as a no-op.
-    let mut base_consts: Option<Vec<mcp_logic::V3>> = None;
-    let has_consts = netlist
-        .nodes()
-        .any(|(_, n)| matches!(n.kind(), mcp_netlist::NodeKind::Const(_)));
-    if cfg.static_classify && !candidates.is_empty() && has_consts {
-        let t_static = obs.timers.span("analyze/static");
-        let _tr_static = obs.trace_span(|| "analyze/static".to_owned());
-        let lattice = mcp_lint::const_lattice(netlist);
-        obs.metrics
-            .dataflow_consts
-            .add(lattice.num_definite_base() as u64);
-        obs.metrics.dataflow_iters.add(lattice.iterations as u64);
-        let frozen: Vec<bool> = (0..netlist.num_ffs())
-            .map(|j| lattice.base[netlist.ff_d_input(j).index()].is_definite())
-            .collect();
-        candidates.retain(|&(i, j)| {
-            if !frozen[j] {
-                return true;
-            }
-            results.push(PairResult {
-                src: i,
-                dst: j,
-                class: PairClass::MultiCycle {
-                    by: Step::Structural,
-                },
-            });
-            stats.multi_by_static += 1;
-            obs.metrics.static_resolved.add(1);
-            if obs.sink().enabled() {
-                // Resolved before any engine ran: no engine tag, no
-                // attributable per-pair time. `--resume` recomputes
-                // these (the pass is cheap and deterministic), exactly
-                // like sim-prefilter drops.
-                obs.sink().record(&PairEvent {
-                    src: i,
-                    dst: j,
-                    step: "structural".to_owned(),
-                    class: "multi".to_owned(),
-                    engine: None,
-                    assignments: Vec::new(),
-                    micros: 0,
-                    sim_word: None,
-                    slice_nodes: None,
-                    slice_vars: None,
-                    resumed: false,
-                    static_pass: true,
-                });
-            }
-            false
-        });
-        base_consts = Some(lattice.base);
-        stats.time_static = t_static.stop();
-    }
-
-    // Step 2: random-pattern simulation. For k-cycle budgets above 2 the
-    // 2-cycle witness is still a valid violation witness (a pair violating
-    // the 2-cycle condition also violates any k ≥ 2 condition? No — the
-    // k-cycle condition constrains MORE sink times, so a 2-frame witness
-    // is indeed a k-frame witness), so the filter applies unchanged.
-    let mut ff_toggles: Option<Vec<u64>> = None;
-    let survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
-        let t_sim = obs.timers.span("analyze/sim");
-        let _tr_sim = obs.trace_span(|| "analyze/sim".to_owned());
-        // The base lattice (when the pre-pass computed one) seeds the
-        // tape compiler: provably constant gates are pinned and their
-        // instructions folded away. Outcome-identical — the constants
-        // hold under every stimulus — so only kernel effort shrinks.
-        let consts = base_consts.as_deref().unwrap_or(&[]);
-        let (out, sim_stats) = mc_filter_stats_seeded(netlist, &candidates, &cfg.sim, consts);
-        stats.time_sim = t_sim.stop();
-        stats.sim_words = out.words_simulated;
-        obs.metrics.sim_words.add(out.words_simulated);
-        obs.metrics.sim_pairs_dropped.add(out.dropped() as u64);
-        obs.metrics.sim_passes.add(sim_stats.passes);
-        obs.metrics.sim_tape_ops.add(sim_stats.tape_ops);
-        for d in &out.drops {
-            results.push(PairResult {
-                src: d.src,
-                dst: d.dst,
-                class: PairClass::SingleCycle {
-                    by: Step::RandomSim,
-                },
-            });
-            stats.single_by_sim += 1;
-            if obs.sink().enabled() {
-                // Simulation kills pairs in bulk; elapsed time is not
-                // attributable per pair (reported as 0), but the word
-                // whose lane witnessed the violation is.
-                obs.sink().record(&PairEvent {
-                    src: d.src,
-                    dst: d.dst,
-                    step: "random_sim".to_owned(),
-                    class: "single".to_owned(),
-                    engine: None,
-                    assignments: Vec::new(),
-                    micros: 0,
-                    sim_word: Some(d.word),
-                    slice_nodes: None,
-                    slice_vars: None,
-                    resumed: false,
-                    static_pass: false,
-                });
-            }
-        }
-        ff_toggles = Some(out.ff_toggles);
-        out.survivors
-    } else {
-        candidates
-    };
-    Prefiltered {
-        survivors,
-        ff_toggles,
-    }
-}
-
-/// Partitions the sink groups over `count` shards and returns each
-/// shard's pair set (`count` entries, possibly empty).
-///
-/// Greedy LPT (longest-processing-time) over the groups in their
-/// deterministic hardest-first order: each group goes, whole, to the
-/// currently least-loaded shard (ties to the lowest shard index). Keeping
-/// groups whole preserves the one-slice-per-sink-group economics inside
-/// every shard; LPT keeps the load split within 4/3 of optimal for the
-/// heavy-tailed group costs. The input order, the costs and the tie
-/// break are all deterministic, so every process — shards, resumes, the
-/// merge planner — derives the identical partition.
-pub(crate) fn assign_shards(groups: &[SinkGroup], count: u64) -> Vec<Vec<(usize, usize)>> {
-    let count = count.max(1) as usize;
-    let mut shards: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
-    let mut load = vec![0u64; count];
-    for g in groups {
-        let lightest = (0..count).min_by_key(|&s| (load[s], s)).unwrap_or(0);
-        // Every group costs at least its slice walk even when the cost
-        // hint degenerates to 0, so bare group count still balances.
-        load[lightest] += g.cost.max(1);
-        shards[lightest].extend(g.sources.iter().map(|&i| (i, g.sink)));
-    }
-    shards
-}
-
-/// Journal name of a resolving [`Step`].
-pub(crate) fn step_name(step: Step) -> &'static str {
-    match step {
-        Step::Structural => "structural",
-        Step::RandomSim => "random_sim",
-        Step::Implication => "implication",
-        Step::Atpg => "atpg",
-    }
 }
 
 /// Builds the journal record for one engine-classified pair. `slice` is
@@ -953,6 +879,7 @@ fn verdict_event(
         slice_vars: slice.map(|(_, v)| v),
         resumed: false,
         static_pass: false,
+        cached: false,
     }
 }
 
@@ -966,111 +893,6 @@ fn new_engine_with_learned<'a>(x: &'a Expanded, learned: &'a LearnedImplications
     }
     let _ = eng.propagate();
     eng
-}
-
-/// One unit of engine work: every surviving pair sharing a sink FF.
-///
-/// Grouping by sink maximizes slice reuse: the `k`-frame sink cone
-/// dominates the slice, and every source of the sink already lies inside
-/// it (the pair is topologically connected), so one slice — and the
-/// engine state built on it — serves the whole group.
-pub(crate) struct SinkGroup {
-    /// Sink FF index (the `j` of every pair in the group).
-    sink: usize,
-    /// Source FF indices, ascending — the in-group classification order.
-    sources: Vec<usize>,
-    /// Exact node count of the group's cone slice (from
-    /// [`Expanded::cone_of`]) — the effort hint shared by the scheduler.
-    slice_nodes: u64,
-    /// Scheduling cost hint: `slice_nodes` boosted by sim-filter source
-    /// activity.
-    cost: u64,
-}
-
-/// The expansion nodes a sink group's engines inspect: source transition
-/// boundary (`t`, `t+1`) for every source, sink values at `t+1 ..= t+k`.
-/// Their fanin cone is exactly the logic any of the group's per-pair
-/// queries can touch.
-fn group_roots(x: &Expanded, group: &SinkGroup, cycles: u32) -> Vec<XId> {
-    let mut roots = Vec::with_capacity(2 * group.sources.len() + cycles as usize);
-    for &i in &group.sources {
-        roots.push(x.ff_at(i, 0));
-        roots.push(x.ff_at(i, 1));
-    }
-    for m in 1..=cycles {
-        roots.push(x.ff_at(group.sink, m));
-    }
-    roots.sort_unstable();
-    roots.dedup();
-    roots
-}
-
-/// Groups `survivors` by sink FF and orders the groups hardest-first.
-///
-/// The cost hint combines two signals available before any engine runs:
-///
-/// - **Exact slice size** (the node count of the group's cone of
-///   influence in the `k`-frame expansion) — the work both the slice
-///   build and every per-pair query scale with. This replaces the older
-///   netlist-level fanin-cone proxy, which ignored cone overlap and gate
-///   depth entirely.
-/// - **Sim-filter source activity** ([`mcp_sim::FilterOutcome::ff_toggles`],
-///   when the filter ran): a pair that survived *despite* a
-///   frequently-toggling source resisted that many concrete premise
-///   witnesses, so its refutation (if any) is unlikely to be easy —
-///   boost its group ahead of groups whose sources barely toggled.
-///
-/// Ties break on the sink index, keeping the group order (and thus the
-/// static-chunk partition) fully deterministic.
-pub(crate) fn plan_sink_groups(
-    x: &Expanded,
-    survivors: &[(usize, usize)],
-    ff_toggles: Option<&[u64]>,
-    cycles: u32,
-) -> Vec<SinkGroup> {
-    let mut by_sink: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for &(i, j) in survivors {
-        by_sink.entry(j).or_default().push(i);
-    }
-    let mut groups: Vec<SinkGroup> = by_sink
-        .into_iter()
-        .map(|(sink, mut sources)| {
-            sources.sort_unstable();
-            sources.dedup();
-            let mut g = SinkGroup {
-                sink,
-                sources,
-                slice_nodes: 0,
-                cost: 0,
-            };
-            g.slice_nodes = x.cone_of(&group_roots(x, &g, cycles)).len() as u64;
-            // Saturating at 7 keeps the boost bounded: beyond ~7 toggling
-            // lanes the premise is plainly easy to excite and tells us
-            // nothing more about hardness.
-            let boost = match ff_toggles {
-                Some(t) => 1 + g.sources.iter().map(|&i| t[i]).max().unwrap_or(0).min(7),
-                None => 1,
-            };
-            g.cost = g.slice_nodes * boost;
-            g
-        })
-        .collect();
-    groups.sort_unstable_by_key(|g| (std::cmp::Reverse(g.cost), g.sink));
-    groups
-}
-
-/// Rewrites `survivors` into the scheduling order implied by `groups`:
-/// hardest group first, ascending source within a group. Used directly
-/// by the engines that consume a flat pair list (BDD, no-slice
-/// implication); the group-fed engines get the same order from the
-/// groups themselves.
-fn order_hardest_first(survivors: &mut Vec<(usize, usize)>, groups: &[SinkGroup]) {
-    survivors.clear();
-    for g in groups {
-        for &i in &g.sources {
-            survivors.push((i, g.sink));
-        }
-    }
 }
 
 /// Accounts one slice construction of `(nodes, vars)` size that serves a

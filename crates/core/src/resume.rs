@@ -26,6 +26,11 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct ResumePlan {
     pub(crate) restored: BTreeMap<(usize, usize), PairEvent>,
+    /// `true` when the plan splices from the artifact cache rather than
+    /// a crash-recovery ledger: spliced events are re-journaled with
+    /// `cached` (no engine tag) instead of `resumed`, and land in the
+    /// cache counters instead of the resume ones.
+    pub(crate) from_cache: bool,
 }
 
 impl ResumePlan {
@@ -136,7 +141,10 @@ pub fn plan_resume(
         // are identical anyway.
         restored.insert(pair, event.clone());
     }
-    Ok(ResumePlan { restored })
+    Ok(ResumePlan {
+        restored,
+        from_cache: false,
+    })
 }
 
 /// [`analyze_with`](crate::analyze_with), restarted from a prior run's
@@ -155,7 +163,7 @@ pub fn analyze_resume_with(
     ledger: &Ledger,
 ) -> Result<McReport, AnalyzeError> {
     let plan = plan_resume(netlist, cfg, ledger)?;
-    analyze_inner(netlist, cfg, obs, Some(&plan))
+    analyze_inner(netlist, cfg, obs, Some(&plan), None)
 }
 
 #[cfg(test)]

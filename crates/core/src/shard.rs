@@ -26,12 +26,10 @@
 //!   *is* that run, with the engine work pre-supplied.
 
 use crate::config::McConfig;
-use crate::pipeline::{
-    analyze_inner, assign_shards, candidate_pairs, pair_digest, plan_sink_groups, run_prefilters,
-    AnalyzeError, DigestKind, Prefiltered,
-};
+use crate::pipeline::{analyze_inner, candidate_pairs, pair_digest, AnalyzeError, DigestKind};
 use crate::report::{McReport, StepStats};
 use crate::resume::ResumePlan;
+use crate::stage::{assign_shards, plan_sink_groups, run_prefilters, Prefiltered};
 use mcp_netlist::{Expanded, Netlist};
 use mcp_obs::{Ledger, ObsCtx, PairEvent, LEDGER_VERSION};
 use std::collections::{BTreeMap, BTreeSet};
@@ -311,8 +309,11 @@ pub fn merge_shards_with(
     // verdict restores, and the engines see an empty work list.
     let mut unsharded = cfg.clone();
     unsharded.shard = None;
-    let plan = ResumePlan { restored };
-    analyze_inner(netlist, &unsharded, obs, Some(&plan))
+    let plan = ResumePlan {
+        restored,
+        from_cache: false,
+    };
+    analyze_inner(netlist, &unsharded, obs, Some(&plan), None)
 }
 
 #[cfg(test)]

@@ -1,0 +1,652 @@
+//! The staged artifact graph of the analysis pipeline.
+//!
+//! The pipeline is an explicit chain of stages
+//!
+//! ```text
+//! Parsed → Linted → Expanded → Prefiltered → Grouped → Verdicts → Report
+//! ```
+//!
+//! where each stage is a named, serializable artifact keyed by a
+//! content hash of its inputs: the netlist content hash crossed with
+//! the fingerprint-covered config slice that stage actually reads
+//! ([`stage_key_for`]). The cheap deterministic stages (parse, lint,
+//! expansion, prefilters, grouping) are always recomputed — they are
+//! seed-deterministic and faster than deserializing — and their
+//! artifacts exist as the *identity record* the content-addressed store
+//! ([`CasStore`](crate::CasStore)) persists for observability and
+//! invalidation. The expensive stage is `Verdicts`: its artifact
+//! carries every engine verdict keyed both by FF index and FF *name*,
+//! which is what lets a warm rerun splice all engine work from the
+//! store and lets ECO re-analysis map surviving verdicts across a
+//! netlist edit.
+//!
+//! This module also owns the stage *implementations* shared by the
+//! pipeline, the shard planner and the ECO planner: the deterministic
+//! prefilters ([`run_prefilters`]) and the sink-group planning
+//! ([`plan_sink_groups`], [`assign_shards`]). Keeping them in one place
+//! is what guarantees the planners can never drift from the run.
+
+use crate::config::McConfig;
+use crate::report::{PairClass, PairResult, Step, StepStats};
+use mcp_netlist::{Expanded, Netlist, XId};
+use mcp_obs::{ObsCtx, PairEvent};
+use mcp_sim::mc_filter_stats_seeded;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Stage name: the parsed netlist identity.
+pub const STAGE_PARSED: &str = "parsed";
+/// Stage name: the admission-lint outcome.
+pub const STAGE_LINTED: &str = "linted";
+/// Stage name: the time-frame expansion summary.
+pub const STAGE_EXPANDED: &str = "expanded";
+/// Stage name: the prefilter outcome (static + random simulation).
+pub const STAGE_PREFILTERED: &str = "prefiltered";
+/// Stage name: the sink-group plan.
+pub const STAGE_GROUPED: &str = "grouped";
+/// Stage name: the engine verdicts — the replayable artifact.
+pub const STAGE_VERDICTS: &str = "verdicts";
+/// Stage name: the canonical report.
+pub const STAGE_REPORT: &str = "report";
+
+/// Every stage of the artifact graph, in pipeline order.
+pub const STAGES: [&str; 7] = [
+    STAGE_PARSED,
+    STAGE_LINTED,
+    STAGE_EXPANDED,
+    STAGE_PREFILTERED,
+    STAGE_GROUPED,
+    STAGE_VERDICTS,
+    STAGE_REPORT,
+];
+
+/// Content key of one stage artifact: the stage name crossed with the
+/// netlist content hash and the config slice the stage reads.
+pub fn stage_key(stage: &str, netlist_hash: u64, config_slice: u64) -> u64 {
+    mcp_obs::fnv1a(format!("{stage}:{netlist_hash:016x}:{config_slice:016x}").as_bytes())
+}
+
+/// The fingerprint-covered config slice a stage reads.
+///
+/// Early stages depend on less of the config than the engines do, so
+/// their artifacts survive config changes that would invalidate the
+/// verdicts: parse and lint read nothing (netlist-only), expansion
+/// reads the cycle budget, the prefilters read the sim-filter knobs,
+/// and everything from grouping on is keyed by the full
+/// verdict-affecting [`McConfig::fingerprint`]. Verdict-*neutral*
+/// knobs (threads, scheduler, slicing, lanes, the static pre-pass,
+/// `cache_dir` itself) never enter any key, mirroring the fingerprint's
+/// own exclusions.
+pub fn config_slice(stage: &str, cfg: &McConfig) -> u64 {
+    let text = match stage {
+        STAGE_PARSED | STAGE_LINTED => String::new(),
+        STAGE_EXPANDED => format!("cycles={}", cfg.cycles),
+        STAGE_PREFILTERED => format!(
+            "cycles={};sim={};seed={};idle={};max={};self_pairs={}",
+            cfg.cycles,
+            cfg.use_sim_filter,
+            cfg.sim.seed,
+            cfg.sim.idle_words,
+            cfg.sim.max_words,
+            cfg.include_self_pairs,
+        ),
+        _ => return cfg.fingerprint(),
+    };
+    mcp_obs::fnv1a(text.as_bytes())
+}
+
+/// [`stage_key`] with the config slice derived from `cfg` via
+/// [`config_slice`].
+pub fn stage_key_for(stage: &str, netlist_hash: u64, cfg: &McConfig) -> u64 {
+    stage_key(stage, netlist_hash, config_slice(stage, cfg))
+}
+
+/// `Parsed` artifact: the circuit's identity and size summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedArtifact {
+    /// Circuit name.
+    pub circuit: String,
+    /// Netlist content hash ([`Netlist::content_hash`]).
+    pub netlist_hash: u64,
+    /// Primary input count.
+    pub inputs: u64,
+    /// Flip-flop count.
+    pub ffs: u64,
+    /// Combinational gate count.
+    pub gates: u64,
+}
+
+/// `Linted` artifact: the admission-lint outcome for a netlist that
+/// passed the gate (a failing netlist never produces artifacts — the
+/// run refuses with [`AnalyzeError::CorruptNetlist`](crate::AnalyzeError)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintedArtifact {
+    /// Netlist content hash.
+    pub netlist_hash: u64,
+    /// Whether the error-level lint gate actually ran (`McConfig::lint`).
+    pub gated: bool,
+}
+
+/// `Expanded` artifact: size summary of the time-frame expansion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpandedArtifact {
+    /// Netlist content hash.
+    pub netlist_hash: u64,
+    /// Frames expanded (the cycle budget).
+    pub frames: u32,
+    /// Expansion node count.
+    pub nodes: u64,
+}
+
+/// `Prefiltered` artifact: the pairs the deterministic prefilters could
+/// not resolve, plus the per-prefilter resolution counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefilteredArtifact {
+    /// Surviving candidate pairs, in candidate order.
+    pub survivors: Vec<(usize, usize)>,
+    /// Pairs the static dataflow pre-pass proved multi-cycle.
+    pub static_multi: u64,
+    /// Pairs random simulation disproved.
+    pub sim_single: u64,
+}
+
+/// One sink group of the `Grouped` artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupRecord {
+    /// Sink FF index.
+    pub sink: usize,
+    /// Source FF indices, ascending.
+    pub sources: Vec<usize>,
+    /// Exact cone-slice node count (the effort hint).
+    pub slice_nodes: u64,
+    /// Scheduling cost hint.
+    pub cost: u64,
+}
+
+/// `Grouped` artifact: the deterministic sink-group plan, in
+/// hardest-first order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupedArtifact {
+    /// The groups, hardest first.
+    pub groups: Vec<GroupRecord>,
+}
+
+/// One engine verdict of the `Verdicts` artifact.
+///
+/// Pairs are recorded both by FF index (exact replay on the identical
+/// netlist) and by FF *name* (the stable key ECO re-analysis maps
+/// across a netlist edit, where indices may shift).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictRecord {
+    /// Source FF index.
+    pub src: usize,
+    /// Sink FF index.
+    pub dst: usize,
+    /// Source FF node name.
+    pub src_name: String,
+    /// Sink FF node name.
+    pub dst_name: String,
+    /// Resolving step (journal name, see [`step_name`]).
+    pub step: String,
+    /// Verdict class: `multi`, `single` or `unknown`.
+    pub class: String,
+}
+
+/// `Verdicts` artifact: every engine verdict of a completed run, plus
+/// the run-identity digests a replay validates before splicing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictsArtifact {
+    /// Circuit name.
+    pub circuit: String,
+    /// Netlist content hash the verdicts belong to.
+    pub netlist_hash: u64,
+    /// Verdict-affecting config fingerprint.
+    pub config_fingerprint: u64,
+    /// Candidate pair-set digest.
+    pub pair_digest: u64,
+    /// Engine verdicts, sorted by `(src, dst)`.
+    pub verdicts: Vec<VerdictRecord>,
+}
+
+/// `Report` artifact: the canonical (wall-clock-free) report JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportArtifact {
+    /// `serde_json` serialization of [`McReport::canonical`](crate::McReport::canonical).
+    pub canonical: String,
+}
+
+/// Per-stage artifacts collected from one cold run, for persisting into
+/// the store. Filled by `analyze_inner` when a collector is supplied.
+#[derive(Debug, Default)]
+pub(crate) struct StageTrace {
+    pub(crate) parsed: Option<ParsedArtifact>,
+    pub(crate) linted: Option<LintedArtifact>,
+    pub(crate) expanded: Option<ExpandedArtifact>,
+    pub(crate) prefiltered: Option<PrefilteredArtifact>,
+    pub(crate) grouped: Option<GroupedArtifact>,
+    pub(crate) verdicts: Vec<VerdictRecord>,
+}
+
+/// Journal name of a resolving [`Step`].
+pub(crate) fn step_name(step: Step) -> &'static str {
+    match step {
+        Step::Structural => "structural",
+        Step::RandomSim => "random_sim",
+        Step::Implication => "implication",
+        Step::Atpg => "atpg",
+    }
+}
+
+/// Outcome of the deterministic prefilter stages.
+pub(crate) struct Prefiltered {
+    /// Candidate pairs no prefilter could resolve, in candidate order.
+    pub(crate) survivors: Vec<(usize, usize)>,
+    /// Per-FF toggle activity from the sim filter (`None` when the
+    /// filter was off) — the scheduler's hardness boost.
+    pub(crate) ff_toggles: Option<Vec<u64>>,
+}
+
+/// Steps 1.5–2 of the pipeline: static pre-classification followed by
+/// the random-pattern simulation prefilter. Resolved pairs land in
+/// `results`/`stats` (and the journal); the survivors come back.
+///
+/// Factored out of `analyze_inner` because shard ownership and the ECO
+/// dirty-group analysis are both defined over the prefiltered
+/// survivors: the merge planner and the ECO planner re-run exactly this
+/// code (on a throwaway `ObsCtx`) to recompute the survivor set, and
+/// any drift between the paths would unsoundly shift ownership. Both
+/// stages are deterministic for a fixed netlist and fingerprint-covered
+/// config — the static pass is a pure dataflow fixpoint, and the sim
+/// filter draws from a fixed seed word-slot-major, independent of
+/// thread count.
+pub(crate) fn run_prefilters(
+    netlist: &Netlist,
+    cfg: &McConfig,
+    obs: &ObsCtx,
+    stats: &mut StepStats,
+    results: &mut Vec<PairResult>,
+    mut candidates: Vec<(usize, usize)>,
+) -> Prefiltered {
+    // Step 1.5: static pre-classification. The forward ternary lattice
+    // (`mcp_lint::const_lattice`) evaluated at its *first* Kleene
+    // iterate — every FF output X — under-approximates every concrete
+    // state, so a node it calls definite holds that value at every time
+    // frame, from any initial state, under any stimulus. A sink FF whose
+    // D input is such a node ("frozen sink") therefore never transitions:
+    // the pair is multi-cycle for every cycle budget and backtrack limit,
+    // and the sim prefilter can never produce a violation witness for it
+    // either — which is why removing these pairs before the filter leaves
+    // the drop set over the remaining pairs untouched (the filter's RNG
+    // draws word-slot-major, independent of the pair list), keeping the
+    // canonical report byte-identical with the pass on or off. Only the
+    // first iterate is sound here: fixpoint-only constants hold *after*
+    // the widening horizon, not at frame 0, and feed the lint rules
+    // instead. Without a CONST node the lattice has no seeds, so the
+    // whole pass is skipped as a no-op.
+    let mut base_consts: Option<Vec<mcp_logic::V3>> = None;
+    let has_consts = netlist
+        .nodes()
+        .any(|(_, n)| matches!(n.kind(), mcp_netlist::NodeKind::Const(_)));
+    if cfg.static_classify && !candidates.is_empty() && has_consts {
+        let t_static = obs.timers.span("analyze/static");
+        let _tr_static = obs.trace_span(|| "analyze/static".to_owned());
+        let lattice = mcp_lint::const_lattice(netlist);
+        obs.metrics
+            .dataflow_consts
+            .add(lattice.num_definite_base() as u64);
+        obs.metrics.dataflow_iters.add(lattice.iterations as u64);
+        let frozen: Vec<bool> = (0..netlist.num_ffs())
+            .map(|j| lattice.base[netlist.ff_d_input(j).index()].is_definite())
+            .collect();
+        candidates.retain(|&(i, j)| {
+            if !frozen[j] {
+                return true;
+            }
+            results.push(PairResult {
+                src: i,
+                dst: j,
+                class: PairClass::MultiCycle {
+                    by: Step::Structural,
+                },
+            });
+            stats.multi_by_static += 1;
+            obs.metrics.static_resolved.add(1);
+            if obs.sink().enabled() {
+                // Resolved before any engine ran: no engine tag, no
+                // attributable per-pair time. `--resume` recomputes
+                // these (the pass is cheap and deterministic), exactly
+                // like sim-prefilter drops.
+                obs.sink().record(&PairEvent {
+                    src: i,
+                    dst: j,
+                    step: "structural".to_owned(),
+                    class: "multi".to_owned(),
+                    engine: None,
+                    assignments: Vec::new(),
+                    micros: 0,
+                    sim_word: None,
+                    slice_nodes: None,
+                    slice_vars: None,
+                    resumed: false,
+                    static_pass: true,
+                    cached: false,
+                });
+            }
+            false
+        });
+        base_consts = Some(lattice.base);
+        stats.time_static = t_static.stop();
+    }
+
+    // Step 2: random-pattern simulation. For k-cycle budgets above 2 the
+    // 2-cycle witness is still a valid violation witness (a pair violating
+    // the 2-cycle condition also violates any k ≥ 2 condition? No — the
+    // k-cycle condition constrains MORE sink times, so a 2-frame witness
+    // is indeed a k-frame witness), so the filter applies unchanged.
+    let mut ff_toggles: Option<Vec<u64>> = None;
+    let survivors: Vec<(usize, usize)> = if cfg.use_sim_filter {
+        let t_sim = obs.timers.span("analyze/sim");
+        let _tr_sim = obs.trace_span(|| "analyze/sim".to_owned());
+        // The base lattice (when the pre-pass computed one) seeds the
+        // tape compiler: provably constant gates are pinned and their
+        // instructions folded away. Outcome-identical — the constants
+        // hold under every stimulus — so only kernel effort shrinks.
+        let consts = base_consts.as_deref().unwrap_or(&[]);
+        let (out, sim_stats) = mc_filter_stats_seeded(netlist, &candidates, &cfg.sim, consts);
+        stats.time_sim = t_sim.stop();
+        stats.sim_words = out.words_simulated;
+        obs.metrics.sim_words.add(out.words_simulated);
+        obs.metrics.sim_pairs_dropped.add(out.dropped() as u64);
+        obs.metrics.sim_passes.add(sim_stats.passes);
+        obs.metrics.sim_tape_ops.add(sim_stats.tape_ops);
+        for d in &out.drops {
+            results.push(PairResult {
+                src: d.src,
+                dst: d.dst,
+                class: PairClass::SingleCycle {
+                    by: Step::RandomSim,
+                },
+            });
+            stats.single_by_sim += 1;
+            if obs.sink().enabled() {
+                // Simulation kills pairs in bulk; elapsed time is not
+                // attributable per pair (reported as 0), but the word
+                // whose lane witnessed the violation is.
+                obs.sink().record(&PairEvent {
+                    src: d.src,
+                    dst: d.dst,
+                    step: "random_sim".to_owned(),
+                    class: "single".to_owned(),
+                    engine: None,
+                    assignments: Vec::new(),
+                    micros: 0,
+                    sim_word: Some(d.word),
+                    slice_nodes: None,
+                    slice_vars: None,
+                    resumed: false,
+                    static_pass: false,
+                    cached: false,
+                });
+            }
+        }
+        ff_toggles = Some(out.ff_toggles);
+        out.survivors
+    } else {
+        candidates
+    };
+    Prefiltered {
+        survivors,
+        ff_toggles,
+    }
+}
+
+/// One unit of engine work: every surviving pair sharing a sink FF.
+///
+/// Grouping by sink maximizes slice reuse: the `k`-frame sink cone
+/// dominates the slice, and every source of the sink already lies inside
+/// it (the pair is topologically connected), so one slice — and the
+/// engine state built on it — serves the whole group.
+pub(crate) struct SinkGroup {
+    /// Sink FF index (the `j` of every pair in the group).
+    pub(crate) sink: usize,
+    /// Source FF indices, ascending — the in-group classification order.
+    pub(crate) sources: Vec<usize>,
+    /// Exact node count of the group's cone slice (from
+    /// [`Expanded::cone_of`]) — the effort hint shared by the scheduler.
+    pub(crate) slice_nodes: u64,
+    /// Scheduling cost hint: `slice_nodes` boosted by sim-filter source
+    /// activity.
+    pub(crate) cost: u64,
+}
+
+/// The expansion nodes a sink group's engines inspect: source transition
+/// boundary (`t`, `t+1`) for every source, sink values at `t+1 ..= t+k`.
+/// Their fanin cone is exactly the logic any of the group's per-pair
+/// queries can touch.
+pub(crate) fn group_roots(x: &Expanded, group: &SinkGroup, cycles: u32) -> Vec<XId> {
+    let mut roots = Vec::with_capacity(2 * group.sources.len() + cycles as usize);
+    for &i in &group.sources {
+        roots.push(x.ff_at(i, 0));
+        roots.push(x.ff_at(i, 1));
+    }
+    for m in 1..=cycles {
+        roots.push(x.ff_at(group.sink, m));
+    }
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+/// Groups `survivors` by sink FF and orders the groups hardest-first.
+///
+/// The cost hint combines two signals available before any engine runs:
+///
+/// - **Exact slice size** (the node count of the group's cone of
+///   influence in the `k`-frame expansion) — the work both the slice
+///   build and every per-pair query scale with. This replaces the older
+///   netlist-level fanin-cone proxy, which ignored cone overlap and gate
+///   depth entirely.
+/// - **Sim-filter source activity** ([`mcp_sim::FilterOutcome::ff_toggles`],
+///   when the filter ran): a pair that survived *despite* a
+///   frequently-toggling source resisted that many concrete premise
+///   witnesses, so its refutation (if any) is unlikely to be easy —
+///   boost its group ahead of groups whose sources barely toggled.
+///
+/// Ties break on the sink index, keeping the group order (and thus the
+/// static-chunk partition) fully deterministic.
+pub(crate) fn plan_sink_groups(
+    x: &Expanded,
+    survivors: &[(usize, usize)],
+    ff_toggles: Option<&[u64]>,
+    cycles: u32,
+) -> Vec<SinkGroup> {
+    let mut by_sink: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(i, j) in survivors {
+        by_sink.entry(j).or_default().push(i);
+    }
+    let mut groups: Vec<SinkGroup> = by_sink
+        .into_iter()
+        .map(|(sink, mut sources)| {
+            sources.sort_unstable();
+            sources.dedup();
+            let mut g = SinkGroup {
+                sink,
+                sources,
+                slice_nodes: 0,
+                cost: 0,
+            };
+            g.slice_nodes = x.cone_of(&group_roots(x, &g, cycles)).len() as u64;
+            // Saturating at 7 keeps the boost bounded: beyond ~7 toggling
+            // lanes the premise is plainly easy to excite and tells us
+            // nothing more about hardness.
+            let boost = match ff_toggles {
+                Some(t) => 1 + g.sources.iter().map(|&i| t[i]).max().unwrap_or(0).min(7),
+                None => 1,
+            };
+            g.cost = g.slice_nodes * boost;
+            g
+        })
+        .collect();
+    groups.sort_unstable_by_key(|g| (std::cmp::Reverse(g.cost), g.sink));
+    groups
+}
+
+/// Rewrites `survivors` into the scheduling order implied by `groups`:
+/// hardest group first, ascending source within a group. Used directly
+/// by the engines that consume a flat pair list (BDD, no-slice
+/// implication); the group-fed engines get the same order from the
+/// groups themselves.
+pub(crate) fn order_hardest_first(survivors: &mut Vec<(usize, usize)>, groups: &[SinkGroup]) {
+    survivors.clear();
+    for g in groups {
+        for &i in &g.sources {
+            survivors.push((i, g.sink));
+        }
+    }
+}
+
+/// Partitions the sink groups over `count` shards and returns each
+/// shard's pair set (`count` entries, possibly empty).
+///
+/// Greedy LPT (longest-processing-time) over the groups in their
+/// deterministic hardest-first order: each group goes, whole, to the
+/// currently least-loaded shard (ties to the lowest shard index). Keeping
+/// groups whole preserves the one-slice-per-sink-group economics inside
+/// every shard; LPT keeps the load split within 4/3 of optimal for the
+/// heavy-tailed group costs. The input order, the costs and the tie
+/// break are all deterministic, so every process — shards, resumes, the
+/// merge planner — derives the identical partition.
+pub(crate) fn assign_shards(groups: &[SinkGroup], count: u64) -> Vec<Vec<(usize, usize)>> {
+    let count = count.max(1) as usize;
+    let mut shards: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
+    let mut load = vec![0u64; count];
+    for g in groups {
+        let lightest = (0..count).min_by_key(|&s| (load[s], s)).unwrap_or(0);
+        // Every group costs at least its slice walk even when the cost
+        // hint degenerates to 0, so bare group count still balances.
+        load[lightest] += g.cost.max(1);
+        shards[lightest].extend(g.sources.iter().map(|&i| (i, g.sink)));
+    }
+    shards
+}
+
+/// The [`GroupedArtifact`] projection of a sink-group plan.
+pub(crate) fn grouped_artifact(groups: &[SinkGroup]) -> GroupedArtifact {
+    GroupedArtifact {
+        groups: groups
+            .iter()
+            .map(|g| GroupRecord {
+                sink: g.sink,
+                sources: g.sources.clone(),
+                slice_nodes: g.slice_nodes,
+                cost: g.cost,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Engine;
+
+    #[test]
+    fn stage_keys_separate_stages_netlists_and_config_slices() {
+        let k = stage_key(STAGE_VERDICTS, 1, 2);
+        assert_eq!(stage_key(STAGE_VERDICTS, 1, 2), k);
+        assert_ne!(stage_key(STAGE_GROUPED, 1, 2), k);
+        assert_ne!(stage_key(STAGE_VERDICTS, 3, 2), k);
+        assert_ne!(stage_key(STAGE_VERDICTS, 1, 3), k);
+    }
+
+    #[test]
+    fn config_slices_narrow_with_the_stage() {
+        let base = McConfig::default();
+        // Engine changes invalidate verdicts but not expansion or the
+        // prefilters.
+        let mut sat = base.clone();
+        sat.engine = Engine::Sat;
+        assert_eq!(
+            config_slice(STAGE_EXPANDED, &base),
+            config_slice(STAGE_EXPANDED, &sat)
+        );
+        assert_eq!(
+            config_slice(STAGE_PREFILTERED, &base),
+            config_slice(STAGE_PREFILTERED, &sat)
+        );
+        assert_ne!(
+            config_slice(STAGE_VERDICTS, &base),
+            config_slice(STAGE_VERDICTS, &sat)
+        );
+        // Cycle-budget changes invalidate everything past parse/lint.
+        let mut k3 = base.clone();
+        k3.cycles = 3;
+        assert_eq!(
+            config_slice(STAGE_PARSED, &base),
+            config_slice(STAGE_PARSED, &k3)
+        );
+        assert_ne!(
+            config_slice(STAGE_EXPANDED, &base),
+            config_slice(STAGE_EXPANDED, &k3)
+        );
+        assert_ne!(
+            config_slice(STAGE_PREFILTERED, &base),
+            config_slice(STAGE_PREFILTERED, &k3)
+        );
+        // Sim-seed changes invalidate the prefilters but not expansion.
+        let mut seed = base.clone();
+        seed.sim.seed ^= 1;
+        assert_eq!(
+            config_slice(STAGE_EXPANDED, &base),
+            config_slice(STAGE_EXPANDED, &seed)
+        );
+        assert_ne!(
+            config_slice(STAGE_PREFILTERED, &base),
+            config_slice(STAGE_PREFILTERED, &seed)
+        );
+        // Verdict-neutral knobs never enter any stage key.
+        let mut neutral = base.clone();
+        neutral.threads = 8;
+        neutral.slice = !neutral.slice;
+        neutral.static_classify = !neutral.static_classify;
+        for stage in STAGES {
+            assert_eq!(
+                config_slice(stage, &base),
+                config_slice(stage, &neutral),
+                "stage {stage} must ignore verdict-neutral knobs"
+            );
+        }
+    }
+
+    #[test]
+    fn artifacts_round_trip_through_json() {
+        let v = VerdictsArtifact {
+            circuit: "c".to_owned(),
+            netlist_hash: 7,
+            config_fingerprint: 8,
+            pair_digest: 9,
+            verdicts: vec![VerdictRecord {
+                src: 0,
+                dst: 1,
+                src_name: "a".to_owned(),
+                dst_name: "b".to_owned(),
+                step: "implication".to_owned(),
+                class: "multi".to_owned(),
+            }],
+        };
+        let text = serde_json::to_string(&v).expect("serialize");
+        let back: VerdictsArtifact = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, v);
+        let g = GroupedArtifact {
+            groups: vec![GroupRecord {
+                sink: 1,
+                sources: vec![0, 2],
+                slice_nodes: 10,
+                cost: 20,
+            }],
+        };
+        let text = serde_json::to_string(&g).expect("serialize");
+        let back: GroupedArtifact = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, g);
+    }
+}

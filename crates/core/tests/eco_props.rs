@@ -1,0 +1,182 @@
+//! Property: ECO-incremental re-analysis is indistinguishable from a
+//! cold full analysis of the edited netlist.
+//!
+//! Random circuits get a random single edit — a gate-op swap inside the
+//! {AND, OR, NAND, NOR} family, a dangling tap that touches zero sink
+//! groups, or no edit at all — and the spliced ECO report must be
+//! byte-identical (canonical form) to analysing the edited netlist from
+//! scratch.
+
+use mcp_core::{analyze_cached_with, analyze_eco_with, analyze_with, CasStore, McConfig};
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_netlist::{bench, Netlist};
+use mcp_obs::ObsCtx;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tempdir(case: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mcpath-eco-props-{}-{case}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// The three edit shapes the property exercises.
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    /// Swap one gate's op within {AND, OR, NAND, NOR}.
+    SwapGate,
+    /// Append `eco_tap = NOT(<node>)` + `OUTPUT(eco_tap)`: a real netlist
+    /// change that intersects zero flip-flop cones.
+    DanglingTap,
+    /// No change: every group must splice.
+    Identity,
+}
+
+const SWAPS: [(&str, &str); 4] = [
+    ("= AND(", "= OR("),
+    ("= OR(", "= AND("),
+    ("= NAND(", "= NOR("),
+    ("= NOR(", "= NAND("),
+];
+
+/// Applies `edit` to `old` through the bench text, the way an ECO lands
+/// on disk. Falls back to `DanglingTap` when no gate is swappable.
+fn apply_edit(old: &Netlist, edit: Edit, pick: usize) -> (Netlist, Edit) {
+    let text = bench::to_bench(old);
+    match edit {
+        Edit::Identity => (reparse(old, &text), Edit::Identity),
+        Edit::SwapGate => {
+            let lines: Vec<&str> = text.lines().collect();
+            let candidates: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| SWAPS.iter().any(|(from, _)| l.contains(from)))
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                return apply_edit(old, Edit::DanglingTap, pick);
+            }
+            let target = candidates[pick % candidates.len()];
+            let patched: Vec<String> = lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    if i == target {
+                        let (from, to) = SWAPS
+                            .iter()
+                            .find(|(from, _)| l.contains(from))
+                            .expect("candidate line has a swappable op");
+                        l.replace(from, to)
+                    } else {
+                        (*l).to_owned()
+                    }
+                })
+                .collect();
+            (reparse(old, &patched.join("\n")), Edit::SwapGate)
+        }
+        Edit::DanglingTap => {
+            let source = text
+                .lines()
+                .find_map(|l| l.split(" = ").next().filter(|_| l.contains(" = ")))
+                .map(str::trim)
+                .expect("circuit has at least one driven node")
+                .to_owned();
+            let patched = format!("{text}\neco_tap = NOT({source})\nOUTPUT(eco_tap)\n");
+            (reparse(old, &patched), Edit::DanglingTap)
+        }
+    }
+}
+
+fn reparse(old: &Netlist, text: &str) -> Netlist {
+    bench::parse(old.name(), text).expect("edited bench text parses")
+}
+
+fn canon(report: &mcp_core::McReport) -> String {
+    serde_json::to_string(&report.canonical()).expect("serialize")
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    (0usize..3).prop_map(|n| match n {
+        0 => Edit::SwapGate,
+        1 => Edit::DanglingTap,
+        _ => Edit::Identity,
+    })
+}
+
+fn cfg_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (0u64..100_000, 1usize..5, 0usize..4, 4usize..28).prop_map(|(seed, ffs, pis, gates)| {
+        (
+            seed,
+            RandomCircuitConfig {
+                ffs,
+                pis,
+                gates,
+                max_arity: 3,
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn eco_reanalysis_equals_cold_full_analysis(
+        (seed, gen_cfg) in cfg_strategy(),
+        edit in edit_strategy(),
+        pick in 0usize..64,
+    ) {
+        let old = random_netlist(seed, &gen_cfg);
+        let (new, applied) = apply_edit(&old, edit, pick);
+        let cfg = McConfig {
+            backtrack_limit: 100_000,
+            ..McConfig::default()
+        };
+
+        let dir = tempdir(CASE.fetch_add(1, Ordering::Relaxed));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CasStore::open(&dir).expect("open store");
+        analyze_cached_with(&old, &cfg, &ObsCtx::new(), &store).expect("seed baseline");
+
+        let (eco, summary) =
+            analyze_eco_with(&old, &new, &cfg, &ObsCtx::new(), &store).expect("eco");
+        let cold = analyze_with(&new, &cfg, &ObsCtx::new()).expect("cold");
+        prop_assert_eq!(
+            canon(&eco),
+            canon(&cold),
+            "ECO splice diverged from the cold run ({:?})",
+            applied
+        );
+
+        prop_assert!(!summary.full_run, "default config must splice: {:?}", summary);
+        match applied {
+            // A dangling tap intersects no flip-flop cone: nothing to
+            // re-verify, every group splices.
+            Edit::DanglingTap => {
+                prop_assert!(summary.changed_nodes > 0, "{:?}", summary);
+                prop_assert_eq!(summary.groups_reverified, 0, "{:?}", summary);
+                prop_assert_eq!(summary.pairs_reverified, 0, "{:?}", summary);
+            }
+            Edit::Identity => {
+                prop_assert_eq!(summary.changed_nodes, 0, "{:?}", summary);
+                prop_assert_eq!(summary.removed_nodes, 0, "{:?}", summary);
+                prop_assert_eq!(summary.groups_reverified, 0, "{:?}", summary);
+            }
+            Edit::SwapGate => {
+                prop_assert!(summary.changed_nodes > 0, "{:?}", summary);
+            }
+        }
+        prop_assert_eq!(
+            summary.groups_total,
+            summary.groups_reverified + summary.groups_spliced,
+            "{:?}",
+            summary
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

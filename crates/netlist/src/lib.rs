@@ -22,6 +22,8 @@
 //! * [`expand::Slice`] — the cone-of-influence slice of an expansion
 //!   ([`expand::Expanded::build_slice`]): per-pair engine work scales with
 //!   the pair's cone instead of the whole circuit.
+//! * [`diff`] — the name-keyed structural delta between two revisions of
+//!   a circuit, feeding ECO-style incremental re-analysis.
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@
 
 pub mod bench;
 pub mod builder;
+pub mod diff;
 pub mod dot;
 pub mod expand;
 pub mod graph;
@@ -53,6 +56,7 @@ pub mod model;
 pub mod sweep;
 
 pub use builder::{BuildError, NetlistBuilder};
+pub use diff::{diff, NetlistDiff};
 pub use expand::{Expanded, Slice, VarOrigin, XId, XKind};
 pub use model::{Netlist, Node, NodeId, NodeKind, Stats};
 pub use sweep::{sweep, SweepStats};

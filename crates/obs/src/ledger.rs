@@ -185,6 +185,13 @@ pub struct PairEvent {
     /// because `static` is a Rust keyword.)
     #[serde(default, skip_serializing_if = "is_false")]
     pub static_pass: bool,
+    /// `true` when this verdict was spliced from the content-addressed
+    /// artifact store (a warm rerun, or a clean ECO group) instead of
+    /// being computed in this run. Unlike `resumed` replays, cached
+    /// splices carry no `engine` tag: the run performed zero engine
+    /// work for them.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub cached: bool,
 }
 
 /// Receiver of ledger records.

@@ -135,6 +135,7 @@ mod tests {
             slice_vars: None,
             resumed: false,
             static_pass: false,
+            cached: false,
         }
     }
 
@@ -160,6 +161,7 @@ mod tests {
             slice_vars: Some(4),
             resumed: false,
             static_pass: false,
+            cached: false,
         };
         sink.record(&event);
         assert_eq!(sink.drain(), vec![event]);
@@ -256,14 +258,18 @@ mod tests {
         let text = serde_json::to_string(&event).unwrap();
         assert!(!text.contains("resumed"));
         assert!(!text.contains("static_pass"));
+        assert!(!text.contains("cached"));
         event.resumed = true;
         event.static_pass = true;
+        event.cached = true;
         let text = serde_json::to_string(&event).unwrap();
         assert!(text.contains("\"resumed\":true"));
         assert!(text.contains("\"static_pass\":true"));
+        assert!(text.contains("\"cached\":true"));
         let back: PairEvent = serde_json::from_str(&text).unwrap();
         assert!(back.resumed);
         assert!(back.static_pass);
+        assert!(back.cached);
     }
 
     #[test]

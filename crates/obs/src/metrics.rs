@@ -118,6 +118,22 @@ pub struct Metrics {
     /// Sharding: surviving pairs assigned to other shards and skipped by
     /// this process. Zero on an unsharded run.
     pub shard_pairs_skipped: Counter,
+    /// Artifact cache: store lookups that found a usable entry.
+    pub cache_hits: Counter,
+    /// Artifact cache: store lookups that found nothing (cold runs).
+    pub cache_misses: Counter,
+    /// Artifact cache: cached verdicts discarded because a netlist delta
+    /// dirtied their sink group (ECO re-analysis). Zero on warm reruns.
+    pub cache_invalidations: Counter,
+    /// Artifact cache: engine verdicts answered from the store instead
+    /// of being re-verified (warm reruns and clean ECO groups).
+    pub cache_pairs_spliced: Counter,
+    /// ECO re-analysis: sink groups whose cone intersected the netlist
+    /// delta and were re-verified from scratch.
+    pub eco_groups_reverified: Counter,
+    /// ECO re-analysis: sink groups untouched by the netlist delta whose
+    /// verdicts were spliced from the store.
+    pub eco_groups_spliced: Counter,
 }
 
 impl Metrics {
@@ -161,6 +177,12 @@ impl Metrics {
             resume_pairs_loaded: self.resume_pairs_loaded.get(),
             shard_pairs_owned: self.shard_pairs_owned.get(),
             shard_pairs_skipped: self.shard_pairs_skipped.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_invalidations: self.cache_invalidations.get(),
+            cache_pairs_spliced: self.cache_pairs_spliced.get(),
+            eco_groups_reverified: self.eco_groups_reverified.get(),
+            eco_groups_spliced: self.eco_groups_spliced.get(),
         }
     }
 }
@@ -228,6 +250,19 @@ pub struct Counters {
     pub shard_pairs_owned: u64,
     #[serde(default)]
     pub shard_pairs_skipped: u64,
+    // Cache/ECO counters arrived with the staged artifact store.
+    #[serde(default)]
+    pub cache_hits: u64,
+    #[serde(default)]
+    pub cache_misses: u64,
+    #[serde(default)]
+    pub cache_invalidations: u64,
+    #[serde(default)]
+    pub cache_pairs_spliced: u64,
+    #[serde(default)]
+    pub eco_groups_reverified: u64,
+    #[serde(default)]
+    pub eco_groups_spliced: u64,
 }
 
 impl Counters {

@@ -33,6 +33,7 @@ fn event(src: usize, dst: usize, resolved: bool) -> PairEvent {
         slice_vars: None,
         resumed: false,
         static_pass: false,
+        cached: false,
     }
 }
 

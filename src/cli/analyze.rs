@@ -1,0 +1,304 @@
+//! The `analyze`, `shard` and `merge` subcommands: the full pipeline in
+//! its single-process, cached, ECO-incremental, sharded-driver, one-shard
+//! and ledger-merge shapes. All of them funnel through [`append_report`]
+//! so the rendered report is identical regardless of how it was produced.
+
+use super::render::{render_snapshot, render_step_table};
+use super::{load, pair_name, Command};
+use mcp_core::{
+    analyze_cached_with, analyze_eco_with, analyze_resume_with, analyze_with, merge_shards_with,
+    CasStore, McReport, PairClass, Step,
+};
+use mcp_netlist::Netlist;
+use mcp_obs::{read_ledger_resilient_file, Ledger};
+use std::fmt::Write as _;
+
+/// Opens the artifact store named by `--cache-dir` / `MCPATH_CACHE_DIR`.
+/// Returns `Ok(None)` when no cache directory is configured.
+pub(crate) fn open_store(cmd: &Command) -> Result<Option<CasStore>, String> {
+    match cmd.config().cache_dir {
+        Some(dir) => CasStore::open(dir).map(Some).map_err(|e| e.to_string()),
+        None => Ok(None),
+    }
+}
+
+/// `analyze`: single-process, `--shards` driver, `--resume` replay,
+/// `--cache-dir` warm rerun or `--eco` incremental re-analysis.
+pub(crate) fn analyze(cmd: &Command, path: &str, out: &mut String) -> Result<(), String> {
+    let nl = load(path)?;
+    if let Some(old_path) = &cmd.eco {
+        let old = load(old_path)?;
+        let store = open_store(cmd)?
+            .ok_or_else(|| "`--eco` needs --cache-dir (or MCPATH_CACHE_DIR)".to_owned())?;
+        let obs = cmd.obs()?;
+        let (report, summary) =
+            analyze_eco_with(&old, &nl, &cmd.config(), &obs, &store).map_err(|e| e.to_string())?;
+        if summary.full_run {
+            let _ = writeln!(
+                out,
+                "eco: no usable baseline artifact for `{old_path}`; ran the full analysis"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "eco: {} changed / {} removed nodes; {} of {} sink groups re-verified, \
+                 {} spliced ({} pairs re-verified, {} spliced)",
+                summary.changed_nodes,
+                summary.removed_nodes,
+                summary.groups_reverified,
+                summary.groups_total,
+                summary.groups_spliced,
+                summary.pairs_reverified,
+                summary.pairs_spliced
+            );
+        }
+        return append_report(out, cmd, &nl, &report);
+    }
+    if let Some(count) = cmd.shards {
+        let report = run_sharded(cmd, path, &nl, count, out)?;
+        return append_report(out, cmd, &nl, &report);
+    }
+    if cmd.resume.is_none() {
+        if let Some(store) = open_store(cmd)? {
+            let obs = cmd.obs()?;
+            let report =
+                analyze_cached_with(&nl, &cmd.config(), &obs, &store).map_err(|e| e.to_string())?;
+            let counters = obs.snapshot().counters;
+            if counters.cache_hits > 0 {
+                let _ = writeln!(
+                    out,
+                    "cache: hit — {} verdicts spliced, zero engine work",
+                    counters.cache_pairs_spliced
+                );
+            } else {
+                let _ = writeln!(out, "cache: miss — artifacts persisted for the next run");
+            }
+            return append_report(out, cmd, &nl, &report);
+        }
+    }
+    // Read the resume ledger *before* `obs()` opens `--trace-out`:
+    // resuming a run onto its own ledger path is the natural CLI usage,
+    // and `FileSink::create` truncates. Resilient read, so a final line
+    // torn by the SIGKILL doesn't block the restart.
+    let resume_ledger: Option<Ledger> = match &cmd.resume {
+        Some(p) => Some(
+            read_ledger_resilient_file(p).map_err(|e| format!("cannot read ledger `{p}`: {e}"))?,
+        ),
+        None => None,
+    };
+    let obs = cmd.obs()?;
+    let report = match &resume_ledger {
+        Some(ledger) => analyze_resume_with(&nl, &cmd.config(), &obs, ledger),
+        None => analyze_with(&nl, &cmd.config(), &obs),
+    }
+    .map_err(|e| e.to_string())?;
+    if resume_ledger.is_some() {
+        let _ = writeln!(
+            out,
+            "resumed: {} verdicts restored from the ledger",
+            obs.snapshot().counters.resume_pairs_loaded
+        );
+    }
+    append_report(out, cmd, &nl, &report)
+}
+
+/// `shard`: verify one slice of the pair partition, journaling to
+/// `--trace-out` (optionally restarting from `--resume`).
+pub(crate) fn shard(cmd: &Command, path: &str, out: &mut String) -> Result<(), String> {
+    let (index, count) = cmd
+        .shard
+        .ok_or_else(|| "`shard` needs --shard <I/N>".to_owned())?;
+    let nl = load(path)?;
+    // Same ordering constraint as `analyze --resume`: a killed shard
+    // restarts onto its own ledger path, which `obs()` truncates on open.
+    let resume_ledger: Option<Ledger> = match &cmd.resume {
+        Some(p) => Some(
+            read_ledger_resilient_file(p).map_err(|e| format!("cannot read ledger `{p}`: {e}"))?,
+        ),
+        None => None,
+    };
+    let obs = cmd.obs()?;
+    let report = match &resume_ledger {
+        Some(ledger) => analyze_resume_with(&nl, &cmd.config(), &obs, ledger),
+        None => analyze_with(&nl, &cmd.config(), &obs),
+    }
+    .map_err(|e| e.to_string())?;
+    let counters = obs.snapshot().counters;
+    if resume_ledger.is_some() {
+        let _ = writeln!(
+            out,
+            "resumed: {} verdicts restored from the ledger",
+            counters.resume_pairs_loaded
+        );
+    }
+    let _ = writeln!(
+        out,
+        "shard {index}/{count}: owns {} of {} surviving pairs",
+        counters.shard_pairs_owned,
+        counters.shard_pairs_owned + counters.shard_pairs_skipped
+    );
+    append_report(out, cmd, &nl, &report)
+}
+
+/// `merge`: combine per-shard ledgers into the canonical report.
+pub(crate) fn merge(
+    cmd: &Command,
+    path: &str,
+    ledgers: &[String],
+    out: &mut String,
+) -> Result<(), String> {
+    let nl = load(path)?;
+    let mut parsed = Vec::with_capacity(ledgers.len());
+    for p in ledgers {
+        parsed.push(
+            read_ledger_resilient_file(p).map_err(|e| format!("cannot read ledger `{p}`: {e}"))?,
+        );
+    }
+    let obs = cmd.obs()?;
+    let report = merge_shards_with(&nl, &cmd.config(), &obs, &parsed).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "merged: {} shard ledgers, {} verdicts restored",
+        parsed.len(),
+        obs.snapshot().counters.resume_pairs_loaded
+    );
+    append_report(out, cmd, &nl, &report)
+}
+
+/// Appends the standard `analyze`-style report output: the optional
+/// `--json` dump, the summary lines, the per-pair listing (unless
+/// `--quiet`), and the `--metrics` tables. Shared by `analyze`, `shard`
+/// and `merge`, whose reports must render identically.
+pub(crate) fn append_report(
+    out: &mut String,
+    cmd: &Command,
+    nl: &Netlist,
+    report: &McReport,
+) -> Result<(), String> {
+    if let Some(p) = &cmd.json {
+        let text = if cmd.canonical {
+            serde_json::to_string_pretty(&report.canonical())
+        } else {
+            serde_json::to_string_pretty(report)
+        }
+        .map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(p, text).map_err(|e| format!("write `{p}`: {e}"))?;
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} candidate pairs; {} multi-cycle, {} single-cycle, {} unknown",
+        nl.name(),
+        report.stats.candidates,
+        report.stats.multi_total(),
+        report.stats.single_total(),
+        report.stats.unknown
+    );
+    let _ = writeln!(
+        out,
+        "steps: static resolved {} | sim dropped {} ({} words) | implication proved {} | search: {} single / {} multi",
+        report.stats.multi_by_static,
+        report.stats.single_by_sim,
+        report.stats.sim_words,
+        report.stats.multi_by_implication,
+        report.stats.single_by_atpg,
+        report.stats.multi_by_atpg
+    );
+    if !cmd.quiet {
+        for p in &report.pairs {
+            let verdict = match p.class {
+                PairClass::MultiCycle { .. } => "multi-cycle ",
+                PairClass::SingleCycle { .. } => "single-cycle",
+                PairClass::Unknown => "UNKNOWN     ",
+            };
+            let step = match p.class {
+                PairClass::MultiCycle { by } | PairClass::SingleCycle { by } => match by {
+                    Step::RandomSim => "sim",
+                    Step::Implication => "implication",
+                    Step::Atpg => "search",
+                    Step::Structural => "structural",
+                },
+                PairClass::Unknown => "aborted",
+            };
+            let _ = writeln!(
+                out,
+                "  {verdict} {:<24} [{step}]",
+                pair_name(nl, p.src, p.dst)
+            );
+        }
+    }
+    if cmd.metrics {
+        out.push('\n');
+        out.push_str(&render_step_table(&report.stats));
+        out.push('\n');
+        out.push_str(&render_snapshot(&report.metrics));
+    }
+    Ok(())
+}
+
+/// `analyze --shards N`: fork one `mcpath shard` child process per
+/// partition slice, wait for all of them, and merge their ledgers
+/// in-process. The merged report is byte-identical (canonically) to a
+/// single-process run; the shard ledgers live in a scratch directory
+/// that is removed on success and kept on failure for post-mortems.
+fn run_sharded(
+    cmd: &Command,
+    path: &str,
+    nl: &Netlist,
+    count: u64,
+    out: &mut String,
+) -> Result<McReport, String> {
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the mcpath binary: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("mcpath-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create `{}`: {e}", dir.display()))?;
+    let flags = cmd.child_flags();
+
+    let mut children = Vec::with_capacity(count as usize);
+    let mut ledger_paths = Vec::with_capacity(count as usize);
+    for index in 0..count {
+        let ledger = dir.join(format!("shard-{index}.ndjson"));
+        let child = std::process::Command::new(&exe)
+            .arg("shard")
+            .arg(path)
+            .arg("--shard")
+            .arg(format!("{index}/{count}"))
+            .arg("--trace-out")
+            .arg(&ledger)
+            .args(&flags)
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn shard {index}/{count}: {e}"))?;
+        children.push((index, child));
+        ledger_paths.push(ledger);
+    }
+    for (index, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for shard {index}/{count}: {e}"))?;
+        if !status.success() {
+            return Err(format!(
+                "shard {index}/{count} failed with {status} (its ledger is under \
+                 `{}`; fix the cause, resume it with `mcpath shard --resume`, then \
+                 `mcpath merge`)",
+                dir.display()
+            ));
+        }
+    }
+
+    let mut ledgers = Vec::with_capacity(ledger_paths.len());
+    for p in &ledger_paths {
+        ledgers.push(
+            read_ledger_resilient_file(p)
+                .map_err(|e| format!("cannot read ledger `{}`: {e}", p.display()))?,
+        );
+    }
+    let obs = cmd.obs()?;
+    let report = merge_shards_with(nl, &cmd.config(), &obs, &ledgers).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "sharded: {count} processes, {} verdicts merged",
+        obs.snapshot().counters.resume_pairs_loaded
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}

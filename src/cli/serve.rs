@@ -1,0 +1,170 @@
+//! The `serve` subcommand: a minimal analysis server answering NDJSON
+//! requests over a Unix domain socket.
+//!
+//! One request per line, one JSON response line per request:
+//!
+//! ```text
+//! -> {"op":"analyze","path":"s1423.bench"}
+//! <- {"ok":true,"circuit":"s1423","cache_hit":true,"report":{...}}
+//! -> {"op":"analyze","path":"s1423_eco.bench","eco":"s1423.bench"}
+//! <- {"ok":true,"circuit":"s1423_eco","cache_hit":false,"report":{...}}
+//! -> {"op":"shutdown"}
+//! <- {"ok":true}
+//! ```
+//!
+//! The artifact store named by `--cache-dir` stays resident for the
+//! server's lifetime, so a repeat request for an unchanged netlist is a
+//! pure cache replay and an `eco` request re-verifies only the touched
+//! sink groups. The `report` field is the canonical form (timings
+//! zeroed), byte-identical to `analyze --json --canonical` output.
+//! Malformed requests get an `{"ok":false,"error":...}` line; they never
+//! take the server down.
+
+use super::{load, Command};
+use mcp_core::{analyze_cached_with, analyze_eco_with, CasStore};
+use serde::Content;
+use std::io::{BufRead, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// `serve`: accept connections on `socket` until a `shutdown` request.
+pub(crate) fn serve(cmd: &Command, socket: &str, out: &mut String) -> Result<(), String> {
+    let store = CasStore::open(
+        cmd.config()
+            .cache_dir
+            .ok_or_else(|| "`serve` needs --cache-dir".to_owned())?,
+    )
+    .map_err(|e| e.to_string())?;
+    // A stale socket file from a crashed server would make bind fail.
+    let _ = std::fs::remove_file(socket);
+    let listener =
+        UnixListener::bind(socket).map_err(|e| format!("cannot bind `{socket}`: {e}"))?;
+    eprintln!(
+        "mcpath serve: listening on `{socket}` (cache: {})",
+        store.root().display()
+    );
+    let mut requests = 0u64;
+    'accept: for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mcpath serve: accept failed: {e}");
+                continue;
+            }
+        };
+        match handle_connection(cmd, &store, stream, &mut requests) {
+            Ok(true) => break 'accept,
+            Ok(false) => {}
+            Err(e) => eprintln!("mcpath serve: connection error: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(socket);
+    out.push_str(&format!("served {requests} request(s) on `{socket}`\n"));
+    Ok(())
+}
+
+/// Answers every request line on one connection. Returns `Ok(true)` when
+/// a `shutdown` request was served and the accept loop should stop.
+fn handle_connection(
+    cmd: &Command,
+    store: &CasStore,
+    stream: UnixStream,
+    requests: &mut u64,
+) -> Result<bool, String> {
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read request: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        *requests += 1;
+        let (response, shutdown) = respond(cmd, store, &line);
+        writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("write response: {e}"))?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Builds the single-line JSON response for one request line; the bool
+/// is the shutdown signal.
+fn respond(cmd: &Command, store: &CasStore, line: &str) -> (String, bool) {
+    match handle_request(cmd, store, line) {
+        Ok(Reply::Report { circuit, hit, json }) => (
+            format!(
+                "{{\"ok\":true,\"circuit\":{},\"cache_hit\":{hit},\"report\":{json}}}",
+                quote(&circuit)
+            ),
+            false,
+        ),
+        Ok(Reply::Shutdown) => ("{\"ok\":true}".to_owned(), true),
+        Err(e) => (format!("{{\"ok\":false,\"error\":{}}}", quote(&e)), false),
+    }
+}
+
+/// JSON-escapes a string through the vendored serializer.
+fn quote(s: &str) -> String {
+    serde_json::to_string(&s).unwrap_or_else(|_| "\"<unrenderable>\"".to_owned())
+}
+
+enum Reply {
+    Report {
+        circuit: String,
+        hit: bool,
+        json: String,
+    },
+    Shutdown,
+}
+
+fn handle_request(cmd: &Command, store: &CasStore, line: &str) -> Result<Reply, String> {
+    let content =
+        serde_json::from_str_content(line).map_err(|e| format!("unparseable request: {e}"))?;
+    let entries = content
+        .as_map()
+        .ok_or_else(|| "request is not a JSON object".to_owned())?;
+    let field = |name: &str| -> Option<String> {
+        entries.iter().find(|(k, _)| k == name).and_then(|(_, v)| {
+            if let Content::Str(s) = v {
+                Some(s.clone())
+            } else {
+                None
+            }
+        })
+    };
+    let op = field("op").unwrap_or_else(|| "analyze".to_owned());
+    match op.as_str() {
+        "shutdown" => Ok(Reply::Shutdown),
+        "analyze" => {
+            let path = field("path").ok_or_else(|| "`analyze` needs a `path`".to_owned())?;
+            let nl = load(&path)?;
+            let obs = mcp_obs::ObsCtx::new();
+            let report = match field("eco") {
+                Some(old_path) => {
+                    let old = load(&old_path)?;
+                    analyze_eco_with(&old, &nl, &cmd.config(), &obs, store)
+                        .map(|(report, _)| report)
+                        .map_err(|e| e.to_string())?
+                }
+                None => analyze_cached_with(&nl, &cmd.config(), &obs, store)
+                    .map_err(|e| e.to_string())?,
+            };
+            let hit = obs.snapshot().counters.cache_hits > 0;
+            let json = serde_json::to_string(&report.canonical())
+                .map_err(|e| format!("serialize: {e}"))?;
+            Ok(Reply::Report {
+                circuit: nl.name().to_owned(),
+                hit,
+                json,
+            })
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
