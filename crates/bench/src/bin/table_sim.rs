@@ -1,24 +1,32 @@
-//! Throughput of the compiled wide-lane simulation kernel.
+//! Throughput of the prefilter kernel ladder: jit vs fused vs tape.
 //!
-//! Runs the random-pattern prefilter over the suite twice per circuit:
-//! once on the graph-walking 64-lane reference path (`tape: false`) and
-//! once per supported lane width on the compiled tape kernel, reporting
-//! words simulated, wall-clock, node-evaluation throughput and the
-//! speedup over the reference — plus the drift check that makes the
-//! numbers trustworthy: every configuration must produce the *same*
-//! [`mcp_sim::FilterOutcome`] (survivors, drop order, witness words), so the
-//! speedup is measured on provably identical work.
+//! Runs the random-pattern prefilter over the suite once on the
+//! graph-walking 64-lane reference path (`tape: false`) and then once
+//! per supported lane width for each compiled tier — the PR-5 tape
+//! interpreter, the fused interpreter, and the native-code jit —
+//! reporting words simulated, wall-clock, node-evaluation throughput
+//! and the speedups over both the reference and the tape tier. Plus the
+//! drift check that makes the numbers trustworthy: every configuration
+//! must produce the *same* [`mcp_sim::FilterOutcome`] (survivors, drop
+//! order, witness words), so the speedups are measured on provably
+//! identical work.
 //!
-//! The headline number the roadmap tracks is the 256-lane speedup on the
-//! largest circuit of the run.
+//! The headline number the roadmap tracks is the jit tier's 256-lane
+//! node-evals/sec over the tape tier on the largest circuit of the run
+//! (the acceptance bar is 2x on an x86-64 host; on other hosts the jit
+//! tier falls back to the fused interpreter and the `kernel` column
+//! says so).
 
 use mcp_bench::{bench_artifact, secs, HarnessArgs};
-use mcp_sim::{mc_filter_stats, FilterConfig};
+use mcp_sim::{mc_filter_stats, FilterConfig, SimKernel};
 use serde::Serialize;
 use std::time::Instant;
 
-/// Tape lane widths swept per circuit (the reference is always 64).
+/// Lane widths swept per compiled tier (the reference is always 64).
 const LANES: [u32; 4] = [64, 128, 256, 512];
+
+/// The compiled tiers swept per lane width, slowest first.
+const TIERS: [SimKernel; 3] = [SimKernel::Tape, SimKernel::Fused, SimKernel::Jit];
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -26,13 +34,17 @@ struct Row {
     nodes: usize,
     ffs: usize,
     candidate_pairs: usize,
-    /// `"reference"` or `"tape"`.
+    /// The requested tier: `"reference"`, `"tape"`, `"fused"`, `"jit"`.
+    tier: &'static str,
+    /// The kernel that actually ran (`"jit-avx2"`, `"jit-scalar"`,
+    /// `"fused"`, ... — the jit tier falls back on non-x86-64 hosts).
     kernel: &'static str,
     lanes: u32,
     words: u64,
     /// Kernel instructions per pass (0 on the reference path) — shows
-    /// how much the compile-time folding shrank the netlist.
-    tape_ops_per_pass: u64,
+    /// how much lowering shrank the netlist: the fused/jit tiers
+    /// execute fewer instructions than the tape for the same circuit.
+    ops_per_pass: u64,
     wall_s: f64,
     /// Netlist-node evaluations per second: `nodes × words × 2` clock
     /// cycles over wall-clock. Words are identical across kernels for a
@@ -40,6 +52,9 @@ struct Row {
     node_evals_per_sec: f64,
     /// Speedup over the reference kernel on the same circuit.
     speedup: f64,
+    /// Speedup over the tape tier at the same lane width (1.0 for the
+    /// tape rows themselves; vs the 64-lane reference otherwise).
+    speedup_vs_tape: f64,
 }
 
 /// The artifact envelope (see `bench_artifact`) records the machine's
@@ -50,7 +65,12 @@ struct Row {
 struct Headline {
     circuit: String,
     lanes: u32,
-    speedup: f64,
+    /// Which kernel the jit tier actually ran as.
+    jit_kernel: &'static str,
+    /// Jit node-evals/sec over the tape tier at the same width.
+    jit_vs_tape: f64,
+    /// Jit node-evals/sec over the 64-lane reference path.
+    jit_vs_reference: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -59,18 +79,31 @@ struct Artifact {
     rows: Vec<Row>,
 }
 
+fn tier_name(k: SimKernel) -> &'static str {
+    k.as_str()
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let suite = args.suite();
 
-    println!("Wide-lane kernel throughput on the random-pattern prefilter ({cores} core(s))");
-    println!("{:-<78}", "");
+    println!("Kernel-ladder throughput on the random-pattern prefilter ({cores} core(s))");
+    println!("{:-<86}", "");
     println!(
-        "{:>8} {:>7} {:>7} | {:>9} {:>5} {:>8} {:>9} {:>10} {:>7}",
-        "circuit", "nodes", "pairs", "kernel", "lane", "words", "wall(s)", "Mev/s", "speedup"
+        "{:>8} {:>7} {:>7} | {:>10} {:>5} {:>8} {:>9} {:>10} {:>7} {:>7}",
+        "circuit",
+        "nodes",
+        "pairs",
+        "kernel",
+        "lane",
+        "words",
+        "wall(s)",
+        "Mev/s",
+        "vs ref",
+        "vs tape"
     );
-    println!("{:-<78}", "");
+    println!("{:-<86}", "");
 
     let mut rows: Vec<Row> = Vec::new();
     for nl in &suite {
@@ -86,12 +119,19 @@ fn main() {
         let t = Instant::now();
         let (reference, _) = mc_filter_stats(nl, &pairs, &reference_cfg);
         let ref_wall = t.elapsed().as_secs_f64();
-        let mut emit = |kernel: &'static str, lanes: u32, words: u64, ops: u64, wall: f64| {
+        let mut emit = |tier: &'static str,
+                        kernel: &'static str,
+                        lanes: u32,
+                        words: u64,
+                        ops: u64,
+                        wall: f64,
+                        tape_wall: f64| {
             let evals = (nodes as f64) * (words as f64) * 2.0;
             let node_evals_per_sec = evals / wall.max(1e-9);
             let speedup = ref_wall / wall.max(1e-9);
+            let speedup_vs_tape = tape_wall / wall.max(1e-9);
             println!(
-                "{:>8} {:>7} {:>7} | {:>9} {:>5} {:>8} {:>8} {:>10.1} {:>6.2}x",
+                "{:>8} {:>7} {:>7} | {:>10} {:>5} {:>8} {:>8} {:>10.1} {:>6.2}x {:>6.2}x",
                 nl.name(),
                 nodes,
                 pairs.len(),
@@ -100,60 +140,91 @@ fn main() {
                 words,
                 secs(std::time::Duration::from_secs_f64(wall)),
                 node_evals_per_sec / 1e6,
-                speedup
+                speedup,
+                speedup_vs_tape
             );
             rows.push(Row {
                 circuit: nl.name().to_owned(),
                 nodes,
                 ffs: s.ffs,
                 candidate_pairs: pairs.len(),
+                tier,
                 kernel,
                 lanes,
                 words,
-                tape_ops_per_pass: ops,
+                ops_per_pass: ops,
                 wall_s: wall,
                 node_evals_per_sec,
                 speedup,
+                speedup_vs_tape,
             });
         };
-        emit("reference", 64, reference.words_simulated, 0, ref_wall);
+        emit(
+            "reference",
+            "reference",
+            64,
+            reference.words_simulated,
+            0,
+            ref_wall,
+            ref_wall,
+        );
 
         for lanes in LANES {
-            let tape_cfg = FilterConfig {
-                tape: true,
-                lanes,
-                ..reference_cfg
-            };
-            let t = Instant::now();
-            let (out, stats) = mc_filter_stats(nl, &pairs, &tape_cfg);
-            let wall = t.elapsed().as_secs_f64();
-            assert_eq!(
-                out,
-                reference,
-                "{}: tape outcome drifted from the reference at {lanes} lanes",
-                nl.name()
-            );
-            let ops_per_pass = stats.tape_ops.checked_div(stats.passes).unwrap_or(0);
-            emit("tape", lanes, out.words_simulated, ops_per_pass, wall);
+            let mut tape_wall = ref_wall;
+            for tier in TIERS {
+                let tier_cfg = FilterConfig {
+                    tape: true,
+                    lanes,
+                    kernel: tier,
+                    ..reference_cfg
+                };
+                let t = Instant::now();
+                let (out, stats) = mc_filter_stats(nl, &pairs, &tier_cfg);
+                let wall = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    out,
+                    reference,
+                    "{}: {tier:?} outcome drifted from the reference at {lanes} lanes",
+                    nl.name()
+                );
+                if tier == SimKernel::Tape {
+                    tape_wall = wall;
+                }
+                let ops = stats.tape_ops.max(stats.fused_ops);
+                let ops_per_pass = ops.checked_div(stats.passes).unwrap_or(0);
+                emit(
+                    tier_name(tier),
+                    stats.kernel,
+                    lanes,
+                    out.words_simulated,
+                    ops_per_pass,
+                    wall,
+                    tape_wall,
+                );
+            }
         }
-        println!("{:-<78}", "");
+        println!("{:-<86}", "");
     }
 
-    // Headline: 256-lane speedup on the largest circuit of the run
-    // (the suite is ordered by size, so that is the last one).
-    let headline = rows
+    // Headline: the jit tier's 256-lane speedup over the tape tier on
+    // the largest circuit of the run (the suite is ordered by size, so
+    // that is the last one).
+    let jit = rows
         .iter()
         .rev()
-        .find(|r| r.kernel == "tape" && r.lanes == 256)
-        .map(|r| Headline {
-            circuit: r.circuit.clone(),
-            lanes: r.lanes,
-            speedup: r.speedup,
-        })
+        .find(|r| r.tier == "jit" && r.lanes == 256)
         .expect("suite is non-empty");
+    let headline = Headline {
+        circuit: jit.circuit.clone(),
+        lanes: jit.lanes,
+        jit_kernel: jit.kernel,
+        jit_vs_tape: jit.speedup_vs_tape,
+        jit_vs_reference: jit.speedup,
+    };
     println!(
-        "headline: {:.2}x node-evals/sec over the reference at 256 lanes on {}",
-        headline.speedup, headline.circuit
+        "headline: {} at 256 lanes on {}: {:.2}x node-evals/sec over the tape tier \
+         ({:.2}x over the reference)",
+        headline.jit_kernel, headline.circuit, headline.jit_vs_tape, headline.jit_vs_reference
     );
 
     let artifact = Artifact { headline, rows };

@@ -43,6 +43,12 @@ impl From<CasError> for AnalyzeError {
                 stage,
                 reason: format!("{reason} ({})", path.display()),
             },
+            // Analysis never takes the store lock (reads and atomic
+            // puts are safe under a resident holder); a Locked error
+            // reaching here is an I/O-level refusal.
+            CasError::Locked { path, pid } => AnalyzeError::CacheIo {
+                reason: format!("store locked by process {pid} ({})", path.display()),
+            },
         }
     }
 }
@@ -66,6 +72,9 @@ pub(crate) fn cached_event(r: &VerdictRecord) -> PairEvent {
         resumed: false,
         static_pass: false,
         cached: true,
+        // No kernel tag: a splice simulates zero words, and untagged
+        // events are exactly what per-tier throughput attribution skips.
+        kernel: None,
     }
 }
 

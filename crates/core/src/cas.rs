@@ -22,6 +22,16 @@
 //! entry is a plain cache miss ([`CasStore::get`] returns `Ok(None)`),
 //! never an error.
 //!
+//! The store also carries its own maintenance surface:
+//! [`CasStore::stats`] sizes the directory per stage, and
+//! [`CasStore::gc`] evicts least-recently-touched entries until the
+//! store fits a byte budget. A resident process (the `serve`
+//! subcommand) holds a [`CasLock`] — a `.lock` file naming its pid — so
+//! eviction under a live server is refused with the typed
+//! [`CasError::Locked`] instead of silently racing its reads. A lock
+//! whose pid is no longer alive is crash debris and is broken, not
+//! honored.
+//!
 //! [`stage_key`]: crate::stage::stage_key
 
 use serde::{Content, Deserialize, Serialize};
@@ -47,6 +57,14 @@ pub enum CasError {
         /// What specifically failed to check out.
         reason: String,
     },
+    /// The store is held by a live process, so a destructive operation
+    /// (eviction, or acquiring a second lock) was refused.
+    Locked {
+        /// The `.lock` file naming the holder.
+        path: PathBuf,
+        /// The pid recorded in the lock file.
+        pid: u32,
+    },
 }
 
 impl fmt::Display for CasError {
@@ -60,6 +78,11 @@ impl fmt::Display for CasError {
             } => write!(
                 f,
                 "corrupt artifact store entry for stage `{stage}` at {}: {reason}",
+                path.display()
+            ),
+            CasError::Locked { path, pid } => write!(
+                f,
+                "artifact store is locked by live process {pid} ({})",
                 path.display()
             ),
         }
@@ -211,6 +234,282 @@ impl CasStore {
             .map(Some)
             .map_err(|e| corrupt(format!("payload does not deserialize: {e}")))
     }
+
+    fn lock_path(&self) -> PathBuf {
+        self.root.join(".lock")
+    }
+
+    /// Reads the `.lock` file, if any, as `(path, recorded pid)`.
+    /// An unreadable or unparseable lock is reported as pid 0 — it
+    /// still blocks eviction (better to refuse than to race an
+    /// unidentifiable holder).
+    fn read_lock(&self) -> Option<(PathBuf, u32)> {
+        let path = self.lock_path();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let pid = text.trim().parse().unwrap_or(0);
+                Some((path, pid))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(_) => Some((path, 0)),
+        }
+    }
+
+    /// Walks the store directory and sizes every well-formed entry,
+    /// grouped by stage. Files that are not `<stage>-<key>.json`
+    /// entries (the lock, tmp debris from a crashed `put`) are counted
+    /// separately as `other_bytes` so `stats` never hides disk usage.
+    ///
+    /// # Errors
+    ///
+    /// [`CasError::Io`] when the directory cannot be read.
+    pub fn stats(&self) -> Result<CacheStats, CasError> {
+        let mut stats = CacheStats::default();
+        for entry in self.entries()? {
+            match entry.stage {
+                Some(stage) => {
+                    stats.entries += 1;
+                    stats.entry_bytes += entry.bytes;
+                    let slot = match stats.stages.iter_mut().find(|s| s.stage == stage) {
+                        Some(slot) => slot,
+                        None => {
+                            stats.stages.push(StageUsage {
+                                stage,
+                                entries: 0,
+                                bytes: 0,
+                            });
+                            stats.stages.last_mut().expect("just pushed")
+                        }
+                    };
+                    slot.entries += 1;
+                    slot.bytes += entry.bytes;
+                }
+                None => stats.other_bytes += entry.bytes,
+            }
+        }
+        stats.stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+        stats.locked_by = self.read_lock().map(|(_, pid)| pid);
+        Ok(stats)
+    }
+
+    /// Evicts least-recently-touched entries until the store's entry
+    /// bytes fit under `max_bytes` (mtime-LRU: `put` rewrites a file,
+    /// so an old mtime means an artifact no recent run produced or
+    /// replaced). Stale `*.json.tmp` debris from crashed writes is
+    /// always removed first and counted toward the freed total.
+    ///
+    /// # Errors
+    ///
+    /// [`CasError::Locked`] when a live process holds the store (a
+    /// dead holder's lock is broken instead); [`CasError::Io`] when the
+    /// directory cannot be read or an entry cannot be removed.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcOutcome, CasError> {
+        if let Some((path, pid)) = self.read_lock() {
+            if pid_is_alive(pid) {
+                return Err(CasError::Locked { path, pid });
+            }
+            // Crash debris: the recorded holder is gone.
+            std::fs::remove_file(&path).ok();
+        }
+        let mut outcome = GcOutcome::default();
+        let mut live: Vec<DirEntryInfo> = Vec::new();
+        for entry in self.entries()? {
+            if entry.stage.is_some() {
+                live.push(entry);
+            } else if entry.path.extension().is_some_and(|e| e == "tmp") {
+                remove(&entry.path)?;
+                outcome.evicted += 1;
+                outcome.freed_bytes += entry.bytes;
+            }
+        }
+        // Oldest first; ties break on the filename so the order is
+        // deterministic on coarse-mtime filesystems.
+        live.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        let mut remaining: u64 = live.iter().map(|e| e.bytes).sum();
+        let mut evicted_entries = 0usize;
+        for entry in &live {
+            if remaining <= max_bytes {
+                break;
+            }
+            remove(&entry.path)?;
+            remaining -= entry.bytes;
+            evicted_entries += 1;
+            outcome.evicted += 1;
+            outcome.freed_bytes += entry.bytes;
+        }
+        outcome.kept = live.len() - evicted_entries;
+        outcome.kept_bytes = remaining;
+        Ok(outcome)
+    }
+
+    /// Every file in the store directory, tagged with the stage its
+    /// name encodes (`None` for the lock, tmp debris, or foreign files).
+    fn entries(&self) -> Result<Vec<DirEntryInfo>, CasError> {
+        let io = |what: &str, e: std::io::Error| CasError::Io {
+            reason: format!("{what} {}: {e}", self.root.display()),
+        };
+        let mut out = Vec::new();
+        for dirent in std::fs::read_dir(&self.root).map_err(|e| io("reading", e))? {
+            let dirent = dirent.map_err(|e| io("reading", e))?;
+            let meta = dirent.metadata().map_err(|e| io("sizing entry in", e))?;
+            if !meta.is_file() {
+                continue;
+            }
+            let path = dirent.path();
+            let stage = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(parse_entry_name)
+                .map(str::to_owned);
+            out.push(DirEntryInfo {
+                path,
+                stage,
+                bytes: meta.len(),
+                mtime: meta.modified().ok(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// `<stage>-<key:016x>.json` → `Some(stage)`; anything else → `None`.
+/// The stage may itself contain `-`, so the key is split off the tail.
+fn parse_entry_name(name: &str) -> Option<&str> {
+    let stem = name.strip_suffix(".json")?;
+    let (stage, key) = stem.rsplit_once('-')?;
+    (key.len() == 16 && key.bytes().all(|b| b.is_ascii_hexdigit()) && !stage.is_empty())
+        .then_some(stage)
+}
+
+fn remove(path: &Path) -> Result<(), CasError> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        // Lost a race with another gc: the entry is gone either way.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(CasError::Io {
+            reason: format!("removing {}: {e}", path.display()),
+        }),
+    }
+}
+
+/// On Linux a pid is alive exactly when `/proc/<pid>` exists; elsewhere
+/// liveness cannot be checked cheaply, so every recorded holder is
+/// treated as alive (refusing is the safe direction for eviction).
+fn pid_is_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+struct DirEntryInfo {
+    path: PathBuf,
+    stage: Option<String>,
+    bytes: u64,
+    mtime: Option<std::time::SystemTime>,
+}
+
+/// Disk usage of a [`CasStore`], as reported by [`CasStore::stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Well-formed `<stage>-<key>.json` entries.
+    pub entries: usize,
+    /// Bytes held by those entries.
+    pub entry_bytes: u64,
+    /// Bytes held by everything else in the directory (lock file, tmp
+    /// debris from crashed writes, foreign files).
+    pub other_bytes: u64,
+    /// Per-stage breakdown, sorted by stage name.
+    pub stages: Vec<StageUsage>,
+    /// The pid recorded in a present `.lock` file (alive or not).
+    pub locked_by: Option<u32>,
+}
+
+/// One stage's share of a [`CacheStats`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageUsage {
+    /// The stage name from the entry filenames.
+    pub stage: String,
+    /// Entry count for this stage.
+    pub entries: usize,
+    /// Bytes held by this stage's entries.
+    pub bytes: u64,
+}
+
+/// What [`CasStore::gc`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcOutcome {
+    /// Files removed (evicted entries plus tmp debris).
+    pub evicted: usize,
+    /// Bytes those files held.
+    pub freed_bytes: u64,
+    /// Entries still in the store afterwards.
+    pub kept: usize,
+    /// Bytes those entries hold.
+    pub kept_bytes: u64,
+}
+
+/// A held `.lock` file marking the store as owned by a live process.
+///
+/// Acquired by resident users (the `serve` subcommand) so `gc` refuses
+/// to evict under them; released on drop. A lock left by a dead process
+/// is broken and re-acquired rather than honored.
+#[derive(Debug)]
+pub struct CasLock {
+    path: PathBuf,
+}
+
+impl CasLock {
+    /// Acquires the store's lock for this process.
+    ///
+    /// # Errors
+    ///
+    /// [`CasError::Locked`] when another live process holds it;
+    /// [`CasError::Io`] when the lock file cannot be created.
+    pub fn acquire(store: &CasStore) -> Result<Self, CasError> {
+        let path = store.lock_path();
+        // Two attempts: one may legitimately find a stale lock, break
+        // it, and succeed on the retry; losing the create race twice
+        // means a live contender.
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    write!(f, "{}", std::process::id()).map_err(|e| CasError::Io {
+                        reason: format!("writing {}: {e}", path.display()),
+                    })?;
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match store.read_lock() {
+                        Some((_, pid)) if !pid_is_alive(pid) => {
+                            std::fs::remove_file(&path).ok();
+                        }
+                        Some((path, pid)) => return Err(CasError::Locked { path, pid }),
+                        // Holder vanished between create and read.
+                        None => {}
+                    }
+                }
+                Err(e) => {
+                    return Err(CasError::Io {
+                        reason: format!("creating {}: {e}", path.display()),
+                    })
+                }
+            }
+        }
+        Err(CasError::Locked { path, pid: 0 })
+    }
+}
+
+impl Drop for CasLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +596,107 @@ mod tests {
             }
             other => panic!("expected Corrupt, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_sizes_entries_per_stage_and_flags_debris() {
+        let dir = tempdir();
+        let store = CasStore::open(&dir).expect("open");
+        store.put("verdicts", 1, &sample()).expect("put");
+        store.put("verdicts", 2, &sample()).expect("put");
+        store.put("grouped", 1, &sample()).expect("put");
+        // Crash debris and foreign files count as `other`, not entries.
+        std::fs::write(dir.join("verdicts-03.json.tmp"), "torn").expect("tmp");
+        std::fs::write(dir.join("README"), "not an entry").expect("foreign");
+
+        let stats = store.stats().expect("stats");
+        assert_eq!(stats.entries, 3);
+        assert!(stats.entry_bytes > 0);
+        assert_eq!(
+            stats.other_bytes,
+            "torn".len() as u64 + "not an entry".len() as u64
+        );
+        assert_eq!(stats.locked_by, None);
+        let stages: Vec<(&str, usize)> = stats
+            .stages
+            .iter()
+            .map(|s| (s.stage.as_str(), s.entries))
+            .collect();
+        assert_eq!(stages, vec![("grouped", 1), ("verdicts", 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_entries_first_down_to_the_budget() {
+        let dir = tempdir();
+        let store = CasStore::open(&dir).expect("open");
+        for key in 0..3u64 {
+            store.put("verdicts", key, &sample()).expect("put");
+            // Distinct mtimes so the LRU order is unambiguous even on
+            // coarse-timestamp filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(15));
+        }
+        std::fs::write(dir.join("verdicts-99.json.tmp"), "torn").expect("tmp");
+        let before = store.stats().expect("stats");
+        let per_entry = before.entry_bytes / 3;
+
+        // Budget for two entries: the oldest (key 0) goes, debris goes.
+        let outcome = store.gc(per_entry * 2).expect("gc");
+        assert_eq!(outcome.evicted, 2, "oldest entry + tmp debris");
+        assert_eq!(outcome.kept, 2);
+        assert!(outcome.kept_bytes <= per_entry * 2);
+        assert_eq!(
+            store.get::<VerdictsArtifact>("verdicts", 0).expect("get"),
+            None,
+            "the oldest entry was evicted"
+        );
+        for key in [1, 2] {
+            assert!(
+                store
+                    .get::<VerdictsArtifact>("verdicts", key)
+                    .expect("get")
+                    .is_some(),
+                "newer entry {key} survived"
+            );
+        }
+
+        // A budget the store already fits is a no-op.
+        let outcome = store.gc(u64::MAX).expect("gc");
+        assert_eq!(outcome.evicted, 0);
+        assert_eq!(outcome.kept, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_refuses_a_live_locked_store_and_breaks_stale_locks() {
+        let dir = tempdir();
+        let store = CasStore::open(&dir).expect("open");
+        store.put("verdicts", 1, &sample()).expect("put");
+
+        let lock = CasLock::acquire(&store).expect("acquire");
+        assert_eq!(
+            store.stats().expect("stats").locked_by,
+            Some(std::process::id())
+        );
+        match store.gc(0) {
+            Err(CasError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // A second acquire against a live holder is refused too.
+        match CasLock::acquire(&store) {
+            Err(CasError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(lock);
+        assert!(!dir.join(".lock").exists(), "drop releases the lock");
+
+        // A lock naming a dead pid is crash debris: gc breaks it and
+        // proceeds. Linux pids top out well below this value.
+        std::fs::write(dir.join(".lock"), "999999999").expect("stale lock");
+        let outcome = store.gc(0).expect("gc proceeds past a stale lock");
+        assert_eq!(outcome.kept, 0);
+        assert!(!dir.join(".lock").exists(), "stale lock was broken");
         std::fs::remove_dir_all(&dir).ok();
     }
 

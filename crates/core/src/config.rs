@@ -265,6 +265,9 @@ mod tests {
         neutral.lint = !neutral.lint;
         neutral.sim.lanes = 64;
         neutral.sim.tape = !neutral.sim.tape;
+        // Every kernel tier computes the same outcome, so the tier must
+        // never invalidate cached verdicts.
+        neutral.sim.kernel = mcp_sim::SimKernel::Reference;
         neutral.static_classify = !neutral.static_classify;
         neutral.shard = Some(ShardSpec { index: 1, count: 4 });
         neutral.cache_dir = Some(std::path::PathBuf::from("/tmp/mcpath-cache"));

@@ -7,7 +7,7 @@
 //! instead:
 //!
 //! 1. loads the **old** revision's `Verdicts` artifact from the store,
-//! 2. computes the name-keyed structural delta with [`mcp_netlist::diff`],
+//! 2. computes the name-keyed structural delta with [`mcp_netlist::diff()`],
 //! 3. replans the **new** revision's sink groups (the same deterministic
 //!    prefilter + grouping code the shard planner replays), and
 //! 4. marks a group *dirty* exactly when its cone of influence in the

@@ -60,7 +60,7 @@ pub mod stage;
 pub use borrowing::condition2_candidates;
 pub use budget::{max_cycle_budget, max_cycle_budgets, CycleBudget, PairBudgets};
 pub use cache::{analyze_cached, analyze_cached_with};
-pub use cas::{CasError, CasStore};
+pub use cas::{CacheStats, CasError, CasLock, CasStore, GcOutcome, StageUsage};
 pub use config::{Engine, McConfig, Scheduler, ShardSpec};
 pub use eco::{analyze_eco_with, EcoSummary};
 pub use hazard::{

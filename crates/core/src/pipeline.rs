@@ -880,6 +880,7 @@ fn verdict_event(
         resumed: false,
         static_pass: false,
         cached: false,
+        kernel: None,
     }
 }
 

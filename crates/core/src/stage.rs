@@ -22,12 +22,12 @@
 //!
 //! This module also owns the stage *implementations* shared by the
 //! pipeline, the shard planner and the ECO planner: the deterministic
-//! prefilters ([`run_prefilters`]) and the sink-group planning
-//! ([`plan_sink_groups`], [`assign_shards`]). Keeping them in one place
+//! prefilters (`run_prefilters`) and the sink-group planning
+//! (`plan_sink_groups`, `assign_shards`). Keeping them in one place
 //! is what guarantees the planners can never drift from the run.
 
 use crate::config::McConfig;
-use crate::report::{PairClass, PairResult, Step, StepStats};
+use crate::report::{PairClass, PairResult, SimKernelTier, Step, StepStats};
 use mcp_netlist::{Expanded, Netlist, XId};
 use mcp_obs::{ObsCtx, PairEvent};
 use mcp_sim::mc_filter_stats_seeded;
@@ -186,7 +186,7 @@ pub struct VerdictRecord {
     pub src_name: String,
     /// Sink FF node name.
     pub dst_name: String,
-    /// Resolving step (journal name, see [`step_name`]).
+    /// Resolving step (journal name, see `step_name`).
     pub step: String,
     /// Verdict class: `multi`, `single` or `unknown`.
     pub class: String,
@@ -330,6 +330,7 @@ pub(crate) fn run_prefilters(
                     resumed: false,
                     static_pass: true,
                     cached: false,
+                    kernel: None,
                 });
             }
             false
@@ -354,11 +355,23 @@ pub(crate) fn run_prefilters(
         let consts = base_consts.as_deref().unwrap_or(&[]);
         let (out, sim_stats) = mc_filter_stats_seeded(netlist, &candidates, &cfg.sim, consts);
         stats.time_sim = t_sim.stop();
+        // Re-record the sim time under the kernel tier that actually ran
+        // (known only after the filter returns): per-tier children of
+        // `analyze/sim` are what `sim_words_per_sec` attributes against,
+        // so warm/static-heavy phases that never simulate don't deflate
+        // the rate.
+        obs.timers
+            .add(&format!("analyze/sim/{}", sim_stats.kernel), stats.time_sim);
         stats.sim_words = out.words_simulated;
+        stats.sim_kernel = SimKernelTier::from_tag(sim_stats.kernel);
         obs.metrics.sim_words.add(out.words_simulated);
         obs.metrics.sim_pairs_dropped.add(out.dropped() as u64);
         obs.metrics.sim_passes.add(sim_stats.passes);
         obs.metrics.sim_tape_ops.add(sim_stats.tape_ops);
+        obs.metrics.sim_fused_ops.add(sim_stats.fused_ops);
+        obs.metrics.jit_compiles.add(sim_stats.jit_compiles);
+        obs.metrics.jit_bytes.add(sim_stats.jit_bytes);
+        obs.metrics.jit_batches.add(sim_stats.jit_batches);
         for d in &out.drops {
             results.push(PairResult {
                 src: d.src,
@@ -386,6 +399,7 @@ pub(crate) fn run_prefilters(
                     resumed: false,
                     static_pass: false,
                     cached: false,
+                    kernel: Some(sim_stats.kernel.to_owned()),
                 });
             }
         }
@@ -604,11 +618,16 @@ mod tests {
             config_slice(STAGE_PREFILTERED, &base),
             config_slice(STAGE_PREFILTERED, &seed)
         );
-        // Verdict-neutral knobs never enter any stage key.
+        // Verdict-neutral knobs never enter any stage key. The kernel
+        // tier in particular: every tier computes the same outcome, so
+        // switching `--sim-kernel` (or losing the jit to a host
+        // fallback) must not invalidate cached prefilter artifacts.
         let mut neutral = base.clone();
         neutral.threads = 8;
         neutral.slice = !neutral.slice;
         neutral.static_classify = !neutral.static_classify;
+        neutral.sim.kernel = mcp_sim::SimKernel::Reference;
+        neutral.sim.lanes = 64;
         for stage in STAGES {
             assert_eq!(
                 config_slice(stage, &base),

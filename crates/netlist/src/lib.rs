@@ -22,7 +22,7 @@
 //! * [`expand::Slice`] — the cone-of-influence slice of an expansion
 //!   ([`expand::Expanded::build_slice`]): per-pair engine work scales with
 //!   the pair's cone instead of the whole circuit.
-//! * [`diff`] — the name-keyed structural delta between two revisions of
+//! * [`diff()`] — the name-keyed structural delta between two revisions of
 //!   a circuit, feeding ECO-style incremental re-analysis.
 //!
 //! # Example

@@ -136,6 +136,7 @@ mod tests {
             resumed: false,
             static_pass: false,
             cached: false,
+            kernel: None,
         }
     }
 
@@ -162,6 +163,7 @@ mod tests {
             resumed: false,
             static_pass: false,
             cached: false,
+            kernel: None,
         };
         sink.record(&event);
         assert_eq!(sink.drain(), vec![event]);

@@ -79,6 +79,17 @@ pub struct Metrics {
     /// kernel (instructions per eval × evals). Zero on the reference
     /// path.
     pub sim_tape_ops: Counter,
+    /// Random simulation: fused instructions executed (after NOT fusion
+    /// and dead-slot elimination). Moves on the `fused` and `jit` kernel
+    /// tiers only.
+    pub sim_fused_ops: Counter,
+    /// JIT kernel: native-code compilations performed (one per filter
+    /// run that landed on the jit tier).
+    pub jit_compiles: Counter,
+    /// JIT kernel: bytes of machine code emitted.
+    pub jit_bytes: Counter,
+    /// JIT kernel: calls into jitted code (two per wide pass).
+    pub jit_batches: Counter,
     /// Lint: rules executed over netlists.
     pub lint_rules_run: Counter,
     /// Lint: diagnostics (violations) reported by executed rules.
@@ -163,6 +174,10 @@ impl Metrics {
             sim_pairs_dropped: self.sim_pairs_dropped.get(),
             sim_passes: self.sim_passes.get(),
             sim_tape_ops: self.sim_tape_ops.get(),
+            sim_fused_ops: self.sim_fused_ops.get(),
+            jit_compiles: self.jit_compiles.get(),
+            jit_bytes: self.jit_bytes.get(),
+            jit_batches: self.jit_batches.get(),
             lint_rules_run: self.lint_rules_run.get(),
             lint_violations: self.lint_violations.get(),
             lint_nodes_visited: self.lint_nodes_visited.get(),
@@ -218,6 +233,15 @@ pub struct Counters {
     pub sim_passes: u64,
     #[serde(default)]
     pub sim_tape_ops: u64,
+    // JIT/fused-kernel counters arrived with the native-code tier.
+    #[serde(default)]
+    pub sim_fused_ops: u64,
+    #[serde(default)]
+    pub jit_compiles: u64,
+    #[serde(default)]
+    pub jit_bytes: u64,
+    #[serde(default)]
+    pub jit_batches: u64,
     pub lint_rules_run: u64,
     pub lint_violations: u64,
     // Dataflow-analysis counters arrived with the static pre-pass;
@@ -305,18 +329,44 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Random-simulation throughput: 64-pattern words per wall-clock
-    /// second of the `analyze/sim` span, or 0.0 when the span is absent
-    /// or empty. Wall-clock-derived, so (unlike the counters) not
-    /// deterministic across runs.
+    /// second, or 0.0 when no sim time was recorded. Wall-clock-derived,
+    /// so (unlike the counters) not deterministic across runs.
+    ///
+    /// Attribution is **per kernel tier**: when kernel-tagged child
+    /// spans (`analyze/sim/<tier>`, e.g. `analyze/sim/jit-avx2`) exist,
+    /// their summed time is the denominator — the parent `analyze/sim`
+    /// span also covers tape/lowering compilation and pair grouping, and
+    /// on warm-cache or static-resolved runs it accrues time with *zero*
+    /// words simulated, which used to deflate the rate. The parent span
+    /// remains the fallback for snapshots recorded before the tags
+    /// existed.
     pub fn sim_words_per_sec(&self) -> f64 {
-        let secs = self
+        let tiers: f64 = self
             .spans
-            .get("analyze/sim")
-            .map_or(0.0, |s| s.total.as_secs_f64());
+            .iter()
+            .filter(|(path, _)| path.starts_with("analyze/sim/"))
+            .map(|(_, s)| s.total.as_secs_f64())
+            .sum();
+        let secs = if tiers > 0.0 {
+            tiers
+        } else {
+            self.spans
+                .get("analyze/sim")
+                .map_or(0.0, |s| s.total.as_secs_f64())
+        };
         if secs > 0.0 {
             self.counters.sim_words as f64 / secs
         } else {
             0.0
         }
+    }
+
+    /// The kernel-tier tags that recorded sim time, in span order —
+    /// e.g. `["jit-avx2"]`. Empty for pre-tag snapshots.
+    pub fn sim_kernel_tags(&self) -> Vec<&str> {
+        self.spans
+            .keys()
+            .filter_map(|path| path.strip_prefix("analyze/sim/"))
+            .collect()
     }
 }

@@ -1,36 +1,88 @@
 //! Random-pattern filtering of single-cycle FF pairs (paper step 2).
 //!
-//! Two interchangeable execution paths compute the **same**
-//! [`FilterOutcome`]:
+//! Four interchangeable kernel tiers compute the **same**
+//! [`FilterOutcome`] — the ladder, fastest first:
 //!
-//! * the **reference path** — the original graph-walking
-//!   [`ParallelSim`] loop, one 64-lane word per pass;
-//! * the **tape path** (default) — the compiled [`Tape`]
-//!   kernel evaluating `64 × W` lanes per pass
-//!   ([`FilterConfig::lanes`] selects `W`), with alive pairs grouped by
-//!   source FF so a word in which a source never toggles skips its whole
-//!   group.
+//! * **jit** (default) — the fused tape compiled to native x86-64 by
+//!   [`JitKernel`](crate::JitKernel) (AVX2 when the host has it, scalar
+//!   `u64` otherwise); falls back to the fused interpreter when the
+//!   host can't run native code.
+//! * **fused** — the NOT-fused, dead-slot-eliminated
+//!   [`FusedTape`] interpreted by
+//!   [`FusedSim`].
+//! * **tape** — the PR-5 compiled [`Tape`] interpreted by [`TapeSim`].
+//! * **reference** — the original graph-walking [`ParallelSim`] loop,
+//!   one 64-lane word per pass.
+//!
+//! [`FilterConfig::kernel`] (CLI `--sim-kernel`, env `MCPATH_NO_JIT`)
+//! selects the tier; `--no-tape` still forces the reference path. All
+//! wide tiers share one generic batch/replay loop (`KernelExec`), so
+//! the determinism contract below holds per construction, and each tier
+//! is differentially oracled against the tiers below it in
+//! `tests/jit_diff.rs` / `tests/tape_diff.rs`.
 //!
 //! ## Lane-width determinism contract
 //!
-//! The tape path draws the RNG stream in 64-bit words in exactly the
+//! The wide path draws the RNG stream in 64-bit words in exactly the
 //! reference order (per word: FF states, first-cycle inputs,
 //! second-cycle inputs), evaluates a `W`-word batch at once, then
 //! *replays* the batch word by word under the reference stop condition.
 //! Drops, witness word indices, survivor order, `words_simulated`, and
 //! `ff_toggles` are therefore byte-identical to the 64-lane reference
-//! for the same seed at every supported lane width — RNG words drawn
-//! past the stop point are simply never observed. The differential suite
-//! in `tests/tape_diff.rs` pins this contract on random netlists.
+//! for the same seed at every supported lane width **and every kernel
+//! tier** — RNG words drawn past the stop point are simply never
+//! observed.
 
-use crate::{ParallelSim, Tape, TapeSim};
+use crate::lower::FusedTape;
+use crate::{FusedSim, JitSim, ParallelSim, Tape, TapeSim};
 use mcp_logic::V3;
 use mcp_netlist::Netlist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Lane widths the compiled kernel supports (one to eight 64-bit words).
+/// Lane widths the compiled kernels support (one to eight 64-bit words).
 pub const SUPPORTED_LANES: [u32; 4] = [64, 128, 256, 512];
+
+/// Which execution tier runs the random-pattern filter.
+///
+/// Every tier produces a byte-identical [`FilterOutcome`]; they differ
+/// only in speed and in which [`FilterStats`] counters move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimKernel {
+    /// Native machine code over the fused tape (falls back to `Fused`
+    /// on hosts the emitter does not target).
+    Jit,
+    /// The fused-tape interpreter.
+    Fused,
+    /// The unfused tape interpreter (the PR-5 kernel).
+    Tape,
+    /// The graph-walking 64-lane reference simulator.
+    Reference,
+}
+
+impl SimKernel {
+    /// Parses a CLI/config spelling (`jit`, `fused`, `tape`,
+    /// `reference`).
+    pub fn parse(s: &str) -> Option<SimKernel> {
+        match s {
+            "jit" => Some(SimKernel::Jit),
+            "fused" => Some(SimKernel::Fused),
+            "tape" => Some(SimKernel::Tape),
+            "reference" => Some(SimKernel::Reference),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, inverse of [`parse`](Self::parse).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimKernel::Jit => "jit",
+            SimKernel::Fused => "fused",
+            SimKernel::Tape => "tape",
+            SimKernel::Reference => "reference",
+        }
+    }
+}
 
 /// Configuration of the random-pattern multi-cycle filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,11 +104,18 @@ pub struct FilterConfig {
     /// environment variable. Invalid values are rejected by
     /// `analyze` with `AnalyzeError::InvalidSimLanes`.
     pub lanes: u32,
-    /// Run on the compiled tape kernel (default) rather than the
-    /// graph-walking reference simulator. Defaults to `true`, or `false`
-    /// when the `MCPATH_NO_TAPE` environment variable is set; the CLI
-    /// exposes it as `--no-tape`.
+    /// Run on a compiled kernel (default) rather than the graph-walking
+    /// reference simulator. Defaults to `true`, or `false` when the
+    /// `MCPATH_NO_TAPE` environment variable is set; the CLI exposes it
+    /// as `--no-tape`. `false` overrides [`kernel`](Self::kernel).
     pub tape: bool,
+    /// Which kernel tier to run (CLI `--sim-kernel`). Defaults to
+    /// [`SimKernel::Jit`], or [`SimKernel::Fused`] when the
+    /// `MCPATH_NO_JIT` environment variable is set (CLI `--no-jit`).
+    /// **Verdict-neutral**: every tier computes the same outcome, so
+    /// this field is deliberately excluded from `McConfig::fingerprint`
+    /// and the cache key slice.
+    pub kernel: SimKernel,
 }
 
 fn default_lanes() -> u32 {
@@ -76,6 +135,11 @@ impl Default for FilterConfig {
             max_words: 1 << 16,
             lanes: default_lanes(),
             tape: std::env::var_os("MCPATH_NO_TAPE").is_none(),
+            kernel: if std::env::var_os("MCPATH_NO_JIT").is_some() {
+                SimKernel::Fused
+            } else {
+                SimKernel::Jit
+            },
         }
     }
 }
@@ -90,6 +154,17 @@ impl FilterConfig {
             256 => Some(4),
             512 => Some(8),
             _ => None,
+        }
+    }
+
+    /// The tier that will actually run: [`kernel`](Self::kernel) unless
+    /// [`tape`](Self::tape) is off, which forces the reference path
+    /// (preserving the PR-5 `--no-tape` contract).
+    pub fn effective_kernel(&self) -> SimKernel {
+        if self.tape {
+            self.kernel
+        } else {
+            SimKernel::Reference
         }
     }
 }
@@ -134,15 +209,47 @@ impl FilterOutcome {
 
 /// Execution-cost counters of one filter run. Deliberately **not** part
 /// of [`FilterOutcome`]: the outcome is pinned byte-identical across
-/// lane widths, while these counters describe how the kernel got there
-/// (they vary with `lanes` and are zero on the reference path).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// lane widths and kernel tiers, while these counters describe how the
+/// kernel got there (they vary with `lanes`/`kernel` and are zero on
+/// the reference path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FilterStats {
-    /// Wide evaluation passes of the tape kernel (each pass simulates up
-    /// to `lanes / 64` words, two clock cycles each).
+    /// Wide evaluation passes of the kernel (each pass simulates up to
+    /// `lanes / 64` words, two clock cycles each).
     pub passes: u64,
-    /// Tape instructions executed (instructions per eval × evals).
+    /// Unfused tape instructions executed (instructions per eval ×
+    /// evals). Moves only on the `tape` tier.
     pub tape_ops: u64,
+    /// Fused instructions executed (after NOT fusion and dead-slot
+    /// elimination). Moves on the `fused` and `jit` tiers.
+    pub fused_ops: u64,
+    /// Native-code compilations performed (0 or 1 per filter run).
+    pub jit_compiles: u64,
+    /// Bytes of machine code emitted by the JIT.
+    pub jit_bytes: u64,
+    /// Calls into the jitted kernel (two per pass: one per clock cycle).
+    pub jit_batches: u64,
+    /// Which tier actually ran: `"jit-avx2"`, `"jit-scalar"`, `"fused"`,
+    /// `"tape"` or `"reference"`. More specific than
+    /// [`FilterConfig::kernel`] — it records the post-fallback reality.
+    pub kernel: &'static str,
+}
+
+impl Default for FilterStats {
+    fn default() -> Self {
+        FilterStats {
+            passes: 0,
+            tape_ops: 0,
+            fused_ops: 0,
+            jit_compiles: 0,
+            jit_bytes: 0,
+            jit_batches: 0,
+            // The zero-work tier: matches what the reference path
+            // reports, so `stats == FilterStats::default()` still reads
+            // "the kernel did nothing".
+            kernel: "reference",
+        }
+    }
 }
 
 /// Runs the paper's step 2: 2-clock random parallel-pattern simulation.
@@ -193,8 +300,8 @@ pub fn mc_filter_stats(
 /// instruction stream the kernel executes per pass. The
 /// [`FilterOutcome`] is identical to the unseeded run — a sound seed
 /// holds under every stimulus, so no lane can observe a difference —
-/// only [`FilterStats::tape_ops`] shrinks. The reference path ignores
-/// the seed (it exists precisely to pin the tape's behavior). An empty
+/// only the op counters shrink. The reference path ignores the seed (it
+/// exists precisely to pin the compiled kernels' behavior). An empty
 /// slice is the plain unseeded filter.
 ///
 /// # Panics
@@ -211,17 +318,17 @@ pub fn mc_filter_stats_seeded(
     for &(i, j) in pairs {
         assert!(i < nffs && j < nffs, "FF index out of range in pair list");
     }
-    if !cfg.tape {
+    if cfg.effective_kernel() == SimKernel::Reference {
         return (
             mc_filter_reference(netlist, pairs, cfg),
             FilterStats::default(),
         );
     }
     match cfg.lane_words() {
-        Some(1) => mc_filter_tape::<1>(netlist, pairs, cfg, consts),
-        Some(2) => mc_filter_tape::<2>(netlist, pairs, cfg, consts),
-        Some(4) => mc_filter_tape::<4>(netlist, pairs, cfg, consts),
-        Some(8) => mc_filter_tape::<8>(netlist, pairs, cfg, consts),
+        Some(1) => mc_filter_wide::<1>(netlist, pairs, cfg, consts),
+        Some(2) => mc_filter_wide::<2>(netlist, pairs, cfg, consts),
+        Some(4) => mc_filter_wide::<4>(netlist, pairs, cfg, consts),
+        Some(8) => mc_filter_wide::<8>(netlist, pairs, cfg, consts),
         _ => panic!(
             "sim lanes {} out of range: supported widths are 64, 128, 256, 512",
             cfg.lanes
@@ -231,7 +338,8 @@ pub fn mc_filter_stats_seeded(
 
 /// The original graph-walking loop over [`ParallelSim`], one 64-lane
 /// word per pass. Kept verbatim as the differential reference for the
-/// tape kernel (and reachable via `--no-tape` / `MCPATH_NO_TAPE`).
+/// compiled tiers (and reachable via `--no-tape` / `MCPATH_NO_TAPE` /
+/// `--sim-kernel reference`).
 fn mc_filter_reference(
     netlist: &Netlist,
     pairs: &[(usize, usize)],
@@ -300,6 +408,88 @@ fn mc_filter_reference(
     }
 }
 
+/// The uniform surface the wide kernel tiers expose to the shared
+/// batch/replay loop. One implementation per tier keeps the loop — and
+/// therefore the determinism contract — literally identical across
+/// tiers.
+trait KernelExec<const W: usize> {
+    /// Sets the `64 × W` lanes of primary input `pi`.
+    fn set_input(&mut self, pi: usize, words: [u64; W]);
+    /// Sets the `64 × W` lanes of FF `ff`'s state.
+    fn set_state(&mut self, ff: usize, words: [u64; W]);
+    /// Evaluates the combinational logic for the current inputs/state.
+    fn eval(&mut self);
+    /// Latches every FF's D input (positive clock edge).
+    fn clock(&mut self);
+    /// FF `ff`'s D-input value from the most recent `eval`.
+    fn next_state(&self, ff: usize) -> [u64; W];
+    /// Instructions executed per `eval`, for the op counters.
+    fn ops_per_eval(&self) -> u64;
+}
+
+impl<const W: usize> KernelExec<W> for TapeSim<'_, W> {
+    fn set_input(&mut self, pi: usize, words: [u64; W]) {
+        TapeSim::set_input(self, pi, words);
+    }
+    fn set_state(&mut self, ff: usize, words: [u64; W]) {
+        TapeSim::set_state(self, ff, words);
+    }
+    fn eval(&mut self) {
+        TapeSim::eval(self);
+    }
+    fn clock(&mut self) {
+        TapeSim::clock(self);
+    }
+    fn next_state(&self, ff: usize) -> [u64; W] {
+        TapeSim::next_state(self, ff)
+    }
+    fn ops_per_eval(&self) -> u64 {
+        self.tape().num_ops() as u64
+    }
+}
+
+impl<const W: usize> KernelExec<W> for FusedSim<'_, W> {
+    fn set_input(&mut self, pi: usize, words: [u64; W]) {
+        FusedSim::set_input(self, pi, words);
+    }
+    fn set_state(&mut self, ff: usize, words: [u64; W]) {
+        FusedSim::set_state(self, ff, words);
+    }
+    fn eval(&mut self) {
+        FusedSim::eval(self);
+    }
+    fn clock(&mut self) {
+        FusedSim::clock(self);
+    }
+    fn next_state(&self, ff: usize) -> [u64; W] {
+        FusedSim::next_state(self, ff)
+    }
+    fn ops_per_eval(&self) -> u64 {
+        self.fused().num_ops() as u64
+    }
+}
+
+impl<const W: usize> KernelExec<W> for JitSim<'_, W> {
+    fn set_input(&mut self, pi: usize, words: [u64; W]) {
+        JitSim::set_input(self, pi, words);
+    }
+    fn set_state(&mut self, ff: usize, words: [u64; W]) {
+        JitSim::set_state(self, ff, words);
+    }
+    fn eval(&mut self) {
+        JitSim::eval(self);
+    }
+    fn clock(&mut self) {
+        JitSim::clock(self);
+    }
+    fn next_state(&self, ff: usize) -> [u64; W] {
+        JitSim::next_state(self, ff)
+    }
+    fn ops_per_eval(&self) -> u64 {
+        self.fused().num_ops() as u64
+    }
+}
+
 /// Alive pairs sharing one source FF. A word in which the source never
 /// toggled between `t` and `t+1` cannot violate any pair of the group —
 /// the whole group is skipped with one word compare.
@@ -310,19 +500,89 @@ struct SourceGroup {
     pairs: Vec<(usize, usize)>,
 }
 
-/// The compiled-kernel path: simulate `W` words per pass on the tape,
-/// then replay the batch word by word under the reference stop
-/// condition. See the module docs for the determinism contract.
-fn mc_filter_tape<const W: usize>(
+/// Tier selection for one wide filter run: compile the tape, lower it,
+/// try the configured tier (jit falls back to fused when the host can't
+/// run native code), then hand the chosen kernel to the shared loop and
+/// tag the stats.
+fn mc_filter_wide<const W: usize>(
     netlist: &Netlist,
     pairs: &[(usize, usize)],
     cfg: &FilterConfig,
     consts: &[V3],
 ) -> (FilterOutcome, FilterStats) {
+    let tape = Tape::compile_with_consts(netlist, consts);
+    match cfg.effective_kernel() {
+        SimKernel::Reference => unreachable!("dispatched before lane selection"),
+        SimKernel::Tape => {
+            let mut sim = TapeSim::<W>::new(&tape);
+            let (out, passes, ops) = filter_batch(&mut sim, netlist, pairs, cfg);
+            let stats = FilterStats {
+                passes,
+                tape_ops: ops,
+                kernel: "tape",
+                ..FilterStats::default()
+            };
+            (out, stats)
+        }
+        SimKernel::Fused => {
+            let fused = FusedTape::lower(&tape);
+            let mut sim = FusedSim::<W>::new(&fused);
+            let (out, passes, ops) = filter_batch(&mut sim, netlist, pairs, cfg);
+            let stats = FilterStats {
+                passes,
+                fused_ops: ops,
+                kernel: "fused",
+                ..FilterStats::default()
+            };
+            (out, stats)
+        }
+        SimKernel::Jit => {
+            let fused = FusedTape::lower(&tape);
+            match JitSim::<W>::new(&fused) {
+                Some(mut sim) => {
+                    let jit_bytes = sim.kernel().code_bytes() as u64;
+                    let tag = sim.kernel().tag();
+                    let (out, passes, ops) = filter_batch(&mut sim, netlist, pairs, cfg);
+                    let stats = FilterStats {
+                        passes,
+                        fused_ops: ops,
+                        jit_compiles: 1,
+                        jit_bytes,
+                        jit_batches: 2 * passes,
+                        kernel: tag,
+                        ..FilterStats::default()
+                    };
+                    (out, stats)
+                }
+                // Host can't run native code: fused interpreter tier.
+                None => {
+                    let mut sim = FusedSim::<W>::new(&fused);
+                    let (out, passes, ops) = filter_batch(&mut sim, netlist, pairs, cfg);
+                    let stats = FilterStats {
+                        passes,
+                        fused_ops: ops,
+                        kernel: "fused",
+                        ..FilterStats::default()
+                    };
+                    (out, stats)
+                }
+            }
+        }
+    }
+}
+
+/// The shared wide path: simulate `W` words per pass on the given
+/// kernel, then replay the batch word by word under the reference stop
+/// condition. Returns the outcome plus `(passes, ops_executed)`. See
+/// the module docs for the determinism contract.
+fn filter_batch<const W: usize, K: KernelExec<W>>(
+    sim: &mut K,
+    netlist: &Netlist,
+    pairs: &[(usize, usize)],
+    cfg: &FilterConfig,
+) -> (FilterOutcome, u64, u64) {
     let nffs = netlist.num_ffs();
     let npis = netlist.num_inputs();
-    let tape = Tape::compile_with_consts(netlist, consts);
-    let mut sim = TapeSim::<W>::new(&tape);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Group alive pairs by source FF, preserving input order both within
@@ -354,7 +614,8 @@ fn mc_filter_tape<const W: usize>(
     let mut idle = 0u32;
     let mut drops: Vec<PairDrop> = Vec::new();
     let mut ff_toggles = vec![0u64; nffs];
-    let mut stats = FilterStats::default();
+    let mut passes = 0u64;
+    let mut ops = 0u64;
     // Per-word drop candidates, re-sorted into input order before being
     // appended so drop order matches the reference exactly.
     let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
@@ -391,8 +652,8 @@ fn mc_filter_tape<const W: usize>(
         for (k, s) in s2.iter_mut().enumerate() {
             *s = sim.next_state(k);
         }
-        stats.passes += 1;
-        stats.tape_ops += 2 * tape.num_ops() as u64;
+        passes += 1;
+        ops += 2 * sim.ops_per_eval();
 
         // Replay the batch word by word under the reference stop
         // condition; words past the stop point are never observed.
@@ -450,7 +711,8 @@ fn mc_filter_tape<const W: usize>(
             words_simulated: words,
             ff_toggles,
         },
-        stats,
+        passes,
+        ops,
     )
 }
 
@@ -481,6 +743,16 @@ mod tests {
         FilterConfig {
             lanes,
             tape: true,
+            kernel: SimKernel::Tape,
+            ..FilterConfig::default()
+        }
+    }
+
+    fn cfg_with_kernel(kernel: SimKernel) -> FilterConfig {
+        FilterConfig {
+            tape: true,
+            kernel,
+            lanes: 256,
             ..FilterConfig::default()
         }
     }
@@ -561,17 +833,37 @@ mod tests {
     }
 
     #[test]
+    fn every_kernel_tier_is_byte_identical_to_reference_at_every_width() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        let reference = mc_filter_reference(&nl, &pairs, &FilterConfig::default());
+        for kernel in [SimKernel::Jit, SimKernel::Fused, SimKernel::Tape] {
+            for lanes in SUPPORTED_LANES {
+                let cfg = FilterConfig {
+                    lanes,
+                    ..cfg_with_kernel(kernel)
+                };
+                let out = mc_filter(&nl, &pairs, &cfg);
+                assert_eq!(out, reference, "kernel {kernel:?} lanes {lanes}");
+            }
+        }
+    }
+
+    #[test]
     fn tape_stats_count_passes_and_ops() {
         let nl = mixed();
         let pairs = nl.connected_ff_pairs();
         let (out, stats) = mc_filter_stats(&nl, &pairs, &cfg_with_lanes(256));
         assert!(stats.passes > 0);
+        assert_eq!(stats.kernel, "tape");
         // 4 words per pass: the word count never exceeds 4 × passes.
         assert!(out.words_simulated <= 4 * stats.passes);
         assert!(out.words_simulated > 4 * (stats.passes - 1));
         // mixed() compiles to zero tape instructions (all BUFs alias), so
         // tape_ops stays zero here; the invariant is ops = 2·passes·num_ops.
         assert_eq!(stats.tape_ops % 2, 0);
+        assert_eq!(stats.fused_ops, 0, "tape tier moves tape_ops only");
+        assert_eq!(stats.jit_compiles, 0);
         // The reference path reports zero kernel stats.
         let no_tape = FilterConfig {
             tape: false,
@@ -580,6 +872,73 @@ mod tests {
         let (ref_out, ref_stats) = mc_filter_stats(&nl, &pairs, &no_tape);
         assert_eq!(ref_stats, FilterStats::default());
         assert_eq!(ref_out, out);
+    }
+
+    #[test]
+    fn jit_tier_reports_compile_and_batch_stats() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        let (out, stats) = mc_filter_stats(&nl, &pairs, &cfg_with_kernel(SimKernel::Jit));
+        if stats.kernel.starts_with("jit-") {
+            assert_eq!(stats.jit_compiles, 1);
+            assert!(stats.jit_bytes > 0);
+            assert_eq!(stats.jit_batches, 2 * stats.passes);
+        } else {
+            // Non-native host: the fallback ladder lands on `fused`.
+            assert_eq!(stats.kernel, "fused");
+            assert_eq!(stats.jit_compiles, 0);
+        }
+        assert_eq!(stats.tape_ops, 0, "jit/fused tiers never move tape_ops");
+        let (ref_out, _) = mc_filter_stats(
+            &nl,
+            &pairs,
+            &FilterConfig {
+                tape: false,
+                ..FilterConfig::default()
+            },
+        );
+        assert_eq!(out, ref_out);
+    }
+
+    #[test]
+    fn fused_tier_reports_fused_ops() {
+        let nl = mixed();
+        let pairs = nl.connected_ff_pairs();
+        let (_, stats) = mc_filter_stats(&nl, &pairs, &cfg_with_kernel(SimKernel::Fused));
+        assert_eq!(stats.kernel, "fused");
+        assert!(stats.passes > 0);
+        assert_eq!(stats.jit_compiles, 0);
+        assert_eq!(stats.tape_ops, 0);
+    }
+
+    #[test]
+    fn no_jit_env_and_no_tape_flow_through_effective_kernel() {
+        // effective_kernel folds `tape: false` into Reference.
+        let cfg = FilterConfig {
+            tape: false,
+            kernel: SimKernel::Jit,
+            ..FilterConfig::default()
+        };
+        assert_eq!(cfg.effective_kernel(), SimKernel::Reference);
+        let cfg = FilterConfig {
+            tape: true,
+            kernel: SimKernel::Fused,
+            ..FilterConfig::default()
+        };
+        assert_eq!(cfg.effective_kernel(), SimKernel::Fused);
+    }
+
+    #[test]
+    fn sim_kernel_parse_round_trips() {
+        for k in [
+            SimKernel::Jit,
+            SimKernel::Fused,
+            SimKernel::Tape,
+            SimKernel::Reference,
+        ] {
+            assert_eq!(SimKernel::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(SimKernel::parse("turbo"), None);
     }
 
     #[test]

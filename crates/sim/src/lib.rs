@@ -11,6 +11,14 @@
 //!   folded, buffers chained away), and a const-generic `[u64; W]` word
 //!   evaluates `64 × W` patterns per pass. Observationally identical to
 //!   `ParallelSim` lane-for-lane, several times faster per node-eval.
+//! * [`FusedSim`] / [`JitSim`] — the optimizing tiers above the tape:
+//!   [`FusedTape::lower`] fuses NOT/NAND chains into operand polarity
+//!   bits, folds constants, and dead-slot-eliminates logic that cannot
+//!   reach an FF; [`FusedSim`] interprets that stream, and
+//!   [`JitKernel::compile`] emits native x86-64 (AVX2 or scalar-`u64`)
+//!   machine code for it. The kernel ladder (jit → fused → tape →
+//!   reference) is selected by [`FilterConfig::kernel`] and every tier
+//!   is differentially oracled to byte-identical [`FilterOutcome`]s.
 //! * [`filter::mc_filter`] — the paper's step 2: repeated 2-clock random
 //!   simulation that *disproves* the multi-cycle condition for most
 //!   single-cycle FF pairs cheaply, stopping once no pair has been dropped
@@ -40,12 +48,17 @@
 //! # Ok::<(), mcp_netlist::bench::ParseBenchError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the JIT's mmap/emit module (`jit`) is the
+// one audited exception and opts back in with a module-level allow;
+// `forbid` would make that override impossible.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod delay;
 pub mod event;
 pub mod filter;
+pub mod jit;
+pub mod lower;
 pub mod parallel;
 pub mod tape;
 pub mod vcd;
@@ -54,7 +67,9 @@ pub use delay::{DelaySim, EdgeReport};
 pub use event::EventSim;
 pub use filter::{
     mc_filter, mc_filter_stats, mc_filter_stats_seeded, FilterConfig, FilterOutcome, FilterStats,
-    PairDrop,
+    PairDrop, SimKernel,
 };
+pub use jit::{JitKernel, JitSim};
+pub use lower::{FusedOp, FusedRef, FusedSim, FusedTape};
 pub use parallel::ParallelSim;
 pub use tape::{SlotRef, Tape, TapeSim};

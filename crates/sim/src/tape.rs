@@ -53,7 +53,7 @@ pub enum SlotRef {
 /// has no opcode of its own (`NAND(a, a)`); the inverting opcodes close
 /// a decomposed n-ary chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
+pub(crate) enum Op {
     And,
     Nand,
     Or,
@@ -77,15 +77,17 @@ pub struct Tape {
     num_inputs: usize,
     num_ffs: usize,
     /// SoA instruction stream: one entry per emitted binary instruction.
-    opcode: Vec<Op>,
+    /// Crate-visible so the fusing lowering pass (`crate::lower`) can
+    /// walk the stream without re-deriving it from the netlist.
+    pub(crate) opcode: Vec<Op>,
     /// Left operand slot of instruction `i`.
-    lhs: Vec<u32>,
+    pub(crate) lhs: Vec<u32>,
     /// Right operand slot of instruction `i` (`lhs[i]` again for NOT).
-    rhs: Vec<u32>,
+    pub(crate) rhs: Vec<u32>,
     /// Resolved location of every original node's value, by node index.
     node_ref: Vec<SlotRef>,
     /// Resolved location of every FF's D-input value, by FF index.
-    ff_d: Vec<SlotRef>,
+    pub(crate) ff_d: Vec<SlotRef>,
 }
 
 impl Tape {

@@ -1,0 +1,183 @@
+//! Differential property tests for the fused/jit kernel tiers.
+//!
+//! The tape kernel is already pinned against three independent oracles
+//! in `tape_diff.rs`; this suite extends the ladder upward. Two angles:
+//!
+//! * **Whole-filter equality** — [`mc_filter`] must produce a
+//!   byte-identical [`FilterOutcome`] on the jit, fused, tape and
+//!   reference tiers at every supported lane width. This exercises the
+//!   complete pipeline (lowering, native-code emission where the host
+//!   supports it, the shared batch/replay loop) on random netlists.
+//! * **Per-node lowering equality** — with dead-slot elimination off
+//!   ([`FusedTape::lower_keep_all`]), every tape slot remains mapped,
+//!   so each netlist node's value under [`FusedSim`] must match
+//!   [`TapeSim`] exactly across evaluation and clocking. This isolates
+//!   the lowering rules (NOT fusion, operand-polarity folding, alias
+//!   links) from the batch loop and from the emitter.
+//!
+//! On non-x86-64 hosts the jit tier silently lands on the fused
+//! interpreter; the whole-filter property still holds (and the jit legs
+//! degenerate into a second fused run, which is fine: the contract is
+//! outcome equality, not which tier executed).
+
+use mcp_gen::random::{random_netlist, RandomCircuitConfig};
+use mcp_logic::GateKind;
+use mcp_netlist::{Netlist, NetlistBuilder, NodeId};
+use mcp_sim::{mc_filter, FilterConfig, FusedSim, FusedTape, SimKernel, Tape, TapeSim};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (0u64..100_000, 1usize..6, 0usize..4, 1usize..40, 1usize..5).prop_map(
+        |(seed, ffs, pis, gates, max_arity)| {
+            (
+                seed,
+                RandomCircuitConfig {
+                    ffs,
+                    pis,
+                    gates,
+                    max_arity,
+                },
+            )
+        },
+    )
+}
+
+/// Random netlist biased toward what the lowering pass fuses: constant
+/// nodes feed the gate pool, and `Buf`/`Not` are drawn twice as often
+/// as in [`random_netlist`] so inverter chains and alias links appear.
+fn folding_netlist(seed: u64, cfg: &RandomCircuitConfig) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(format!("fold{seed}"));
+    let mut pool: Vec<NodeId> = (0..cfg.pis).map(|i| b.input(format!("I{i}"))).collect();
+    let ffs: Vec<NodeId> = (0..cfg.ffs).map(|i| b.dff(format!("F{i}"))).collect();
+    pool.extend(&ffs);
+    pool.push(b.constant("c0", false));
+    pool.push(b.constant("c1", true));
+
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Buf,
+    ];
+    for _ in 0..cfg.gates {
+        let kind = kinds[rng.random_range(0..kinds.len())];
+        let arity = kind
+            .fixed_arity()
+            .unwrap_or_else(|| rng.random_range(1..=cfg.max_arity));
+        let ins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[rng.random_range(0..pool.len())])
+            .collect();
+        let g = b.gate_auto(kind, ins).expect("valid arity");
+        pool.push(g);
+    }
+    for &ff in &ffs {
+        let d = pool[rng.random_range(0..pool.len())];
+        b.set_dff_input(ff, d).expect("valid dff");
+    }
+    b.mark_output(*pool.last().expect("non-empty pool"));
+    b.finish().expect("folding circuit is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The prefilter's outcome is byte-identical across the whole kernel
+    /// ladder — jit, fused, tape — against the reference path, at every
+    /// supported lane width. Small `idle_words` keeps runs short while
+    /// still crossing several batch boundaries at the widest width.
+    #[test]
+    fn every_kernel_tier_matches_reference_at_every_lane_width(
+        (seed, cfg) in cfg_strategy(),
+        filter_seed in any::<u64>(),
+    ) {
+        let nl = random_netlist(seed, &cfg);
+        let pairs = nl.connected_ff_pairs();
+        let reference_cfg = FilterConfig {
+            seed: filter_seed,
+            idle_words: 6,
+            max_words: 512,
+            tape: false,
+            lanes: 64,
+            kernel: SimKernel::Reference,
+        };
+        let reference = mc_filter(&nl, &pairs, &reference_cfg);
+        for kernel in [SimKernel::Jit, SimKernel::Fused, SimKernel::Tape] {
+            for lanes in [64u32, 256, 512] {
+                let tier_cfg = FilterConfig {
+                    tape: true,
+                    lanes,
+                    kernel,
+                    ..reference_cfg
+                };
+                let got = mc_filter(&nl, &pairs, &tier_cfg);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "outcome diverged on {:?} at {} lanes (netlist seed {})",
+                    kernel, lanes, seed
+                );
+            }
+        }
+    }
+
+    /// Lowering in isolation: with dead-slot elimination off, every tape
+    /// slot maps to a fused ref, and a 1-word `FusedSim` tracks `TapeSim`
+    /// on every netlist node across evaluation and clocking — so the
+    /// fusion/polarity rules are semantics-preserving per node, not just
+    /// per filter outcome.
+    #[test]
+    fn keep_all_lowering_matches_tape_sim_per_node(
+        (seed, cfg) in cfg_strategy(),
+        stimulus in any::<u64>(),
+    ) {
+        let nl = folding_netlist(seed, &cfg);
+        let tape = Tape::compile(&nl);
+        let fused = FusedTape::lower_keep_all(&tape);
+        let mut tsim = TapeSim::<1>::new(&tape);
+        let mut fsim = FusedSim::<1>::new(&fused);
+
+        let mut rng = StdRng::seed_from_u64(stimulus);
+        for ff in 0..nl.num_ffs() {
+            let w: u64 = rng.random();
+            tsim.set_state(ff, [w]);
+            fsim.set_state(ff, [w]);
+        }
+        for cycle in 0..3 {
+            for pi in 0..nl.num_inputs() {
+                let w: u64 = rng.random();
+                tsim.set_input(pi, [w]);
+                fsim.set_input(pi, [w]);
+            }
+            tsim.eval();
+            fsim.eval();
+            for (id, _) in nl.nodes() {
+                let fref = fused.tape_ref(tape.slot_of(id));
+                prop_assert!(
+                    fref.is_some(),
+                    "keep-all lowering dropped node {:?} (netlist seed {})", id, seed
+                );
+                prop_assert_eq!(
+                    fsim.resolve(fref.expect("checked above"))[0],
+                    tsim.value(id)[0],
+                    "node {:?} diverged in cycle {} (netlist seed {})", id, cycle, seed
+                );
+            }
+            for ff in 0..nl.num_ffs() {
+                prop_assert_eq!(fsim.next_state(ff)[0], tsim.next_state(ff)[0]);
+            }
+            tsim.clock();
+            fsim.clock();
+            for ff in 0..nl.num_ffs() {
+                prop_assert_eq!(fsim.state(ff)[0], tsim.state(ff)[0]);
+            }
+        }
+    }
+}

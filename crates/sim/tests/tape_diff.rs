@@ -104,6 +104,7 @@ proptest! {
             max_words: 512,
             tape: false,
             lanes: 64,
+            kernel: mcp_sim::SimKernel::Tape,
         };
         let reference = mc_filter(&nl, &pairs, &reference_cfg);
         for lanes in [64u32, 256, 512] {

@@ -49,6 +49,7 @@
 //! `--compare <old> <new>`, `--threshold <pct>`.
 
 mod analyze;
+mod cache;
 mod glitch;
 mod misc;
 mod render;
@@ -59,6 +60,7 @@ mod tests;
 use mcp_core::{Engine, HazardCheck, McConfig, Scheduler, ShardSpec};
 use mcp_netlist::{bench, Netlist};
 use mcp_obs::{FileSink, ObsCtx};
+use mcp_sim::SimKernel;
 use std::time::Duration;
 
 /// A parsed command line.
@@ -88,6 +90,13 @@ pub struct Command {
     /// instead of the compiled tape kernel (A/B escape hatch; the
     /// outcome is byte-identical).
     pub no_tape: bool,
+    /// Which prefilter kernel tier to run (`--sim-kernel
+    /// jit|fused|tape|reference`); `None` keeps the default ladder
+    /// (jit, or fused under `MCPATH_NO_JIT`). Verdict-neutral.
+    pub sim_kernel: Option<SimKernel>,
+    /// Never emit native code: downgrade the jit tier to the fused
+    /// interpreter (`--no-jit`; same effect as `MCPATH_NO_JIT`).
+    pub no_jit: bool,
     /// Exclude self pairs.
     pub no_self_pairs: bool,
     /// Skip the pre-analysis structural lint gate.
@@ -212,8 +221,22 @@ pub enum Action {
     },
     /// Answer NDJSON analyze requests over a Unix socket.
     Serve(String),
+    /// Inspect or shrink the `--cache-dir` artifact store.
+    Cache(CacheOp),
     /// Print usage.
     Help,
+}
+
+/// What the `cache` subcommand does to the artifact store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// Report per-stage entry counts and byte totals.
+    Stats,
+    /// Evict least-recently-touched entries down to a byte budget.
+    Gc {
+        /// The byte budget the store must fit after eviction.
+        max_bytes: u64,
+    },
 }
 
 /// Error from command-line parsing.
@@ -249,6 +272,8 @@ USAGE:
   mcpath sdc     <file.bench> [--robust sens|cosens] [options]
   mcpath glitch  <file.bench> <srcFF> <dstFF> <out.vcd>
   mcpath serve   <socket> --cache-dir <dir> [options]
+  mcpath cache   stats --cache-dir <dir>
+  mcpath cache   gc --cache-dir <dir> --max-bytes <N>
   mcpath lint    <file.bench> [--format text|json] [--deny <rule>]
                  [--allow <rule>] [--max-diags <n>]
 
@@ -264,6 +289,14 @@ OPTIONS:
                                  the outcome is identical at every width
   --no-tape                      prefilter on the graph-walking reference
                                  simulator instead of the compiled kernel
+  --sim-kernel jit|fused|tape|reference
+                                 prefilter kernel tier (default: jit, with
+                                 automatic fallback on non-x86-64 hosts);
+                                 the outcome is identical in every tier
+  --no-jit                       never emit native code: run the jit tier
+                                 as the fused interpreter (MCPATH_NO_JIT)
+  --max-bytes <N>                byte budget for `cache gc` (entries are
+                                 evicted least-recently-touched first)
   --no-self-pairs                exclude (FFi, FFi) pairs ([9]'s convention)
   --no-lint                      analyze even if structural lints fail
   --no-slice                     engines run on the whole-circuit expansion
@@ -323,6 +356,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
     let mut no_sim = false;
     let mut sim_lanes: Option<u32> = None;
     let mut no_tape = false;
+    let mut sim_kernel: Option<SimKernel> = None;
+    let mut no_jit = false;
+    let mut max_bytes: Option<u64> = None;
     let mut no_self_pairs = false;
     let mut no_lint = false;
     let mut no_slice = false;
@@ -459,12 +495,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                         .map_err(|e| ParseCliError(format!("bad --sim-lanes: {e}")))?,
                 );
             }
+            "--sim-kernel" => {
+                let v = take_value(&mut args, "--sim-kernel")?;
+                sim_kernel = Some(SimKernel::parse(&v).ok_or_else(|| {
+                    ParseCliError(format!(
+                        "unknown kernel `{v}` (expected jit|fused|tape|reference)"
+                    ))
+                })?);
+            }
+            "--max-bytes" => {
+                max_bytes = Some(
+                    take_value(&mut args, "--max-bytes")?
+                        .parse()
+                        .map_err(|e| ParseCliError(format!("bad --max-bytes: {e}")))?,
+                );
+            }
             "--learn" => learn = true,
             "--canonical" => canonical = true,
             "--metrics" => metrics = true,
             "--progress" => progress = true,
             "--no-sim" => no_sim = true,
             "--no-tape" => no_tape = true,
+            "--no-jit" => no_jit = true,
             "--no-self-pairs" => no_self_pairs = true,
             "--no-lint" => no_lint = true,
             "--no-slice" => no_slice = true,
@@ -574,6 +626,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             }
             Action::Serve(one_positional("a socket path")?)
         }
+        "cache" => {
+            let op = match positional.as_slice() {
+                [op] if op == "stats" => CacheOp::Stats,
+                [op] if op == "gc" => CacheOp::Gc {
+                    max_bytes: max_bytes
+                        .ok_or_else(|| ParseCliError("`cache gc` needs --max-bytes <N>".into()))?,
+                },
+                _ => {
+                    return Err(ParseCliError(
+                        "`cache` needs an operation: `stats` or `gc --max-bytes <N>`".into(),
+                    ))
+                }
+            };
+            if cache_dir.is_none() && std::env::var_os("MCPATH_CACHE_DIR").is_none() {
+                return Err(ParseCliError(
+                    "`cache` needs --cache-dir <dir> (or MCPATH_CACHE_DIR)".into(),
+                ));
+            }
+            Action::Cache(op)
+        }
         "help" | "--help" | "-h" => Action::Help,
         other => return Err(ParseCliError(format!("unknown subcommand `{other}`"))),
     };
@@ -630,6 +702,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         no_sim,
         sim_lanes,
         no_tape,
+        sim_kernel,
+        no_jit,
         no_self_pairs,
         no_lint,
         no_slice,
@@ -679,6 +753,19 @@ impl Command {
         // The flag can only disable the tape; the default (normally on)
         // also honors the MCPATH_NO_TAPE env var.
         sim.tape = sim.tape && !self.no_tape;
+        match self.sim_kernel {
+            // `--sim-kernel reference` is the tier-ladder spelling of
+            // `--no-tape`: the reference path is selected by turning
+            // the compiled kernels off.
+            Some(SimKernel::Reference) => sim.tape = false,
+            Some(k) => sim.kernel = k,
+            None => {}
+        }
+        // `--no-jit` caps the ladder at the fused interpreter, even
+        // against an explicit `--sim-kernel jit`.
+        if self.no_jit && sim.kernel == SimKernel::Jit {
+            sim.kernel = SimKernel::Fused;
+        }
         McConfig {
             sim,
             engine: self.engine,
@@ -749,6 +836,13 @@ impl Command {
         if self.no_tape {
             push("--no-tape");
         }
+        if let Some(kernel) = self.sim_kernel {
+            push("--sim-kernel");
+            push(kernel.as_str());
+        }
+        if self.no_jit {
+            push("--no-jit");
+        }
         if self.no_self_pairs {
             push("--no-self-pairs");
         }
@@ -812,6 +906,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         Action::Deps(path) => misc::deps(cmd, path, &mut out)?,
         Action::Kcycle(path, max_k) => misc::kcycle(cmd, path, *max_k, &mut out)?,
         Action::Serve(socket) => serve::serve(cmd, socket, &mut out)?,
+        Action::Cache(op) => cache::cache(cmd, op, &mut out)?,
     }
     Ok(out)
 }

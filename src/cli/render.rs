@@ -46,6 +46,16 @@ pub(crate) fn render_step_table(s: &StepStats) -> String {
         fmt_dur(s.time_static),
         "-"
     );
+    // The throughput cell names the kernel tier that produced it —
+    // words/sec across tiers (jit vs interpreter) are not comparable.
+    let sim_throughput = match s.sim_kernel {
+        Some(k) => format!(
+            "{} [{}]",
+            fmt_words_per_sec(s.sim_words, s.time_sim),
+            k.tag()
+        ),
+        None => fmt_words_per_sec(s.sim_words, s.time_sim),
+    };
     let _ = writeln!(
         out,
         "  {:<12} {:>7} {:>7} {:>8} {:>10} {:>12}",
@@ -54,7 +64,7 @@ pub(crate) fn render_step_table(s: &StepStats) -> String {
         s.single_by_sim,
         0,
         fmt_dur(s.time_sim),
-        fmt_words_per_sec(s.sim_words, s.time_sim)
+        sim_throughput
     );
     let _ = writeln!(
         out,
@@ -116,7 +126,7 @@ fn fmt_words_per_sec(words: u64, t: Duration) -> String {
 pub(crate) fn render_snapshot(m: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let c = &m.counters;
-    let rows: [(&str, u64); 37] = [
+    let rows: [(&str, u64); 41] = [
         ("implications", c.implications),
         ("contradictions", c.contradictions),
         ("learned_implications", c.learned_implications),
@@ -140,6 +150,10 @@ pub(crate) fn render_snapshot(m: &MetricsSnapshot) -> String {
         ("sim_pairs_dropped", c.sim_pairs_dropped),
         ("sim_passes", c.sim_passes),
         ("sim_tape_ops", c.sim_tape_ops),
+        ("sim_fused_ops", c.sim_fused_ops),
+        ("jit_compiles", c.jit_compiles),
+        ("jit_bytes", c.jit_bytes),
+        ("jit_batches", c.jit_batches),
         ("lint_rules_run", c.lint_rules_run),
         ("lint_violations", c.lint_violations),
         ("lint_nodes_visited", c.lint_nodes_visited),
@@ -180,6 +194,10 @@ pub(crate) fn render_snapshot(m: &MetricsSnapshot) -> String {
     let wps = m.sim_words_per_sec();
     if wps > 0.0 {
         let _ = writeln!(out, "  {:<24} {wps:.0}", "sim_words_per_sec");
+    }
+    let tags = m.sim_kernel_tags();
+    if !tags.is_empty() {
+        let _ = writeln!(out, "  {:<24} {}", "sim_kernels", tags.join(" "));
     }
     if !m.spans.is_empty() {
         let _ = writeln!(out, "spans:");
@@ -242,7 +260,11 @@ pub(crate) fn render_journal(events: &[PairEvent]) -> String {
     }
     let mut steps: BTreeMap<&str, Row> = BTreeMap::new();
     let mut outcomes: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut kernels: BTreeMap<&str, u64> = BTreeMap::new();
     for e in events {
+        if let Some(k) = &e.kernel {
+            *kernels.entry(k.as_str()).or_default() += 1;
+        }
         let entry = steps.entry(e.step.as_str()).or_default();
         match e.class.as_str() {
             "multi" => entry.multi += 1,
@@ -300,6 +322,12 @@ pub(crate) fn render_journal(events: &[PairEvent]) -> String {
         fmt_dur(Duration::from_micros(total.micros)),
         total.slice_mean()
     );
+    if !kernels.is_empty() {
+        // Only sim-resolved events carry a kernel tag; cached splices
+        // and structural verdicts stay untagged by design.
+        let list: Vec<String> = kernels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "sim kernels: {}", list.join(" "));
+    }
     if !outcomes.is_empty() {
         let list: Vec<String> = outcomes.iter().map(|(k, v)| format!("{k}={v}")).collect();
         let _ = writeln!(out, "assignment outcomes: {}", list.join(" "));

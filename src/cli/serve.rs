@@ -21,7 +21,7 @@
 //! take the server down.
 
 use super::{load, Command};
-use mcp_core::{analyze_cached_with, analyze_eco_with, CasStore};
+use mcp_core::{analyze_cached_with, analyze_eco_with, CasLock, CasStore};
 use serde::Content;
 use std::io::{BufRead, BufReader, Write as _};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -34,6 +34,11 @@ pub(crate) fn serve(cmd: &Command, socket: &str, out: &mut String) -> Result<(),
             .ok_or_else(|| "`serve` needs --cache-dir".to_owned())?,
     )
     .map_err(|e| e.to_string())?;
+    // Mark the store as held by a live process so `cache gc` refuses to
+    // evict entries out from under resident requests. Released on drop
+    // when the accept loop ends; a crash leaves a stale lock that the
+    // next acquire or gc breaks by pid liveness.
+    let _lock = CasLock::acquire(&store).map_err(|e| e.to_string())?;
     // A stale socket file from a crashed server would make bind fail.
     let _ = std::fs::remove_file(socket);
     let listener =

@@ -300,6 +300,51 @@ fn sim_lanes_and_no_tape_flags_reach_the_config() {
 }
 
 #[test]
+fn sim_kernel_and_no_jit_flags_reach_the_config() {
+    use mcp_sim::SimKernel;
+
+    let cmd = parse_args(argv("analyze f.bench --sim-kernel fused")).expect("parse");
+    assert_eq!(cmd.sim_kernel, Some(SimKernel::Fused));
+    assert_eq!(cmd.config().sim.kernel, SimKernel::Fused);
+
+    let cmd = parse_args(argv("analyze f.bench --sim-kernel tape")).expect("parse");
+    assert_eq!(cmd.config().sim.kernel, SimKernel::Tape);
+
+    // `reference` is the tier-ladder spelling of `--no-tape`.
+    let cmd = parse_args(argv("analyze f.bench --sim-kernel reference")).expect("parse");
+    assert!(!cmd.config().sim.tape);
+
+    // `--no-jit` caps the ladder at the fused interpreter, even when
+    // jit was requested explicitly.
+    let cmd = parse_args(argv("analyze f.bench --sim-kernel jit --no-jit")).expect("parse");
+    assert!(cmd.no_jit);
+    assert_eq!(cmd.config().sim.kernel, SimKernel::Fused);
+    // ...but never touches an explicit interpreter tier.
+    let cmd = parse_args(argv("analyze f.bench --sim-kernel tape --no-jit")).expect("parse");
+    assert_eq!(cmd.config().sim.kernel, SimKernel::Tape);
+
+    // Without the flags the defaults apply (jit, unless MCPATH_NO_JIT
+    // is set in this test environment).
+    let cmd = parse_args(argv("analyze f.bench")).expect("parse");
+    assert_eq!(cmd.config().sim.kernel, McConfig::default().sim.kernel);
+
+    assert!(parse_args(argv("analyze f.bench --sim-kernel turbo")).is_err());
+    assert!(parse_args(argv("analyze f.bench --sim-kernel")).is_err());
+
+    // The kernel tier is verdict-neutral: it must not move the config
+    // fingerprint (or the warm cache would go cold on an A/B flag).
+    let base = parse_args(argv("analyze f.bench")).expect("parse");
+    for alt in ["--sim-kernel fused", "--sim-kernel tape", "--no-jit"] {
+        let cmd = parse_args(argv(&format!("analyze f.bench {alt}"))).expect("parse");
+        assert_eq!(
+            cmd.config().fingerprint(),
+            base.config().fingerprint(),
+            "{alt} must not change the fingerprint"
+        );
+    }
+}
+
+#[test]
 fn unsupported_lane_width_is_a_clean_analyze_error() {
     // 96 parses as a number; `analyze` rejects it (the same check
     // covers MCPATH_SIM_LANES, so the CLI does not pre-validate).
@@ -353,6 +398,9 @@ fn metrics_trace_and_stats_round_trip() {
     assert!(out.contains("per-step resolution"), "{out}");
     assert!(out.contains("throughput"), "{out}");
     assert!(out.contains("sim_words_per_sec"), "{out}");
+    // The throughput attribution names the kernel tier that ran (the
+    // exact tag is host-dependent: jit-avx2, jit-scalar or fused).
+    assert!(out.contains("sim_kernels"), "{out}");
 
     // `stats` on the NDJSON journal aggregates the per-pair events.
     let cmd = parse_args(argv(&format!("stats {}", trace.display()))).expect("parse");
@@ -584,7 +632,8 @@ fn shard_children_inherit_the_fingerprint_flags() {
     let cmd = parse_args(argv(
         "analyze f.bench --shards 2 --engine sat --cycles 3 --backtracks 99 --learn \
          --threads 4 --scheduler static --no-sim --sim-lanes 128 --no-tape \
-         --no-self-pairs --no-lint --no-slice --no-static-classify",
+         --sim-kernel fused --no-jit --no-self-pairs --no-lint --no-slice \
+         --no-static-classify",
     ))
     .expect("parse");
     let flags = cmd.child_flags();
@@ -606,6 +655,8 @@ fn shard_children_inherit_the_fingerprint_flags() {
     // And the neutral scheduling knobs ride along too.
     assert_eq!(rebuilt.threads, cmd.threads);
     assert_eq!(rebuilt.scheduler, cmd.scheduler);
+    assert_eq!(rebuilt.sim_kernel, cmd.sim_kernel);
+    assert_eq!(rebuilt.no_jit, cmd.no_jit);
     assert!(rebuilt.quiet);
 }
 
@@ -816,6 +867,85 @@ fn eco_cli_run_matches_a_cold_full_run() {
         std::fs::read(&cold_json).expect("read cold"),
         "ECO report must be byte-identical to the cold full run"
     );
+}
+
+#[test]
+fn cache_stats_and_gc_subcommands_manage_the_store() {
+    let dir = std::env::temp_dir().join("mcpath-cli-cache-gc");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let bench_path = dir.join("m27.bench");
+    let text = run(&parse_args(argv("gen m27")).expect("parse")).expect("gen");
+    std::fs::write(&bench_path, text).expect("write");
+    let cache = dir.join("cache");
+
+    // Parse-level contracts first.
+    assert!(parse_args(argv("cache")).is_err(), "needs an operation");
+    assert!(
+        parse_args(argv("cache gc --cache-dir /tmp/c")).is_err(),
+        "gc needs --max-bytes"
+    );
+    assert!(parse_args(argv("cache gc --cache-dir /tmp/c --max-bytes abc")).is_err());
+    if std::env::var_os("MCPATH_CACHE_DIR").is_none() {
+        assert!(parse_args(argv("cache stats")).is_err(), "needs a dir");
+    }
+
+    // Fill the store, then inspect it.
+    run(&parse_args(argv(&format!(
+        "analyze {} --cache-dir {} --quiet",
+        bench_path.display(),
+        cache.display()
+    )))
+    .expect("parse"))
+    .expect("seed the store");
+    let out = run(&parse_args(argv(&format!(
+        "cache stats --cache-dir {}",
+        cache.display()
+    )))
+    .expect("parse"))
+    .expect("stats");
+    assert!(out.contains("entries:"), "{out}");
+    assert!(out.contains("verdicts"), "{out}");
+    assert!(out.contains("locked by: nobody"), "{out}");
+
+    // A generous budget evicts nothing; a zero budget empties the store.
+    let out = run(&parse_args(argv(&format!(
+        "cache gc --cache-dir {} --max-bytes 100000000",
+        cache.display()
+    )))
+    .expect("parse"))
+    .expect("gc noop");
+    assert!(out.contains("evicted 0 file(s)"), "{out}");
+    let out = run(&parse_args(argv(&format!(
+        "cache gc --cache-dir {} --max-bytes 0",
+        cache.display()
+    )))
+    .expect("parse"))
+    .expect("gc all");
+    assert!(out.contains("kept 0 entries"), "{out}");
+
+    // The next analyze is a cold miss again — eviction is safe, never
+    // corrupting (missing entries are plain misses).
+    let out = run(&parse_args(argv(&format!(
+        "analyze {} --cache-dir {} --quiet",
+        bench_path.display(),
+        cache.display()
+    )))
+    .expect("parse"))
+    .expect("re-seed");
+    assert!(out.contains("cache: miss"), "{out}");
+
+    // A live lock holder blocks eviction with a typed refusal.
+    let store = mcp_core::CasStore::open(&cache).expect("open");
+    let lock = mcp_core::CasLock::acquire(&store).expect("lock");
+    let err = run(&parse_args(argv(&format!(
+        "cache gc --cache-dir {} --max-bytes 0",
+        cache.display()
+    )))
+    .expect("parse"))
+    .unwrap_err();
+    assert!(err.contains("locked by live process"), "{err}");
+    drop(lock);
 }
 
 #[test]
